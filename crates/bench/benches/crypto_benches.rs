@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the cryptographic substrate:
+//! hashing throughput, Merkle construction/proofs at the paper's
+//! fanouts, and RSA sign/verify.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spnet_crypto::digest::hash_bytes;
+use spnet_crypto::merkle::MerkleTree;
+use spnet_crypto::rsa::RsaKeyPair;
+use spnet_crypto::sha256::sha256;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xABu8; size];
+        g.throughput(criterion::Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_merkle_build(c: &mut Criterion) {
+    let leaves: Vec<_> = (0u32..10_000).map(|i| hash_bytes(&i.to_le_bytes())).collect();
+    let mut g = c.benchmark_group("merkle_build_10k");
+    for fanout in [2usize, 8, 32] {
+        g.bench_function(format!("fanout{fanout}"), |b| {
+            b.iter_batched(
+                || leaves.clone(),
+                |l| MerkleTree::build(l, fanout).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_merkle_prove(c: &mut Criterion) {
+    let leaves: Vec<_> = (0u32..10_000).map(|i| hash_bytes(&i.to_le_bytes())).collect();
+    let tree = MerkleTree::build(leaves, 2).unwrap();
+    let contiguous: BTreeSet<usize> = (4000..4100).collect();
+    c.bench_function("merkle_prove_100of10k", |b| {
+        b.iter(|| tree.prove(black_box(contiguous.clone())).unwrap())
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let kp = RsaKeyPair::generate(&mut rng, 256);
+    let d = hash_bytes(b"root");
+    let sig = kp.sign(&d);
+    c.bench_function("rsa256_sign", |b| b.iter(|| kp.sign(black_box(&d))));
+    c.bench_function("rsa256_verify", |b| {
+        b.iter(|| kp.public_key().verify(black_box(&d), black_box(&sig)))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_merkle_build, bench_merkle_prove, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! figures <experiment> [options]
+//!
+//! experiments: fig8 fig9 fig10 fig11a fig11b fig12 fig13 ext_ldm all
+//!
+//! options:
+//!   --scale <f>     dataset scale fraction (default 0.05)
+//!   --paper-scale   scale = 1.0 (full paper sizes; hours of runtime)
+//!   --queries <n>   workload size (default 100)
+//!   --range <f>     query range (default 2000)
+//!   --dataset <d>   de|arg|ind|na (default de)
+//!   --seed <n>      master seed (default 42)
+//!   --no-verify     skip client-side verification of each answer
+//!   --out <dir>     also write CSVs to <dir> (default results/)
+//! ```
+
+use spnet_bench::{experiments, HarnessConfig};
+use spnet_graph::gen::Dataset;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let experiment = args[0].clone();
+    let mut cfg = HarnessConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--scale" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.scale = v,
+                None => return bad_usage("--scale needs a float"),
+            },
+            "--paper-scale" => cfg.scale = 1.0,
+            "--queries" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.queries = v,
+                None => return bad_usage("--queries needs an integer"),
+            },
+            "--range" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.range = v,
+                None => return bad_usage("--range needs a float"),
+            },
+            "--dataset" => match take_value(&mut i).and_then(|v| Dataset::parse(&v)) {
+                Some(d) => cfg.dataset = d,
+                None => return bad_usage("--dataset needs de|arg|ind|na"),
+            },
+            "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return bad_usage("--seed needs an integer"),
+            },
+            "--no-verify" => cfg.verify = false,
+            "--out" => match take_value(&mut i) {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return bad_usage("--out needs a directory"),
+            },
+            other => return bad_usage(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "running {experiment} (scale {}, {} queries, range {}, seed {})",
+        cfg.scale, cfg.queries, cfg.range, cfg.seed
+    );
+    let started = std::time::Instant::now();
+    match experiments::run(&experiment, &cfg) {
+        Some(tables) => {
+            for (name, table) in &tables {
+                if let Err(e) = table.save_csv(&out_dir, name) {
+                    eprintln!("warning: could not write {name}.csv: {e}");
+                }
+            }
+            eprintln!(
+                "done in {:.1}s; {} tables written to {}",
+                started.elapsed().as_secs_f64(),
+                tables.len(),
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        None => bad_usage(&format!("unknown experiment {experiment}")),
+    }
+}
+
+fn bad_usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    print_help();
+    ExitCode::FAILURE
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: figures <experiment> [options]\n\n\
+         experiments: {}\n\n\
+         options:\n\
+         \x20 --scale <f>     dataset scale fraction (default 0.05)\n\
+         \x20 --paper-scale   scale = 1.0 (full paper sizes)\n\
+         \x20 --queries <n>   workload size (default 100)\n\
+         \x20 --range <f>     query range (default 2000)\n\
+         \x20 --dataset <d>   de|arg|ind|na (default de)\n\
+         \x20 --seed <n>      master seed (default 42)\n\
+         \x20 --no-verify     skip client verification\n\
+         \x20 --out <dir>     CSV output directory (default results/)",
+        experiments::ALL_EXPERIMENTS.join(" ")
+    );
+}

@@ -1,0 +1,320 @@
+//! Authenticated data structures over the network and signed roots.
+//!
+//! Section III-B: the data owner fixes a graph-node ordering `O`,
+//! builds a Merkle tree over the ordered extended-tuple digests, and
+//! signs the root. The signature binds the root *and* its metadata
+//! (tag, geometry, method parameters), so a provider can neither swap
+//! trees nor lie about parameters like the quantization step λ.
+
+use crate::enc::Encoder;
+use crate::tuple::ExtendedTuple;
+use spnet_crypto::digest::{hash_bytes, Digest};
+use spnet_crypto::merkle::{MerkleError, MerkleProof, MerkleTree};
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+use spnet_graph::order::NodeOrdering;
+use spnet_graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// What a signed root authenticates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdsTag {
+    /// The network Merkle tree over extended-tuples.
+    Network = 1,
+    /// The FULL method's all-pairs distance tree.
+    Distance = 2,
+    /// The HYP method's hyper-edge weight tree.
+    HyperEdges = 3,
+    /// The HYP method's cell directory (cell id → node count).
+    CellDirectory = 4,
+}
+
+impl AdsTag {
+    fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Metadata bound into a root signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdsMeta {
+    /// Which structure this is.
+    pub tag: AdsTag,
+    /// Leaf count of the tree.
+    pub leaf_count: u64,
+    /// Tree fanout.
+    pub fanout: u32,
+    /// Method parameters the client must trust (e.g. λ for LDM),
+    /// canonical-encoded by the method module.
+    pub params: Vec<u8>,
+}
+
+impl AdsMeta {
+    /// The signature pre-image `H(root ∘ meta)`.
+    pub fn signing_digest(&self, root: Digest) -> Digest {
+        let mut e = Encoder::new();
+        e.put_raw(root.as_bytes());
+        e.put_u8(self.tag.code());
+        e.put_u64(self.leaf_count);
+        e.put_u32(self.fanout);
+        e.put_bytes(&self.params);
+        hash_bytes(e.bytes())
+    }
+}
+
+/// An owner-signed ADS root: root digest + metadata + RSA signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedRoot {
+    /// The Merkle root being signed.
+    pub root: Digest,
+    /// The metadata bound into the signature.
+    pub meta: AdsMeta,
+    /// RSA signature over [`AdsMeta::signing_digest`].
+    pub signature: RsaSignature,
+}
+
+impl SignedRoot {
+    /// Owner-side: signs `root` with `meta`.
+    pub fn sign(keypair: &RsaKeyPair, root: Digest, meta: AdsMeta) -> Self {
+        let signature = keypair.sign(&meta.signing_digest(root));
+        SignedRoot {
+            root,
+            meta,
+            signature,
+        }
+    }
+
+    /// Client-side: checks the signature against the owner's key.
+    pub fn verify(&self, pk: &RsaPublicKey) -> bool {
+        pk.verify(&self.meta.signing_digest(self.root), &self.signature)
+    }
+
+    /// Byte size of the signed root when shipped in a proof.
+    pub fn size_bytes(&self) -> usize {
+        32 + 1 + 8 + 4 + 4 + self.meta.params.len() + self.signature.size_bytes()
+    }
+}
+
+/// The network ADS: ordering + Merkle tree + per-node tuples.
+///
+/// Held by the service provider; the owner only needs it long enough to
+/// sign the root.
+#[derive(Debug, Clone)]
+pub struct NetworkAds {
+    /// Leaf position → node id.
+    order: Vec<NodeId>,
+    /// Node id → leaf position.
+    position: Vec<u32>,
+    /// Tuples indexed by node id.
+    tuples: Vec<ExtendedTuple>,
+    /// Merkle tree over ordered tuple digests.
+    tree: MerkleTree,
+}
+
+impl NetworkAds {
+    /// Builds the ADS from per-node tuples (indexed by node id).
+    ///
+    /// # Panics
+    /// Panics if `tuples.len() != g.num_nodes()` or the graph is empty.
+    pub fn build(
+        g: &Graph,
+        tuples: Vec<ExtendedTuple>,
+        ordering: NodeOrdering,
+        fanout: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(tuples.len(), g.num_nodes(), "one tuple per node");
+        let order = ordering.order(g, seed);
+        let mut position = vec![0u32; order.len()];
+        for (i, v) in order.iter().enumerate() {
+            position[v.index()] = i as u32;
+        }
+        let leaves: Vec<Digest> = order.iter().map(|v| tuples[v.index()].digest()).collect();
+        let tree = MerkleTree::build(leaves, fanout).expect("non-empty network");
+        NetworkAds {
+            order,
+            position,
+            tuples,
+            tree,
+        }
+    }
+
+    /// The Merkle root.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of leaves (= |V|).
+    pub fn leaf_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Tree fanout.
+    pub fn fanout(&self) -> usize {
+        self.tree.fanout()
+    }
+
+    /// The extended-tuple of node `v`.
+    pub fn tuple(&self, v: NodeId) -> &ExtendedTuple {
+        &self.tuples[v.index()]
+    }
+
+    /// Leaf position of node `v` under the ordering.
+    pub fn position(&self, v: NodeId) -> u32 {
+        self.position[v.index()]
+    }
+
+    /// Replaces a node's tuple and patches its Merkle path in place
+    /// (dynamic updates; see `spnet_core::update`).
+    pub fn replace_tuple(
+        &mut self,
+        v: NodeId,
+        tuple: ExtendedTuple,
+    ) -> Result<(), MerkleError> {
+        let pos = self.position(v) as usize;
+        let digest = tuple.digest();
+        self.tuples[v.index()] = tuple;
+        self.tree.update_leaf(pos, digest)
+    }
+
+    /// Builds the Merkle cover proof for a set of nodes.
+    pub fn prove_nodes(
+        &self,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> Result<MerkleProof, MerkleError> {
+        let idx: BTreeSet<usize> = nodes
+            .into_iter()
+            .map(|v| self.position[v.index()] as usize)
+            .collect();
+        self.tree.prove(idx)
+    }
+
+    /// Total digests stored — the ADS storage-overhead metric.
+    pub fn storage_digests(&self) -> usize {
+        self.tree.total_digests()
+    }
+
+    /// The signed-meta skeleton for this tree (params filled by the
+    /// method module).
+    pub fn meta(&self, params: Vec<u8>) -> AdsMeta {
+        AdsMeta {
+            tag: AdsTag::Network,
+            leaf_count: self.leaf_count() as u64,
+            fanout: self.fanout() as u32,
+            params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::gen::grid_network;
+
+    fn ads(fanout: usize, ordering: NodeOrdering) -> (Graph, NetworkAds) {
+        let g = grid_network(8, 8, 1.15, 200);
+        let tuples: Vec<ExtendedTuple> =
+            g.nodes().map(|v| ExtendedTuple::base(&g, v)).collect();
+        let a = NetworkAds::build(&g, tuples, ordering, fanout, 201);
+        (g, a)
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        for v in 0..a.leaf_count() as u32 {
+            let pos = a.position(NodeId(v));
+            assert_eq!(a.order[pos as usize], NodeId(v));
+        }
+    }
+
+    #[test]
+    fn proof_round_trip_through_positions() {
+        let (g, a) = ads(3, NodeOrdering::Dfs);
+        let nodes: Vec<NodeId> = g.nodes().take(5).collect();
+        let proof = a.prove_nodes(nodes.clone()).unwrap();
+        let leaves: Vec<(usize, Digest)> = nodes
+            .iter()
+            .map(|&v| (a.position(v) as usize, a.tuple(v).digest()))
+            .collect();
+        assert_eq!(proof.reconstruct_root(&leaves).unwrap(), a.root());
+    }
+
+    #[test]
+    fn signed_root_verifies() {
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        let mut rng = StdRng::seed_from_u64(202);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let signed = SignedRoot::sign(&kp, a.root(), a.meta(vec![1, 2, 3]));
+        assert!(signed.verify(kp.public_key()));
+    }
+
+    #[test]
+    fn signature_binds_params() {
+        // Changing method params (e.g. λ) must invalidate the signature.
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        let mut rng = StdRng::seed_from_u64(203);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let mut signed = SignedRoot::sign(&kp, a.root(), a.meta(vec![1, 2, 3]));
+        signed.meta.params = vec![9, 9, 9];
+        assert!(!signed.verify(kp.public_key()));
+    }
+
+    #[test]
+    fn signature_binds_geometry() {
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        let mut rng = StdRng::seed_from_u64(204);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let mut signed = SignedRoot::sign(&kp, a.root(), a.meta(vec![]));
+        signed.meta.fanout = 16;
+        assert!(!signed.verify(kp.public_key()));
+        let mut signed2 = SignedRoot::sign(&kp, a.root(), a.meta(vec![]));
+        signed2.meta.leaf_count += 1;
+        assert!(!signed2.verify(kp.public_key()));
+    }
+
+    #[test]
+    fn signature_binds_tag() {
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        let mut rng = StdRng::seed_from_u64(205);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let mut signed = SignedRoot::sign(&kp, a.root(), a.meta(vec![]));
+        signed.meta.tag = AdsTag::Distance;
+        assert!(!signed.verify(kp.public_key()));
+    }
+
+    #[test]
+    fn different_orderings_different_roots() {
+        let (_, a1) = ads(2, NodeOrdering::Hilbert);
+        let (_, a2) = ads(2, NodeOrdering::Bfs);
+        assert_ne!(a1.root(), a2.root());
+    }
+
+    #[test]
+    fn different_fanouts_different_roots() {
+        let (_, a1) = ads(2, NodeOrdering::Hilbert);
+        let (_, a2) = ads(4, NodeOrdering::Hilbert);
+        assert_ne!(a1.root(), a2.root());
+    }
+
+    #[test]
+    fn tampered_tuple_breaks_reconstruction() {
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        let v = NodeId(10);
+        let proof = a.prove_nodes([v]).unwrap();
+        let mut evil = a.tuple(v).clone();
+        evil.adj[0].1 *= 0.5; // halve a road length
+        let root = proof
+            .reconstruct_root(&[(a.position(v) as usize, evil.digest())])
+            .unwrap();
+        assert_ne!(root, a.root());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let (_, a) = ads(2, NodeOrdering::Hilbert);
+        // 64 leaves binary: 64+32+16+8+4+2+1 = 127 digests.
+        assert_eq!(a.storage_digests(), 127);
+    }
+}

@@ -1,0 +1,353 @@
+//! Batched queries with a shared integrity proof.
+//!
+//! The paper notes (Section V-B) that combining proofs "reduces the
+//! size of the integrity proof"; this module generalizes that idea:
+//! a client (e.g. the logistics auditor of `examples/logistics_audit`)
+//! submits *k* queries at once, and the provider ships
+//!
+//! * one **tuple pool** — the deduplicated union of all k subgraph
+//!   proofs,
+//! * one **shared ΓT** — a single Merkle cover for the whole pool
+//!   (overlapping queries share both tuples and cover digests), and
+//! * per query, the reported path plus the pool-indices of its Γ.
+//!
+//! Supported for the subgraph-proof methods (DIJ and LDM), where
+//! batching pays off most — their ΓS sets overlap heavily for nearby
+//! sources. The client verifies the pool once, then re-runs each
+//! query's search against its slice of the pool.
+
+use crate::error::{ProviderError, VerifyError};
+use crate::methods::{dij, ldm, MethodParams};
+use crate::owner::MethodHints;
+use crate::proof::IntegrityProof;
+use crate::provider::ServiceProvider;
+use crate::tuple::ExtendedTuple;
+use crate::Client;
+use spnet_crypto::digest::Digest;
+use spnet_graph::algo::dijkstra_path;
+use spnet_graph::path::close;
+use spnet_graph::{NodeId, Path};
+use std::collections::{BTreeMap, HashMap};
+
+/// One query's slice of a batch answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQueryProof {
+    /// The reported shortest path.
+    pub path: Path,
+    /// Indices into the batch pool forming this query's Γ.
+    pub members: Vec<u32>,
+}
+
+/// A batched answer for `k` queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchAnswer {
+    /// Deduplicated union of all subgraph proofs.
+    pub pool: Vec<ExtendedTuple>,
+    /// Per-query paths and pool slices.
+    pub queries: Vec<BatchQueryProof>,
+    /// Shared integrity proof covering the pool (positions parallel to
+    /// `pool`).
+    pub integrity: IntegrityProof,
+}
+
+impl BatchAnswer {
+    /// Total size in bytes (pool tuples + per-query members/paths + ΓT).
+    pub fn size_bytes(&self) -> usize {
+        let mut e = crate::enc::Encoder::new();
+        for t in &self.pool {
+            t.encode(&mut e);
+        }
+        let pool_bytes = e.len();
+        let query_bytes: usize = self
+            .queries
+            .iter()
+            .map(|q| q.path.nodes.len() * 4 + 8 + q.members.len() * 4)
+            .sum();
+        pool_bytes + query_bytes + self.integrity.size_bytes()
+    }
+}
+
+impl ServiceProvider {
+    /// Answers `k` queries with one shared integrity proof.
+    ///
+    /// Only supported when the deployed method uses subgraph proofs
+    /// (DIJ or LDM); other methods return `ProofAssembly`.
+    pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, ProviderError> {
+        let g = &self.package.graph;
+        let ads = &self.package.ads;
+        // Per-query Γ node sets.
+        let mut gammas: Vec<(Path, Vec<NodeId>)> = Vec::with_capacity(queries.len());
+        for &(vs, vt) in queries {
+            for v in [vs, vt] {
+                if g.check_node(v).is_err() {
+                    return Err(ProviderError::UnknownNode(v));
+                }
+            }
+            let path = dijkstra_path(g, vs, vt)
+                .map_err(|_| ProviderError::Unreachable { source: vs, target: vt })?;
+            let nodes = match &self.package.hints {
+                MethodHints::Dij => dij::gamma_nodes(g, vs, path.distance),
+                MethodHints::Ldm(h) => ldm::gamma_nodes(g, h, vs, vt, path.distance),
+                _ => {
+                    return Err(ProviderError::ProofAssembly(
+                        "batching requires a subgraph-proof method (DIJ or LDM)".into(),
+                    ))
+                }
+            };
+            gammas.push((path, nodes));
+        }
+        // Pool = deduplicated union, ordered by node id.
+        let mut pool_index: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for (_, nodes) in &gammas {
+            for &v in nodes {
+                let next = pool_index.len() as u32;
+                pool_index.entry(v).or_insert(next);
+            }
+        }
+        // BTreeMap iteration is id-ordered but insertion indices are
+        // arrival-ordered; rebuild densely in id order for determinism.
+        let pool_nodes: Vec<NodeId> = pool_index.keys().copied().collect();
+        let index_of: HashMap<NodeId, u32> = pool_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let pool: Vec<ExtendedTuple> = pool_nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+        let merkle = ads
+            .prove_nodes(pool_nodes.iter().copied())
+            .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
+        let integrity = IntegrityProof {
+            positions: pool_nodes.iter().map(|&v| ads.position(v)).collect(),
+            merkle,
+            signed_root: self.package.network_root.clone(),
+        };
+        let queries_out = gammas
+            .into_iter()
+            .map(|(path, nodes)| BatchQueryProof {
+                path,
+                members: nodes.iter().map(|v| index_of[v]).collect(),
+            })
+            .collect();
+        Ok(BatchAnswer {
+            pool,
+            queries: queries_out,
+            integrity,
+        })
+    }
+}
+
+impl Client {
+    /// Verifies a batched answer; returns the proven optimum per query.
+    pub fn verify_batch(
+        &self,
+        queries: &[(NodeId, NodeId)],
+        batch: &BatchAnswer,
+    ) -> Result<Vec<f64>, VerifyError> {
+        if queries.len() != batch.queries.len() {
+            return Err(VerifyError::MalformedIntegrityProof(format!(
+                "{} queries but {} proofs",
+                queries.len(),
+                batch.queries.len()
+            )));
+        }
+        // Shared ΓT: authenticate the pool once.
+        if !batch.integrity.signed_root.verify(self.public_key()) {
+            return Err(VerifyError::BadSignature);
+        }
+        let params = MethodParams::decode(&batch.integrity.signed_root.meta.params)
+            .map_err(|_| VerifyError::MetaMismatch("undecodable method params"))?;
+        if batch.pool.len() != batch.integrity.positions.len() {
+            return Err(VerifyError::MalformedIntegrityProof(
+                "positions do not match pool".into(),
+            ));
+        }
+        let leaves: Vec<(usize, Digest)> = batch
+            .pool
+            .iter()
+            .zip(&batch.integrity.positions)
+            .map(|(t, &p)| (p as usize, t.digest()))
+            .collect();
+        let root = batch
+            .integrity
+            .merkle
+            .reconstruct_root(&leaves)
+            .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+        if root != batch.integrity.signed_root.root {
+            return Err(VerifyError::RootMismatch);
+        }
+        // Per query: build the member map and re-run the search.
+        let mut out = Vec::with_capacity(queries.len());
+        for (&(vs, vt), q) in queries.iter().zip(&batch.queries) {
+            let mut map: HashMap<NodeId, &ExtendedTuple> = HashMap::with_capacity(q.members.len());
+            for &i in &q.members {
+                let t = batch
+                    .pool
+                    .get(i as usize)
+                    .ok_or(VerifyError::MalformedIntegrityProof("member index out of pool".into()))?;
+                map.insert(t.id, t);
+            }
+            let proven = match &params {
+                MethodParams::Dij => dij::verify_subgraph_dijkstra(&map, vs, vt)?,
+                MethodParams::Ldm { lambda } => ldm::verify_subgraph_astar(&map, vs, vt, *lambda)?,
+                _ => return Err(VerifyError::MetaMismatch("batch supports DIJ/LDM only")),
+            };
+            // Path checks against the authenticated pool.
+            let got = (q.path.source(), q.path.target());
+            if got != (vs, vt) {
+                return Err(VerifyError::WrongEndpoints { expected: (vs, vt), got });
+            }
+            let mut sum = 0.0;
+            for w in q.path.nodes.windows(2) {
+                let t = map.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
+                sum += t
+                    .edge_to(w[1])
+                    .ok_or(VerifyError::FakeEdge { from: w[0], to: w[1] })?;
+            }
+            if !close(sum, q.path.distance) {
+                return Err(VerifyError::InconsistentPathDistance {
+                    claimed: q.path.distance,
+                    recomputed: sum,
+                });
+            }
+            if !close(sum, proven) {
+                return Err(VerifyError::NotShortest { reported: sum, proven });
+            }
+            out.push(proven);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{LdmConfig, MethodConfig};
+    use crate::owner::{DataOwner, SetupConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::gen::grid_network;
+    use spnet_graph::Graph;
+
+    fn deploy(method: MethodConfig, seed: u64) -> (Graph, ServiceProvider, Client) {
+        let g = grid_network(10, 10, 1.15, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        (
+            g,
+            ServiceProvider::new(p.package),
+            Client::new(p.public_key),
+        )
+    }
+
+    const QUERIES: [(u32, u32); 4] = [(0, 99), (1, 98), (0, 55), (10, 89)];
+
+    fn as_nodes(qs: &[(u32, u32)]) -> Vec<(NodeId, NodeId)> {
+        qs.iter().map(|&(s, t)| (NodeId(s), NodeId(t))).collect()
+    }
+
+    #[test]
+    fn batch_verifies_for_dij_and_ldm() {
+        for method in [
+            MethodConfig::Dij,
+            MethodConfig::Ldm(LdmConfig { landmarks: 8, ..LdmConfig::default() }),
+        ] {
+            let (g, provider, client) = deploy(method.clone(), 1700);
+            let queries = as_nodes(&QUERIES);
+            let batch = provider.answer_batch(&queries).unwrap();
+            let distances = client.verify_batch(&queries, &batch).unwrap();
+            for (&(s, t), d) in queries.iter().zip(&distances) {
+                let truth = dijkstra_path(&g, s, t).unwrap().distance;
+                assert!(
+                    (d - truth).abs() <= 1e-6 * truth.max(1.0),
+                    "{}: ({s},{t})",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_smaller_than_individual_answers() {
+        // Overlapping queries: the pool dedups tuples and shares covers.
+        let (_, provider, _) = deploy(MethodConfig::Dij, 1701);
+        let queries = as_nodes(&QUERIES);
+        let batch = provider.answer_batch(&queries).unwrap();
+        let individual: usize = queries
+            .iter()
+            .map(|&(s, t)| provider.answer(s, t).unwrap().stats().total_bytes())
+            .sum();
+        assert!(
+            batch.size_bytes() < individual,
+            "batch {} ≥ individual sum {}",
+            batch.size_bytes(),
+            individual
+        );
+    }
+
+    #[test]
+    fn batch_rejected_for_full_and_hyp() {
+        for method in [
+            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Hyp { cells: 9 },
+        ] {
+            let (_, provider, _) = deploy(method, 1702);
+            assert!(matches!(
+                provider.answer_batch(&as_nodes(&QUERIES)),
+                Err(ProviderError::ProofAssembly(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn tampered_pool_tuple_rejected() {
+        let (_, provider, client) = deploy(MethodConfig::Dij, 1703);
+        let queries = as_nodes(&QUERIES);
+        let mut batch = provider.answer_batch(&queries).unwrap();
+        batch.pool[0].adj[0].1 *= 0.5;
+        assert!(client.verify_batch(&queries, &batch).is_err());
+    }
+
+    #[test]
+    fn dropped_member_rejected() {
+        let (_, provider, client) = deploy(MethodConfig::Dij, 1704);
+        let queries = as_nodes(&QUERIES);
+        let mut batch = provider.answer_batch(&queries).unwrap();
+        // Hide part of query 0's Γ: its search must hit a missing tuple.
+        let keep = batch.queries[0].members.len() / 2;
+        batch.queries[0].members.truncate(keep);
+        assert!(client.verify_batch(&queries, &batch).is_err());
+    }
+
+    #[test]
+    fn suboptimal_path_in_batch_rejected() {
+        let (g, provider, client) = deploy(MethodConfig::Dij, 1705);
+        let queries = as_nodes(&QUERIES);
+        let honest = provider.answer_batch(&queries).unwrap();
+        // Replace query 1's path with a detour (keep honest proofs).
+        let single = provider.answer(queries[1].0, queries[1].1).unwrap();
+        if let Some(evil_single) =
+            crate::tamper::apply(crate::tamper::Attack::SuboptimalPath, &g, &single)
+        {
+            let mut evil = honest.clone();
+            evil.queries[1].path = evil_single.path;
+            assert!(client.verify_batch(&queries, &evil).is_err());
+        }
+    }
+
+    #[test]
+    fn query_count_mismatch_rejected() {
+        let (_, provider, client) = deploy(MethodConfig::Dij, 1706);
+        let queries = as_nodes(&QUERIES);
+        let batch = provider.answer_batch(&queries).unwrap();
+        assert!(client.verify_batch(&queries[..2], &batch).is_err());
+    }
+
+    #[test]
+    fn member_index_out_of_pool_rejected() {
+        let (_, provider, client) = deploy(MethodConfig::Dij, 1707);
+        let queries = as_nodes(&QUERIES);
+        let mut batch = provider.answer_batch(&queries).unwrap();
+        batch.queries[0].members.push(batch.pool.len() as u32 + 7);
+        assert!(client.verify_batch(&queries, &batch).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The client: verifies answers against the owner's public key alone.
+//!
+//! A path is accepted iff (Section III-A):
+//!
+//! 1. every tuple in ΓS is authentic — the reconstructed Merkle root
+//!    matches the owner-signed network root (ΓT);
+//! 2. the ΓS machinery proves the true optimum `dist(vs, vt)`;
+//! 3. the reported path uses only authenticated edges, starts at `vs`,
+//!    ends at `vt`, and its summed weight equals both its claimed
+//!    distance and the proven optimum.
+
+use crate::error::VerifyError;
+use crate::methods::{dij, full::FullDistanceProof, hyp, ldm, MethodParams};
+use crate::proof::{Answer, IntegrityProof, SpProof};
+use crate::tuple::ExtendedTuple;
+use spnet_crypto::digest::Digest;
+use spnet_crypto::rsa::RsaPublicKey;
+use spnet_graph::path::close;
+use spnet_graph::NodeId;
+use std::collections::HashMap;
+
+/// A successfully verified answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verified {
+    /// The proven optimal distance `dist(vs, vt)`.
+    pub distance: f64,
+}
+
+/// The client role.
+#[derive(Debug, Clone)]
+pub struct Client {
+    public_key: RsaPublicKey,
+}
+
+impl Client {
+    /// A client trusting the given owner key.
+    pub fn new(public_key: RsaPublicKey) -> Self {
+        Client { public_key }
+    }
+
+    /// The owner key this client trusts.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public_key
+    }
+
+    /// Verifies a provider answer for query `(vs, vt)`.
+    pub fn verify(&self, vs: NodeId, vt: NodeId, answer: &Answer) -> Result<Verified, VerifyError> {
+        // --- ΓT: authenticate every shipped tuple. ---------------------
+        if !answer.integrity.signed_root.verify(&self.public_key) {
+            return Err(VerifyError::BadSignature);
+        }
+        let params = MethodParams::decode(&answer.integrity.signed_root.meta.params)
+            .map_err(|_| VerifyError::MetaMismatch("undecodable method params"))?;
+        self.check_method_matches(&params, &answer.sp)?;
+        let tuples = self.verify_integrity(&answer.integrity, &answer.sp)?;
+
+        // --- ΓS: recompute the optimum. --------------------------------
+        let proven = match (&answer.sp, &params) {
+            (SpProof::Subgraph { .. }, MethodParams::Dij) => {
+                dij::verify_subgraph_dijkstra(&tuples, vs, vt)?
+            }
+            (SpProof::Subgraph { .. }, MethodParams::Ldm { lambda }) => {
+                ldm::verify_subgraph_astar(&tuples, vs, vt, *lambda)?
+            }
+            (SpProof::Distance { full, signed_root, .. }, MethodParams::Full) => {
+                self.verify_full(full, signed_root, vs, vt)?
+            }
+            (
+                SpProof::Hyp {
+                    hyper,
+                    hyper_signed_root,
+                    cell_dir,
+                    cell_dir_signed_root,
+                    ..
+                },
+                MethodParams::Hyp,
+            ) => {
+                // Authenticate both auxiliary structures first.
+                if !hyper_signed_root.verify(&self.public_key)
+                    || !cell_dir_signed_root.verify(&self.public_key)
+                {
+                    return Err(VerifyError::BadSignature);
+                }
+                // An empty hyper proof is acceptable only when both
+                // cells are border-free: verify_hyp fails on the first
+                // needed pair otherwise, so no explicit check is
+                // required here.
+                if !hyper.entries.is_empty() {
+                    let root = hyper
+                        .reconstruct_root()
+                        .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+                    if root != hyper_signed_root.root {
+                        return Err(VerifyError::RootMismatch);
+                    }
+                }
+                let dir_root = cell_dir
+                    .reconstruct_root()
+                    .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+                if dir_root != cell_dir_signed_root.root {
+                    return Err(VerifyError::RootMismatch);
+                }
+                hyp::verify_hyp(&tuples, hyper, cell_dir, vs, vt)?
+            }
+            _ => return Err(VerifyError::MetaMismatch("proof shape does not match method")),
+        };
+
+        // --- P_rslt: authenticate the reported path itself. ------------
+        self.verify_path(&tuples, vs, vt, answer, proven)?;
+        Ok(Verified { distance: proven })
+    }
+
+    /// Signed method code must match the proof's shape — prevents a
+    /// malicious provider from downgrading the verification method.
+    fn check_method_matches(&self, params: &MethodParams, sp: &SpProof) -> Result<(), VerifyError> {
+        let ok = matches!(
+            (params, sp),
+            (MethodParams::Dij, SpProof::Subgraph { .. })
+                | (MethodParams::Ldm { .. }, SpProof::Subgraph { .. })
+                | (MethodParams::Full, SpProof::Distance { .. })
+                | (MethodParams::Hyp, SpProof::Hyp { .. })
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(VerifyError::MetaMismatch("proof shape does not match signed method"))
+        }
+    }
+
+    /// Reconstructs the network root from all shipped tuples and the ΓT
+    /// cover digests; returns the authenticated tuple map.
+    fn verify_integrity<'a>(
+        &self,
+        integrity: &IntegrityProof,
+        sp: &'a SpProof,
+    ) -> Result<HashMap<NodeId, &'a ExtendedTuple>, VerifyError> {
+        let all: Vec<&ExtendedTuple> =
+            sp.tuples().iter().chain(sp.extra_tuples().iter()).collect();
+        if all.len() != integrity.positions.len() {
+            return Err(VerifyError::MalformedIntegrityProof(format!(
+                "{} tuples but {} positions",
+                all.len(),
+                integrity.positions.len()
+            )));
+        }
+        let leaves: Vec<(usize, Digest)> = all
+            .iter()
+            .zip(&integrity.positions)
+            .map(|(t, &p)| (p as usize, t.digest()))
+            .collect();
+        let root = integrity
+            .merkle
+            .reconstruct_root(&leaves)
+            .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+        if root != integrity.signed_root.root {
+            return Err(VerifyError::RootMismatch);
+        }
+        let mut map = HashMap::with_capacity(all.len());
+        for t in all {
+            map.insert(t.id, t);
+        }
+        Ok(map)
+    }
+
+    /// FULL's ΓS: signature + two-level Merkle path + key binding.
+    fn verify_full(
+        &self,
+        full: &FullDistanceProof,
+        signed_root: &crate::ads::SignedRoot,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        if !signed_root.verify(&self.public_key) {
+            return Err(VerifyError::BadSignature);
+        }
+        full.verify(vs, vt, &signed_root.root)
+    }
+
+    /// Checks the reported path against the authenticated tuples and
+    /// the proven optimum.
+    fn verify_path(
+        &self,
+        tuples: &HashMap<NodeId, &ExtendedTuple>,
+        vs: NodeId,
+        vt: NodeId,
+        answer: &Answer,
+        proven: f64,
+    ) -> Result<(), VerifyError> {
+        let path = &answer.path;
+        let got = (path.source(), path.target());
+        if got != (vs, vt) {
+            return Err(VerifyError::WrongEndpoints { expected: (vs, vt), got });
+        }
+        let mut sum = 0.0;
+        for w in path.nodes.windows(2) {
+            let t = tuples.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
+            let weight = t
+                .edge_to(w[1])
+                .ok_or(VerifyError::FakeEdge { from: w[0], to: w[1] })?;
+            sum += weight;
+        }
+        if !close(sum, path.distance) {
+            return Err(VerifyError::InconsistentPathDistance {
+                claimed: path.distance,
+                recomputed: sum,
+            });
+        }
+        if !close(sum, proven) {
+            return Err(VerifyError::NotShortest { reported: sum, proven });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{LdmConfig, MethodConfig};
+    use crate::owner::{DataOwner, SetupConfig};
+    use crate::provider::ServiceProvider;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::gen::grid_network;
+
+    fn end_to_end(method: MethodConfig, queries: &[(u32, u32)]) {
+        let g = grid_network(9, 9, 1.15, 900);
+        let mut rng = StdRng::seed_from_u64(901);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        let provider = ServiceProvider::new(p.package);
+        let client = Client::new(p.public_key);
+        for &(s, t) in queries {
+            let (s, t) = (NodeId(s), NodeId(t));
+            let answer = provider.answer(s, t).unwrap();
+            let v = client
+                .verify(s, t, &answer)
+                .unwrap_or_else(|e| panic!("{}: ({s},{t}) rejected: {e}", method.name()));
+            assert!(
+                close(v.distance, answer.path.distance),
+                "{}: distance mismatch",
+                method.name()
+            );
+        }
+    }
+
+    const QUERIES: [(u32, u32); 5] = [(0, 80), (4, 76), (40, 41), (80, 0), (9, 71)];
+
+    #[test]
+    fn dij_end_to_end() {
+        end_to_end(MethodConfig::Dij, &QUERIES);
+    }
+
+    #[test]
+    fn full_end_to_end() {
+        end_to_end(MethodConfig::Full { use_floyd_warshall: false }, &QUERIES);
+    }
+
+    #[test]
+    fn ldm_end_to_end() {
+        end_to_end(
+            MethodConfig::Ldm(LdmConfig { landmarks: 8, ..LdmConfig::default() }),
+            &QUERIES,
+        );
+    }
+
+    #[test]
+    fn hyp_end_to_end() {
+        end_to_end(MethodConfig::Hyp { cells: 9 }, &QUERIES);
+    }
+
+    #[test]
+    fn wrong_owner_key_rejected() {
+        let g = grid_network(6, 6, 1.15, 902);
+        let mut rng = StdRng::seed_from_u64(903);
+        let p = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
+        let provider = ServiceProvider::new(p.package);
+        let answer = provider.answer(NodeId(0), NodeId(35)).unwrap();
+        // A client trusting a different owner.
+        let mut rng2 = StdRng::seed_from_u64(904);
+        let other = spnet_crypto::rsa::RsaKeyPair::generate(&mut rng2, 256);
+        let client = Client::new(other.public_key().clone());
+        assert_eq!(
+            client.verify(NodeId(0), NodeId(35), &answer),
+            Err(VerifyError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_query_pair_rejected() {
+        let g = grid_network(6, 6, 1.15, 905);
+        let mut rng = StdRng::seed_from_u64(906);
+        let p = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
+        let provider = ServiceProvider::new(p.package);
+        let client = Client::new(p.public_key);
+        let answer = provider.answer(NodeId(0), NodeId(35)).unwrap();
+        // Replaying the answer for a different query.
+        let err = client.verify(NodeId(0), NodeId(34), &answer);
+        assert!(err.is_err());
+    }
+}

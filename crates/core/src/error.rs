@@ -1,0 +1,127 @@
+//! Verification failure taxonomy.
+
+use spnet_graph::NodeId;
+
+/// Why a client rejected an answer.
+///
+/// Each variant corresponds to a distinct attack or malfunction the
+/// protocol must detect; the tamper test-suite exercises all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A signed ADS root failed RSA verification.
+    BadSignature,
+    /// Reconstructed Merkle root does not match the signed root.
+    RootMismatch,
+    /// The Merkle proof was structurally invalid (missing/extra
+    /// digests).
+    MalformedIntegrityProof(String),
+    /// The reported path's endpoints differ from the query.
+    WrongEndpoints { expected: (NodeId, NodeId), got: (NodeId, NodeId) },
+    /// A consecutive pair on the reported path is not an edge of any
+    /// authenticated tuple.
+    FakeEdge { from: NodeId, to: NodeId },
+    /// The reported path's summed weight differs from its claimed
+    /// distance.
+    InconsistentPathDistance { claimed: f64, recomputed: f64 },
+    /// The shortest-path proof's recomputed optimal distance differs
+    /// from the reported path distance — the path is not shortest (or
+    /// the proof subgraph was padded/trimmed).
+    NotShortest { reported: f64, proven: f64 },
+    /// The verification search needed a tuple absent from ΓS
+    /// (Section IV-A's validity check).
+    MissingTuple(NodeId),
+    /// A tuple's id is inconsistent with where the proof placed it.
+    TupleIdMismatch { expected: NodeId, got: NodeId },
+    /// A required materialized distance key is absent (FULL / HYP).
+    MissingDistanceKey { a: NodeId, b: NodeId },
+    /// A proof part the method requires was not supplied.
+    MissingProofPart(&'static str),
+    /// HYP: a supplied cell tuple's same-cell neighbor is missing —
+    /// the in-cell closure is incomplete.
+    IncompleteCell { node: NodeId, missing: NodeId },
+    /// HYP: the source/target node's tuple is missing from the coarse
+    /// proof.
+    MissingEndpointTuple(NodeId),
+    /// HYP: target unreachable through the supplied coarse graph.
+    CoarseUnreachable,
+    /// LDM: a referenced representative's full vector is missing.
+    MissingReference { node: NodeId, theta: NodeId },
+    /// LDM: a tuple carries no landmark payload although the method
+    /// requires one.
+    MissingPsi(NodeId),
+    /// The search on the proof subgraph never reached the target.
+    TargetUnreachable,
+    /// Signed metadata is inconsistent with the proof contents.
+    MetaMismatch(&'static str),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadSignature => write!(f, "owner signature invalid"),
+            VerifyError::RootMismatch => write!(f, "merkle root mismatch"),
+            VerifyError::MalformedIntegrityProof(m) => write!(f, "malformed integrity proof: {m}"),
+            VerifyError::WrongEndpoints { expected, got } => write!(
+                f,
+                "endpoints ({}, {}) do not match query ({}, {})",
+                got.0, got.1, expected.0, expected.1
+            ),
+            VerifyError::FakeEdge { from, to } => write!(f, "path uses non-edge ({from}, {to})"),
+            VerifyError::InconsistentPathDistance { claimed, recomputed } => {
+                write!(f, "path distance {claimed} ≠ recomputed {recomputed}")
+            }
+            VerifyError::NotShortest { reported, proven } => {
+                write!(f, "reported distance {reported} but proof shows optimum {proven}")
+            }
+            VerifyError::MissingTuple(v) => write!(f, "proof misses required tuple Φ({v})"),
+            VerifyError::TupleIdMismatch { expected, got } => {
+                write!(f, "tuple id {got} where {expected} expected")
+            }
+            VerifyError::MissingDistanceKey { a, b } => {
+                write!(f, "materialized distance for ({a}, {b}) missing")
+            }
+            VerifyError::MissingProofPart(p) => write!(f, "missing proof part: {p}"),
+            VerifyError::IncompleteCell { node, missing } => {
+                write!(f, "cell closure incomplete: {node} lists in-cell neighbor {missing}")
+            }
+            VerifyError::MissingEndpointTuple(v) => {
+                write!(f, "coarse proof misses endpoint tuple Φ({v})")
+            }
+            VerifyError::CoarseUnreachable => write!(f, "target unreachable via coarse graph"),
+            VerifyError::MissingReference { node, theta } => {
+                write!(f, "reference vector of {theta} (for {node}) missing")
+            }
+            VerifyError::MissingPsi(v) => write!(f, "tuple Φ({v}) lacks landmark payload"),
+            VerifyError::TargetUnreachable => write!(f, "target not reached on proof subgraph"),
+            VerifyError::MetaMismatch(m) => write!(f, "signed metadata mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Errors on the service-provider side (answering, not verifying).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProviderError {
+    /// No path exists between the queried nodes.
+    Unreachable { source: NodeId, target: NodeId },
+    /// The query referenced an unknown node.
+    UnknownNode(NodeId),
+    /// Internal proof assembly failed (indicates a bug, kept explicit
+    /// instead of panicking so harnesses can report it).
+    ProofAssembly(String),
+}
+
+impl std::fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProviderError::Unreachable { source, target } => {
+                write!(f, "{target} unreachable from {source}")
+            }
+            ProviderError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            ProviderError::ProofAssembly(m) => write!(f, "proof assembly failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}

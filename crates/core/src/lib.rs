@@ -1,0 +1,70 @@
+//! Authenticated shortest-path verification — the core library.
+//!
+//! This crate implements the contribution of *Efficient Verification of
+//! Shortest Path Search via Authenticated Hints* (Yiu, Lin, Mouratidis,
+//! ICDE 2010): a three-party protocol in which a **data owner** signs
+//! authenticated data structures over a road network, a **service
+//! provider** answers shortest-path queries with proofs, and a
+//! **client** verifies that each reported path (i) exists untampered in
+//! the owner's graph and (ii) is genuinely the shortest.
+//!
+//! # The four verification methods
+//!
+//! | method | hints | ΓS | trade-off |
+//! |--------|-------|----|-----------|
+//! | [`methods::dij`]  | none | Dijkstra-ball subgraph (Lemma 1) | zero construction, huge proofs |
+//! | [`methods::full`] | all-pairs distances | Merkle B-tree lookup | tiny proofs, O(V³)/O(V²) construction |
+//! | [`methods::ldm`]  | quantized+compressed landmark vectors | A\* cone subgraph (Lemma 2) | small proofs, moderate construction |
+//! | [`methods::hyp`]  | HiTi hyper-graph border distances | coarse subgraph + distance proof | small proofs, moderate construction |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spnet_core::prelude::*;
+//! use spnet_graph::gen::grid_network;
+//! use spnet_graph::NodeId;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // The data owner publishes an authenticated package.
+//! let graph = grid_network(8, 8, 1.1, 7);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let cfg = SetupConfig::default();
+//! let published = DataOwner::publish(&graph, &MethodConfig::Dij, &cfg, &mut rng);
+//!
+//! // The provider answers a query with a proof.
+//! let provider = ServiceProvider::new(published.package);
+//! let answer = provider.answer(NodeId(0), NodeId(63)).unwrap();
+//!
+//! // The client verifies it against the owner's public key alone.
+//! let client = Client::new(published.public_key);
+//! let verified = client.verify(NodeId(0), NodeId(63), &answer).unwrap();
+//! assert!((verified.distance - answer.path.distance).abs() < 1e-6);
+//! ```
+
+pub mod ads;
+pub mod batch;
+pub mod chain;
+pub mod client;
+pub mod enc;
+pub mod error;
+pub mod methods;
+pub mod owner;
+pub mod proof;
+pub mod provider;
+pub mod tamper;
+pub mod tuple;
+pub mod update;
+pub mod wire;
+
+/// Convenient re-exports for typical use.
+pub mod prelude {
+    pub use crate::client::{Client, Verified};
+    pub use crate::error::VerifyError;
+    pub use crate::methods::{LdmConfig, MethodConfig};
+    pub use crate::owner::{DataOwner, Published, SetupConfig};
+    pub use crate::proof::{Answer, ProofStats};
+    pub use crate::provider::ServiceProvider;
+}
+
+pub use prelude::*;

@@ -1,0 +1,496 @@
+//! HYP — hyper-graph verification (Section V-B).
+//!
+//! The owner partitions the network into a grid of `p` cells, marks
+//! border nodes, and materializes a hyper-edge weight
+//! `W*(b, b′) = dist(b, b′)` for **every pair of border nodes**
+//! (the paper's footnote 1) in a signed Merkle B-tree. A signed *cell
+//! directory* (cell id → population count) additionally lets the client
+//! check it received the complete source and target cells — without
+//! it, a malicious provider could silently drop border nodes and
+//! inflate the verified optimum.
+//!
+//! The provider ships (coarse proof) all tuples of the source and
+//! target cells plus the hyper-edges between their border sets, and
+//! (fine proof) the tuples of reported-path nodes in intermediate
+//! cells. The client:
+//!
+//! 1. authenticates everything against the signed roots,
+//! 2. runs in-cell Dijkstra from `vs` and `vt`,
+//! 3. combines `dist_in(vs,b) + W*(b,b′) + dist_in(b′,vt)` over all
+//!    border pairs (Theorem 2) to obtain the exact optimum,
+//! 4. checks the reported path's length equals that optimum.
+
+use crate::ads::{AdsMeta, AdsTag, SignedRoot};
+use crate::error::VerifyError;
+use crate::tuple::ExtendedTuple;
+use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MerkleBTree};
+use spnet_crypto::rsa::RsaKeyPair;
+use spnet_graph::algo::dijkstra_sssp;
+use spnet_graph::ofloat::OrderedF64;
+use spnet_graph::partition::GridPartition;
+use spnet_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// The owner-side HYP hints.
+#[derive(Debug, Clone)]
+pub struct HypHints {
+    /// The grid partition (cell ids and border flags also live inside
+    /// the authenticated tuples).
+    pub partition: GridPartition,
+    /// Hyper-edge weights for all border pairs, keyed by the normalized
+    /// composite `(min, max)`.
+    pub hyper_tree: Option<MerkleBTree>,
+    /// Cell directory: cell id → node count.
+    pub cell_dir: MerkleBTree,
+    /// Construction wall-clock seconds (border Dijkstras + tree
+    /// hashing) for Figure 13b.
+    pub build_seconds: f64,
+}
+
+/// Normalized hyper-edge key for an unordered border pair.
+pub fn hyper_key(a: NodeId, b: NodeId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    composite_key(lo, hi)
+}
+
+impl HypHints {
+    /// Runs the owner-side construction: partition, border Dijkstras,
+    /// hyper-edge tree, cell directory.
+    pub fn build(g: &Graph, cells: usize, fanout: usize) -> Self {
+        let start = std::time::Instant::now();
+        let partition = GridPartition::with_cells(g, cells);
+        let borders = partition.all_borders();
+        let mut entries: Vec<KeyedEntry> = Vec::new();
+        for (i, &b) in borders.iter().enumerate() {
+            let sssp = dijkstra_sssp(g, b);
+            for &b2 in &borders[i + 1..] {
+                entries.push(KeyedEntry {
+                    key: hyper_key(b, b2),
+                    value: sssp.dist[b2.index()],
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.key);
+        let hyper_tree = if entries.is_empty() {
+            None
+        } else {
+            Some(MerkleBTree::build(entries, fanout).expect("sorted entries"))
+        };
+        let dir_entries: Vec<KeyedEntry> = (0..partition.num_cells() as u32)
+            .map(|c| KeyedEntry {
+                key: c as u64,
+                value: partition.cell_members(c).len() as f64,
+            })
+            .collect();
+        let cell_dir = MerkleBTree::build(dir_entries, fanout).expect("cells exist");
+        HypHints {
+            partition,
+            hyper_tree,
+            cell_dir,
+            build_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Signs the hyper-edge tree root (ZERO digest if no borders — the
+    /// signature still binds that fact).
+    pub fn sign_hyper(&self, keypair: &RsaKeyPair, fanout: u32) -> SignedRoot {
+        let (root, leaves) = match &self.hyper_tree {
+            Some(t) => (t.root(), t.len() as u64),
+            None => (spnet_crypto::digest::Digest::ZERO, 0),
+        };
+        SignedRoot::sign(
+            keypair,
+            root,
+            AdsMeta {
+                tag: AdsTag::HyperEdges,
+                leaf_count: leaves,
+                fanout,
+                params: Vec::new(),
+            },
+        )
+    }
+
+    /// Signs the cell-directory root.
+    pub fn sign_cell_dir(&self, keypair: &RsaKeyPair, fanout: u32) -> SignedRoot {
+        SignedRoot::sign(
+            keypair,
+            self.cell_dir.root(),
+            AdsMeta {
+                tag: AdsTag::CellDirectory,
+                leaf_count: self.cell_dir.len() as u64,
+                fanout,
+                params: Vec::new(),
+            },
+        )
+    }
+
+    /// Provider side: the coarse node set — all nodes of the source and
+    /// target cells.
+    pub fn coarse_nodes(&self, vs: NodeId, vt: NodeId) -> Vec<NodeId> {
+        let cs = self.partition.cell_of(vs);
+        let ct = self.partition.cell_of(vt);
+        let mut nodes: Vec<NodeId> = self.partition.cell_members(cs).to_vec();
+        if ct != cs {
+            nodes.extend_from_slice(self.partition.cell_members(ct));
+        }
+        nodes.sort();
+        nodes
+    }
+
+    /// Provider side: the hyper-edge keys the proof must carry — every
+    /// pair between the source-cell border set and the target-cell
+    /// border set (all pairs within the cell when `cs == ct`).
+    pub fn hyper_keys(&self, vs: NodeId, vt: NodeId) -> Vec<u64> {
+        let cs = self.partition.cell_of(vs);
+        let ct = self.partition.cell_of(vt);
+        let bs = self.partition.cell_borders(cs);
+        let bt = self.partition.cell_borders(ct);
+        let mut keys: HashSet<u64> = HashSet::new();
+        for &a in &bs {
+            for &b in &bt {
+                if a != b {
+                    keys.insert(hyper_key(a, b));
+                }
+            }
+        }
+        let mut out: Vec<u64> = keys.into_iter().collect();
+        out.sort();
+        out
+    }
+}
+
+/// Client side: verifies the HYP ΓS and returns the proven optimum.
+///
+/// `tuples` must already be integrity-verified; `hyper` and `cell_dir`
+/// must already be root/signature-verified by the caller.
+pub fn verify_hyp(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    hyper: &KeyedProof,
+    cell_dir: &KeyedProof,
+    vs: NodeId,
+    vt: NodeId,
+) -> Result<f64, VerifyError> {
+    if vs == vt {
+        return Ok(0.0);
+    }
+    let ts = tuples.get(&vs).ok_or(VerifyError::MissingEndpointTuple(vs))?;
+    let tt = tuples.get(&vt).ok_or(VerifyError::MissingEndpointTuple(vt))?;
+    let cs = ts.cell.ok_or(VerifyError::MetaMismatch("source tuple lacks cell info"))?.cell;
+    let ct = tt.cell.ok_or(VerifyError::MetaMismatch("target tuple lacks cell info"))?.cell;
+
+    // Completeness of the coarse proof: the signed directory tells the
+    // client how many nodes each cell must contain.
+    for cell in if cs == ct { vec![cs] } else { vec![cs, ct] } {
+        let expected = cell_dir
+            .value_for(cell as u64)
+            .ok_or(VerifyError::MissingProofPart("cell directory entry"))? as usize;
+        let got = tuples
+            .values()
+            .filter(|t| t.cell.is_some_and(|ci| ci.cell == cell))
+            .count();
+        if got < expected {
+            return Err(VerifyError::MetaMismatch("incomplete cell in coarse proof"));
+        }
+    }
+
+    // In-cell Dijkstras from both endpoints.
+    let din_s = in_cell_dijkstra(tuples, vs, cs)?;
+    let din_t = in_cell_dijkstra(tuples, vt, ct)?;
+
+    // Border sets, from authenticated flags, restricted to in-cell
+    // reachable nodes (unreachable borders cannot host the first/last
+    // crossing of the optimum).
+    let bs: Vec<NodeId> = reachable_borders(tuples, &din_s, cs);
+    let bt: Vec<NodeId> = reachable_borders(tuples, &din_t, ct);
+
+    let mut best = f64::INFINITY;
+    if cs == ct {
+        if let Some(&d) = din_s.get(&vt) {
+            best = d;
+        }
+    }
+    for &b1 in &bs {
+        for &b2 in &bt {
+            if b1 == b2 {
+                continue;
+            }
+            let w = hyper
+                .value_for(hyper_key(b1, b2))
+                .ok_or(VerifyError::MissingDistanceKey { a: b1, b: b2 })?;
+            let cand = din_s[&b1] + w + din_t[&b2];
+            if cand < best {
+                best = cand;
+            }
+        }
+    }
+    if best.is_infinite() {
+        return Err(VerifyError::CoarseUnreachable);
+    }
+    Ok(best)
+}
+
+/// Dijkstra restricted to edges between nodes of `cell`, over the proof
+/// tuples. Every same-cell neighbor of a reached node must be present
+/// (guaranteed when the full cell shipped; enforced via the directory
+/// count by the caller — missing tuples here are still an error).
+fn in_cell_dijkstra(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    source: NodeId,
+    cell: u32,
+) -> Result<HashMap<NodeId, f64>, VerifyError> {
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut done: HashSet<NodeId> = HashSet::new();
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(Reverse((OrderedF64::new(0.0), source.0)));
+    while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
+        let v = NodeId(v);
+        if !done.insert(v) {
+            continue;
+        }
+        let t = tuples.get(&v).ok_or(VerifyError::MissingTuple(v))?;
+        for &(u, w) in &t.adj {
+            // Only expand along in-cell edges; the neighbor's cell is
+            // read from its own authenticated tuple.
+            let Some(tu) = tuples.get(&u) else { continue };
+            let Some(ci) = tu.cell else { continue };
+            if ci.cell != cell || done.contains(&u) {
+                continue;
+            }
+            let nd = d + w;
+            if nd < *dist.get(&u).unwrap_or(&f64::INFINITY) {
+                dist.insert(u, nd);
+                heap.push(Reverse((OrderedF64::new(nd), u.0)));
+            }
+        }
+    }
+    Ok(dist)
+}
+
+fn reachable_borders(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    din: &HashMap<NodeId, f64>,
+    cell: u32,
+) -> Vec<NodeId> {
+    din.keys()
+        .filter(|v| {
+            tuples
+                .get(v)
+                .and_then(|t| t.cell)
+                .is_some_and(|ci| ci.cell == cell && ci.is_border)
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnet_graph::algo::dijkstra_path;
+    use spnet_graph::gen::grid_network;
+
+    fn setup(seed: u64, cells: usize) -> (Graph, HypHints) {
+        let g = grid_network(12, 12, 1.2, seed);
+        let hints = HypHints::build(&g, cells, 4);
+        (g, hints)
+    }
+
+    fn proof_parts(
+        g: &Graph,
+        hints: &HypHints,
+        vs: NodeId,
+        vt: NodeId,
+        path_nodes: &[NodeId],
+    ) -> (Vec<ExtendedTuple>, KeyedProof, KeyedProof) {
+        let coarse = hints.coarse_nodes(vs, vt);
+        let mut nodes: Vec<NodeId> = coarse.clone();
+        for &v in path_nodes {
+            if !nodes.contains(&v) {
+                nodes.push(v);
+            }
+        }
+        let tuples: Vec<ExtendedTuple> = nodes
+            .iter()
+            .map(|&v| ExtendedTuple::with_cell(g, v, &hints.partition))
+            .collect();
+        let keys = hints.hyper_keys(vs, vt);
+        let hyper = match &hints.hyper_tree {
+            Some(t) => t.prove_keys(&keys).unwrap(),
+            None => panic!("test graphs always have borders"),
+        };
+        let cs = hints.partition.cell_of(vs);
+        let ct = hints.partition.cell_of(vt);
+        let mut dir_keys = vec![cs as u64];
+        if ct != cs {
+            dir_keys.push(ct as u64);
+        }
+        dir_keys.sort();
+        let cell_dir = hints.cell_dir.prove_keys(&dir_keys).unwrap();
+        (tuples, hyper, cell_dir)
+    }
+
+    fn as_map(tuples: &[ExtendedTuple]) -> HashMap<NodeId, &ExtendedTuple> {
+        tuples.iter().map(|t| (t.id, t)).collect()
+    }
+
+    #[test]
+    fn client_recovers_exact_distance_cross_cell() {
+        let (g, hints) = setup(600, 9);
+        for (s, t) in [(0u32, 143u32), (3, 140), (130, 10)] {
+            let (s, t) = (NodeId(s), NodeId(t));
+            let p = dijkstra_path(&g, s, t).unwrap();
+            let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+            let got = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t).unwrap();
+            assert!(
+                (got - p.distance).abs() <= 1e-9 * p.distance.max(1.0),
+                "({s},{t}): got {got}, want {}",
+                p.distance
+            );
+        }
+    }
+
+    #[test]
+    fn client_recovers_exact_distance_same_cell() {
+        let (g, hints) = setup(601, 4);
+        // Find two nodes in the same cell.
+        let part = &hints.partition;
+        let cell0 = (0..part.num_cells() as u32)
+            .find(|&c| part.cell_members(c).len() >= 2)
+            .unwrap();
+        let ms = part.cell_members(cell0);
+        let (s, t) = (ms[0], ms[ms.len() - 1]);
+        let p = dijkstra_path(&g, s, t).unwrap();
+        let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+        let got = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t).unwrap();
+        assert!((got - p.distance).abs() <= 1e-9 * p.distance.max(1.0));
+    }
+
+    #[test]
+    fn hyper_edges_are_exact_distances() {
+        let (g, hints) = setup(602, 9);
+        let borders = hints.partition.all_borders();
+        let tree = hints.hyper_tree.as_ref().unwrap();
+        for (i, &b1) in borders.iter().enumerate().take(5) {
+            for &b2 in borders.iter().skip(i + 1).take(5) {
+                let w = tree.get(hyper_key(b1, b2)).unwrap();
+                let d = dijkstra_path(&g, b1, b2).unwrap().distance;
+                assert!((w - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_border_detected_via_directory() {
+        // The attack the cell directory exists for: omit a border node
+        // of the source cell.
+        let (g, hints) = setup(603, 9);
+        let (s, t) = (NodeId(0), NodeId(143));
+        let p = dijkstra_path(&g, s, t).unwrap();
+        let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+        let cs = hints.partition.cell_of(s);
+        let victim = hints.partition.cell_borders(cs)[0];
+        let reduced: Vec<ExtendedTuple> =
+            tuples.into_iter().filter(|t_| t_.id != victim).collect();
+        let err = verify_hyp(&as_map(&reduced), &hyper, &dir, s, t);
+        assert!(err.is_err(), "incomplete cell must be rejected");
+    }
+
+    #[test]
+    fn missing_hyper_edge_detected() {
+        let (g, hints) = setup(604, 9);
+        let (s, t) = (NodeId(0), NodeId(143));
+        let p = dijkstra_path(&g, s, t).unwrap();
+        let (tuples, mut hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+        // Drop one hyper entry (provider hides a candidate crossing).
+        hyper.entries.remove(0);
+        hyper.positions.remove(0);
+        let err = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t);
+        assert!(matches!(err, Err(VerifyError::MissingDistanceKey { .. })));
+    }
+
+    #[test]
+    fn missing_endpoint_detected() {
+        let (g, hints) = setup(605, 9);
+        let (s, t) = (NodeId(0), NodeId(143));
+        let p = dijkstra_path(&g, s, t).unwrap();
+        let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+        let reduced: Vec<ExtendedTuple> = tuples.into_iter().filter(|t_| t_.id != s).collect();
+        let err = verify_hyp(&as_map(&reduced), &hyper, &dir, s, t);
+        assert_eq!(err, Err(VerifyError::MissingEndpointTuple(s)));
+    }
+
+    #[test]
+    fn trivial_query() {
+        let (_, _hints) = setup(606, 4);
+        let map = HashMap::new();
+        let hyper = KeyedProof {
+            entries: vec![],
+            positions: vec![],
+            merkle: spnet_crypto::merkle::MerkleProof {
+                entries: vec![],
+                leaf_count: 1,
+                fanout: 2,
+            },
+        };
+        let dir = hyper.clone();
+        assert_eq!(verify_hyp(&map, &hyper, &dir, NodeId(3), NodeId(3)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn same_cell_query_that_must_exit_the_cell() {
+        // The optimum between two same-cell nodes can leave the cell:
+        // A—B costs 100 directly, but A—C—B (through the other cell)
+        // costs 2. Theorem 2's border-pair combination must find it.
+        use spnet_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0, 1.0);
+        let b_ = b.add_node(2.0, 1.0);
+        let c = b.add_node(9.0, 1.0);
+        b.add_edge(a, b_, 100.0).unwrap();
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, b_, 1.0).unwrap();
+        let g = b.build();
+        let hints = HypHints::build(&g, 4, 2);
+        assert_eq!(hints.partition.cell_of(a), hints.partition.cell_of(b_));
+        assert_ne!(hints.partition.cell_of(a), hints.partition.cell_of(c));
+        let p = dijkstra_path(&g, a, b_).unwrap();
+        assert_eq!(p.distance, 2.0, "optimum goes through the other cell");
+        let (tuples, hyper, dir) = proof_parts(&g, &hints, a, b_, &p.nodes);
+        let got = verify_hyp(&as_map(&tuples), &hyper, &dir, a, b_).unwrap();
+        assert_eq!(got, 2.0);
+    }
+
+    #[test]
+    fn endpoint_on_border_works() {
+        // A query whose source IS a border node: the prefix is trivial.
+        let (g, hints) = setup(609, 9);
+        let borders = hints.partition.all_borders();
+        let s = borders[0];
+        let t = borders[borders.len() - 1];
+        if hints.partition.cell_of(s) == hints.partition.cell_of(t) {
+            return; // want a cross-cell query on this seed
+        }
+        let p = dijkstra_path(&g, s, t).unwrap();
+        let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+        let got = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t).unwrap();
+        assert!((got - p.distance).abs() <= 1e-9 * p.distance.max(1.0));
+    }
+
+    #[test]
+    fn more_cells_fewer_coarse_nodes() {
+        // Figure 13a's mechanism: more cells ⇒ smaller cells ⇒ smaller
+        // coarse proof.
+        let g = grid_network(16, 16, 1.15, 607);
+        let few = HypHints::build(&g, 4, 4);
+        let many = HypHints::build(&g, 64, 4);
+        let (s, t) = (NodeId(0), NodeId(255));
+        assert!(many.coarse_nodes(s, t).len() < few.coarse_nodes(s, t).len());
+    }
+
+    #[test]
+    fn build_seconds_recorded() {
+        let (_, hints) = setup(608, 9);
+        assert!(hints.build_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! LDM — landmark-based verification (Section V-A).
+//!
+//! The owner selects `c` landmarks, computes distance vectors,
+//! quantizes them to `b` bits (Eq. 5) and compresses them with
+//! threshold ξ; the payload is embedded in every extended tuple
+//! (Eq. 4). The provider ships the A\* search cone of Lemma 2 (plus
+//! neighbors and referenced representatives); the client re-runs A\*
+//! with the compressed lower bound (Lemmas 3–4) and checks the optimum.
+
+use crate::error::VerifyError;
+use crate::methods::LdmConfig;
+use crate::tuple::{ExtendedTuple, PsiPayload};
+use spnet_graph::algo::dijkstra_ball;
+use spnet_graph::landmark::{
+    select_landmarks, CompressedVectors, LandmarkVectors, NodePsi, QuantizedVectors,
+};
+use spnet_graph::ofloat::OrderedF64;
+use spnet_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet, HashMap};
+
+/// The owner-side LDM hints: compressed quantized landmark vectors.
+#[derive(Debug, Clone)]
+pub struct LdmHints {
+    /// The compressed vectors (embedded into tuples at ADS build).
+    pub vectors: CompressedVectors,
+    /// Construction wall-clock seconds (landmark Dijkstras +
+    /// quantization + compression) for Figure 12b.
+    pub build_seconds: f64,
+}
+
+impl LdmHints {
+    /// Runs the owner-side hint construction.
+    pub fn build(g: &Graph, cfg: &LdmConfig, seed: u64) -> Self {
+        let start = std::time::Instant::now();
+        let lms = select_landmarks(g, cfg.landmarks.min(g.num_nodes()), cfg.strategy, seed);
+        let exact = LandmarkVectors::compute(g, &lms);
+        let qv = QuantizedVectors::quantize(&exact, cfg.bits);
+        let vectors = CompressedVectors::build(g, &qv, cfg.xi, cfg.compression);
+        LdmHints {
+            vectors,
+            build_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The quantization step λ (public parameter signed into the ADS
+    /// meta).
+    pub fn lambda(&self) -> f64 {
+        self.vectors.lambda()
+    }
+}
+
+/// Provider side: the Lemma 2 node set —
+/// core nodes `{v | dist(vs,v) + distLB(v,vt) ≤ dist(vs,vt)}`, their
+/// neighbors, and the representatives (θ) referenced by any included
+/// node.
+pub fn gamma_nodes(
+    g: &Graph,
+    hints: &LdmHints,
+    source: NodeId,
+    target: NodeId,
+    sp_dist: f64,
+) -> Vec<NodeId> {
+    let slack = sp_dist * (1.0 + super::dij::RADIUS_SLACK);
+    let ball = dijkstra_ball(g, source, slack);
+    let cv = &hints.vectors;
+    let mut gamma: BTreeSet<NodeId> = BTreeSet::new();
+    for v in g.nodes() {
+        let d = ball.dist[v.index()];
+        if d.is_finite() && d + cv.lower_bound(v, target) <= slack {
+            gamma.insert(v);
+            for (u, _) in g.neighbors(v) {
+                gamma.insert(u);
+            }
+        }
+    }
+    gamma.insert(source);
+    gamma.insert(target);
+    // θ closure: every compressed node's representative must ship too.
+    let snapshot: Vec<NodeId> = gamma.iter().copied().collect();
+    for v in snapshot {
+        if let NodePsi::Compressed { theta, .. } = cv.node_psi(v) {
+            gamma.insert(*theta);
+        }
+    }
+    gamma.into_iter().collect()
+}
+
+/// Client side: A\* over the proof subgraph with the compressed
+/// landmark lower bound. Re-opens nodes (the compressed bound is
+/// admissible but not consistent), so the first pop of the target is
+/// provably optimal.
+pub fn verify_subgraph_astar(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    source: NodeId,
+    target: NodeId,
+    lambda: f64,
+) -> Result<f64, VerifyError> {
+    if source == target {
+        return Ok(0.0);
+    }
+    // Resolve the target's (θ, ε) once.
+    let (qt, et) = resolve_psi(tuples, target)?;
+    let lb = |v: NodeId| -> Result<f64, VerifyError> {
+        let (qv, ev) = resolve_psi(tuples, v)?;
+        let loose = spnet_graph::landmark::quantize::loose_lb_from_indices(qv, qt, lambda);
+        Ok((loose - ev - et).max(0.0))
+    };
+    let mut gscore: HashMap<NodeId, f64> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
+    gscore.insert(source, 0.0);
+    heap.push(Reverse((OrderedF64::new(lb(source)?), source.0)));
+    while let Some(Reverse((OrderedF64(f), v))) = heap.pop() {
+        let v = NodeId(v);
+        let g_v = *gscore.get(&v).unwrap_or(&f64::INFINITY);
+        // Stale check: the entry's f corresponds to an older, larger g.
+        let lb_v = lb(v)?;
+        if f > g_v + lb_v + 1e-12 * (1.0 + g_v.abs()) {
+            continue;
+        }
+        if v == target {
+            return Ok(g_v);
+        }
+        let Some(t) = tuples.get(&v) else {
+            return Err(VerifyError::MissingTuple(v));
+        };
+        for &(u, w) in &t.adj {
+            let nd = g_v + w;
+            if nd < *gscore.get(&u).unwrap_or(&f64::INFINITY) {
+                gscore.insert(u, nd);
+                let lb_u = lb(u)?;
+                heap.push(Reverse((OrderedF64::new(nd + lb_u), u.0)));
+            }
+        }
+    }
+    Err(VerifyError::TargetUnreachable)
+}
+
+/// Resolves a node's quantized index vector and compression error from
+/// the proof tuples: `(θ's full vector, ε)`.
+fn resolve_psi<'a>(
+    tuples: &'a HashMap<NodeId, &ExtendedTuple>,
+    v: NodeId,
+) -> Result<(&'a [u32], f64), VerifyError> {
+    let t = tuples.get(&v).ok_or(VerifyError::MissingTuple(v))?;
+    match &t.psi {
+        None => Err(VerifyError::MissingPsi(v)),
+        Some(PsiPayload::Full { q, .. }) => Ok((q, 0.0)),
+        Some(PsiPayload::Ref { theta, eps }) => {
+            let rt = tuples
+                .get(theta)
+                .ok_or(VerifyError::MissingReference { node: v, theta: *theta })?;
+            match &rt.psi {
+                Some(PsiPayload::Full { q, .. }) => Ok((q, *eps)),
+                _ => Err(VerifyError::MissingReference { node: v, theta: *theta }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnet_graph::algo::dijkstra_path;
+    use spnet_graph::gen::grid_network;
+    use spnet_graph::landmark::{CompressionStrategy, LandmarkStrategy};
+
+    fn setup(seed: u64) -> (Graph, LdmHints) {
+        let g = grid_network(10, 10, 1.15, seed);
+        let cfg = LdmConfig {
+            landmarks: 8,
+            bits: 10,
+            xi: 300.0,
+            strategy: LandmarkStrategy::Farthest,
+            compression: CompressionStrategy::HilbertSweep,
+        };
+        let hints = LdmHints::build(&g, &cfg, seed ^ 1);
+        (g, hints)
+    }
+
+    fn proof_tuples(g: &Graph, hints: &LdmHints, nodes: &[NodeId]) -> Vec<ExtendedTuple> {
+        nodes
+            .iter()
+            .map(|&v| ExtendedTuple::with_psi(g, v, &hints.vectors))
+            .collect()
+    }
+
+    fn as_map(tuples: &[ExtendedTuple]) -> HashMap<NodeId, &ExtendedTuple> {
+        tuples.iter().map(|t| (t.id, t)).collect()
+    }
+
+    #[test]
+    fn client_recovers_exact_distance() {
+        let (g, hints) = setup(500);
+        for (s, t) in [(0u32, 99u32), (9, 90), (45, 54), (99, 2)] {
+            let (s, t) = (NodeId(s), NodeId(t));
+            let d = dijkstra_path(&g, s, t).unwrap().distance;
+            let gamma = gamma_nodes(&g, &hints, s, t, d);
+            let tuples = proof_tuples(&g, &hints, &gamma);
+            let got = verify_subgraph_astar(&as_map(&tuples), s, t, hints.lambda()).unwrap();
+            assert!(
+                (got - d).abs() <= 1e-9 * d.max(1.0),
+                "({s},{t}): got {got}, want {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_not_larger_than_dij_ball() {
+        // The landmark bound prunes: LDM's cone ⊆ DIJ's ball ∪ fringe.
+        let (g, hints) = setup(501);
+        let (s, t) = (NodeId(0), NodeId(99));
+        let d = dijkstra_path(&g, s, t).unwrap().distance;
+        let ldm = gamma_nodes(&g, &hints, s, t, d);
+        let dij = super::super::dij::gamma_nodes(&g, s, d);
+        // Core pruning usually strict on a 100-node grid with 8
+        // landmarks; allow equality but verify it's not a superset by
+        // more than the neighbor/θ fringe.
+        assert!(ldm.len() <= dij.len() + g.num_nodes() / 4, "{} vs {}", ldm.len(), dij.len());
+    }
+
+    #[test]
+    fn missing_core_tuple_detected() {
+        let (g, hints) = setup(502);
+        let (s, t) = (NodeId(0), NodeId(99));
+        let d = dijkstra_path(&g, s, t).unwrap().distance;
+        let p = dijkstra_path(&g, s, t).unwrap();
+        let victim = p.nodes[p.nodes.len() / 2];
+        let gamma: Vec<NodeId> = gamma_nodes(&g, &hints, s, t, d)
+            .into_iter()
+            .filter(|&v| v != victim)
+            .collect();
+        let tuples = proof_tuples(&g, &hints, &gamma);
+        let err = verify_subgraph_astar(&as_map(&tuples), s, t, hints.lambda());
+        assert!(err.is_err(), "dropping a path node must invalidate");
+    }
+
+    #[test]
+    fn missing_reference_detected() {
+        let (g, hints) = setup(503);
+        let (s, t) = (NodeId(0), NodeId(99));
+        let d = dijkstra_path(&g, s, t).unwrap().distance;
+        let gamma = gamma_nodes(&g, &hints, s, t, d);
+        // Drop a representative that some compressed gamma node points
+        // to (if compression produced any).
+        let mut theta_of_someone = None;
+        for &v in &gamma {
+            if let NodePsi::Compressed { theta, .. } = hints.vectors.node_psi(v) {
+                theta_of_someone = Some(*theta);
+                break;
+            }
+        }
+        let Some(victim) = theta_of_someone else {
+            return; // nothing compressed on this seed — vacuous
+        };
+        let gamma: Vec<NodeId> = gamma.into_iter().filter(|&v| v != victim).collect();
+        let tuples = proof_tuples(&g, &hints, &gamma);
+        let err = verify_subgraph_astar(&as_map(&tuples), s, t, hints.lambda());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn missing_psi_detected() {
+        let (g, hints) = setup(504);
+        let (s, t) = (NodeId(0), NodeId(99));
+        let d = dijkstra_path(&g, s, t).unwrap().distance;
+        let gamma = gamma_nodes(&g, &hints, s, t, d);
+        // Strip the landmark payload from the target's tuple.
+        let mut tuples = proof_tuples(&g, &hints, &gamma);
+        for t_ in tuples.iter_mut() {
+            if t_.id == t {
+                t_.psi = None;
+            }
+        }
+        let err = verify_subgraph_astar(&as_map(&tuples), s, t, hints.lambda());
+        assert_eq!(err, Err(VerifyError::MissingPsi(t)));
+    }
+
+    #[test]
+    fn trivial_query() {
+        let (_, hints) = setup(505);
+        let map = HashMap::new();
+        assert_eq!(
+            verify_subgraph_astar(&map, NodeId(4), NodeId(4), hints.lambda()).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_xi_no_compression_still_works() {
+        let g = grid_network(8, 8, 1.2, 506);
+        let cfg = LdmConfig {
+            landmarks: 6,
+            bits: 12,
+            xi: -1.0, // nothing compresses (ϱ ≥ 0 > ξ)
+            strategy: LandmarkStrategy::Random,
+            compression: CompressionStrategy::HilbertSweep,
+        };
+        let hints = LdmHints::build(&g, &cfg, 507);
+        let (s, t) = (NodeId(0), NodeId(63));
+        let d = dijkstra_path(&g, s, t).unwrap().distance;
+        let gamma = gamma_nodes(&g, &hints, s, t, d);
+        let tuples = proof_tuples(&g, &hints, &gamma);
+        let got = verify_subgraph_astar(&as_map(&tuples), s, t, hints.lambda()).unwrap();
+        assert!((got - d).abs() <= 1e-9 * d.max(1.0));
+    }
+
+    #[test]
+    fn more_landmarks_smaller_gamma() {
+        // Figure 12a's mechanism: more landmarks ⇒ tighter bounds ⇒
+        // smaller cone.
+        let g = grid_network(14, 14, 1.15, 508);
+        let mk = |c: usize| {
+            LdmHints::build(
+                &g,
+                &LdmConfig {
+                    landmarks: c,
+                    bits: 14,
+                    xi: -1.0,
+                    strategy: LandmarkStrategy::Farthest,
+                    compression: CompressionStrategy::HilbertSweep,
+                },
+                509,
+            )
+        };
+        let (s, t) = (NodeId(0), NodeId(195));
+        let d = dijkstra_path(&g, s, t).unwrap().distance;
+        let few = gamma_nodes(&g, &mk(2), s, t, d).len();
+        let many = gamma_nodes(&g, &mk(24), s, t, d).len();
+        assert!(many <= few, "{many} > {few}");
+    }
+}

@@ -1,0 +1,195 @@
+//! The four verification methods: DIJ, FULL, LDM, HYP.
+//!
+//! Each method module provides the owner-side hint construction, the
+//! provider-side ΓS assembly, and the client-side ΓS verification. The
+//! method identity and its public parameters are bound into the signed
+//! network-root metadata so that a provider cannot silently downgrade
+//! or re-parameterize a method.
+
+pub mod dij;
+pub mod full;
+pub mod hyp;
+pub mod ldm;
+
+use crate::enc::{DecodeError, Decoder, Encoder};
+use spnet_graph::landmark::{CompressionStrategy, LandmarkStrategy};
+
+/// Method selection plus owner-side tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodConfig {
+    /// Dijkstra subgraph verification: no pre-computation (Section IV-A).
+    Dij,
+    /// Fully materialized distances (Section IV-B).
+    Full {
+        /// Use the O(|V|³) Floyd–Warshall (as the paper prescribes)
+        /// instead of the output-equivalent all-pairs Dijkstra.
+        use_floyd_warshall: bool,
+    },
+    /// Landmark-based verification (Section V-A).
+    Ldm(LdmConfig),
+    /// Hyper-graph verification (Section V-B).
+    Hyp {
+        /// Number of grid cells `p` (rounded to a square).
+        cells: usize,
+    },
+}
+
+impl MethodConfig {
+    /// Short display name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodConfig::Dij => "DIJ",
+            MethodConfig::Full { .. } => "FULL",
+            MethodConfig::Ldm(_) => "LDM",
+            MethodConfig::Hyp { .. } => "HYP",
+        }
+    }
+
+    /// Wire code bound into signed metadata.
+    pub fn code(&self) -> u8 {
+        match self {
+            MethodConfig::Dij => 1,
+            MethodConfig::Full { .. } => 2,
+            MethodConfig::Ldm(_) => 3,
+            MethodConfig::Hyp { .. } => 4,
+        }
+    }
+}
+
+/// LDM parameters (Section V-A): `c` landmarks, `b` quantization bits,
+/// ξ compression threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdmConfig {
+    /// Number of landmarks `c` (paper default 200).
+    pub landmarks: usize,
+    /// Quantization bits `b` (paper default 12).
+    pub bits: u8,
+    /// Compression threshold ξ (paper default 50.0).
+    pub xi: f64,
+    /// Landmark selection strategy.
+    pub strategy: LandmarkStrategy,
+    /// Compression strategy (paper greedy, or scalable Hilbert sweep).
+    pub compression: CompressionStrategy,
+}
+
+impl Default for LdmConfig {
+    fn default() -> Self {
+        LdmConfig {
+            landmarks: 200,
+            bits: 12,
+            xi: 50.0,
+            strategy: LandmarkStrategy::Farthest,
+            compression: CompressionStrategy::HilbertSweep,
+        }
+    }
+}
+
+/// The public method parameters a client must learn authentically.
+///
+/// Encoded into the signed network-root metadata (`AdsMeta::params`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodParams {
+    /// DIJ carries no parameters.
+    Dij,
+    /// FULL carries no parameters.
+    Full,
+    /// LDM: the quantization step λ (the client's bound arithmetic
+    /// needs it; Eq. 6).
+    Ldm {
+        /// Quantization step λ.
+        lambda: f64,
+    },
+    /// HYP carries no parameters (cell ids and border flags live inside
+    /// authenticated tuples; cell population counts live in the signed
+    /// cell directory).
+    Hyp,
+}
+
+impl MethodParams {
+    /// Canonical encoding for `AdsMeta::params`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            MethodParams::Dij => e.put_u8(1),
+            MethodParams::Full => e.put_u8(2),
+            MethodParams::Ldm { lambda } => {
+                e.put_u8(3);
+                e.put_f64(*lambda);
+            }
+            MethodParams::Hyp => e.put_u8(4),
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes from signed metadata.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(bytes);
+        let out = match d.take_u8()? {
+            1 => MethodParams::Dij,
+            2 => MethodParams::Full,
+            3 => MethodParams::Ldm {
+                lambda: d.take_f64()?,
+            },
+            4 => MethodParams::Hyp,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        d.finish()?;
+        Ok(out)
+    }
+
+    /// The method code (matches `MethodConfig::code`).
+    pub fn code(&self) -> u8 {
+        match self {
+            MethodParams::Dij => 1,
+            MethodParams::Full => 2,
+            MethodParams::Ldm { .. } => 3,
+            MethodParams::Hyp => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_round_trip() {
+        for p in [
+            MethodParams::Dij,
+            MethodParams::Full,
+            MethodParams::Ldm { lambda: 2.5 },
+            MethodParams::Hyp,
+        ] {
+            let bytes = p.encode();
+            assert_eq!(MethodParams::decode(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn params_reject_garbage() {
+        assert!(MethodParams::decode(&[]).is_err());
+        assert!(MethodParams::decode(&[99]).is_err());
+        assert!(MethodParams::decode(&[3, 1, 2]).is_err()); // truncated λ
+        assert!(MethodParams::decode(&[1, 0]).is_err()); // trailing byte
+    }
+
+    #[test]
+    fn codes_consistent() {
+        assert_eq!(MethodConfig::Dij.code(), MethodParams::Dij.code());
+        assert_eq!(
+            MethodConfig::Full { use_floyd_warshall: false }.code(),
+            MethodParams::Full.code()
+        );
+        assert_eq!(
+            MethodConfig::Ldm(LdmConfig::default()).code(),
+            MethodParams::Ldm { lambda: 1.0 }.code()
+        );
+        assert_eq!(MethodConfig::Hyp { cells: 100 }.code(), MethodParams::Hyp.code());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MethodConfig::Dij.name(), "DIJ");
+        assert_eq!(MethodConfig::Ldm(LdmConfig::default()).name(), "LDM");
+    }
+}

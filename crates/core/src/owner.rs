@@ -1,0 +1,239 @@
+//! The data owner: builds and signs the authenticated structures
+//! (Figure 2, left).
+
+use crate::ads::{NetworkAds, SignedRoot};
+use crate::methods::full::{DistanceAds, FullBuildStats};
+use crate::methods::hyp::HypHints;
+use crate::methods::ldm::LdmHints;
+use crate::methods::{MethodConfig, MethodParams};
+use crate::tuple::ExtendedTuple;
+use rand::Rng;
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use spnet_graph::order::NodeOrdering;
+use spnet_graph::Graph;
+
+/// Owner-side setup parameters common to all methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupConfig {
+    /// Graph-node ordering of the Merkle leaves (paper default: hbt).
+    pub ordering: NodeOrdering,
+    /// Merkle tree fanout (paper default: 2).
+    pub fanout: usize,
+    /// Seed for ordering/landmark randomness.
+    pub seed: u64,
+    /// RSA modulus size in bits.
+    pub rsa_bits: usize,
+}
+
+impl Default for SetupConfig {
+    fn default() -> Self {
+        SetupConfig {
+            ordering: NodeOrdering::Hilbert,
+            fanout: 2,
+            seed: 0,
+            rsa_bits: 256, // research-scale; see crate security note
+        }
+    }
+}
+
+/// Everything the service provider receives from the owner.
+#[derive(Debug, Clone)]
+pub struct ProviderPackage {
+    /// The road network itself.
+    pub graph: Graph,
+    /// The network ADS (ordered tuples + Merkle tree).
+    pub ads: NetworkAds,
+    /// The owner-signed network root (with method params in its meta).
+    pub network_root: SignedRoot,
+    /// Per-method hints and auxiliary signed structures.
+    pub hints: MethodHints,
+}
+
+/// Method-specific authenticated hints held by the provider.
+#[derive(Debug, Clone)]
+pub enum MethodHints {
+    /// DIJ needs none.
+    Dij,
+    /// FULL: the distance ADS and its signed root.
+    Full {
+        /// The two-level all-pairs distance tree.
+        ads: DistanceAds,
+        /// Owner signature on its root.
+        signed_root: SignedRoot,
+        /// Construction statistics.
+        stats: FullBuildStats,
+    },
+    /// LDM: compressed landmark vectors (also baked into tuples).
+    Ldm(LdmHints),
+    /// HYP: partition, hyper-edge tree and cell directory with signed
+    /// roots.
+    Hyp {
+        /// Partition, hyper-edge tree, cell directory.
+        hints: HypHints,
+        /// Owner signature on the hyper-edge tree root.
+        hyper_signed: SignedRoot,
+        /// Owner signature on the cell-directory root.
+        cell_dir_signed: SignedRoot,
+    },
+}
+
+/// Result of `DataOwner::publish`.
+#[derive(Debug, Clone)]
+pub struct Published {
+    /// Hand this to the service provider.
+    pub package: ProviderPackage,
+    /// Distribute this to clients.
+    pub public_key: RsaPublicKey,
+    /// Offline construction time of the authenticated hints, in seconds
+    /// (the Figures 8c / 9b / 12b / 13b metric; excludes key
+    /// generation, includes ADS hashing and all hint computation).
+    pub construction_seconds: f64,
+}
+
+/// The data owner role.
+pub struct DataOwner;
+
+impl DataOwner {
+    /// Builds, signs and packages everything for `method`.
+    pub fn publish<R: Rng + ?Sized>(
+        graph: &Graph,
+        method: &MethodConfig,
+        cfg: &SetupConfig,
+        rng: &mut R,
+    ) -> Published {
+        let keypair = RsaKeyPair::generate(rng, cfg.rsa_bits);
+        let start = std::time::Instant::now();
+
+        // Method-specific hints first (tuples may embed them).
+        let (tuples, hints, params): (Vec<ExtendedTuple>, MethodHints, MethodParams) =
+            match method {
+                MethodConfig::Dij => (
+                    graph.nodes().map(|v| ExtendedTuple::base(graph, v)).collect(),
+                    MethodHints::Dij,
+                    MethodParams::Dij,
+                ),
+                MethodConfig::Full { use_floyd_warshall } => {
+                    let (ads, stats) = DistanceAds::build(graph, cfg.fanout, *use_floyd_warshall);
+                    let signed_root = ads.sign(&keypair);
+                    (
+                        graph.nodes().map(|v| ExtendedTuple::base(graph, v)).collect(),
+                        MethodHints::Full { ads, signed_root, stats },
+                        MethodParams::Full,
+                    )
+                }
+                MethodConfig::Ldm(lcfg) => {
+                    let hints = LdmHints::build(graph, lcfg, cfg.seed ^ 0x1D4);
+                    let tuples = graph
+                        .nodes()
+                        .map(|v| ExtendedTuple::with_psi(graph, v, &hints.vectors))
+                        .collect();
+                    let lambda = hints.lambda();
+                    (tuples, MethodHints::Ldm(hints), MethodParams::Ldm { lambda })
+                }
+                MethodConfig::Hyp { cells } => {
+                    let hints = HypHints::build(graph, *cells, cfg.fanout);
+                    let hyper_signed = hints.sign_hyper(&keypair, cfg.fanout as u32);
+                    let cell_dir_signed = hints.sign_cell_dir(&keypair, cfg.fanout as u32);
+                    let tuples = graph
+                        .nodes()
+                        .map(|v| ExtendedTuple::with_cell(graph, v, &hints.partition))
+                        .collect();
+                    (
+                        tuples,
+                        MethodHints::Hyp { hints, hyper_signed, cell_dir_signed },
+                        MethodParams::Hyp,
+                    )
+                }
+            };
+
+        let ads = NetworkAds::build(graph, tuples, cfg.ordering, cfg.fanout, cfg.seed);
+        let network_root = SignedRoot::sign(&keypair, ads.root(), ads.meta(params.encode()));
+        let construction_seconds = start.elapsed().as_secs_f64();
+
+        Published {
+            package: ProviderPackage {
+                graph: graph.clone(),
+                ads,
+                network_root,
+                hints,
+            },
+            public_key: keypair.public_key().clone(),
+            construction_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::LdmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::gen::grid_network;
+
+    fn publish(method: MethodConfig) -> Published {
+        let g = grid_network(8, 8, 1.15, 700);
+        let mut rng = StdRng::seed_from_u64(701);
+        DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn all_methods_publish_signed_roots() {
+        for method in [
+            MethodConfig::Dij,
+            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 6,
+                ..LdmConfig::default()
+            }),
+            MethodConfig::Hyp { cells: 9 },
+        ] {
+            let p = publish(method.clone());
+            assert!(
+                p.package.network_root.verify(&p.public_key),
+                "{} network root",
+                method.name()
+            );
+            match &p.package.hints {
+                MethodHints::Full { signed_root, .. } => {
+                    assert!(signed_root.verify(&p.public_key));
+                }
+                MethodHints::Hyp { hyper_signed, cell_dir_signed, .. } => {
+                    assert!(hyper_signed.verify(&p.public_key));
+                    assert!(cell_dir_signed.verify(&p.public_key));
+                }
+                _ => {}
+            }
+            assert!(p.construction_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn method_params_bound_into_network_meta() {
+        let p = publish(MethodConfig::Ldm(LdmConfig {
+            landmarks: 6,
+            ..LdmConfig::default()
+        }));
+        let params =
+            crate::methods::MethodParams::decode(&p.package.network_root.meta.params).unwrap();
+        assert!(matches!(params, crate::methods::MethodParams::Ldm { lambda } if lambda > 0.0));
+    }
+
+    #[test]
+    fn dij_has_no_hints() {
+        let p = publish(MethodConfig::Dij);
+        assert!(matches!(p.package.hints, MethodHints::Dij));
+    }
+
+    #[test]
+    fn different_keys_per_publish() {
+        let g = grid_network(4, 4, 1.1, 702);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let p1 = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut r1);
+        let p2 = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut r2);
+        assert_ne!(p1.public_key, p2.public_key);
+        // Same tree roots though — the ADS is deterministic.
+        assert_eq!(p1.package.network_root.root, p2.package.network_root.root);
+    }
+}

@@ -1,0 +1,257 @@
+//! The service provider: answers queries with proofs (Algorithm 1).
+
+use crate::error::ProviderError;
+use crate::methods::{dij, ldm};
+use crate::owner::{MethodHints, ProviderPackage};
+use crate::proof::{Answer, IntegrityProof, SpProof};
+use crate::tuple::ExtendedTuple;
+use spnet_graph::algo::{bidirectional_path, dijkstra_path};
+use spnet_graph::{NodeId, Path};
+
+/// The provider's shortest-path algorithm `algosp` (Algorithm 1,
+/// Line 1) — the verification framework is agnostic to this choice, so
+/// a provider may pick whatever is fastest for its deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgoSp {
+    /// Plain Dijkstra (default).
+    #[default]
+    Dijkstra,
+    /// Bidirectional Dijkstra \[24\].
+    Bidirectional,
+}
+
+/// The service provider role: holds the owner's package and answers
+/// shortest-path queries with verification proofs.
+pub struct ServiceProvider {
+    pub(crate) package: ProviderPackage,
+    algo: AlgoSp,
+}
+
+impl ServiceProvider {
+    /// Wraps an owner package (default `algosp`: Dijkstra).
+    pub fn new(package: ProviderPackage) -> Self {
+        ServiceProvider { package, algo: AlgoSp::default() }
+    }
+
+    /// Selects a different `algosp`.
+    pub fn with_algorithm(mut self, algo: AlgoSp) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Read access to the package (used by the tamper simulator).
+    pub fn package(&self) -> &ProviderPackage {
+        &self.package
+    }
+
+    /// Algorithm 1: computes the shortest path and assembles
+    /// `(P_rslt, ΓS, ΓT)`.
+    pub fn answer(&self, vs: NodeId, vt: NodeId) -> Result<Answer, ProviderError> {
+        let g = &self.package.graph;
+        for v in [vs, vt] {
+            if g.check_node(v).is_err() {
+                return Err(ProviderError::UnknownNode(v));
+            }
+        }
+        // Line 1: the provider's algosp of choice.
+        let path = match self.algo {
+            AlgoSp::Dijkstra => dijkstra_path(g, vs, vt),
+            AlgoSp::Bidirectional => bidirectional_path(g, vs, vt),
+        }
+        .map_err(|_| ProviderError::Unreachable { source: vs, target: vt })?;
+        // Lines 2–3: ΓS from the hints, ΓT from the ADS.
+        let (sp, covered_nodes) = self.build_sp_proof(vs, vt, &path)?;
+        let integrity = self.build_integrity(&covered_nodes)?;
+        Ok(Answer { path, sp, integrity })
+    }
+
+    /// Assembles ΓS and returns the node list whose tuples ΓT must
+    /// cover (in the exact order the proof ships them).
+    fn build_sp_proof(
+        &self,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Result<(SpProof, Vec<NodeId>), ProviderError> {
+        let g = &self.package.graph;
+        let ads = &self.package.ads;
+        match &self.package.hints {
+            MethodHints::Dij => {
+                let nodes = dij::gamma_nodes(g, vs, path.distance);
+                let tuples: Vec<ExtendedTuple> =
+                    nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+                Ok((SpProof::Subgraph { tuples }, nodes))
+            }
+            MethodHints::Ldm(hints) => {
+                let nodes = ldm::gamma_nodes(g, hints, vs, vt, path.distance);
+                let tuples: Vec<ExtendedTuple> =
+                    nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+                Ok((SpProof::Subgraph { tuples }, nodes))
+            }
+            MethodHints::Full { ads: dads, signed_root, .. } => {
+                let full = dads.prove(g, vs, vt);
+                let path_tuples: Vec<ExtendedTuple> =
+                    path.nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+                Ok((
+                    SpProof::Distance {
+                        full,
+                        signed_root: signed_root.clone(),
+                        path_tuples,
+                    },
+                    path.nodes.clone(),
+                ))
+            }
+            MethodHints::Hyp { hints, hyper_signed, cell_dir_signed } => {
+                let coarse = hints.coarse_nodes(vs, vt);
+                let coarse_set: std::collections::BTreeSet<NodeId> =
+                    coarse.iter().copied().collect();
+                let extra: Vec<NodeId> = path
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|v| !coarse_set.contains(v))
+                    .collect();
+                let cell_tuples: Vec<ExtendedTuple> =
+                    coarse.iter().map(|&v| ads.tuple(v).clone()).collect();
+                let path_tuples: Vec<ExtendedTuple> =
+                    extra.iter().map(|&v| ads.tuple(v).clone()).collect();
+                let keys = hints.hyper_keys(vs, vt);
+                let hyper = match &hints.hyper_tree {
+                    Some(t) => t
+                        .prove_keys(&keys)
+                        .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?,
+                    None => {
+                        // No borders anywhere (single populated cell):
+                        // an empty keyed proof; verification relies on
+                        // in-cell distances alone.
+                        spnet_crypto::mbtree::KeyedProof {
+                            entries: vec![],
+                            positions: vec![],
+                            merkle: spnet_crypto::merkle::MerkleProof {
+                                entries: vec![],
+                                leaf_count: 0,
+                                fanout: self.package.ads.fanout() as u32,
+                            },
+                        }
+                    }
+                };
+                let cs = hints.partition.cell_of(vs);
+                let ct = hints.partition.cell_of(vt);
+                let mut dir_keys = vec![cs as u64];
+                if ct != cs {
+                    dir_keys.push(ct as u64);
+                    dir_keys.sort();
+                }
+                let cell_dir = hints
+                    .cell_dir
+                    .prove_keys(&dir_keys)
+                    .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
+                let covered: Vec<NodeId> =
+                    coarse.into_iter().chain(extra).collect();
+                Ok((
+                    SpProof::Hyp {
+                        cell_tuples,
+                        path_tuples,
+                        hyper,
+                        hyper_signed_root: hyper_signed.clone(),
+                        cell_dir,
+                        cell_dir_signed_root: cell_dir_signed.clone(),
+                    },
+                    covered,
+                ))
+            }
+        }
+    }
+
+    /// Builds ΓT over the given node list (order defines the positions
+    /// vector).
+    fn build_integrity(&self, nodes: &[NodeId]) -> Result<IntegrityProof, ProviderError> {
+        let ads = &self.package.ads;
+        let merkle = ads
+            .prove_nodes(nodes.iter().copied())
+            .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
+        Ok(IntegrityProof {
+            positions: nodes.iter().map(|&v| ads.position(v)).collect(),
+            merkle,
+            signed_root: self.package.network_root.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{LdmConfig, MethodConfig};
+    use crate::owner::{DataOwner, SetupConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::gen::grid_network;
+
+    fn provider(method: MethodConfig) -> ServiceProvider {
+        let g = grid_network(9, 9, 1.15, 800);
+        let mut rng = StdRng::seed_from_u64(801);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        ServiceProvider::new(p.package)
+    }
+
+    #[test]
+    fn answers_have_consistent_shapes() {
+        for method in [
+            MethodConfig::Dij,
+            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+            MethodConfig::Hyp { cells: 9 },
+        ] {
+            let sp = provider(method.clone());
+            let a = sp.answer(NodeId(0), NodeId(80)).unwrap();
+            assert_eq!(a.path.source(), NodeId(0));
+            assert_eq!(a.path.target(), NodeId(80));
+            let n_tuples = a.sp.tuples().len() + a.sp.extra_tuples().len();
+            assert_eq!(
+                a.integrity.positions.len(),
+                n_tuples,
+                "{}: positions parallel tuples",
+                method.name()
+            );
+            let stats = a.stats();
+            assert!(stats.s_bytes > 0 && stats.t_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn bidirectional_algosp_produces_verifiable_answers() {
+        use super::AlgoSp;
+        let g = grid_network(9, 9, 1.15, 802);
+        let mut rng = StdRng::seed_from_u64(803);
+        let p = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
+        let client = crate::Client::new(p.public_key);
+        let sp = ServiceProvider::new(p.package).with_algorithm(AlgoSp::Bidirectional);
+        let a = sp.answer(NodeId(0), NodeId(80)).unwrap();
+        let v = client.verify(NodeId(0), NodeId(80), &a).unwrap();
+        assert!((v.distance - a.path.distance).abs() <= 1e-6 * v.distance.max(1.0));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let sp = provider(MethodConfig::Dij);
+        assert!(matches!(
+            sp.answer(NodeId(0), NodeId(999)),
+            Err(ProviderError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn dij_proof_larger_than_full_proof() {
+        // The headline comparison of Figure 8a, at unit scale.
+        let dij = provider(MethodConfig::Dij);
+        let full = provider(MethodConfig::Full { use_floyd_warshall: false });
+        let a1 = dij.answer(NodeId(0), NodeId(80)).unwrap();
+        let a2 = full.answer(NodeId(0), NodeId(80)).unwrap();
+        assert!(
+            a1.stats().total_bytes() > a2.stats().total_bytes(),
+            "DIJ {} ≤ FULL {}",
+            a1.stats().total_bytes(),
+            a2.stats().total_bytes()
+        );
+    }
+}

@@ -1,0 +1,688 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A deliberately small big-integer implementation — just enough for
+//! RSA key generation, signing and verification: addition, subtraction,
+//! multiplication, division with remainder, modular exponentiation and
+//! modular inverse. Limbs are `u32` stored little-endian; intermediate
+//! products use `u64`.
+//!
+//! Not constant-time; see the crate-level security disclaimer.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u32` limbs,
+/// normalized: no trailing zero limbs).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value 0 (empty limb vector).
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut i = bytes.len();
+        while i > 0 {
+            let start = i.saturating_sub(4);
+            let mut limb = 0u32;
+            for &b in &bytes[start..i] {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+            i = start;
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let nz = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..nz);
+        out
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (false beyond the top bit).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        debug_assert!(self.cmp_to(other) != Ordering::Less, "BigUint underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        assert_eq!(borrow, 0, "BigUint underflow");
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Total ordering comparison.
+    pub fn cmp_to(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    ///
+    /// Shift-and-subtract long division — O(bit_len · limbs), plenty for
+    /// RSA-sized operands.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_to(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut rem = self.clone();
+        let mut quot_limbs = vec![0u32; shift / 32 + 1];
+        let mut d = divisor.shl(shift);
+        for s in (0..=shift).rev() {
+            if rem.cmp_to(&d) != Ordering::Less {
+                rem = rem.sub(&d);
+                quot_limbs[s / 32] |= 1 << (s % 32);
+            }
+            d = d.shr(1);
+        }
+        let mut q = BigUint { limbs: quot_limbs };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// Modular exponentiation `self^exp mod m` (square-and-multiply).
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus is zero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(m);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(m);
+            }
+            base = base.mul(&base).rem(m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a.cmp_to(&b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// Modular inverse `self⁻¹ mod m`, or `None` if not coprime.
+    ///
+    /// Extended Euclid tracking only the `t` coefficient, with a sign
+    /// flag to stay within unsigned arithmetic.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        let a = self.rem(m);
+        if a.is_zero() {
+            return None;
+        }
+        // Invariant: t_cur * a ≡ r_cur (mod m)  (up to sign neg_cur)
+        let mut r_prev = m.clone();
+        let mut r_cur = a;
+        let mut t_prev = BigUint::zero();
+        let mut t_cur = BigUint::one();
+        let mut neg_prev = false;
+        let mut neg_cur = false;
+        while !r_cur.is_zero() {
+            let (q, r_next) = r_prev.div_rem(&r_cur);
+            // t_next = t_prev - q * t_cur   (signed)
+            let qt = q.mul(&t_cur);
+            let (t_next, neg_next) = signed_sub(&t_prev, neg_prev, &qt, neg_cur);
+            r_prev = r_cur;
+            r_cur = r_next;
+            t_prev = t_cur;
+            t_cur = t_next;
+            neg_prev = neg_cur;
+            neg_cur = neg_next;
+        }
+        if !r_prev.is_one() {
+            return None; // not coprime
+        }
+        let inv = if neg_prev {
+            m.sub(&t_prev.rem(m))
+        } else {
+            t_prev.rem(m)
+        };
+        Some(inv.rem(m))
+    }
+
+    /// A uniformly random integer with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: rand::Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        use rand::RngExt as _;
+        assert!(bits > 0);
+        let limbs_needed = bits.div_ceil(32);
+        let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.random()).collect();
+        let top_bits = bits - (limbs_needed - 1) * 32;
+        let mask = if top_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << top_bits) - 1
+        };
+        let top = limbs.last_mut().unwrap();
+        *top &= mask;
+        *top |= 1 << (top_bits - 1); // force exact bit length
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// A uniformly random integer in `[0, bound)` via rejection sampling.
+    pub fn random_below<R: rand::Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        use rand::RngExt as _;
+        assert!(!bound.is_zero());
+        let bits = bound.bit_len();
+        loop {
+            let limbs_needed = bits.div_ceil(32);
+            let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.random()).collect();
+            let top_bits = bits - (limbs_needed - 1) * 32;
+            let mask = if top_bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << top_bits) - 1
+            };
+            *limbs.last_mut().unwrap() &= mask;
+            let mut candidate = BigUint { limbs };
+            candidate.normalize();
+            if candidate.cmp_to(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Computes `a·(-1)^neg_a - b·(-1)^neg_b` returning `(magnitude, sign)`.
+fn signed_sub(a: &BigUint, neg_a: bool, b: &BigUint, neg_b: bool) -> (BigUint, bool) {
+    match (neg_a, neg_b) {
+        (false, true) => (a.add(b), false),  //  a - (-b) = a + b
+        (true, false) => (a.add(b), true),   // -a - b    = -(a + b)
+        (false, false) => match a.cmp_to(b) {
+            Ordering::Less => (b.sub(a), true),
+            _ => (a.sub(b), false),
+        },
+        (true, true) => match b.cmp_to(a) {
+            // -a + b
+            Ordering::Less => (a.sub(b), true),
+            _ => (b.sub(a), false),
+        },
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "BigUint(0)");
+        }
+        write!(f, "BigUint(0x")?;
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:08x}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn from_to_bytes_round_trip() {
+        let cases: [&[u8]; 4] = [&[], &[1], &[0xde, 0xad, 0xbe, 0xef, 0x42], &[0xff; 17]];
+        for bytes in cases {
+            let n = BigUint::from_bytes_be(bytes);
+            let back = n.to_bytes_be();
+            // Leading zeros are stripped, so compare the numeric values.
+            assert_eq!(BigUint::from_bytes_be(&back), n);
+        }
+    }
+
+    #[test]
+    fn leading_zero_bytes_ignored() {
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 0, 5]),
+            BigUint::from_bytes_be(&[5])
+        );
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(b(123).add(&b(877)), b(1000));
+        assert_eq!(b(1000).sub(&b(877)), b(123));
+        assert_eq!(b(0).add(&b(0)), b(0));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let x = b(u64::MAX);
+        let one = b(1);
+        let sum = x.add(&one);
+        assert_eq!(sum.bit_len(), 65);
+        assert_eq!(sum.sub(&one), x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics() {
+        let _ = b(1).sub(&b(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let x: u64 = rng.random();
+            let y: u64 = rng.random();
+            let prod = (x as u128) * (y as u128);
+            let expected = BigUint::from_bytes_be(&prod.to_be_bytes());
+            assert_eq!(b(x).mul(&b(y)), expected);
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let x: u128 = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
+            let y: u64 = rng.random_range(1..u64::MAX);
+            let q = x / y as u128;
+            let r = x % y as u128;
+            let xb = BigUint::from_bytes_be(&x.to_be_bytes());
+            let (qb, rb) = xb.div_rem(&b(y));
+            assert_eq!(qb, BigUint::from_bytes_be(&q.to_be_bytes()));
+            assert_eq!(rb, BigUint::from_bytes_be(&r.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn div_by_zero_panics() {
+        let _ = b(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let x = b(0b1011);
+        assert_eq!(x.shl(3), b(0b1011000));
+        assert_eq!(x.shr(2), b(0b10));
+        assert_eq!(x.shl(100).shr(100), x);
+        assert_eq!(BigUint::zero().shl(64), BigUint::zero());
+        assert_eq!(b(1).shr(1), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(b(1).bit_len(), 1);
+        assert_eq!(b(255).bit_len(), 8);
+        assert_eq!(b(256).bit_len(), 9);
+        let x = b(0b101);
+        assert!(x.bit(0) && !x.bit(1) && x.bit(2) && !x.bit(3));
+        assert!(!x.bit(1000));
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        // 3^5 mod 7 = 243 mod 7 = 5
+        assert_eq!(b(3).modpow(&b(5), &b(7)), b(5));
+        // Fermat: a^(p-1) ≡ 1 mod p
+        let p = b(1_000_000_007);
+        for a in [2u64, 3, 10, 999] {
+            assert_eq!(b(a).modpow(&p.sub(&b(1)), &p), b(1));
+        }
+        // exponent 0
+        assert_eq!(b(12345).modpow(&b(0), &b(97)), b(1));
+        // modulus 1
+        assert_eq!(b(5).modpow(&b(5), &b(1)), b(0));
+    }
+
+    #[test]
+    fn modpow_large_random_consistency() {
+        // (a^e1)^e2 == a^(e1*e2) mod m
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = BigUint::random_bits(&mut rng, 128);
+        let a = BigUint::random_bits(&mut rng, 100);
+        let e1 = b(rng.random_range(2..1000));
+        let e2 = b(rng.random_range(2..1000));
+        let lhs = a.modpow(&e1, &m).modpow(&e2, &m);
+        let rhs = a.modpow(&e1.mul(&e2), &m);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gcd_small() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(17).gcd(&b(31)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(48).gcd(&b(64)), b(16));
+    }
+
+    #[test]
+    fn modinv_basic() {
+        // 3 * 5 = 15 ≡ 1 mod 7
+        assert_eq!(b(3).modinv(&b(7)), Some(b(5)));
+        // No inverse when not coprime.
+        assert_eq!(b(6).modinv(&b(9)), None);
+        assert_eq!(b(0).modinv(&b(7)), None);
+    }
+
+    #[test]
+    fn modinv_random_verification() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = b(1_000_000_007); // prime
+        for _ in 0..100 {
+            let a = b(rng.random_range(1..1_000_000_006));
+            let inv = a.modinv(&m).expect("prime modulus ⇒ inverse exists");
+            assert_eq!(a.mul(&inv).rem(&m), b(1));
+        }
+    }
+
+    #[test]
+    fn modinv_large() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = BigUint::random_bits(&mut rng, 256);
+        for _ in 0..20 {
+            let a = BigUint::random_below(&mut rng, &m);
+            if a.is_zero() || !a.gcd(&m).is_one() {
+                continue;
+            }
+            let inv = a.modinv(&m).unwrap();
+            assert_eq!(a.mul(&inv).rem(&m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn random_bits_exact_length() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for bits in [1usize, 31, 32, 33, 64, 100, 257] {
+            let n = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(n.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let bound = b(1000);
+        for _ in 0..200 {
+            let n = BigUint::random_below(&mut rng, &bound);
+            assert!(n.cmp_to(&bound) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn mul_known_large_vector() {
+        // (2^128 − 1)² = 2^256 − 2^129 + 1.
+        let x = BigUint::from_bytes_be(&[0xFF; 16]);
+        let sq = x.mul(&x);
+        let expected = BigUint::one()
+            .shl(256)
+            .sub(&BigUint::one().shl(129))
+            .add(&BigUint::one());
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn div_rem_reconstructs_large_operands() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..25 {
+            let a = BigUint::random_bits(&mut rng, 300);
+            let b = BigUint::random_bits(&mut rng, 140);
+            let (q, r) = a.div_rem(&b);
+            assert!(r < b);
+            assert_eq!(q.mul(&b).add(&r), a);
+        }
+    }
+
+    #[test]
+    fn ordering_impls() {
+        assert!(b(3) < b(5));
+        assert!(b(5) > b(3));
+        assert!(b(u64::MAX).add(&b(1)) > b(u64::MAX));
+    }
+}

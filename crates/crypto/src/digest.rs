@@ -1,0 +1,137 @@
+//! The fixed-width message digest type and hash combinators.
+
+use crate::sha256::{sha256, Sha256};
+use std::fmt;
+
+/// Number of bytes in a digest (SHA-256).
+pub const DIGEST_LEN: usize = 32;
+
+/// A 32-byte message digest.
+///
+/// Digests are the atoms of every authenticated structure in this
+/// workspace: Merkle tree nodes, signed roots, and integrity proof
+/// entries are all `Digest`s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest; used as a sentinel, never produced by SHA-256
+    /// on any known input.
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Hex encoding (lowercase), mainly for debugging and test vectors.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in &self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parses a lowercase/uppercase hex string into a digest.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != DIGEST_LEN * 2 {
+            return None;
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let hi = s.as_bytes()[2 * i] as char;
+            let lo = s.as_bytes()[2 * i + 1] as char;
+            *byte = ((hi.to_digit(16)? as u8) << 4) | lo.to_digit(16)? as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Raw bytes of the digest.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", &self.to_hex()[..8])
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Hashes a single byte string: `H(m)`.
+pub fn hash_bytes(m: &[u8]) -> Digest {
+    sha256(m)
+}
+
+/// Hashes the concatenation of several digests: `H(d₀ ∘ d₁ ∘ …)`.
+///
+/// This is the internal-node combiner of the Merkle structures
+/// (Section III-B: `h₁ = H(H(Φ(v11)) ∘ H(Φ(v12)) ∘ H(Φ(v13)))`).
+pub fn hash_concat(children: &[Digest]) -> Digest {
+    let mut h = Sha256::new();
+    for c in children {
+        h.update(&c.0);
+    }
+    h.finalize()
+}
+
+/// Hashes the concatenation of two byte strings without allocating.
+pub fn hash_pair_bytes(a: &[u8], b: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let d = hash_bytes(b"round trip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+        let d = hash_bytes(b"x");
+        let mut hex = d.to_hex();
+        hex.pop();
+        assert_eq!(Digest::from_hex(&hex), None);
+    }
+
+    #[test]
+    fn hash_concat_equals_manual_concat() {
+        let a = hash_bytes(b"a");
+        let b = hash_bytes(b"b");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&a.0);
+        buf.extend_from_slice(&b.0);
+        assert_eq!(hash_concat(&[a, b]), hash_bytes(&buf));
+    }
+
+    #[test]
+    fn hash_concat_order_sensitive() {
+        let a = hash_bytes(b"a");
+        let b = hash_bytes(b"b");
+        assert_ne!(hash_concat(&[a, b]), hash_concat(&[b, a]));
+    }
+
+    #[test]
+    fn hash_pair_bytes_matches_concat() {
+        let d1 = hash_pair_bytes(b"hello ", b"world");
+        let d2 = hash_bytes(b"hello world");
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn zero_digest_is_not_a_hash_of_empty() {
+        assert_ne!(Digest::ZERO, hash_bytes(b""));
+    }
+}

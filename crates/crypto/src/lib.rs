@@ -1,0 +1,54 @@
+//! Cryptographic substrate for the `auth-sp` workspace.
+//!
+//! This crate implements, from first principles, every cryptographic
+//! primitive required by the authenticated shortest-path verification
+//! framework of Yiu, Lin and Mouratidis (ICDE 2010):
+//!
+//! * [`sha256`] — the SHA-256 one-way hash function (the paper uses
+//!   SHA-1; any collision-resistant hash with a fixed-width digest is
+//!   interchangeable in the protocol, see `DESIGN.md`).
+//! * [`digest`] — the 32-byte [`digest::Digest`] type and
+//!   convenience combinators for hashing concatenations.
+//! * [`bigint`] — arbitrary-precision unsigned integers with the modular
+//!   arithmetic needed for RSA.
+//! * [`prime`] — Miller–Rabin probabilistic primality testing and random
+//!   prime generation.
+//! * [`rsa`] — RSA key generation, signing and verification used by the
+//!   data owner to sign ADS roots.
+//! * [`merkle`] — a Merkle hash tree with configurable fanout plus
+//!   multi-leaf proof generation/verification following Merkle's
+//!   subtree rule (Section III-B of the paper).
+//! * [`mbtree`] — a keyed Merkle B-tree used for materialized distance
+//!   tuples (the FULL method) and hyper-edge weights (the HYP method).
+//!
+//! # Security disclaimer
+//!
+//! This is research-grade code written for a reproduction study: the RSA
+//! implementation is not constant-time and the default modulus size is
+//! chosen for experiment throughput, not production security.
+//!
+//! # Example
+//!
+//! ```
+//! use spnet_crypto::{sha256::sha256, merkle::MerkleTree};
+//!
+//! let leaves: Vec<_> = (0u32..10).map(|i| sha256(&i.to_le_bytes())).collect();
+//! let tree = MerkleTree::build(leaves.clone(), 2).unwrap();
+//! let proof = tree.prove([3usize, 4].into_iter().collect()).unwrap();
+//! let root = proof
+//!     .reconstruct_root(&[(3, leaves[3]), (4, leaves[4])])
+//!     .unwrap();
+//! assert_eq!(root, tree.root());
+//! ```
+
+pub mod bigint;
+pub mod digest;
+pub mod mbtree;
+pub mod merkle;
+pub mod prime;
+pub mod rsa;
+pub mod sha256;
+
+pub use digest::Digest;
+pub use merkle::{MerkleProof, MerkleTree};
+pub use rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};

@@ -1,0 +1,314 @@
+//! Keyed Merkle B-tree over sorted `(key, value)` tuples.
+//!
+//! The FULL method stores all-pairs shortest distances as tuples
+//! `⟨vᵢ.id, vⱼ.id, dist(vᵢ,vⱼ)⟩` in a Merkle B-tree keyed by the
+//! composite `(vᵢ.id, vⱼ.id)` (Section IV-B); the HYP method uses the
+//! same structure for hyper-edge weights (Section V-B).
+//!
+//! Realisation: entries sorted by key form the leaf level of a
+//! [`MerkleTree`] with the requested fanout. Entry digests bind key and
+//! value together, so a lookup proof authenticates both; membership of
+//! *sets* of keys reuses the multi-leaf Merkle proof machinery.
+
+use crate::digest::{hash_bytes, Digest};
+use crate::merkle::{MerkleError, MerkleProof, MerkleTree};
+use std::collections::BTreeSet;
+
+/// A `(composite key, f64 value)` tuple as materialized by the owner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyedEntry {
+    /// Composite key, e.g. `(vᵢ.id << 32) | vⱼ.id`.
+    pub key: u64,
+    /// Materialized value (a shortest-path distance).
+    pub value: f64,
+}
+
+impl KeyedEntry {
+    /// Canonical 16-byte encoding: key LE ∘ value bits LE.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..].copy_from_slice(&self.value.to_bits().to_le_bytes());
+        out
+    }
+
+    /// Digest binding key and value.
+    pub fn digest(&self) -> Digest {
+        hash_bytes(&self.encode())
+    }
+}
+
+/// Composes a pair of 32-bit node identifiers into one ordered key.
+pub fn composite_key(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Splits a composite key back into its halves.
+pub fn split_key(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Errors from Merkle B-tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MbTreeError {
+    /// The tree contains no entries.
+    Empty,
+    /// Keys passed to `build` were not strictly increasing.
+    UnsortedKeys,
+    /// A looked-up key does not exist (the owner materializes all pairs,
+    /// so this indicates a provider bug or attack).
+    KeyNotFound(u64),
+    /// Underlying Merkle failure.
+    Merkle(MerkleError),
+}
+
+impl std::fmt::Display for MbTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MbTreeError::Empty => write!(f, "merkle b-tree has no entries"),
+            MbTreeError::UnsortedKeys => write!(f, "entries must be sorted by strictly increasing key"),
+            MbTreeError::KeyNotFound(k) => write!(f, "key {k:#x} not found"),
+            MbTreeError::Merkle(e) => write!(f, "merkle error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MbTreeError {}
+
+impl From<MerkleError> for MbTreeError {
+    fn from(e: MerkleError) -> Self {
+        MbTreeError::Merkle(e)
+    }
+}
+
+/// A membership proof for a set of keyed entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedProof {
+    /// The proven entries, in key order (the client checks the keys
+    /// match what it asked for).
+    pub entries: Vec<KeyedEntry>,
+    /// Leaf positions of the entries, parallel to `entries`.
+    pub positions: Vec<u32>,
+    /// Merkle cover digests.
+    pub merkle: MerkleProof,
+}
+
+impl KeyedProof {
+    /// Number of digest items in the proof.
+    pub fn num_items(&self) -> usize {
+        self.merkle.num_items()
+    }
+
+    /// Byte size: entries (16B each) + positions (4B) + Merkle part.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 16 + self.positions.len() * 4 + self.merkle.size_bytes()
+    }
+
+    /// Reconstructs the root from the carried entries.
+    pub fn reconstruct_root(&self) -> Result<Digest, MbTreeError> {
+        let pairs: Vec<(usize, Digest)> = self
+            .entries
+            .iter()
+            .zip(&self.positions)
+            .map(|(e, &p)| (p as usize, e.digest()))
+            .collect();
+        Ok(self.merkle.reconstruct_root(&pairs)?)
+    }
+
+    /// Finds the proven value for `key`, if present.
+    pub fn value_for(&self, key: u64) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&key, |e| e.key)
+            .ok()
+            .map(|i| self.entries[i].value)
+    }
+}
+
+/// The Merkle B-tree: sorted entries + Merkle tree over entry digests.
+#[derive(Debug, Clone)]
+pub struct MerkleBTree {
+    entries: Vec<KeyedEntry>,
+    tree: MerkleTree,
+}
+
+impl MerkleBTree {
+    /// Builds the tree over entries sorted by strictly increasing key.
+    pub fn build(entries: Vec<KeyedEntry>, fanout: usize) -> Result<Self, MbTreeError> {
+        if entries.is_empty() {
+            return Err(MbTreeError::Empty);
+        }
+        if entries.windows(2).any(|w| w[0].key >= w[1].key) {
+            return Err(MbTreeError::UnsortedKeys);
+        }
+        let leaves: Vec<Digest> = entries.iter().map(KeyedEntry::digest).collect();
+        let tree = MerkleTree::build(leaves, fanout)?;
+        Ok(MerkleBTree { entries, tree })
+    }
+
+    /// The signed root.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of materialized entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the tree holds no entries (unreachable post-`build`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tree height (for the O(f·log_f |V|) proof-size analysis).
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Looks up a single key.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&key, |e| e.key)
+            .ok()
+            .map(|i| self.entries[i].value)
+    }
+
+    /// Builds a membership proof for a set of keys.
+    pub fn prove_keys(&self, keys: &[u64]) -> Result<KeyedProof, MbTreeError> {
+        let mut positions = BTreeSet::new();
+        for &k in keys {
+            let idx = self
+                .entries
+                .binary_search_by_key(&k, |e| e.key)
+                .map_err(|_| MbTreeError::KeyNotFound(k))?;
+            positions.insert(idx);
+        }
+        let merkle = self.tree.prove(positions.iter().copied().collect())?;
+        Ok(KeyedProof {
+            entries: positions.iter().map(|&i| self.entries[i]).collect(),
+            positions: positions.iter().map(|&i| i as u32).collect(),
+            merkle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries(n: u32) -> Vec<KeyedEntry> {
+        (0..n)
+            .map(|i| KeyedEntry { key: (i as u64) * 3, value: i as f64 * 0.5 })
+            .collect()
+    }
+
+    #[test]
+    fn composite_key_round_trip() {
+        for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 7), (42, u32::MAX)] {
+            assert_eq!(split_key(composite_key(a, b)), (a, b));
+        }
+    }
+
+    #[test]
+    fn composite_key_ordering_groups_by_source() {
+        // All keys with source a sort before any key with source a+1.
+        assert!(composite_key(1, u32::MAX) < composite_key(2, 0));
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = MerkleBTree::build(sample_entries(100), 4).unwrap();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(6), Some(1.0));
+        assert_eq!(t.get(7), None);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(MerkleBTree::build(vec![], 4), Err(MbTreeError::Empty)));
+    }
+
+    #[test]
+    fn unsorted_rejected() {
+        let mut es = sample_entries(10);
+        es.swap(2, 3);
+        assert!(matches!(MerkleBTree::build(es, 4), Err(MbTreeError::UnsortedKeys)));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut es = sample_entries(5);
+        es[1].key = es[0].key;
+        assert!(matches!(MerkleBTree::build(es, 4), Err(MbTreeError::UnsortedKeys)));
+    }
+
+    #[test]
+    fn single_key_proof_verifies() {
+        let t = MerkleBTree::build(sample_entries(64), 4).unwrap();
+        let p = t.prove_keys(&[30]).unwrap();
+        assert_eq!(p.reconstruct_root().unwrap(), t.root());
+        assert_eq!(p.value_for(30), Some(5.0));
+    }
+
+    #[test]
+    fn multi_key_proof_verifies() {
+        let t = MerkleBTree::build(sample_entries(200), 8).unwrap();
+        let keys = [0u64, 3, 297, 300, 597];
+        let p = t.prove_keys(&keys).unwrap();
+        assert_eq!(p.reconstruct_root().unwrap(), t.root());
+        for &k in &keys {
+            assert!(p.value_for(k).is_some(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let t = MerkleBTree::build(sample_entries(10), 4).unwrap();
+        assert!(matches!(t.prove_keys(&[1]), Err(MbTreeError::KeyNotFound(1))));
+    }
+
+    #[test]
+    fn tampered_value_changes_root() {
+        let t = MerkleBTree::build(sample_entries(64), 4).unwrap();
+        let mut p = t.prove_keys(&[30]).unwrap();
+        p.entries[0].value = 999.0; // provider lies about the distance
+        assert_ne!(p.reconstruct_root().unwrap(), t.root());
+    }
+
+    #[test]
+    fn swapped_key_changes_root() {
+        // Provider substitutes the tuple of a different pair.
+        let t = MerkleBTree::build(sample_entries(64), 4).unwrap();
+        let mut p = t.prove_keys(&[30]).unwrap();
+        p.entries[0].key = 33;
+        assert_ne!(p.reconstruct_root().unwrap(), t.root());
+    }
+
+    #[test]
+    fn proof_height_is_logarithmic() {
+        let t = MerkleBTree::build(sample_entries(10_000), 16).unwrap();
+        // ceil(log16(10000)) + 1 = 5 levels
+        assert!(t.height() <= 5, "height {}", t.height());
+        let p = t.prove_keys(&[0]).unwrap();
+        // O(f · log_f n) digest items.
+        assert!(p.num_items() <= 16 * 5, "{} items", p.num_items());
+    }
+
+    #[test]
+    fn entry_digest_binds_key_and_value() {
+        let e1 = KeyedEntry { key: 1, value: 2.0 };
+        let e2 = KeyedEntry { key: 1, value: 3.0 };
+        let e3 = KeyedEntry { key: 2, value: 2.0 };
+        assert_ne!(e1.digest(), e2.digest());
+        assert_ne!(e1.digest(), e3.digest());
+    }
+
+    #[test]
+    fn negative_zero_and_zero_distinct_bits() {
+        // f64 bit-encoding: -0.0 and 0.0 differ — encoding is canonical
+        // per bit pattern, which is fine because owners never emit -0.0.
+        let a = KeyedEntry { key: 1, value: 0.0 };
+        let b = KeyedEntry { key: 1, value: -0.0 };
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,249 @@
+//! Arc-flags \[25\] — the partial pre-computation scheme reviewed in
+//! Section II-C.
+//!
+//! Nodes are partitioned into grid cells; every directed arc `(u → v)`
+//! carries a bit-vector with one bit per cell. Bit `c` is set iff the
+//! arc lies on *some* shortest path from `u` into cell `c` (computed
+//! from the shortest-path DAG of every border node of `c`), or touches
+//! `c` itself. A query toward target cell `c` then relaxes only arcs
+//! whose bit `c` is set — typically a small corridor of the graph.
+//!
+//! Included as an alternative provider-side `algosp` family and as a
+//! search-space baseline; the verification protocol itself never uses
+//! arc-flags (clients cannot trust unauthenticated flags).
+
+use crate::algo::dijkstra::dijkstra_sssp;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::ofloat::OrderedF64;
+use crate::partition::GridPartition;
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Arc-flag index over a grid partition.
+#[derive(Debug, Clone)]
+pub struct ArcFlags {
+    /// Number of cells.
+    p: usize,
+    /// 64-bit words per arc.
+    words: usize,
+    /// Flags, indexed by CSR arc position × words.
+    flags: Vec<u64>,
+    /// Cell of each node (copied from the partition).
+    cell_of: Vec<u32>,
+}
+
+impl ArcFlags {
+    /// Builds arc-flags: one Dijkstra per border node (the same budget
+    /// class as HYP's hint construction).
+    pub fn build(g: &Graph, part: &GridPartition) -> Self {
+        let p = part.num_cells();
+        let words = p.div_ceil(64);
+        let num_arcs = g.offsets[g.num_nodes()] as usize;
+        let mut flags = vec![0u64; num_arcs * words];
+        let set = |flags: &mut Vec<u64>, arc: usize, c: usize| {
+            flags[arc * words + c / 64] |= 1 << (c % 64);
+        };
+        // Own-cell rule: arcs touching cell c are usable toward c.
+        for u in g.nodes() {
+            let lo = g.offsets[u.index()] as usize;
+            for (k, (v, _)) in g.neighbors(u).enumerate() {
+                set(&mut flags, lo + k, part.cell_of(u) as usize);
+                set(&mut flags, lo + k, part.cell_of(v) as usize);
+            }
+        }
+        // Border rule: grow the shortest-path DAG from every border
+        // node b of cell c; an arc (u → v) with
+        // dist(u, b) = w(u,v) + dist(v, b) lies on a shortest path into
+        // c through b.
+        for c in 0..p as u32 {
+            for b in part.cell_borders(c) {
+                let d = dijkstra_sssp(g, b).dist;
+                for u in g.nodes() {
+                    let du = d[u.index()];
+                    if !du.is_finite() {
+                        continue;
+                    }
+                    let lo = g.offsets[u.index()] as usize;
+                    for (k, (v, w)) in g.neighbors(u).enumerate() {
+                        let dv = d[v.index()];
+                        if dv.is_finite() && (du - (w + dv)).abs() <= 1e-9 * du.max(1.0) {
+                            set(&mut flags, lo + k, c as usize);
+                        }
+                    }
+                }
+            }
+        }
+        ArcFlags {
+            p,
+            words,
+            flags,
+            cell_of: g.nodes().map(|v| part.cell_of(v)).collect(),
+        }
+    }
+
+    /// Whether arc at CSR position `arc` may be relaxed toward `cell`.
+    #[inline]
+    fn allowed(&self, arc: usize, cell: usize) -> bool {
+        self.flags[arc * self.words + cell / 64] >> (cell % 64) & 1 == 1
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.p
+    }
+
+    /// Fraction of set bits — the index's selectivity (lower = more
+    /// pruning).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.flags.iter().map(|w| w.count_ones() as u64).sum();
+        let total = (self.flags.len() / self.words.max(1)) as u64 * self.p as u64;
+        set as f64 / total.max(1) as f64
+    }
+}
+
+/// Statistics from an arc-flag query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcFlagStats {
+    /// Arcs relaxed by the pruned search.
+    pub relaxed: usize,
+}
+
+/// Point-to-point query using arc-flag pruning toward the target's
+/// cell. Returns the exact shortest path and the relaxation count.
+pub fn arcflag_path(
+    g: &Graph,
+    af: &ArcFlags,
+    source: NodeId,
+    target: NodeId,
+) -> Option<(Path, ArcFlagStats)> {
+    let tc = af.cell_of[target.index()] as usize;
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut relaxed = 0usize;
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrderedF64::new(0.0), source.0)));
+    while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
+        let vi = v as usize;
+        if d > dist[vi] {
+            continue;
+        }
+        if v == target.0 {
+            let mut nodes = vec![target];
+            let mut cur = target;
+            while let Some(pr) = parent[cur.index()] {
+                nodes.push(pr);
+                cur = pr;
+            }
+            nodes.reverse();
+            return Some((Path { nodes, distance: d }, ArcFlagStats { relaxed }));
+        }
+        let lo = g.offsets[vi] as usize;
+        for (k, (u, w)) in g.neighbors(NodeId(v)).enumerate() {
+            if !af.allowed(lo + k, tc) {
+                continue;
+            }
+            relaxed += 1;
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                parent[u.index()] = Some(NodeId(v));
+                heap.push(Reverse((OrderedF64::new(nd), u.0)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra_path;
+    use crate::gen::grid_network;
+
+    fn setup(seed: u64, side: u32) -> (Graph, ArcFlags) {
+        let g = grid_network(10, 10, 1.2, seed);
+        let part = GridPartition::build(&g, side);
+        let af = ArcFlags::build(&g, &part);
+        (g, af)
+    }
+
+    #[test]
+    fn exact_on_all_test_pairs() {
+        let (g, af) = setup(2000, 3);
+        for s in (0..100u32).step_by(7) {
+            for t in (0..100u32).step_by(11) {
+                let truth = dijkstra_path(&g, NodeId(s), NodeId(t)).unwrap();
+                let (got, _) = arcflag_path(&g, &af, NodeId(s), NodeId(t))
+                    .unwrap_or_else(|| panic!("({s},{t}) unreachable with flags"));
+                assert!(
+                    (got.distance - truth.distance).abs() <= 1e-9 * truth.distance.max(1.0),
+                    "({s},{t}): {} vs {}",
+                    got.distance,
+                    truth.distance
+                );
+                assert!(got.distance_consistent(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_search_space() {
+        let (g, af) = setup(2001, 4);
+        // Compare relaxations against an unpruned run (own trivial
+        // arc-flag index with every bit set has the same loop shape).
+        let part1 = GridPartition::build(&g, 1);
+        let unpruned = ArcFlags::build(&g, &part1);
+        let (s, t) = (NodeId(0), NodeId(99));
+        let (_, pruned_stats) = arcflag_path(&g, &af, s, t).unwrap();
+        let (_, full_stats) = arcflag_path(&g, &unpruned, s, t).unwrap();
+        assert!(
+            pruned_stats.relaxed < full_stats.relaxed,
+            "pruned {} ≥ full {}",
+            pruned_stats.relaxed,
+            full_stats.relaxed
+        );
+    }
+
+    #[test]
+    fn fill_ratio_decreases_with_more_cells() {
+        let g = grid_network(12, 12, 1.2, 2002);
+        let f2 = ArcFlags::build(&g, &GridPartition::build(&g, 2)).fill_ratio();
+        let f5 = ArcFlags::build(&g, &GridPartition::build(&g, 5)).fill_ratio();
+        assert!(f5 < f2, "{f5} ≥ {f2}");
+        assert!(f2 <= 1.0 && f5 > 0.0);
+    }
+
+    #[test]
+    fn single_cell_flags_are_full() {
+        let (g, af) = setup(2003, 1);
+        assert!((af.fill_ratio() - 1.0).abs() < 1e-12);
+        let (p, _) = arcflag_path(&g, &af, NodeId(0), NodeId(99)).unwrap();
+        let truth = dijkstra_path(&g, NodeId(0), NodeId(99)).unwrap();
+        assert!((p.distance - truth.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_query() {
+        let (g, af) = setup(2004, 3);
+        let (p, stats) = arcflag_path(&g, &af, NodeId(5), NodeId(5)).unwrap();
+        assert_eq!(p.distance, 0.0);
+        assert_eq!(stats.relaxed, 0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = crate::builder::GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(10.0, 10.0);
+        let w = b.add_node(1.0, 1.0);
+        b.add_edge(u, w, 1.0).unwrap();
+        let g = b.build();
+        let part = GridPartition::build(&g, 2);
+        let af = ArcFlags::build(&g, &part);
+        assert!(arcflag_path(&g, &af, u, v).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! A\* search \[23\] with a pluggable admissible heuristic.
+//!
+//! The LDM method runs A\* with the landmark lower bound `distLB(v, vt)`
+//! (Eq. 3 / Lemmas 3–4). A heuristic is *admissible* when
+//! `h(v) ≤ dist(v, vt)`; with an admissible heuristic the first time the
+//! target is popped its distance is exact, and every node popped with
+//! key `g(v) + h(v) ≤ dist(vs, vt)` defines the Lemma 2 search space.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::ofloat::OrderedF64;
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Point-to-point A\*. `h` must be admissible; `h(target)` should be 0.
+pub fn astar_path<H>(g: &Graph, source: NodeId, target: NodeId, h: H) -> Result<Path, GraphError>
+where
+    H: Fn(NodeId) -> f64,
+{
+    g.check_node(source)?;
+    g.check_node(target)?;
+    if source == target {
+        return Ok(Path::trivial(source));
+    }
+    let n = g.num_nodes();
+    let mut gscore = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
+    gscore[source.index()] = 0.0;
+    heap.push(Reverse((OrderedF64::new(h(source)), source.0)));
+    while let Some(Reverse((_, v))) = heap.pop() {
+        let vi = v as usize;
+        if settled[vi] {
+            continue;
+        }
+        settled[vi] = true;
+        if v == target.0 {
+            let mut nodes = vec![target];
+            let mut cur = target;
+            while let Some(p) = parent[cur.index()] {
+                nodes.push(p);
+                cur = p;
+            }
+            nodes.reverse();
+            return Ok(Path {
+                nodes,
+                distance: gscore[target.index()],
+            });
+        }
+        for (u, w) in g.neighbors(NodeId(v)) {
+            let ui = u.index();
+            if settled[ui] {
+                continue;
+            }
+            let nd = gscore[vi] + w;
+            if nd < gscore[ui] {
+                gscore[ui] = nd;
+                parent[ui] = Some(NodeId(v));
+                heap.push(Reverse((OrderedF64::new(nd + h(u)), u.0)));
+            }
+        }
+    }
+    Err(GraphError::Unreachable { source, target })
+}
+
+/// Returns the set of nodes `v` satisfying
+/// `dist(vs, v) + h(v) ≤ dist(vs, vt)` — the A\* search space of
+/// Lemma 2, which the LDM proof must contain (together with all their
+/// neighbors).
+///
+/// Computed by running a full Dijkstra from the source and filtering;
+/// this is the owner/provider-side characterization, independent of tie
+/// breaking inside any particular A\* implementation.
+pub fn astar_search_space<H>(g: &Graph, source: NodeId, sp_dist: f64, h: H) -> Vec<NodeId>
+where
+    H: Fn(NodeId) -> f64,
+{
+    let r = crate::algo::dijkstra::dijkstra_ball(g, source, sp_dist);
+    g.nodes()
+        .filter(|&v| {
+            let d = r.dist[v.index()];
+            d.is_finite() && d + h(v) <= sp_dist + 1e-9 * sp_dist.max(1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::{dijkstra_path, dijkstra_sssp};
+    use crate::gen::grid_network;
+
+    #[test]
+    fn astar_with_zero_heuristic_equals_dijkstra() {
+        let g = grid_network(10, 10, 1.15, 1);
+        for (s, t) in [(0u32, 99u32), (5, 87), (40, 41), (99, 0)] {
+            let d = dijkstra_path(&g, NodeId(s), NodeId(t)).unwrap();
+            let a = astar_path(&g, NodeId(s), NodeId(t), |_| 0.0).unwrap();
+            assert!((d.distance - a.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn astar_with_exact_heuristic_still_exact() {
+        // The tightest admissible heuristic: true distance to target.
+        let g = grid_network(8, 8, 1.2, 2);
+        let t = NodeId(63);
+        let exact = dijkstra_sssp(&g, t); // undirected: dist(v,t) = dist(t,v)
+        let a = astar_path(&g, NodeId(0), t, |v| exact.dist[v.index()]).unwrap();
+        let d = dijkstra_path(&g, NodeId(0), t).unwrap();
+        assert!((a.distance - d.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn astar_trivial_and_unreachable() {
+        let g = grid_network(4, 4, 1.0, 3);
+        assert_eq!(
+            astar_path(&g, NodeId(3), NodeId(3), |_| 0.0).unwrap().distance,
+            0.0
+        );
+        let mut b = crate::builder::GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(1.0, 1.0);
+        let g2 = b.build();
+        assert!(astar_path(&g2, u, v, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn search_space_shrinks_with_tighter_heuristic() {
+        let g = grid_network(12, 12, 1.15, 4);
+        let (s, t) = (NodeId(0), NodeId(143));
+        let sp = dijkstra_path(&g, s, t).unwrap().distance;
+        let exact = dijkstra_sssp(&g, t);
+        let loose = astar_search_space(&g, s, sp, |_| 0.0);
+        let tight = astar_search_space(&g, s, sp, |v| exact.dist[v.index()]);
+        assert!(tight.len() <= loose.len());
+        // Both must contain the endpoints.
+        assert!(tight.contains(&s) && tight.contains(&t));
+    }
+
+    #[test]
+    fn search_space_with_zero_heuristic_is_dijkstra_ball() {
+        let g = grid_network(9, 9, 1.1, 5);
+        let (s, t) = (NodeId(0), NodeId(80));
+        let sp = dijkstra_path(&g, s, t).unwrap().distance;
+        let space = astar_search_space(&g, s, sp, |_| 0.0);
+        let ball = crate::algo::dijkstra::dijkstra_ball(&g, s, sp);
+        let ball_nodes: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| ball.dist[v.index()].is_finite())
+            .collect();
+        assert_eq!(space, ball_nodes);
+    }
+}

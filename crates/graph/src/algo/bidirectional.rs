@@ -1,0 +1,165 @@
+//! Bidirectional Dijkstra \[24\]: simultaneous forward and backward
+//! expansion, meeting in the middle.
+//!
+//! One of the `algosp` choices available to the service provider
+//! (Algorithm 1, Line 1) — the verification framework is agnostic to
+//! how the provider computes the path.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::ofloat::OrderedF64;
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Point-to-point bidirectional Dijkstra on the undirected graph.
+pub fn bidirectional_path(g: &Graph, source: NodeId, target: NodeId) -> Result<Path, GraphError> {
+    g.check_node(source)?;
+    g.check_node(target)?;
+    if source == target {
+        return Ok(Path::trivial(source));
+    }
+    let n = g.num_nodes();
+    // Index 0 = forward (from source), 1 = backward (from target).
+    let mut dist = [vec![f64::INFINITY; n], vec![f64::INFINITY; n]];
+    let mut parent: [Vec<Option<NodeId>>; 2] = [vec![None; n], vec![None; n]];
+    let mut settled = [vec![false; n], vec![false; n]];
+    let mut heaps: [BinaryHeap<Reverse<(OrderedF64, u32)>>; 2] =
+        [BinaryHeap::new(), BinaryHeap::new()];
+    dist[0][source.index()] = 0.0;
+    dist[1][target.index()] = 0.0;
+    heaps[0].push(Reverse((OrderedF64::new(0.0), source.0)));
+    heaps[1].push(Reverse((OrderedF64::new(0.0), target.0)));
+
+    let mut best = f64::INFINITY;
+    let mut meet: Option<NodeId> = None;
+
+    loop {
+        // Pick the side with the smaller tentative key.
+        let side = match (heaps[0].peek(), heaps[1].peek()) {
+            (None, None) => break,
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (Some(Reverse((a, _))), Some(Reverse((b, _)))) => usize::from(a > b),
+        };
+        let Some(Reverse((OrderedF64(d), v))) = heaps[side].pop() else {
+            break;
+        };
+        let vi = v as usize;
+        if settled[side][vi] || d > dist[side][vi] {
+            continue;
+        }
+        settled[side][vi] = true;
+        // Termination: when the two frontiers' minimum keys sum past the
+        // best meeting distance, no better path can appear.
+        let other_min = heaps[1 - side]
+            .peek()
+            .map(|Reverse((k, _))| k.get())
+            .unwrap_or(f64::INFINITY);
+        if d + other_min >= best && meet.is_some() {
+            break;
+        }
+        for (u, w) in g.neighbors(NodeId(v)) {
+            let ui = u.index();
+            let nd = d + w;
+            if nd < dist[side][ui] {
+                dist[side][ui] = nd;
+                parent[side][ui] = Some(NodeId(v));
+                heaps[side].push(Reverse((OrderedF64::new(nd), u.0)));
+            }
+            // Candidate meeting point.
+            let total = dist[0][ui] + dist[1][ui];
+            if total < best {
+                best = total;
+                meet = Some(u);
+            }
+        }
+        let total_v = dist[0][vi] + dist[1][vi];
+        if total_v < best {
+            best = total_v;
+            meet = Some(NodeId(v));
+        }
+    }
+
+    let Some(m) = meet else {
+        return Err(GraphError::Unreachable { source, target });
+    };
+    // Stitch the two half-paths at the meeting node.
+    let mut fwd = vec![m];
+    let mut cur = m;
+    while let Some(p) = parent[0][cur.index()] {
+        fwd.push(p);
+        cur = p;
+    }
+    fwd.reverse();
+    let mut cur = m;
+    while let Some(p) = parent[1][cur.index()] {
+        fwd.push(p);
+        cur = p;
+    }
+    Ok(Path {
+        nodes: fwd,
+        distance: best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::dijkstra_path;
+    use crate::gen::{grid_network, random_geometric};
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        let g = grid_network(12, 12, 1.2, 10);
+        for (s, t) in [(0u32, 143u32), (7, 100), (60, 61), (143, 0), (12, 131)] {
+            let d = dijkstra_path(&g, NodeId(s), NodeId(t)).unwrap();
+            let b = bidirectional_path(&g, NodeId(s), NodeId(t)).unwrap();
+            assert!(
+                (d.distance - b.distance).abs() < 1e-9,
+                "({s},{t}): {} vs {}",
+                d.distance,
+                b.distance
+            );
+            assert!(b.distance_consistent(&g));
+            assert_eq!(b.source(), NodeId(s));
+            assert_eq!(b.target(), NodeId(t));
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_geometric() {
+        let g = random_geometric(150, 4, 11);
+        let mut checked = 0;
+        for (s, t) in [(0u32, 149u32), (10, 90), (50, 51), (120, 3)] {
+            let d = dijkstra_path(&g, NodeId(s), NodeId(t));
+            let b = bidirectional_path(&g, NodeId(s), NodeId(t));
+            match (d, b) {
+                (Ok(d), Ok(b)) => {
+                    assert!((d.distance - b.distance).abs() < 1e-9);
+                    checked += 1;
+                }
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("disagreement on reachability: {x:?} vs {y:?}"),
+            }
+        }
+        assert!(checked > 0, "geometric graph too disconnected for test");
+    }
+
+    #[test]
+    fn trivial_query() {
+        let g = grid_network(4, 4, 1.0, 12);
+        let p = bidirectional_path(&g, NodeId(5), NodeId(5)).unwrap();
+        assert_eq!(p.distance, 0.0);
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut b = crate::builder::GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(1.0, 1.0);
+        let g = b.build();
+        assert!(bidirectional_path(&g, u, v).is_err());
+    }
+}

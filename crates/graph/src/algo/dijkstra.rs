@@ -1,0 +1,259 @@
+//! Dijkstra's algorithm \[22\] in the three variants the framework
+//! needs.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::ofloat::OrderedF64;
+use crate::path::Path;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source run: per-node distance and parent.
+///
+/// Unreached nodes have `f64::INFINITY` distance and `None` parent.
+#[derive(Debug, Clone)]
+pub struct SsspResult {
+    /// The source node.
+    pub source: NodeId,
+    /// `dist[v]` = shortest-path distance from the source to `v`.
+    pub dist: Vec<f64>,
+    /// Parent pointers for path reconstruction.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl SsspResult {
+    /// Reconstructs the shortest path to `target`, if reached.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.parent[cur.index()] {
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        debug_assert_eq!(nodes[0], self.source);
+        Some(Path {
+            nodes,
+            distance: self.dist[target.index()],
+        })
+    }
+
+    /// Distance to `v` (`INFINITY` if unreached).
+    pub fn distance_to(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+}
+
+/// Full single-source Dijkstra: distances from `source` to every node.
+pub fn dijkstra_sssp(g: &Graph, source: NodeId) -> SsspResult {
+    run(g, source, None, f64::INFINITY)
+}
+
+/// Bounded-ball Dijkstra: settles exactly the nodes `v` with
+/// `dist(source, v) ≤ radius` (Lemma 1's subgraph).
+///
+/// Nodes beyond the radius keep infinite distance even if their
+/// tentative key was pushed.
+pub fn dijkstra_ball(g: &Graph, source: NodeId, radius: f64) -> SsspResult {
+    run(g, source, None, radius)
+}
+
+/// Point-to-point Dijkstra with early termination when `target` is
+/// settled.
+pub fn dijkstra_path(g: &Graph, source: NodeId, target: NodeId) -> Result<Path, GraphError> {
+    g.check_node(source)?;
+    g.check_node(target)?;
+    if source == target {
+        return Ok(Path::trivial(source));
+    }
+    let r = run(g, source, Some(target), f64::INFINITY);
+    r.path_to(target)
+        .ok_or(GraphError::Unreachable { source, target })
+}
+
+fn run(g: &Graph, source: NodeId, stop_at: Option<NodeId>, radius: f64) -> SsspResult {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrderedF64::new(0.0), source.0)));
+    while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
+        let vi = v as usize;
+        if settled[vi] || d > dist[vi] {
+            continue; // stale entry
+        }
+        if d > radius {
+            // Every remaining key is ≥ d: nothing else is in the ball.
+            dist[vi] = f64::INFINITY;
+            break;
+        }
+        settled[vi] = true;
+        if stop_at == Some(NodeId(v)) {
+            break;
+        }
+        for (u, w) in g.neighbors(NodeId(v)) {
+            let ui = u.index();
+            if settled[ui] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[ui] {
+                dist[ui] = nd;
+                parent[ui] = Some(NodeId(v));
+                heap.push(Reverse((OrderedF64::new(nd), u.0)));
+            }
+        }
+    }
+    // Tentative (never settled) nodes outside the ball are not part of
+    // the result: reset them so `dist` reflects settled nodes only.
+    if radius.is_finite() {
+        for i in 0..n {
+            if !settled[i] {
+                dist[i] = f64::INFINITY;
+                parent[i] = None;
+            }
+        }
+    }
+    SsspResult { source, dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// The 7-node example of Figure 1: shortest path v1→v4 is
+    /// v1→v3→v5→v6→v4 with cost 8.
+    pub(crate) fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        // ids: v1..v7 map to 0..6
+        for _ in 0..7 {
+            b.add_node(0.0, 0.0);
+        }
+        let e = [
+            (1u32, 2u32, 1.0), // v2-v3
+            (0, 1, 1.0),       // v1-v2
+            (0, 2, 2.0),       // v1-v3
+            (2, 4, 3.0),       // v3-v5
+            (4, 5, 2.0),       // v5-v6
+            (5, 3, 1.0),       // v6-v4
+            (4, 6, 2.0),       // v5-v7
+            (3, 6, 9.0),       // v4-v7
+        ];
+        for (u, v, w) in e {
+            b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_shortest_path() {
+        let g = figure1_graph();
+        let p = dijkstra_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.distance, 8.0);
+        assert_eq!(
+            p.nodes,
+            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(5), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn sssp_distances() {
+        let g = figure1_graph();
+        let r = dijkstra_sssp(&g, NodeId(0));
+        assert_eq!(r.distance_to(NodeId(0)), 0.0);
+        assert_eq!(r.distance_to(NodeId(1)), 1.0);
+        assert_eq!(r.distance_to(NodeId(2)), 2.0);
+        assert_eq!(r.distance_to(NodeId(4)), 5.0);
+        assert_eq!(r.distance_to(NodeId(5)), 7.0);
+        assert_eq!(r.distance_to(NodeId(3)), 8.0);
+        assert_eq!(r.distance_to(NodeId(6)), 7.0);
+    }
+
+    #[test]
+    fn trivial_query() {
+        let g = figure1_graph();
+        let p = dijkstra_path(&g, NodeId(2), NodeId(2)).unwrap();
+        assert_eq!(p.distance, 0.0);
+        assert_eq!(p.nodes, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(1.0, 1.0);
+        let g = b.build();
+        assert!(matches!(
+            dijkstra_path(&g, u, v),
+            Err(GraphError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let g = figure1_graph();
+        assert!(dijkstra_path(&g, NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn ball_contains_exactly_radius_nodes() {
+        let g = figure1_graph();
+        // dist from v1: [0,1,2,8,5,7,7]; ball radius 5 → {v1,v2,v3,v5}
+        let r = dijkstra_ball(&g, NodeId(0), 5.0);
+        let inside: Vec<u32> = (0..7u32)
+            .filter(|&i| r.dist[i as usize].is_finite())
+            .collect();
+        assert_eq!(inside, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn ball_radius_zero_is_source_only() {
+        let g = figure1_graph();
+        let r = dijkstra_ball(&g, NodeId(0), 0.0);
+        let inside: Vec<u32> = (0..7u32)
+            .filter(|&i| r.dist[i as usize].is_finite())
+            .collect();
+        assert_eq!(inside, vec![0]);
+    }
+
+    #[test]
+    fn ball_boundary_inclusive() {
+        let g = figure1_graph();
+        // radius exactly 8 must include v4 (dist = 8): Lemma 1 needs ≤.
+        let r = dijkstra_ball(&g, NodeId(0), 8.0);
+        assert!(r.dist[3].is_finite());
+    }
+
+    #[test]
+    fn path_reconstruction_consistent() {
+        let g = figure1_graph();
+        let r = dijkstra_sssp(&g, NodeId(0));
+        for v in g.nodes() {
+            let p = r.path_to(v).unwrap();
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.target(), v);
+            assert!(p.distance_consistent(&g));
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_handled() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        let d = b.add_node(2.0, 0.0);
+        b.add_edge(a, c, 0.0).unwrap();
+        b.add_edge(c, d, 0.0).unwrap();
+        let g = b.build();
+        let p = dijkstra_path(&g, a, d).unwrap();
+        assert_eq!(p.distance, 0.0);
+        assert_eq!(p.num_edges(), 2);
+    }
+}

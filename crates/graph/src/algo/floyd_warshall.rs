@@ -1,0 +1,161 @@
+//! Floyd–Warshall all-pairs shortest distances — the O(|V|³) algorithm
+//! the FULL method prescribes (Section IV-B).
+
+use crate::graph::Graph;
+
+/// A dense |V|×|V| distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major distances; `INFINITY` marks unreachable pairs.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates a matrix filled with `INFINITY`, zero diagonal.
+    pub fn new(n: usize) -> Self {
+        let mut data = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Matrix dimension |V|.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a 0×0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance from node `i` to node `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Borrow of row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// Runs Floyd–Warshall on the whole graph.
+///
+/// O(|V|³) time, O(|V|²) space — as the paper notes, "both complexities
+/// explode with the number of nodes", which Figure 9b demonstrates; use
+/// [`crate::algo::apsp_dijkstra`] for the identical output at
+/// O(|V|·|E|·log|V|) on sparse networks.
+pub fn floyd_warshall(g: &Graph) -> DistanceMatrix {
+    let n = g.num_nodes();
+    let mut m = DistanceMatrix::new(n);
+    for (u, v, w) in g.edges() {
+        // Undirected; keep the lighter of parallel edges (builder forbids
+        // them, but stay safe).
+        if w < m.get(u.index(), v.index()) {
+            m.set(u.index(), v.index(), w);
+            m.set(v.index(), u.index(), w);
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = m.get(i, k);
+            if dik.is_infinite() {
+                continue;
+            }
+            // Manual row split avoids a full matrix clone per iteration.
+            let row_k: Vec<f64> = m.row(k).to_vec();
+            let base = i * n;
+            for j in 0..n {
+                let alt = dik + row_k[j];
+                if alt < m.data[base + j] {
+                    m.data[base + j] = alt;
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::dijkstra_sssp;
+    use crate::gen::grid_network;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn matches_dijkstra_on_small_grid() {
+        let g = grid_network(6, 6, 1.2, 20);
+        let m = floyd_warshall(&g);
+        for s in 0..g.num_nodes() {
+            let r = dijkstra_sssp(&g, NodeId(s as u32));
+            for t in 0..g.num_nodes() {
+                let fw = m.get(s, t);
+                let dj = r.dist[t];
+                if fw.is_infinite() {
+                    assert!(dj.is_infinite());
+                } else {
+                    assert!((fw - dj).abs() < 1e-9, "({s},{t}): {fw} vs {dj}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_on_undirected() {
+        let g = grid_network(5, 5, 1.3, 21);
+        let m = floyd_warshall(&g);
+        for i in 0..25 {
+            for j in 0..25 {
+                assert_eq!(m.get(i, j).to_bits(), m.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_zero() {
+        let g = grid_network(4, 4, 1.0, 22);
+        let m = floyd_warshall(&g);
+        for i in 0..16 {
+            assert_eq!(m.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_infinite() {
+        let mut b = crate::builder::GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(1.0, 0.0);
+        b.add_node(9.0, 9.0); // isolated
+        b.add_edge(a, c, 1.5).unwrap();
+        let m = floyd_warshall(&b.build());
+        assert_eq!(m.get(0, 1), 1.5);
+        assert!(m.get(0, 2).is_infinite());
+        assert!(m.get(2, 1).is_infinite());
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = grid_network(5, 5, 1.25, 23);
+        let m = floyd_warshall(&g);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    if m.get(i, k).is_finite() && m.get(k, j).is_finite() {
+                        assert!(m.get(i, j) <= m.get(i, k) + m.get(k, j) + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for graph construction and queries.
+
+use crate::ids::NodeId;
+
+/// Errors raised by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a node id outside `[0, |V|)`.
+    NodeOutOfRange { node: NodeId, num_nodes: usize },
+    /// Edge weights must be finite and non-negative (Lemma 1 relies on
+    /// non-negativity).
+    InvalidWeight { u: NodeId, v: NodeId, weight: f64 },
+    /// Self loops carry no shortest-path information and are rejected.
+    SelfLoop(NodeId),
+    /// The same undirected edge was added twice.
+    DuplicateEdge { u: NodeId, v: NodeId },
+    /// No path exists between the queried nodes.
+    Unreachable { source: NodeId, target: NodeId },
+    /// The graph has no nodes.
+    EmptyGraph,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (|V| = {num_nodes})")
+            }
+            GraphError::InvalidWeight { u, v, weight } => {
+                write!(f, "edge ({u},{v}) has invalid weight {weight}")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at {v}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u},{v})"),
+            GraphError::Unreachable { source, target } => {
+                write!(f, "{target} unreachable from {source}")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

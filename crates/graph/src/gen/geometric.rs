@@ -1,0 +1,92 @@
+//! Random geometric graph generator (k-nearest-neighbor flavour).
+//!
+//! Used mainly in tests as a second, structurally different network
+//! family: nodes uniform in the extent, each connected to its `k`
+//! nearest neighbors with Euclidean weights. Unlike
+//! [`crate::gen::grid_network`] the result may be disconnected.
+
+use crate::builder::GraphBuilder;
+use crate::gen::grid::EXTENT;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a k-nearest-neighbor geometric graph with `n` nodes.
+///
+/// # Panics
+/// Panics if `n == 0` or `k == 0`.
+pub fn random_geometric(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(n > 0 && k > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0.0..EXTENT),
+                rng.random_range(0.0..EXTENT),
+            )
+        })
+        .collect();
+    for &(x, y) in &pts {
+        b.add_node(x, y);
+    }
+    // O(n²) neighbor scan — fine at test scale.
+    for i in 0..n {
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                ((dx * dx + dy * dy).sqrt(), j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(d, j) in dists.iter().take(k) {
+            let (u, v) = (NodeId(i as u32), NodeId(j as u32));
+            if !b.has_edge(u, v) {
+                b.add_edge(u, v, d).expect("valid geometric edge");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_bounds() {
+        let g = random_geometric(100, 3, 1);
+        assert_eq!(g.num_nodes(), 100);
+        // Each node contributes ≤ k edges; mutual nearest neighbors dedup.
+        assert!(g.num_edges() <= 300);
+        assert!(g.num_edges() >= 150);
+        let (minx, miny, maxx, maxy) = g.bounding_box().unwrap();
+        assert!(minx >= 0.0 && miny >= 0.0 && maxx <= EXTENT && maxy <= EXTENT);
+    }
+
+    #[test]
+    fn min_degree_k() {
+        let g = random_geometric(50, 2, 2);
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 2);
+        }
+    }
+
+    #[test]
+    fn weights_are_euclidean() {
+        let g = random_geometric(40, 3, 3);
+        for (u, v, w) in g.edges() {
+            assert!((w - g.euclidean(u, v)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = random_geometric(30, 3, 9);
+        let b = random_geometric(30, 3, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,208 @@
+//! The weighted spatial graph `G = (V, E, W)` in CSR form.
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+
+/// An undirected, weighted, spatial graph in compressed sparse row
+/// (CSR) form.
+///
+/// * Nodes carry `(x, y)` coordinates (the paper normalizes every
+///   network to `[0..10,000]²`; non-spatial graphs may use zeros).
+/// * Each undirected edge `(u, v, w)` is stored in both adjacency
+///   lists; adjacency lists are sorted by neighbor id, which makes the
+///   extended-tuple encoding canonical.
+///
+/// Construct via [`crate::builder::GraphBuilder`].
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub(crate) xs: Vec<f64>,
+    pub(crate) ys: Vec<f64>,
+    /// CSR offsets, length |V| + 1.
+    pub(crate) offsets: Vec<u32>,
+    /// Flattened adjacency targets, length 2|E|.
+    pub(crate) adj_targets: Vec<u32>,
+    /// Flattened adjacency weights, parallel to `adj_targets`.
+    pub(crate) adj_weights: Vec<f64>,
+    /// Number of undirected edges.
+    pub(crate) num_edges: usize,
+}
+
+impl Graph {
+    /// Number of nodes |V|.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Number of undirected edges |E|.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Coordinates of node `v`.
+    #[inline]
+    pub fn coords(&self, v: NodeId) -> (f64, f64) {
+        (self.xs[v.index()], self.ys[v.index()])
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Neighbors of `v` with edge weights, sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.adj_targets[lo..hi]
+            .iter()
+            .zip(&self.adj_weights[lo..hi])
+            .map(|(&t, &w)| (NodeId(t), w))
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Weight of edge `(u, v)`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        let slice = &self.adj_targets[lo..hi];
+        slice
+            .binary_search(&v.0)
+            .ok()
+            .map(|i| self.adj_weights[lo + i])
+    }
+
+    /// True iff edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Iterator over undirected edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Checks that a node id is within range.
+    pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes(),
+            })
+        }
+    }
+
+    /// Bounding box `(min_x, min_y, max_x, max_y)` of node coordinates.
+    ///
+    /// Returns `None` for an empty graph.
+    pub fn bounding_box(&self) -> Option<(f64, f64, f64, f64)> {
+        if self.num_nodes() == 0 {
+            return None;
+        }
+        let mut bb = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for i in 0..self.num_nodes() {
+            bb.0 = bb.0.min(self.xs[i]);
+            bb.1 = bb.1.min(self.ys[i]);
+            bb.2 = bb.2.max(self.xs[i]);
+            bb.3 = bb.3.max(self.ys[i]);
+        }
+        Some(bb)
+    }
+
+    /// Euclidean distance between two nodes' coordinates.
+    pub fn euclidean(&self, u: NodeId, v: NodeId) -> f64 {
+        let (ux, uy) = self.coords(u);
+        let (vx, vy) = self.coords(v);
+        ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::ids::NodeId;
+
+    fn triangle() -> crate::graph::Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(3.0, 0.0);
+        let d = b.add_node(0.0, 4.0);
+        b.add_edge(a, c, 3.0).unwrap();
+        b.add_edge(c, d, 5.0).unwrap();
+        b.add_edge(a, d, 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_id() {
+        let g = triangle();
+        let ns: Vec<u32> = g.neighbors(NodeId(2)).map(|(n, _)| n.0).collect();
+        assert_eq!(ns, vec![0, 1]);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(3.0));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(3.0));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(0)), None);
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn degree() {
+        let g = triangle();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        for (u, v, _) in es {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let g = triangle();
+        assert!((g.euclidean(NodeId(1), NodeId(2)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let g = triangle();
+        assert_eq!(g.bounding_box(), Some((0.0, 0.0, 3.0, 4.0)));
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = triangle();
+        assert!(g.check_node(NodeId(2)).is_ok());
+        assert!(g.check_node(NodeId(3)).is_err());
+    }
+}

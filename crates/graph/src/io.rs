@@ -1,0 +1,190 @@
+//! Plain-text graph serialization.
+//!
+//! A minimal, dependency-free format for persisting networks (e.g. to
+//! reuse one generated dataset across harness runs, or to import real
+//! edge lists):
+//!
+//! ```text
+//! spnet-graph 1
+//! <num_nodes> <num_edges>
+//! <x> <y>            # one line per node, id = line order
+//! ...
+//! <u> <v> <w>        # one line per undirected edge
+//! ...
+//! ```
+//!
+//! Floats are written with enough precision (`{:e}` round-trip format)
+//! that re-loading reproduces bit-identical weights — important because
+//! tuple digests hash the exact bit patterns.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised by graph (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the input text.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes `g` to `path` in the text format.
+pub fn save_graph(g: &Graph, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "spnet-graph 1")?;
+    writeln!(w, "{} {}", g.num_nodes(), g.num_edges())?;
+    for v in g.nodes() {
+        let (x, y) = g.coords(v);
+        writeln!(w, "{x:e} {y:e}")?;
+    }
+    for (u, v, weight) in g.edges() {
+        writeln!(w, "{} {} {weight:e}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a graph written by [`save_graph`].
+pub fn load_graph(path: &Path) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut lines = reader.lines().enumerate();
+
+    let mut next_line = |what: &str| -> Result<(usize, String), IoError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(IoError::Parse { line: i + 1, message: e.to_string() }),
+            None => Err(IoError::Parse { line: 0, message: format!("missing {what}") }),
+        }
+    };
+
+    let (ln, header) = next_line("header")?;
+    if header.trim() != "spnet-graph 1" {
+        return Err(IoError::Parse { line: ln, message: format!("bad header {header:?}") });
+    }
+    let (ln, counts) = next_line("counts")?;
+    let mut it = counts.split_whitespace();
+    let parse_usize = |s: Option<&str>, ln: usize| -> Result<usize, IoError> {
+        s.and_then(|v| v.parse().ok())
+            .ok_or(IoError::Parse { line: ln, message: "expected integer".into() })
+    };
+    let n = parse_usize(it.next(), ln)?;
+    let m = parse_usize(it.next(), ln)?;
+
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        let (ln, l) = next_line("node line")?;
+        let mut it = l.split_whitespace();
+        let parse_f = |s: Option<&str>| -> Result<f64, IoError> {
+            s.and_then(|v| v.parse().ok())
+                .ok_or(IoError::Parse { line: ln, message: "expected float".into() })
+        };
+        let x = parse_f(it.next())?;
+        let y = parse_f(it.next())?;
+        b.add_node(x, y);
+    }
+    for _ in 0..m {
+        let (ln, l) = next_line("edge line")?;
+        let mut it = l.split_whitespace();
+        let u = it
+            .next()
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or(IoError::Parse { line: ln, message: "expected node id".into() })?;
+        let v = it
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or(IoError::Parse { line: ln, message: "expected node id".into() })?;
+        let w = it
+            .next()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or(IoError::Parse { line: ln, message: "expected weight".into() })?;
+        b.add_edge(NodeId(u), NodeId(v), w)
+            .map_err(|e| IoError::Parse { line: ln, message: e.to_string() })?;
+    }
+    b.try_build()
+        .map_err(|e| IoError::Parse { line: 0, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid_network;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("spnet_io_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_bit_exact() {
+        let g = grid_network(9, 9, 1.15, 1400);
+        let path = tmp("round_trip");
+        save_graph(&g, &path).unwrap();
+        let back = load_graph(&path).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            let (x1, y1) = g.coords(v);
+            let (x2, y2) = back.coords(v);
+            assert_eq!(x1.to_bits(), x2.to_bits());
+            assert_eq!(y1.to_bits(), y2.to_bits());
+        }
+        for ((u1, v1, w1), (u2, v2, w2)) in g.edges().zip(back.edges()) {
+            assert_eq!((u1, v1), (u2, v2));
+            assert_eq!(w1.to_bits(), w2.to_bits(), "weights must round-trip bit-exactly");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let path = tmp("bad_header");
+        std::fs::write(&path, "not-a-graph\n1 0\n0 0\n").unwrap();
+        assert!(matches!(load_graph(&path), Err(IoError::Parse { line: 1, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let path = tmp("truncated");
+        std::fs::write(&path, "spnet-graph 1\n3 2\n0 0\n1 1\n").unwrap();
+        assert!(load_graph(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_edge() {
+        let path = tmp("bad_edge");
+        std::fs::write(&path, "spnet-graph 1\n2 1\n0 0\n1 1\n0 7 1.0\n").unwrap();
+        assert!(load_graph(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_graph(Path::new("/nonexistent/spnet.graph")),
+            Err(IoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Landmark selection strategies.
+//!
+//! The paper defers to \[26, 27\] for concrete selection methods; we
+//! implement the two standard ones. Farthest-point (a.k.a. k-center
+//! greedy) is the classic choice from Goldberg & Harrelson and yields
+//! tighter bounds than uniform random selection on road networks.
+
+use crate::algo::dijkstra::dijkstra_sssp;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// How landmarks are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// Uniform random sample of nodes.
+    Random,
+    /// Greedy farthest-point traversal: each landmark maximizes graph
+    /// distance to the closest already-chosen landmark.
+    Farthest,
+}
+
+/// Selects `c` landmark nodes.
+///
+/// # Panics
+/// Panics if `c == 0` or `c > |V|`.
+pub fn select_landmarks(
+    g: &Graph,
+    c: usize,
+    strategy: LandmarkStrategy,
+    seed: u64,
+) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(c > 0 && c <= n, "need 0 < c ≤ |V|");
+    let mut rng = StdRng::seed_from_u64(seed);
+    match strategy {
+        LandmarkStrategy::Random => {
+            let mut picked: Vec<NodeId> = sample(&mut rng, n, c)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect();
+            picked.sort();
+            picked
+        }
+        LandmarkStrategy::Farthest => {
+            // Start from a random node, then repeatedly take the node
+            // maximizing min-distance to the chosen set. min_dist is
+            // maintained incrementally with one SSSP per landmark.
+            let first = NodeId(sample(&mut rng, n, 1).index(0) as u32);
+            let mut picked = vec![first];
+            let mut min_dist = dijkstra_sssp(g, first).dist;
+            while picked.len() < c {
+                let (best, _) = min_dist
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.is_finite())
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .expect("graph has reachable nodes");
+                let lm = NodeId(best as u32);
+                picked.push(lm);
+                let r = dijkstra_sssp(g, lm);
+                for (m, d) in min_dist.iter_mut().zip(&r.dist) {
+                    if *d < *m {
+                        *m = *d;
+                    }
+                }
+            }
+            picked.sort();
+            picked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid_network;
+
+    #[test]
+    fn random_selection_properties() {
+        let g = grid_network(10, 10, 1.1, 1);
+        let lms = select_landmarks(&g, 10, LandmarkStrategy::Random, 7);
+        assert_eq!(lms.len(), 10);
+        let mut dedup = lms.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "landmarks must be distinct");
+        assert!(lms.windows(2).all(|w| w[0] < w[1]), "sorted output");
+    }
+
+    #[test]
+    fn farthest_selection_spreads_out() {
+        let g = grid_network(12, 12, 1.1, 2);
+        let far = select_landmarks(&g, 4, LandmarkStrategy::Farthest, 3);
+        assert_eq!(far.len(), 4);
+        // Pairwise graph distances among farthest landmarks should be
+        // large: each ≥ half the graph "radius" heuristically. Just
+        // check they are pairwise distinct and nonadjacent-ish.
+        for i in 0..far.len() {
+            for j in i + 1..far.len() {
+                assert_ne!(far[i], far[j]);
+                let d = crate::algo::dijkstra_path(&g, far[i], far[j]).unwrap().distance;
+                assert!(d > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid_network(9, 9, 1.1, 3);
+        for strat in [LandmarkStrategy::Random, LandmarkStrategy::Farthest] {
+            let a = select_landmarks(&g, 6, strat, 11);
+            let b = select_landmarks(&g, 6, strat, 11);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn c_equals_n_selects_everything() {
+        let g = grid_network(4, 4, 1.0, 4);
+        let lms = select_landmarks(&g, 16, LandmarkStrategy::Random, 5);
+        assert_eq!(lms.len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_landmarks_rejected() {
+        let g = grid_network(4, 4, 1.0, 5);
+        let _ = select_landmarks(&g, 0, LandmarkStrategy::Random, 6);
+    }
+}

@@ -1,0 +1,74 @@
+//! A totally-ordered wrapper over finite `f64` for use as heap keys.
+
+use std::cmp::Ordering;
+
+/// A finite `f64` with total ordering.
+///
+/// All distances in this workspace are finite and non-negative, so
+/// a NaN here is a logic error; construction asserts against it in
+/// debug builds.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// Wraps a value, debug-asserting it is not NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "OrderedF64 cannot hold NaN");
+        OrderedF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN in OrderedF64")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_works() {
+        assert!(OrderedF64::new(1.0) < OrderedF64::new(2.0));
+        assert!(OrderedF64::new(-1.0) < OrderedF64::new(0.0));
+        assert_eq!(OrderedF64::new(3.5), OrderedF64::new(3.5));
+    }
+
+    #[test]
+    fn usable_in_binary_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(Reverse(OrderedF64::new(v)));
+        }
+        assert_eq!(h.pop().unwrap().0.get(), 1.0);
+        assert_eq!(h.pop().unwrap().0.get(), 2.0);
+        assert_eq!(h.pop().unwrap().0.get(), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_rejected_in_debug() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,328 @@
+//! Graph-node orderings for the Merkle tree leaf layout (Section III-B,
+//! Figure 10).
+//!
+//! The integrity proof's size depends on how well the ordering
+//! preserves network proximity: tuples that verify together should sit
+//! under shared subtrees. The paper compares five orderings — random,
+//! Hilbert, kd-tree, depth-first and breadth-first — and finds `hbt`,
+//! `kd` and `dfs` comparable and clearly better than `bfs` and `rand`.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One of the paper's five orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeOrdering {
+    /// Breadth-first from node 0 (restarting per component).
+    Bfs,
+    /// Depth-first from node 0 (restarting per component).
+    Dfs,
+    /// Hilbert space-filling curve over the coordinates.
+    Hilbert,
+    /// kd-tree (recursive coordinate median split, in-order).
+    KdTree,
+    /// Seeded random shuffle.
+    Random,
+}
+
+/// All orderings in the paper's presentation order (Fig. 10).
+pub const ALL_ORDERINGS: [NodeOrdering; 5] = [
+    NodeOrdering::Bfs,
+    NodeOrdering::Dfs,
+    NodeOrdering::Hilbert,
+    NodeOrdering::KdTree,
+    NodeOrdering::Random,
+];
+
+impl NodeOrdering {
+    /// The figure label (`bfs`, `dfs`, `hbt`, `kd`, `rand`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeOrdering::Bfs => "bfs",
+            NodeOrdering::Dfs => "dfs",
+            NodeOrdering::Hilbert => "hbt",
+            NodeOrdering::KdTree => "kd",
+            NodeOrdering::Random => "rand",
+        }
+    }
+
+    /// Parses a figure label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "bfs" => Some(NodeOrdering::Bfs),
+            "dfs" => Some(NodeOrdering::Dfs),
+            "hbt" | "hilbert" => Some(NodeOrdering::Hilbert),
+            "kd" | "kdtree" => Some(NodeOrdering::KdTree),
+            "rand" | "random" => Some(NodeOrdering::Random),
+            _ => None,
+        }
+    }
+
+    /// Computes the permutation: position `i` of the returned vector is
+    /// the node placed at Merkle leaf `i`.
+    pub fn order(self, g: &Graph, seed: u64) -> Vec<NodeId> {
+        match self {
+            NodeOrdering::Bfs => bfs_order(g),
+            NodeOrdering::Dfs => dfs_order(g),
+            NodeOrdering::Hilbert => hilbert_order(g),
+            NodeOrdering::KdTree => kd_order(g),
+            NodeOrdering::Random => random_order(g, seed),
+        }
+    }
+}
+
+/// Breadth-first order, restarting at the smallest unvisited id per
+/// component.
+pub fn bfs_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut out = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        queue.push_back(NodeId(start as u32));
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            for (u, _) in g.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Depth-first order (iterative, neighbor order as stored), restarting
+/// per component.
+pub fn dfs_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut out = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        stack.push(NodeId(start as u32));
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            out.push(v);
+            // Push in reverse so the smallest-id neighbor pops first.
+            let ns: Vec<NodeId> = g.neighbors(v).map(|(u, _)| u).collect();
+            for u in ns.into_iter().rev() {
+                if !seen[u.index()] {
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Hilbert-curve order of the node coordinates (order-16 curve).
+pub fn hilbert_order(g: &Graph) -> Vec<NodeId> {
+    let Some((minx, miny, maxx, maxy)) = g.bounding_box() else {
+        return Vec::new();
+    };
+    let side = 1u32 << 16;
+    let sx = if maxx > minx { (side - 1) as f64 / (maxx - minx) } else { 0.0 };
+    let sy = if maxy > miny { (side - 1) as f64 / (maxy - miny) } else { 0.0 };
+    let mut keyed: Vec<(u64, NodeId)> = g
+        .nodes()
+        .map(|v| {
+            let (x, y) = g.coords(v);
+            let gx = ((x - minx) * sx) as u32;
+            let gy = ((y - miny) * sy) as u32;
+            (hilbert_d(16, gx, gy), v)
+        })
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Maps grid cell `(x, y)` to its distance along an order-`k` Hilbert
+/// curve (standard rotate-and-flip formulation).
+pub fn hilbert_d(k: u32, mut x: u32, mut y: u32) -> u64 {
+    let side: u32 = 1 << k;
+    let mut d: u64 = 0;
+    let mut s: u32 = side / 2;
+    while s > 0 {
+        let rx = u32::from((x & s) > 0);
+        let ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate/flip the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = side - 1 - x;
+                y = side - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// kd-tree order: recursive median split alternating x/y, emitting the
+/// in-order traversal (left, median, right).
+pub fn kd_order(g: &Graph) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = g.nodes().collect();
+    let mut out = Vec::with_capacity(ids.len());
+    kd_recurse(g, &mut ids, 0, &mut out);
+    out
+}
+
+fn kd_recurse(g: &Graph, ids: &mut [NodeId], depth: usize, out: &mut Vec<NodeId>) {
+    match ids.len() {
+        0 => {}
+        1 => out.push(ids[0]),
+        _ => {
+            let axis_x = depth.is_multiple_of(2);
+            ids.sort_by(|&a, &b| {
+                let ka = if axis_x { g.coords(a).0 } else { g.coords(a).1 };
+                let kb = if axis_x { g.coords(b).0 } else { g.coords(b).1 };
+                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+            });
+            let mid = ids.len() / 2;
+            let (left, rest) = ids.split_at_mut(mid);
+            let (median, right) = rest.split_at_mut(1);
+            kd_recurse(g, left, depth + 1, out);
+            out.push(median[0]);
+            kd_recurse(g, right, depth + 1, out);
+        }
+    }
+}
+
+/// Seeded random permutation.
+pub fn random_order(g: &Graph, seed: u64) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = g.nodes().collect();
+    ids.shuffle(&mut StdRng::seed_from_u64(seed));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid_network;
+    use std::collections::HashSet;
+
+    fn is_permutation(g: &Graph, order: &[NodeId]) -> bool {
+        order.len() == g.num_nodes()
+            && order.iter().collect::<HashSet<_>>().len() == g.num_nodes()
+    }
+
+    #[test]
+    fn all_orderings_are_permutations() {
+        let g = grid_network(9, 9, 1.15, 70);
+        for o in ALL_ORDERINGS {
+            let order = o.order(&g, 71);
+            assert!(is_permutation(&g, &order), "{} not a permutation", o.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for o in ALL_ORDERINGS {
+            assert_eq!(NodeOrdering::parse(o.name()), Some(o));
+        }
+        assert_eq!(NodeOrdering::parse("nope"), None);
+    }
+
+    #[test]
+    fn bfs_starts_at_zero_and_layers() {
+        let g = grid_network(5, 5, 1.0, 72);
+        let order = bfs_order(&g);
+        assert_eq!(order[0], NodeId(0));
+        // Second element must be a neighbor of node 0.
+        let ns: Vec<NodeId> = g.neighbors(NodeId(0)).map(|(u, _)| u).collect();
+        assert!(ns.contains(&order[1]));
+    }
+
+    #[test]
+    fn dfs_follows_edges() {
+        let g = grid_network(5, 5, 1.0, 73);
+        let order = dfs_order(&g);
+        assert_eq!(order[0], NodeId(0));
+        // In a DFS of a connected graph, consecutive-order nodes need
+        // not be adjacent, but the second node must neighbor the first.
+        let ns: Vec<NodeId> = g.neighbors(NodeId(0)).map(|(u, _)| u).collect();
+        assert!(ns.contains(&order[1]));
+    }
+
+    #[test]
+    fn hilbert_d_unit_square() {
+        // Order-1 curve visits (0,0),(0,1),(1,1),(1,0).
+        assert_eq!(hilbert_d(1, 0, 0), 0);
+        assert_eq!(hilbert_d(1, 0, 1), 1);
+        assert_eq!(hilbert_d(1, 1, 1), 2);
+        assert_eq!(hilbert_d(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn hilbert_d_is_bijective_order2() {
+        let mut seen = HashSet::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                assert!(seen.insert(hilbert_d(2, x, y)));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        assert!(seen.iter().all(|&d| d < 16));
+    }
+
+    #[test]
+    fn hilbert_preserves_locality_better_than_random() {
+        // Sum of |pos(u) − pos(v)| over edges: spatial orders should
+        // beat random by a wide margin on a grid.
+        let g = grid_network(12, 12, 1.1, 74);
+        let span = |order: &[NodeId]| -> u64 {
+            let mut pos = vec![0u32; g.num_nodes()];
+            for (i, v) in order.iter().enumerate() {
+                pos[v.index()] = i as u32;
+            }
+            g.edges()
+                .map(|(u, v, _)| pos[u.index()].abs_diff(pos[v.index()]) as u64)
+                .sum()
+        };
+        let hbt = span(&hilbert_order(&g));
+        let rand = span(&random_order(&g, 75));
+        assert!(hbt * 2 < rand, "hilbert {hbt} vs random {rand}");
+    }
+
+    #[test]
+    fn kd_order_spatially_coherent() {
+        let g = grid_network(10, 10, 1.1, 76);
+        let order = kd_order(&g);
+        assert!(is_permutation(&g, &order));
+        // First and last elements should be on opposite x-halves.
+        let (x0, _) = g.coords(order[0]);
+        let (x1, _) = g.coords(*order.last().unwrap());
+        assert!(x0 < x1);
+    }
+
+    #[test]
+    fn random_order_deterministic_per_seed() {
+        let g = grid_network(6, 6, 1.1, 77);
+        assert_eq!(random_order(&g, 1), random_order(&g, 1));
+        assert_ne!(random_order(&g, 1), random_order(&g, 2));
+    }
+
+    #[test]
+    fn empty_graph_orders() {
+        let g = crate::builder::GraphBuilder::new().build();
+        for o in ALL_ORDERINGS {
+            assert!(o.order(&g, 0).is_empty());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Euclidean grid partitioning with border-node classification — the
+//! first level of the HiTi graph \[28\] used by the HYP method
+//! (Section V-B).
+//!
+//! Nodes are assigned to `p = side²` grid cells by coordinates. A node
+//! is a *border node* of its cell iff it has an edge to a node in a
+//! different cell; otherwise it is an *inner node* (Figure 7a).
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// A grid partition of the node set.
+#[derive(Debug, Clone)]
+pub struct GridPartition {
+    side: u32,
+    /// Cell id of each node (row-major `cy·side + cx`).
+    cell_of: Vec<u32>,
+    /// Nodes per cell.
+    members: Vec<Vec<NodeId>>,
+    /// Border flag per node.
+    border: Vec<bool>,
+}
+
+impl GridPartition {
+    /// Partitions `g` into `side × side` cells over its bounding box.
+    ///
+    /// # Panics
+    /// Panics if `side == 0` or the graph is empty.
+    pub fn build(g: &Graph, side: u32) -> Self {
+        assert!(side > 0, "side must be positive");
+        let (minx, miny, maxx, maxy) = g.bounding_box().expect("non-empty graph");
+        let w = (maxx - minx).max(f64::MIN_POSITIVE);
+        let h = (maxy - miny).max(f64::MIN_POSITIVE);
+        let n = g.num_nodes();
+        let mut cell_of = Vec::with_capacity(n);
+        let mut members = vec![Vec::new(); (side * side) as usize];
+        for v in g.nodes() {
+            let (x, y) = g.coords(v);
+            let cx = (((x - minx) / w) * side as f64).min(side as f64 - 1.0) as u32;
+            let cy = (((y - miny) / h) * side as f64).min(side as f64 - 1.0) as u32;
+            let cell = cy * side + cx;
+            cell_of.push(cell);
+            members[cell as usize].push(v);
+        }
+        let border: Vec<bool> = g
+            .nodes()
+            .map(|v| {
+                g.neighbors(v)
+                    .any(|(u, _)| cell_of[u.index()] != cell_of[v.index()])
+            })
+            .collect();
+        GridPartition {
+            side,
+            cell_of,
+            members,
+            border,
+        }
+    }
+
+    /// Builds a partition with approximately `p` cells (`side = √p`
+    /// rounded; the paper's `p` values are perfect squares).
+    pub fn with_cells(g: &Graph, p: usize) -> Self {
+        let side = (p as f64).sqrt().round().max(1.0) as u32;
+        Self::build(g, side)
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Total number of cells `p = side²`.
+    pub fn num_cells(&self) -> usize {
+        (self.side * self.side) as usize
+    }
+
+    /// Cell id of node `v` — the `v.c` attribute of Eq. 7.
+    #[inline]
+    pub fn cell_of(&self, v: NodeId) -> u32 {
+        self.cell_of[v.index()]
+    }
+
+    /// Whether `v` is a border node — the `v.is_border` attribute.
+    #[inline]
+    pub fn is_border(&self, v: NodeId) -> bool {
+        self.border[v.index()]
+    }
+
+    /// All nodes of a cell.
+    pub fn cell_members(&self, cell: u32) -> &[NodeId] {
+        &self.members[cell as usize]
+    }
+
+    /// Border nodes of a cell.
+    pub fn cell_borders(&self, cell: u32) -> Vec<NodeId> {
+        self.members[cell as usize]
+            .iter()
+            .copied()
+            .filter(|&v| self.border[v.index()])
+            .collect()
+    }
+
+    /// All border nodes of the graph, ascending by id.
+    pub fn all_borders(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .border
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid_network;
+
+    #[test]
+    fn every_node_in_exactly_one_cell() {
+        let g = grid_network(10, 10, 1.15, 80);
+        let p = GridPartition::build(&g, 4);
+        let total: usize = (0..p.num_cells() as u32)
+            .map(|c| p.cell_members(c).len())
+            .sum();
+        assert_eq!(total, g.num_nodes());
+        for v in g.nodes() {
+            assert!(p.cell_members(p.cell_of(v)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn border_definition_matches_edges() {
+        let g = grid_network(12, 12, 1.2, 81);
+        let p = GridPartition::build(&g, 5);
+        for v in g.nodes() {
+            let crosses = g.neighbors(v).any(|(u, _)| p.cell_of(u) != p.cell_of(v));
+            assert_eq!(p.is_border(v), crosses);
+        }
+    }
+
+    #[test]
+    fn inner_nodes_have_in_cell_neighbors_only() {
+        let g = grid_network(12, 12, 1.2, 82);
+        let p = GridPartition::build(&g, 4);
+        for v in g.nodes() {
+            if !p.is_border(v) {
+                for (u, _) in g.neighbors(v) {
+                    assert_eq!(p.cell_of(u), p.cell_of(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_has_no_borders() {
+        let g = grid_network(6, 6, 1.1, 83);
+        let p = GridPartition::build(&g, 1);
+        assert_eq!(p.num_cells(), 1);
+        assert!(g.nodes().all(|v| !p.is_border(v)));
+    }
+
+    #[test]
+    fn more_cells_more_borders() {
+        let g = grid_network(20, 20, 1.1, 84);
+        let few = GridPartition::with_cells(&g, 4).all_borders().len();
+        let many = GridPartition::with_cells(&g, 64).all_borders().len();
+        assert!(many > few, "{many} vs {few}");
+    }
+
+    #[test]
+    fn with_cells_rounds_to_square() {
+        let g = grid_network(8, 8, 1.1, 85);
+        assert_eq!(GridPartition::with_cells(&g, 25).side(), 5);
+        assert_eq!(GridPartition::with_cells(&g, 100).side(), 10);
+        assert_eq!(GridPartition::with_cells(&g, 1).side(), 1);
+    }
+
+    #[test]
+    fn all_borders_sorted_unique() {
+        let g = grid_network(10, 10, 1.2, 86);
+        let p = GridPartition::build(&g, 3);
+        let b = p.all_borders();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,126 @@
+//! Query workload generation (Section VI-A).
+//!
+//! "We generate a workload with 100 source-target (vs, vt) pairs, such
+//! that the shortest path distance between the source node vs and the
+//! target node vt is as close to the query range as possible."
+
+use crate::algo::dijkstra::dijkstra_ball;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A query workload: `(vs, vt)` pairs with near-`range` distances.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The query pairs.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// The target query range the pairs approximate.
+    pub range: f64,
+}
+
+/// Generates `count` pairs whose shortest-path distance is as close to
+/// `range` as possible.
+///
+/// For each pair: pick a random source, expand a Dijkstra ball to
+/// `1.5 × range`, and choose the settled node whose distance is closest
+/// to `range`. Sources whose ball never reaches `0.5 × range` (deep in
+/// a sparse corner) are resampled.
+///
+/// # Panics
+/// Panics on an empty graph or non-positive range.
+pub fn make_workload(g: &Graph, range: f64, count: usize, seed: u64) -> Workload {
+    assert!(g.num_nodes() > 1, "need at least two nodes");
+    assert!(range > 0.0, "range must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while pairs.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count * 200,
+            "workload generation cannot hit range {range} on this graph"
+        );
+        let vs = NodeId(rng.random_range(0..g.num_nodes() as u32));
+        let ball = dijkstra_ball(g, vs, range * 1.5);
+        let mut best: Option<(f64, NodeId)> = None;
+        for v in g.nodes() {
+            if v == vs {
+                continue;
+            }
+            let d = ball.dist[v.index()];
+            if !d.is_finite() {
+                continue;
+            }
+            let gap = (d - range).abs();
+            if best.is_none_or(|(bg, _)| gap < bg) {
+                best = Some((gap, v));
+            }
+        }
+        match best {
+            Some((gap, vt)) if gap <= range * 0.5 => pairs.push((vs, vt)),
+            _ => continue,
+        }
+    }
+    Workload { pairs, range }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra_path;
+    use crate::gen::grid_network;
+
+    #[test]
+    fn distances_near_range() {
+        let g = grid_network(20, 20, 1.15, 90);
+        let range = 3000.0;
+        let w = make_workload(&g, range, 20, 91);
+        assert_eq!(w.pairs.len(), 20);
+        for &(s, t) in &w.pairs {
+            let d = dijkstra_path(&g, s, t).unwrap().distance;
+            assert!(
+                (d - range).abs() <= range * 0.5,
+                "pair ({s},{t}) distance {d} too far from {range}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid_network(10, 10, 1.1, 92);
+        let a = make_workload(&g, 2000.0, 10, 93);
+        let b = make_workload(&g, 2000.0, 10, 93);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn source_differs_from_target() {
+        let g = grid_network(10, 10, 1.1, 94);
+        let w = make_workload(&g, 1000.0, 30, 95);
+        assert!(w.pairs.iter().all(|(s, t)| s != t));
+    }
+
+    #[test]
+    fn small_ranges_supported() {
+        let g = grid_network(15, 15, 1.1, 96);
+        let w = make_workload(&g, 250.0, 10, 97);
+        for &(s, t) in &w.pairs {
+            let d = dijkstra_path(&g, s, t).unwrap().distance;
+            assert!(d <= 250.0 * 1.5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unreachable_range_panics() {
+        // A 2-node graph cannot produce 100 pairs at a range far beyond
+        // its diameter.
+        let mut b = crate::builder::GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(1.0, 0.0);
+        b.add_edge(u, v, 1.0).unwrap();
+        let g = b.build();
+        let _ = make_workload(&g, 1e9, 5, 98);
+    }
+}

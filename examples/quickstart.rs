@@ -1,0 +1,50 @@
+//! Quickstart: the full three-party protocol in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release -p spnet-bench --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spnet_core::prelude::*;
+use spnet_graph::gen::grid_network;
+use spnet_graph::NodeId;
+
+fn main() {
+    // 1. A road network: 400 junctions on a jittered grid, normalized
+    //    to the paper's [0..10,000]² extent.
+    let graph = grid_network(20, 20, 1.1, 7);
+    println!("network: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+
+    // 2. The data owner builds and signs the authenticated structures.
+    //    LDM with 32 landmarks, 12-bit quantization, ξ = 50.
+    let mut rng = StdRng::seed_from_u64(7);
+    let method = MethodConfig::Ldm(LdmConfig { landmarks: 32, ..LdmConfig::default() });
+    let published = DataOwner::publish(&graph, &method, &SetupConfig::default(), &mut rng);
+    println!(
+        "owner: published {} hints in {:.2}s",
+        method.name(),
+        published.construction_seconds
+    );
+
+    // 3. The (untrusted) service provider answers a query with a proof.
+    let provider = ServiceProvider::new(published.package);
+    let (vs, vt) = (NodeId(0), NodeId(399));
+    let answer = provider.answer(vs, vt).expect("connected network");
+    let stats = answer.stats();
+    println!(
+        "provider: path with {} edges, distance {:.1}; proof = {:.1} KB (ΓS {:.1} KB + ΓT {:.1} KB)",
+        answer.path.num_edges(),
+        answer.path.distance,
+        stats.total_kbytes(),
+        stats.s_bytes as f64 / 1024.0,
+        stats.t_bytes as f64 / 1024.0,
+    );
+
+    // 4. The client verifies using only the owner's public key.
+    let client = Client::new(published.public_key);
+    match client.verify(vs, vt, &answer) {
+        Ok(v) => println!("client: ✔ verified shortest path, distance {:.1}", v.distance),
+        Err(e) => println!("client: ✘ REJECTED — {e}"),
+    }
+}
