@@ -17,15 +17,41 @@ fn bench_sha256(c: &mut Criterion) {
     for size in [64usize, 1024, 65536] {
         let data = vec![0xABu8; size];
         g.throughput(criterion::Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| sha256(black_box(&data)))
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    g.finish();
+}
+
+/// Inner-node combiner: the stack-buffer fast path vs the seed's
+/// streaming `update`-per-child hashing.
+fn bench_hash_digests(c: &mut Criterion) {
+    use spnet_crypto::digest::hash_digests;
+    use spnet_crypto::sha256::Sha256;
+    let mut g = c.benchmark_group("inner_node");
+    for fanout in [2usize, 32] {
+        let children: Vec<_> = (0..fanout as u32)
+            .map(|i| hash_bytes(&i.to_le_bytes()))
+            .collect();
+        g.bench_function(format!("streaming_f{fanout}"), |b| {
+            b.iter(|| {
+                let mut h = Sha256::new();
+                for d in &children {
+                    h.update(d.as_bytes());
+                }
+                h.finalize()
+            })
+        });
+        g.bench_function(format!("stack_f{fanout}"), |b| {
+            b.iter(|| hash_digests(black_box(&children)))
         });
     }
     g.finish();
 }
 
 fn bench_merkle_build(c: &mut Criterion) {
-    let leaves: Vec<_> = (0u32..10_000).map(|i| hash_bytes(&i.to_le_bytes())).collect();
+    let leaves: Vec<_> = (0u32..10_000)
+        .map(|i| hash_bytes(&i.to_le_bytes()))
+        .collect();
     let mut g = c.benchmark_group("merkle_build_10k");
     for fanout in [2usize, 8, 32] {
         g.bench_function(format!("fanout{fanout}"), |b| {
@@ -40,7 +66,9 @@ fn bench_merkle_build(c: &mut Criterion) {
 }
 
 fn bench_merkle_prove(c: &mut Criterion) {
-    let leaves: Vec<_> = (0u32..10_000).map(|i| hash_bytes(&i.to_le_bytes())).collect();
+    let leaves: Vec<_> = (0u32..10_000)
+        .map(|i| hash_bytes(&i.to_le_bytes()))
+        .collect();
     let tree = MerkleTree::build(leaves, 2).unwrap();
     let contiguous: BTreeSet<usize> = (4000..4100).collect();
     c.bench_function("merkle_prove_100of10k", |b| {
@@ -59,5 +87,12 @@ fn bench_rsa(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_merkle_build, bench_merkle_prove, bench_rsa);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hash_digests,
+    bench_merkle_build,
+    bench_merkle_prove,
+    bench_rsa
+);
 criterion_main!(benches);

@@ -37,8 +37,12 @@ fn bench_all_pairs(c: &mut Criterion) {
     let g = grid_network(14, 14, 1.1, 3);
     let mut grp = c.benchmark_group("apsp_196");
     grp.sample_size(10);
-    grp.bench_function("floyd_warshall", |b| b.iter(|| floyd_warshall(black_box(&g))));
-    grp.bench_function("repeated_dijkstra", |b| b.iter(|| apsp_dijkstra(black_box(&g))));
+    grp.bench_function("floyd_warshall", |b| {
+        b.iter(|| floyd_warshall(black_box(&g)))
+    });
+    grp.bench_function("repeated_dijkstra", |b| {
+        b.iter(|| apsp_dijkstra(black_box(&g)))
+    });
     grp.finish();
 }
 
@@ -60,5 +64,10 @@ fn bench_landmarks(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_point_to_point, bench_all_pairs, bench_landmarks);
+criterion_group!(
+    benches,
+    bench_point_to_point,
+    bench_all_pairs,
+    bench_landmarks
+);
 criterion_main!(benches);

@@ -16,8 +16,13 @@ use std::hint::black_box;
 fn methods() -> Vec<MethodConfig> {
     vec![
         MethodConfig::Dij,
-        MethodConfig::Full { use_floyd_warshall: false },
-        MethodConfig::Ldm(LdmConfig { landmarks: 16, ..LdmConfig::default() }),
+        MethodConfig::Full {
+            use_floyd_warshall: false,
+        },
+        MethodConfig::Ldm(LdmConfig {
+            landmarks: 16,
+            ..LdmConfig::default()
+        }),
         MethodConfig::Hyp { cells: 25 },
     ]
 }
@@ -31,7 +36,9 @@ fn bench_prove_and_verify(c: &mut Criterion) {
         let client = Client::new(p.public_key.clone());
         let provider = ServiceProvider::new(p.package);
         let answer = provider.answer(s, t).unwrap();
-        client.verify(s, t, &answer).expect("honest answer verifies");
+        client
+            .verify(s, t, &answer)
+            .expect("honest answer verifies");
         let mut grp = c.benchmark_group(format!("proto_{}", method.name()));
         grp.sample_size(20);
         grp.bench_function("prove", |b| {

@@ -78,7 +78,9 @@ impl HarnessConfig {
     pub fn all_methods(&self) -> Vec<MethodConfig> {
         vec![
             MethodConfig::Dij,
-            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
             self.ldm(),
             MethodConfig::Hyp { cells: self.cells },
         ]

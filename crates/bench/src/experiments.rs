@@ -39,7 +39,14 @@ fn comm_row(m: &MethodMeasurement, label: Option<&str>) -> Vec<String> {
     ]
 }
 
-const COMM_HEADER: [&str; 6] = ["method", "S-prf KB", "T-prf KB", "total KB", "gen ms", "verify ms"];
+const COMM_HEADER: [&str; 6] = [
+    "method",
+    "S-prf KB",
+    "T-prf KB",
+    "total KB",
+    "gen ms",
+    "verify ms",
+];
 
 /// Figures 8a + 8b + 8c: the default-setting comparison.
 pub fn fig8(cfg: &HarnessConfig) -> Vec<(String, Table)> {
@@ -57,7 +64,10 @@ pub fn fig8(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         .map(|m| run_method(&g, m, cfg))
         .collect();
 
-    let mut a = Table::new("Fig 8a — communication overhead (default setting)", &COMM_HEADER);
+    let mut a = Table::new(
+        "Fig 8a — communication overhead (default setting)",
+        &COMM_HEADER,
+    );
     for m in &measurements {
         a.row(comm_row(m, None));
     }
@@ -82,7 +92,11 @@ pub fn fig8(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     for t in [&a, &b, &c] {
         t.print();
     }
-    vec![("fig8a".into(), a), ("fig8b".into(), b), ("fig8c".into(), c)]
+    vec![
+        ("fig8a".into(), a),
+        ("fig8b".into(), b),
+        ("fig8c".into(), c),
+    ]
 }
 
 /// Figures 9a + 9b: effect of the dataset.
@@ -97,7 +111,12 @@ pub fn fig9(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     );
     for ds in ALL_DATASETS {
         let g = ds.generate(cfg.scale, cfg.seed);
-        eprintln!("[fig9] {} → |V|={} |E|={}", ds.name(), g.num_nodes(), g.num_edges());
+        eprintln!(
+            "[fig9] {} → |V|={} |E|={}",
+            ds.name(),
+            g.num_nodes(),
+            g.num_edges()
+        );
         for method in cfg.all_methods() {
             let m = run_method(&g, &method, cfg);
             a.row(vec![
@@ -130,7 +149,10 @@ pub fn fig10(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         &["ordering", "method", "S-prf KB", "T-prf KB", "total KB"],
     );
     for ordering in ALL_ORDERINGS {
-        let sub = HarnessConfig { ordering, ..cfg.clone() };
+        let sub = HarnessConfig {
+            ordering,
+            ..cfg.clone()
+        };
         for method in sub.all_methods() {
             let m = run_method(&g, &method, &sub);
             t.row(vec![
@@ -154,10 +176,17 @@ pub fn fig11a(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         &["fanout", "method", "total KB"],
     );
     for fanout in [2usize, 4, 8, 16, 32] {
-        let sub = HarnessConfig { fanout, ..cfg.clone() };
+        let sub = HarnessConfig {
+            fanout,
+            ..cfg.clone()
+        };
         for method in sub.all_methods() {
             let m = run_method(&g, &method, &sub);
-            t.row(vec![format!("{fanout}"), m.method.clone(), fmt_f(m.total_kb())]);
+            t.row(vec![
+                format!("{fanout}"),
+                m.method.clone(),
+                fmt_f(m.total_kb()),
+            ]);
         }
     }
     t.print();
@@ -172,10 +201,17 @@ pub fn fig11b(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         &["range", "method", "total KB"],
     );
     for range in [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0] {
-        let sub = HarnessConfig { range, ..cfg.clone() };
+        let sub = HarnessConfig {
+            range,
+            ..cfg.clone()
+        };
         for method in sub.all_methods() {
             let m = run_method(&g, &method, &sub);
-            t.row(vec![format!("{range}"), m.method.clone(), fmt_f(m.total_kb())]);
+            t.row(vec![
+                format!("{range}"),
+                m.method.clone(),
+                fmt_f(m.total_kb()),
+            ]);
         }
     }
     t.print();
@@ -195,7 +231,10 @@ pub fn fig12(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     );
     for c in [50usize, 100, 200, 400, 800] {
         let landmarks = c.min(g.num_nodes());
-        let sub = HarnessConfig { landmarks, ..cfg.clone() };
+        let sub = HarnessConfig {
+            landmarks,
+            ..cfg.clone()
+        };
         let m = run_method(&g, &sub.ldm(), &sub);
         // The paper's mechanism (tighter bounds ⇒ smaller search space)
         // shows in the item count; the byte total also carries the
@@ -224,7 +263,10 @@ pub fn fig13(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         &["cells", "construction s"],
     );
     for p in [25usize, 49, 100, 225, 400, 625] {
-        let sub = HarnessConfig { cells: p, ..cfg.clone() };
+        let sub = HarnessConfig {
+            cells: p,
+            ..cfg.clone()
+        };
         let m = run_method(
             &g,
             &spnet_core::methods::MethodConfig::Hyp { cells: p },
@@ -248,7 +290,10 @@ pub fn ext_ldm(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         &["bits", "total KB"],
     );
     for bits in [4u8, 8, 12, 16, 24] {
-        let sub = HarnessConfig { bits, ..cfg.clone() };
+        let sub = HarnessConfig {
+            bits,
+            ..cfg.clone()
+        };
         let m = run_method(&g, &sub.ldm(), &sub);
         a.row(vec![format!("{bits}"), fmt_f(m.total_kb())]);
     }
@@ -295,7 +340,10 @@ pub fn model(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         &["range", "method", "predicted KB", "measured KB", "ratio"],
     );
     for range in [1000.0, 2000.0, 4000.0] {
-        let sub = HarnessConfig { range, ..cfg.clone() };
+        let sub = HarnessConfig {
+            range,
+            ..cfg.clone()
+        };
         for method in sub.all_methods() {
             let measured = run_method(&g, &method, &sub).total_kb();
             let predicted = match method.name() {
@@ -345,7 +393,8 @@ pub fn ablation_chain(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     let provider = ServiceProvider::new(published.package);
     let _ = pk;
 
-    let workload = spnet_graph::workload::make_workload(&g, cfg.range, cfg.queries.min(20), cfg.seed ^ 0x0111);
+    let workload =
+        spnet_graph::workload::make_workload(&g, cfg.range, cfg.queries.min(20), cfg.seed ^ 0x0111);
     let mut mht_bytes = 0usize;
     let mut chain_bytes = 0usize;
     let mut mht_items = 0usize;
@@ -359,7 +408,8 @@ pub fn ablation_chain(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         mht_bytes += answer.integrity.size_bytes();
         mht_items += answer.integrity.num_items();
         // Time the Merkle reconstruction alone.
-        let tuples: Vec<&spnet_core::tuple::ExtendedTuple> = answer.sp.tuples().iter().collect();
+        let tuples: Vec<&spnet_core::tuple::ExtendedTuple> =
+            answer.sp.tuples().iter().map(|t| &**t).collect();
         let leaves: Vec<(usize, spnet_crypto::digest::Digest)> = tuples
             .iter()
             .zip(&answer.integrity.positions)
@@ -389,7 +439,13 @@ pub fn ablation_chain(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     let q = workload.pairs.len();
     let mut t = Table::new(
         "Ablation — ΓT via Merkle tree (paper) vs signature chaining [14,15,16]",
-        &["scheme", "ΓT KB", "items", "client verify ms", "owner build s"],
+        &[
+            "scheme",
+            "ΓT KB",
+            "items",
+            "client verify ms",
+            "owner build s",
+        ],
     );
     t.row(vec![
         "MHT".into(),
@@ -416,11 +472,22 @@ pub fn ablation_chain(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     let mut t = Table::new(
         "Timing — proof generation / verification vs proof size",
-        &["scale", "|V|", "method", "total KB", "gen ms", "verify ms", "verify µs/KB"],
+        &[
+            "scale",
+            "|V|",
+            "method",
+            "total KB",
+            "gen ms",
+            "verify ms",
+            "verify µs/KB",
+        ],
     );
     for scale in [cfg.scale / 2.0, cfg.scale, cfg.scale * 2.0] {
         let g = cfg.dataset.generate(scale, cfg.seed);
-        let sub = HarnessConfig { scale, ..cfg.clone() };
+        let sub = HarnessConfig {
+            scale,
+            ..cfg.clone()
+        };
         for method in sub.all_methods() {
             let m = run_method(&g, &method, &sub);
             t.row(vec![
@@ -439,9 +506,20 @@ pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 }
 
 /// Which experiment ids exist (for CLI help and the `all` runner).
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "ext_ldm", "model",
-    "ablation_chain", "timing", "all",
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig13",
+    "ext_ldm",
+    "model",
+    "ablation_chain",
+    "timing",
+    "throughput",
+    "all",
 ];
 
 /// Runs one experiment by id.
@@ -463,11 +541,22 @@ pub fn run(id: &str, cfg: &HarnessConfig) -> Option<Vec<(String, Table)>> {
         "model" => Some(model(cfg)),
         "ablation_chain" => Some(ablation_chain(cfg)),
         "timing" => Some(timing(cfg)),
+        "throughput" => Some(crate::throughput::throughput(cfg)),
         "all" => {
             let mut out = Vec::new();
             for f in [
-                fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, ext_ldm, model,
+                fig8,
+                fig9,
+                fig10,
+                fig11a,
+                fig11b,
+                fig12,
+                fig13,
+                ext_ldm,
+                model,
                 ablation_chain,
+                timing,
+                crate::throughput::throughput,
             ] {
                 out.extend(f(cfg));
             }

@@ -21,7 +21,9 @@ pub mod experiments;
 pub mod model;
 pub mod report;
 pub mod runner;
+pub mod throughput;
 
 pub use config::HarnessConfig;
 pub use report::Table;
 pub use runner::{run_method, MethodMeasurement};
+pub use throughput::{run_throughput, ThroughputReport};

@@ -23,10 +23,10 @@
 //!   runs (Hilbert locality of a 2-D region) costs approximately
 //!   `(f−1) · R · log_f(n/R)` digests.
 
-use spnet_graph::algo::dijkstra_sssp;
-use spnet_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use spnet_graph::algo::dijkstra_sssp;
+use spnet_graph::{Graph, NodeId};
 
 /// Digest size in bytes (SHA-256).
 const DIGEST_BYTES: f64 = 32.0;
@@ -87,7 +87,11 @@ impl SizeModel {
             fanout: fanout as f64,
             dist_samples: dists,
             base_tuple_bytes,
-            hops_per_unit: if hops_den > 0.0 { hops_num / hops_den } else { 0.0 },
+            hops_per_unit: if hops_den > 0.0 {
+                hops_num / hops_den
+            } else {
+                0.0
+            },
         }
     }
 

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this workspace ships
+//! a minimal harness with criterion-compatible spelling: benches are
+//! plain binaries (`harness = false`), register functions via
+//! [`criterion_group!`]/[`criterion_main!`], and use
+//! [`Criterion::bench_function`] / [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark is warmed up for
+//! [`Criterion::warm_up_ms`], then timed over several samples whose
+//! iteration counts target [`Criterion::measure_ms`] of wall clock
+//! each; the **median** per-iteration time is reported. Set the
+//! environment variable `SPNET_BENCH_FAST=1` to cut both windows for
+//! smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (API compatibility; the shim
+/// always times the routine alone, running setup untimed per call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, reported alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark context.
+pub struct Criterion {
+    /// Warmup window per benchmark (milliseconds).
+    pub warm_up_ms: u64,
+    /// Measurement window per sample (milliseconds).
+    pub measure_ms: u64,
+    /// Number of timed samples (median is reported).
+    pub samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("SPNET_BENCH_FAST").is_ok_and(|v| v == "1");
+        Criterion {
+            warm_up_ms: if fast { 5 } else { 40 },
+            measure_ms: if fast { 10 } else { 80 },
+            samples: if fast { 3 } else { 7 },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.warm_up_ms, self.measure_ms, self.samples);
+        f(&mut b);
+        let m = b.finish(id, None);
+        report(&m);
+        self.results.push(m);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.c.warm_up_ms, self.c.measure_ms, self.c.samples);
+        f(&mut b);
+        let m = b.finish(id, self.throughput);
+        report(&m);
+        self.c.results.push(m);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(m: &Measurement) {
+    let time = fmt_time(m.median_ns);
+    match m.throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / m.median_ns * 1000.0; // ns → MB/s
+            println!("bench {:<44} {:>12}/iter  {:>10.1} MB/s", m.id, time, mbps);
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / m.median_ns * 1e9;
+            println!("bench {:<44} {:>12}/iter  {:>10.0} elem/s", m.id, time, eps);
+        }
+        None => println!("bench {:<44} {:>12}/iter", m.id, time),
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    recorded_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up_ms: u64, measure_ms: u64, samples: usize) -> Self {
+        Bencher {
+            warm_up: Duration::from_millis(warm_up_ms),
+            measure: Duration::from_millis(measure_ms),
+            samples: samples.max(1),
+            recorded_ns: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `routine`, timing it in adaptive batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup while estimating cost per iteration.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            std::hint::black_box(routine());
+            iters_done += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
+        let batch = ((self.measure.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.recorded_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup.
+        let warm_start = Instant::now();
+        let mut timed_ns: f64 = 0.0;
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            timed_ns += t0.elapsed().as_nanos() as f64;
+            iters_done += 1;
+        }
+        let est_ns = (timed_ns / iters_done as f64).max(1.0);
+        let batch = ((self.measure.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+        for _ in 0..self.samples {
+            let mut sample_ns = 0.0;
+            for _ in 0..batch {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                sample_ns += t0.elapsed().as_nanos() as f64;
+            }
+            self.recorded_ns.push(sample_ns / batch as f64);
+        }
+    }
+
+    fn finish(mut self, id: String, throughput: Option<Throughput>) -> Measurement {
+        assert!(
+            !self.recorded_ns.is_empty(),
+            "benchmark {id} never called iter/iter_batched"
+        );
+        self.recorded_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = self.recorded_ns[self.recorded_ns.len() / 2];
+        Measurement {
+            id,
+            median_ns,
+            throughput,
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` spelling works too.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            warm_up_ms: 1,
+            measure_ms: 2,
+            samples: 3,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion {
+            warm_up_ms: 1,
+            measure_ms: 1,
+            samples: 1,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Bytes(64));
+            g.bench_function("x", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.measurements()[0].id, "grp/x");
+    }
+
+    #[test]
+    fn iter_batched_times_routine() {
+        let mut b = Bencher::new(1, 1, 2);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        let m = b.finish("t".into(), None);
+        assert!(m.median_ns >= 0.0);
+    }
+}

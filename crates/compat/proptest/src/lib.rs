@@ -1,0 +1,358 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! a minimal property-testing runner with proptest-compatible spelling
+//! for the features the test-suite uses: the [`proptest!`] macro with a
+//! `#![proptest_config(..)]` header, range strategies
+//! (`0u64..5000`), [`collection::vec`], and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`
+//! macros.
+//!
+//! Cases are generated from a fixed seed (deterministic across runs);
+//! there is no shrinking — a failing case panics with its inputs
+//! printed, which is enough to reproduce (inputs are also valid seeds
+//! for a focused unit test).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected by `prop_assume!` — try another.
+    Reject(String),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+/// Per-property driver: samples cases and reports failures.
+pub struct Runner {
+    cfg: ProptestConfig,
+    rejects: u32,
+}
+
+impl Runner {
+    /// A runner for one property.
+    pub fn new(cfg: ProptestConfig) -> Self {
+        Runner { cfg, rejects: 0 }
+    }
+
+    /// Number of cases to attempt.
+    pub fn cases(&self) -> u32 {
+        self.cfg.cases
+    }
+
+    /// The deterministic RNG for case `case`.
+    pub fn rng_for(&self, property: &str, case: u32) -> StdRng {
+        // Stable per (property, case) so failures reproduce exactly.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in property.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Records one case outcome, panicking on failure.
+    pub fn handle(
+        &mut self,
+        property: &str,
+        case: u32,
+        result: Result<(), TestCaseError>,
+        inputs: &[(&str, String)],
+    ) {
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects <= self.cfg.cases * 16,
+                    "property {property}: too many rejected cases ({})",
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let args: Vec<String> = inputs
+                    .iter()
+                    .map(|(name, value)| format!("{name} = {value}"))
+                    .collect();
+                panic!(
+                    "property {property} failed at case {case}: {msg}\n  inputs: {}",
+                    args.join(", ")
+                );
+            }
+        }
+    }
+}
+
+/// A source of random values for one parameter.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: std::fmt::Debug;
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Vec<T> {
+    type Value = T;
+    /// Uniform choice from a fixed set of values.
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(!self.is_empty(), "cannot sample from an empty choice set");
+        self[rng.random_range(0..self.len())].clone()
+    }
+}
+
+/// Just a value: always produces a clone of itself.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy producing `Vec`s of `element` with length in `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// Mirrors proptest's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) so the runner can report inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {} ({:?} vs {:?}): {}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {} (both {:?}): {}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, v in prop::collection::vec(0usize..9, 1..4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::Runner::new(cfg);
+                let mut case = 0u32;
+                let mut accepted = 0u32;
+                while accepted < runner.cases() {
+                    let mut rng = runner.rng_for(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                    let inputs: Vec<(&str, String)> =
+                        vec![$((stringify!($arg), format!("{:?}", $arg))),*];
+                    let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    let rejected = matches!(result, Err($crate::TestCaseError::Reject(_)));
+                    runner.handle(stringify!($name), case, result, &inputs);
+                    if !rejected {
+                        accepted += 1;
+                    }
+                    case += 1;
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 5u32..10, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn vec_strategy(v in prop::collection::vec(0usize..7, 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("always_fails"), "{msg}");
+    }
+}

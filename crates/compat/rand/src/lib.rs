@@ -1,0 +1,408 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! a minimal, deterministic implementation of the `rand` API surface the
+//! code actually uses: [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64), the [`Rng`] / [`RngExt`] / [`SeedableRng`] traits,
+//! [`seq::SliceRandom::shuffle`] and [`seq::index::sample`].
+//!
+//! Determinism is the only hard requirement here (every experiment and
+//! test seeds explicitly); the generator is not cryptographic.
+
+/// Low-level generator interface: a source of random words.
+pub trait Rng {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a generator.
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32);
+impl_standard_uint!(i8 => next_u32, i16 => next_u32, i32 => next_u32);
+impl_standard_uint!(u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A type with uniform range sampling (mirrors rand's `SampleUniform`
+/// so call-site type inference flows backward from the result type).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u64;
+                // Widening-multiply mapping: bias ≤ 2⁻⁶⁴·span, irrelevant
+                // at research scale and fully deterministic.
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as i128 + v as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "cannot sample empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return <$t as Standard>::sample(rng);
+                }
+                let span = (high as i128 - low as i128) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low < high, "cannot sample empty range");
+        let f = <f64 as Standard>::sample(rng);
+        let v = low + f * (high - low);
+        // Guard against FP rounding landing exactly on `high`.
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low <= high, "cannot sample empty range");
+        let f = <f64 as Standard>::sample(rng);
+        low + f * (high - low)
+    }
+}
+
+/// A range that can produce uniform values of `T`.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniformly random value of `T`.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value from `range`.
+    #[inline]
+    fn random_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// A bool that is true with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain).
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling.
+
+    use super::{Rng, RngExt};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+
+    pub mod index {
+        //! Distinct-index sampling.
+
+        use crate::{Rng, RngExt};
+
+        /// A set of distinct indices in `[0, length)`.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The `i`-th sampled index.
+            pub fn index(&self, i: usize) -> usize {
+                self.0[i]
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// The indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `[0, length)`
+        /// via a partial Fisher–Yates pass.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} of {length}");
+            let mut pool: Vec<usize> = (0..length).collect();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                pool.swap(i, j);
+                out.push(pool[i]);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::index::sample;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.random_range(-0.35..0.35);
+            assert!((-0.35..0.35).contains(&f));
+            let u = rng.random_range(1..u64::MAX);
+            assert!((1..u64::MAX).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sample_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = sample(&mut rng, 50, 20);
+        let mut v = idx.clone().into_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 20);
+        assert!(v.iter().all(|&i| i < 50));
+        assert_eq!(idx.len(), 20);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn take<R: super::Rng + ?Sized>(rng: &mut R) -> u64 {
+            use super::RngExt as _;
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = take(&mut rng);
+    }
+}

@@ -14,6 +14,7 @@ use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
 use spnet_graph::order::NodeOrdering;
 use spnet_graph::{Graph, NodeId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// What a signed root authenticates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,8 +105,9 @@ pub struct NetworkAds {
     order: Vec<NodeId>,
     /// Node id → leaf position.
     position: Vec<u32>,
-    /// Tuples indexed by node id.
-    tuples: Vec<ExtendedTuple>,
+    /// Tuples indexed by node id, reference-counted so proofs share
+    /// them instead of deep-cloning adjacency lists per query.
+    tuples: Vec<Arc<ExtendedTuple>>,
     /// Merkle tree over ordered tuple digests.
     tree: MerkleTree,
 }
@@ -133,7 +135,7 @@ impl NetworkAds {
         NetworkAds {
             order,
             position,
-            tuples,
+            tuples: tuples.into_iter().map(Arc::new).collect(),
             tree,
         }
     }
@@ -158,6 +160,13 @@ impl NetworkAds {
         &self.tuples[v.index()]
     }
 
+    /// A shared handle to node `v`'s tuple — what proofs ship. Cloning
+    /// the handle is a reference-count bump, not a deep copy of the
+    /// adjacency list.
+    pub fn tuple_shared(&self, v: NodeId) -> Arc<ExtendedTuple> {
+        Arc::clone(&self.tuples[v.index()])
+    }
+
     /// Leaf position of node `v` under the ordering.
     pub fn position(&self, v: NodeId) -> u32 {
         self.position[v.index()]
@@ -165,14 +174,10 @@ impl NetworkAds {
 
     /// Replaces a node's tuple and patches its Merkle path in place
     /// (dynamic updates; see `spnet_core::update`).
-    pub fn replace_tuple(
-        &mut self,
-        v: NodeId,
-        tuple: ExtendedTuple,
-    ) -> Result<(), MerkleError> {
+    pub fn replace_tuple(&mut self, v: NodeId, tuple: ExtendedTuple) -> Result<(), MerkleError> {
         let pos = self.position(v) as usize;
         let digest = tuple.digest();
-        self.tuples[v.index()] = tuple;
+        self.tuples[v.index()] = Arc::new(tuple);
         self.tree.update_leaf(pos, digest)
     }
 
@@ -214,8 +219,7 @@ mod tests {
 
     fn ads(fanout: usize, ordering: NodeOrdering) -> (Graph, NetworkAds) {
         let g = grid_network(8, 8, 1.15, 200);
-        let tuples: Vec<ExtendedTuple> =
-            g.nodes().map(|v| ExtendedTuple::base(&g, v)).collect();
+        let tuples: Vec<ExtendedTuple> = g.nodes().map(|v| ExtendedTuple::base(&g, v)).collect();
         let a = NetworkAds::build(&g, tuples, ordering, fanout, 201);
         (g, a)
     }

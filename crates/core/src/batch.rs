@@ -28,6 +28,9 @@ use spnet_graph::algo::dijkstra_path;
 use spnet_graph::path::close;
 use spnet_graph::{NodeId, Path};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::par::map_jobs;
 
 /// One query's slice of a batch answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,8 +44,9 @@ pub struct BatchQueryProof {
 /// A batched answer for `k` queries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchAnswer {
-    /// Deduplicated union of all subgraph proofs.
-    pub pool: Vec<ExtendedTuple>,
+    /// Deduplicated union of all subgraph proofs (shared handles into
+    /// the provider's ADS tuple table — no deep copies).
+    pub pool: Vec<Arc<ExtendedTuple>>,
     /// Per-query paths and pool slices.
     pub queries: Vec<BatchQueryProof>,
     /// Shared integrity proof covering the pool (positions parallel to
@@ -71,30 +75,42 @@ impl ServiceProvider {
     /// Answers `k` queries with one shared integrity proof.
     ///
     /// Only supported when the deployed method uses subgraph proofs
-    /// (DIJ or LDM); other methods return `ProofAssembly`.
+    /// (DIJ or LDM); other methods return `ProofAssembly`. Per-query
+    /// search and Γ assembly fan out over threads (each reusing its
+    /// thread's search workspace) when the `parallel` feature is on;
+    /// the pooled result is identical either way.
     pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, ProviderError> {
         let g = &self.package.graph;
         let ads = &self.package.ads;
-        // Per-query Γ node sets.
+        if !matches!(&self.package.hints, MethodHints::Dij | MethodHints::Ldm(_)) {
+            return Err(ProviderError::ProofAssembly(
+                "batching requires a subgraph-proof method (DIJ or LDM)".into(),
+            ));
+        }
+        // Per-query Γ node sets, in parallel.
+        let solved = map_jobs(
+            queries,
+            |&(vs, vt)| -> Result<(Path, Vec<NodeId>), ProviderError> {
+                for v in [vs, vt] {
+                    if g.check_node(v).is_err() {
+                        return Err(ProviderError::UnknownNode(v));
+                    }
+                }
+                let path = dijkstra_path(g, vs, vt).map_err(|_| ProviderError::Unreachable {
+                    source: vs,
+                    target: vt,
+                })?;
+                let nodes = match &self.package.hints {
+                    MethodHints::Dij => dij::gamma_nodes(g, vs, path.distance),
+                    MethodHints::Ldm(h) => ldm::gamma_nodes(g, h, vs, vt, path.distance),
+                    _ => unreachable!("checked above"),
+                };
+                Ok((path, nodes))
+            },
+        );
         let mut gammas: Vec<(Path, Vec<NodeId>)> = Vec::with_capacity(queries.len());
-        for &(vs, vt) in queries {
-            for v in [vs, vt] {
-                if g.check_node(v).is_err() {
-                    return Err(ProviderError::UnknownNode(v));
-                }
-            }
-            let path = dijkstra_path(g, vs, vt)
-                .map_err(|_| ProviderError::Unreachable { source: vs, target: vt })?;
-            let nodes = match &self.package.hints {
-                MethodHints::Dij => dij::gamma_nodes(g, vs, path.distance),
-                MethodHints::Ldm(h) => ldm::gamma_nodes(g, h, vs, vt, path.distance),
-                _ => {
-                    return Err(ProviderError::ProofAssembly(
-                        "batching requires a subgraph-proof method (DIJ or LDM)".into(),
-                    ))
-                }
-            };
-            gammas.push((path, nodes));
+        for r in solved {
+            gammas.push(r?);
         }
         // Pool = deduplicated union, ordered by node id.
         let mut pool_index: BTreeMap<NodeId, u32> = BTreeMap::new();
@@ -112,7 +128,8 @@ impl ServiceProvider {
             .enumerate()
             .map(|(i, &v)| (v, i as u32))
             .collect();
-        let pool: Vec<ExtendedTuple> = pool_nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+        let pool: Vec<Arc<ExtendedTuple>> =
+            pool_nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
         let merkle = ads
             .prove_nodes(pool_nodes.iter().copied())
             .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
@@ -175,16 +192,20 @@ impl Client {
         if root != batch.integrity.signed_root.root {
             return Err(VerifyError::RootMismatch);
         }
-        // Per query: build the member map and re-run the search.
-        let mut out = Vec::with_capacity(queries.len());
-        for (&(vs, vt), q) in queries.iter().zip(&batch.queries) {
+        // Per query: build the member map and re-run the search — one
+        // independent job per query, fanned out over threads.
+        let jobs: Vec<(usize, (NodeId, NodeId))> = queries.iter().copied().enumerate().collect();
+        let outcomes = map_jobs(&jobs, |&(qi, (vs, vt))| -> Result<f64, VerifyError> {
+            let q = &batch.queries[qi];
             let mut map: HashMap<NodeId, &ExtendedTuple> = HashMap::with_capacity(q.members.len());
             for &i in &q.members {
                 let t = batch
                     .pool
                     .get(i as usize)
-                    .ok_or(VerifyError::MalformedIntegrityProof("member index out of pool".into()))?;
-                map.insert(t.id, t);
+                    .ok_or(VerifyError::MalformedIntegrityProof(
+                        "member index out of pool".into(),
+                    ))?;
+                map.insert(t.id, &**t);
             }
             let proven = match &params {
                 MethodParams::Dij => dij::verify_subgraph_dijkstra(&map, vs, vt)?,
@@ -194,14 +215,18 @@ impl Client {
             // Path checks against the authenticated pool.
             let got = (q.path.source(), q.path.target());
             if got != (vs, vt) {
-                return Err(VerifyError::WrongEndpoints { expected: (vs, vt), got });
+                return Err(VerifyError::WrongEndpoints {
+                    expected: (vs, vt),
+                    got,
+                });
             }
             let mut sum = 0.0;
             for w in q.path.nodes.windows(2) {
                 let t = map.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
-                sum += t
-                    .edge_to(w[1])
-                    .ok_or(VerifyError::FakeEdge { from: w[0], to: w[1] })?;
+                sum += t.edge_to(w[1]).ok_or(VerifyError::FakeEdge {
+                    from: w[0],
+                    to: w[1],
+                })?;
             }
             if !close(sum, q.path.distance) {
                 return Err(VerifyError::InconsistentPathDistance {
@@ -210,11 +235,14 @@ impl Client {
                 });
             }
             if !close(sum, proven) {
-                return Err(VerifyError::NotShortest { reported: sum, proven });
+                return Err(VerifyError::NotShortest {
+                    reported: sum,
+                    proven,
+                });
             }
-            out.push(proven);
-        }
-        Ok(out)
+            Ok(proven)
+        });
+        outcomes.into_iter().collect()
     }
 }
 
@@ -249,7 +277,10 @@ mod tests {
     fn batch_verifies_for_dij_and_ldm() {
         for method in [
             MethodConfig::Dij,
-            MethodConfig::Ldm(LdmConfig { landmarks: 8, ..LdmConfig::default() }),
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 8,
+                ..LdmConfig::default()
+            }),
         ] {
             let (g, provider, client) = deploy(method.clone(), 1700);
             let queries = as_nodes(&QUERIES);
@@ -287,7 +318,9 @@ mod tests {
     #[test]
     fn batch_rejected_for_full_and_hyp() {
         for method in [
-            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
             MethodConfig::Hyp { cells: 9 },
         ] {
             let (_, provider, _) = deploy(method, 1702);
@@ -303,7 +336,7 @@ mod tests {
         let (_, provider, client) = deploy(MethodConfig::Dij, 1703);
         let queries = as_nodes(&QUERIES);
         let mut batch = provider.answer_batch(&queries).unwrap();
-        batch.pool[0].adj[0].1 *= 0.5;
+        Arc::make_mut(&mut batch.pool[0]).adj[0].1 *= 0.5;
         assert!(client.verify_batch(&queries, &batch).is_err());
     }
 

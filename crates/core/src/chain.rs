@@ -88,7 +88,10 @@ impl ChainedAds {
         boundary.sort_by_key(|&(p, _)| p);
         boundary.dedup_by_key(|&mut (p, _)| p);
         ChainProof {
-            sigs: set.iter().map(|&p| (p, self.sigs[p as usize].clone())).collect(),
+            sigs: set
+                .iter()
+                .map(|&p| (p, self.sigs[p as usize].clone()))
+                .collect(),
             boundary,
         }
     }
@@ -107,7 +110,10 @@ impl ChainProof {
     /// Proof size in bytes (position + signature per tuple, position +
     /// digest per boundary entry).
     pub fn size_bytes(&self) -> usize {
-        self.sigs.iter().map(|(_, s)| 4 + s.size_bytes()).sum::<usize>()
+        self.sigs
+            .iter()
+            .map(|(_, s)| 4 + s.size_bytes())
+            .sum::<usize>()
             + self.boundary.len() * (4 + 32)
     }
 
@@ -145,14 +151,15 @@ impl ChainProof {
             if i < 0 || i >= leaf_count as i64 {
                 return Ok(Digest::ZERO);
             }
-            digest_at
-                .get(&(i as u32))
-                .copied()
-                .ok_or_else(|| VerifyError::MalformedIntegrityProof(format!("missing digest at {i}")))
+            digest_at.get(&(i as u32)).copied().ok_or_else(|| {
+                VerifyError::MalformedIntegrityProof(format!("missing digest at {i}"))
+            })
         };
         for ((p, sig), (tp, _)) in self.sigs.iter().zip(tuples) {
             if p != tp {
-                return Err(VerifyError::MalformedIntegrityProof("position order mismatch".into()));
+                return Err(VerifyError::MalformedIntegrityProof(
+                    "position order mismatch".into(),
+                ));
             }
             let i = *p as i64;
             let msg = chain_digest(&get(i - 1)?, &get(i)?, &get(i + 1)?);

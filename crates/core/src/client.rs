@@ -62,9 +62,12 @@ impl Client {
             (SpProof::Subgraph { .. }, MethodParams::Ldm { lambda }) => {
                 ldm::verify_subgraph_astar(&tuples, vs, vt, *lambda)?
             }
-            (SpProof::Distance { full, signed_root, .. }, MethodParams::Full) => {
-                self.verify_full(full, signed_root, vs, vt)?
-            }
+            (
+                SpProof::Distance {
+                    full, signed_root, ..
+                },
+                MethodParams::Full,
+            ) => self.verify_full(full, signed_root, vs, vt)?,
             (
                 SpProof::Hyp {
                     hyper,
@@ -101,7 +104,11 @@ impl Client {
                 }
                 hyp::verify_hyp(&tuples, hyper, cell_dir, vs, vt)?
             }
-            _ => return Err(VerifyError::MetaMismatch("proof shape does not match method")),
+            _ => {
+                return Err(VerifyError::MetaMismatch(
+                    "proof shape does not match method",
+                ))
+            }
         };
 
         // --- P_rslt: authenticate the reported path itself. ------------
@@ -122,7 +129,9 @@ impl Client {
         if ok {
             Ok(())
         } else {
-            Err(VerifyError::MetaMismatch("proof shape does not match signed method"))
+            Err(VerifyError::MetaMismatch(
+                "proof shape does not match signed method",
+            ))
         }
     }
 
@@ -133,8 +142,12 @@ impl Client {
         integrity: &IntegrityProof,
         sp: &'a SpProof,
     ) -> Result<HashMap<NodeId, &'a ExtendedTuple>, VerifyError> {
-        let all: Vec<&ExtendedTuple> =
-            sp.tuples().iter().chain(sp.extra_tuples().iter()).collect();
+        let all: Vec<&ExtendedTuple> = sp
+            .tuples()
+            .iter()
+            .chain(sp.extra_tuples().iter())
+            .map(|t| &**t)
+            .collect();
         if all.len() != integrity.positions.len() {
             return Err(VerifyError::MalformedIntegrityProof(format!(
                 "{} tuples but {} positions",
@@ -188,14 +201,18 @@ impl Client {
         let path = &answer.path;
         let got = (path.source(), path.target());
         if got != (vs, vt) {
-            return Err(VerifyError::WrongEndpoints { expected: (vs, vt), got });
+            return Err(VerifyError::WrongEndpoints {
+                expected: (vs, vt),
+                got,
+            });
         }
         let mut sum = 0.0;
         for w in path.nodes.windows(2) {
             let t = tuples.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
-            let weight = t
-                .edge_to(w[1])
-                .ok_or(VerifyError::FakeEdge { from: w[0], to: w[1] })?;
+            let weight = t.edge_to(w[1]).ok_or(VerifyError::FakeEdge {
+                from: w[0],
+                to: w[1],
+            })?;
             sum += weight;
         }
         if !close(sum, path.distance) {
@@ -205,7 +222,10 @@ impl Client {
             });
         }
         if !close(sum, proven) {
-            return Err(VerifyError::NotShortest { reported: sum, proven });
+            return Err(VerifyError::NotShortest {
+                reported: sum,
+                proven,
+            });
         }
         Ok(())
     }
@@ -250,13 +270,21 @@ mod tests {
 
     #[test]
     fn full_end_to_end() {
-        end_to_end(MethodConfig::Full { use_floyd_warshall: false }, &QUERIES);
+        end_to_end(
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            &QUERIES,
+        );
     }
 
     #[test]
     fn ldm_end_to_end() {
         end_to_end(
-            MethodConfig::Ldm(LdmConfig { landmarks: 8, ..LdmConfig::default() }),
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 8,
+                ..LdmConfig::default()
+            }),
             &QUERIES,
         );
     }

@@ -23,7 +23,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::UnexpectedEnd { wanted, remaining } => {
-                write!(f, "unexpected end of input: wanted {wanted} bytes, {remaining} left")
+                write!(
+                    f,
+                    "unexpected end of input: wanted {wanted} bytes, {remaining} left"
+                )
             }
             DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} too large"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
@@ -228,7 +231,10 @@ mod tests {
         let mut d = Decoder::new(&[1, 2]);
         assert!(matches!(
             d.take_u32(),
-            Err(DecodeError::UnexpectedEnd { wanted: 4, remaining: 2 })
+            Err(DecodeError::UnexpectedEnd {
+                wanted: 4,
+                remaining: 2
+            })
         ));
     }
 
@@ -250,7 +256,10 @@ mod tests {
         e.put_u32(u32::MAX);
         let bytes = e.into_bytes();
         let mut d = Decoder::new(&bytes);
-        assert!(matches!(d.take_bytes(), Err(DecodeError::LengthOverflow(_))));
+        assert!(matches!(
+            d.take_bytes(),
+            Err(DecodeError::LengthOverflow(_))
+        ));
     }
 
     #[test]

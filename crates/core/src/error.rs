@@ -16,7 +16,10 @@ pub enum VerifyError {
     /// digests).
     MalformedIntegrityProof(String),
     /// The reported path's endpoints differ from the query.
-    WrongEndpoints { expected: (NodeId, NodeId), got: (NodeId, NodeId) },
+    WrongEndpoints {
+        expected: (NodeId, NodeId),
+        got: (NodeId, NodeId),
+    },
     /// A consecutive pair on the reported path is not an edge of any
     /// authenticated tuple.
     FakeEdge { from: NodeId, to: NodeId },
@@ -67,11 +70,17 @@ impl std::fmt::Display for VerifyError {
                 got.0, got.1, expected.0, expected.1
             ),
             VerifyError::FakeEdge { from, to } => write!(f, "path uses non-edge ({from}, {to})"),
-            VerifyError::InconsistentPathDistance { claimed, recomputed } => {
+            VerifyError::InconsistentPathDistance {
+                claimed,
+                recomputed,
+            } => {
                 write!(f, "path distance {claimed} ≠ recomputed {recomputed}")
             }
             VerifyError::NotShortest { reported, proven } => {
-                write!(f, "reported distance {reported} but proof shows optimum {proven}")
+                write!(
+                    f,
+                    "reported distance {reported} but proof shows optimum {proven}"
+                )
             }
             VerifyError::MissingTuple(v) => write!(f, "proof misses required tuple Φ({v})"),
             VerifyError::TupleIdMismatch { expected, got } => {
@@ -82,7 +91,10 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::MissingProofPart(p) => write!(f, "missing proof part: {p}"),
             VerifyError::IncompleteCell { node, missing } => {
-                write!(f, "cell closure incomplete: {node} lists in-cell neighbor {missing}")
+                write!(
+                    f,
+                    "cell closure incomplete: {node} lists in-cell neighbor {missing}"
+                )
             }
             VerifyError::MissingEndpointTuple(v) => {
                 write!(f, "coarse proof misses endpoint tuple Φ({v})")

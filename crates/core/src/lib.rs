@@ -50,12 +50,17 @@ pub mod enc;
 pub mod error;
 pub mod methods;
 pub mod owner;
+pub(crate) mod par;
 pub mod proof;
 pub mod provider;
 pub mod tamper;
 pub mod tuple;
 pub mod update;
 pub mod wire;
+
+/// True when this build includes the parallel batch-serving and
+/// hint-construction paths (the default `parallel` feature).
+pub const PARALLEL_ENABLED: bool = cfg!(feature = "parallel");
 
 /// Convenient re-exports for typical use.
 pub mod prelude {

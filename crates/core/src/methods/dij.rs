@@ -7,8 +7,8 @@
 
 use crate::error::VerifyError;
 use crate::tuple::ExtendedTuple;
-use spnet_graph::algo::dijkstra_ball;
 use spnet_graph::ofloat::OrderedF64;
+use spnet_graph::search::with_thread_workspace;
 use spnet_graph::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -20,12 +20,13 @@ pub(crate) const RADIUS_SLACK: f64 = 1e-9;
 
 /// Provider side: the node set of Lemma 1 —
 /// `{v | dist(vs, v) ≤ dist(vs, vt)}` (with float slack).
+///
+/// Runs on the thread's reused search workspace: the only allocation
+/// is the returned node list (in ascending id order, which fixes the
+/// proof's tuple/position order).
 pub fn gamma_nodes(g: &Graph, source: NodeId, sp_dist: f64) -> Vec<NodeId> {
     let radius = sp_dist * (1.0 + RADIUS_SLACK);
-    let ball = dijkstra_ball(g, source, radius);
-    g.nodes()
-        .filter(|v| ball.dist[v.index()].is_finite())
-        .collect()
+    with_thread_workspace(|ws| ws.ball(g, source, radius).settled_nodes().collect())
 }
 
 /// Client side: runs Dijkstra over the proof subgraph.

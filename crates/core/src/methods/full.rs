@@ -23,8 +23,9 @@ use spnet_crypto::digest::Digest;
 use spnet_crypto::mbtree::{composite_key, KeyedEntry};
 use spnet_crypto::merkle::{MerkleProof, MerkleTree};
 use spnet_crypto::rsa::RsaKeyPair;
+use spnet_graph::algo::floyd_warshall;
 use spnet_graph::algo::floyd_warshall::DistanceMatrix;
-use spnet_graph::algo::{dijkstra_sssp, floyd_warshall};
+use spnet_graph::search::with_thread_workspace;
 use spnet_graph::{Graph, NodeId};
 
 /// The FULL method's authenticated distance structure.
@@ -61,21 +62,22 @@ impl DistanceAds {
         let start = std::time::Instant::now();
         let n = g.num_nodes();
         assert!(n > 0, "empty graph");
-        let fw = use_floyd_warshall.then(|| floyd_warshall(g));
-        let mut row_roots = Vec::with_capacity(n);
-        for s in 0..n {
-            let row: Vec<f64> = match &fw {
-                Some(m) => m.row(s).to_vec(),
-                None => dijkstra_sssp(g, NodeId(s as u32)).dist,
-            };
-            row_roots.push(row_root(s as u32, &row, fanout));
-        }
+        let fw = use_floyd_warshall.then(|| floyd_warshall::floyd_warshall(g));
+        let row_roots = build_row_roots(g, fw.as_ref(), fanout);
         let top = MerkleTree::build(row_roots.clone(), fanout).expect("non-empty");
         let stats = FullBuildStats {
             tuples: (n as u64) * (n as u64),
             seconds: start.elapsed().as_secs_f64(),
         };
-        (DistanceAds { fanout, row_roots, top, matrix: fw }, stats)
+        (
+            DistanceAds {
+                fanout,
+                row_roots,
+                top,
+                matrix: fw,
+            },
+            stats,
+        )
     }
 
     /// The signed root digest.
@@ -106,7 +108,7 @@ impl DistanceAds {
     pub fn prove(&self, g: &Graph, vs: NodeId, vt: NodeId) -> FullDistanceProof {
         let row: Vec<f64> = match &self.matrix {
             Some(m) => m.row(vs.index()).to_vec(),
-            None => dijkstra_sssp(g, vs).dist,
+            None => with_thread_workspace(|ws| ws.sssp(g, vs).dist_vec()),
         };
         let leaves: Vec<Digest> = row
             .iter()
@@ -139,7 +141,27 @@ fn row_root(s: u32, row: &[f64], fanout: usize) -> Digest {
         .enumerate()
         .map(|(t, &d)| entry(s, t as u32, d).digest())
         .collect();
-    MerkleTree::build(leaves, fanout).expect("non-empty row").root()
+    MerkleTree::build(leaves, fanout)
+        .expect("non-empty row")
+        .root()
+}
+
+/// One Merkle row-root per source node.
+///
+/// The all-pairs computation + |V|² tuple hashing is the paper's FULL
+/// construction cost (Figures 8c/9b); with the `parallel` feature the
+/// sources fan out over threads, each reusing its thread's search
+/// workspace. Rows are independent deterministic functions of the
+/// graph, so the roots are identical either way.
+fn build_row_roots(g: &Graph, fw: Option<&DistanceMatrix>, fanout: usize) -> Vec<Digest> {
+    let sources: Vec<usize> = (0..g.num_nodes()).collect();
+    crate::par::map_jobs(&sources, |&s| match fw {
+        Some(m) => row_root(s as u32, m.row(s), fanout),
+        None => with_thread_workspace(|ws| {
+            let row = ws.sssp(g, NodeId(s as u32)).dist_vec();
+            row_root(s as u32, &row, fanout)
+        }),
+    })
 }
 
 fn entry(s: u32, t: u32, d: f64) -> KeyedEntry {
@@ -178,12 +200,7 @@ impl FullDistanceProof {
 
     /// Client side: checks the proof against the signed distance root
     /// and returns the authenticated `dist(vs, vt)`.
-    pub fn verify(
-        &self,
-        vs: NodeId,
-        vt: NodeId,
-        signed_root: &Digest,
-    ) -> Result<f64, VerifyError> {
+    pub fn verify(&self, vs: NodeId, vt: NodeId, signed_root: &Digest) -> Result<f64, VerifyError> {
         if self.entry.key != composite_key(vs.0, vt.0) {
             return Err(VerifyError::MissingDistanceKey { a: vs, b: vt });
         }
@@ -254,7 +271,10 @@ mod tests {
         let (s, t) = (NodeId(0), NodeId(30));
         let mut proof = ads.prove(&g, s, t);
         proof.entry.value *= 2.0;
-        assert_eq!(proof.verify(s, t, &ads.root()), Err(VerifyError::RootMismatch));
+        assert_eq!(
+            proof.verify(s, t, &ads.root()),
+            Err(VerifyError::RootMismatch)
+        );
     }
 
     #[test]
@@ -275,7 +295,10 @@ mod tests {
         let mut proof = ads.prove(&g, s, t);
         proof.row_index += 1;
         let r = proof.verify(s, t, &ads.root());
-        assert!(r == Err(VerifyError::RootMismatch) || matches!(r, Err(VerifyError::MalformedIntegrityProof(_))));
+        assert!(
+            r == Err(VerifyError::RootMismatch)
+                || matches!(r, Err(VerifyError::MalformedIntegrityProof(_)))
+        );
     }
 
     #[test]

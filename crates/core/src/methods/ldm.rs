@@ -10,14 +10,13 @@
 use crate::error::VerifyError;
 use crate::methods::LdmConfig;
 use crate::tuple::{ExtendedTuple, PsiPayload};
-use spnet_graph::algo::dijkstra_ball;
 use spnet_graph::landmark::{
     select_landmarks, CompressedVectors, LandmarkVectors, NodePsi, QuantizedVectors,
 };
 use spnet_graph::ofloat::OrderedF64;
 use spnet_graph::{Graph, NodeId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// The owner-side LDM hints: compressed quantized landmark vectors.
 #[derive(Debug, Clone)]
@@ -62,18 +61,20 @@ pub fn gamma_nodes(
     sp_dist: f64,
 ) -> Vec<NodeId> {
     let slack = sp_dist * (1.0 + super::dij::RADIUS_SLACK);
-    let ball = dijkstra_ball(g, source, slack);
     let cv = &hints.vectors;
     let mut gamma: BTreeSet<NodeId> = BTreeSet::new();
-    for v in g.nodes() {
-        let d = ball.dist[v.index()];
-        if d.is_finite() && d + cv.lower_bound(v, target) <= slack {
-            gamma.insert(v);
-            for (u, _) in g.neighbors(v) {
-                gamma.insert(u);
+    spnet_graph::search::with_thread_workspace(|ws| {
+        let ball = ws.ball(g, source, slack);
+        for v in g.nodes() {
+            let d = ball.dist(v);
+            if d.is_finite() && d + cv.lower_bound(v, target) <= slack {
+                gamma.insert(v);
+                for (u, _) in g.neighbors(v) {
+                    gamma.insert(u);
+                }
             }
         }
-    }
+    });
     gamma.insert(source);
     gamma.insert(target);
     // θ closure: every compressed node's representative must ship too.
@@ -147,12 +148,16 @@ fn resolve_psi<'a>(
         None => Err(VerifyError::MissingPsi(v)),
         Some(PsiPayload::Full { q, .. }) => Ok((q, 0.0)),
         Some(PsiPayload::Ref { theta, eps }) => {
-            let rt = tuples
-                .get(theta)
-                .ok_or(VerifyError::MissingReference { node: v, theta: *theta })?;
+            let rt = tuples.get(theta).ok_or(VerifyError::MissingReference {
+                node: v,
+                theta: *theta,
+            })?;
             match &rt.psi {
                 Some(PsiPayload::Full { q, .. }) => Ok((q, *eps)),
-                _ => Err(VerifyError::MissingReference { node: v, theta: *theta }),
+                _ => Err(VerifyError::MissingReference {
+                    node: v,
+                    theta: *theta,
+                }),
             }
         }
     }
@@ -216,7 +221,12 @@ mod tests {
         // Core pruning usually strict on a 100-node grid with 8
         // landmarks; allow equality but verify it's not a superset by
         // more than the neighbor/θ fringe.
-        assert!(ldm.len() <= dij.len() + g.num_nodes() / 4, "{} vs {}", ldm.len(), dij.len());
+        assert!(
+            ldm.len() <= dij.len() + g.num_nodes() / 4,
+            "{} vs {}",
+            ldm.len(),
+            dij.len()
+        );
     }
 
     #[test]

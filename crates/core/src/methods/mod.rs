@@ -177,14 +177,20 @@ mod tests {
     fn codes_consistent() {
         assert_eq!(MethodConfig::Dij.code(), MethodParams::Dij.code());
         assert_eq!(
-            MethodConfig::Full { use_floyd_warshall: false }.code(),
+            MethodConfig::Full {
+                use_floyd_warshall: false
+            }
+            .code(),
             MethodParams::Full.code()
         );
         assert_eq!(
             MethodConfig::Ldm(LdmConfig::default()).code(),
             MethodParams::Ldm { lambda: 1.0 }.code()
         );
-        assert_eq!(MethodConfig::Hyp { cells: 100 }.code(), MethodParams::Hyp.code());
+        assert_eq!(
+            MethodConfig::Hyp { cells: 100 }.code(),
+            MethodParams::Hyp.code()
+        );
     }
 
     #[test]

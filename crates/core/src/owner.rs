@@ -105,46 +105,64 @@ impl DataOwner {
         let start = std::time::Instant::now();
 
         // Method-specific hints first (tuples may embed them).
-        let (tuples, hints, params): (Vec<ExtendedTuple>, MethodHints, MethodParams) =
-            match method {
-                MethodConfig::Dij => (
-                    graph.nodes().map(|v| ExtendedTuple::base(graph, v)).collect(),
-                    MethodHints::Dij,
-                    MethodParams::Dij,
-                ),
-                MethodConfig::Full { use_floyd_warshall } => {
-                    let (ads, stats) = DistanceAds::build(graph, cfg.fanout, *use_floyd_warshall);
-                    let signed_root = ads.sign(&keypair);
-                    (
-                        graph.nodes().map(|v| ExtendedTuple::base(graph, v)).collect(),
-                        MethodHints::Full { ads, signed_root, stats },
-                        MethodParams::Full,
-                    )
-                }
-                MethodConfig::Ldm(lcfg) => {
-                    let hints = LdmHints::build(graph, lcfg, cfg.seed ^ 0x1D4);
-                    let tuples = graph
+        let (tuples, hints, params): (Vec<ExtendedTuple>, MethodHints, MethodParams) = match method
+        {
+            MethodConfig::Dij => (
+                graph
+                    .nodes()
+                    .map(|v| ExtendedTuple::base(graph, v))
+                    .collect(),
+                MethodHints::Dij,
+                MethodParams::Dij,
+            ),
+            MethodConfig::Full { use_floyd_warshall } => {
+                let (ads, stats) = DistanceAds::build(graph, cfg.fanout, *use_floyd_warshall);
+                let signed_root = ads.sign(&keypair);
+                (
+                    graph
                         .nodes()
-                        .map(|v| ExtendedTuple::with_psi(graph, v, &hints.vectors))
-                        .collect();
-                    let lambda = hints.lambda();
-                    (tuples, MethodHints::Ldm(hints), MethodParams::Ldm { lambda })
-                }
-                MethodConfig::Hyp { cells } => {
-                    let hints = HypHints::build(graph, *cells, cfg.fanout);
-                    let hyper_signed = hints.sign_hyper(&keypair, cfg.fanout as u32);
-                    let cell_dir_signed = hints.sign_cell_dir(&keypair, cfg.fanout as u32);
-                    let tuples = graph
-                        .nodes()
-                        .map(|v| ExtendedTuple::with_cell(graph, v, &hints.partition))
-                        .collect();
-                    (
-                        tuples,
-                        MethodHints::Hyp { hints, hyper_signed, cell_dir_signed },
-                        MethodParams::Hyp,
-                    )
-                }
-            };
+                        .map(|v| ExtendedTuple::base(graph, v))
+                        .collect(),
+                    MethodHints::Full {
+                        ads,
+                        signed_root,
+                        stats,
+                    },
+                    MethodParams::Full,
+                )
+            }
+            MethodConfig::Ldm(lcfg) => {
+                let hints = LdmHints::build(graph, lcfg, cfg.seed ^ 0x1D4);
+                let tuples = graph
+                    .nodes()
+                    .map(|v| ExtendedTuple::with_psi(graph, v, &hints.vectors))
+                    .collect();
+                let lambda = hints.lambda();
+                (
+                    tuples,
+                    MethodHints::Ldm(hints),
+                    MethodParams::Ldm { lambda },
+                )
+            }
+            MethodConfig::Hyp { cells } => {
+                let hints = HypHints::build(graph, *cells, cfg.fanout);
+                let hyper_signed = hints.sign_hyper(&keypair, cfg.fanout as u32);
+                let cell_dir_signed = hints.sign_cell_dir(&keypair, cfg.fanout as u32);
+                let tuples = graph
+                    .nodes()
+                    .map(|v| ExtendedTuple::with_cell(graph, v, &hints.partition))
+                    .collect();
+                (
+                    tuples,
+                    MethodHints::Hyp {
+                        hints,
+                        hyper_signed,
+                        cell_dir_signed,
+                    },
+                    MethodParams::Hyp,
+                )
+            }
+        };
 
         let ads = NetworkAds::build(graph, tuples, cfg.ordering, cfg.fanout, cfg.seed);
         let network_root = SignedRoot::sign(&keypair, ads.root(), ads.meta(params.encode()));
@@ -181,7 +199,9 @@ mod tests {
     fn all_methods_publish_signed_roots() {
         for method in [
             MethodConfig::Dij,
-            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
             MethodConfig::Ldm(LdmConfig {
                 landmarks: 6,
                 ..LdmConfig::default()
@@ -198,7 +218,11 @@ mod tests {
                 MethodHints::Full { signed_root, .. } => {
                     assert!(signed_root.verify(&p.public_key));
                 }
-                MethodHints::Hyp { hyper_signed, cell_dir_signed, .. } => {
+                MethodHints::Hyp {
+                    hyper_signed,
+                    cell_dir_signed,
+                    ..
+                } => {
                     assert!(hyper_signed.verify(&p.public_key));
                     assert!(cell_dir_signed.verify(&p.public_key));
                 }

@@ -1,0 +1,29 @@
+//! The crate's single parallel/sequential fan-out point.
+//!
+//! Every data-parallel loop in this crate (batch proving/verification,
+//! FULL row hashing, HYP border Dijkstras) routes through
+//! [`map_jobs`], so the `parallel` feature flag is interpreted in
+//! exactly one place and the sequential fallback cannot drift.
+//!
+//! Note on the offline `rayon` stand-in (`crates/compat/rayon`): it
+//! spawns scoped OS threads per call rather than keeping a worker
+//! pool, so thread-local [`spnet_graph::search::SearchWorkspace`]
+//! reuse holds *within* one `map_jobs` call but not across calls.
+//! With the real rayon (a persistent pool) reuse extends across the
+//! whole query stream; the results are identical either way.
+
+/// Maps `jobs` in input order, fanning out over threads when the
+/// `parallel` feature is on (default). The sequential fallback
+/// produces identical results — asserted by
+/// `tests/perf_equivalence.rs`, which CI builds both ways.
+pub(crate) fn map_jobs<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        jobs.par_iter().map(f).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        jobs.iter().map(f).collect()
+    }
+}

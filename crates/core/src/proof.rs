@@ -7,11 +7,12 @@
 
 use crate::ads::SignedRoot;
 use crate::enc::Encoder;
-use crate::tuple::ExtendedTuple;
 use crate::methods::full::FullDistanceProof;
+use crate::tuple::ExtendedTuple;
 use spnet_crypto::mbtree::KeyedProof;
 use spnet_crypto::merkle::MerkleProof;
 use spnet_graph::Path;
+use std::sync::Arc;
 
 /// The integrity proof ΓT: Merkle cover digests plus the leaf position
 /// of every tuple shipped in ΓS (positions are bound by reconstruction
@@ -39,6 +40,11 @@ impl IntegrityProof {
 }
 
 /// The shortest-path proof ΓS, per method.
+///
+/// Tuples are shipped as shared [`Arc`] handles into the provider's
+/// ADS tuple table: assembling a proof bumps reference counts instead
+/// of deep-cloning adjacency lists (the seed cloned every tuple into
+/// every proof). Equality and the wire encoding see through the `Arc`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpProof {
     /// DIJ / LDM: a subgraph proof — the extended tuples of Lemma 1 /
@@ -46,7 +52,7 @@ pub enum SpProof {
     Subgraph {
         /// The tuples, in the order matched by
         /// [`IntegrityProof::positions`].
-        tuples: Vec<ExtendedTuple>,
+        tuples: Vec<Arc<ExtendedTuple>>,
     },
     /// FULL: a distance proof — one materialized tuple with its Merkle
     /// path in the distance tree.
@@ -56,15 +62,15 @@ pub enum SpProof {
         /// The owner-signed distance-tree root.
         signed_root: SignedRoot,
         /// The path-node tuples whose integrity ΓT proves.
-        path_tuples: Vec<ExtendedTuple>,
+        path_tuples: Vec<Arc<ExtendedTuple>>,
     },
     /// HYP: coarse subgraph proof + hyper-edge distance proof + fine
     /// path tuples (Section V-B; shipped combined, as the paper notes).
     Hyp {
         /// All tuples of the source and target cells.
-        cell_tuples: Vec<ExtendedTuple>,
+        cell_tuples: Vec<Arc<ExtendedTuple>>,
         /// Tuples of reported-path nodes outside those cells.
-        path_tuples: Vec<ExtendedTuple>,
+        path_tuples: Vec<Arc<ExtendedTuple>>,
         /// Membership proof for every (source-border, target-border)
         /// hyper-edge.
         hyper: KeyedProof,
@@ -81,7 +87,7 @@ pub enum SpProof {
 impl SpProof {
     /// All tuples shipped in ΓS, in position order (the order the
     /// integrity proof's `positions` refers to).
-    pub fn tuples(&self) -> &[ExtendedTuple] {
+    pub fn tuples(&self) -> &[Arc<ExtendedTuple>] {
         match self {
             SpProof::Subgraph { tuples } => tuples,
             SpProof::Distance { path_tuples, .. } => path_tuples,
@@ -91,7 +97,7 @@ impl SpProof {
 
     /// HYP ships two tuple lists; this returns the second (path tuples
     /// outside the cells), empty for other methods.
-    pub fn extra_tuples(&self) -> &[ExtendedTuple] {
+    pub fn extra_tuples(&self) -> &[Arc<ExtendedTuple>] {
         match self {
             SpProof::Hyp { path_tuples, .. } => path_tuples,
             _ => &[],
@@ -149,7 +155,7 @@ impl SpProof {
     }
 }
 
-fn tuple_bytes(tuples: &[ExtendedTuple]) -> usize {
+fn tuple_bytes(tuples: &[Arc<ExtendedTuple>]) -> usize {
     let mut e = Encoder::new();
     for t in tuples {
         t.encode(&mut e);

@@ -7,6 +7,7 @@ use crate::proof::{Answer, IntegrityProof, SpProof};
 use crate::tuple::ExtendedTuple;
 use spnet_graph::algo::{bidirectional_path, dijkstra_path};
 use spnet_graph::{NodeId, Path};
+use std::sync::Arc;
 
 /// The provider's shortest-path algorithm `algosp` (Algorithm 1,
 /// Line 1) — the verification framework is agnostic to this choice, so
@@ -30,7 +31,10 @@ pub struct ServiceProvider {
 impl ServiceProvider {
     /// Wraps an owner package (default `algosp`: Dijkstra).
     pub fn new(package: ProviderPackage) -> Self {
-        ServiceProvider { package, algo: AlgoSp::default() }
+        ServiceProvider {
+            package,
+            algo: AlgoSp::default(),
+        }
     }
 
     /// Selects a different `algosp`.
@@ -58,11 +62,18 @@ impl ServiceProvider {
             AlgoSp::Dijkstra => dijkstra_path(g, vs, vt),
             AlgoSp::Bidirectional => bidirectional_path(g, vs, vt),
         }
-        .map_err(|_| ProviderError::Unreachable { source: vs, target: vt })?;
+        .map_err(|_| ProviderError::Unreachable {
+            source: vs,
+            target: vt,
+        })?;
         // Lines 2–3: ΓS from the hints, ΓT from the ADS.
         let (sp, covered_nodes) = self.build_sp_proof(vs, vt, &path)?;
         let integrity = self.build_integrity(&covered_nodes)?;
-        Ok(Answer { path, sp, integrity })
+        Ok(Answer {
+            path,
+            sp,
+            integrity,
+        })
     }
 
     /// Assembles ΓS and returns the node list whose tuples ΓT must
@@ -78,20 +89,24 @@ impl ServiceProvider {
         match &self.package.hints {
             MethodHints::Dij => {
                 let nodes = dij::gamma_nodes(g, vs, path.distance);
-                let tuples: Vec<ExtendedTuple> =
-                    nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+                let tuples: Vec<Arc<ExtendedTuple>> =
+                    nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
                 Ok((SpProof::Subgraph { tuples }, nodes))
             }
             MethodHints::Ldm(hints) => {
                 let nodes = ldm::gamma_nodes(g, hints, vs, vt, path.distance);
-                let tuples: Vec<ExtendedTuple> =
-                    nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+                let tuples: Vec<Arc<ExtendedTuple>> =
+                    nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
                 Ok((SpProof::Subgraph { tuples }, nodes))
             }
-            MethodHints::Full { ads: dads, signed_root, .. } => {
+            MethodHints::Full {
+                ads: dads,
+                signed_root,
+                ..
+            } => {
                 let full = dads.prove(g, vs, vt);
-                let path_tuples: Vec<ExtendedTuple> =
-                    path.nodes.iter().map(|&v| ads.tuple(v).clone()).collect();
+                let path_tuples: Vec<Arc<ExtendedTuple>> =
+                    path.nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
                 Ok((
                     SpProof::Distance {
                         full,
@@ -101,7 +116,11 @@ impl ServiceProvider {
                     path.nodes.clone(),
                 ))
             }
-            MethodHints::Hyp { hints, hyper_signed, cell_dir_signed } => {
+            MethodHints::Hyp {
+                hints,
+                hyper_signed,
+                cell_dir_signed,
+            } => {
                 let coarse = hints.coarse_nodes(vs, vt);
                 let coarse_set: std::collections::BTreeSet<NodeId> =
                     coarse.iter().copied().collect();
@@ -111,10 +130,10 @@ impl ServiceProvider {
                     .copied()
                     .filter(|v| !coarse_set.contains(v))
                     .collect();
-                let cell_tuples: Vec<ExtendedTuple> =
-                    coarse.iter().map(|&v| ads.tuple(v).clone()).collect();
-                let path_tuples: Vec<ExtendedTuple> =
-                    extra.iter().map(|&v| ads.tuple(v).clone()).collect();
+                let cell_tuples: Vec<Arc<ExtendedTuple>> =
+                    coarse.iter().map(|&v| ads.tuple_shared(v)).collect();
+                let path_tuples: Vec<Arc<ExtendedTuple>> =
+                    extra.iter().map(|&v| ads.tuple_shared(v)).collect();
                 let keys = hints.hyper_keys(vs, vt);
                 let hyper = match &hints.hyper_tree {
                     Some(t) => t
@@ -146,8 +165,7 @@ impl ServiceProvider {
                     .cell_dir
                     .prove_keys(&dir_keys)
                     .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
-                let covered: Vec<NodeId> =
-                    coarse.into_iter().chain(extra).collect();
+                let covered: Vec<NodeId> = coarse.into_iter().chain(extra).collect();
                 Ok((
                     SpProof::Hyp {
                         cell_tuples,
@@ -198,8 +216,13 @@ mod tests {
     fn answers_have_consistent_shapes() {
         for method in [
             MethodConfig::Dij,
-            MethodConfig::Full { use_floyd_warshall: false },
-            MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 6,
+                ..LdmConfig::default()
+            }),
             MethodConfig::Hyp { cells: 9 },
         ] {
             let sp = provider(method.clone());
@@ -244,7 +267,9 @@ mod tests {
     fn dij_proof_larger_than_full_proof() {
         // The headline comparison of Figure 8a, at unit scale.
         let dij = provider(MethodConfig::Dij);
-        let full = provider(MethodConfig::Full { use_floyd_warshall: false });
+        let full = provider(MethodConfig::Full {
+            use_floyd_warshall: false,
+        });
         let a1 = dij.answer(NodeId(0), NodeId(80)).unwrap();
         let a2 = full.answer(NodeId(0), NodeId(80)).unwrap();
         assert!(

@@ -71,7 +71,9 @@ pub fn apply(attack: Attack, g: &Graph, answer: &Answer) -> Option<Answer> {
                 SpProof::Hyp { cell_tuples, .. } => cell_tuples,
             };
             let t = tuples.iter_mut().find(|t| !t.adj.is_empty())?;
-            t.adj[0].1 *= 0.5;
+            // Proof tuples are shared handles into the ADS table;
+            // copy-on-write so the attack never corrupts the provider.
+            std::sync::Arc::make_mut(t).adj[0].1 *= 0.5;
             Some(evil)
         }
         Attack::DroppedTuple => {
@@ -109,12 +111,7 @@ pub fn apply(attack: Attack, g: &Graph, answer: &Answer) -> Option<Answer> {
 }
 
 /// Shortest path from `s` to `t` in `g` that avoids node `avoid`.
-fn shortest_avoiding(
-    g: &Graph,
-    s: NodeId,
-    t: NodeId,
-    avoid: NodeId,
-) -> Option<spnet_graph::Path> {
+fn shortest_avoiding(g: &Graph, s: NodeId, t: NodeId, avoid: NodeId) -> Option<spnet_graph::Path> {
     use spnet_graph::ofloat::OrderedF64;
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -179,7 +176,9 @@ mod tests {
         let client = Client::new(p.public_key);
         let (s, t) = (NodeId(0), NodeId(80));
         let honest = provider.answer(s, t).unwrap();
-        client.verify(s, t, &honest).expect("honest answer accepted");
+        client
+            .verify(s, t, &honest)
+            .expect("honest answer accepted");
         let mut applied = 0;
         for attack in ALL_ATTACKS {
             let Some(evil) = apply(attack, &g, &honest) else {
@@ -193,7 +192,11 @@ mod tests {
                 method.name()
             );
         }
-        assert!(applied >= 4, "{}: too few attacks expressible", method.name());
+        assert!(
+            applied >= 4,
+            "{}: too few attacks expressible",
+            method.name()
+        );
     }
 
     #[test]
@@ -203,7 +206,9 @@ mod tests {
 
     #[test]
     fn full_detects_all_attacks() {
-        check_all_attacks_rejected(MethodConfig::Full { use_floyd_warshall: false });
+        check_all_attacks_rejected(MethodConfig::Full {
+            use_floyd_warshall: false,
+        });
     }
 
     #[test]

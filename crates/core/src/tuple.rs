@@ -274,7 +274,10 @@ mod tests {
             assert_eq!(t.id, v);
             assert_eq!(t.adj.len(), g.degree(v));
             assert_eq!((t.x, t.y), g.coords(v));
-            assert!(t.adj.windows(2).all(|w| w[0].0 < w[1].0), "sorted adjacency");
+            assert!(
+                t.adj.windows(2).all(|w| w[0].0 < w[1].0),
+                "sorted adjacency"
+            );
         }
     }
 
@@ -341,7 +344,10 @@ mod tests {
         let g = sample_graph();
         let mut t = ExtendedTuple::base(&g, NodeId(3));
         let d0 = t.digest();
-        t.psi = Some(PsiPayload::Full { bits: 8, q: vec![1, 2, 3] });
+        t.psi = Some(PsiPayload::Full {
+            bits: 8,
+            q: vec![1, 2, 3],
+        });
         let d1 = t.digest();
         t.psi = Some(PsiPayload::Ref {
             theta: NodeId(9),
@@ -357,9 +363,15 @@ mod tests {
         let g = sample_graph();
         let mut t = ExtendedTuple::base(&g, NodeId(3));
         let d0 = t.digest();
-        t.cell = Some(CellInfo { cell: 4, is_border: false });
+        t.cell = Some(CellInfo {
+            cell: 4,
+            is_border: false,
+        });
         let d1 = t.digest();
-        t.cell = Some(CellInfo { cell: 4, is_border: true });
+        t.cell = Some(CellInfo {
+            cell: 4,
+            is_border: true,
+        });
         let d2 = t.digest();
         assert_ne!(d0, d1);
         assert_ne!(d1, d2, "is_border must be authenticated");
@@ -383,11 +395,20 @@ mod tests {
         let s0 = t.size_bytes();
         assert!(s0 >= 4 + 8 + 8 + 4 + 2);
         let mut t2 = t.clone();
-        t2.psi = Some(PsiPayload::Full { bits: 12, q: vec![0; 16] });
+        t2.psi = Some(PsiPayload::Full {
+            bits: 12,
+            q: vec![0; 16],
+        });
         assert!(t2.size_bytes() > s0, "psi payload adds bytes");
         let mut t3 = t.clone();
-        t3.psi = Some(PsiPayload::Ref { theta: NodeId(1), eps: 0.5 });
-        assert!(t3.size_bytes() < t2.size_bytes(), "compression shrinks tuples");
+        t3.psi = Some(PsiPayload::Ref {
+            theta: NodeId(1),
+            eps: 0.5,
+        });
+        assert!(
+            t3.size_bytes() < t2.size_bytes(),
+            "compression shrinks tuples"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl std::fmt::Display for UpdateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UpdateError::MethodHasHints => {
-                write!(f, "hint-based methods require hint reconstruction, not in-place update")
+                write!(
+                    f,
+                    "hint-based methods require hint reconstruction, not in-place update"
+                )
             }
             UpdateError::NoSuchEdge { u, v } => write!(f, "no edge ({u}, {v})"),
             UpdateError::BadWeight(w) => write!(f, "invalid weight {w}"),
@@ -87,10 +90,17 @@ pub fn update_edge_weight(
         b.add_node(x, y);
     }
     for (a, c, w) in g.edges() {
-        let w = if (a, c) == (u.min(v), u.max(v)) { new_weight } else { w };
-        b.add_edge(a, c, w).map_err(|e| UpdateError::Rebuild(e.to_string()))?;
+        let w = if (a, c) == (u.min(v), u.max(v)) {
+            new_weight
+        } else {
+            w
+        };
+        b.add_edge(a, c, w)
+            .map_err(|e| UpdateError::Rebuild(e.to_string()))?;
     }
-    let new_graph = b.try_build().map_err(|e| UpdateError::Rebuild(e.to_string()))?;
+    let new_graph = b
+        .try_build()
+        .map_err(|e| UpdateError::Rebuild(e.to_string()))?;
 
     // Patch the two incident tuples and their Merkle paths.
     for node in [u, v] {
@@ -157,7 +167,9 @@ mod tests {
         let mut fresh = package.clone();
         let provider_old = ServiceProvider::new(package);
         let stale = provider_old.answer(s, t).unwrap();
-        client.verify(s, t, &stale).expect("pre-update answer valid");
+        client
+            .verify(s, t, &stale)
+            .expect("pre-update answer valid");
         // Owner updates some edge elsewhere; new root, new signature.
         let (u, v, _) = fresh.graph.edges().next().unwrap();
         update_edge_weight(&mut fresh, &kp, u, v, 123.456).unwrap();
@@ -202,7 +214,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1803);
         let kp = RsaKeyPair::generate(&mut rng, 256);
         for method in [
-            MethodConfig::Full { use_floyd_warshall: false },
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
             MethodConfig::Hyp { cells: 4 },
         ] {
             let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);

@@ -32,7 +32,11 @@ pub fn decode_answer(bytes: &[u8]) -> Result<Answer, DecodeError> {
     let sp = take_sp(&mut d)?;
     let integrity = take_integrity(&mut d)?;
     d.finish()?;
-    Ok(Answer { path, sp, integrity })
+    Ok(Answer {
+        path,
+        sp,
+        integrity,
+    })
 }
 
 // --- path -------------------------------------------------------------
@@ -54,7 +58,10 @@ fn take_path(d: &mut Decoder<'_>) -> Result<Path, DecodeError> {
     for _ in 0..n {
         nodes.push(NodeId(d.take_u32()?));
     }
-    Ok(Path { nodes, distance: d.take_f64()? })
+    Ok(Path {
+        nodes,
+        distance: d.take_f64()?,
+    })
 }
 
 // --- digests / signatures / merkle -------------------------------------
@@ -96,7 +103,11 @@ fn take_merkle(d: &mut Decoder<'_>) -> Result<MerkleProof, DecodeError> {
             digest: take_digest(d)?,
         });
     }
-    Ok(MerkleProof { entries, leaf_count, fanout })
+    Ok(MerkleProof {
+        entries,
+        leaf_count,
+        fanout,
+    })
 }
 
 fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
@@ -128,7 +139,12 @@ fn take_signed_root(d: &mut Decoder<'_>) -> Result<SignedRoot, DecodeError> {
     let signature = RsaSignature::from_bytes(d.take_bytes()?.to_vec());
     Ok(SignedRoot {
         root,
-        meta: AdsMeta { tag, leaf_count, fanout, params },
+        meta: AdsMeta {
+            tag,
+            leaf_count,
+            fanout,
+            params,
+        },
         signature,
     })
 }
@@ -161,26 +177,30 @@ fn take_keyed(d: &mut Decoder<'_>) -> Result<KeyedProof, DecodeError> {
     for _ in 0..n {
         positions.push(d.take_u32()?);
     }
-    Ok(KeyedProof { entries, positions, merkle: take_merkle(d)? })
+    Ok(KeyedProof {
+        entries,
+        positions,
+        merkle: take_merkle(d)?,
+    })
 }
 
 // --- tuples -------------------------------------------------------------
 
-fn put_tuples(e: &mut Encoder, ts: &[ExtendedTuple]) {
+fn put_tuples(e: &mut Encoder, ts: &[std::sync::Arc<ExtendedTuple>]) {
     e.put_u32(ts.len() as u32);
     for t in ts {
         t.encode(e);
     }
 }
 
-fn take_tuples(d: &mut Decoder<'_>) -> Result<Vec<ExtendedTuple>, DecodeError> {
+fn take_tuples(d: &mut Decoder<'_>) -> Result<Vec<std::sync::Arc<ExtendedTuple>>, DecodeError> {
     let n = d.take_u32()? as usize;
     if n > 1 << 24 {
         return Err(DecodeError::LengthOverflow(n as u64));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(ExtendedTuple::decode(d)?);
+        out.push(std::sync::Arc::new(ExtendedTuple::decode(d)?));
     }
     Ok(out)
 }
@@ -193,7 +213,11 @@ fn put_sp(e: &mut Encoder, sp: &SpProof) {
             e.put_u8(1);
             put_tuples(e, tuples);
         }
-        SpProof::Distance { full, signed_root, path_tuples } => {
+        SpProof::Distance {
+            full,
+            signed_root,
+            path_tuples,
+        } => {
             e.put_u8(2);
             e.put_u64(full.entry.key);
             e.put_f64(full.entry.value);
@@ -225,7 +249,9 @@ fn put_sp(e: &mut Encoder, sp: &SpProof) {
 
 fn take_sp(d: &mut Decoder<'_>) -> Result<SpProof, DecodeError> {
     match d.take_u8()? {
-        1 => Ok(SpProof::Subgraph { tuples: take_tuples(d)? }),
+        1 => Ok(SpProof::Subgraph {
+            tuples: take_tuples(d)?,
+        }),
         2 => {
             let entry = KeyedEntry {
                 key: d.take_u64()?,
@@ -238,7 +264,13 @@ fn take_sp(d: &mut Decoder<'_>) -> Result<SpProof, DecodeError> {
             let signed_root = take_signed_root(d)?;
             let path_tuples = take_tuples(d)?;
             Ok(SpProof::Distance {
-                full: FullDistanceProof { entry, row_index, row_proof, top_index, top_proof },
+                full: FullDistanceProof {
+                    entry,
+                    row_index,
+                    row_proof,
+                    top_index,
+                    top_proof,
+                },
                 signed_root,
                 path_tuples,
             })
@@ -305,8 +337,13 @@ mod tests {
     fn all_methods() -> Vec<MethodConfig> {
         vec![
             MethodConfig::Dij,
-            MethodConfig::Full { use_floyd_warshall: false },
-            MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 6,
+                ..LdmConfig::default()
+            }),
             MethodConfig::Hyp { cells: 9 },
         ]
     }
@@ -394,6 +431,9 @@ mod tests {
         // The ΓS tag byte sits right after the path block.
         let tag_pos = 4 + answer.path.nodes.len() * 4 + 8;
         bytes[tag_pos] = 99;
-        assert!(matches!(decode_answer(&bytes), Err(DecodeError::BadTag(99))));
+        assert!(matches!(
+            decode_answer(&bytes),
+            Err(DecodeError::BadTag(99))
+        ));
     }
 }

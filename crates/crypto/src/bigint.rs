@@ -114,8 +114,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(s as u32);
             carry = s >> 32;
         }
@@ -417,8 +417,8 @@ impl BigUint {
 /// Computes `a·(-1)^neg_a - b·(-1)^neg_b` returning `(magnitude, sign)`.
 fn signed_sub(a: &BigUint, neg_a: bool, b: &BigUint, neg_b: bool) -> (BigUint, bool) {
     match (neg_a, neg_b) {
-        (false, true) => (a.add(b), false),  //  a - (-b) = a + b
-        (true, false) => (a.add(b), true),   // -a - b    = -(a + b)
+        (false, true) => (a.add(b), false), //  a - (-b) = a + b
+        (true, false) => (a.add(b), true),  // -a - b    = -(a + b)
         (false, false) => match a.cmp_to(b) {
             Ordering::Less => (b.sub(a), true),
             _ => (a.sub(b), false),

@@ -66,7 +66,9 @@ impl std::fmt::Display for MbTreeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MbTreeError::Empty => write!(f, "merkle b-tree has no entries"),
-            MbTreeError::UnsortedKeys => write!(f, "entries must be sorted by strictly increasing key"),
+            MbTreeError::UnsortedKeys => {
+                write!(f, "entries must be sorted by strictly increasing key")
+            }
             MbTreeError::KeyNotFound(k) => write!(f, "key {k:#x} not found"),
             MbTreeError::Merkle(e) => write!(f, "merkle error: {e}"),
         }
@@ -198,7 +200,10 @@ mod tests {
 
     fn sample_entries(n: u32) -> Vec<KeyedEntry> {
         (0..n)
-            .map(|i| KeyedEntry { key: (i as u64) * 3, value: i as f64 * 0.5 })
+            .map(|i| KeyedEntry {
+                key: (i as u64) * 3,
+                value: i as f64 * 0.5,
+            })
             .collect()
     }
 
@@ -225,21 +230,30 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert!(matches!(MerkleBTree::build(vec![], 4), Err(MbTreeError::Empty)));
+        assert!(matches!(
+            MerkleBTree::build(vec![], 4),
+            Err(MbTreeError::Empty)
+        ));
     }
 
     #[test]
     fn unsorted_rejected() {
         let mut es = sample_entries(10);
         es.swap(2, 3);
-        assert!(matches!(MerkleBTree::build(es, 4), Err(MbTreeError::UnsortedKeys)));
+        assert!(matches!(
+            MerkleBTree::build(es, 4),
+            Err(MbTreeError::UnsortedKeys)
+        ));
     }
 
     #[test]
     fn duplicate_keys_rejected() {
         let mut es = sample_entries(5);
         es[1].key = es[0].key;
-        assert!(matches!(MerkleBTree::build(es, 4), Err(MbTreeError::UnsortedKeys)));
+        assert!(matches!(
+            MerkleBTree::build(es, 4),
+            Err(MbTreeError::UnsortedKeys)
+        ));
     }
 
     #[test]
@@ -264,7 +278,10 @@ mod tests {
     #[test]
     fn missing_key_errors() {
         let t = MerkleBTree::build(sample_entries(10), 4).unwrap();
-        assert!(matches!(t.prove_keys(&[1]), Err(MbTreeError::KeyNotFound(1))));
+        assert!(matches!(
+            t.prove_keys(&[1]),
+            Err(MbTreeError::KeyNotFound(1))
+        ));
     }
 
     #[test]
@@ -308,7 +325,10 @@ mod tests {
         // f64 bit-encoding: -0.0 and 0.0 differ — encoding is canonical
         // per bit pattern, which is fine because owners never emit -0.0.
         let a = KeyedEntry { key: 1, value: 0.0 };
-        let b = KeyedEntry { key: 1, value: -0.0 };
+        let b = KeyedEntry {
+            key: 1,
+            value: -0.0,
+        };
         assert_ne!(a.digest(), b.digest());
     }
 }

@@ -13,8 +13,8 @@
 //! digests plus the proof entries and compares it against the signed
 //! root.
 
-use crate::digest::{hash_concat, Digest};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::digest::{hash_digests, Digest};
+use std::collections::BTreeSet;
 
 /// Errors raised while building or checking Merkle structures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,16 +44,28 @@ impl std::fmt::Display for MerkleError {
             MerkleError::EmptyTree => write!(f, "merkle tree must have at least one leaf"),
             MerkleError::BadFanout(n) => write!(f, "fanout {n} is invalid (must be ≥ 2)"),
             MerkleError::LeafOutOfRange { index, leaf_count } => {
-                write!(f, "leaf index {index} out of range (leaf count {leaf_count})")
+                write!(
+                    f,
+                    "leaf index {index} out of range (leaf count {leaf_count})"
+                )
             }
             MerkleError::MissingDigest { level, index } => {
-                write!(f, "proof incomplete: missing digest at level {level}, index {index}")
+                write!(
+                    f,
+                    "proof incomplete: missing digest at level {level}, index {index}"
+                )
             }
             MerkleError::RedundantEntry { level, index } => {
-                write!(f, "proof entry at level {level}, index {index} shadows a computed digest")
+                write!(
+                    f,
+                    "proof entry at level {level}, index {index} shadows a computed digest"
+                )
             }
             MerkleError::MalformedEntry { level, index } => {
-                write!(f, "proof entry at level {level}, index {index} is outside the tree")
+                write!(
+                    f,
+                    "proof entry at level {level}, index {index} is outside the tree"
+                )
             }
             MerkleError::NoLeaves => write!(f, "verification requires at least one proven leaf"),
         }
@@ -119,60 +131,106 @@ impl MerkleProof {
         let leaf_count = self.leaf_count as usize;
         let sizes = level_sizes(leaf_count, fanout);
 
-        // Known digests per level: proof entries first, then proven leaves.
-        let mut known: Vec<BTreeMap<usize, Digest>> = vec![BTreeMap::new(); sizes.len()];
+        // Proof entries per level as index-sorted vectors (binary-search
+        // lookups; no tree maps). A duplicate entry at one slot keeps
+        // the last occurrence, matching the former map insert.
+        let mut entry_levels: Vec<Vec<(usize, Digest)>> = vec![Vec::new(); sizes.len()];
         for e in &self.entries {
             let (lvl, idx) = (e.level as usize, e.index as usize);
             if lvl >= sizes.len() || idx >= sizes[lvl] {
-                return Err(MerkleError::MalformedEntry { level: lvl, index: idx });
+                return Err(MerkleError::MalformedEntry {
+                    level: lvl,
+                    index: idx,
+                });
             }
-            known[lvl].insert(idx, e.digest);
+            entry_levels[lvl].push((idx, e.digest));
         }
-        // `covered` = slots derivable from proven leaves. A proof entry
-        // in a covered slot is a prover error (it could mask a missing
-        // tuple), so reject it.
-        let mut covered: BTreeSet<usize> = BTreeSet::new();
+        for lvl in &mut entry_levels {
+            // Stable sort keeps insertion order within one index; the
+            // trailing occurrence wins below.
+            lvl.sort_by_key(|&(idx, _)| idx);
+        }
+        let lookup = |lvl: &[(usize, Digest)], idx: usize| -> Option<Digest> {
+            // Rightmost match (duplicates keep the last inserted).
+            match lvl.partition_point(|&(i, _)| i <= idx) {
+                0 => None,
+                p if lvl[p - 1].0 == idx => Some(lvl[p - 1].1),
+                _ => None,
+            }
+        };
+
+        // The frontier: slots derivable from proven leaves, sorted by
+        // index. A proof entry in a derivable slot is a prover error
+        // (it could mask a missing tuple), so reject it.
+        let mut frontier: Vec<(usize, Digest)> = Vec::with_capacity(leaves.len());
         for &(idx, digest) in leaves {
             if idx >= leaf_count {
-                return Err(MerkleError::LeafOutOfRange { index: idx, leaf_count });
+                return Err(MerkleError::LeafOutOfRange {
+                    index: idx,
+                    leaf_count,
+                });
             }
-            if known[0].contains_key(&idx) {
-                return Err(MerkleError::RedundantEntry { level: 0, index: idx });
+            if lookup(&entry_levels[0], idx).is_some() {
+                return Err(MerkleError::RedundantEntry {
+                    level: 0,
+                    index: idx,
+                });
             }
-            known[0].insert(idx, digest);
-            covered.insert(idx);
+            frontier.push((idx, digest));
+        }
+        frontier.sort_by_key(|&(idx, _)| idx);
+        if let Some(w) = frontier.windows(2).find(|w| w[0].0 == w[1].0) {
+            // Two proven digests for one slot — same class of error as
+            // an entry shadowing a proven leaf.
+            return Err(MerkleError::RedundantEntry {
+                level: 0,
+                index: w[0].0,
+            });
         }
 
         // Bottom-up: compute every parent that covers a proven leaf.
+        // The frontier stays sorted, so each parent's children are a
+        // contiguous run consumed by one forward pass.
+        let mut children: Vec<Digest> = Vec::with_capacity(fanout);
         for lvl in 0..sizes.len() - 1 {
-            let mut parents: BTreeSet<usize> = BTreeSet::new();
-            for &idx in &covered {
-                parents.insert(idx / fanout);
-            }
-            let mut next_covered = BTreeSet::new();
-            for &p in &parents {
-                if known[lvl + 1].contains_key(&p) {
-                    return Err(MerkleError::RedundantEntry { level: lvl + 1, index: p });
+            let mut next: Vec<(usize, Digest)> = Vec::with_capacity(frontier.len());
+            let mut i = 0usize;
+            while i < frontier.len() {
+                let p = frontier[i].0 / fanout;
+                if lookup(&entry_levels[lvl + 1], p).is_some() {
+                    return Err(MerkleError::RedundantEntry {
+                        level: lvl + 1,
+                        index: p,
+                    });
                 }
                 let first = p * fanout;
                 let last = (first + fanout).min(sizes[lvl]);
-                let mut children = Vec::with_capacity(last - first);
+                children.clear();
                 for c in first..last {
-                    match known[lvl].get(&c) {
-                        Some(d) => children.push(*d),
-                        None => return Err(MerkleError::MissingDigest { level: lvl, index: c }),
+                    if i < frontier.len() && frontier[i].0 == c {
+                        children.push(frontier[i].1);
+                        i += 1;
+                    } else if let Some(d) = lookup(&entry_levels[lvl], c) {
+                        children.push(d);
+                    } else {
+                        return Err(MerkleError::MissingDigest {
+                            level: lvl,
+                            index: c,
+                        });
                     }
                 }
-                known[lvl + 1].insert(p, hash_concat(&children));
-                next_covered.insert(p);
+                next.push((p, hash_digests(&children)));
             }
-            covered = next_covered;
+            frontier = next;
         }
 
-        known
-            .last()
-            .and_then(|top| top.get(&0).copied())
-            .ok_or(MerkleError::MissingDigest { level: sizes.len() - 1, index: 0 })
+        match frontier.first() {
+            Some(&(0, root)) => Ok(root),
+            _ => Err(MerkleError::MissingDigest {
+                level: sizes.len() - 1,
+                index: 0,
+            }),
+        }
     }
 }
 
@@ -214,7 +272,7 @@ impl MerkleTree {
             let prev = levels.last().unwrap();
             let mut next = Vec::with_capacity(prev.len().div_ceil(fanout));
             for chunk in prev.chunks(fanout) {
-                next.push(hash_concat(chunk));
+                next.push(hash_digests(chunk));
             }
             levels.push(next);
         }
@@ -257,7 +315,10 @@ impl MerkleTree {
     pub fn update_leaf(&mut self, i: usize, digest: Digest) -> Result<(), MerkleError> {
         let n = self.leaf_count();
         if i >= n {
-            return Err(MerkleError::LeafOutOfRange { index: i, leaf_count: n });
+            return Err(MerkleError::LeafOutOfRange {
+                index: i,
+                leaf_count: n,
+            });
         }
         self.levels[0][i] = digest;
         let mut idx = i;
@@ -265,7 +326,7 @@ impl MerkleTree {
             let parent = idx / self.fanout;
             let first = parent * self.fanout;
             let last = (first + self.fanout).min(self.levels[lvl].len());
-            let combined = hash_concat(&self.levels[lvl][first..last]);
+            let combined = hash_digests(&self.levels[lvl][first..last]);
             self.levels[lvl + 1][parent] = combined;
             idx = parent;
         }
@@ -273,31 +334,41 @@ impl MerkleTree {
     }
 
     /// Builds the proof for a set of leaf indices per Merkle's rule.
+    ///
+    /// One sorted-vector sweep per level: the covered set stays sorted,
+    /// so each parent's covered children form a contiguous run and the
+    /// uncovered siblings are emitted in index order without set
+    /// membership queries.
     pub fn prove(&self, leaf_indices: BTreeSet<usize>) -> Result<MerkleProof, MerkleError> {
         let leaf_count = self.leaf_count();
         if leaf_indices.is_empty() {
             return Err(MerkleError::NoLeaves);
         }
-        if let Some(&max) = leaf_indices.iter().next_back() {
+        // Already sorted and distinct, by BTreeSet construction.
+        let mut covered: Vec<usize> = leaf_indices.into_iter().collect();
+        if let Some(&max) = covered.last() {
             if max >= leaf_count {
-                return Err(MerkleError::LeafOutOfRange { index: max, leaf_count });
+                return Err(MerkleError::LeafOutOfRange {
+                    index: max,
+                    leaf_count,
+                });
             }
         }
         let mut entries = Vec::new();
-        let mut covered = leaf_indices;
         for lvl in 0..self.levels.len() - 1 {
             let level_size = self.levels[lvl].len();
-            let mut parents: BTreeSet<usize> = BTreeSet::new();
-            for &idx in &covered {
-                parents.insert(idx / self.fanout);
-            }
-            // For each covered parent, supply digests of its uncovered
-            // children (rule: subtree has no proven leaf, parent's does).
-            for &p in &parents {
+            let mut parents: Vec<usize> = Vec::with_capacity(covered.len());
+            let mut i = 0usize;
+            while i < covered.len() {
+                let p = covered[i] / self.fanout;
                 let first = p * self.fanout;
                 let last = (first + self.fanout).min(level_size);
+                // Supply digests of the parent's uncovered children
+                // (rule: subtree has no proven leaf, parent's does).
                 for c in first..last {
-                    if !covered.contains(&c) {
+                    if i < covered.len() && covered[i] == c {
+                        i += 1;
+                    } else {
                         entries.push(ProofEntry {
                             level: lvl as u32,
                             index: c as u32,
@@ -305,6 +376,7 @@ impl MerkleTree {
                         });
                     }
                 }
+                parents.push(p);
             }
             covered = parents;
         }
@@ -322,7 +394,9 @@ mod tests {
     use crate::digest::hash_bytes;
 
     fn leaves(n: usize) -> Vec<Digest> {
-        (0..n).map(|i| hash_bytes(&(i as u64).to_le_bytes())).collect()
+        (0..n)
+            .map(|i| hash_bytes(&(i as u64).to_le_bytes()))
+            .collect()
     }
 
     fn check_round_trip(n: usize, fanout: usize, proven: &[usize]) {
@@ -346,22 +420,31 @@ mod tests {
 
     #[test]
     fn empty_tree_rejected() {
-        assert!(matches!(MerkleTree::build(vec![], 2), Err(MerkleError::EmptyTree)));
+        assert!(matches!(
+            MerkleTree::build(vec![], 2),
+            Err(MerkleError::EmptyTree)
+        ));
     }
 
     #[test]
     fn bad_fanout_rejected() {
-        assert!(matches!(MerkleTree::build(leaves(4), 1), Err(MerkleError::BadFanout(1))));
-        assert!(matches!(MerkleTree::build(leaves(4), 0), Err(MerkleError::BadFanout(0))));
+        assert!(matches!(
+            MerkleTree::build(leaves(4), 1),
+            Err(MerkleError::BadFanout(1))
+        ));
+        assert!(matches!(
+            MerkleTree::build(leaves(4), 0),
+            Err(MerkleError::BadFanout(0))
+        ));
     }
 
     #[test]
     fn binary_tree_manual_root() {
         // 4 leaves, fanout 2: root = H(H(l0∘l1) ∘ H(l2∘l3))
         let ls = leaves(4);
-        let h01 = hash_concat(&[ls[0], ls[1]]);
-        let h23 = hash_concat(&[ls[2], ls[3]]);
-        let expected = hash_concat(&[h01, h23]);
+        let h01 = crate::digest::hash_concat(&[ls[0], ls[1]]);
+        let h23 = crate::digest::hash_concat(&[ls[2], ls[3]]);
+        let expected = crate::digest::hash_concat(&[h01, h23]);
         let tree = MerkleTree::build(ls, 2).unwrap();
         assert_eq!(tree.root(), expected);
     }
@@ -385,7 +468,17 @@ mod tests {
 
     #[test]
     fn round_trips_various_shapes() {
-        for &(n, f) in &[(2usize, 2usize), (3, 2), (8, 2), (9, 2), (10, 3), (36, 3), (100, 16), (33, 32), (64, 32)] {
+        for &(n, f) in &[
+            (2usize, 2usize),
+            (3, 2),
+            (8, 2),
+            (9, 2),
+            (10, 3),
+            (36, 3),
+            (100, 16),
+            (33, 32),
+            (64, 32),
+        ] {
             check_round_trip(n, f, &[0]);
             check_round_trip(n, f, &[n - 1]);
             check_round_trip(n, f, &[n / 2]);
@@ -479,7 +572,11 @@ mod tests {
         let ls = leaves(16);
         let tree = MerkleTree::build(ls.clone(), 2).unwrap();
         let mut proof = tree.prove([3usize].into_iter().collect()).unwrap();
-        proof.entries.push(ProofEntry { level: 0, index: 3, digest: ls[3] });
+        proof.entries.push(ProofEntry {
+            level: 0,
+            index: 3,
+            digest: ls[3],
+        });
         let err = proof.reconstruct_root(&[(3, ls[3])]).unwrap_err();
         assert!(matches!(err, MerkleError::RedundantEntry { .. }));
     }
@@ -489,7 +586,11 @@ mod tests {
         let ls = leaves(8);
         let tree = MerkleTree::build(ls.clone(), 2).unwrap();
         let mut proof = tree.prove([0usize].into_iter().collect()).unwrap();
-        proof.entries.push(ProofEntry { level: 9, index: 0, digest: ls[0] });
+        proof.entries.push(ProofEntry {
+            level: 9,
+            index: 0,
+            digest: ls[0],
+        });
         let err = proof.reconstruct_root(&[(0, ls[0])]).unwrap_err();
         assert!(matches!(err, MerkleError::MalformedEntry { .. }));
     }
@@ -511,7 +612,10 @@ mod tests {
     #[test]
     fn empty_index_set_rejected() {
         let tree = MerkleTree::build(leaves(8), 2).unwrap();
-        assert!(matches!(tree.prove(BTreeSet::new()), Err(MerkleError::NoLeaves)));
+        assert!(matches!(
+            tree.prove(BTreeSet::new()),
+            Err(MerkleError::NoLeaves)
+        ));
     }
 
     #[test]

@@ -3,21 +3,23 @@
 //! Identical output to Floyd–Warshall but O(|V|·(|E| + |V| log |V|))
 //! on sparse road networks (|E| ≈ 1.05·|V| in the paper's datasets),
 //! which keeps the FULL baseline buildable at experiment scale. The
-//! parallel variant fans sources out over threads with crossbeam.
+//! parallel variant fans sources out over scoped OS threads; every
+//! worker reuses one [`crate::search::SearchWorkspace`] across its
+//! whole source range, so the per-source cost is pure search.
 
-use crate::algo::dijkstra::dijkstra_sssp;
 use crate::algo::floyd_warshall::DistanceMatrix;
 use crate::graph::Graph;
 use crate::ids::NodeId;
 
-/// Sequential all-pairs via |V| Dijkstra runs.
+/// Sequential all-pairs via |V| Dijkstra runs on one reused workspace.
 pub fn apsp_dijkstra(g: &Graph) -> DistanceMatrix {
     let n = g.num_nodes();
     let mut m = DistanceMatrix::new(n);
+    let mut ws = crate::search::SearchWorkspace::with_capacity(n);
     for s in 0..n {
-        let r = dijkstra_sssp(g, NodeId(s as u32));
+        let r = ws.sssp(g, NodeId(s as u32));
         for t in 0..n {
-            m.set(s, t, r.dist[t]);
+            m.set(s, t, r.dist(NodeId(t as u32)));
         }
     }
     m
@@ -33,18 +35,18 @@ pub fn apsp_dijkstra_parallel(g: &Graph, threads: usize) -> DistanceMatrix {
     }
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n];
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (worker, slot) in rows.chunks_mut(chunk).enumerate() {
             let start = worker * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
+                let mut ws = crate::search::SearchWorkspace::new();
                 for (off, row) in slot.iter_mut().enumerate() {
-                    let r = dijkstra_sssp(g, NodeId((start + off) as u32));
-                    *row = r.dist;
+                    let r = ws.sssp(g, NodeId((start + off) as u32));
+                    *row = r.dist_vec();
                 }
             });
         }
-    })
-    .expect("apsp worker panicked");
+    });
     let mut m = DistanceMatrix::new(n);
     for (s, row) in rows.into_iter().enumerate() {
         for (t, d) in row.into_iter().enumerate() {

@@ -12,12 +12,12 @@
 //! search-space baseline; the verification protocol itself never uses
 //! arc-flags (clients cannot trust unauthenticated flags).
 
-use crate::algo::dijkstra::dijkstra_sssp;
 use crate::graph::Graph;
 use crate::ids::NodeId;
 use crate::ofloat::OrderedF64;
 use crate::partition::GridPartition;
 use crate::path::Path;
+use crate::search::SearchWorkspace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -57,17 +57,18 @@ impl ArcFlags {
         // node b of cell c; an arc (u → v) with
         // dist(u, b) = w(u,v) + dist(v, b) lies on a shortest path into
         // c through b.
+        let mut ws = SearchWorkspace::with_capacity(g.num_nodes());
         for c in 0..p as u32 {
             for b in part.cell_borders(c) {
-                let d = dijkstra_sssp(g, b).dist;
+                let d = ws.sssp(g, b);
                 for u in g.nodes() {
-                    let du = d[u.index()];
+                    let du = d.dist(u);
                     if !du.is_finite() {
                         continue;
                     }
                     let lo = g.offsets[u.index()] as usize;
                     for (k, (v, w)) in g.neighbors(u).enumerate() {
-                        let dv = d[v.index()];
+                        let dv = d.dist(v);
                         if dv.is_finite() && (du - (w + dv)).abs() <= 1e-9 * du.max(1.0) {
                             set(&mut flags, lo + k, c as usize);
                         }

@@ -78,13 +78,15 @@ pub fn astar_search_space<H>(g: &Graph, source: NodeId, sp_dist: f64, h: H) -> V
 where
     H: Fn(NodeId) -> f64,
 {
-    let r = crate::algo::dijkstra::dijkstra_ball(g, source, sp_dist);
-    g.nodes()
-        .filter(|&v| {
-            let d = r.dist[v.index()];
-            d.is_finite() && d + h(v) <= sp_dist + 1e-9 * sp_dist.max(1.0)
-        })
-        .collect()
+    crate::search::with_thread_workspace(|ws| {
+        let r = ws.ball(g, source, sp_dist);
+        g.nodes()
+            .filter(|&v| {
+                let d = r.dist(v);
+                d.is_finite() && d + h(v) <= sp_dist + 1e-9 * sp_dist.max(1.0)
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -118,7 +120,9 @@ mod tests {
     fn astar_trivial_and_unreachable() {
         let g = grid_network(4, 4, 1.0, 3);
         assert_eq!(
-            astar_path(&g, NodeId(3), NodeId(3), |_| 0.0).unwrap().distance,
+            astar_path(&g, NodeId(3), NodeId(3), |_| 0.0)
+                .unwrap()
+                .distance,
             0.0
         );
         let mut b = crate::builder::GraphBuilder::new();

@@ -1,13 +1,22 @@
 //! Dijkstra's algorithm \[22\] in the three variants the framework
 //! needs.
+//!
+//! The free functions below are the stable entry points; they execute
+//! on this thread's shared [`crate::search::SearchWorkspace`], so
+//! repeated calls reuse one set of arrays and one heap. Callers on a
+//! hot path that also want to avoid materializing [`SsspResult`]
+//! should hold their own workspace and use its views directly.
+//!
+//! [`reference`] keeps the original fresh-allocation implementation:
+//! it is the oracle the workspace implementation is property-tested
+//! against (bit-identical distances/parents) and the baseline the
+//! `search_benches` speedup is measured from.
 
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::ids::NodeId;
-use crate::ofloat::OrderedF64;
 use crate::path::Path;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::search::with_thread_workspace;
 
 /// Result of a single-source run: per-node distance and parent.
 ///
@@ -50,7 +59,7 @@ impl SsspResult {
 
 /// Full single-source Dijkstra: distances from `source` to every node.
 pub fn dijkstra_sssp(g: &Graph, source: NodeId) -> SsspResult {
-    run(g, source, None, f64::INFINITY)
+    with_thread_workspace(|ws| ws.sssp(g, source).to_sssp_result())
 }
 
 /// Bounded-ball Dijkstra: settles exactly the nodes `v` with
@@ -59,68 +68,98 @@ pub fn dijkstra_sssp(g: &Graph, source: NodeId) -> SsspResult {
 /// Nodes beyond the radius keep infinite distance even if their
 /// tentative key was pushed.
 pub fn dijkstra_ball(g: &Graph, source: NodeId, radius: f64) -> SsspResult {
-    run(g, source, None, radius)
+    with_thread_workspace(|ws| ws.ball(g, source, radius).to_sssp_result())
 }
 
 /// Point-to-point Dijkstra with early termination when `target` is
 /// settled.
 pub fn dijkstra_path(g: &Graph, source: NodeId, target: NodeId) -> Result<Path, GraphError> {
-    g.check_node(source)?;
-    g.check_node(target)?;
-    if source == target {
-        return Ok(Path::trivial(source));
-    }
-    let r = run(g, source, Some(target), f64::INFINITY);
-    r.path_to(target)
-        .ok_or(GraphError::Unreachable { source, target })
+    with_thread_workspace(|ws| ws.path(g, source, target))
 }
 
-fn run(g: &Graph, source: NodeId, stop_at: Option<NodeId>, radius: f64) -> SsspResult {
-    let n = g.num_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(Reverse((OrderedF64::new(0.0), source.0)));
-    while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
-        let vi = v as usize;
-        if settled[vi] || d > dist[vi] {
-            continue; // stale entry
+pub mod reference {
+    //! The original fresh-allocation Dijkstra, kept as the correctness
+    //! oracle and benchmark baseline for the workspace implementation.
+
+    use super::*;
+    use crate::ofloat::OrderedF64;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Fresh-allocation single-source Dijkstra.
+    pub fn sssp(g: &Graph, source: NodeId) -> SsspResult {
+        run(g, source, None, f64::INFINITY)
+    }
+
+    /// Fresh-allocation bounded-ball Dijkstra.
+    pub fn ball(g: &Graph, source: NodeId, radius: f64) -> SsspResult {
+        run(g, source, None, radius)
+    }
+
+    /// Fresh-allocation point-to-point Dijkstra.
+    pub fn path(g: &Graph, source: NodeId, target: NodeId) -> Result<Path, GraphError> {
+        g.check_node(source)?;
+        g.check_node(target)?;
+        if source == target {
+            return Ok(Path::trivial(source));
         }
-        if d > radius {
-            // Every remaining key is ≥ d: nothing else is in the ball.
-            dist[vi] = f64::INFINITY;
-            break;
-        }
-        settled[vi] = true;
-        if stop_at == Some(NodeId(v)) {
-            break;
-        }
-        for (u, w) in g.neighbors(NodeId(v)) {
-            let ui = u.index();
-            if settled[ui] {
-                continue;
+        let r = run(g, source, Some(target), f64::INFINITY);
+        r.path_to(target)
+            .ok_or(GraphError::Unreachable { source, target })
+    }
+
+    fn run(g: &Graph, source: NodeId, stop_at: Option<NodeId>, radius: f64) -> SsspResult {
+        let n = g.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut settled = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, u32)>> = BinaryHeap::new();
+        dist[source.index()] = 0.0;
+        heap.push(Reverse((OrderedF64::new(0.0), source.0)));
+        while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
+            let vi = v as usize;
+            if settled[vi] || d > dist[vi] {
+                continue; // stale entry
             }
-            let nd = d + w;
-            if nd < dist[ui] {
-                dist[ui] = nd;
-                parent[ui] = Some(NodeId(v));
-                heap.push(Reverse((OrderedF64::new(nd), u.0)));
+            if d > radius {
+                // Every remaining key is ≥ d: nothing else is in the ball.
+                dist[vi] = f64::INFINITY;
+                break;
             }
+            settled[vi] = true;
+            if stop_at == Some(NodeId(v)) {
+                break;
+            }
+            for (u, w) in g.neighbors(NodeId(v)) {
+                let ui = u.index();
+                if settled[ui] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < dist[ui] {
+                    dist[ui] = nd;
+                    parent[ui] = Some(NodeId(v));
+                    heap.push(Reverse((OrderedF64::new(nd), u.0)));
+                }
+            }
+        }
+        // Tentative (never settled) nodes outside the ball are not part
+        // of the result: reset them so `dist` reflects settled nodes
+        // only.
+        if radius.is_finite() {
+            for i in 0..n {
+                if !settled[i] {
+                    dist[i] = f64::INFINITY;
+                    parent[i] = None;
+                }
+            }
+        }
+        SsspResult {
+            source,
+            dist,
+            parent,
         }
     }
-    // Tentative (never settled) nodes outside the ball are not part of
-    // the result: reset them so `dist` reflects settled nodes only.
-    if radius.is_finite() {
-        for i in 0..n {
-            if !settled[i] {
-                dist[i] = f64::INFINITY;
-                parent[i] = None;
-            }
-        }
-    }
-    SsspResult { source, dist, parent }
 }
 
 #[cfg(test)]

@@ -74,8 +74,8 @@ pub fn floyd_warshall(g: &Graph) -> DistanceMatrix {
             // Manual row split avoids a full matrix clone per iteration.
             let row_k: Vec<f64> = m.row(k).to_vec();
             let base = i * n;
-            for j in 0..n {
-                let alt = dik + row_k[j];
+            for (j, &dkj) in row_k.iter().enumerate() {
+                let alt = dik + dkj;
                 if alt < m.data[base + j] {
                     m.data[base + j] = alt;
                 }

@@ -160,7 +160,10 @@ mod tests {
         let u = b.add_node(0.0, 0.0);
         let v = b.add_node(1.0, 0.0);
         assert!(b.add_edge(u, v, 1.0).is_ok());
-        assert!(matches!(b.add_edge(u, u, 1.0), Err(GraphError::SelfLoop(_))));
+        assert!(matches!(
+            b.add_edge(u, u, 1.0),
+            Err(GraphError::SelfLoop(_))
+        ));
         assert!(matches!(
             b.add_edge(u, NodeId(9), 1.0),
             Err(GraphError::NodeOutOfRange { .. })

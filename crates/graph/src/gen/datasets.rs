@@ -155,7 +155,10 @@ mod tests {
             "target {target}, got {got}"
         );
         let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!((ratio - Dataset::De.edge_ratio()).abs() < 0.02, "ratio {ratio}");
+        assert!(
+            (ratio - Dataset::De.edge_ratio()).abs() < 0.02,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

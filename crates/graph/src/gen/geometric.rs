@@ -21,12 +21,7 @@ pub fn random_geometric(n: usize, k: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n * k / 2);
     let pts: Vec<(f64, f64)> = (0..n)
-        .map(|_| {
-            (
-                rng.random_range(0.0..EXTENT),
-                rng.random_range(0.0..EXTENT),
-            )
-        })
+        .map(|_| (rng.random_range(0.0..EXTENT), rng.random_range(0.0..EXTENT)))
         .collect();
     for &(x, y) in &pts {
         b.add_node(x, y);

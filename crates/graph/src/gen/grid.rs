@@ -198,7 +198,10 @@ mod tests {
     fn connected() {
         let g = grid_network(15, 15, 1.02, 2);
         let r = dijkstra_sssp(&g, NodeId(0));
-        assert!(r.dist.iter().all(|d| d.is_finite()), "graph must be connected");
+        assert!(
+            r.dist.iter().all(|d| d.is_finite()),
+            "graph must be connected"
+        );
     }
 
     #[test]

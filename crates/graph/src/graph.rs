@@ -85,12 +85,17 @@ impl Graph {
     }
 
     /// Iterator over undirected edges `(u, v, w)` with `u < v`.
-    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.neighbors(u)
-                .filter(move |&(v, _)| u < v)
-                .map(move |(v, w)| (u, v, w))
-        })
+    ///
+    /// A single sweep over the CSR arc arrays: the owning node is
+    /// tracked by advancing an offset cursor instead of re-scanning
+    /// every node's adjacency list, and each arc is visited exactly
+    /// once (its `u > v` mirror is skipped in place).
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            g: self,
+            arc: 0,
+            node: 0,
+        }
     }
 
     /// Checks that a node id is within range.
@@ -112,7 +117,12 @@ impl Graph {
         if self.num_nodes() == 0 {
             return None;
         }
-        let mut bb = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for i in 0..self.num_nodes() {
             bb.0 = bb.0.min(self.xs[i]);
             bb.1 = bb.1.min(self.ys[i]);
@@ -127,6 +137,44 @@ impl Graph {
         let (ux, uy) = self.coords(u);
         let (vx, vy) = self.coords(v);
         ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    }
+}
+
+/// Single-sweep iterator over undirected edges (see [`Graph::edges`]).
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    g: &'a Graph,
+    /// Cursor into the flattened arc arrays.
+    arc: usize,
+    /// Owning node of `arc` (`offsets[node] ≤ arc < offsets[node+1]`).
+    node: u32,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let num_arcs = self.g.adj_targets.len();
+        while self.arc < num_arcs {
+            // Advance the owner cursor past empty adjacency lists.
+            while self.g.offsets[self.node as usize + 1] as usize <= self.arc {
+                self.node += 1;
+            }
+            let arc = self.arc;
+            self.arc += 1;
+            let v = self.g.adj_targets[arc];
+            if self.node < v {
+                return Some((NodeId(self.node), NodeId(v), self.g.adj_weights[arc]));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Each remaining undirected edge occupies one un-yielded arc
+        // pair; at most the remaining arcs, at least half of them.
+        let remaining = self.g.adj_targets.len() - self.arc;
+        (0, Some(remaining))
     }
 }
 

@@ -74,20 +74,31 @@ pub fn load_graph(path: &Path) -> Result<Graph, IoError> {
     let mut next_line = |what: &str| -> Result<(usize, String), IoError> {
         match lines.next() {
             Some((i, Ok(l))) => Ok((i + 1, l)),
-            Some((i, Err(e))) => Err(IoError::Parse { line: i + 1, message: e.to_string() }),
-            None => Err(IoError::Parse { line: 0, message: format!("missing {what}") }),
+            Some((i, Err(e))) => Err(IoError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            }),
+            None => Err(IoError::Parse {
+                line: 0,
+                message: format!("missing {what}"),
+            }),
         }
     };
 
     let (ln, header) = next_line("header")?;
     if header.trim() != "spnet-graph 1" {
-        return Err(IoError::Parse { line: ln, message: format!("bad header {header:?}") });
+        return Err(IoError::Parse {
+            line: ln,
+            message: format!("bad header {header:?}"),
+        });
     }
     let (ln, counts) = next_line("counts")?;
     let mut it = counts.split_whitespace();
     let parse_usize = |s: Option<&str>, ln: usize| -> Result<usize, IoError> {
-        s.and_then(|v| v.parse().ok())
-            .ok_or(IoError::Parse { line: ln, message: "expected integer".into() })
+        s.and_then(|v| v.parse().ok()).ok_or(IoError::Parse {
+            line: ln,
+            message: "expected integer".into(),
+        })
     };
     let n = parse_usize(it.next(), ln)?;
     let m = parse_usize(it.next(), ln)?;
@@ -97,8 +108,10 @@ pub fn load_graph(path: &Path) -> Result<Graph, IoError> {
         let (ln, l) = next_line("node line")?;
         let mut it = l.split_whitespace();
         let parse_f = |s: Option<&str>| -> Result<f64, IoError> {
-            s.and_then(|v| v.parse().ok())
-                .ok_or(IoError::Parse { line: ln, message: "expected float".into() })
+            s.and_then(|v| v.parse().ok()).ok_or(IoError::Parse {
+                line: ln,
+                message: "expected float".into(),
+            })
         };
         let x = parse_f(it.next())?;
         let y = parse_f(it.next())?;
@@ -110,20 +123,34 @@ pub fn load_graph(path: &Path) -> Result<Graph, IoError> {
         let u = it
             .next()
             .and_then(|v| v.parse::<u32>().ok())
-            .ok_or(IoError::Parse { line: ln, message: "expected node id".into() })?;
+            .ok_or(IoError::Parse {
+                line: ln,
+                message: "expected node id".into(),
+            })?;
         let v = it
             .next()
             .and_then(|s| s.parse::<u32>().ok())
-            .ok_or(IoError::Parse { line: ln, message: "expected node id".into() })?;
+            .ok_or(IoError::Parse {
+                line: ln,
+                message: "expected node id".into(),
+            })?;
         let w = it
             .next()
             .and_then(|s| s.parse::<f64>().ok())
-            .ok_or(IoError::Parse { line: ln, message: "expected weight".into() })?;
+            .ok_or(IoError::Parse {
+                line: ln,
+                message: "expected weight".into(),
+            })?;
         b.add_edge(NodeId(u), NodeId(v), w)
-            .map_err(|e| IoError::Parse { line: ln, message: e.to_string() })?;
+            .map_err(|e| IoError::Parse {
+                line: ln,
+                message: e.to_string(),
+            })?;
     }
-    b.try_build()
-        .map_err(|e| IoError::Parse { line: 0, message: e.to_string() })
+    b.try_build().map_err(|e| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +178,11 @@ mod tests {
         }
         for ((u1, v1, w1), (u2, v2, w2)) in g.edges().zip(back.edges()) {
             assert_eq!((u1, v1), (u2, v2));
-            assert_eq!(w1.to_bits(), w2.to_bits(), "weights must round-trip bit-exactly");
+            assert_eq!(
+                w1.to_bits(),
+                w2.to_bits(),
+                "weights must round-trip bit-exactly"
+            );
         }
         std::fs::remove_file(&path).ok();
     }
@@ -160,7 +191,10 @@ mod tests {
     fn rejects_bad_header() {
         let path = tmp("bad_header");
         std::fs::write(&path, "not-a-graph\n1 0\n0 0\n").unwrap();
-        assert!(matches!(load_graph(&path), Err(IoError::Parse { line: 1, .. })));
+        assert!(matches!(
+            load_graph(&path),
+            Err(IoError::Parse { line: 1, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

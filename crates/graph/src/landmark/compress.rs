@@ -66,12 +66,7 @@ pub struct CompressedVectors {
 
 impl CompressedVectors {
     /// Compresses `qv` with threshold `xi` using `strategy`.
-    pub fn build(
-        g: &Graph,
-        qv: &QuantizedVectors,
-        xi: f64,
-        strategy: CompressionStrategy,
-    ) -> Self {
+    pub fn build(g: &Graph, qv: &QuantizedVectors, xi: f64, strategy: CompressionStrategy) -> Self {
         let n = qv.num_nodes();
         let mut psi: Vec<Option<NodePsi>> = vec![None; n];
         match strategy {
@@ -80,7 +75,10 @@ impl CompressedVectors {
         }
         CompressedVectors {
             lambda: qv.lambda(),
-            psi: psi.into_iter().map(|p| p.expect("all nodes assigned")).collect(),
+            psi: psi
+                .into_iter()
+                .map(|p| p.expect("all nodes assigned"))
+                .collect(),
             xi,
             c: qv.num_landmarks(),
             bits: qv.bits(),
@@ -182,9 +180,7 @@ fn greedy_exact(qv: &QuantizedVectors, xi: f64, psi: &mut [Option<NodePsi>]) {
             let cover: Vec<u32> = remaining
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    v != cand && qv.quantized_diff(NodeId(v), NodeId(cand)) <= xi
-                })
+                .filter(|&v| v != cand && qv.quantized_diff(NodeId(v), NodeId(cand)) <= xi)
                 .collect();
             if cover.len() > best_cover.len() {
                 best_rep = cand;
@@ -272,7 +268,10 @@ mod tests {
         let lms = select_landmarks(&g, 5, LandmarkStrategy::Farthest, 61);
         let lv = LandmarkVectors::compute(&g, &lms);
         let qv = QuantizedVectors::quantize(&lv, 8);
-        for strat in [CompressionStrategy::GreedyExact, CompressionStrategy::HilbertSweep] {
+        for strat in [
+            CompressionStrategy::GreedyExact,
+            CompressionStrategy::HilbertSweep,
+        ] {
             let cv = CompressedVectors::build(&g, &qv, 300.0, strat);
             for u in 0..g.num_nodes() {
                 for v in 0..g.num_nodes() {
@@ -297,7 +296,9 @@ mod tests {
         let apsp = crate::algo::apsp_dijkstra(&g);
         for u in 0..g.num_nodes() {
             for v in 0..g.num_nodes() {
-                assert!(cv.lower_bound(NodeId(u as u32), NodeId(v as u32)) <= apsp.get(u, v) + 1e-9);
+                assert!(
+                    cv.lower_bound(NodeId(u as u32), NodeId(v as u32)) <= apsp.get(u, v) + 1e-9
+                );
             }
         }
     }
@@ -348,7 +349,10 @@ mod tests {
         let lms = select_landmarks(&g, 6, LandmarkStrategy::Farthest, 69);
         let lv = LandmarkVectors::compute(&g, &lms);
         let qv = QuantizedVectors::quantize(&lv, 8);
-        for strat in [CompressionStrategy::GreedyExact, CompressionStrategy::HilbertSweep] {
+        for strat in [
+            CompressionStrategy::GreedyExact,
+            CompressionStrategy::HilbertSweep,
+        ] {
             let cv = CompressedVectors::build(&g, &qv, 500.0, strat);
             for v in 0..g.num_nodes() as u32 {
                 let (theta, _) = cv.theta_eps(NodeId(v));

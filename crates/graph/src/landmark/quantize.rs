@@ -41,7 +41,11 @@ impl QuantizedVectors {
         let levels = (1u64 << bits) - 1;
         // Degenerate dmax (single-node graph): λ=1 avoids div-by-zero;
         // all quantized values are 0.
-        let lambda = if dmax > 0.0 { dmax / levels as f64 } else { 1.0 };
+        let lambda = if dmax > 0.0 {
+            dmax / levels as f64
+        } else {
+            1.0
+        };
         let c = exact.num_landmarks();
         let num_nodes = exact.num_nodes();
         let mut q = Vec::with_capacity(num_nodes * c);

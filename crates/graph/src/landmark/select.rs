@@ -5,9 +5,9 @@
 //! greedy) is the classic choice from Goldberg & Harrelson and yields
 //! tighter bounds than uniform random selection on road networks.
 
-use crate::algo::dijkstra::dijkstra_sssp;
 use crate::graph::Graph;
 use crate::ids::NodeId;
+use crate::search::SearchWorkspace;
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -26,12 +26,7 @@ pub enum LandmarkStrategy {
 ///
 /// # Panics
 /// Panics if `c == 0` or `c > |V|`.
-pub fn select_landmarks(
-    g: &Graph,
-    c: usize,
-    strategy: LandmarkStrategy,
-    seed: u64,
-) -> Vec<NodeId> {
+pub fn select_landmarks(g: &Graph, c: usize, strategy: LandmarkStrategy, seed: u64) -> Vec<NodeId> {
     let n = g.num_nodes();
     assert!(c > 0 && c <= n, "need 0 < c ≤ |V|");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -50,7 +45,8 @@ pub fn select_landmarks(
             // maintained incrementally with one SSSP per landmark.
             let first = NodeId(sample(&mut rng, n, 1).index(0) as u32);
             let mut picked = vec![first];
-            let mut min_dist = dijkstra_sssp(g, first).dist;
+            let mut ws = SearchWorkspace::with_capacity(n);
+            let mut min_dist = ws.sssp(g, first).dist_vec();
             while picked.len() < c {
                 let (best, _) = min_dist
                     .iter()
@@ -60,10 +56,11 @@ pub fn select_landmarks(
                     .expect("graph has reachable nodes");
                 let lm = NodeId(best as u32);
                 picked.push(lm);
-                let r = dijkstra_sssp(g, lm);
-                for (m, d) in min_dist.iter_mut().zip(&r.dist) {
-                    if *d < *m {
-                        *m = *d;
+                let r = ws.sssp(g, lm);
+                for (i, m) in min_dist.iter_mut().enumerate() {
+                    let d = r.dist(NodeId(i as u32));
+                    if d < *m {
+                        *m = d;
                     }
                 }
             }
@@ -100,7 +97,9 @@ mod tests {
         for i in 0..far.len() {
             for j in i + 1..far.len() {
                 assert_ne!(far[i], far[j]);
-                let d = crate::algo::dijkstra_path(&g, far[i], far[j]).unwrap().distance;
+                let d = crate::algo::dijkstra_path(&g, far[i], far[j])
+                    .unwrap()
+                    .distance;
                 assert!(d > 0.0);
             }
         }

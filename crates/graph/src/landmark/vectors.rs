@@ -5,9 +5,9 @@
 //! Equation 3: `distLB(v,v′) = maxᵢ |dist(sᵢ,v) − dist(sᵢ,v′)|`.
 //! Theorem 1 guarantees `distLB(v,v′) ≤ dist(v,v′)`.
 
-use crate::algo::dijkstra::dijkstra_sssp;
 use crate::graph::Graph;
 use crate::ids::NodeId;
+use crate::search::SearchWorkspace;
 
 /// Exact landmark distance vectors for every node.
 #[derive(Debug, Clone)]
@@ -24,9 +24,12 @@ impl LandmarkVectors {
     /// O(c·(|E| + |V| log |V|)), the dominant LDM construction cost
     /// measured in Figure 12b.
     pub fn compute(g: &Graph, landmarks: &[NodeId]) -> Self {
+        // One reused workspace across all landmark searches: the only
+        // per-landmark allocation is the stored row itself.
+        let mut ws = SearchWorkspace::with_capacity(g.num_nodes());
         let dist = landmarks
             .iter()
-            .map(|&lm| dijkstra_sssp(g, lm).dist)
+            .map(|&lm| ws.sssp(g, lm).dist_vec())
             .collect();
         LandmarkVectors {
             landmarks: landmarks.to_vec(),
@@ -120,7 +123,7 @@ pub(crate) fn figure5_graph() -> Graph {
 mod tests {
     use super::*;
     use crate::algo::dijkstra_path;
-    
+
     use crate::gen::grid_network;
 
     #[test]
@@ -131,8 +134,18 @@ mod tests {
         let expect_v2 = [2.0, 0.0, 1.0, 3.0, 4.0, 5.0, 6.0, 9.0, 14.0];
         let expect_v7 = [4.0, 6.0, 7.0, 9.0, 10.0, 1.0, 0.0, 3.0, 8.0];
         for v in 0..9u32 {
-            assert_eq!(lv.landmark_dist(0, NodeId(v)), expect_v2[v as usize], "v{}", v + 1);
-            assert_eq!(lv.landmark_dist(1, NodeId(v)), expect_v7[v as usize], "v{}", v + 1);
+            assert_eq!(
+                lv.landmark_dist(0, NodeId(v)),
+                expect_v2[v as usize],
+                "v{}",
+                v + 1
+            );
+            assert_eq!(
+                lv.landmark_dist(1, NodeId(v)),
+                expect_v7[v as usize],
+                "v{}",
+                v + 1
+            );
         }
     }
 
@@ -173,12 +186,8 @@ mod tests {
     #[test]
     fn lower_bound_symmetric_and_zero_on_self() {
         let g = grid_network(6, 6, 1.1, 42);
-        let lms = crate::landmark::select_landmarks(
-            &g,
-            4,
-            crate::landmark::LandmarkStrategy::Random,
-            43,
-        );
+        let lms =
+            crate::landmark::select_landmarks(&g, 4, crate::landmark::LandmarkStrategy::Random, 43);
         let lv = LandmarkVectors::compute(&g, &lms);
         for u in 0..36u32 {
             assert_eq!(lv.lower_bound(NodeId(u), NodeId(u)), 0.0);

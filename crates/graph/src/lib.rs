@@ -53,6 +53,7 @@ pub mod ofloat;
 pub mod order;
 pub mod partition;
 pub mod path;
+pub mod search;
 pub mod workload;
 
 pub use builder::GraphBuilder;
@@ -61,3 +62,4 @@ pub use graph::Graph;
 pub use ids::NodeId;
 pub use ofloat::OrderedF64;
 pub use path::Path;
+pub use search::{SearchView, SearchWorkspace};

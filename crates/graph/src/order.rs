@@ -136,8 +136,16 @@ pub fn hilbert_order(g: &Graph) -> Vec<NodeId> {
         return Vec::new();
     };
     let side = 1u32 << 16;
-    let sx = if maxx > minx { (side - 1) as f64 / (maxx - minx) } else { 0.0 };
-    let sy = if maxy > miny { (side - 1) as f64 / (maxy - miny) } else { 0.0 };
+    let sx = if maxx > minx {
+        (side - 1) as f64 / (maxx - minx)
+    } else {
+        0.0
+    };
+    let sy = if maxy > miny {
+        (side - 1) as f64 / (maxy - miny)
+    } else {
+        0.0
+    };
     let mut keyed: Vec<(u64, NodeId)> = g
         .nodes()
         .map(|v| {
@@ -218,8 +226,7 @@ mod tests {
     use std::collections::HashSet;
 
     fn is_permutation(g: &Graph, order: &[NodeId]) -> bool {
-        order.len() == g.num_nodes()
-            && order.iter().collect::<HashSet<_>>().len() == g.num_nodes()
+        order.len() == g.num_nodes() && order.iter().collect::<HashSet<_>>().len() == g.num_nodes()
     }
 
     #[test]

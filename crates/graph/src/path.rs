@@ -45,12 +45,10 @@ impl Path {
     pub fn recompute_distance(&self, g: &Graph) -> Result<f64, GraphError> {
         let mut total = 0.0;
         for w in self.nodes.windows(2) {
-            total += g
-                .edge_weight(w[0], w[1])
-                .ok_or(GraphError::Unreachable {
-                    source: w[0],
-                    target: w[1],
-                })?;
+            total += g.edge_weight(w[0], w[1]).ok_or(GraphError::Unreachable {
+                source: w[0],
+                target: w[1],
+            })?;
         }
         Ok(total)
     }

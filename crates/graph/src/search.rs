@@ -1,0 +1,553 @@
+//! Reusable, allocation-free Dijkstra machinery.
+//!
+//! Every search in the seed implementation allocated three `O(|V|)`
+//! vectors plus a binary heap *per query*. At provider scale ("heavy
+//! traffic from millions of users") that allocation traffic dominates
+//! short queries. [`SearchWorkspace`] fixes it:
+//!
+//! * **Generation stamping** — `dist`/`parent`/`settled`/heap-position
+//!   entries are valid only when their stamp equals the current
+//!   generation, so starting a new query is O(1): bump the generation,
+//!   nothing is cleared.
+//! * **4-ary indexed heap** — children of slot `i` are `4i+1..4i+4`;
+//!   the shallower tree does fewer cache-missing compares than a binary
+//!   heap on road-network workloads, and the node→slot index enables
+//!   decrease-key, so the heap holds at most one entry per node
+//!   (the seed's lazy-deletion heap grows with relaxations, not nodes).
+//!
+//! Tie-breaking is byte-compatible with the seed implementation (pop
+//! order is lexicographic on `(distance, node id)`), so distances,
+//! parents and settle order are bit-identical — property-tested in
+//! `tests/perf_equivalence.rs` against [`reference`]
+//! (`crate::algo::dijkstra::reference`).
+//!
+//! Repeated searches on the same workspace perform **zero heap
+//! allocations** once the arrays have grown to the graph size.
+
+use crate::algo::dijkstra::SsspResult;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::path::Path;
+use std::cell::RefCell;
+
+const NO_NODE: u32 = u32::MAX;
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+/// One 4-ary heap slot: the key is stored inline so sift comparisons
+/// stay cache-local (indirect `dist[]` reads per comparison cost more
+/// than the duplicated 8 bytes).
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    key: f64,
+    node: u32,
+}
+
+impl HeapEntry {
+    /// Seed-compatible ordering: lexicographic on `(key, node id)`.
+    #[inline]
+    fn less(self, other: HeapEntry) -> bool {
+        self.key < other.key || (self.key == other.key && self.node < other.node)
+    }
+}
+
+/// Per-node search state, kept in one array-of-structs so that
+/// touching a node during relaxation costs a single cache-line access
+/// (stamp, distance, parent and settled flag travel together).
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    dist: f64,
+    /// Parent node id, `NO_NODE` for none.
+    parent: u32,
+    /// Entry is valid iff this equals the workspace generation.
+    stamp: u32,
+    settled: bool,
+}
+
+impl NodeState {
+    const FRESH: NodeState = NodeState {
+        dist: f64::INFINITY,
+        parent: NO_NODE,
+        stamp: 0,
+        settled: false,
+    };
+}
+
+/// Reusable state for Dijkstra-family searches.
+///
+/// Create once (per thread) and reuse across queries; see the module
+/// docs for the invariants that make reuse O(1).
+#[derive(Debug, Clone)]
+pub struct SearchWorkspace {
+    generation: u32,
+    /// Per-node stamped state (see [`NodeState`]).
+    nodes: Vec<NodeState>,
+    /// 4-ary min-heap with inline keys (ties: smaller node id).
+    heap: Vec<HeapEntry>,
+    /// Node id → heap slot (`NOT_IN_HEAP` when absent; valid only for
+    /// nodes stamped with the current generation).
+    heap_pos: Vec<u32>,
+}
+
+impl Default for SearchWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchWorkspace {
+    /// An empty workspace; arrays grow lazily to the graph size.
+    pub fn new() -> Self {
+        SearchWorkspace {
+            generation: 0,
+            nodes: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+        }
+    }
+
+    /// A workspace pre-sized for graphs with `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut ws = Self::new();
+        ws.grow(n);
+        ws
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.nodes.len() < n {
+            self.nodes.resize(n, NodeState::FRESH);
+            self.heap_pos.resize(n, NOT_IN_HEAP);
+        }
+    }
+
+    /// Starts a new query: O(1) unless the generation counter wraps.
+    fn begin(&mut self, n: usize) {
+        self.grow(n);
+        self.heap.clear();
+        if self.generation == u32::MAX {
+            // Once every 2³² queries: hard reset so stamp 0 is unused.
+            self.nodes.iter_mut().for_each(|s| s.stamp = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// Makes node `v`'s entries valid for the current query.
+    #[inline]
+    fn touch(&mut self, v: usize) {
+        if self.nodes[v].stamp != self.generation {
+            self.nodes[v] = NodeState {
+                stamp: self.generation,
+                ..NodeState::FRESH
+            };
+            self.heap_pos[v] = NOT_IN_HEAP;
+        }
+    }
+
+    // --- 4-ary indexed heap ------------------------------------------------
+
+    /// Moves `entry` up from slot `i` (hole-based: positions written
+    /// once per displaced element, the entry settled at the end).
+    fn sift_up(&mut self, mut i: usize, entry: HeapEntry) {
+        while i > 0 {
+            let p = (i - 1) / 4;
+            let parent = self.heap[p];
+            if entry.less(parent) {
+                self.heap[i] = parent;
+                self.heap_pos[parent.node as usize] = i as u32;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.heap_pos[entry.node as usize] = i as u32;
+    }
+
+    /// Moves `entry` down from slot `i`.
+    fn sift_down(&mut self, mut i: usize, entry: HeapEntry) {
+        loop {
+            let first = 4 * i + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + 4).min(self.heap.len());
+            let mut best = first;
+            let mut best_entry = self.heap[first];
+            for c in first + 1..last {
+                let e = self.heap[c];
+                if e.less(best_entry) {
+                    best = c;
+                    best_entry = e;
+                }
+            }
+            if best_entry.less(entry) {
+                self.heap[i] = best_entry;
+                self.heap_pos[best_entry.node as usize] = i as u32;
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = entry;
+        self.heap_pos[entry.node as usize] = i as u32;
+    }
+
+    /// Inserts `v` with `key`, or decreases its existing key.
+    #[inline]
+    fn heap_push_or_decrease(&mut self, v: u32, key: f64) {
+        let entry = HeapEntry { key, node: v };
+        let pos = self.heap_pos[v as usize];
+        if pos == NOT_IN_HEAP {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1, entry);
+        } else {
+            // Key only ever decreases during relaxation.
+            self.sift_up(pos as usize, entry);
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<HeapEntry> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top.node as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0, last);
+        }
+        Some(top)
+    }
+
+    // --- searches ----------------------------------------------------------
+
+    fn run(&mut self, g: &Graph, source: NodeId, stop_at: Option<u32>, radius: f64) {
+        self.begin(g.num_nodes());
+        let s = source.index();
+        self.touch(s);
+        self.nodes[s].dist = 0.0;
+        self.heap_push_or_decrease(source.0, 0.0);
+        while let Some(HeapEntry { key: d, node: v }) = self.heap_pop() {
+            let vi = v as usize;
+            if d > radius {
+                // Every remaining key is ≥ d: nothing else is in the ball.
+                break;
+            }
+            self.nodes[vi].settled = true;
+            if stop_at == Some(v) {
+                break;
+            }
+            let lo = g.offsets[vi] as usize;
+            let hi = g.offsets[vi + 1] as usize;
+            for k in lo..hi {
+                let u = g.adj_targets[k] as usize;
+                self.touch(u);
+                let state = self.nodes[u];
+                if state.settled {
+                    continue;
+                }
+                let nd = d + g.adj_weights[k];
+                if nd < state.dist {
+                    self.nodes[u].dist = nd;
+                    self.nodes[u].parent = v;
+                    self.heap_push_or_decrease(u as u32, nd);
+                }
+            }
+        }
+    }
+
+    /// Full single-source Dijkstra; the view borrows this workspace.
+    pub fn sssp<'a>(&'a mut self, g: &Graph, source: NodeId) -> SearchView<'a> {
+        self.run(g, source, None, f64::INFINITY);
+        SearchView {
+            ws: self,
+            source,
+            bounded: false,
+            n: g.num_nodes(),
+        }
+    }
+
+    /// Bounded-ball Dijkstra: the view reports finite distances exactly
+    /// for nodes with `dist(source, v) ≤ radius` (Lemma 1's subgraph).
+    pub fn ball<'a>(&'a mut self, g: &Graph, source: NodeId, radius: f64) -> SearchView<'a> {
+        self.run(g, source, None, radius);
+        SearchView {
+            ws: self,
+            source,
+            bounded: true,
+            n: g.num_nodes(),
+        }
+    }
+
+    /// Point-to-point Dijkstra with early termination at `target`.
+    pub fn path(&mut self, g: &Graph, source: NodeId, target: NodeId) -> Result<Path, GraphError> {
+        g.check_node(source)?;
+        g.check_node(target)?;
+        if source == target {
+            return Ok(Path::trivial(source));
+        }
+        self.run(g, source, Some(target.0), f64::INFINITY);
+        let view = SearchView {
+            ws: self,
+            source,
+            bounded: false,
+            n: g.num_nodes(),
+        };
+        view.path_to(target)
+            .ok_or(GraphError::Unreachable { source, target })
+    }
+
+    /// Point-to-point distance only (no path materialization, no
+    /// allocation at all).
+    pub fn distance(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        target: NodeId,
+    ) -> Result<f64, GraphError> {
+        g.check_node(source)?;
+        g.check_node(target)?;
+        if source == target {
+            return Ok(0.0);
+        }
+        self.run(g, source, Some(target.0), f64::INFINITY);
+        let t = target.index();
+        if self.nodes[t].stamp == self.generation && self.nodes[t].settled {
+            Ok(self.nodes[t].dist)
+        } else {
+            Err(GraphError::Unreachable { source, target })
+        }
+    }
+}
+
+/// Read-only results of the latest search, borrowing the workspace.
+pub struct SearchView<'a> {
+    ws: &'a SearchWorkspace,
+    source: NodeId,
+    bounded: bool,
+    n: usize,
+}
+
+impl SearchView<'_> {
+    /// The query's source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Number of nodes in the searched graph.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn stamped(&self, v: usize) -> bool {
+        self.ws.nodes[v].stamp == self.ws.generation
+    }
+
+    /// Whether `v` was settled (popped with a final distance).
+    #[inline]
+    pub fn settled(&self, v: NodeId) -> bool {
+        let i = v.index();
+        i < self.n && self.stamped(i) && self.ws.nodes[i].settled
+    }
+
+    /// Distance to `v`; `INFINITY` when unreached (or outside the ball
+    /// for bounded searches — matching the seed's ball semantics).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> f64 {
+        let i = v.index();
+        if i >= self.n || !self.stamped(i) || (self.bounded && !self.ws.nodes[i].settled) {
+            f64::INFINITY
+        } else {
+            self.ws.nodes[i].dist
+        }
+    }
+
+    /// Parent of `v` in the shortest-path tree.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let i = v.index();
+        if i >= self.n || !self.stamped(i) || (self.bounded && !self.ws.nodes[i].settled) {
+            return None;
+        }
+        match self.ws.nodes[i].parent {
+            NO_NODE => None,
+            p => Some(NodeId(p)),
+        }
+    }
+
+    /// Reconstructs the shortest path to `target`, if reached.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        if self.dist(target).is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.parent(cur) {
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        debug_assert_eq!(nodes[0], self.source);
+        Some(Path {
+            nodes,
+            distance: self.dist(target),
+        })
+    }
+
+    /// Materializes the per-node distance vector (allocates).
+    pub fn dist_vec(&self) -> Vec<f64> {
+        (0..self.n as u32).map(|v| self.dist(NodeId(v))).collect()
+    }
+
+    /// Materializes a [`SsspResult`] for API compatibility (allocates).
+    pub fn to_sssp_result(&self) -> SsspResult {
+        SsspResult {
+            source: self.source,
+            dist: self.dist_vec(),
+            parent: (0..self.n as u32).map(|v| self.parent(NodeId(v))).collect(),
+        }
+    }
+
+    /// Iterates the settled nodes in ascending id order.
+    pub fn settled_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32)
+            .map(NodeId)
+            .filter(move |&v| self.settled(v))
+    }
+}
+
+thread_local! {
+    static THREAD_WS: RefCell<SearchWorkspace> = RefCell::new(SearchWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared [`SearchWorkspace`].
+///
+/// The classic `dijkstra_*` free functions route through here, so
+/// repeated calls on one thread reuse a single workspace. Re-entrant
+/// use (an `f` that itself searches) falls back to a fresh scratch
+/// workspace instead of panicking.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut SearchWorkspace) -> R) -> R {
+    THREAD_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut SearchWorkspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::reference;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{grid_network, random_geometric};
+
+    fn assert_matches_reference(g: &Graph, ws: &mut SearchWorkspace, source: NodeId) {
+        let want = reference::sssp(g, source);
+        let got = ws.sssp(g, source);
+        for v in g.nodes() {
+            assert_eq!(
+                got.dist(v).to_bits(),
+                want.dist[v.index()].to_bits(),
+                "dist({source}, {v})"
+            );
+            assert_eq!(got.parent(v), want.parent[v.index()], "parent({v})");
+        }
+    }
+
+    #[test]
+    fn sssp_bit_identical_to_reference_across_reuses() {
+        let g = grid_network(12, 12, 1.2, 77);
+        let mut ws = SearchWorkspace::new();
+        for s in [0u32, 1, 64, 143, 7, 0] {
+            assert_matches_reference(&g, &mut ws, NodeId(s));
+        }
+    }
+
+    #[test]
+    fn reuse_across_different_graphs() {
+        let g1 = grid_network(10, 10, 1.2, 5);
+        let g2 = random_geometric(60, 3, 6);
+        let g3 = grid_network(4, 4, 1.1, 7);
+        let mut ws = SearchWorkspace::new();
+        for _ in 0..3 {
+            assert_matches_reference(&g1, &mut ws, NodeId(0));
+            assert_matches_reference(&g2, &mut ws, NodeId(59));
+            assert_matches_reference(&g3, &mut ws, NodeId(15));
+        }
+    }
+
+    #[test]
+    fn ball_matches_reference_semantics() {
+        let g = grid_network(9, 9, 1.2, 8);
+        let mut ws = SearchWorkspace::new();
+        for radius in [0.0, 500.0, 2000.0, 1e9] {
+            let want = reference::ball(&g, NodeId(0), radius);
+            let got = ws.ball(&g, NodeId(0), radius);
+            for v in g.nodes() {
+                assert_eq!(
+                    got.dist(v).to_bits(),
+                    want.dist[v.index()].to_bits(),
+                    "radius {radius}, node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_matches_reference() {
+        let g = grid_network(10, 10, 1.2, 9);
+        let mut ws = SearchWorkspace::new();
+        for (s, t) in [(0u32, 99u32), (5, 50), (99, 0), (42, 42)] {
+            let want = reference::path(&g, NodeId(s), NodeId(t)).unwrap();
+            let got = ws.path(&g, NodeId(s), NodeId(t)).unwrap();
+            assert_eq!(got.nodes, want.nodes, "({s},{t})");
+            assert_eq!(got.distance.to_bits(), want.distance.to_bits());
+            let d = ws.distance(&g, NodeId(s), NodeId(t)).unwrap();
+            assert_eq!(d.to_bits(), want.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn unreachable_and_bad_nodes() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(1.0, 1.0);
+        let g = b.build();
+        let mut ws = SearchWorkspace::new();
+        assert!(matches!(
+            ws.path(&g, u, v),
+            Err(GraphError::Unreachable { .. })
+        ));
+        assert!(ws.path(&g, u, NodeId(99)).is_err());
+        assert!(ws.distance(&g, u, v).is_err());
+    }
+
+    #[test]
+    fn view_helpers_consistent() {
+        let g = grid_network(6, 6, 1.2, 10);
+        let mut ws = SearchWorkspace::new();
+        let view = ws.sssp(&g, NodeId(0));
+        assert_eq!(view.source(), NodeId(0));
+        assert_eq!(view.num_nodes(), 36);
+        assert_eq!(view.settled_nodes().count(), 36, "grid is connected");
+        let r = view.to_sssp_result();
+        for v in g.nodes() {
+            assert_eq!(r.dist[v.index()].to_bits(), view.dist(v).to_bits());
+        }
+        let p = view.path_to(NodeId(35)).unwrap();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(35));
+    }
+
+    #[test]
+    fn thread_workspace_reentrant_safe() {
+        let g = grid_network(5, 5, 1.1, 11);
+        let d = with_thread_workspace(|ws| {
+            let outer = ws.distance(&g, NodeId(0), NodeId(24)).unwrap();
+            // A nested call must not panic (falls back to scratch).
+            let inner =
+                with_thread_workspace(|ws2| ws2.distance(&g, NodeId(0), NodeId(24)).unwrap());
+            assert_eq!(outer.to_bits(), inner.to_bits());
+            outer
+        });
+        assert!(d.is_finite());
+    }
+}

@@ -4,9 +4,9 @@
 //! that the shortest path distance between the source node vs and the
 //! target node vt is as close to the query range as possible."
 
-use crate::algo::dijkstra::dijkstra_ball;
 use crate::graph::Graph;
 use crate::ids::NodeId;
+use crate::search::SearchWorkspace;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -35,6 +35,7 @@ pub fn make_workload(g: &Graph, range: f64, count: usize, seed: u64) -> Workload
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pairs = Vec::with_capacity(count);
     let mut attempts = 0usize;
+    let mut ws = SearchWorkspace::with_capacity(g.num_nodes());
     while pairs.len() < count {
         attempts += 1;
         assert!(
@@ -42,13 +43,13 @@ pub fn make_workload(g: &Graph, range: f64, count: usize, seed: u64) -> Workload
             "workload generation cannot hit range {range} on this graph"
         );
         let vs = NodeId(rng.random_range(0..g.num_nodes() as u32));
-        let ball = dijkstra_ball(g, vs, range * 1.5);
+        let ball = ws.ball(g, vs, range * 1.5);
         let mut best: Option<(f64, NodeId)> = None;
         for v in g.nodes() {
             if v == vs {
                 continue;
             }
-            let d = ball.dist[v.index()];
+            let d = ball.dist(v);
             if !d.is_finite() {
                 continue;
             }

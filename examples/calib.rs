@@ -1,23 +1,34 @@
 //! Calibration / instrumentation utility for the synthetic datasets:
 //! distance distribution, ball coverage per range, and LDM cone and
 //! compression statistics per landmark count.
-use spnet_graph::gen::Dataset;
-use spnet_graph::algo::{dijkstra_sssp, dijkstra_ball, dijkstra_path};
-use spnet_graph::NodeId;
-use spnet_core::methods::ldm::{LdmHints, gamma_nodes};
+use spnet_core::methods::ldm::{gamma_nodes, LdmHints};
 use spnet_core::methods::LdmConfig;
-use spnet_graph::landmark::{NodePsi, LandmarkStrategy, CompressionStrategy};
+use spnet_graph::algo::{dijkstra_ball, dijkstra_path, dijkstra_sssp};
+use spnet_graph::gen::Dataset;
+use spnet_graph::landmark::{CompressionStrategy, LandmarkStrategy, NodePsi};
+use spnet_graph::NodeId;
 
 fn main() {
-    let g = Dataset::De.generate(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05), 42);
+    let g = Dataset::De.generate(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.05),
+        42,
+    );
     let n = g.num_nodes();
-    let r = dijkstra_sssp(&g, NodeId((n/2) as u32));
+    let r = dijkstra_sssp(&g, NodeId((n / 2) as u32));
     let mut d: Vec<f64> = r.dist.iter().copied().filter(|x| x.is_finite()).collect();
-    d.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    println!("n={n} median={:.0} p90={:.0} max={:.0}", d[n/2], d[n*9/10], d[n-1]);
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "n={n} median={:.0} p90={:.0} max={:.0}",
+        d[n / 2],
+        d[n * 9 / 10],
+        d[n - 1]
+    );
     {
         let range = 2000.0;
-        let b = dijkstra_ball(&g, NodeId((n/2) as u32), range);
+        let b = dijkstra_ball(&g, NodeId((n / 2) as u32), range);
         let cover = b.dist.iter().filter(|x| x.is_finite()).count();
         println!("ball@{range}: {cover}/{n}");
     }
@@ -25,20 +36,40 @@ fn main() {
         // pick a target at ~2000
         let b = dijkstra_sssp(&g, NodeId(10));
         let mut best = (f64::INFINITY, NodeId(0));
-        for v in g.nodes() { let gap = (b.dist[v.index()] - 2000.0).abs(); if gap < best.0 { best = (gap, v); } }
+        for v in g.nodes() {
+            let gap = (b.dist[v.index()] - 2000.0).abs();
+            if gap < best.0 {
+                best = (gap, v);
+            }
+        }
         best.1
     });
     let dist = dijkstra_path(&g, s, t).unwrap().distance;
     println!("query dist {dist:.0}");
     for c in [50usize, 100, 200, 400, 800] {
-        let hints = LdmHints::build(&g, &LdmConfig {
-            landmarks: c, bits: 12, xi: 50.0,
-            strategy: LandmarkStrategy::Farthest,
-            compression: CompressionStrategy::HilbertSweep,
-        }, 7);
+        let hints = LdmHints::build(
+            &g,
+            &LdmConfig {
+                landmarks: c,
+                bits: 12,
+                xi: 50.0,
+                strategy: LandmarkStrategy::Farthest,
+                compression: CompressionStrategy::HilbertSweep,
+            },
+            7,
+        );
         let cone = gamma_nodes(&g, &hints, s, t, dist);
-        let full_in_cone = cone.iter().filter(|&&v| matches!(hints.vectors.node_psi(v), NodePsi::Full(_))).count();
+        let full_in_cone = cone
+            .iter()
+            .filter(|&&v| matches!(hints.vectors.node_psi(v), NodePsi::Full(_)))
+            .count();
         let total_comp = hints.vectors.num_compressed();
-        println!("c={c}: cone={} full_in_cone={} graph_compressed={}/{}", cone.len(), full_in_cone, total_comp, n);
+        println!(
+            "c={c}: cone={} full_in_cone={} graph_compressed={}/{}",
+            cone.len(),
+            full_in_cone,
+            total_comp,
+            n
+        );
     }
 }

@@ -29,7 +29,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(555);
     let published = DataOwner::publish(
         &graph,
-        &MethodConfig::Full { use_floyd_warshall: false },
+        &MethodConfig::Full {
+            use_floyd_warshall: false,
+        },
         &SetupConfig::default(),
         &mut rng,
     );
@@ -47,7 +49,9 @@ fn main() {
     for (i, &(from, to)) in deliveries.pairs.iter().enumerate() {
         let honest = provider.answer(from, to).expect("reachable");
         // Provider A: honest.
-        auditor.verify(from, to, &honest).expect("honest invoice verifies");
+        auditor
+            .verify(from, to, &honest)
+            .expect("honest invoice verifies");
         honest_ok += 1;
         // Provider B: returns a detour on every 3rd delivery.
         if i % 3 == 0 {

@@ -63,7 +63,9 @@ fn main() {
     let received = std::fs::read(&answer_file).expect("read answer");
     let decoded = decode_answer(&received).expect("well-formed answer");
     let client = Client::new(published.public_key);
-    let verified = client.verify(vs, vt, &decoded).expect("authentic & shortest");
+    let verified = client
+        .verify(vs, vt, &decoded)
+        .expect("authentic & shortest");
     println!(
         "client: ✔ decoded {} bytes, verified shortest path of distance {:.1} ({} hops)",
         received.len(),

@@ -14,12 +14,19 @@ fn main() {
     // 1. A road network: 400 junctions on a jittered grid, normalized
     //    to the paper's [0..10,000]² extent.
     let graph = grid_network(20, 20, 1.1, 7);
-    println!("network: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "network: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     // 2. The data owner builds and signs the authenticated structures.
     //    LDM with 32 landmarks, 12-bit quantization, ξ = 50.
     let mut rng = StdRng::seed_from_u64(7);
-    let method = MethodConfig::Ldm(LdmConfig { landmarks: 32, ..LdmConfig::default() });
+    let method = MethodConfig::Ldm(LdmConfig {
+        landmarks: 32,
+        ..LdmConfig::default()
+    });
     let published = DataOwner::publish(&graph, &method, &SetupConfig::default(), &mut rng);
     println!(
         "owner: published {} hints in {:.2}s",
@@ -44,7 +51,10 @@ fn main() {
     // 4. The client verifies using only the owner's public key.
     let client = Client::new(published.public_key);
     match client.verify(vs, vt, &answer) {
-        Ok(v) => println!("client: ✔ verified shortest path, distance {:.1}", v.distance),
+        Ok(v) => println!(
+            "client: ✔ verified shortest path, distance {:.1}",
+            v.distance
+        ),
         Err(e) => println!("client: ✘ REJECTED — {e}"),
     }
 }

@@ -18,8 +18,13 @@ fn main() {
     let (vs, vt) = (NodeId(0), NodeId(143));
     let methods = vec![
         MethodConfig::Dij,
-        MethodConfig::Full { use_floyd_warshall: false },
-        MethodConfig::Ldm(LdmConfig { landmarks: 16, ..LdmConfig::default() }),
+        MethodConfig::Full {
+            use_floyd_warshall: false,
+        },
+        MethodConfig::Ldm(LdmConfig {
+            landmarks: 16,
+            ..LdmConfig::default()
+        }),
         MethodConfig::Hyp { cells: 16 },
     ];
 

@@ -1,0 +1,16 @@
+//! Workspace facade for the authenticated shortest-path verification
+//! system (reproduction of Yiu, Lin, Mouratidis, ICDE 2010).
+//!
+//! The implementation lives in three layered crates, re-exported here:
+//!
+//! * [`graph`] ([`spnet_graph`]) — spatial road networks, shortest-path
+//!   algorithms and the reusable [`spnet_graph::search::SearchWorkspace`].
+//! * [`crypto`] ([`spnet_crypto`]) — SHA-256, Merkle trees, RSA.
+//! * [`core`] ([`spnet_core`]) — the owner/provider/client protocol.
+//!
+//! The workspace-level `tests/` and `examples/` directories exercise the
+//! full stack through this package.
+
+pub use spnet_core as core;
+pub use spnet_crypto as crypto;
+pub use spnet_graph as graph;

@@ -16,8 +16,13 @@ use spnet_graph::{Graph, NodeId};
 fn methods() -> Vec<MethodConfig> {
     vec![
         MethodConfig::Dij,
-        MethodConfig::Full { use_floyd_warshall: false },
-        MethodConfig::Ldm(LdmConfig { landmarks: 16, ..LdmConfig::default() }),
+        MethodConfig::Full {
+            use_floyd_warshall: false,
+        },
+        MethodConfig::Ldm(LdmConfig {
+            landmarks: 16,
+            ..LdmConfig::default()
+        }),
         MethodConfig::Hyp { cells: 16 },
     ]
 }
@@ -115,8 +120,13 @@ fn foreign_signed_root_rejected() {
 #[test]
 fn full_distance_forgery_rejected() {
     let g = grid_network(9, 9, 1.2, 4012);
-    let (provider, client) =
-        deploy(&g, &MethodConfig::Full { use_floyd_warshall: false }, 4013);
+    let (provider, client) = deploy(
+        &g,
+        &MethodConfig::Full {
+            use_floyd_warshall: false,
+        },
+        4013,
+    );
     let mut evil = provider.answer(NodeId(0), NodeId(80)).unwrap();
     if let SpProof::Distance { full, .. } = &mut evil.sp {
         full.entry.value *= 0.5; // claim the optimum is shorter
@@ -137,7 +147,10 @@ fn hyp_hyper_edge_forgery_rejected() {
     }
     let err = client.verify(NodeId(0), NodeId(143), &evil).unwrap_err();
     assert!(
-        matches!(err, VerifyError::RootMismatch | VerifyError::MalformedIntegrityProof(_)),
+        matches!(
+            err,
+            VerifyError::RootMismatch | VerifyError::MalformedIntegrityProof(_)
+        ),
         "{err:?}"
     );
 }
@@ -161,13 +174,17 @@ fn hyp_dropped_cell_node_rejected() {
 #[test]
 fn ldm_psi_strip_rejected() {
     let g = grid_network(10, 10, 1.2, 4018);
-    let method = MethodConfig::Ldm(LdmConfig { landmarks: 12, ..LdmConfig::default() });
+    let method = MethodConfig::Ldm(LdmConfig {
+        landmarks: 12,
+        ..LdmConfig::default()
+    });
     let (provider, client) = deploy(&g, &method, 4019);
     let (s, t) = (NodeId(0), NodeId(99));
     let mut evil = provider.answer(s, t).unwrap();
     if let SpProof::Subgraph { tuples } = &mut evil.sp {
         for tp in tuples.iter_mut() {
-            tp.psi = None; // strip all landmark payloads
+            // Proof tuples are shared handles; copy-on-write to tamper.
+            std::sync::Arc::make_mut(tp).psi = None; // strip all landmark payloads
         }
     }
     // Digests change ⇒ root mismatch (strip-and-rehash is impossible

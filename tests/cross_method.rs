@@ -22,9 +22,17 @@ struct Deployment {
 fn deploy(g: &Graph, seed: u64) -> Vec<Deployment> {
     let methods: Vec<(MethodConfig, &'static str)> = vec![
         (MethodConfig::Dij, "DIJ"),
-        (MethodConfig::Full { use_floyd_warshall: false }, "FULL"),
         (
-            MethodConfig::Ldm(LdmConfig { landmarks: 64, ..LdmConfig::default() }),
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            "FULL",
+        ),
+        (
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 64,
+                ..LdmConfig::default()
+            }),
             "LDM",
         ),
         (MethodConfig::Hyp { cells: 36 }, "HYP"),

@@ -16,8 +16,13 @@ use spnet_graph::{Graph, NodeId};
 fn all_methods() -> Vec<MethodConfig> {
     vec![
         MethodConfig::Dij,
-        MethodConfig::Full { use_floyd_warshall: false },
-        MethodConfig::Ldm(LdmConfig { landmarks: 16, ..LdmConfig::default() }),
+        MethodConfig::Full {
+            use_floyd_warshall: false,
+        },
+        MethodConfig::Ldm(LdmConfig {
+            landmarks: 16,
+            ..LdmConfig::default()
+        }),
         MethodConfig::Hyp { cells: 16 },
     ]
 }
@@ -65,7 +70,10 @@ fn workload_on_scaled_dataset_all_methods() {
 fn every_ordering_works_end_to_end() {
     let g = grid_network(10, 10, 1.15, 2005);
     for ordering in spnet_graph::order::ALL_ORDERINGS {
-        let setup = SetupConfig { ordering, ..SetupConfig::default() };
+        let setup = SetupConfig {
+            ordering,
+            ..SetupConfig::default()
+        };
         run_workload(&g, &MethodConfig::Dij, &setup, 2006, 5);
     }
 }
@@ -74,7 +82,10 @@ fn every_ordering_works_end_to_end() {
 fn every_fanout_works_end_to_end() {
     let g = grid_network(10, 10, 1.15, 2007);
     for fanout in [2usize, 4, 8, 16, 32] {
-        let setup = SetupConfig { fanout, ..SetupConfig::default() };
+        let setup = SetupConfig {
+            fanout,
+            ..SetupConfig::default()
+        };
         run_workload(&g, &MethodConfig::Hyp { cells: 9 }, &setup, 2008, 5);
     }
 }
@@ -128,7 +139,9 @@ fn full_with_floyd_warshall_small_graph() {
     let g = grid_network(7, 7, 1.15, 2013);
     run_workload(
         &g,
-        &MethodConfig::Full { use_floyd_warshall: true },
+        &MethodConfig::Full {
+            use_floyd_warshall: true,
+        },
         &SetupConfig::default(),
         2014,
         5,

@@ -1,0 +1,155 @@
+//! Equivalence guarantees for the PR-1 performance overhaul:
+//!
+//! 1. The reused-workspace Dijkstra is **bit-identical** (distances,
+//!    parents, reconstructed paths) to the seed's fresh-allocation
+//!    reference implementation, across random geometric and grid
+//!    graphs, radii, and interleaved reuse.
+//! 2. Batched proving/verification — which fans out over threads when
+//!    the default `parallel` feature is on — agrees exactly with the
+//!    single-query protocol path. (CI additionally runs this file with
+//!    `--no-default-features`, so parallel and sequential builds are
+//!    both pinned to the same observable results.)
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spnet_core::methods::{LdmConfig, MethodConfig};
+use spnet_core::owner::{DataOwner, SetupConfig};
+use spnet_core::provider::ServiceProvider;
+use spnet_core::Client;
+use spnet_graph::algo::dijkstra::reference;
+use spnet_graph::gen::{grid_network, random_geometric};
+use spnet_graph::search::SearchWorkspace;
+use spnet_graph::{Graph, NodeId};
+
+fn graph_for(family: usize, seed: u64) -> Graph {
+    match family % 3 {
+        0 => grid_network(9, 9, 1.2, seed),
+        1 => grid_network(5, 13, 1.05, seed),
+        _ => random_geometric(70, 3, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Workspace SSSP equals the reference bit-for-bit, including when
+    /// one workspace is reused across several sources and graphs.
+    #[test]
+    fn workspace_sssp_bit_identical(
+        family in 0usize..3,
+        seed in 0u64..4000,
+        sources in prop::collection::vec(0usize..65, 1..5),
+    ) {
+        let g = graph_for(family, seed);
+        let mut ws = SearchWorkspace::new();
+        for &raw in &sources {
+            let s = NodeId((raw % g.num_nodes()) as u32);
+            let want = reference::sssp(&g, s);
+            let got = ws.sssp(&g, s);
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    got.dist(v).to_bits(),
+                    want.dist[v.index()].to_bits(),
+                    "dist({}, {})", s, v
+                );
+                prop_assert_eq!(got.parent(v), want.parent[v.index()], "parent({})", v);
+            }
+        }
+    }
+
+    /// Bounded balls agree bit-for-bit (the Lemma 1 subgraph must be
+    /// the exact same node set either way).
+    #[test]
+    fn workspace_ball_bit_identical(
+        family in 0usize..3,
+        seed in 0u64..4000,
+        source in 0usize..65,
+        radius in 0.0f64..6000.0,
+    ) {
+        let g = graph_for(family, seed);
+        let s = NodeId((source % g.num_nodes()) as u32);
+        let want = reference::ball(&g, s, radius);
+        let mut ws = SearchWorkspace::new();
+        let got = ws.ball(&g, s, radius);
+        for v in g.nodes() {
+            prop_assert_eq!(
+                got.dist(v).to_bits(),
+                want.dist[v.index()].to_bits(),
+                "radius {}, node {}", radius, v
+            );
+            prop_assert_eq!(
+                got.settled(v),
+                want.dist[v.index()].is_finite(),
+                "settled({})", v
+            );
+        }
+    }
+
+    /// Point-to-point searches return the same path, distance bits and
+    /// reachability verdicts.
+    #[test]
+    fn workspace_path_bit_identical(
+        family in 0usize..3,
+        seed in 0u64..4000,
+        s in 0usize..65,
+        t in 0usize..65,
+    ) {
+        let g = graph_for(family, seed);
+        let s = NodeId((s % g.num_nodes()) as u32);
+        let t = NodeId((t % g.num_nodes()) as u32);
+        let mut ws = SearchWorkspace::new();
+        match (reference::path(&g, s, t), ws.path(&g, s, t)) {
+            (Ok(want), Ok(got)) => {
+                prop_assert_eq!(&got.nodes, &want.nodes);
+                prop_assert_eq!(got.distance.to_bits(), want.distance.to_bits());
+                let d = ws.distance(&g, s, t).unwrap();
+                prop_assert_eq!(d.to_bits(), want.distance.to_bits());
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "reachability disagreement: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// The batch path (parallel by default) proves and verifies exactly
+    /// what the single-query path does, for every method that batches.
+    #[test]
+    fn batch_agrees_with_single_query_path(seed in 0u64..400, method_idx in 0usize..2) {
+        let method = match method_idx {
+            0 => MethodConfig::Dij,
+            _ => MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+        };
+        let g = grid_network(7, 7, 1.2, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9A8);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        let client = Client::new(p.public_key);
+        let provider = ServiceProvider::new(p.package);
+        let queries = [
+            (NodeId(0), NodeId(48)),
+            (NodeId(3), NodeId(45)),
+            (NodeId(21), NodeId(27)),
+            (NodeId(48), NodeId(0)),
+        ];
+        let b1 = provider.answer_batch(&queries).unwrap();
+        let b2 = provider.answer_batch(&queries).unwrap();
+        prop_assert_eq!(&b1, &b2, "batch answers must be deterministic");
+        let batched = client.verify_batch(&queries, &b1).unwrap();
+        for (&(s, t), &bd) in queries.iter().zip(&batched) {
+            let single = provider.answer(s, t).unwrap();
+            let v = client.verify(s, t, &single).unwrap();
+            prop_assert_eq!(v.distance.to_bits(), bd.to_bits(), "({}, {})", s, t);
+            // The batch pool must contain exactly the single answer's
+            // tuples for this query (same Γ either way).
+            let single_ids: Vec<NodeId> =
+                single.sp.tuples().iter().map(|tu| tu.id).collect();
+            let mut batch_ids: Vec<NodeId> = b1.queries
+                [queries.iter().position(|q| *q == (s, t)).unwrap()]
+            .members
+            .iter()
+            .map(|&i| b1.pool[i as usize].id)
+            .collect();
+            batch_ids.sort();
+            prop_assert_eq!(batch_ids, single_ids);
+        }
+    }
+}

@@ -210,7 +210,7 @@ proptest! {
     #[test]
     fn update_keeps_system_sound(seed in 0u64..300, edge_idx in 0usize..50, wmul in 0.1f64..10.0) {
         let g = grid_network(6, 6, 1.2, seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0Dd);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD);
         let kp = spnet_crypto::rsa::RsaKeyPair::generate(&mut rng, 128);
         let p = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
         let mut package = p.package;
