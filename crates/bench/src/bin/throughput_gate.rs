@@ -1,0 +1,116 @@
+//! CI throughput-regression gate.
+//!
+//! ```text
+//! throughput_gate [options]
+//!
+//! options:
+//!   --baseline <path>  committed baseline JSON (default BENCH_throughput.json)
+//!   --scale <f>        dataset scale fraction (default 0.05, matching the baseline)
+//!   --queries <n>      workload size (default 100, matching the baseline)
+//!   --dataset <d>      de|arg|ind|na (default de)
+//!   --seed <n>         master seed (default 42)
+//!
+//! env:
+//!   SPNET_GATE_TOLERANCE  allowed qps regression fraction (default 0.30)
+//! ```
+//!
+//! Exit status is non-zero when the baseline violates the schema
+//! (all four methods must report non-null batch qps, with FULL/HYP
+//! batch verify ≥ sequential verify), when the current run loses a
+//! batch column, or when any qps column regresses beyond the
+//! tolerance.
+
+use spnet_bench::gate;
+use spnet_bench::{run_throughput, HarnessConfig};
+use spnet_graph::gen::Dataset;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--help" || a == "-h") {
+        eprintln!("see module docs: throughput_gate [--baseline p] [--scale f] [--queries n] [--dataset d] [--seed n]");
+        return ExitCode::SUCCESS;
+    }
+    let mut cfg = HarnessConfig::default();
+    let mut baseline_path = String::from("BENCH_throughput.json");
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--baseline" => match take_value(&mut i) {
+                Some(v) => baseline_path = v,
+                None => return bad_usage("--baseline needs a path"),
+            },
+            "--scale" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.scale = v,
+                None => return bad_usage("--scale needs a float"),
+            },
+            "--queries" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.queries = v,
+                None => return bad_usage("--queries needs an integer"),
+            },
+            "--dataset" => match take_value(&mut i).and_then(|v| Dataset::parse(&v)) {
+                Some(d) => cfg.dataset = d,
+                None => return bad_usage("--dataset needs de|arg|ind|na"),
+            },
+            "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return bad_usage("--seed needs an integer"),
+            },
+            other => return bad_usage(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    let tolerance = match gate::tolerance_from_env() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[gate] baseline {baseline_path}, tolerance {:.0}%, scale {}, {} queries",
+        tolerance * 100.0,
+        cfg.scale,
+        cfg.queries
+    );
+    let current = run_throughput(&cfg);
+    match gate::gate_report(&baseline_json, &current, tolerance) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok((lines, violations)) => {
+            for l in &lines {
+                println!("{}", l.render());
+            }
+            for v in &violations {
+                println!("SCHEMA {v}");
+            }
+            let failed = violations.len() + lines.iter().filter(|l| !l.ok).count();
+            if failed > 0 {
+                eprintln!("[gate] FAILED: {failed} violation(s)");
+                ExitCode::FAILURE
+            } else {
+                eprintln!("[gate] ok: {} metrics within tolerance", lines.len());
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
+
+fn bad_usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,382 @@
+//! Throughput-regression gate: compares a fresh
+//! [`run_throughput`](crate::throughput::run_throughput) pass against
+//! the committed `BENCH_throughput.json` baseline.
+//!
+//! Used by the CI `throughput-gate` job (see `.github/workflows/ci.yml`
+//! and the `throughput_gate` binary). The gate enforces two things:
+//!
+//! 1. **Schema** — the baseline must report all four methods
+//!    (DIJ/FULL/LDM/HYP) with non-null `batch_prove_qps` /
+//!    `batch_verify_qps`, and the batch-amortization invariant this
+//!    repo tracks: FULL and HYP batch verify at least their sequential
+//!    verify rate.
+//! 2. **Regression** — every qps column of the current run must stay
+//!    within a tolerance of the committed baseline
+//!    (`current ≥ baseline · (1 − tolerance)`). The tolerance defaults
+//!    to 0.30 and is tunable via the `SPNET_GATE_TOLERANCE` env var
+//!    (a fraction, e.g. `0.5` for 50%), absorbing runner-speed noise.
+//!
+//! The baseline format is the hand-rolled JSON written by
+//! [`ThroughputReport::to_json`]; the parser below is its inverse for
+//! exactly that schema (no serde in the offline environment) and is
+//! pinned to it by a round-trip test.
+
+use crate::throughput::{MethodThroughput, ThroughputReport};
+
+/// Environment variable overriding the regression tolerance.
+pub const TOLERANCE_ENV: &str = "SPNET_GATE_TOLERANCE";
+
+/// Default regression tolerance (fraction of the baseline rate).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// The methods a throughput report must cover, in report order.
+pub const REQUIRED_METHODS: [&str; 4] = ["DIJ", "FULL", "LDM", "HYP"];
+
+/// Reads the regression tolerance from [`TOLERANCE_ENV`], falling back
+/// to [`DEFAULT_TOLERANCE`]. Errors on unparsable or out-of-range
+/// values rather than silently gating at the wrong threshold.
+pub fn tolerance_from_env() -> Result<f64, String> {
+    match std::env::var(TOLERANCE_ENV) {
+        Err(_) => Ok(DEFAULT_TOLERANCE),
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => Ok(t),
+            _ => Err(format!(
+                "{TOLERANCE_ENV}={raw:?} is not a fraction in [0, 1)"
+            )),
+        },
+    }
+}
+
+/// Parses the committed `BENCH_throughput.json` back into per-method
+/// rates. Accepts exactly the schema [`ThroughputReport::to_json`]
+/// writes.
+pub fn parse_baseline(json: &str) -> Result<Vec<MethodThroughput>, String> {
+    let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "spnet-throughput/v1" {
+        return Err(format!("unsupported schema {schema:?}"));
+    }
+    let methods_start = json
+        .find("\"methods\"")
+        .ok_or("missing \"methods\" array")?;
+    let array = &json[methods_start..];
+    let mut out = Vec::new();
+    let mut rest = array;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}').ok_or("unterminated method object")?;
+        let obj = &rest[open..open + close + 1];
+        out.push(MethodThroughput {
+            method: string_field(obj, "method")
+                .ok_or("method object lacks \"method\"")?
+                .to_string(),
+            prove_qps: required_num(obj, "prove_qps")?,
+            verify_qps: required_num(obj, "verify_qps")?,
+            batch_prove_qps: optional_num(obj, "batch_prove_qps")?,
+            batch_verify_qps: optional_num(obj, "batch_verify_qps")?,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    if out.is_empty() {
+        return Err("baseline contains no methods".into());
+    }
+    Ok(out)
+}
+
+/// Raw value text of `"key": <value>` inside `obj`.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn string_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    raw_field(obj, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn optional_num(obj: &str, key: &str) -> Result<Option<f64>, String> {
+    match raw_field(obj, key) {
+        None => Err(format!("missing field {key:?}")),
+        Some("null") => Ok(None),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| format!("field {key:?} is not a number: {v:?}")),
+    }
+}
+
+fn required_num(obj: &str, key: &str) -> Result<f64, String> {
+    optional_num(obj, key)?.ok_or(format!("field {key:?} is null"))
+}
+
+/// Schema violations of a throughput report (empty = compliant).
+///
+/// With `require_amortization`, additionally checks the invariant the
+/// batch layer exists to provide: FULL and HYP batch verification at
+/// least as fast as their sequential verification. This is asserted on
+/// the *committed* baseline (a deliberate artifact), not on live CI
+/// runs, where it would be timing noise.
+pub fn schema_violations(methods: &[MethodThroughput], require_amortization: bool) -> Vec<String> {
+    let mut violations = Vec::new();
+    for want in REQUIRED_METHODS {
+        let Some(m) = methods.iter().find(|m| m.method == want) else {
+            violations.push(format!("method {want} missing from report"));
+            continue;
+        };
+        if !positive(m.prove_qps) || !positive(m.verify_qps) {
+            violations.push(format!("{want}: non-positive single-query qps"));
+        }
+        match (m.batch_prove_qps, m.batch_verify_qps) {
+            (Some(bp), Some(bv)) => {
+                if !positive(bp) || !positive(bv) {
+                    violations.push(format!("{want}: non-positive batch qps"));
+                } else if require_amortization
+                    && matches!(want, "FULL" | "HYP")
+                    && bv < m.verify_qps
+                {
+                    violations.push(format!(
+                        "{want}: batch verify {bv:.1}/s slower than sequential {:.1}/s",
+                        m.verify_qps
+                    ));
+                }
+            }
+            _ => violations.push(format!(
+                "{want}: null batch_prove_qps/batch_verify_qps (all methods must batch)"
+            )),
+        }
+    }
+    violations
+}
+
+/// A finite, strictly positive rate (NaN/∞/0 all fail the schema).
+fn positive(v: f64) -> bool {
+    v.is_finite() && v > 0.0
+}
+
+/// One gated metric comparison.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// `"<METHOD> <column>"`.
+    pub metric: String,
+    /// Committed baseline rate.
+    pub baseline: f64,
+    /// Freshly measured rate.
+    pub current: f64,
+    /// Whether the current rate clears `baseline · (1 − tolerance)`.
+    pub ok: bool,
+}
+
+impl GateLine {
+    /// Human-readable verdict line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:6} {:22} baseline {:>10.1}/s current {:>10.1}/s ({:+6.1}%)",
+            if self.ok { "ok" } else { "FAIL" },
+            self.metric,
+            self.baseline,
+            self.current,
+            (self.current / self.baseline - 1.0) * 100.0,
+        )
+    }
+}
+
+/// Compares every qps column of `current` against `baseline`.
+///
+/// A column present in the baseline but null in the current run is a
+/// failure (a method lost its batch path); columns null in the
+/// baseline are skipped (no reference to regress from).
+pub fn compare(
+    baseline: &[MethodThroughput],
+    current: &[MethodThroughput],
+    tolerance: f64,
+) -> Vec<GateLine> {
+    let mut lines = Vec::new();
+    for b in baseline {
+        let cur = current.iter().find(|m| m.method == b.method);
+        let columns: [(&str, Option<f64>, Option<f64>); 4] = match cur {
+            Some(c) => [
+                ("prove_qps", Some(b.prove_qps), Some(c.prove_qps)),
+                ("verify_qps", Some(b.verify_qps), Some(c.verify_qps)),
+                ("batch_prove_qps", b.batch_prove_qps, c.batch_prove_qps),
+                ("batch_verify_qps", b.batch_verify_qps, c.batch_verify_qps),
+            ],
+            None => [
+                ("prove_qps", Some(b.prove_qps), None),
+                ("verify_qps", Some(b.verify_qps), None),
+                ("batch_prove_qps", b.batch_prove_qps, None),
+                ("batch_verify_qps", b.batch_verify_qps, None),
+            ],
+        };
+        for (name, base, cur) in columns {
+            let Some(base) = base else { continue };
+            let current = cur.unwrap_or(0.0);
+            lines.push(GateLine {
+                metric: format!("{} {}", b.method, name),
+                baseline: base,
+                current,
+                ok: current >= base * (1.0 - tolerance),
+            });
+        }
+    }
+    lines
+}
+
+/// Runs the full gate against an in-memory report. Returns the verdict
+/// lines and whether the gate passes.
+pub fn gate_report(
+    baseline_json: &str,
+    current: &ThroughputReport,
+    tolerance: f64,
+) -> Result<(Vec<GateLine>, Vec<String>), String> {
+    let baseline = parse_baseline(baseline_json)?;
+    let mut violations = schema_violations(&baseline, true);
+    violations.extend(
+        schema_violations(&current.methods, false)
+            .into_iter()
+            .map(|v| format!("current run: {v}")),
+    );
+    let lines = compare(&baseline, &current.methods, tolerance);
+    Ok((lines, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn method(name: &str, qps: [f64; 4]) -> MethodThroughput {
+        MethodThroughput {
+            method: name.to_string(),
+            prove_qps: qps[0],
+            verify_qps: qps[1],
+            batch_prove_qps: Some(qps[2]),
+            batch_verify_qps: Some(qps[3]),
+        }
+    }
+
+    fn full_report() -> ThroughputReport {
+        ThroughputReport {
+            num_nodes: 100,
+            num_edges: 110,
+            queries: 10,
+            parallel: true,
+            threads: 4,
+            methods: vec![
+                method("DIJ", [4000.0, 450.0, 4100.0, 3700.0]),
+                method("FULL", [600.0, 950.0, 700.0, 2000.0]),
+                method("LDM", [2900.0, 430.0, 3000.0, 5300.0]),
+                method("HYP", [8800.0, 520.0, 9000.0, 4000.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn parser_inverts_report_writer() {
+        let report = full_report();
+        let parsed = parse_baseline(&report.to_json()).unwrap();
+        assert_eq!(parsed.len(), 4);
+        for (p, m) in parsed.iter().zip(&report.methods) {
+            assert_eq!(p.method, m.method);
+            assert_eq!(p.prove_qps, m.prove_qps);
+            assert_eq!(p.verify_qps, m.verify_qps);
+            assert_eq!(p.batch_prove_qps, m.batch_prove_qps);
+            assert_eq!(p.batch_verify_qps, m.batch_verify_qps);
+        }
+    }
+
+    #[test]
+    fn parser_handles_null_batch_columns() {
+        let mut report = full_report();
+        report.methods[1].batch_prove_qps = None;
+        report.methods[1].batch_verify_qps = None;
+        let parsed = parse_baseline(&report.to_json()).unwrap();
+        assert_eq!(parsed[1].batch_prove_qps, None);
+        assert_eq!(parsed[1].batch_verify_qps, None);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_baseline("").is_err());
+        assert!(parse_baseline("{\"schema\": \"other/v9\"}").is_err());
+        assert!(parse_baseline("{\"schema\": \"spnet-throughput/v1\"}").is_err());
+    }
+
+    #[test]
+    fn schema_flags_null_batch_columns() {
+        let mut methods = full_report().methods;
+        methods[3].batch_verify_qps = None;
+        let v = schema_violations(&methods, false);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("HYP"), "{v:?}");
+    }
+
+    #[test]
+    fn schema_flags_missing_method() {
+        let mut methods = full_report().methods;
+        methods.remove(1);
+        let v = schema_violations(&methods, false);
+        assert!(v.iter().any(|l| l.contains("FULL")), "{v:?}");
+    }
+
+    #[test]
+    fn schema_flags_lost_amortization_only_when_strict() {
+        let mut methods = full_report().methods;
+        // FULL batch verify slower than sequential verify.
+        methods[1].batch_verify_qps = Some(100.0);
+        assert!(schema_violations(&methods, false).is_empty());
+        let strict = schema_violations(&methods, true);
+        assert_eq!(strict.len(), 1);
+        assert!(strict[0].contains("FULL"), "{strict:?}");
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_beyond() {
+        let baseline = full_report().methods;
+        let mut current = full_report().methods;
+        current[0].prove_qps = 3000.0; // -25% of 4000: within 30%
+        current[2].verify_qps = 200.0; // -53% of 430: beyond 30%
+        let lines = compare(&baseline, &current, 0.30);
+        assert_eq!(lines.len(), 16, "4 methods x 4 columns");
+        let failing: Vec<&GateLine> = lines.iter().filter(|l| !l.ok).collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].metric, "LDM verify_qps");
+        assert!(failing[0].render().contains("FAIL"));
+    }
+
+    #[test]
+    fn compare_fails_when_batch_column_disappears() {
+        let baseline = full_report().methods;
+        let mut current = full_report().methods;
+        current[1].batch_verify_qps = None;
+        let lines = compare(&baseline, &current, 0.30);
+        assert!(lines
+            .iter()
+            .any(|l| l.metric == "FULL batch_verify_qps" && !l.ok));
+    }
+
+    #[test]
+    fn compare_skips_null_baseline_columns() {
+        let mut baseline = full_report().methods;
+        baseline[1].batch_prove_qps = None;
+        let current = full_report().methods;
+        let lines = compare(&baseline, &current, 0.30);
+        assert!(!lines.iter().any(|l| l.metric == "FULL batch_prove_qps"));
+    }
+
+    #[test]
+    fn gate_report_end_to_end() {
+        let report = full_report();
+        let (lines, violations) = gate_report(&report.to_json(), &report, 0.30).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(lines.iter().all(|l| l.ok));
+    }
+
+    #[test]
+    fn default_tolerance_without_env() {
+        // The env var is process-global; only assert the default path
+        // when the variable is absent (CI never sets it for unit
+        // tests).
+        if std::env::var(TOLERANCE_ENV).is_err() {
+            assert_eq!(tolerance_from_env().unwrap(), DEFAULT_TOLERANCE);
+        }
+    }
+}

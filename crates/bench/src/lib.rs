@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod gate;
 pub mod model;
 pub mod report;
 pub mod runner;

@@ -7,9 +7,10 @@
 //! * `prove_qps` / `verify_qps` — single-query `answer` / `verify`
 //!   rates over a paper-style workload,
 //! * `batch_prove_qps` / `batch_verify_qps` — the same workload served
-//!   through the pooled batch path (DIJ/LDM only), which shares tuples
-//!   and Merkle covers across queries and fans out over threads when
-//!   the `parallel` feature is on.
+//!   through the pooled batch path (all four methods), which shares
+//!   tuples, Merkle covers, signed roots and method hint proofs across
+//!   queries and fans out over threads when the `parallel` feature is
+//!   on.
 //!
 //! Results are printed as a table and written to
 //! `BENCH_throughput.json` so successive PRs can diff the trajectory.
@@ -23,7 +24,6 @@ use crate::config::HarnessConfig;
 use crate::report::{fmt_f, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spnet_core::methods::MethodConfig;
 use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
 use spnet_core::Client;
@@ -41,9 +41,11 @@ pub struct MethodThroughput {
     pub prove_qps: f64,
     /// Single-query client verifications per second.
     pub verify_qps: f64,
-    /// Batched proof generations per second (None: unsupported).
+    /// Batched proof generations per second (None only in historical
+    /// baselines — every method batches now).
     pub batch_prove_qps: Option<f64>,
-    /// Batched verifications per second (None: unsupported).
+    /// Batched verifications per second (None only in historical
+    /// baselines — every method batches now).
     pub batch_verify_qps: Option<f64>,
 }
 
@@ -119,19 +121,14 @@ pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
             }
         });
 
-        let batched = matches!(method, MethodConfig::Dij | MethodConfig::Ldm(_));
-        let (batch_prove_qps, batch_verify_qps) = if batched {
-            let bp = measure_qps(pairs.len(), 400, || {
-                std::hint::black_box(provider.answer_batch(&pairs).expect("batch"));
-            });
-            let batch = provider.answer_batch(&pairs).expect("batch");
-            let bv = measure_qps(pairs.len(), 400, || {
-                std::hint::black_box(client.verify_batch(&pairs, &batch).expect("honest batch"));
-            });
-            (Some(bp), Some(bv))
-        } else {
-            (None, None)
-        };
+        let bp = measure_qps(pairs.len(), 400, || {
+            std::hint::black_box(provider.answer_batch(&pairs).expect("batch"));
+        });
+        let batch = provider.answer_batch(&pairs).expect("batch");
+        let bv = measure_qps(pairs.len(), 400, || {
+            std::hint::black_box(client.verify_batch(&pairs, &batch).expect("honest batch"));
+        });
+        let (batch_prove_qps, batch_verify_qps) = (Some(bp), Some(bv));
 
         eprintln!(
             "[throughput] {}: prove {:.0}/s verify {:.0}/s batch {:?}/{:?}",
@@ -269,16 +266,8 @@ mod tests {
         for m in &report.methods {
             assert!(m.prove_qps > 0.0, "{}", m.method);
             assert!(m.verify_qps > 0.0, "{}", m.method);
-            match m.method.as_str() {
-                "DIJ" | "LDM" => {
-                    assert!(m.batch_prove_qps.unwrap() > 0.0);
-                    assert!(m.batch_verify_qps.unwrap() > 0.0);
-                }
-                _ => {
-                    assert!(m.batch_prove_qps.is_none());
-                    assert!(m.batch_verify_qps.is_none());
-                }
-            }
+            assert!(m.batch_prove_qps.unwrap() > 0.0, "{}", m.method);
+            assert!(m.batch_verify_qps.unwrap() > 0.0, "{}", m.method);
         }
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"spnet-throughput/v1\""));

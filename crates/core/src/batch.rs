@@ -1,36 +1,53 @@
-//! Batched queries with a shared integrity proof.
+//! Batched queries with shared integrity and hint proofs — for **all
+//! four methods**.
 //!
 //! The paper notes (Section V-B) that combining proofs "reduces the
 //! size of the integrity proof"; this module generalizes that idea:
 //! a client (e.g. the logistics auditor of `examples/logistics_audit`)
 //! submits *k* queries at once, and the provider ships
 //!
-//! * one **tuple pool** — the deduplicated union of all k subgraph
-//!   proofs,
+//! * one **tuple pool** — the deduplicated union of every extended
+//!   tuple any query needs (subgraph Γ for DIJ/LDM, path tuples for
+//!   FULL, cell + path tuples for HYP),
 //! * one **shared ΓT** — a single Merkle cover for the whole pool
-//!   (overlapping queries share both tuples and cover digests), and
-//! * per query, the reported path plus the pool-indices of its Γ.
+//!   (overlapping queries share both tuples and cover digests),
+//! * per query, the reported path plus the pool-indices of its Γ, and
+//! * one **method aux block** ([`BatchAux`]) holding whatever the
+//!   method's ΓS machinery needs beyond the pool, also pooled:
+//!   - DIJ/LDM: nothing — the pool *is* the proof,
+//!   - FULL: per-source row proofs with deduplicated Merkle paths
+//!     under **one** signed distance root ([`FullBatchProof`]; queries
+//!     sharing a source share a single multi-target row cover),
+//!   - HYP: **one** hyper-edge proof and **one** cell-directory proof
+//!     over the union of touched cells, so each cell's authenticated
+//!     border-distance matrix ships and is verified once per batch
+//!     instead of once per query.
 //!
-//! Supported for the subgraph-proof methods (DIJ and LDM), where
-//! batching pays off most — their ΓS sets overlap heavily for nearby
-//! sources. The client verifies the pool once, then re-runs each
-//! query's search against its slice of the pool.
+//! The client authenticates the pool and the aux block once (one
+//! signature check per signed root per *batch*, not per query), then
+//! re-runs each query's verification against its slice of the pool.
+//! Per-query proving and verification fan out over threads via the
+//! crate's `par` fan-out point when the default `parallel` feature is
+//! on.
 
+use crate::ads::SignedRoot;
+use crate::client::check_reported_path;
 use crate::error::{ProviderError, VerifyError};
-use crate::methods::{dij, ldm, MethodParams};
+use crate::methods::full::FullBatchProof;
+use crate::methods::{dij, hyp, ldm, MethodParams};
 use crate::owner::MethodHints;
 use crate::proof::IntegrityProof;
 use crate::provider::ServiceProvider;
 use crate::tuple::ExtendedTuple;
 use crate::Client;
 use spnet_crypto::digest::Digest;
+use spnet_crypto::mbtree::{composite_key, KeyedProof};
 use spnet_graph::algo::dijkstra_path;
-use spnet_graph::path::close;
 use spnet_graph::{NodeId, Path};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use crate::par::map_jobs;
+use crate::par::{map_jobs, map_jobs_indexed};
 
 /// One query's slice of a batch answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,21 +58,72 @@ pub struct BatchQueryProof {
     pub members: Vec<u32>,
 }
 
+/// The method-specific part of a batch answer, shipped once per batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchAux {
+    /// DIJ / LDM: the pooled subgraph tuples are the whole ΓS.
+    Subgraph,
+    /// FULL: pooled keyed row proofs under one signed distance root.
+    Full {
+        /// Per-source row proofs sharing one top-tree cover.
+        proof: FullBatchProof,
+        /// The owner-signed distance-tree root (once per batch).
+        signed_root: SignedRoot,
+    },
+    /// HYP: shared hyper-edge and cell-directory proofs covering the
+    /// union of every query's touched cells.
+    Hyp {
+        /// Membership proof for all needed border-pair hyper-edges.
+        hyper: KeyedProof,
+        /// The owner-signed hyper-edge tree root (once per batch).
+        hyper_signed_root: SignedRoot,
+        /// Membership proof for all touched cells' population counts.
+        cell_dir: KeyedProof,
+        /// The owner-signed cell-directory root (once per batch).
+        cell_dir_signed_root: SignedRoot,
+    },
+}
+
+impl BatchAux {
+    /// Serialized size in bytes of the aux block.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            BatchAux::Subgraph => 0,
+            BatchAux::Full { proof, signed_root } => proof.size_bytes() + signed_root.size_bytes(),
+            BatchAux::Hyp {
+                hyper,
+                hyper_signed_root,
+                cell_dir,
+                cell_dir_signed_root,
+            } => {
+                hyper.size_bytes()
+                    + hyper_signed_root.size_bytes()
+                    + cell_dir.size_bytes()
+                    + cell_dir_signed_root.size_bytes()
+            }
+        }
+    }
+}
+
 /// A batched answer for `k` queries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchAnswer {
-    /// Deduplicated union of all subgraph proofs (shared handles into
-    /// the provider's ADS tuple table — no deep copies).
+    /// Deduplicated union of every query's tuples (shared handles into
+    /// the provider's ADS tuple table — no deep copies), ascending by
+    /// node id.
     pub pool: Vec<Arc<ExtendedTuple>>,
     /// Per-query paths and pool slices.
     pub queries: Vec<BatchQueryProof>,
     /// Shared integrity proof covering the pool (positions parallel to
     /// `pool`).
     pub integrity: IntegrityProof,
+    /// Method-specific pooled hint proofs.
+    pub aux: BatchAux,
 }
 
 impl BatchAnswer {
-    /// Total size in bytes (pool tuples + per-query members/paths + ΓT).
+    /// Total size in bytes (pool tuples + per-query members/paths +
+    /// shared ΓT + method aux).
     pub fn size_bytes(&self) -> usize {
         let mut e = crate::enc::Encoder::new();
         for t in &self.pool {
@@ -67,27 +135,24 @@ impl BatchAnswer {
             .iter()
             .map(|q| q.path.nodes.len() * 4 + 8 + q.members.len() * 4)
             .sum();
-        pool_bytes + query_bytes + self.integrity.size_bytes()
+        pool_bytes + query_bytes + self.integrity.size_bytes() + self.aux.size_bytes()
     }
 }
 
 impl ServiceProvider {
-    /// Answers `k` queries with one shared integrity proof.
+    /// Answers `k` queries with one shared integrity proof and one
+    /// pooled hint proof — supported for **every** method.
     ///
-    /// Only supported when the deployed method uses subgraph proofs
-    /// (DIJ or LDM); other methods return `ProofAssembly`. Per-query
-    /// search and Γ assembly fan out over threads (each reusing its
-    /// thread's search workspace) when the `parallel` feature is on;
-    /// the pooled result is identical either way.
+    /// Per-query search and Γ assembly fan out over threads (each
+    /// reusing its thread's search workspace) when the `parallel`
+    /// feature is on; the pooled result is identical either way.
     pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, ProviderError> {
+        if queries.is_empty() {
+            return Err(ProviderError::ProofAssembly("empty batch".into()));
+        }
         let g = &self.package.graph;
         let ads = &self.package.ads;
-        if !matches!(&self.package.hints, MethodHints::Dij | MethodHints::Ldm(_)) {
-            return Err(ProviderError::ProofAssembly(
-                "batching requires a subgraph-proof method (DIJ or LDM)".into(),
-            ));
-        }
-        // Per-query Γ node sets, in parallel.
+        // Per-query path + covered node set, in parallel.
         let solved = map_jobs(
             queries,
             |&(vs, vt)| -> Result<(Path, Vec<NodeId>), ProviderError> {
@@ -103,7 +168,25 @@ impl ServiceProvider {
                 let nodes = match &self.package.hints {
                     MethodHints::Dij => dij::gamma_nodes(g, vs, path.distance),
                     MethodHints::Ldm(h) => ldm::gamma_nodes(g, h, vs, vt, path.distance),
-                    _ => unreachable!("checked above"),
+                    // FULL proves the optimum from the distance tree;
+                    // the pool only authenticates the reported path.
+                    MethodHints::Full { .. } => path.nodes.clone(),
+                    // HYP: the full source/target cells plus reported-
+                    // path nodes outside them (same set the single-
+                    // query proof ships).
+                    MethodHints::Hyp { hints, .. } => {
+                        let coarse = hints.coarse_nodes(vs, vt);
+                        let coarse_set: BTreeSet<NodeId> = coarse.iter().copied().collect();
+                        coarse
+                            .into_iter()
+                            .chain(
+                                path.nodes
+                                    .iter()
+                                    .copied()
+                                    .filter(|v| !coarse_set.contains(v)),
+                            )
+                            .collect()
+                    }
                 };
                 Ok((path, nodes))
             },
@@ -138,6 +221,7 @@ impl ServiceProvider {
             merkle,
             signed_root: self.package.network_root.clone(),
         };
+        let aux = self.build_batch_aux(queries)?;
         let queries_out = gammas
             .into_iter()
             .map(|(path, nodes)| BatchQueryProof {
@@ -149,8 +233,69 @@ impl ServiceProvider {
             pool,
             queries: queries_out,
             integrity,
+            aux,
         })
     }
+
+    /// Assembles the method-specific pooled hint proofs.
+    fn build_batch_aux(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAux, ProviderError> {
+        let g = &self.package.graph;
+        match &self.package.hints {
+            MethodHints::Dij | MethodHints::Ldm(_) => Ok(BatchAux::Subgraph),
+            MethodHints::Full {
+                ads: dads,
+                signed_root,
+                ..
+            } => Ok(BatchAux::Full {
+                proof: dads.prove_batch(g, queries),
+                signed_root: signed_root.clone(),
+            }),
+            MethodHints::Hyp {
+                hints,
+                hyper_signed,
+                cell_dir_signed,
+            } => {
+                let keys = hints.batch_hyper_keys(queries);
+                let hyper = match &hints.hyper_tree {
+                    Some(t) => t
+                        .prove_keys(&keys)
+                        .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?,
+                    None => KeyedProof {
+                        entries: vec![],
+                        positions: vec![],
+                        merkle: spnet_crypto::merkle::MerkleProof {
+                            entries: vec![],
+                            leaf_count: 0,
+                            fanout: self.package.ads.fanout() as u32,
+                        },
+                    },
+                };
+                let cell_dir = hints
+                    .cell_dir
+                    .prove_keys(&hints.batch_dir_keys(queries))
+                    .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
+                Ok(BatchAux::Hyp {
+                    hyper,
+                    hyper_signed_root: hyper_signed.clone(),
+                    cell_dir,
+                    cell_dir_signed_root: cell_dir_signed.clone(),
+                })
+            }
+        }
+    }
+}
+
+/// Per-batch verified hint context, built once from [`BatchAux`] and
+/// then consulted by every per-query job.
+enum AuxContext<'a> {
+    Subgraph,
+    /// FULL: authenticated distances keyed by `composite_key(vs, vt)`.
+    Full(HashMap<u64, f64>),
+    /// HYP: the (already root/signature-checked) shared proofs.
+    Hyp {
+        hyper: &'a KeyedProof,
+        cell_dir: &'a KeyedProof,
+    },
 }
 
 impl Client {
@@ -192,10 +337,11 @@ impl Client {
         if root != batch.integrity.signed_root.root {
             return Err(VerifyError::RootMismatch);
         }
-        // Per query: build the member map and re-run the search — one
-        // independent job per query, fanned out over threads.
-        let jobs: Vec<(usize, (NodeId, NodeId))> = queries.iter().copied().enumerate().collect();
-        let outcomes = map_jobs(&jobs, |&(qi, (vs, vt))| -> Result<f64, VerifyError> {
+        // Method aux: authenticate the pooled hint proofs once.
+        let ctx = self.verify_batch_aux(&params, &batch.aux)?;
+        // Per query: build the member map and re-run the verification —
+        // one independent job per query, fanned out over threads.
+        let outcomes = map_jobs_indexed(queries, |qi, &(vs, vt)| -> Result<f64, VerifyError> {
             let q = &batch.queries[qi];
             let mut map: HashMap<NodeId, &ExtendedTuple> = HashMap::with_capacity(q.members.len());
             for &i in &q.members {
@@ -207,42 +353,67 @@ impl Client {
                     ))?;
                 map.insert(t.id, &**t);
             }
-            let proven = match &params {
-                MethodParams::Dij => dij::verify_subgraph_dijkstra(&map, vs, vt)?,
-                MethodParams::Ldm { lambda } => ldm::verify_subgraph_astar(&map, vs, vt, *lambda)?,
-                _ => return Err(VerifyError::MetaMismatch("batch supports DIJ/LDM only")),
+            let proven = match (&params, &ctx) {
+                (MethodParams::Dij, AuxContext::Subgraph) => {
+                    dij::verify_subgraph_dijkstra(&map, vs, vt)?
+                }
+                (MethodParams::Ldm { lambda }, AuxContext::Subgraph) => {
+                    ldm::verify_subgraph_astar(&map, vs, vt, *lambda)?
+                }
+                (MethodParams::Full, AuxContext::Full(dists)) => *dists
+                    .get(&composite_key(vs.0, vt.0))
+                    .ok_or(VerifyError::MissingDistanceKey { a: vs, b: vt })?,
+                (MethodParams::Hyp, AuxContext::Hyp { hyper, cell_dir }) => {
+                    hyp::verify_hyp(&map, hyper, cell_dir, vs, vt)?
+                }
+                _ => unreachable!("verify_batch_aux checked the pairing"),
             };
             // Path checks against the authenticated pool.
-            let got = (q.path.source(), q.path.target());
-            if got != (vs, vt) {
-                return Err(VerifyError::WrongEndpoints {
-                    expected: (vs, vt),
-                    got,
-                });
-            }
-            let mut sum = 0.0;
-            for w in q.path.nodes.windows(2) {
-                let t = map.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
-                sum += t.edge_to(w[1]).ok_or(VerifyError::FakeEdge {
-                    from: w[0],
-                    to: w[1],
-                })?;
-            }
-            if !close(sum, q.path.distance) {
-                return Err(VerifyError::InconsistentPathDistance {
-                    claimed: q.path.distance,
-                    recomputed: sum,
-                });
-            }
-            if !close(sum, proven) {
-                return Err(VerifyError::NotShortest {
-                    reported: sum,
-                    proven,
-                });
-            }
+            check_reported_path(&map, vs, vt, &q.path, proven)?;
             Ok(proven)
         });
         outcomes.into_iter().collect()
+    }
+
+    /// Authenticates the batch's pooled hint proofs (signatures + Merkle
+    /// roots) once and returns the context per-query jobs read.
+    fn verify_batch_aux<'a>(
+        &self,
+        params: &MethodParams,
+        aux: &'a BatchAux,
+    ) -> Result<AuxContext<'a>, VerifyError> {
+        match (params, aux) {
+            (MethodParams::Dij | MethodParams::Ldm { .. }, BatchAux::Subgraph) => {
+                Ok(AuxContext::Subgraph)
+            }
+            (MethodParams::Full, BatchAux::Full { proof, signed_root }) => {
+                if !signed_root.verify(self.public_key()) {
+                    return Err(VerifyError::BadSignature);
+                }
+                Ok(AuxContext::Full(proof.verify(&signed_root.root)?))
+            }
+            (
+                MethodParams::Hyp,
+                BatchAux::Hyp {
+                    hyper,
+                    hyper_signed_root,
+                    cell_dir,
+                    cell_dir_signed_root,
+                },
+            ) => {
+                hyp::verify_hyp_aux(
+                    self.public_key(),
+                    hyper,
+                    hyper_signed_root,
+                    cell_dir,
+                    cell_dir_signed_root,
+                )?;
+                Ok(AuxContext::Hyp { hyper, cell_dir })
+            }
+            _ => Err(VerifyError::MetaMismatch(
+                "batch proof shape does not match signed method",
+            )),
+        }
     }
 }
 
@@ -267,6 +438,20 @@ mod tests {
         )
     }
 
+    fn all_methods() -> Vec<MethodConfig> {
+        vec![
+            MethodConfig::Dij,
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 8,
+                ..LdmConfig::default()
+            }),
+            MethodConfig::Hyp { cells: 9 },
+        ]
+    }
+
     const QUERIES: [(u32, u32); 4] = [(0, 99), (1, 98), (0, 55), (10, 89)];
 
     fn as_nodes(qs: &[(u32, u32)]) -> Vec<(NodeId, NodeId)> {
@@ -274,14 +459,8 @@ mod tests {
     }
 
     #[test]
-    fn batch_verifies_for_dij_and_ldm() {
-        for method in [
-            MethodConfig::Dij,
-            MethodConfig::Ldm(LdmConfig {
-                landmarks: 8,
-                ..LdmConfig::default()
-            }),
-        ] {
+    fn batch_verifies_for_every_method() {
+        for method in all_methods() {
             let (g, provider, client) = deploy(method.clone(), 1700);
             let queries = as_nodes(&QUERIES);
             let batch = provider.answer_batch(&queries).unwrap();
@@ -299,56 +478,182 @@ mod tests {
 
     #[test]
     fn batch_smaller_than_individual_answers() {
-        // Overlapping queries: the pool dedups tuples and shares covers.
-        let (_, provider, _) = deploy(MethodConfig::Dij, 1701);
-        let queries = as_nodes(&QUERIES);
-        let batch = provider.answer_batch(&queries).unwrap();
-        let individual: usize = queries
-            .iter()
-            .map(|&(s, t)| provider.answer(s, t).unwrap().stats().total_bytes())
-            .sum();
-        assert!(
-            batch.size_bytes() < individual,
-            "batch {} ≥ individual sum {}",
-            batch.size_bytes(),
-            individual
-        );
-    }
-
-    #[test]
-    fn batch_rejected_for_full_and_hyp() {
-        for method in [
-            MethodConfig::Full {
-                use_floyd_warshall: false,
-            },
-            MethodConfig::Hyp { cells: 9 },
-        ] {
-            let (_, provider, _) = deploy(method, 1702);
-            assert!(matches!(
-                provider.answer_batch(&as_nodes(&QUERIES)),
-                Err(ProviderError::ProofAssembly(_))
-            ));
+        // Overlapping queries: the pool dedups tuples, shares covers,
+        // and ships each signed root once — for every method.
+        for method in all_methods() {
+            let (_, provider, _) = deploy(method.clone(), 1701);
+            let queries = as_nodes(&QUERIES);
+            let batch = provider.answer_batch(&queries).unwrap();
+            let individual: usize = queries
+                .iter()
+                .map(|&(s, t)| provider.answer(s, t).unwrap().stats().total_bytes())
+                .sum();
+            assert!(
+                batch.size_bytes() < individual,
+                "{}: batch {} ≥ individual sum {}",
+                method.name(),
+                batch.size_bytes(),
+                individual
+            );
         }
     }
 
     #[test]
-    fn tampered_pool_tuple_rejected() {
-        let (_, provider, client) = deploy(MethodConfig::Dij, 1703);
+    fn empty_batch_rejected() {
+        let (_, provider, _) = deploy(MethodConfig::Dij, 1702);
+        assert!(matches!(
+            provider.answer_batch(&[]),
+            Err(ProviderError::ProofAssembly(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_pool_tuple_rejected_for_every_method() {
+        for method in all_methods() {
+            let (_, provider, client) = deploy(method.clone(), 1703);
+            let queries = as_nodes(&QUERIES);
+            let mut batch = provider.answer_batch(&queries).unwrap();
+            Arc::make_mut(&mut batch.pool[0]).adj[0].1 *= 0.5;
+            assert!(
+                client.verify_batch(&queries, &batch).is_err(),
+                "{}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_pool_entry_is_referenced_and_tamper_breaks_the_batch() {
+        // The shared pool is covered by ONE Merkle reconstruction, so a
+        // flipped pooled entry invalidates the whole batch — in
+        // particular every query whose Γ references it. Also asserts
+        // the pool carries no dead entries (each index is referenced by
+        // at least one query's member list).
+        for method in all_methods() {
+            let (_, provider, client) = deploy(method.clone(), 1708);
+            let queries = as_nodes(&QUERIES);
+            let honest = provider.answer_batch(&queries).unwrap();
+            let referenced: std::collections::HashSet<u32> = honest
+                .queries
+                .iter()
+                .flat_map(|q| q.members.iter().copied())
+                .collect();
+            assert_eq!(
+                referenced.len(),
+                honest.pool.len(),
+                "{}: pool has unreferenced entries",
+                method.name()
+            );
+            for i in 0..honest.pool.len() {
+                let mut evil = honest.clone();
+                let t = Arc::make_mut(&mut evil.pool[i]);
+                if t.adj.is_empty() {
+                    continue;
+                }
+                t.adj[0].1 *= 0.5;
+                assert_eq!(
+                    client.verify_batch(&queries, &evil),
+                    Err(VerifyError::RootMismatch),
+                    "{}: pool[{i}]",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_full_row_entry_rejected() {
+        let (_, provider, client) = deploy(
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            1709,
+        );
         let queries = as_nodes(&QUERIES);
         let mut batch = provider.answer_batch(&queries).unwrap();
-        Arc::make_mut(&mut batch.pool[0]).adj[0].1 *= 0.5;
+        let BatchAux::Full { proof, .. } = &mut batch.aux else {
+            panic!("FULL batch must carry a Full aux");
+        };
+        proof.rows[0].entries[0].value *= 0.5;
+        assert_eq!(
+            client.verify_batch(&queries, &batch),
+            Err(VerifyError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_hyp_hyper_entry_rejected() {
+        let (_, provider, client) = deploy(MethodConfig::Hyp { cells: 9 }, 1710);
+        let queries = as_nodes(&QUERIES);
+        let mut batch = provider.answer_batch(&queries).unwrap();
+        let BatchAux::Hyp { hyper, .. } = &mut batch.aux else {
+            panic!("HYP batch must carry a Hyp aux");
+        };
+        assert!(!hyper.entries.is_empty());
+        hyper.entries[0].value *= 0.5;
+        assert_eq!(
+            client.verify_batch(&queries, &batch),
+            Err(VerifyError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn aux_method_mismatch_rejected() {
+        // A FULL-signed deployment shipping a Subgraph aux (method
+        // downgrade) must be rejected before any per-query work.
+        let (_, provider, client) = deploy(
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            1711,
+        );
+        let queries = as_nodes(&QUERIES);
+        let mut batch = provider.answer_batch(&queries).unwrap();
+        batch.aux = BatchAux::Subgraph;
+        assert_eq!(
+            client.verify_batch(&queries, &batch),
+            Err(VerifyError::MetaMismatch(
+                "batch proof shape does not match signed method"
+            ))
+        );
+    }
+
+    #[test]
+    fn missing_full_distance_key_rejected() {
+        let (_, provider, client) = deploy(
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            1712,
+        );
+        let queries = as_nodes(&QUERIES);
+        let mut batch = provider.answer_batch(&queries).unwrap();
+        let BatchAux::Full { proof, .. } = &mut batch.aux else {
+            panic!("FULL batch must carry a Full aux");
+        };
+        // Drop one row entirely: its queries must fail with a missing
+        // key (or a malformed cover), never silently pass.
+        proof.rows.remove(0);
         assert!(client.verify_batch(&queries, &batch).is_err());
     }
 
     #[test]
     fn dropped_member_rejected() {
-        let (_, provider, client) = deploy(MethodConfig::Dij, 1704);
-        let queries = as_nodes(&QUERIES);
-        let mut batch = provider.answer_batch(&queries).unwrap();
-        // Hide part of query 0's Γ: its search must hit a missing tuple.
-        let keep = batch.queries[0].members.len() / 2;
-        batch.queries[0].members.truncate(keep);
-        assert!(client.verify_batch(&queries, &batch).is_err());
+        for method in all_methods() {
+            let (_, provider, client) = deploy(method.clone(), 1704);
+            let queries = as_nodes(&QUERIES);
+            let mut batch = provider.answer_batch(&queries).unwrap();
+            // Hide part of query 0's Γ: its verification must hit a
+            // missing tuple (subgraph search, path check, or HYP cell
+            // completeness).
+            let keep = batch.queries[0].members.len() / 2;
+            batch.queries[0].members.truncate(keep);
+            assert!(
+                client.verify_batch(&queries, &batch).is_err(),
+                "{}",
+                method.name()
+            );
+        }
     }
 
     #[test]

@@ -79,29 +79,13 @@ impl Client {
                 MethodParams::Hyp,
             ) => {
                 // Authenticate both auxiliary structures first.
-                if !hyper_signed_root.verify(&self.public_key)
-                    || !cell_dir_signed_root.verify(&self.public_key)
-                {
-                    return Err(VerifyError::BadSignature);
-                }
-                // An empty hyper proof is acceptable only when both
-                // cells are border-free: verify_hyp fails on the first
-                // needed pair otherwise, so no explicit check is
-                // required here.
-                if !hyper.entries.is_empty() {
-                    let root = hyper
-                        .reconstruct_root()
-                        .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
-                    if root != hyper_signed_root.root {
-                        return Err(VerifyError::RootMismatch);
-                    }
-                }
-                let dir_root = cell_dir
-                    .reconstruct_root()
-                    .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
-                if dir_root != cell_dir_signed_root.root {
-                    return Err(VerifyError::RootMismatch);
-                }
+                hyp::verify_hyp_aux(
+                    &self.public_key,
+                    hyper,
+                    hyper_signed_root,
+                    cell_dir,
+                    cell_dir_signed_root,
+                )?;
                 hyp::verify_hyp(&tuples, hyper, cell_dir, vs, vt)?
             }
             _ => {
@@ -198,37 +182,50 @@ impl Client {
         answer: &Answer,
         proven: f64,
     ) -> Result<(), VerifyError> {
-        let path = &answer.path;
-        let got = (path.source(), path.target());
-        if got != (vs, vt) {
-            return Err(VerifyError::WrongEndpoints {
-                expected: (vs, vt),
-                got,
-            });
-        }
-        let mut sum = 0.0;
-        for w in path.nodes.windows(2) {
-            let t = tuples.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
-            let weight = t.edge_to(w[1]).ok_or(VerifyError::FakeEdge {
-                from: w[0],
-                to: w[1],
-            })?;
-            sum += weight;
-        }
-        if !close(sum, path.distance) {
-            return Err(VerifyError::InconsistentPathDistance {
-                claimed: path.distance,
-                recomputed: sum,
-            });
-        }
-        if !close(sum, proven) {
-            return Err(VerifyError::NotShortest {
-                reported: sum,
-                proven,
-            });
-        }
-        Ok(())
+        check_reported_path(tuples, vs, vt, &answer.path, proven)
     }
+}
+
+/// Checks a reported path `P_rslt` against authenticated tuples and a
+/// proven optimum: endpoints, edge existence, summed weight vs both
+/// the claimed distance and the optimum. Shared by the single-query
+/// and batched verification paths.
+pub(crate) fn check_reported_path(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    vs: NodeId,
+    vt: NodeId,
+    path: &spnet_graph::Path,
+    proven: f64,
+) -> Result<(), VerifyError> {
+    let got = (path.source(), path.target());
+    if got != (vs, vt) {
+        return Err(VerifyError::WrongEndpoints {
+            expected: (vs, vt),
+            got,
+        });
+    }
+    let mut sum = 0.0;
+    for w in path.nodes.windows(2) {
+        let t = tuples.get(&w[0]).ok_or(VerifyError::MissingTuple(w[0]))?;
+        let weight = t.edge_to(w[1]).ok_or(VerifyError::FakeEdge {
+            from: w[0],
+            to: w[1],
+        })?;
+        sum += weight;
+    }
+    if !close(sum, path.distance) {
+        return Err(VerifyError::InconsistentPathDistance {
+            claimed: path.distance,
+            recomputed: sum,
+        });
+    }
+    if !close(sum, proven) {
+        return Err(VerifyError::NotShortest {
+            reported: sum,
+            proven,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

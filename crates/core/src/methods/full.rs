@@ -20,13 +20,14 @@
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::error::VerifyError;
 use spnet_crypto::digest::Digest;
-use spnet_crypto::mbtree::{composite_key, KeyedEntry};
+use spnet_crypto::mbtree::{composite_key, split_key, KeyedEntry};
 use spnet_crypto::merkle::{MerkleProof, MerkleTree};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::algo::floyd_warshall;
 use spnet_graph::algo::floyd_warshall::DistanceMatrix;
 use spnet_graph::search::with_thread_workspace;
 use spnet_graph::{Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The FULL method's authenticated distance structure.
 #[derive(Debug, Clone)]
@@ -100,23 +101,35 @@ impl DistanceAds {
         SignedRoot::sign(keypair, self.root(), self.meta())
     }
 
+    /// Regenerates the materialized distance row of source `vs` (from
+    /// the retained matrix in Floyd–Warshall mode, or one Dijkstra).
+    fn row_values(&self, g: &Graph, vs: NodeId) -> Vec<f64> {
+        match &self.matrix {
+            Some(m) => m.row(vs.index()).to_vec(),
+            None => with_thread_workspace(|ws| ws.sssp(g, vs).dist_vec()),
+        }
+    }
+
+    /// Rebuilds the row tree of source `vs` from its values.
+    fn row_tree(&self, vs: NodeId, row: &[f64]) -> MerkleTree {
+        let leaves: Vec<Digest> = row
+            .iter()
+            .enumerate()
+            .map(|(t, &d)| entry(vs.0, t as u32, d).digest())
+            .collect();
+        let tree = MerkleTree::build(leaves, self.fanout).expect("non-empty row");
+        debug_assert_eq!(tree.root(), self.row_roots[vs.index()]);
+        tree
+    }
+
     /// Provider side: assembles the distance proof for `(vs, vt)`.
     ///
     /// Regenerates row `vs` with one Dijkstra (the materialized values
     /// are a deterministic function of the owner's graph, which the
     /// provider holds).
     pub fn prove(&self, g: &Graph, vs: NodeId, vt: NodeId) -> FullDistanceProof {
-        let row: Vec<f64> = match &self.matrix {
-            Some(m) => m.row(vs.index()).to_vec(),
-            None => with_thread_workspace(|ws| ws.sssp(g, vs).dist_vec()),
-        };
-        let leaves: Vec<Digest> = row
-            .iter()
-            .enumerate()
-            .map(|(t, &d)| entry(vs.0, t as u32, d).digest())
-            .collect();
-        let row_tree = MerkleTree::build(leaves, self.fanout).expect("non-empty row");
-        debug_assert_eq!(row_tree.root(), self.row_roots[vs.index()]);
+        let row = self.row_values(g, vs);
+        let row_tree = self.row_tree(vs, &row);
         let row_proof = row_tree
             .prove([vt.index()].into_iter().collect())
             .expect("row proof");
@@ -131,6 +144,46 @@ impl DistanceAds {
             top_index: vs.0,
             top_proof,
         }
+    }
+
+    /// Provider side, batched: one pooled proof for all `pairs`.
+    ///
+    /// Queries are grouped by source row, so a row is regenerated (one
+    /// Dijkstra + |V| leaf hashes) **once per distinct source** no
+    /// matter how many queries read it, every row proof is a single
+    /// multi-target Merkle cover, and one shared top-tree cover spans
+    /// all touched rows. Row assembly fans out over threads via the
+    /// crate's `par::map_jobs` under the default `parallel` feature.
+    pub fn prove_batch(&self, g: &Graph, pairs: &[(NodeId, NodeId)]) -> FullBatchProof {
+        let mut by_source: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for &(vs, vt) in pairs {
+            by_source.entry(vs.0).or_default().insert(vt.0);
+        }
+        let groups: Vec<(u32, Vec<u32>)> = by_source
+            .into_iter()
+            .map(|(s, ts)| (s, ts.into_iter().collect()))
+            .collect();
+        let rows = crate::par::map_jobs(&groups, |(s, targets)| {
+            let vs = NodeId(*s);
+            let row = self.row_values(g, vs);
+            let row_tree = self.row_tree(vs, &row);
+            let row_proof = row_tree
+                .prove(targets.iter().map(|&t| t as usize).collect())
+                .expect("row proof");
+            FullRowProof {
+                source: *s,
+                entries: targets
+                    .iter()
+                    .map(|&t| entry(*s, t, row[t as usize]))
+                    .collect(),
+                row_proof,
+            }
+        });
+        let top_proof = self
+            .top
+            .prove(rows.iter().map(|r| r.source as usize).collect())
+            .expect("top proof");
+        FullBatchProof { rows, top_proof }
     }
 }
 
@@ -216,6 +269,97 @@ impl FullDistanceProof {
             return Err(VerifyError::RootMismatch);
         }
         Ok(self.entry.value)
+    }
+}
+
+/// One source row's slice of a batched FULL proof: the distance
+/// entries of every target queried from that source plus a single
+/// multi-leaf Merkle cover over the row tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullRowProof {
+    /// Source node id — also the row's leaf index in the top tree.
+    pub source: u32,
+    /// Distance entries for the queried targets, ascending by target
+    /// id. Row-tree leaf positions are the target ids carried in the
+    /// composite keys, so positions need not ship separately.
+    pub entries: Vec<KeyedEntry>,
+    /// Row-tree cover digests for all entry positions at once.
+    pub row_proof: MerkleProof,
+}
+
+/// FULL's batched ΓS: per-source row proofs sharing one top-tree cover
+/// (and, at the batch layer, one signed distance root for all of them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullBatchProof {
+    /// Row proofs, strictly ascending by source id.
+    pub rows: Vec<FullRowProof>,
+    /// Top-tree cover digests spanning every touched row root.
+    pub top_proof: MerkleProof,
+}
+
+impl FullBatchProof {
+    /// Number of digest/entry items (the batched S-prf count).
+    pub fn num_items(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.entries.len() + r.row_proof.num_items())
+            .sum::<usize>()
+            + self.top_proof.num_items()
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| 4 + r.entries.len() * 16 + r.row_proof.size_bytes())
+            .sum::<usize>()
+            + self.top_proof.size_bytes()
+    }
+
+    /// Client side: authenticates every carried entry against the
+    /// signed distance root **once**, returning the proven distances
+    /// keyed by `composite_key(vs, vt)`.
+    ///
+    /// Entry digests bind `(source, target, dist)`, row positions are
+    /// derived from the keys, and the reconstructed two-level root must
+    /// equal `signed_root` — so a provider can neither move, swap nor
+    /// alter any pooled entry without detection.
+    pub fn verify(&self, signed_root: &Digest) -> Result<HashMap<u64, f64>, VerifyError> {
+        let mut top_leaves: Vec<(usize, Digest)> = Vec::with_capacity(self.rows.len());
+        let mut proven: HashMap<u64, f64> = HashMap::new();
+        let mut last_source: Option<u32> = None;
+        for row in &self.rows {
+            if last_source.is_some_and(|p| p >= row.source) {
+                return Err(VerifyError::MalformedIntegrityProof(
+                    "batch row sources not strictly ascending".into(),
+                ));
+            }
+            last_source = Some(row.source);
+            let mut leaves = Vec::with_capacity(row.entries.len());
+            for e in &row.entries {
+                let (s, t) = split_key(e.key);
+                if s != row.source {
+                    return Err(VerifyError::MalformedIntegrityProof(
+                        "batch row entry keyed outside its row".into(),
+                    ));
+                }
+                leaves.push((t as usize, e.digest()));
+                proven.insert(e.key, e.value);
+            }
+            let row_root = row
+                .row_proof
+                .reconstruct_root(&leaves)
+                .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+            top_leaves.push((row.source as usize, row_root));
+        }
+        let top_root = self
+            .top_proof
+            .reconstruct_root(&top_leaves)
+            .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+        if top_root != *signed_root {
+            return Err(VerifyError::RootMismatch);
+        }
+        Ok(proven)
     }
 }
 
@@ -318,5 +462,94 @@ mod tests {
         let (_, stats) = DistanceAds::build(&g, 2, true);
         assert_eq!(stats.tuples, 625);
         assert!(stats.seconds >= 0.0);
+    }
+
+    const BATCH_PAIRS: [(u32, u32); 5] = [(0, 48), (0, 30), (3, 40), (48, 0), (7, 7)];
+
+    fn batch_pairs() -> Vec<(NodeId, NodeId)> {
+        BATCH_PAIRS
+            .iter()
+            .map(|&(s, t)| (NodeId(s), NodeId(t)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_proof_matches_single_proofs() {
+        let (g, ads) = build(407, false);
+        let pairs = batch_pairs();
+        let batch = ads.prove_batch(&g, &pairs);
+        let proven = batch.verify(&ads.root()).unwrap();
+        for &(s, t) in &pairs {
+            let single = ads.prove(&g, s, t).verify(s, t, &ads.root()).unwrap();
+            let batched = proven[&composite_key(s.0, t.0)];
+            assert_eq!(batched.to_bits(), single.to_bits(), "({s},{t})");
+        }
+        // Queries sharing a source share one row proof.
+        assert_eq!(batch.rows.len(), 4, "4 distinct sources");
+    }
+
+    #[test]
+    fn batch_proof_smaller_than_single_sum() {
+        let (g, ads) = build(408, false);
+        let pairs = batch_pairs();
+        let batch = ads.prove_batch(&g, &pairs);
+        let singles: usize = pairs
+            .iter()
+            .map(|&(s, t)| ads.prove(&g, s, t).size_bytes())
+            .sum();
+        assert!(
+            batch.size_bytes() < singles,
+            "batch {} ≥ single sum {}",
+            batch.size_bytes(),
+            singles
+        );
+    }
+
+    #[test]
+    fn batch_tampered_entry_detected() {
+        let (g, ads) = build(409, false);
+        let pairs = batch_pairs();
+        let honest = ads.prove_batch(&g, &pairs);
+        for row in 0..honest.rows.len() {
+            let mut evil = honest.clone();
+            evil.rows[row].entries[0].value += 1.0;
+            assert!(
+                matches!(evil.verify(&ads.root()), Err(VerifyError::RootMismatch)),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_swapped_key_detected() {
+        let (g, ads) = build(410, false);
+        let pairs = batch_pairs();
+        let honest = ads.prove_batch(&g, &pairs);
+        // Re-keying an entry to a different target moves its claimed
+        // leaf position: the reconstruction must fail or mismatch.
+        let mut evil = honest.clone();
+        let e = &mut evil.rows[0].entries[0];
+        e.key = composite_key(split_key(e.key).0, split_key(e.key).1 + 1);
+        assert!(evil.verify(&ads.root()).is_err());
+        // Re-keying it to a different *row* is rejected outright.
+        let mut evil2 = honest;
+        evil2.rows[0].entries[0].key = composite_key(u32::MAX, 0);
+        assert!(matches!(
+            evil2.verify(&ads.root()),
+            Err(VerifyError::MalformedIntegrityProof(_))
+        ));
+    }
+
+    #[test]
+    fn batch_unsorted_rows_rejected() {
+        let (g, ads) = build(411, false);
+        let pairs = batch_pairs();
+        let mut evil = ads.prove_batch(&g, &pairs);
+        assert!(evil.rows.len() >= 2);
+        evil.rows.swap(0, 1);
+        assert!(matches!(
+            evil.verify(&ads.root()),
+            Err(VerifyError::MalformedIntegrityProof(_))
+        ));
     }
 }

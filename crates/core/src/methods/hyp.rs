@@ -24,10 +24,10 @@ use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::error::VerifyError;
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MerkleBTree};
-use spnet_crypto::rsa::RsaKeyPair;
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::partition::GridPartition;
 use spnet_graph::{Graph, NodeId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The owner-side HYP hints.
 #[derive(Debug, Clone)]
@@ -148,28 +148,88 @@ impl HypHints {
     /// pair between the source-cell border set and the target-cell
     /// border set (all pairs within the cell when `cs == ct`).
     pub fn hyper_keys(&self, vs: NodeId, vt: NodeId) -> Vec<u64> {
-        let cs = self.partition.cell_of(vs);
-        let ct = self.partition.cell_of(vt);
-        let bs = self.partition.cell_borders(cs);
-        let bt = self.partition.cell_borders(ct);
+        self.batch_hyper_keys(&[(vs, vt)])
+    }
+
+    /// Provider side, batched: the deduplicated union of hyper-edge
+    /// keys over all queries. Queries sharing a cell pair contribute
+    /// the same keys once, so each touched cell's border-distance
+    /// matrix ships (and is Merkle-verified) once per batch.
+    pub fn batch_hyper_keys(&self, queries: &[(NodeId, NodeId)]) -> Vec<u64> {
         let mut keys: HashSet<u64> = HashSet::new();
-        for &a in &bs {
-            for &b in &bt {
-                if a != b {
-                    keys.insert(hyper_key(a, b));
+        let mut seen_cell_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for &(vs, vt) in queries {
+            let cs = self.partition.cell_of(vs);
+            let ct = self.partition.cell_of(vt);
+            if !seen_cell_pairs.insert((cs.min(ct), cs.max(ct))) {
+                continue;
+            }
+            let bs = self.partition.cell_borders(cs);
+            let bt = self.partition.cell_borders(ct);
+            for &a in &bs {
+                for &b in &bt {
+                    if a != b {
+                        keys.insert(hyper_key(a, b));
+                    }
                 }
             }
         }
         let mut out: Vec<u64> = keys.into_iter().collect();
-        out.sort();
+        out.sort_unstable();
         out
     }
+
+    /// Provider side, batched: the deduplicated union of
+    /// cell-directory keys (touched cell ids) over all queries.
+    pub fn batch_dir_keys(&self, queries: &[(NodeId, NodeId)]) -> Vec<u64> {
+        let mut cells: BTreeSet<u64> = BTreeSet::new();
+        for &(vs, vt) in queries {
+            cells.insert(self.partition.cell_of(vs) as u64);
+            cells.insert(self.partition.cell_of(vt) as u64);
+        }
+        cells.into_iter().collect()
+    }
+}
+
+/// Client side: authenticates the two HYP auxiliary structures —
+/// owner signatures and Merkle roots — ahead of [`verify_hyp`].
+/// Shared by the single-query and batched verification paths so the
+/// authentication rules cannot drift between them.
+pub(crate) fn verify_hyp_aux(
+    pk: &RsaPublicKey,
+    hyper: &KeyedProof,
+    hyper_signed_root: &SignedRoot,
+    cell_dir: &KeyedProof,
+    cell_dir_signed_root: &SignedRoot,
+) -> Result<(), VerifyError> {
+    if !hyper_signed_root.verify(pk) || !cell_dir_signed_root.verify(pk) {
+        return Err(VerifyError::BadSignature);
+    }
+    // An empty hyper proof is acceptable only when the touched cells
+    // are border-free: verify_hyp fails on the first needed pair
+    // otherwise, so no explicit check is required here.
+    if !hyper.entries.is_empty() {
+        let root = hyper
+            .reconstruct_root()
+            .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+        if root != hyper_signed_root.root {
+            return Err(VerifyError::RootMismatch);
+        }
+    }
+    let dir_root = cell_dir
+        .reconstruct_root()
+        .map_err(|e| VerifyError::MalformedIntegrityProof(e.to_string()))?;
+    if dir_root != cell_dir_signed_root.root {
+        return Err(VerifyError::RootMismatch);
+    }
+    Ok(())
 }
 
 /// Client side: verifies the HYP ΓS and returns the proven optimum.
 ///
 /// `tuples` must already be integrity-verified; `hyper` and `cell_dir`
-/// must already be root/signature-verified by the caller.
+/// must already be root/signature-verified by the caller (the
+/// crate-internal `verify_hyp_aux`).
 pub fn verify_hyp(
     tuples: &HashMap<NodeId, &ExtendedTuple>,
     hyper: &KeyedProof,
@@ -556,5 +616,31 @@ mod tests {
     fn build_seconds_recorded() {
         let (_, hints) = setup(608, 9);
         assert!(hints.build_seconds >= 0.0);
+    }
+
+    #[test]
+    fn batch_keys_are_union_of_single_query_keys() {
+        let (_, hints) = setup(610, 9);
+        let queries = [
+            (NodeId(0), NodeId(143)),
+            (NodeId(3), NodeId(140)),
+            (NodeId(143), NodeId(0)), // swapped cell pair: dedups away
+            (NodeId(130), NodeId(10)),
+        ];
+        let batch = hints.batch_hyper_keys(&queries);
+        let mut union: BTreeSet<u64> = BTreeSet::new();
+        for &(s, t) in &queries {
+            union.extend(hints.hyper_keys(s, t));
+        }
+        assert_eq!(batch, union.into_iter().collect::<Vec<_>>());
+        assert!(batch.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+
+        let dirs = hints.batch_dir_keys(&queries);
+        let mut dir_union: BTreeSet<u64> = BTreeSet::new();
+        for &(s, t) in &queries {
+            dir_union.insert(hints.partition.cell_of(s) as u64);
+            dir_union.insert(hints.partition.cell_of(t) as u64);
+        }
+        assert_eq!(dirs, dir_union.into_iter().collect::<Vec<_>>());
     }
 }

@@ -1,9 +1,11 @@
 //! The crate's single parallel/sequential fan-out point.
 //!
-//! Every data-parallel loop in this crate (batch proving/verification,
-//! FULL row hashing, HYP border Dijkstras) routes through
-//! [`map_jobs`], so the `parallel` feature flag is interpreted in
-//! exactly one place and the sequential fallback cannot drift.
+//! Every data-parallel loop in this crate (batch proving/verification
+//! for all four methods, FULL row hashing — both the owner-side build
+//! and the provider's batched row proofs — and HYP border Dijkstras)
+//! routes through [`map_jobs`] or [`map_jobs_indexed`], so the
+//! `parallel` feature flag is interpreted in exactly one place and the
+//! sequential fallback cannot drift.
 //!
 //! Note on the offline `rayon` stand-in (`crates/compat/rayon`): it
 //! spawns scoped OS threads per call rather than keeping a worker
@@ -25,5 +27,39 @@ pub(crate) fn map_jobs<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync)
     #[cfg(not(feature = "parallel"))]
     {
         jobs.iter().map(f).collect()
+    }
+}
+
+/// Like [`map_jobs`], but hands each job its input index — the shape
+/// the per-query batch verify jobs need (query `i` must be matched
+/// with the batch's `i`-th proof slice without cloning the queries
+/// into `(index, query)` tuples at every call site).
+pub(crate) fn map_jobs_indexed<T: Sync, R: Send>(
+    jobs: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let indices: Vec<usize> = (0..jobs.len()).collect();
+    map_jobs(&indices, |&i| f(i, &jobs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_jobs_preserves_input_order() {
+        let jobs: Vec<u32> = (0..257).collect();
+        let out = map_jobs(&jobs, |&x| x * 2);
+        assert_eq!(out, jobs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_jobs_indexed_passes_matching_indices() {
+        let jobs: Vec<u32> = (100..164).collect();
+        let out = map_jobs_indexed(&jobs, |i, &x| (i, x));
+        for (i, &(gi, gx)) in out.iter().enumerate() {
+            assert_eq!(gi, i);
+            assert_eq!(gx, jobs[i]);
+        }
     }
 }

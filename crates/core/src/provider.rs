@@ -154,16 +154,9 @@ impl ServiceProvider {
                         }
                     }
                 };
-                let cs = hints.partition.cell_of(vs);
-                let ct = hints.partition.cell_of(vt);
-                let mut dir_keys = vec![cs as u64];
-                if ct != cs {
-                    dir_keys.push(ct as u64);
-                    dir_keys.sort();
-                }
                 let cell_dir = hints
                     .cell_dir
-                    .prove_keys(&dir_keys)
+                    .prove_keys(&hints.batch_dir_keys(&[(vs, vt)]))
                     .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
                 let covered: Vec<NodeId> = coarse.into_iter().chain(extra).collect();
                 Ok((

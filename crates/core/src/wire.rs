@@ -6,8 +6,9 @@
 //! byte counts equal `encode_answer(..).len()` (asserted by tests).
 
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
+use crate::batch::{BatchAnswer, BatchAux, BatchQueryProof};
 use crate::enc::{DecodeError, Decoder, Encoder};
-use crate::methods::full::FullDistanceProof;
+use crate::methods::full::{FullBatchProof, FullDistanceProof, FullRowProof};
 use crate::proof::{Answer, IntegrityProof, SpProof};
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::digest::{Digest, DIGEST_LEN};
@@ -36,6 +37,55 @@ pub fn decode_answer(bytes: &[u8]) -> Result<Answer, DecodeError> {
         path,
         sp,
         integrity,
+    })
+}
+
+/// Encodes a batched answer into bytes.
+pub fn encode_batch_answer(b: &BatchAnswer) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(b.queries.len() as u32);
+    for q in &b.queries {
+        put_path(&mut e, &q.path);
+        e.put_u32(q.members.len() as u32);
+        for m in &q.members {
+            e.put_u32(*m);
+        }
+    }
+    put_tuples(&mut e, &b.pool);
+    put_integrity(&mut e, &b.integrity);
+    put_batch_aux(&mut e, &b.aux);
+    e.into_bytes()
+}
+
+/// Decodes a batched answer from bytes, requiring full consumption.
+pub fn decode_batch_answer(bytes: &[u8]) -> Result<BatchAnswer, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    let k = d.take_u32()? as usize;
+    if k > 1 << 24 {
+        return Err(DecodeError::LengthOverflow(k as u64));
+    }
+    let mut queries = Vec::with_capacity(k);
+    for _ in 0..k {
+        let path = take_path(&mut d)?;
+        let m = d.take_u32()? as usize;
+        if m > 1 << 24 {
+            return Err(DecodeError::LengthOverflow(m as u64));
+        }
+        let mut members = Vec::with_capacity(m);
+        for _ in 0..m {
+            members.push(d.take_u32()?);
+        }
+        queries.push(BatchQueryProof { path, members });
+    }
+    let pool = take_tuples(&mut d)?;
+    let integrity = take_integrity(&mut d)?;
+    let aux = take_batch_aux(&mut d)?;
+    d.finish()?;
+    Ok(BatchAnswer {
+        pool,
+        queries,
+        integrity,
+        aux,
     })
 }
 
@@ -287,6 +337,87 @@ fn take_sp(d: &mut Decoder<'_>) -> Result<SpProof, DecodeError> {
     }
 }
 
+// --- batch aux --------------------------------------------------------
+
+fn put_batch_aux(e: &mut Encoder, aux: &BatchAux) {
+    match aux {
+        BatchAux::Subgraph => e.put_u8(1),
+        BatchAux::Full { proof, signed_root } => {
+            e.put_u8(2);
+            e.put_u32(proof.rows.len() as u32);
+            for row in &proof.rows {
+                e.put_u32(row.source);
+                e.put_u32(row.entries.len() as u32);
+                for entry in &row.entries {
+                    e.put_u64(entry.key);
+                    e.put_f64(entry.value);
+                }
+                put_merkle(e, &row.row_proof);
+            }
+            put_merkle(e, &proof.top_proof);
+            put_signed_root(e, signed_root);
+        }
+        BatchAux::Hyp {
+            hyper,
+            hyper_signed_root,
+            cell_dir,
+            cell_dir_signed_root,
+        } => {
+            e.put_u8(3);
+            put_keyed(e, hyper);
+            put_signed_root(e, hyper_signed_root);
+            put_keyed(e, cell_dir);
+            put_signed_root(e, cell_dir_signed_root);
+        }
+    }
+}
+
+fn take_batch_aux(d: &mut Decoder<'_>) -> Result<BatchAux, DecodeError> {
+    match d.take_u8()? {
+        1 => Ok(BatchAux::Subgraph),
+        2 => {
+            let n = d.take_u32()? as usize;
+            if n > 1 << 24 {
+                return Err(DecodeError::LengthOverflow(n as u64));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let source = d.take_u32()?;
+                let m = d.take_u32()? as usize;
+                if m > 1 << 24 {
+                    return Err(DecodeError::LengthOverflow(m as u64));
+                }
+                let mut entries = Vec::with_capacity(m);
+                for _ in 0..m {
+                    entries.push(KeyedEntry {
+                        key: d.take_u64()?,
+                        value: d.take_f64()?,
+                    });
+                }
+                let row_proof = take_merkle(d)?;
+                rows.push(FullRowProof {
+                    source,
+                    entries,
+                    row_proof,
+                });
+            }
+            let top_proof = take_merkle(d)?;
+            let signed_root = take_signed_root(d)?;
+            Ok(BatchAux::Full {
+                proof: FullBatchProof { rows, top_proof },
+                signed_root,
+            })
+        }
+        3 => Ok(BatchAux::Hyp {
+            hyper: take_keyed(d)?,
+            hyper_signed_root: take_signed_root(d)?,
+            cell_dir: take_keyed(d)?,
+            cell_dir_signed_root: take_signed_root(d)?,
+        }),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
 // --- ΓT -------------------------------------------------------------
 
 fn put_integrity(e: &mut Encoder, i: &IntegrityProof) {
@@ -422,6 +553,81 @@ mod tests {
                 Ok(back) => assert_ne!(back, answer, "flip at {i} aliased"),
             }
         }
+    }
+
+    fn batch_for(method: MethodConfig) -> (Vec<(NodeId, NodeId)>, BatchAnswer, Client) {
+        let g = grid_network(9, 9, 1.15, 1302);
+        let mut rng = StdRng::seed_from_u64(1303);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        let client = Client::new(p.public_key);
+        let provider = ServiceProvider::new(p.package);
+        let queries = vec![
+            (NodeId(0), NodeId(80)),
+            (NodeId(1), NodeId(79)),
+            (NodeId(0), NodeId(40)),
+        ];
+        (
+            queries.clone(),
+            provider.answer_batch(&queries).unwrap(),
+            client,
+        )
+    }
+
+    #[test]
+    fn batch_round_trip_all_methods() {
+        for method in all_methods() {
+            let (_, batch, _) = batch_for(method.clone());
+            let bytes = encode_batch_answer(&batch);
+            let back = decode_batch_answer(&bytes).unwrap();
+            assert_eq!(back, batch, "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn decoded_batches_still_verify() {
+        for method in all_methods() {
+            let (queries, batch, client) = batch_for(method.clone());
+            let bytes = encode_batch_answer(&batch);
+            let back = decode_batch_answer(&bytes).unwrap();
+            let want = client.verify_batch(&queries, &batch).unwrap();
+            let got = client
+                .verify_batch(&queries, &back)
+                .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "{}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_batch_bytes_rejected() {
+        for method in all_methods() {
+            let (_, batch, _) = batch_for(method);
+            let bytes = encode_batch_answer(&batch);
+            for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+                assert!(decode_batch_answer(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(matches!(
+                decode_batch_answer(&long),
+                Err(DecodeError::TrailingBytes(1))
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_batch_aux_tag_rejected() {
+        let (_, batch, _) = batch_for(MethodConfig::Dij);
+        let mut bytes = encode_batch_answer(&batch);
+        // The aux block is the final section; for DIJ it is the single
+        // trailing Subgraph tag byte.
+        assert_eq!(*bytes.last().unwrap(), 1);
+        *bytes.last_mut().unwrap() = 99;
+        assert!(matches!(
+            decode_batch_answer(&bytes),
+            Err(DecodeError::BadTag(99))
+        ));
     }
 
     #[test]

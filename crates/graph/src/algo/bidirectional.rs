@@ -4,14 +4,19 @@
 //! One of the `algosp` choices available to the service provider
 //! (Algorithm 1, Line 1) — the verification framework is agnostic to
 //! how the provider computes the path.
+//!
+//! Runs on this thread's reused pair of
+//! [`SearchWorkspace`](crate::search::SearchWorkspace)s (one per
+//! frontier): repeated queries perform zero per-query `O(|V|)`
+//! allocations once the workspaces have grown to the graph size — the
+//! seed implementation allocated six `O(|V|)` vectors plus two binary
+//! heaps per call.
 
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::ids::NodeId;
-use crate::ofloat::OrderedF64;
 use crate::path::Path;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::search::with_thread_bi_workspace;
 
 /// Point-to-point bidirectional Dijkstra on the undirected graph.
 pub fn bidirectional_path(g: &Graph, source: NodeId, target: NodeId) -> Result<Path, GraphError> {
@@ -21,86 +26,73 @@ pub fn bidirectional_path(g: &Graph, source: NodeId, target: NodeId) -> Result<P
         return Ok(Path::trivial(source));
     }
     let n = g.num_nodes();
-    // Index 0 = forward (from source), 1 = backward (from target).
-    let mut dist = [vec![f64::INFINITY; n], vec![f64::INFINITY; n]];
-    let mut parent: [Vec<Option<NodeId>>; 2] = [vec![None; n], vec![None; n]];
-    let mut settled = [vec![false; n], vec![false; n]];
-    let mut heaps: [BinaryHeap<Reverse<(OrderedF64, u32)>>; 2] =
-        [BinaryHeap::new(), BinaryHeap::new()];
-    dist[0][source.index()] = 0.0;
-    dist[1][target.index()] = 0.0;
-    heaps[0].push(Reverse((OrderedF64::new(0.0), source.0)));
-    heaps[1].push(Reverse((OrderedF64::new(0.0), target.0)));
+    with_thread_bi_workspace(|fwd, bwd| {
+        fwd.begin_manual(n, source);
+        bwd.begin_manual(n, target);
 
-    let mut best = f64::INFINITY;
-    let mut meet: Option<NodeId> = None;
+        let mut best = f64::INFINITY;
+        let mut meet: Option<NodeId> = None;
 
-    loop {
-        // Pick the side with the smaller tentative key.
-        let side = match (heaps[0].peek(), heaps[1].peek()) {
-            (None, None) => break,
-            (Some(_), None) => 0,
-            (None, Some(_)) => 1,
-            (Some(Reverse((a, _))), Some(Reverse((b, _)))) => usize::from(a > b),
-        };
-        let Some(Reverse((OrderedF64(d), v))) = heaps[side].pop() else {
-            break;
-        };
-        let vi = v as usize;
-        if settled[side][vi] || d > dist[side][vi] {
-            continue;
-        }
-        settled[side][vi] = true;
-        // Termination: when the two frontiers' minimum keys sum past the
-        // best meeting distance, no better path can appear.
-        let other_min = heaps[1 - side]
-            .peek()
-            .map(|Reverse((k, _))| k.get())
-            .unwrap_or(f64::INFINITY);
-        if d + other_min >= best && meet.is_some() {
-            break;
-        }
-        for (u, w) in g.neighbors(NodeId(v)) {
-            let ui = u.index();
-            let nd = d + w;
-            if nd < dist[side][ui] {
-                dist[side][ui] = nd;
-                parent[side][ui] = Some(NodeId(v));
-                heaps[side].push(Reverse((OrderedF64::new(nd), u.0)));
+        loop {
+            // Pick the side with the smaller tentative key.
+            let side = match (fwd.peek_key(), bwd.peek_key()) {
+                (None, None) => break,
+                (Some(_), None) => 0,
+                (None, Some(_)) => 1,
+                (Some(a), Some(b)) => usize::from(a > b),
+            };
+            let (this, other) = if side == 0 {
+                (&mut *fwd, &mut *bwd)
+            } else {
+                (&mut *bwd, &mut *fwd)
+            };
+            let Some((v, d)) = this.pop_settle() else {
+                break;
+            };
+            // Termination: when the two frontiers' minimum keys sum past
+            // the best meeting distance, no better path can appear.
+            let other_min = other.peek_key().unwrap_or(f64::INFINITY);
+            if d + other_min >= best && meet.is_some() {
+                break;
             }
-            // Candidate meeting point.
-            let total = dist[0][ui] + dist[1][ui];
-            if total < best {
-                best = total;
-                meet = Some(u);
+            for (u, w) in g.neighbors(NodeId(v)) {
+                let ui = u.index();
+                this.relax(u.0, v, d + w);
+                // Candidate meeting point (tentative distances count).
+                let total = this.current_dist(ui) + other.current_dist(ui);
+                if total < best {
+                    best = total;
+                    meet = Some(u);
+                }
+            }
+            let vi = v as usize;
+            let total_v = this.current_dist(vi) + other.current_dist(vi);
+            if total_v < best {
+                best = total_v;
+                meet = Some(NodeId(v));
             }
         }
-        let total_v = dist[0][vi] + dist[1][vi];
-        if total_v < best {
-            best = total_v;
-            meet = Some(NodeId(v));
-        }
-    }
 
-    let Some(m) = meet else {
-        return Err(GraphError::Unreachable { source, target });
-    };
-    // Stitch the two half-paths at the meeting node.
-    let mut fwd = vec![m];
-    let mut cur = m;
-    while let Some(p) = parent[0][cur.index()] {
-        fwd.push(p);
-        cur = p;
-    }
-    fwd.reverse();
-    let mut cur = m;
-    while let Some(p) = parent[1][cur.index()] {
-        fwd.push(p);
-        cur = p;
-    }
-    Ok(Path {
-        nodes: fwd,
-        distance: best,
+        let Some(m) = meet else {
+            return Err(GraphError::Unreachable { source, target });
+        };
+        // Stitch the two half-paths at the meeting node.
+        let mut nodes = vec![m];
+        let mut cur = m.index();
+        while let Some(p) = fwd.current_parent(cur) {
+            nodes.push(NodeId(p));
+            cur = p as usize;
+        }
+        nodes.reverse();
+        let mut cur = m.index();
+        while let Some(p) = bwd.current_parent(cur) {
+            nodes.push(NodeId(p));
+            cur = p as usize;
+        }
+        Ok(Path {
+            nodes,
+            distance: best,
+        })
     })
 }
 
@@ -145,6 +137,30 @@ mod tests {
             }
         }
         assert!(checked > 0, "geometric graph too disconnected for test");
+    }
+
+    #[test]
+    fn reuse_across_queries_and_graphs() {
+        // The workspace pair is thread-local state: interleaved queries
+        // on different graphs must not leak search state.
+        let g1 = grid_network(10, 10, 1.2, 13);
+        let g2 = random_geometric(60, 3, 14);
+        for _ in 0..3 {
+            for (s, t) in [(0u32, 99u32), (99, 0), (5, 50)] {
+                let want = dijkstra_path(&g1, NodeId(s), NodeId(t)).unwrap();
+                let got = bidirectional_path(&g1, NodeId(s), NodeId(t)).unwrap();
+                assert!((want.distance - got.distance).abs() < 1e-9);
+                assert!(got.distance_consistent(&g1));
+            }
+            match (
+                dijkstra_path(&g2, NodeId(0), NodeId(59)),
+                bidirectional_path(&g2, NodeId(0), NodeId(59)),
+            ) {
+                (Ok(d), Ok(b)) => assert!((d.distance - b.distance).abs() < 1e-9),
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("disagreement on reachability: {x:?} vs {y:?}"),
+            }
+        }
     }
 
     #[test]

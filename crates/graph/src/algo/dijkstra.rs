@@ -7,7 +7,7 @@
 //! hot path that also want to avoid materializing [`SsspResult`]
 //! should hold their own workspace and use its views directly.
 //!
-//! [`reference`] keeps the original fresh-allocation implementation:
+//! [`mod@reference`] keeps the original fresh-allocation implementation:
 //! it is the oracle the workspace implementation is property-tested
 //! against (bit-identical distances/parents) and the baseline the
 //! `search_benches` speedup is measured from.

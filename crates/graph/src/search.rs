@@ -254,6 +254,72 @@ impl SearchWorkspace {
         }
     }
 
+    // --- manually-driven searches ------------------------------------------
+    //
+    // Bidirectional Dijkstra and the arc-flag query need to drive the
+    // pop/relax loop themselves (side alternation, arc pruning). These
+    // crate-internal hooks expose the workspace's stamped state and
+    // indexed heap without giving up its invariants: state mutation
+    // only ever happens through `touch`/`relax`/`pop_settle`.
+
+    /// Starts a manually-driven search seeded at `source` with
+    /// distance 0.
+    pub(crate) fn begin_manual(&mut self, n: usize, source: NodeId) {
+        self.begin(n);
+        let s = source.index();
+        self.touch(s);
+        self.nodes[s].dist = 0.0;
+        self.heap_push_or_decrease(source.0, 0.0);
+    }
+
+    /// Smallest tentative key currently queued, if any.
+    pub(crate) fn peek_key(&self) -> Option<f64> {
+        self.heap.first().map(|e| e.key)
+    }
+
+    /// Pops and settles the nearest queued node, returning
+    /// `(node, dist)`. With decrease-key there are no stale entries:
+    /// every pop is final.
+    pub(crate) fn pop_settle(&mut self) -> Option<(u32, f64)> {
+        let e = self.heap_pop()?;
+        self.nodes[e.node as usize].settled = true;
+        Some((e.node, e.key))
+    }
+
+    /// Relaxes the edge `via → u` with candidate distance `nd`;
+    /// returns whether it improved `u`.
+    pub(crate) fn relax(&mut self, u: u32, via: u32, nd: f64) -> bool {
+        let ui = u as usize;
+        self.touch(ui);
+        let state = self.nodes[ui];
+        if state.settled || nd >= state.dist {
+            return false;
+        }
+        self.nodes[ui].dist = nd;
+        self.nodes[ui].parent = via;
+        self.heap_push_or_decrease(u, nd);
+        true
+    }
+
+    /// Tentative (or settled) distance of `v` in the current search;
+    /// ∞ when untouched.
+    pub(crate) fn current_dist(&self, v: usize) -> f64 {
+        if self.nodes[v].stamp == self.generation {
+            self.nodes[v].dist
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Parent of `v` in the current search tree, if assigned.
+    pub(crate) fn current_parent(&self, v: usize) -> Option<u32> {
+        if self.nodes[v].stamp == self.generation && self.nodes[v].parent != NO_NODE {
+            Some(self.nodes[v].parent)
+        } else {
+            None
+        }
+    }
+
     /// Full single-source Dijkstra; the view borrows this workspace.
     pub fn sssp<'a>(&'a mut self, g: &Graph, source: NodeId) -> SearchView<'a> {
         self.run(g, source, None, f64::INFINITY);
@@ -417,6 +483,8 @@ impl SearchView<'_> {
 
 thread_local! {
     static THREAD_WS: RefCell<SearchWorkspace> = RefCell::new(SearchWorkspace::new());
+    static THREAD_BI_WS: RefCell<(SearchWorkspace, SearchWorkspace)> =
+        RefCell::new((SearchWorkspace::new(), SearchWorkspace::new()));
 }
 
 /// Runs `f` with this thread's shared [`SearchWorkspace`].
@@ -429,6 +497,24 @@ pub fn with_thread_workspace<R>(f: impl FnOnce(&mut SearchWorkspace) -> R) -> R 
     THREAD_WS.with(|cell| match cell.try_borrow_mut() {
         Ok(mut ws) => f(&mut ws),
         Err(_) => f(&mut SearchWorkspace::new()),
+    })
+}
+
+/// Runs `f` with this thread's shared **pair** of workspaces — the
+/// state a two-frontier search needs (bidirectional Dijkstra expands
+/// from both endpoints at once). Distinct from
+/// [`with_thread_workspace`]'s singleton, so a bidirectional search
+/// may itself be nested inside code holding the single workspace.
+/// Re-entrant use falls back to fresh scratch workspaces.
+pub fn with_thread_bi_workspace<R>(
+    f: impl FnOnce(&mut SearchWorkspace, &mut SearchWorkspace) -> R,
+) -> R {
+    THREAD_BI_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut pair) => {
+            let (a, b) = &mut *pair;
+            f(a, b)
+        }
+        Err(_) => f(&mut SearchWorkspace::new(), &mut SearchWorkspace::new()),
     })
 }
 

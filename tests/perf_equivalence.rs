@@ -112,12 +112,14 @@ proptest! {
     }
 
     /// The batch path (parallel by default) proves and verifies exactly
-    /// what the single-query path does, for every method that batches.
+    /// what the single-query path does — for **all four methods**.
     #[test]
-    fn batch_agrees_with_single_query_path(seed in 0u64..400, method_idx in 0usize..2) {
+    fn batch_agrees_with_single_query_path(seed in 0u64..400, method_idx in 0usize..4) {
         let method = match method_idx {
             0 => MethodConfig::Dij,
-            _ => MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+            1 => MethodConfig::Full { use_floyd_warshall: false },
+            2 => MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+            _ => MethodConfig::Hyp { cells: 9 },
         };
         let g = grid_network(7, 7, 1.2, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9A8);
@@ -134,22 +136,33 @@ proptest! {
         let b2 = provider.answer_batch(&queries).unwrap();
         prop_assert_eq!(&b1, &b2, "batch answers must be deterministic");
         let batched = client.verify_batch(&queries, &b1).unwrap();
-        for (&(s, t), &bd) in queries.iter().zip(&batched) {
+        for (qi, (&(s, t), &bd)) in queries.iter().zip(&batched).enumerate() {
             let single = provider.answer(s, t).unwrap();
             let v = client.verify(s, t, &single).unwrap();
-            prop_assert_eq!(v.distance.to_bits(), bd.to_bits(), "({}, {})", s, t);
+            prop_assert_eq!(
+                v.distance.to_bits(), bd.to_bits(),
+                "{} ({}, {})", method.name(), s, t
+            );
             // The batch pool must contain exactly the single answer's
-            // tuples for this query (same Γ either way).
-            let single_ids: Vec<NodeId> =
-                single.sp.tuples().iter().map(|tu| tu.id).collect();
-            let mut batch_ids: Vec<NodeId> = b1.queries
-                [queries.iter().position(|q| *q == (s, t)).unwrap()]
-            .members
-            .iter()
-            .map(|&i| b1.pool[i as usize].id)
-            .collect();
+            // tuples for this query (same Γ either way; HYP ships two
+            // tuple lists, FULL only the reported path's).
+            let mut single_ids: Vec<NodeId> = single
+                .sp
+                .tuples()
+                .iter()
+                .chain(single.sp.extra_tuples())
+                .map(|tu| tu.id)
+                .collect();
+            single_ids.sort();
+            single_ids.dedup();
+            let mut batch_ids: Vec<NodeId> = b1.queries[qi]
+                .members
+                .iter()
+                .map(|&i| b1.pool[i as usize].id)
+                .collect();
             batch_ids.sort();
-            prop_assert_eq!(batch_ids, single_ids);
+            batch_ids.dedup();
+            prop_assert_eq!(batch_ids, single_ids, "{} ({}, {})", method.name(), s, t);
         }
     }
 }

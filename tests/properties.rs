@@ -187,21 +187,32 @@ proptest! {
         prop_assert!(client.verify(NodeId(s), NodeId(t), &back).is_ok());
     }
 
-    /// Batched answers agree with individual answers on every query.
+    /// Batched answers agree with individual answers on every query,
+    /// for every method, and survive a wire round trip.
     #[test]
-    fn batch_matches_individual(seed in 0u64..500) {
+    fn batch_matches_individual(seed in 0u64..500, method_idx in 0usize..4) {
+        let method = match method_idx {
+            0 => MethodConfig::Dij,
+            1 => MethodConfig::Full { use_floyd_warshall: false },
+            2 => MethodConfig::Ldm(LdmConfig { landmarks: 6, ..LdmConfig::default() }),
+            _ => MethodConfig::Hyp { cells: 4 },
+        };
         let g = grid_network(7, 7, 1.2, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
-        let p = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
         let client = Client::new(p.public_key);
         let provider = ServiceProvider::new(p.package);
         let queries = [(NodeId(0), NodeId(48)), (NodeId(1), NodeId(47)), (NodeId(6), NodeId(42))];
         let batch = provider.answer_batch(&queries).unwrap();
-        let batched = client.verify_batch(&queries, &batch).unwrap();
+        let back = spnet_core::wire::decode_batch_answer(
+            &spnet_core::wire::encode_batch_answer(&batch),
+        ).unwrap();
+        prop_assert_eq!(&back, &batch);
+        let batched = client.verify_batch(&queries, &back).unwrap();
         for (&(s, t), d) in queries.iter().zip(&batched) {
             let single = provider.answer(s, t).unwrap();
             let v = client.verify(s, t, &single).unwrap();
-            prop_assert!((v.distance - d).abs() <= 1e-9 * d.max(1.0));
+            prop_assert!((v.distance - d).abs() <= 1e-9 * d.max(1.0), "{}", method.name());
         }
     }
 
