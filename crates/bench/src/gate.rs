@@ -7,9 +7,10 @@
 //!
 //! 1. **Schema** — the baseline must report all four methods
 //!    (DIJ/FULL/LDM/HYP) with non-null `batch_prove_qps` /
-//!    `batch_verify_qps`, and the batch-amortization invariant this
-//!    repo tracks: FULL and HYP batch verify at least their sequential
-//!    verify rate.
+//!    `batch_verify_qps` **and** a non-null `stream_verify_qps`
+//!    (every method must stream), plus the batch-amortization
+//!    invariant this repo tracks: FULL and HYP batch verify at least
+//!    their sequential verify rate.
 //! 2. **Regression** — every qps column of the current run must stay
 //!    within a tolerance of the committed baseline
 //!    (`current ≥ baseline · (1 − tolerance)`). The tolerance defaults
@@ -52,8 +53,11 @@ pub fn tolerance_from_env() -> Result<f64, String> {
 /// writes.
 pub fn parse_baseline(json: &str) -> Result<Vec<MethodThroughput>, String> {
     let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
-    if schema != "spnet-throughput/v1" {
-        return Err(format!("unsupported schema {schema:?}"));
+    if schema != "spnet-throughput/v2" {
+        return Err(format!(
+            "unsupported schema {schema:?} (v1 baselines predate the \
+             streaming column; regenerate with `figures -- throughput`)"
+        ));
     }
     let methods_start = json
         .find("\"methods\"")
@@ -72,6 +76,7 @@ pub fn parse_baseline(json: &str) -> Result<Vec<MethodThroughput>, String> {
             verify_qps: required_num(obj, "verify_qps")?,
             batch_prove_qps: optional_num(obj, "batch_prove_qps")?,
             batch_verify_qps: optional_num(obj, "batch_verify_qps")?,
+            stream_verify_qps: optional_num(obj, "stream_verify_qps")?,
         });
         rest = &rest[open + close + 1..];
     }
@@ -144,6 +149,13 @@ pub fn schema_violations(methods: &[MethodThroughput], require_amortization: boo
                 "{want}: null batch_prove_qps/batch_verify_qps (all methods must batch)"
             )),
         }
+        match m.stream_verify_qps {
+            Some(sv) if positive(sv) => {}
+            Some(_) => violations.push(format!("{want}: non-positive stream_verify_qps")),
+            None => violations.push(format!(
+                "{want}: null stream_verify_qps (all methods must stream)"
+            )),
+        }
     }
     violations
 }
@@ -193,18 +205,24 @@ pub fn compare(
     let mut lines = Vec::new();
     for b in baseline {
         let cur = current.iter().find(|m| m.method == b.method);
-        let columns: [(&str, Option<f64>, Option<f64>); 4] = match cur {
+        let columns: [(&str, Option<f64>, Option<f64>); 5] = match cur {
             Some(c) => [
                 ("prove_qps", Some(b.prove_qps), Some(c.prove_qps)),
                 ("verify_qps", Some(b.verify_qps), Some(c.verify_qps)),
                 ("batch_prove_qps", b.batch_prove_qps, c.batch_prove_qps),
                 ("batch_verify_qps", b.batch_verify_qps, c.batch_verify_qps),
+                (
+                    "stream_verify_qps",
+                    b.stream_verify_qps,
+                    c.stream_verify_qps,
+                ),
             ],
             None => [
                 ("prove_qps", Some(b.prove_qps), None),
                 ("verify_qps", Some(b.verify_qps), None),
                 ("batch_prove_qps", b.batch_prove_qps, None),
                 ("batch_verify_qps", b.batch_verify_qps, None),
+                ("stream_verify_qps", b.stream_verify_qps, None),
             ],
         };
         for (name, base, cur) in columns {
@@ -243,13 +261,14 @@ pub fn gate_report(
 mod tests {
     use super::*;
 
-    fn method(name: &str, qps: [f64; 4]) -> MethodThroughput {
+    fn method(name: &str, qps: [f64; 5]) -> MethodThroughput {
         MethodThroughput {
             method: name.to_string(),
             prove_qps: qps[0],
             verify_qps: qps[1],
             batch_prove_qps: Some(qps[2]),
             batch_verify_qps: Some(qps[3]),
+            stream_verify_qps: Some(qps[4]),
         }
     }
 
@@ -261,10 +280,10 @@ mod tests {
             parallel: true,
             threads: 4,
             methods: vec![
-                method("DIJ", [4000.0, 450.0, 4100.0, 3700.0]),
-                method("FULL", [600.0, 950.0, 700.0, 2000.0]),
-                method("LDM", [2900.0, 430.0, 3000.0, 5300.0]),
-                method("HYP", [8800.0, 520.0, 9000.0, 4000.0]),
+                method("DIJ", [4000.0, 450.0, 4100.0, 3700.0, 2500.0]),
+                method("FULL", [600.0, 950.0, 700.0, 2000.0, 1800.0]),
+                method("LDM", [2900.0, 430.0, 3000.0, 5300.0, 3200.0]),
+                method("HYP", [8800.0, 520.0, 9000.0, 4000.0, 3300.0]),
             ],
         }
     }
@@ -280,6 +299,7 @@ mod tests {
             assert_eq!(p.verify_qps, m.verify_qps);
             assert_eq!(p.batch_prove_qps, m.batch_prove_qps);
             assert_eq!(p.batch_verify_qps, m.batch_verify_qps);
+            assert_eq!(p.stream_verify_qps, m.stream_verify_qps);
         }
     }
 
@@ -297,7 +317,22 @@ mod tests {
     fn parser_rejects_garbage() {
         assert!(parse_baseline("").is_err());
         assert!(parse_baseline("{\"schema\": \"other/v9\"}").is_err());
+        assert!(parse_baseline("{\"schema\": \"spnet-throughput/v2\"}").is_err());
+        // Pre-streaming baselines must be regenerated, not half-parsed.
         assert!(parse_baseline("{\"schema\": \"spnet-throughput/v1\"}").is_err());
+    }
+
+    #[test]
+    fn schema_flags_null_stream_column() {
+        let mut methods = full_report().methods;
+        methods[2].stream_verify_qps = None;
+        let v = schema_violations(&methods, false);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("LDM") && v[0].contains("stream"), "{v:?}");
+        methods[2].stream_verify_qps = Some(0.0);
+        let v = schema_violations(&methods, false);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("non-positive stream"), "{v:?}");
     }
 
     #[test]
@@ -335,7 +370,7 @@ mod tests {
         current[0].prove_qps = 3000.0; // -25% of 4000: within 30%
         current[2].verify_qps = 200.0; // -53% of 430: beyond 30%
         let lines = compare(&baseline, &current, 0.30);
-        assert_eq!(lines.len(), 16, "4 methods x 4 columns");
+        assert_eq!(lines.len(), 20, "4 methods x 5 columns");
         let failing: Vec<&GateLine> = lines.iter().filter(|l| !l.ok).collect();
         assert_eq!(failing.len(), 1);
         assert_eq!(failing[0].metric, "LDM verify_qps");

@@ -10,7 +10,11 @@
 //!   through the pooled batch path (all four methods), which shares
 //!   tuples, Merkle covers, signed roots and method hint proofs across
 //!   queries and fans out over threads when the `parallel` feature is
-//!   on.
+//!   on,
+//! * `stream_verify_qps` — client-side verification of the same
+//!   workload arriving as encoded stream frames (header + pooled
+//!   chunks + end), i.e. decode + batched verify per chunk through
+//!   `spnet_core::stream::StreamVerifier`.
 //!
 //! Results are printed as a table and written to
 //! `BENCH_throughput.json` so successive PRs can diff the trajectory.
@@ -26,11 +30,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
+use spnet_core::stream::StreamVerifier;
 use spnet_core::Client;
 use spnet_graph::workload::make_workload;
 use spnet_graph::NodeId;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Queries per pooled stream chunk in the streaming-verify
+/// measurement.
+const STREAM_CHUNK_LEN: usize = 16;
 
 /// Throughput measurements for one method.
 #[derive(Debug, Clone)]
@@ -47,6 +56,10 @@ pub struct MethodThroughput {
     /// Batched verifications per second (None only in historical
     /// baselines — every method batches now).
     pub batch_verify_qps: Option<f64>,
+    /// Streaming verifications per second — frame decode + chunked
+    /// batch verify (None only in historical baselines — every method
+    /// streams now).
+    pub stream_verify_qps: Option<f64>,
 }
 
 /// The full experiment output.
@@ -121,22 +134,44 @@ pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
             }
         });
 
+        // The raw batch entry points stay measured until removal (the
+        // session facade routes through the same engines).
+        #[allow(deprecated)]
         let bp = measure_qps(pairs.len(), 400, || {
             std::hint::black_box(provider.answer_batch(&pairs).expect("batch"));
         });
+        #[allow(deprecated)]
         let batch = provider.answer_batch(&pairs).expect("batch");
+        #[allow(deprecated)]
         let bv = measure_qps(pairs.len(), 400, || {
             std::hint::black_box(client.verify_batch(&pairs, &batch).expect("honest batch"));
         });
         let (batch_prove_qps, batch_verify_qps) = (Some(bp), Some(bv));
 
+        // Streaming verify: the same workload as encoded frames
+        // (header + pooled chunks + end); the client decodes and
+        // batch-verifies chunk by chunk.
+        let frames: Vec<Vec<u8>> = provider
+            .answer_stream(&pairs, STREAM_CHUNK_LEN)
+            .collect::<Result<_, _>>()
+            .expect("stream frames");
+        let sv = measure_qps(pairs.len(), 400, || {
+            let mut verifier = StreamVerifier::new(&client, &pairs);
+            for f in &frames {
+                std::hint::black_box(verifier.feed(f).expect("honest stream"));
+            }
+            verifier.finish().expect("complete stream");
+        });
+        let stream_verify_qps = Some(sv);
+
         eprintln!(
-            "[throughput] {}: prove {:.0}/s verify {:.0}/s batch {:?}/{:?}",
+            "[throughput] {}: prove {:.0}/s verify {:.0}/s batch {:?}/{:?} stream {:?}",
             method.name(),
             prove_qps,
             verify_qps,
             batch_prove_qps.map(|v| v as u64),
             batch_verify_qps.map(|v| v as u64),
+            stream_verify_qps.map(|v| v as u64),
         );
         methods.push(MethodThroughput {
             method: method.name().to_string(),
@@ -144,6 +179,7 @@ pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
             verify_qps,
             batch_prove_qps,
             batch_verify_qps,
+            stream_verify_qps,
         });
     }
     ThroughputReport {
@@ -174,6 +210,7 @@ impl ThroughputReport {
                 "verify q/s",
                 "batch prove q/s",
                 "batch verify q/s",
+                "stream verify q/s",
             ],
         );
         for m in &self.methods {
@@ -183,6 +220,7 @@ impl ThroughputReport {
                 fmt_f(m.verify_qps),
                 m.batch_prove_qps.map_or("-".into(), fmt_f),
                 m.batch_verify_qps.map_or("-".into(), fmt_f),
+                m.stream_verify_qps.map_or("-".into(), fmt_f),
             ]);
         }
         t
@@ -200,7 +238,7 @@ impl ThroughputReport {
         }
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"spnet-throughput/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"spnet-throughput/v2\",");
         let _ = writeln!(s, "  \"num_nodes\": {},", self.num_nodes);
         let _ = writeln!(s, "  \"num_edges\": {},", self.num_edges);
         let _ = writeln!(s, "  \"queries\": {},", self.queries);
@@ -212,12 +250,14 @@ impl ThroughputReport {
             let _ = writeln!(
                 s,
                 "    {{\"method\": \"{}\", \"prove_qps\": {}, \"verify_qps\": {}, \
-                 \"batch_prove_qps\": {}, \"batch_verify_qps\": {}}}{}",
+                 \"batch_prove_qps\": {}, \"batch_verify_qps\": {}, \
+                 \"stream_verify_qps\": {}}}{}",
                 m.method,
                 num(m.prove_qps),
                 num(m.verify_qps),
                 m.batch_prove_qps.map_or("null".into(), num),
                 m.batch_verify_qps.map_or("null".into(), num),
+                m.stream_verify_qps.map_or("null".into(), num),
                 comma
             );
         }
@@ -268,9 +308,11 @@ mod tests {
             assert!(m.verify_qps > 0.0, "{}", m.method);
             assert!(m.batch_prove_qps.unwrap() > 0.0, "{}", m.method);
             assert!(m.batch_verify_qps.unwrap() > 0.0, "{}", m.method);
+            assert!(m.stream_verify_qps.unwrap() > 0.0, "{}", m.method);
         }
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"spnet-throughput/v1\""));
+        assert!(json.contains("\"schema\": \"spnet-throughput/v2\""));
+        assert!(json.contains("\"stream_verify_qps\""));
         assert!(json.contains("\"DIJ\""));
     }
 }

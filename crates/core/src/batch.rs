@@ -34,17 +34,17 @@ use crate::ads::SignedRoot;
 use crate::client::check_reported_path;
 use crate::error::{ProviderError, VerifyError};
 use crate::methods::full::FullBatchProof;
-use crate::methods::{dij, hyp, ldm, MethodParams};
-use crate::owner::MethodHints;
+use crate::methods::hyp::CellGraphCache;
+use crate::methods::MethodParams;
 use crate::proof::IntegrityProof;
 use crate::provider::ServiceProvider;
 use crate::tuple::ExtendedTuple;
 use crate::Client;
 use spnet_crypto::digest::Digest;
-use spnet_crypto::mbtree::{composite_key, KeyedProof};
+use spnet_crypto::mbtree::KeyedProof;
 use spnet_graph::algo::dijkstra_path;
 use spnet_graph::{NodeId, Path};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::par::{map_jobs, map_jobs_indexed};
@@ -146,12 +146,28 @@ impl ServiceProvider {
     /// Per-query search and Γ assembly fan out over threads (each
     /// reusing its thread's search workspace) when the `parallel`
     /// feature is on; the pooled result is identical either way.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open an `SpService` session and use `Session::query_batch` \
+                or `Session::query_stream` — the facade pins the signed \
+                epoch root and surfaces updates as session invalidation"
+    )]
     pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, ProviderError> {
+        self.answer_batch_impl(queries)
+    }
+
+    /// The batch-proving engine behind [`Self::answer_batch`] and the
+    /// session/stream facades.
+    pub(crate) fn answer_batch_impl(
+        &self,
+        queries: &[(NodeId, NodeId)],
+    ) -> Result<BatchAnswer, ProviderError> {
         if queries.is_empty() {
             return Err(ProviderError::ProofAssembly("empty batch".into()));
         }
         let g = &self.package.graph;
         let ads = &self.package.ads;
+        let method = self.package.hints.method();
         // Per-query path + covered node set, in parallel.
         let solved = map_jobs(
             queries,
@@ -165,29 +181,7 @@ impl ServiceProvider {
                     source: vs,
                     target: vt,
                 })?;
-                let nodes = match &self.package.hints {
-                    MethodHints::Dij => dij::gamma_nodes(g, vs, path.distance),
-                    MethodHints::Ldm(h) => ldm::gamma_nodes(g, h, vs, vt, path.distance),
-                    // FULL proves the optimum from the distance tree;
-                    // the pool only authenticates the reported path.
-                    MethodHints::Full { .. } => path.nodes.clone(),
-                    // HYP: the full source/target cells plus reported-
-                    // path nodes outside them (same set the single-
-                    // query proof ships).
-                    MethodHints::Hyp { hints, .. } => {
-                        let coarse = hints.coarse_nodes(vs, vt);
-                        let coarse_set: BTreeSet<NodeId> = coarse.iter().copied().collect();
-                        coarse
-                            .into_iter()
-                            .chain(
-                                path.nodes
-                                    .iter()
-                                    .copied()
-                                    .filter(|v| !coarse_set.contains(v)),
-                            )
-                            .collect()
-                    }
-                };
+                let nodes = method.batch_members(&self.package, vs, vt, &path);
                 Ok((path, nodes))
             },
         );
@@ -221,7 +215,7 @@ impl ServiceProvider {
             merkle,
             signed_root: self.package.network_root.clone(),
         };
-        let aux = self.build_batch_aux(queries)?;
+        let aux = method.prove_batch(&self.package, queries)?;
         let queries_out = gammas
             .into_iter()
             .map(|(path, nodes)| BatchQueryProof {
@@ -236,74 +230,63 @@ impl ServiceProvider {
             aux,
         })
     }
-
-    /// Assembles the method-specific pooled hint proofs.
-    fn build_batch_aux(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAux, ProviderError> {
-        let g = &self.package.graph;
-        match &self.package.hints {
-            MethodHints::Dij | MethodHints::Ldm(_) => Ok(BatchAux::Subgraph),
-            MethodHints::Full {
-                ads: dads,
-                signed_root,
-                ..
-            } => Ok(BatchAux::Full {
-                proof: dads.prove_batch(g, queries),
-                signed_root: signed_root.clone(),
-            }),
-            MethodHints::Hyp {
-                hints,
-                hyper_signed,
-                cell_dir_signed,
-            } => {
-                let keys = hints.batch_hyper_keys(queries);
-                let hyper = match &hints.hyper_tree {
-                    Some(t) => t
-                        .prove_keys(&keys)
-                        .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?,
-                    None => KeyedProof {
-                        entries: vec![],
-                        positions: vec![],
-                        merkle: spnet_crypto::merkle::MerkleProof {
-                            entries: vec![],
-                            leaf_count: 0,
-                            fanout: self.package.ads.fanout() as u32,
-                        },
-                    },
-                };
-                let cell_dir = hints
-                    .cell_dir
-                    .prove_keys(&hints.batch_dir_keys(queries))
-                    .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
-                Ok(BatchAux::Hyp {
-                    hyper,
-                    hyper_signed_root: hyper_signed.clone(),
-                    cell_dir,
-                    cell_dir_signed_root: cell_dir_signed.clone(),
-                })
-            }
-        }
-    }
 }
 
-/// Per-batch verified hint context, built once from [`BatchAux`] and
-/// then consulted by every per-query job.
-enum AuxContext<'a> {
+/// Per-batch verified hint context, built once by
+/// [`AuthMethod::verify_batch_aux`](crate::methods::AuthMethod::verify_batch_aux)
+/// and then consulted by every per-query job.
+#[derive(Debug)]
+pub enum AuxContext<'a> {
+    /// DIJ / LDM: the pooled subgraph tuples are the whole ΓS.
     Subgraph,
     /// FULL: authenticated distances keyed by `composite_key(vs, vt)`.
     Full(HashMap<u64, f64>),
     /// HYP: the (already root/signature-checked) shared proofs.
     Hyp {
+        /// The verified hyper-edge membership proof.
         hyper: &'a KeyedProof,
+        /// The verified cell-directory membership proof.
         cell_dir: &'a KeyedProof,
     },
 }
 
+/// Per-batch verifier scratch state, created once per
+/// `verify_batch`/stream-chunk call and shared (behind internal locks)
+/// by every per-query verification job of that batch.
+#[derive(Debug, Default)]
+pub struct BatchVerifyState {
+    /// HYP: cache of in-cell CSR remaps — endpoints of different
+    /// queries that share a cell reuse one authenticated cell subgraph
+    /// instead of rebuilding it per endpoint.
+    pub(crate) hyp_cells: CellGraphCache,
+}
+
 impl Client {
     /// Verifies a batched answer; returns the proven optimum per query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open an `SpService` session and use `Session::query_batch` \
+                or `Session::query_stream` — the facade verifies the signed \
+                epoch root once at open and pins it per answer"
+    )]
     pub fn verify_batch(
         &self,
         queries: &[(NodeId, NodeId)],
         batch: &BatchAnswer,
+    ) -> Result<Vec<f64>, VerifyError> {
+        self.verify_batch_impl(queries, batch, None)
+    }
+
+    /// The batch-verification engine behind [`Self::verify_batch`] and
+    /// the session/stream facades. With `pinned` the caller vouches it
+    /// already RSA-verified that exact signed root (once, at session
+    /// open): the batch root must then be byte-identical, and the
+    /// signature check is skipped.
+    pub(crate) fn verify_batch_impl(
+        &self,
+        queries: &[(NodeId, NodeId)],
+        batch: &BatchAnswer,
+        pinned: Option<&SignedRoot>,
     ) -> Result<Vec<f64>, VerifyError> {
         if queries.len() != batch.queries.len() {
             return Err(VerifyError::MalformedIntegrityProof(format!(
@@ -313,8 +296,19 @@ impl Client {
             )));
         }
         // Shared ΓT: authenticate the pool once.
-        if !batch.integrity.signed_root.verify(self.public_key()) {
-            return Err(VerifyError::BadSignature);
+        match pinned {
+            Some(root) => {
+                if batch.integrity.signed_root != *root {
+                    return Err(VerifyError::MetaMismatch(
+                        "signed root differs from pinned session root",
+                    ));
+                }
+            }
+            None => {
+                if !batch.integrity.signed_root.verify(self.public_key()) {
+                    return Err(VerifyError::BadSignature);
+                }
+            }
         }
         let params = MethodParams::decode(&batch.integrity.signed_root.meta.params)
             .map_err(|_| VerifyError::MetaMismatch("undecodable method params"))?;
@@ -338,7 +332,9 @@ impl Client {
             return Err(VerifyError::RootMismatch);
         }
         // Method aux: authenticate the pooled hint proofs once.
-        let ctx = self.verify_batch_aux(&params, &batch.aux)?;
+        let method = params.method();
+        let ctx = method.verify_batch_aux(self.public_key(), &params, &batch.aux)?;
+        let state = BatchVerifyState::default();
         // Per query: build the member map and re-run the verification —
         // one independent job per query, fanned out over threads.
         let outcomes = map_jobs_indexed(queries, |qi, &(vs, vt)| -> Result<f64, VerifyError> {
@@ -353,72 +349,20 @@ impl Client {
                     ))?;
                 map.insert(t.id, &**t);
             }
-            let proven = match (&params, &ctx) {
-                (MethodParams::Dij, AuxContext::Subgraph) => {
-                    dij::verify_subgraph_dijkstra(&map, vs, vt)?
-                }
-                (MethodParams::Ldm { lambda }, AuxContext::Subgraph) => {
-                    ldm::verify_subgraph_astar(&map, vs, vt, *lambda)?
-                }
-                (MethodParams::Full, AuxContext::Full(dists)) => *dists
-                    .get(&composite_key(vs.0, vt.0))
-                    .ok_or(VerifyError::MissingDistanceKey { a: vs, b: vt })?,
-                (MethodParams::Hyp, AuxContext::Hyp { hyper, cell_dir }) => {
-                    hyp::verify_hyp(&map, hyper, cell_dir, vs, vt)?
-                }
-                _ => unreachable!("verify_batch_aux checked the pairing"),
-            };
+            let proven = method.verify_batch_query(&params, &ctx, &state, &map, vs, vt)?;
             // Path checks against the authenticated pool.
             check_reported_path(&map, vs, vt, &q.path, proven)?;
             Ok(proven)
         });
         outcomes.into_iter().collect()
     }
-
-    /// Authenticates the batch's pooled hint proofs (signatures + Merkle
-    /// roots) once and returns the context per-query jobs read.
-    fn verify_batch_aux<'a>(
-        &self,
-        params: &MethodParams,
-        aux: &'a BatchAux,
-    ) -> Result<AuxContext<'a>, VerifyError> {
-        match (params, aux) {
-            (MethodParams::Dij | MethodParams::Ldm { .. }, BatchAux::Subgraph) => {
-                Ok(AuxContext::Subgraph)
-            }
-            (MethodParams::Full, BatchAux::Full { proof, signed_root }) => {
-                if !signed_root.verify(self.public_key()) {
-                    return Err(VerifyError::BadSignature);
-                }
-                Ok(AuxContext::Full(proof.verify(&signed_root.root)?))
-            }
-            (
-                MethodParams::Hyp,
-                BatchAux::Hyp {
-                    hyper,
-                    hyper_signed_root,
-                    cell_dir,
-                    cell_dir_signed_root,
-                },
-            ) => {
-                hyp::verify_hyp_aux(
-                    self.public_key(),
-                    hyper,
-                    hyper_signed_root,
-                    cell_dir,
-                    cell_dir_signed_root,
-                )?;
-                Ok(AuxContext::Hyp { hyper, cell_dir })
-            }
-            _ => Err(VerifyError::MetaMismatch(
-                "batch proof shape does not match signed method",
-            )),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated raw batch entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::methods::{LdmConfig, MethodConfig};
     use crate::owner::{DataOwner, SetupConfig};

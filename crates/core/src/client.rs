@@ -9,8 +9,9 @@
 //!    ends at `vt`, and its summed weight equals both its claimed
 //!    distance and the proven optimum.
 
+use crate::ads::SignedRoot;
 use crate::error::VerifyError;
-use crate::methods::{dij, full::FullDistanceProof, hyp, ldm, MethodParams};
+use crate::methods::MethodParams;
 use crate::proof::{Answer, IntegrityProof, SpProof};
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::digest::Digest;
@@ -45,78 +46,66 @@ impl Client {
 
     /// Verifies a provider answer for query `(vs, vt)`.
     pub fn verify(&self, vs: NodeId, vt: NodeId, answer: &Answer) -> Result<Verified, VerifyError> {
+        self.verify_impl(vs, vt, answer, None)
+    }
+
+    /// Like [`Self::verify`], but against a signed root this client has
+    /// already RSA-verified (once, e.g. at session open): the answer's
+    /// root must be byte-identical to `pinned`, and the per-answer
+    /// signature check is skipped. An answer signed for a *different*
+    /// epoch — even legitimately, by the same owner — is rejected,
+    /// which is what turns owner updates into explicit session
+    /// invalidation instead of silently accepted stale roots.
+    pub fn verify_pinned(
+        &self,
+        vs: NodeId,
+        vt: NodeId,
+        answer: &Answer,
+        pinned: &SignedRoot,
+    ) -> Result<Verified, VerifyError> {
+        self.verify_impl(vs, vt, answer, Some(pinned))
+    }
+
+    fn verify_impl(
+        &self,
+        vs: NodeId,
+        vt: NodeId,
+        answer: &Answer,
+        pinned: Option<&SignedRoot>,
+    ) -> Result<Verified, VerifyError> {
         // --- ΓT: authenticate every shipped tuple. ---------------------
-        if !answer.integrity.signed_root.verify(&self.public_key) {
-            return Err(VerifyError::BadSignature);
+        match pinned {
+            Some(root) => {
+                if answer.integrity.signed_root != *root {
+                    return Err(VerifyError::MetaMismatch(
+                        "signed root differs from pinned session root",
+                    ));
+                }
+            }
+            None => {
+                if !answer.integrity.signed_root.verify(&self.public_key) {
+                    return Err(VerifyError::BadSignature);
+                }
+            }
         }
         let params = MethodParams::decode(&answer.integrity.signed_root.meta.params)
             .map_err(|_| VerifyError::MetaMismatch("undecodable method params"))?;
-        self.check_method_matches(&params, &answer.sp)?;
+        // Signed method code must match the proof's shape — prevents a
+        // malicious provider from downgrading the verification method.
+        let method = params.method();
+        if !method.matches_proof(&answer.sp) {
+            return Err(VerifyError::MetaMismatch(
+                "proof shape does not match signed method",
+            ));
+        }
         let tuples = self.verify_integrity(&answer.integrity, &answer.sp)?;
 
-        // --- ΓS: recompute the optimum. --------------------------------
-        let proven = match (&answer.sp, &params) {
-            (SpProof::Subgraph { .. }, MethodParams::Dij) => {
-                dij::verify_subgraph_dijkstra(&tuples, vs, vt)?
-            }
-            (SpProof::Subgraph { .. }, MethodParams::Ldm { lambda }) => {
-                ldm::verify_subgraph_astar(&tuples, vs, vt, *lambda)?
-            }
-            (
-                SpProof::Distance {
-                    full, signed_root, ..
-                },
-                MethodParams::Full,
-            ) => self.verify_full(full, signed_root, vs, vt)?,
-            (
-                SpProof::Hyp {
-                    hyper,
-                    hyper_signed_root,
-                    cell_dir,
-                    cell_dir_signed_root,
-                    ..
-                },
-                MethodParams::Hyp,
-            ) => {
-                // Authenticate both auxiliary structures first.
-                hyp::verify_hyp_aux(
-                    &self.public_key,
-                    hyper,
-                    hyper_signed_root,
-                    cell_dir,
-                    cell_dir_signed_root,
-                )?;
-                hyp::verify_hyp(&tuples, hyper, cell_dir, vs, vt)?
-            }
-            _ => {
-                return Err(VerifyError::MetaMismatch(
-                    "proof shape does not match method",
-                ))
-            }
-        };
+        // --- ΓS: recompute the optimum (trait-dispatched). -------------
+        let proven = method.verify(&self.public_key, &params, &answer.sp, &tuples, vs, vt)?;
 
         // --- P_rslt: authenticate the reported path itself. ------------
-        self.verify_path(&tuples, vs, vt, answer, proven)?;
+        check_reported_path(&tuples, vs, vt, &answer.path, proven)?;
         Ok(Verified { distance: proven })
-    }
-
-    /// Signed method code must match the proof's shape — prevents a
-    /// malicious provider from downgrading the verification method.
-    fn check_method_matches(&self, params: &MethodParams, sp: &SpProof) -> Result<(), VerifyError> {
-        let ok = matches!(
-            (params, sp),
-            (MethodParams::Dij, SpProof::Subgraph { .. })
-                | (MethodParams::Ldm { .. }, SpProof::Subgraph { .. })
-                | (MethodParams::Full, SpProof::Distance { .. })
-                | (MethodParams::Hyp, SpProof::Hyp { .. })
-        );
-        if ok {
-            Ok(())
-        } else {
-            Err(VerifyError::MetaMismatch(
-                "proof shape does not match signed method",
-            ))
-        }
     }
 
     /// Reconstructs the network root from all shipped tuples and the ΓT
@@ -156,33 +145,6 @@ impl Client {
             map.insert(t.id, t);
         }
         Ok(map)
-    }
-
-    /// FULL's ΓS: signature + two-level Merkle path + key binding.
-    fn verify_full(
-        &self,
-        full: &FullDistanceProof,
-        signed_root: &crate::ads::SignedRoot,
-        vs: NodeId,
-        vt: NodeId,
-    ) -> Result<f64, VerifyError> {
-        if !signed_root.verify(&self.public_key) {
-            return Err(VerifyError::BadSignature);
-        }
-        full.verify(vs, vt, &signed_root.root)
-    }
-
-    /// Checks the reported path against the authenticated tuples and
-    /// the proven optimum.
-    fn verify_path(
-        &self,
-        tuples: &HashMap<NodeId, &ExtendedTuple>,
-        vs: NodeId,
-        vt: NodeId,
-        answer: &Answer,
-        proven: f64,
-    ) -> Result<(), VerifyError> {
-        check_reported_path(tuples, vs, vt, &answer.path, proven)
     }
 }
 

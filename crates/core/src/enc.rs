@@ -17,6 +17,10 @@ pub enum DecodeError {
     TrailingBytes(usize),
     /// An enum discriminant was invalid.
     BadTag(u8),
+    /// The payload declares a wire format version this build does not
+    /// speak (see [`crate::wire::WIRE_VERSION`]) — distinct from
+    /// truncation so peers can negotiate instead of retrying.
+    UnsupportedVersion(u8),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -31,6 +35,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} too large"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
             DecodeError::BadTag(t) => write!(f, "invalid discriminant {t}"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire format version {v}")
+            }
         }
     }
 }

@@ -19,6 +19,10 @@
 //!
 //! # Quickstart
 //!
+//! The [`service::SpService`] facade is the front door: a session
+//! authenticates the published epoch once, then serves verified
+//! answers — one at a time, batched, or streamed.
+//!
 //! ```
 //! use spnet_core::prelude::*;
 //! use spnet_graph::gen::grid_network;
@@ -32,15 +36,31 @@
 //! let cfg = SetupConfig::default();
 //! let published = DataOwner::publish(&graph, &MethodConfig::Dij, &cfg, &mut rng);
 //!
-//! // The provider answers a query with a proof.
-//! let provider = ServiceProvider::new(published.package);
-//! let answer = provider.answer(NodeId(0), NodeId(63)).unwrap();
+//! // The (untrusted) provider serves through the session facade.
+//! let service = SpService::new(published.package);
+//! let session = service
+//!     .open_session(Client::new(published.public_key))
+//!     .expect("signed epoch authenticates");
 //!
-//! // The client verifies it against the owner's public key alone.
-//! let client = Client::new(published.public_key);
-//! let verified = client.verify(NodeId(0), NodeId(63), &answer).unwrap();
-//! assert!((verified.distance - answer.path.distance).abs() < 1e-6);
+//! // Single verified query…
+//! let answer = session.query(NodeId(0), NodeId(63)).unwrap();
+//! assert!(answer.distance > 0.0);
+//!
+//! // …and a streamed batch, verified chunk by chunk.
+//! let queries = [(NodeId(0), NodeId(63)), (NodeId(1), NodeId(62))];
+//! let verified: Vec<_> = session
+//!     .query_stream(&queries)
+//!     .collect::<Result<Vec<_>, _>>()
+//!     .unwrap()
+//!     .into_iter()
+//!     .flatten()
+//!     .collect();
+//! assert_eq!(verified.len(), queries.len());
 //! ```
+//!
+//! The lower-level role APIs ([`DataOwner`], [`ServiceProvider`],
+//! [`Client`]) remain available; all of them — and the facade — serve
+//! every method through its [`methods::AuthMethod`] trait object.
 
 pub mod ads;
 pub mod batch;
@@ -53,6 +73,8 @@ pub mod owner;
 pub(crate) mod par;
 pub mod proof;
 pub mod provider;
+pub mod service;
+pub mod stream;
 pub mod tamper;
 pub mod tuple;
 pub mod update;
@@ -66,10 +88,12 @@ pub const PARALLEL_ENABLED: bool = cfg!(feature = "parallel");
 pub mod prelude {
     pub use crate::client::{Client, Verified};
     pub use crate::error::VerifyError;
-    pub use crate::methods::{LdmConfig, MethodConfig};
+    pub use crate::methods::{AuthMethod, LdmConfig, MethodConfig};
     pub use crate::owner::{DataOwner, Published, SetupConfig};
     pub use crate::proof::{Answer, ProofStats};
     pub use crate::provider::ServiceProvider;
+    pub use crate::service::{Session, SessionAnswer, SessionError, SpService};
+    pub use crate::stream::{StreamError, StreamVerifier, VerifiedItem};
 }
 
 pub use prelude::*;

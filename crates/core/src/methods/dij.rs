@@ -5,13 +5,128 @@
 //! the client re-runs Dijkstra on that subgraph and checks the optimum
 //! matches the reported path's length.
 
-use crate::error::VerifyError;
+use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::error::{ProviderError, VerifyError};
+use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap};
+use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
+use crate::proof::SpProof;
 use crate::tuple::ExtendedTuple;
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::ofloat::OrderedF64;
 use spnet_graph::search::with_thread_workspace;
-use spnet_graph::{Graph, NodeId};
+use spnet_graph::{Graph, NodeId, Path};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// DIJ's [`AuthMethod`] implementation: no pre-computed hints, the
+/// Lemma 1 ball as ΓS, client-side subgraph Dijkstra as verification.
+/// The only method supporting in-place edge-weight updates (its sole
+/// authenticated state is the network Merkle tree).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DijMethod;
+
+impl AuthMethod for DijMethod {
+    fn name(&self) -> &'static str {
+        "DIJ"
+    }
+
+    fn params_code(&self) -> u8 {
+        1
+    }
+
+    fn build_hints(
+        &self,
+        _g: &Graph,
+        _config: &MethodConfig,
+        _setup: &SetupConfig,
+        _keypair: &RsaKeyPair,
+    ) -> (MethodHints, MethodParams) {
+        (MethodHints::Dij, MethodParams::Dij)
+    }
+
+    fn make_tuple(&self, g: &Graph, v: NodeId, _hints: &MethodHints) -> ExtendedTuple {
+        ExtendedTuple::base(g, v)
+    }
+
+    fn supports_incremental_update(&self) -> bool {
+        true
+    }
+
+    fn prove(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        _vt: NodeId,
+        path: &Path,
+    ) -> Result<(SpProof, Vec<NodeId>), ProviderError> {
+        let nodes = gamma_nodes(&pkg.graph, vs, path.distance);
+        let tuples: Vec<Arc<ExtendedTuple>> =
+            nodes.iter().map(|&v| pkg.ads.tuple_shared(v)).collect();
+        Ok((SpProof::Subgraph { tuples }, nodes))
+    }
+
+    fn batch_members(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        _vt: NodeId,
+        path: &Path,
+    ) -> Vec<NodeId> {
+        gamma_nodes(&pkg.graph, vs, path.distance)
+    }
+
+    fn prove_batch(
+        &self,
+        _pkg: &ProviderPackage,
+        _queries: &[(NodeId, NodeId)],
+    ) -> Result<BatchAux, ProviderError> {
+        // The pooled subgraph tuples are the whole ΓS.
+        Ok(BatchAux::Subgraph)
+    }
+
+    fn matches_proof(&self, sp: &SpProof) -> bool {
+        matches!(sp, SpProof::Subgraph { .. })
+    }
+
+    fn verify(
+        &self,
+        _pk: &RsaPublicKey,
+        _params: &MethodParams,
+        _sp: &SpProof,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        verify_subgraph_dijkstra(tuples, vs, vt)
+    }
+
+    fn verify_batch_aux<'a>(
+        &self,
+        _pk: &RsaPublicKey,
+        _params: &MethodParams,
+        aux: &'a BatchAux,
+    ) -> Result<AuxContext<'a>, VerifyError> {
+        match aux {
+            BatchAux::Subgraph => Ok(AuxContext::Subgraph),
+            _ => Err(VerifyError::MetaMismatch(
+                "batch proof shape does not match signed method",
+            )),
+        }
+    }
+
+    fn verify_batch_query(
+        &self,
+        _params: &MethodParams,
+        _ctx: &AuxContext<'_>,
+        _state: &BatchVerifyState,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        verify_subgraph_dijkstra(tuples, vs, vt)
+    }
+}
 
 /// Relative slack applied to the Lemma 1 ball radius so that clients
 /// summing weights in a different order never pop a missing tuple in

@@ -18,16 +18,22 @@
 //! — and proof size stays O(f·log|V|). See `DESIGN.md` §4.
 
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
-use crate::error::VerifyError;
+use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::error::{ProviderError, VerifyError};
+use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap};
+use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
+use crate::proof::SpProof;
+use crate::tuple::ExtendedTuple;
 use spnet_crypto::digest::Digest;
 use spnet_crypto::mbtree::{composite_key, split_key, KeyedEntry};
 use spnet_crypto::merkle::{MerkleProof, MerkleTree};
-use spnet_crypto::rsa::RsaKeyPair;
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::algo::floyd_warshall;
 use spnet_graph::algo::floyd_warshall::DistanceMatrix;
 use spnet_graph::search::with_thread_workspace;
-use spnet_graph::{Graph, NodeId};
+use spnet_graph::{Graph, NodeId, Path};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// The FULL method's authenticated distance structure.
 #[derive(Debug, Clone)]
@@ -42,6 +48,80 @@ pub struct DistanceAds {
     /// feasible for small networks anyway). Dijkstra mode regenerates
     /// rows on demand instead, keeping memory O(|V|).
     matrix: Option<DistanceMatrix>,
+    /// Provider-side LRU over hot sources: proving a row costs one
+    /// Dijkstra (Dijkstra mode) plus |V| leaf hashes either way, so
+    /// repeated-source batches reuse the regenerated row tree instead
+    /// of rebuilding it per batch.
+    row_cache: RowCache,
+}
+
+/// One cached source row: its distance values and rebuilt row tree.
+#[derive(Debug)]
+struct RowEntry {
+    values: Vec<f64>,
+    tree: MerkleTree,
+}
+
+/// A small thread-safe LRU (MRU-front vector; capacities this small
+/// make linear scans cheaper than any linked structure). The cache is
+/// pure memoization of a deterministic function of the immutable
+/// graph, so cloning a [`DistanceAds`] starts a fresh empty cache and
+/// hits/misses never change proof bytes.
+struct RowCache {
+    capacity: usize,
+    inner: Mutex<Vec<(u32, Arc<RowEntry>)>>,
+}
+
+/// Default number of hot source rows a provider retains.
+const ROW_CACHE_CAPACITY: usize = 64;
+
+impl RowCache {
+    fn new(capacity: usize) -> Self {
+        RowCache {
+            capacity,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Looks up a source row, refreshing its recency on hit.
+    fn get(&self, source: u32) -> Option<Arc<RowEntry>> {
+        let mut inner = self.inner.lock().expect("row cache poisoned");
+        let pos = inner.iter().position(|(s, _)| *s == source)?;
+        let hit = inner.remove(pos);
+        let entry = Arc::clone(&hit.1);
+        inner.insert(0, hit);
+        Some(entry)
+    }
+
+    /// Inserts a computed row, evicting the least recently used one
+    /// beyond capacity. Racing inserts of the same source keep the
+    /// first (both are identical by determinism).
+    fn insert(&self, source: u32, entry: Arc<RowEntry>) {
+        let mut inner = self.inner.lock().expect("row cache poisoned");
+        if inner.iter().any(|(s, _)| *s == source) {
+            return;
+        }
+        inner.insert(0, (source, entry));
+        inner.truncate(self.capacity);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().expect("row cache poisoned").len()
+    }
+}
+
+impl Clone for RowCache {
+    fn clone(&self) -> Self {
+        RowCache::new(self.capacity)
+    }
+}
+
+impl std::fmt::Debug for RowCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.inner.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "RowCache({len}/{})", self.capacity)
+    }
 }
 
 /// Construction statistics (reported by the benchmark harness).
@@ -76,6 +156,7 @@ impl DistanceAds {
                 row_roots,
                 top,
                 matrix: fw,
+                row_cache: RowCache::new(ROW_CACHE_CAPACITY),
             },
             stats,
         )
@@ -122,15 +203,29 @@ impl DistanceAds {
         tree
     }
 
+    /// The (values, row tree) of source `vs`, through the hot-source
+    /// LRU: a repeated source costs a cache lookup instead of a
+    /// Dijkstra + |V| leaf hashes.
+    fn cached_row(&self, g: &Graph, vs: NodeId) -> Arc<RowEntry> {
+        if let Some(hit) = self.row_cache.get(vs.0) {
+            return hit;
+        }
+        let values = self.row_values(g, vs);
+        let tree = self.row_tree(vs, &values);
+        let fresh = Arc::new(RowEntry { values, tree });
+        self.row_cache.insert(vs.0, Arc::clone(&fresh));
+        fresh
+    }
+
     /// Provider side: assembles the distance proof for `(vs, vt)`.
     ///
     /// Regenerates row `vs` with one Dijkstra (the materialized values
     /// are a deterministic function of the owner's graph, which the
-    /// provider holds).
+    /// provider holds) unless the hot-source LRU still holds it.
     pub fn prove(&self, g: &Graph, vs: NodeId, vt: NodeId) -> FullDistanceProof {
-        let row = self.row_values(g, vs);
-        let row_tree = self.row_tree(vs, &row);
-        let row_proof = row_tree
+        let row = self.cached_row(g, vs);
+        let row_proof = row
+            .tree
             .prove([vt.index()].into_iter().collect())
             .expect("row proof");
         let top_proof = self
@@ -138,7 +233,7 @@ impl DistanceAds {
             .prove([vs.index()].into_iter().collect())
             .expect("top proof");
         FullDistanceProof {
-            entry: entry(vs.0, vt.0, row[vt.index()]),
+            entry: entry(vs.0, vt.0, row.values[vt.index()]),
             row_index: vt.0,
             row_proof,
             top_index: vs.0,
@@ -165,16 +260,16 @@ impl DistanceAds {
             .collect();
         let rows = crate::par::map_jobs(&groups, |(s, targets)| {
             let vs = NodeId(*s);
-            let row = self.row_values(g, vs);
-            let row_tree = self.row_tree(vs, &row);
-            let row_proof = row_tree
+            let row = self.cached_row(g, vs);
+            let row_proof = row
+                .tree
                 .prove(targets.iter().map(|&t| t as usize).collect())
                 .expect("row proof");
             FullRowProof {
                 source: *s,
                 entries: targets
                     .iter()
-                    .map(|&t| entry(*s, t, row[t as usize]))
+                    .map(|&t| entry(*s, t, row.values[t as usize]))
                     .collect(),
                 row_proof,
             }
@@ -363,6 +458,173 @@ impl FullBatchProof {
     }
 }
 
+/// FULL's [`AuthMethod`] implementation: the all-pairs distance ADS as
+/// hints, a single authenticated `⟨vs, vt, dist⟩` tuple (plus the
+/// reported path's tuples) as ΓS, two Merkle path reconstructions as
+/// verification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMethod;
+
+impl FullMethod {
+    /// The FULL hints out of a provider package.
+    fn hints(pkg: &ProviderPackage) -> (&DistanceAds, &SignedRoot) {
+        match &pkg.hints {
+            MethodHints::Full {
+                ads, signed_root, ..
+            } => (ads, signed_root),
+            _ => unreachable!("FullMethod dispatched with non-FULL hints"),
+        }
+    }
+}
+
+impl AuthMethod for FullMethod {
+    fn name(&self) -> &'static str {
+        "FULL"
+    }
+
+    fn params_code(&self) -> u8 {
+        2
+    }
+
+    fn build_hints(
+        &self,
+        g: &Graph,
+        config: &MethodConfig,
+        setup: &SetupConfig,
+        keypair: &RsaKeyPair,
+    ) -> (MethodHints, MethodParams) {
+        let MethodConfig::Full { use_floyd_warshall } = config else {
+            unreachable!("FullMethod dispatched with non-FULL config");
+        };
+        let (ads, stats) = DistanceAds::build(g, setup.fanout, *use_floyd_warshall);
+        let signed_root = ads.sign(keypair);
+        (
+            MethodHints::Full {
+                ads,
+                signed_root,
+                stats,
+            },
+            MethodParams::Full,
+        )
+    }
+
+    fn make_tuple(&self, g: &Graph, v: NodeId, _hints: &MethodHints) -> ExtendedTuple {
+        ExtendedTuple::base(g, v)
+    }
+
+    fn prove(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Result<(SpProof, Vec<NodeId>), ProviderError> {
+        let (dads, signed_root) = Self::hints(pkg);
+        let full = dads.prove(&pkg.graph, vs, vt);
+        let path_tuples: Vec<Arc<ExtendedTuple>> = path
+            .nodes
+            .iter()
+            .map(|&v| pkg.ads.tuple_shared(v))
+            .collect();
+        Ok((
+            SpProof::Distance {
+                full,
+                signed_root: signed_root.clone(),
+                path_tuples,
+            },
+            path.nodes.clone(),
+        ))
+    }
+
+    fn batch_members(
+        &self,
+        _pkg: &ProviderPackage,
+        _vs: NodeId,
+        _vt: NodeId,
+        path: &Path,
+    ) -> Vec<NodeId> {
+        // FULL proves the optimum from the distance tree; the pool only
+        // authenticates the reported path.
+        path.nodes.clone()
+    }
+
+    fn prove_batch(
+        &self,
+        pkg: &ProviderPackage,
+        queries: &[(NodeId, NodeId)],
+    ) -> Result<BatchAux, ProviderError> {
+        let (dads, signed_root) = Self::hints(pkg);
+        Ok(BatchAux::Full {
+            proof: dads.prove_batch(&pkg.graph, queries),
+            signed_root: signed_root.clone(),
+        })
+    }
+
+    fn matches_proof(&self, sp: &SpProof) -> bool {
+        matches!(sp, SpProof::Distance { .. })
+    }
+
+    fn verify(
+        &self,
+        pk: &RsaPublicKey,
+        _params: &MethodParams,
+        sp: &SpProof,
+        _tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        let SpProof::Distance {
+            full, signed_root, ..
+        } = sp
+        else {
+            return Err(VerifyError::MetaMismatch(
+                "proof shape does not match method",
+            ));
+        };
+        if !signed_root.verify(pk) {
+            return Err(VerifyError::BadSignature);
+        }
+        full.verify(vs, vt, &signed_root.root)
+    }
+
+    fn verify_batch_aux<'a>(
+        &self,
+        pk: &RsaPublicKey,
+        _params: &MethodParams,
+        aux: &'a BatchAux,
+    ) -> Result<AuxContext<'a>, VerifyError> {
+        match aux {
+            BatchAux::Full { proof, signed_root } => {
+                if !signed_root.verify(pk) {
+                    return Err(VerifyError::BadSignature);
+                }
+                Ok(AuxContext::Full(proof.verify(&signed_root.root)?))
+            }
+            _ => Err(VerifyError::MetaMismatch(
+                "batch proof shape does not match signed method",
+            )),
+        }
+    }
+
+    fn verify_batch_query(
+        &self,
+        _params: &MethodParams,
+        ctx: &AuxContext<'_>,
+        _state: &BatchVerifyState,
+        _tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        let AuxContext::Full(dists) = ctx else {
+            unreachable!("verify_batch_aux checked the pairing");
+        };
+        dists
+            .get(&composite_key(vs.0, vt.0))
+            .copied()
+            .ok_or(VerifyError::MissingDistanceKey { a: vs, b: vt })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +800,44 @@ mod tests {
             evil2.verify(&ads.root()),
             Err(VerifyError::MalformedIntegrityProof(_))
         ));
+    }
+
+    #[test]
+    fn row_cache_reuses_hot_sources_across_proofs() {
+        let (g, ads) = build(412, false);
+        assert_eq!(ads.row_cache.len(), 0);
+        let p1 = ads.prove(&g, NodeId(0), NodeId(30));
+        assert_eq!(ads.row_cache.len(), 1, "first proof fills the cache");
+        let p2 = ads.prove(&g, NodeId(0), NodeId(31));
+        assert_eq!(ads.row_cache.len(), 1, "same source hits, not refills");
+        assert!(p1.verify(NodeId(0), NodeId(30), &ads.root()).is_ok());
+        assert!(p2.verify(NodeId(0), NodeId(31), &ads.root()).is_ok());
+        // Batches reuse rows across calls and stay byte-identical.
+        let pairs = batch_pairs();
+        let b1 = ads.prove_batch(&g, &pairs);
+        let b2 = ads.prove_batch(&g, &pairs);
+        assert_eq!(b1, b2, "cached rows must not change proof bytes");
+        assert!(b1.verify(&ads.root()).is_ok());
+        // A clone starts cold (memoization is per-instance).
+        assert_eq!(ads.clone().row_cache.len(), 0);
+    }
+
+    #[test]
+    fn row_cache_evicts_least_recently_used() {
+        let mk = |n: u32| {
+            Arc::new(RowEntry {
+                values: vec![n as f64],
+                tree: MerkleTree::build(vec![Digest::ZERO], 2).unwrap(),
+            })
+        };
+        let rc = RowCache::new(2);
+        rc.insert(1, mk(1));
+        rc.insert(2, mk(2));
+        assert!(rc.get(1).is_some()); // refresh 1 → LRU is 2
+        rc.insert(3, mk(3));
+        assert!(rc.get(2).is_none(), "LRU entry evicted");
+        assert!(rc.get(1).is_some() && rc.get(3).is_some());
+        assert_eq!(rc.len(), 2);
     }
 
     #[test]

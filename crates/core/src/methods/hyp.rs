@@ -21,13 +21,18 @@
 //! 4. checks the reported path's length equals that optimum.
 
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
-use crate::error::VerifyError;
+use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::error::{ProviderError, VerifyError};
+use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap};
+use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
+use crate::proof::SpProof;
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MerkleBTree};
 use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::partition::GridPartition;
-use spnet_graph::{Graph, NodeId};
+use spnet_graph::{Graph, NodeId, Path};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// The owner-side HYP hints.
 #[derive(Debug, Clone)]
@@ -230,12 +235,33 @@ pub(crate) fn verify_hyp_aux(
 /// `tuples` must already be integrity-verified; `hyper` and `cell_dir`
 /// must already be root/signature-verified by the caller (the
 /// crate-internal `verify_hyp_aux`).
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `AuthMethod::verify` (e.g. \
+            `MethodParams::Hyp.method().verify(..)`) or an `SpService` \
+            session — the trait path also reuses in-cell remaps across \
+            a batch"
+)]
 pub fn verify_hyp(
     tuples: &HashMap<NodeId, &ExtendedTuple>,
     hyper: &KeyedProof,
     cell_dir: &KeyedProof,
     vs: NodeId,
     vt: NodeId,
+) -> Result<f64, VerifyError> {
+    verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, None)
+}
+
+/// [`verify_hyp`] with an optional per-batch cache of in-cell CSR
+/// remaps: queries of one batch that touch the same cell share one
+/// authenticated cell subgraph instead of rebuilding it per endpoint.
+pub(crate) fn verify_hyp_impl(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    hyper: &KeyedProof,
+    cell_dir: &KeyedProof,
+    vs: NodeId,
+    vt: NodeId,
+    cache: Option<&CellGraphCache>,
 ) -> Result<f64, VerifyError> {
     if vs == vt {
         return Ok(0.0);
@@ -272,9 +298,17 @@ pub fn verify_hyp(
     }
 
     // In-cell Dijkstras from both endpoints, on a dense node-index
-    // remap of each cell (no per-pop hashing).
-    let din_s = CellDistances::compute(tuples, vs, cs)?;
-    let din_t = CellDistances::compute(tuples, vt, ct)?;
+    // remap of each cell (no per-pop hashing). The remap is only built
+    // after the completeness check above, so a cached cell graph is
+    // always the full authentic cell.
+    let cg_s = cell_graph(tuples, cs, cache)?;
+    let cg_t = if ct == cs {
+        Arc::clone(&cg_s)
+    } else {
+        cell_graph(tuples, ct, cache)?
+    };
+    let din_s = cg_s.distances_from(vs)?;
+    let din_t = cg_t.distances_from(vt)?;
 
     // Border sets, from authenticated flags, restricted to in-cell
     // reachable nodes (unreachable borders cannot host the first/last
@@ -310,32 +344,46 @@ pub fn verify_hyp(
     Ok(best)
 }
 
-/// In-cell shortest-path distances from one endpoint, computed on a
-/// compact dense remap of the cell's authenticated tuples.
+/// Resolves a cell's authenticated subgraph, through the per-batch
+/// cache when one is supplied.
+fn cell_graph(
+    tuples: &HashMap<NodeId, &ExtendedTuple>,
+    cell: u32,
+    cache: Option<&CellGraphCache>,
+) -> Result<Arc<CellGraph>, VerifyError> {
+    match cache {
+        Some(c) => c.get_or_build(cell, tuples),
+        None => Ok(Arc::new(CellGraph::build(tuples, cell)?)),
+    }
+}
+
+/// A compact dense remap of one cell's authenticated tuples: the
+/// in-cell CSR subgraph every endpoint Dijkstra of that cell runs on.
 ///
 /// The seed implementation ran Dijkstra directly over
 /// `HashMap<NodeId, …>` state, paying several hash lookups per edge
-/// relaxation. Here the cell's nodes are remapped once to `0..k`
-/// (ascending id), an in-cell CSR subgraph is assembled from the
-/// authenticated adjacency lists, and the search runs on the thread's
-/// reused dense [`spnet_graph::search::SearchWorkspace`].
-struct CellDistances {
+/// relaxation; PR 1 remapped each cell to `0..k` per *endpoint*. Now
+/// the remap is built once per cell and shared — within one query
+/// when both endpoints share a cell, and across a whole batch via
+/// [`CellGraphCache`].
+pub(crate) struct CellGraph {
     /// Local index → node id (ascending).
     ids: Vec<NodeId>,
     /// Node id → local index.
     local: HashMap<NodeId, u32>,
-    /// Local index → in-cell distance from the endpoint (∞ unreached).
-    dist: Vec<f64>,
+    /// The in-cell CSR subgraph (local indices).
+    sub: Graph,
     /// Local index → authenticated border flag.
     border: Vec<bool>,
 }
 
-impl CellDistances {
-    fn compute(
+impl CellGraph {
+    /// Assembles the cell's subgraph from authenticated adjacency;
+    /// each undirected edge is added once, from its lower endpoint.
+    fn build(
         tuples: &HashMap<NodeId, &ExtendedTuple>,
-        source: NodeId,
         cell: u32,
-    ) -> Result<CellDistances, VerifyError> {
+    ) -> Result<CellGraph, VerifyError> {
         // Gather the cell's nodes in ascending id order (determinism).
         let mut ids: Vec<NodeId> = tuples
             .values()
@@ -348,11 +396,6 @@ impl CellDistances {
             .enumerate()
             .map(|(i, &v)| (v, i as u32))
             .collect();
-        let source_local = *local
-            .get(&source)
-            .ok_or(VerifyError::MissingEndpointTuple(source))?;
-        // Assemble the in-cell subgraph from authenticated adjacency;
-        // each undirected edge is added once, from its lower endpoint.
         let mut b = spnet_graph::GraphBuilder::with_capacity(ids.len(), ids.len() * 2);
         for _ in &ids {
             b.add_node(0.0, 0.0);
@@ -374,37 +417,346 @@ impl CellDistances {
         let sub = b
             .try_build()
             .map_err(|_| VerifyError::MetaMismatch("malformed in-cell adjacency"))?;
-        let dist = spnet_graph::search::with_thread_workspace(|ws| {
-            ws.sssp(&sub, NodeId(source_local)).dist_vec()
-        });
-        Ok(CellDistances {
+        Ok(CellGraph {
             ids,
             local,
-            dist,
+            sub,
             border,
         })
     }
 
+    /// Runs the in-cell Dijkstra from `source` on the thread's reused
+    /// dense [`spnet_graph::search::SearchWorkspace`].
+    fn distances_from(&self, source: NodeId) -> Result<CellDistances<'_>, VerifyError> {
+        let source_local = *self
+            .local
+            .get(&source)
+            .ok_or(VerifyError::MissingEndpointTuple(source))?;
+        let dist = spnet_graph::search::with_thread_workspace(|ws| {
+            ws.sssp(&self.sub, NodeId(source_local)).dist_vec()
+        });
+        Ok(CellDistances { cg: self, dist })
+    }
+}
+
+/// A per-batch cache of [`CellGraph`]s keyed by cell id, shared
+/// (behind a lock) by every per-query verification job of one batch.
+/// Builds are deterministic functions of the authenticated pool, so a
+/// cache hit returns exactly what a rebuild would.
+#[derive(Default)]
+pub(crate) struct CellGraphCache {
+    inner: Mutex<HashMap<u32, Arc<CellGraph>>>,
+}
+
+impl CellGraphCache {
+    fn get_or_build(
+        &self,
+        cell: u32,
+        tuples: &HashMap<NodeId, &ExtendedTuple>,
+    ) -> Result<Arc<CellGraph>, VerifyError> {
+        if let Some(hit) = self.inner.lock().expect("cell cache poisoned").get(&cell) {
+            return Ok(Arc::clone(hit));
+        }
+        // Build outside the lock (other cells can proceed); racing
+        // builders converge on the first insert.
+        let built = Arc::new(CellGraph::build(tuples, cell)?);
+        Ok(Arc::clone(
+            self.inner
+                .lock()
+                .expect("cell cache poisoned")
+                .entry(cell)
+                .or_insert(built),
+        ))
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().expect("cell cache poisoned").len()
+    }
+}
+
+impl std::fmt::Debug for CellGraphCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.inner.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "CellGraphCache({len} cells)")
+    }
+}
+
+/// In-cell shortest-path distances from one endpoint over a (possibly
+/// shared) [`CellGraph`].
+struct CellDistances<'a> {
+    cg: &'a CellGraph,
+    /// Local index → in-cell distance from the endpoint (∞ unreached).
+    dist: Vec<f64>,
+}
+
+impl CellDistances<'_> {
     /// In-cell distance to `v`, `None` when unreached or outside the
     /// cell.
     fn dist_to(&self, v: NodeId) -> Option<f64> {
-        let i = *self.local.get(&v)? as usize;
+        let i = *self.cg.local.get(&v)? as usize;
         self.dist[i].is_finite().then(|| self.dist[i])
     }
 
     /// Authenticated border nodes reachable in-cell, ascending by id.
     fn reachable_borders(&self) -> Vec<NodeId> {
-        self.ids
+        self.cg
+            .ids
             .iter()
             .enumerate()
-            .filter(|&(i, _)| self.border[i] && self.dist[i].is_finite())
+            .filter(|&(i, _)| self.cg.border[i] && self.dist[i].is_finite())
             .map(|(_, &v)| v)
             .collect()
     }
 }
 
+/// An empty keyed proof — shipped when the touched cells have no
+/// borders at all (single populated cell): verification then relies on
+/// in-cell distances alone, and the owner's signature binds the
+/// emptiness.
+pub(crate) fn empty_keyed_proof(fanout: u32) -> KeyedProof {
+    KeyedProof {
+        entries: vec![],
+        positions: vec![],
+        merkle: spnet_crypto::merkle::MerkleProof {
+            entries: vec![],
+            leaf_count: 0,
+            fanout,
+        },
+    }
+}
+
+/// HYP's [`AuthMethod`] implementation: grid partition + signed
+/// hyper-edge/cell-directory trees as hints, the source/target cells
+/// plus border-pair hyper-edges as ΓS, Theorem 2's border-pair
+/// combination as verification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HypMethod;
+
+impl HypMethod {
+    /// The HYP hints out of a provider package.
+    fn hints(pkg: &ProviderPackage) -> (&HypHints, &SignedRoot, &SignedRoot) {
+        match &pkg.hints {
+            MethodHints::Hyp {
+                hints,
+                hyper_signed,
+                cell_dir_signed,
+            } => (hints, hyper_signed, cell_dir_signed),
+            _ => unreachable!("HypMethod dispatched with non-HYP hints"),
+        }
+    }
+
+    /// Coarse cells plus reported-path nodes outside them — the node
+    /// set both the single-query proof and a batched query ship.
+    fn covered_nodes(hints: &HypHints, vs: NodeId, vt: NodeId, path: &Path) -> Vec<NodeId> {
+        let coarse = hints.coarse_nodes(vs, vt);
+        let coarse_set: BTreeSet<NodeId> = coarse.iter().copied().collect();
+        coarse
+            .into_iter()
+            .chain(
+                path.nodes
+                    .iter()
+                    .copied()
+                    .filter(|v| !coarse_set.contains(v)),
+            )
+            .collect()
+    }
+}
+
+impl AuthMethod for HypMethod {
+    fn name(&self) -> &'static str {
+        "HYP"
+    }
+
+    fn params_code(&self) -> u8 {
+        4
+    }
+
+    fn build_hints(
+        &self,
+        g: &Graph,
+        config: &MethodConfig,
+        setup: &SetupConfig,
+        keypair: &RsaKeyPair,
+    ) -> (MethodHints, MethodParams) {
+        let MethodConfig::Hyp { cells } = config else {
+            unreachable!("HypMethod dispatched with non-HYP config");
+        };
+        let hints = HypHints::build(g, *cells, setup.fanout);
+        let hyper_signed = hints.sign_hyper(keypair, setup.fanout as u32);
+        let cell_dir_signed = hints.sign_cell_dir(keypair, setup.fanout as u32);
+        (
+            MethodHints::Hyp {
+                hints,
+                hyper_signed,
+                cell_dir_signed,
+            },
+            MethodParams::Hyp,
+        )
+    }
+
+    fn make_tuple(&self, g: &Graph, v: NodeId, hints: &MethodHints) -> ExtendedTuple {
+        let MethodHints::Hyp { hints, .. } = hints else {
+            unreachable!("HypMethod dispatched with non-HYP hints");
+        };
+        ExtendedTuple::with_cell(g, v, &hints.partition)
+    }
+
+    fn prove(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Result<(SpProof, Vec<NodeId>), ProviderError> {
+        let (hints, hyper_signed, cell_dir_signed) = Self::hints(pkg);
+        let coarse = hints.coarse_nodes(vs, vt);
+        let coarse_set: BTreeSet<NodeId> = coarse.iter().copied().collect();
+        let extra: Vec<NodeId> = path
+            .nodes
+            .iter()
+            .copied()
+            .filter(|v| !coarse_set.contains(v))
+            .collect();
+        let cell_tuples: Vec<Arc<ExtendedTuple>> =
+            coarse.iter().map(|&v| pkg.ads.tuple_shared(v)).collect();
+        let path_tuples: Vec<Arc<ExtendedTuple>> =
+            extra.iter().map(|&v| pkg.ads.tuple_shared(v)).collect();
+        let keys = hints.hyper_keys(vs, vt);
+        let hyper = match &hints.hyper_tree {
+            Some(t) => t
+                .prove_keys(&keys)
+                .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?,
+            None => empty_keyed_proof(pkg.ads.fanout() as u32),
+        };
+        let cell_dir = hints
+            .cell_dir
+            .prove_keys(&hints.batch_dir_keys(&[(vs, vt)]))
+            .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
+        let covered: Vec<NodeId> = coarse.into_iter().chain(extra).collect();
+        Ok((
+            SpProof::Hyp {
+                cell_tuples,
+                path_tuples,
+                hyper,
+                hyper_signed_root: hyper_signed.clone(),
+                cell_dir,
+                cell_dir_signed_root: cell_dir_signed.clone(),
+            },
+            covered,
+        ))
+    }
+
+    fn batch_members(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Vec<NodeId> {
+        let (hints, _, _) = Self::hints(pkg);
+        Self::covered_nodes(hints, vs, vt, path)
+    }
+
+    fn prove_batch(
+        &self,
+        pkg: &ProviderPackage,
+        queries: &[(NodeId, NodeId)],
+    ) -> Result<BatchAux, ProviderError> {
+        let (hints, hyper_signed, cell_dir_signed) = Self::hints(pkg);
+        let keys = hints.batch_hyper_keys(queries);
+        let hyper = match &hints.hyper_tree {
+            Some(t) => t
+                .prove_keys(&keys)
+                .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?,
+            None => empty_keyed_proof(pkg.ads.fanout() as u32),
+        };
+        let cell_dir = hints
+            .cell_dir
+            .prove_keys(&hints.batch_dir_keys(queries))
+            .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
+        Ok(BatchAux::Hyp {
+            hyper,
+            hyper_signed_root: hyper_signed.clone(),
+            cell_dir,
+            cell_dir_signed_root: cell_dir_signed.clone(),
+        })
+    }
+
+    fn matches_proof(&self, sp: &SpProof) -> bool {
+        matches!(sp, SpProof::Hyp { .. })
+    }
+
+    fn verify(
+        &self,
+        pk: &RsaPublicKey,
+        _params: &MethodParams,
+        sp: &SpProof,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        let SpProof::Hyp {
+            hyper,
+            hyper_signed_root,
+            cell_dir,
+            cell_dir_signed_root,
+            ..
+        } = sp
+        else {
+            return Err(VerifyError::MetaMismatch(
+                "proof shape does not match method",
+            ));
+        };
+        // Authenticate both auxiliary structures first.
+        verify_hyp_aux(pk, hyper, hyper_signed_root, cell_dir, cell_dir_signed_root)?;
+        verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, None)
+    }
+
+    fn verify_batch_aux<'a>(
+        &self,
+        pk: &RsaPublicKey,
+        _params: &MethodParams,
+        aux: &'a BatchAux,
+    ) -> Result<AuxContext<'a>, VerifyError> {
+        match aux {
+            BatchAux::Hyp {
+                hyper,
+                hyper_signed_root,
+                cell_dir,
+                cell_dir_signed_root,
+            } => {
+                verify_hyp_aux(pk, hyper, hyper_signed_root, cell_dir, cell_dir_signed_root)?;
+                Ok(AuxContext::Hyp { hyper, cell_dir })
+            }
+            _ => Err(VerifyError::MetaMismatch(
+                "batch proof shape does not match signed method",
+            )),
+        }
+    }
+
+    fn verify_batch_query(
+        &self,
+        _params: &MethodParams,
+        ctx: &AuxContext<'_>,
+        state: &BatchVerifyState,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        let AuxContext::Hyp { hyper, cell_dir } = ctx else {
+            unreachable!("verify_batch_aux checked the pairing");
+        };
+        verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, Some(&state.hyp_cells))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // The deprecated direct `verify_hyp` entry point stays covered
+    // until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use spnet_graph::algo::dijkstra_path;
     use spnet_graph::gen::grid_network;
@@ -616,6 +968,30 @@ mod tests {
     fn build_seconds_recorded() {
         let (_, hints) = setup(608, 9);
         assert!(hints.build_seconds >= 0.0);
+    }
+
+    #[test]
+    fn cell_graph_cache_shares_remaps_and_preserves_results() {
+        let (g, hints) = setup(611, 9);
+        let queries = [(NodeId(0), NodeId(143)), (NodeId(1), NodeId(142))];
+        let cache = CellGraphCache::default();
+        for &(s, t) in &queries {
+            let p = dijkstra_path(&g, s, t).unwrap();
+            // A pooled map large enough for both queries (as a batch
+            // pool would be): both cells complete + path nodes.
+            let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
+            let plain = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, None).unwrap();
+            let cached =
+                verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, Some(&cache)).unwrap();
+            assert_eq!(
+                plain.to_bits(),
+                cached.to_bits(),
+                "cache must not change the proven optimum"
+            );
+        }
+        // Both queries touch the same two cells: two remaps total, not
+        // four endpoint rebuilds.
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

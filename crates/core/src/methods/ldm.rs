@@ -7,16 +7,151 @@
 //! neighbors and referenced representatives); the client re-runs A\*
 //! with the compressed lower bound (Lemmas 3–4) and checks the optimum.
 
-use crate::error::VerifyError;
-use crate::methods::LdmConfig;
+use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::error::{ProviderError, VerifyError};
+use crate::methods::{AuthMethod, LdmConfig, MethodConfig, MethodParams, TupleMap};
+use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
+use crate::proof::SpProof;
 use crate::tuple::{ExtendedTuple, PsiPayload};
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::landmark::{
     select_landmarks, CompressedVectors, LandmarkVectors, NodePsi, QuantizedVectors,
 };
 use spnet_graph::ofloat::OrderedF64;
-use spnet_graph::{Graph, NodeId};
+use spnet_graph::{Graph, NodeId, Path};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// LDM's [`AuthMethod`] implementation: compressed quantized landmark
+/// vectors as hints, the Lemma 2 A\* cone as ΓS, client-side A\* with
+/// the compressed lower bound as verification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LdmMethod;
+
+impl LdmMethod {
+    /// The LDM hints out of a provider package (dispatch pairs the
+    /// trait object with its own hints variant).
+    fn hints(pkg: &ProviderPackage) -> &LdmHints {
+        match &pkg.hints {
+            MethodHints::Ldm(h) => h,
+            _ => unreachable!("LdmMethod dispatched with non-LDM hints"),
+        }
+    }
+
+    /// The quantization step λ out of authenticated method params.
+    fn lambda(params: &MethodParams) -> f64 {
+        match params {
+            MethodParams::Ldm { lambda } => *lambda,
+            _ => unreachable!("LdmMethod dispatched with non-LDM params"),
+        }
+    }
+}
+
+impl AuthMethod for LdmMethod {
+    fn name(&self) -> &'static str {
+        "LDM"
+    }
+
+    fn params_code(&self) -> u8 {
+        3
+    }
+
+    fn build_hints(
+        &self,
+        g: &Graph,
+        config: &MethodConfig,
+        setup: &SetupConfig,
+        _keypair: &RsaKeyPair,
+    ) -> (MethodHints, MethodParams) {
+        let MethodConfig::Ldm(lcfg) = config else {
+            unreachable!("LdmMethod dispatched with non-LDM config");
+        };
+        let hints = LdmHints::build(g, lcfg, setup.seed ^ 0x1D4);
+        let lambda = hints.lambda();
+        (MethodHints::Ldm(hints), MethodParams::Ldm { lambda })
+    }
+
+    fn make_tuple(&self, g: &Graph, v: NodeId, hints: &MethodHints) -> ExtendedTuple {
+        let MethodHints::Ldm(h) = hints else {
+            unreachable!("LdmMethod dispatched with non-LDM hints");
+        };
+        ExtendedTuple::with_psi(g, v, &h.vectors)
+    }
+
+    fn prove(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Result<(SpProof, Vec<NodeId>), ProviderError> {
+        let nodes = gamma_nodes(&pkg.graph, Self::hints(pkg), vs, vt, path.distance);
+        let tuples: Vec<Arc<ExtendedTuple>> =
+            nodes.iter().map(|&v| pkg.ads.tuple_shared(v)).collect();
+        Ok((SpProof::Subgraph { tuples }, nodes))
+    }
+
+    fn batch_members(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Vec<NodeId> {
+        gamma_nodes(&pkg.graph, Self::hints(pkg), vs, vt, path.distance)
+    }
+
+    fn prove_batch(
+        &self,
+        _pkg: &ProviderPackage,
+        _queries: &[(NodeId, NodeId)],
+    ) -> Result<BatchAux, ProviderError> {
+        Ok(BatchAux::Subgraph)
+    }
+
+    fn matches_proof(&self, sp: &SpProof) -> bool {
+        matches!(sp, SpProof::Subgraph { .. })
+    }
+
+    fn verify(
+        &self,
+        _pk: &RsaPublicKey,
+        params: &MethodParams,
+        _sp: &SpProof,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        verify_subgraph_astar(tuples, vs, vt, Self::lambda(params))
+    }
+
+    fn verify_batch_aux<'a>(
+        &self,
+        _pk: &RsaPublicKey,
+        _params: &MethodParams,
+        aux: &'a BatchAux,
+    ) -> Result<AuxContext<'a>, VerifyError> {
+        match aux {
+            BatchAux::Subgraph => Ok(AuxContext::Subgraph),
+            _ => Err(VerifyError::MetaMismatch(
+                "batch proof shape does not match signed method",
+            )),
+        }
+    }
+
+    fn verify_batch_query(
+        &self,
+        params: &MethodParams,
+        _ctx: &AuxContext<'_>,
+        _state: &BatchVerifyState,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError> {
+        verify_subgraph_astar(tuples, vs, vt, Self::lambda(params))
+    }
+}
 
 /// The owner-side LDM hints: compressed quantized landmark vectors.
 #[derive(Debug, Clone)]

@@ -1,18 +1,166 @@
 //! The four verification methods: DIJ, FULL, LDM, HYP.
 //!
 //! Each method module provides the owner-side hint construction, the
-//! provider-side ΓS assembly, and the client-side ΓS verification. The
-//! method identity and its public parameters are bound into the signed
+//! provider-side ΓS assembly, and the client-side ΓS verification,
+//! packaged as an [`AuthMethod`] trait implementation. The method
+//! identity and its public parameters are bound into the signed
 //! network-root metadata so that a provider cannot silently downgrade
 //! or re-parameterize a method.
+//!
+//! The enums in this module ([`MethodConfig`], [`MethodParams`]) and
+//! [`MethodHints`] are thin configuration /
+//! wire adapters: each resolves to its method's trait object via a
+//! `method()` accessor, and the provider, client, batch, owner, update
+//! and tamper paths all dispatch through the trait — no per-method
+//! `match` survives in those hot paths.
 
 pub mod dij;
 pub mod full;
 pub mod hyp;
 pub mod ldm;
 
+use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
 use crate::enc::{DecodeError, Decoder, Encoder};
+use crate::error::{ProviderError, VerifyError};
+use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
+use crate::proof::SpProof;
+use crate::tuple::ExtendedTuple;
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::landmark::{CompressionStrategy, LandmarkStrategy};
+use spnet_graph::{Graph, NodeId, Path};
+use std::collections::HashMap;
+
+/// The authenticated tuples of a proof, keyed by node id — the shape
+/// both the single-query and the batched ΓS verifications consume.
+pub type TupleMap<'a> = HashMap<NodeId, &'a ExtendedTuple>;
+
+/// One verification method's complete lifecycle, as a trait object.
+///
+/// The paper's four methods (DIJ, FULL, LDM, HYP) share one protocol —
+/// the **owner** builds authenticated hints, the **provider** assembles
+/// `(P_rslt, ΓS, ΓT)` per query, and the **client** verifies against
+/// owner-signed roots. This trait captures that lifecycle so the
+/// provider ([`crate::ServiceProvider`]), client ([`crate::Client`]),
+/// batch layer ([`crate::batch`]) and the [`crate::service::SpService`]
+/// facade serve every method through one dispatch point. New methods
+/// plug in by implementing this trait and registering a wire code.
+///
+/// Implementations are stateless unit structs; all per-deployment
+/// state flows through [`MethodHints`] (provider side) and
+/// [`MethodParams`] (client side, authenticated by the signed root
+/// metadata). Obtain an instance from [`MethodConfig::method`],
+/// [`MethodParams::method`] or [`MethodHints::method`].
+pub trait AuthMethod: Send + Sync {
+    /// Short display name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Wire code bound into signed metadata (`1..=4` for the built-in
+    /// methods).
+    fn params_code(&self) -> u8;
+
+    // ---- owner side ----------------------------------------------------
+
+    /// Owner-side hint construction: builds (and signs, where the
+    /// method has auxiliary trees) everything the provider needs
+    /// beyond the network ADS, plus the public parameters the client
+    /// must learn authentically.
+    ///
+    /// `config` carries the method's tuning knobs and must be the same
+    /// [`MethodConfig`] variant this trait object was resolved from.
+    fn build_hints(
+        &self,
+        g: &Graph,
+        config: &MethodConfig,
+        setup: &SetupConfig,
+        keypair: &RsaKeyPair,
+    ) -> (MethodHints, MethodParams);
+
+    /// Builds one node's extended tuple (the network-ADS leaf payload),
+    /// embedding whatever per-node hint data the method requires.
+    fn make_tuple(&self, g: &Graph, v: NodeId, hints: &MethodHints) -> ExtendedTuple;
+
+    /// Whether the owner can patch a single edge weight in place
+    /// (tuples + Merkle paths + re-sign) without rebuilding hints.
+    /// Only DIJ qualifies: the other methods materialize global
+    /// distance information a single weight change can invalidate
+    /// everywhere.
+    fn supports_incremental_update(&self) -> bool {
+        false
+    }
+
+    // ---- provider side -------------------------------------------------
+
+    /// Algorithm 1, lines 2–3: assembles ΓS for one query and returns
+    /// it with the node list ΓT must cover, in the exact order the
+    /// proof ships them.
+    fn prove(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Result<(SpProof, Vec<NodeId>), ProviderError>;
+
+    /// The node set one batched query contributes to the shared tuple
+    /// pool (the same Γ the single-query proof would ship).
+    fn batch_members(
+        &self,
+        pkg: &ProviderPackage,
+        vs: NodeId,
+        vt: NodeId,
+        path: &Path,
+    ) -> Vec<NodeId>;
+
+    /// Assembles the method-specific pooled hint proofs for a batch
+    /// ([`BatchAux`]), shipped once per batch.
+    fn prove_batch(
+        &self,
+        pkg: &ProviderPackage,
+        queries: &[(NodeId, NodeId)],
+    ) -> Result<BatchAux, ProviderError>;
+
+    // ---- client side ---------------------------------------------------
+
+    /// Whether a ΓS payload has the shape this method's verification
+    /// expects — the signed method code must match the proof shape, or
+    /// a malicious provider could downgrade the verification method.
+    fn matches_proof(&self, sp: &SpProof) -> bool;
+
+    /// Verifies ΓS for one query against already integrity-verified
+    /// tuples, returning the proven optimum `dist(vs, vt)`.
+    fn verify(
+        &self,
+        pk: &RsaPublicKey,
+        params: &MethodParams,
+        sp: &SpProof,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError>;
+
+    /// Authenticates a batch's pooled hint proofs once (signatures +
+    /// Merkle roots) and returns the context every per-query job reads.
+    fn verify_batch_aux<'a>(
+        &self,
+        pk: &RsaPublicKey,
+        params: &MethodParams,
+        aux: &'a BatchAux,
+    ) -> Result<AuxContext<'a>, VerifyError>;
+
+    /// Verifies one batched query's ΓS against the pre-verified aux
+    /// context and the query's slice of the authenticated pool.
+    /// `state` carries per-batch verifier caches (e.g. HYP's in-cell
+    /// CSR remaps, shared by queries touching the same cell).
+    fn verify_batch_query(
+        &self,
+        params: &MethodParams,
+        ctx: &AuxContext<'_>,
+        state: &BatchVerifyState,
+        tuples: &TupleMap<'_>,
+        vs: NodeId,
+        vt: NodeId,
+    ) -> Result<f64, VerifyError>;
+}
 
 /// Method selection plus owner-side tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,24 +183,25 @@ pub enum MethodConfig {
 }
 
 impl MethodConfig {
+    /// The method's lifecycle implementation (thin-adapter dispatch:
+    /// this is the only place the config enum maps to behaviour).
+    pub fn method(&self) -> &'static dyn AuthMethod {
+        match self {
+            MethodConfig::Dij => &dij::DijMethod,
+            MethodConfig::Full { .. } => &full::FullMethod,
+            MethodConfig::Ldm(_) => &ldm::LdmMethod,
+            MethodConfig::Hyp { .. } => &hyp::HypMethod,
+        }
+    }
+
     /// Short display name as used in the figures.
     pub fn name(&self) -> &'static str {
-        match self {
-            MethodConfig::Dij => "DIJ",
-            MethodConfig::Full { .. } => "FULL",
-            MethodConfig::Ldm(_) => "LDM",
-            MethodConfig::Hyp { .. } => "HYP",
-        }
+        self.method().name()
     }
 
     /// Wire code bound into signed metadata.
     pub fn code(&self) -> u8 {
-        match self {
-            MethodConfig::Dij => 1,
-            MethodConfig::Full { .. } => 2,
-            MethodConfig::Ldm(_) => 3,
-            MethodConfig::Hyp { .. } => 4,
-        }
+        self.method().params_code()
     }
 }
 
@@ -137,14 +286,20 @@ impl MethodParams {
         Ok(out)
     }
 
+    /// The method's lifecycle implementation — how a client that has
+    /// authenticated these params dispatches verification.
+    pub fn method(&self) -> &'static dyn AuthMethod {
+        match self {
+            MethodParams::Dij => &dij::DijMethod,
+            MethodParams::Full => &full::FullMethod,
+            MethodParams::Ldm { .. } => &ldm::LdmMethod,
+            MethodParams::Hyp => &hyp::HypMethod,
+        }
+    }
+
     /// The method code (matches `MethodConfig::code`).
     pub fn code(&self) -> u8 {
-        match self {
-            MethodParams::Dij => 1,
-            MethodParams::Full => 2,
-            MethodParams::Ldm { .. } => 3,
-            MethodParams::Hyp => 4,
-        }
+        self.method().params_code()
     }
 }
 

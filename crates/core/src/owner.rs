@@ -5,7 +5,7 @@ use crate::ads::{NetworkAds, SignedRoot};
 use crate::methods::full::{DistanceAds, FullBuildStats};
 use crate::methods::hyp::HypHints;
 use crate::methods::ldm::LdmHints;
-use crate::methods::{MethodConfig, MethodParams};
+use crate::methods::{dij, full, hyp, ldm, AuthMethod, MethodConfig};
 use crate::tuple::ExtendedTuple;
 use rand::Rng;
 use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
@@ -77,6 +77,19 @@ pub enum MethodHints {
     },
 }
 
+impl MethodHints {
+    /// The method's lifecycle implementation — how a provider holding
+    /// these hints dispatches proof assembly.
+    pub fn method(&self) -> &'static dyn AuthMethod {
+        match self {
+            MethodHints::Dij => &dij::DijMethod,
+            MethodHints::Full { .. } => &full::FullMethod,
+            MethodHints::Ldm(_) => &ldm::LdmMethod,
+            MethodHints::Hyp { .. } => &hyp::HypMethod,
+        }
+    }
+}
+
 /// Result of `DataOwner::publish`.
 #[derive(Debug, Clone)]
 pub struct Published {
@@ -94,7 +107,9 @@ pub struct Published {
 pub struct DataOwner;
 
 impl DataOwner {
-    /// Builds, signs and packages everything for `method`.
+    /// Builds, signs and packages everything for `method`, generating a
+    /// fresh owner keypair. Owners that will publish **updates** later
+    /// should retain their keypair and use [`Self::publish_with_key`].
     pub fn publish<R: Rng + ?Sized>(
         graph: &Graph,
         method: &MethodConfig,
@@ -102,70 +117,35 @@ impl DataOwner {
         rng: &mut R,
     ) -> Published {
         let keypair = RsaKeyPair::generate(rng, cfg.rsa_bits);
+        Self::publish_with_key(graph, method, cfg, &keypair)
+    }
+
+    /// Builds, signs and packages everything for `method` with a
+    /// caller-retained keypair, so the owner can later re-sign epoch
+    /// bumps ([`crate::update::update_edge_weight`],
+    /// [`crate::service::SpService::update_edge_weight`]).
+    ///
+    /// All method-specific work — hint construction, auxiliary-root
+    /// signing, per-node tuple payloads — dispatches through the
+    /// method's [`AuthMethod`] implementation.
+    pub fn publish_with_key(
+        graph: &Graph,
+        method: &MethodConfig,
+        cfg: &SetupConfig,
+        keypair: &RsaKeyPair,
+    ) -> Published {
         let start = std::time::Instant::now();
+        let method_impl = method.method();
 
         // Method-specific hints first (tuples may embed them).
-        let (tuples, hints, params): (Vec<ExtendedTuple>, MethodHints, MethodParams) = match method
-        {
-            MethodConfig::Dij => (
-                graph
-                    .nodes()
-                    .map(|v| ExtendedTuple::base(graph, v))
-                    .collect(),
-                MethodHints::Dij,
-                MethodParams::Dij,
-            ),
-            MethodConfig::Full { use_floyd_warshall } => {
-                let (ads, stats) = DistanceAds::build(graph, cfg.fanout, *use_floyd_warshall);
-                let signed_root = ads.sign(&keypair);
-                (
-                    graph
-                        .nodes()
-                        .map(|v| ExtendedTuple::base(graph, v))
-                        .collect(),
-                    MethodHints::Full {
-                        ads,
-                        signed_root,
-                        stats,
-                    },
-                    MethodParams::Full,
-                )
-            }
-            MethodConfig::Ldm(lcfg) => {
-                let hints = LdmHints::build(graph, lcfg, cfg.seed ^ 0x1D4);
-                let tuples = graph
-                    .nodes()
-                    .map(|v| ExtendedTuple::with_psi(graph, v, &hints.vectors))
-                    .collect();
-                let lambda = hints.lambda();
-                (
-                    tuples,
-                    MethodHints::Ldm(hints),
-                    MethodParams::Ldm { lambda },
-                )
-            }
-            MethodConfig::Hyp { cells } => {
-                let hints = HypHints::build(graph, *cells, cfg.fanout);
-                let hyper_signed = hints.sign_hyper(&keypair, cfg.fanout as u32);
-                let cell_dir_signed = hints.sign_cell_dir(&keypair, cfg.fanout as u32);
-                let tuples = graph
-                    .nodes()
-                    .map(|v| ExtendedTuple::with_cell(graph, v, &hints.partition))
-                    .collect();
-                (
-                    tuples,
-                    MethodHints::Hyp {
-                        hints,
-                        hyper_signed,
-                        cell_dir_signed,
-                    },
-                    MethodParams::Hyp,
-                )
-            }
-        };
+        let (hints, params) = method_impl.build_hints(graph, method, cfg, keypair);
+        let tuples: Vec<ExtendedTuple> = graph
+            .nodes()
+            .map(|v| method_impl.make_tuple(graph, v, &hints))
+            .collect();
 
         let ads = NetworkAds::build(graph, tuples, cfg.ordering, cfg.fanout, cfg.seed);
-        let network_root = SignedRoot::sign(&keypair, ads.root(), ads.meta(params.encode()));
+        let network_root = SignedRoot::sign(keypair, ads.root(), ads.meta(params.encode()));
         let construction_seconds = start.elapsed().as_secs_f64();
 
         Published {

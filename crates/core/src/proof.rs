@@ -95,6 +95,17 @@ impl SpProof {
         }
     }
 
+    /// Mutable access to the primary tuple list — what shape-generic
+    /// consumers (e.g. the tamper simulator) mutate without matching on
+    /// the method.
+    pub fn tuples_mut(&mut self) -> &mut Vec<Arc<ExtendedTuple>> {
+        match self {
+            SpProof::Subgraph { tuples } => tuples,
+            SpProof::Distance { path_tuples, .. } => path_tuples,
+            SpProof::Hyp { cell_tuples, .. } => cell_tuples,
+        }
+    }
+
     /// HYP ships two tuple lists; this returns the second (path tuples
     /// outside the cells), empty for other methods.
     pub fn extra_tuples(&self) -> &[Arc<ExtendedTuple>] {

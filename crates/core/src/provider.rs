@@ -1,13 +1,10 @@
 //! The service provider: answers queries with proofs (Algorithm 1).
 
 use crate::error::ProviderError;
-use crate::methods::{dij, ldm};
-use crate::owner::{MethodHints, ProviderPackage};
-use crate::proof::{Answer, IntegrityProof, SpProof};
-use crate::tuple::ExtendedTuple;
+use crate::owner::ProviderPackage;
+use crate::proof::{Answer, IntegrityProof};
 use spnet_graph::algo::{bidirectional_path, dijkstra_path};
-use spnet_graph::{NodeId, Path};
-use std::sync::Arc;
+use spnet_graph::NodeId;
 
 /// The provider's shortest-path algorithm `algosp` (Algorithm 1,
 /// Line 1) — the verification framework is agnostic to this choice, so
@@ -43,6 +40,12 @@ impl ServiceProvider {
         self
     }
 
+    /// Selects a different `algosp` in place (the service facade's
+    /// runtime switch).
+    pub fn set_algorithm(&mut self, algo: AlgoSp) {
+        self.algo = algo;
+    }
+
     /// Read access to the package (used by the tamper simulator).
     pub fn package(&self) -> &ProviderPackage {
         &self.package
@@ -66,112 +69,16 @@ impl ServiceProvider {
             source: vs,
             target: vt,
         })?;
-        // Lines 2–3: ΓS from the hints, ΓT from the ADS.
-        let (sp, covered_nodes) = self.build_sp_proof(vs, vt, &path)?;
+        // Lines 2–3: ΓS from the hints (dispatched through the method's
+        // `AuthMethod` implementation), ΓT from the ADS.
+        let method = self.package.hints.method();
+        let (sp, covered_nodes) = method.prove(&self.package, vs, vt, &path)?;
         let integrity = self.build_integrity(&covered_nodes)?;
         Ok(Answer {
             path,
             sp,
             integrity,
         })
-    }
-
-    /// Assembles ΓS and returns the node list whose tuples ΓT must
-    /// cover (in the exact order the proof ships them).
-    fn build_sp_proof(
-        &self,
-        vs: NodeId,
-        vt: NodeId,
-        path: &Path,
-    ) -> Result<(SpProof, Vec<NodeId>), ProviderError> {
-        let g = &self.package.graph;
-        let ads = &self.package.ads;
-        match &self.package.hints {
-            MethodHints::Dij => {
-                let nodes = dij::gamma_nodes(g, vs, path.distance);
-                let tuples: Vec<Arc<ExtendedTuple>> =
-                    nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
-                Ok((SpProof::Subgraph { tuples }, nodes))
-            }
-            MethodHints::Ldm(hints) => {
-                let nodes = ldm::gamma_nodes(g, hints, vs, vt, path.distance);
-                let tuples: Vec<Arc<ExtendedTuple>> =
-                    nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
-                Ok((SpProof::Subgraph { tuples }, nodes))
-            }
-            MethodHints::Full {
-                ads: dads,
-                signed_root,
-                ..
-            } => {
-                let full = dads.prove(g, vs, vt);
-                let path_tuples: Vec<Arc<ExtendedTuple>> =
-                    path.nodes.iter().map(|&v| ads.tuple_shared(v)).collect();
-                Ok((
-                    SpProof::Distance {
-                        full,
-                        signed_root: signed_root.clone(),
-                        path_tuples,
-                    },
-                    path.nodes.clone(),
-                ))
-            }
-            MethodHints::Hyp {
-                hints,
-                hyper_signed,
-                cell_dir_signed,
-            } => {
-                let coarse = hints.coarse_nodes(vs, vt);
-                let coarse_set: std::collections::BTreeSet<NodeId> =
-                    coarse.iter().copied().collect();
-                let extra: Vec<NodeId> = path
-                    .nodes
-                    .iter()
-                    .copied()
-                    .filter(|v| !coarse_set.contains(v))
-                    .collect();
-                let cell_tuples: Vec<Arc<ExtendedTuple>> =
-                    coarse.iter().map(|&v| ads.tuple_shared(v)).collect();
-                let path_tuples: Vec<Arc<ExtendedTuple>> =
-                    extra.iter().map(|&v| ads.tuple_shared(v)).collect();
-                let keys = hints.hyper_keys(vs, vt);
-                let hyper = match &hints.hyper_tree {
-                    Some(t) => t
-                        .prove_keys(&keys)
-                        .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?,
-                    None => {
-                        // No borders anywhere (single populated cell):
-                        // an empty keyed proof; verification relies on
-                        // in-cell distances alone.
-                        spnet_crypto::mbtree::KeyedProof {
-                            entries: vec![],
-                            positions: vec![],
-                            merkle: spnet_crypto::merkle::MerkleProof {
-                                entries: vec![],
-                                leaf_count: 0,
-                                fanout: self.package.ads.fanout() as u32,
-                            },
-                        }
-                    }
-                };
-                let cell_dir = hints
-                    .cell_dir
-                    .prove_keys(&hints.batch_dir_keys(&[(vs, vt)]))
-                    .map_err(|e| ProviderError::ProofAssembly(e.to_string()))?;
-                let covered: Vec<NodeId> = coarse.into_iter().chain(extra).collect();
-                Ok((
-                    SpProof::Hyp {
-                        cell_tuples,
-                        path_tuples,
-                        hyper,
-                        hyper_signed_root: hyper_signed.clone(),
-                        cell_dir,
-                        cell_dir_signed_root: cell_dir_signed.clone(),
-                    },
-                    covered,
-                ))
-            }
-        }
     }
 
     /// Builds ΓT over the given node list (order defines the positions

@@ -1,0 +1,620 @@
+//! `SpService` — the front door: epoch-bound client sessions over a
+//! served provider package.
+//!
+//! The raw role APIs ([`ServiceProvider`], [`Client`]) wire one query
+//! at a time and re-verify the owner's signature on every answer; they
+//! also accept any correctly-signed root, so a client can silently
+//! keep verifying against a *stale* epoch after the owner published an
+//! update. This facade fixes both:
+//!
+//! * [`SpService::open_session`] authenticates the published epoch
+//!   **once** — signed network root + method params — and returns a
+//!   [`Session`] bound to it. Every subsequent answer is checked
+//!   against that exact pinned root (byte equality, no per-answer RSA).
+//! * [`SpService::update_edge_weight`] applies an owner edge update
+//!   and bumps the epoch. Open sessions observe the bump as an
+//!   explicit [`SessionError::EpochInvalidated`] on their next query —
+//!   never a silently-accepted stale root — and simply reopen.
+//! * [`Session::query_stream`] serves large query lists as pooled
+//!   chunks through the versioned stream wire format, yielding
+//!   verified answers incrementally (see [`crate::stream`]).
+//!
+//! Every method is served through its
+//! [`AuthMethod`](crate::methods::AuthMethod) trait object — the
+//! facade itself is method-agnostic, and later extensions (sharding,
+//! async backends, multi-method providers) plug in behind it.
+//!
+//! ```
+//! use spnet_core::prelude::*;
+//! use spnet_graph::{gen::grid_network, NodeId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let graph = grid_network(6, 6, 1.1, 7);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let published = DataOwner::publish(&graph, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
+//!
+//! let service = SpService::new(published.package);
+//! let session = service
+//!     .open_session(Client::new(published.public_key))
+//!     .expect("authentic epoch");
+//! let answer = session.query(NodeId(0), NodeId(35)).expect("verified");
+//! assert!(answer.distance > 0.0);
+//! ```
+
+use crate::ads::SignedRoot;
+use crate::client::Client;
+use crate::error::{ProviderError, VerifyError};
+use crate::methods::MethodParams;
+use crate::provider::{AlgoSp, ServiceProvider};
+use crate::stream::{StreamError, StreamVerifier, DEFAULT_CHUNK_LEN};
+use crate::update::{self, UpdateError};
+use crate::wire::{encode_frame, StreamFrame};
+use spnet_crypto::rsa::RsaKeyPair;
+use spnet_graph::{NodeId, Path};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+/// Why a session operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The service's epoch advanced past the one this session bound at
+    /// open (an owner update re-signed the root). Reopen to continue.
+    EpochInvalidated {
+        /// The epoch the session was opened against.
+        opened: u64,
+        /// The service's current epoch.
+        current: u64,
+    },
+    /// The published epoch failed authentication at open (bad owner
+    /// signature or undecodable method params).
+    OpenRejected(VerifyError),
+    /// The provider could not answer (unknown node, unreachable pair).
+    Provider(ProviderError),
+    /// A provider answer failed verification.
+    Verify(VerifyError),
+    /// A streamed chunk failed framing or verification.
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::EpochInvalidated { opened, current } => write!(
+                f,
+                "session epoch {opened} invalidated by owner update (current epoch {current}); reopen the session"
+            ),
+            SessionError::OpenRejected(e) => write!(f, "epoch authentication failed: {e}"),
+            SessionError::Provider(e) => write!(f, "provider error: {e}"),
+            SessionError::Verify(e) => write!(f, "verification failed: {e}"),
+            SessionError::Stream(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ProviderError> for SessionError {
+    fn from(e: ProviderError) -> Self {
+        SessionError::Provider(e)
+    }
+}
+
+impl From<VerifyError> for SessionError {
+    fn from(e: VerifyError) -> Self {
+        SessionError::Verify(e)
+    }
+}
+
+impl From<StreamError> for SessionError {
+    fn from(e: StreamError) -> Self {
+        SessionError::Stream(e)
+    }
+}
+
+struct ServiceState {
+    provider: ServiceProvider,
+    epoch: u64,
+}
+
+/// The serving facade: one provider package, an epoch counter, and
+/// session handout. Cheap to clone and share across serving threads.
+#[derive(Clone)]
+pub struct SpService {
+    state: Arc<RwLock<ServiceState>>,
+}
+
+impl SpService {
+    /// Wraps an owner-published package for serving.
+    pub fn new(package: crate::owner::ProviderPackage) -> Self {
+        Self::with_provider(ServiceProvider::new(package))
+    }
+
+    /// Wraps a pre-configured provider (e.g. a different `algosp`).
+    pub fn with_provider(provider: ServiceProvider) -> Self {
+        SpService {
+            state: Arc::new(RwLock::new(ServiceState { provider, epoch: 0 })),
+        }
+    }
+
+    /// Selects a different shortest-path algorithm for future answers.
+    pub fn set_algorithm(&self, algo: AlgoSp) {
+        self.write().provider.set_algorithm(algo);
+    }
+
+    /// The current epoch (starts at 0, +1 per owner update).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
+    /// The serving method's display name.
+    pub fn method_name(&self) -> &'static str {
+        self.read().provider.package().hints.method().name()
+    }
+
+    /// Opens a session for `client`: authenticates the current epoch's
+    /// signed network root and method params **once**, then binds the
+    /// session to that root. All session queries verify against the
+    /// pinned root without further RSA signature checks.
+    pub fn open_session(&self, client: Client) -> Result<Session, SessionError> {
+        let st = self.read();
+        let root = st.provider.package().network_root.clone();
+        if !root.verify(client.public_key()) {
+            return Err(SessionError::OpenRejected(VerifyError::BadSignature));
+        }
+        let params = MethodParams::decode(&root.meta.params).map_err(|_| {
+            SessionError::OpenRejected(VerifyError::MetaMismatch("undecodable method params"))
+        })?;
+        Ok(Session {
+            state: Arc::clone(&self.state),
+            client,
+            epoch: st.epoch,
+            root,
+            params,
+        })
+    }
+
+    /// Owner-side: applies an edge-weight update with the owner's
+    /// retained keypair and **bumps the epoch**, invalidating every
+    /// open session (their next query returns
+    /// [`SessionError::EpochInvalidated`]). Returns the new epoch.
+    pub fn update_edge_weight(
+        &self,
+        keypair: &RsaKeyPair,
+        u: NodeId,
+        v: NodeId,
+        new_weight: f64,
+    ) -> Result<u64, UpdateError> {
+        let mut st = self.write();
+        update::update_edge_weight(&mut st.provider.package, keypair, u, v, new_weight)?;
+        st.epoch += 1;
+        Ok(st.epoch)
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, ServiceState> {
+        self.state.read().expect("service lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, ServiceState> {
+        self.state.write().expect("service lock poisoned")
+    }
+}
+
+/// A verified session answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionAnswer {
+    /// The provider's reported shortest path (endpoint- and
+    /// edge-authenticated).
+    pub path: Path,
+    /// The proven optimal distance.
+    pub distance: f64,
+}
+
+/// A client session bound to one published epoch.
+///
+/// Obtained from [`SpService::open_session`]. Holds the epoch's
+/// RSA-verified signed root; every query's answer must carry exactly
+/// that root. When the owner updates the network, queries fail with
+/// [`SessionError::EpochInvalidated`] — reopen to bind the new epoch.
+pub struct Session {
+    state: Arc<RwLock<ServiceState>>,
+    client: Client,
+    epoch: u64,
+    root: SignedRoot,
+    params: MethodParams,
+}
+
+impl Session {
+    /// The epoch this session is bound to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The serving method's display name (from the authenticated
+    /// params, not provider claims).
+    pub fn method_name(&self) -> &'static str {
+        self.params.method().name()
+    }
+
+    /// The authenticated method parameters this session verified at
+    /// open.
+    pub fn params(&self) -> &MethodParams {
+        &self.params
+    }
+
+    fn guard(&self) -> Result<RwLockReadGuard<'_, ServiceState>, SessionError> {
+        let st = self.state.read().expect("service lock poisoned");
+        if st.epoch != self.epoch {
+            return Err(SessionError::EpochInvalidated {
+                opened: self.epoch,
+                current: st.epoch,
+            });
+        }
+        Ok(st)
+    }
+
+    /// Answers and verifies one query against the pinned epoch root.
+    pub fn query(&self, vs: NodeId, vt: NodeId) -> Result<SessionAnswer, SessionError> {
+        let answer = {
+            let st = self.guard()?;
+            st.provider.answer(vs, vt)?
+        };
+        let v = self.client.verify_pinned(vs, vt, &answer, &self.root)?;
+        Ok(SessionAnswer {
+            path: answer.path,
+            distance: v.distance,
+        })
+    }
+
+    /// Answers and verifies a batch with one pooled proof (shared
+    /// tuples, one Merkle cover, aux signatures once per batch).
+    pub fn query_batch(
+        &self,
+        queries: &[(NodeId, NodeId)],
+    ) -> Result<Vec<SessionAnswer>, SessionError> {
+        let batch = {
+            let st = self.guard()?;
+            st.provider.answer_batch_impl(queries)?
+        };
+        let distances = self
+            .client
+            .verify_batch_impl(queries, &batch, Some(&self.root))?;
+        Ok(batch
+            .queries
+            .into_iter()
+            .zip(distances)
+            .map(|(q, distance)| SessionAnswer {
+                path: q.path,
+                distance,
+            })
+            .collect())
+    }
+
+    /// Serves `queries` as a verified stream with the default chunk
+    /// size: an iterator yielding each pooled chunk's verified answers
+    /// as the provider produces it.
+    pub fn query_stream<'s>(&'s self, queries: &'s [(NodeId, NodeId)]) -> SessionStream<'s> {
+        self.query_stream_chunked(queries, DEFAULT_CHUNK_LEN)
+    }
+
+    /// [`Self::query_stream`] with an explicit chunk size (clamped to
+    /// at least 1).
+    ///
+    /// Chunks are proven lazily: an epoch bump mid-stream surfaces as
+    /// [`SessionError::EpochInvalidated`] on the next chunk instead of
+    /// serving stale roots. Every chunk round-trips through the
+    /// versioned stream wire frames and the full batched verification,
+    /// so the bytes path of a networked deployment is exercised
+    /// end to end.
+    pub fn query_stream_chunked<'s>(
+        &'s self,
+        queries: &'s [(NodeId, NodeId)],
+        chunk_len: usize,
+    ) -> SessionStream<'s> {
+        SessionStream {
+            session: self,
+            queries,
+            chunk_len: chunk_len.max(1),
+            verifier: StreamVerifier::with_pinned_root(&self.client, queries, &self.root),
+            next: 0,
+            chunks_emitted: 0,
+            stage: StreamStage::Header,
+        }
+    }
+}
+
+enum StreamStage {
+    Header,
+    Chunks,
+    End,
+    Done,
+}
+
+/// A lazy, incrementally verified query stream over a session (see
+/// [`Session::query_stream`]). Each `next()` proves, ships and
+/// verifies one pooled chunk, yielding its [`SessionAnswer`]s.
+///
+/// NOTE: this drives the same Header → Chunks → End framing as the
+/// raw provider-side [`crate::stream::AnswerStream`], differing only
+/// in the per-chunk epoch guard; framing changes must be mirrored in
+/// both, and the shared [`StreamVerifier`] enforces the result.
+pub struct SessionStream<'s> {
+    session: &'s Session,
+    queries: &'s [(NodeId, NodeId)],
+    chunk_len: usize,
+    verifier: StreamVerifier<'s>,
+    next: usize,
+    chunks_emitted: u32,
+    stage: StreamStage,
+}
+
+impl SessionStream<'_> {
+    /// Feeds one frame through the client-side verifier, translating
+    /// stream errors.
+    fn feed(&mut self, frame: Vec<u8>) -> Result<Vec<SessionAnswer>, SessionError> {
+        let items = self.verifier.feed(&frame)?;
+        Ok(items
+            .into_iter()
+            .map(|it| SessionAnswer {
+                path: it.path,
+                distance: it.distance,
+            })
+            .collect())
+    }
+}
+
+impl Iterator for SessionStream<'_> {
+    /// One verified chunk of answers per step.
+    type Item = Result<Vec<SessionAnswer>, SessionError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.stage {
+                StreamStage::Header => {
+                    self.stage = if self.queries.is_empty() {
+                        StreamStage::End
+                    } else {
+                        StreamStage::Chunks
+                    };
+                    let frame = encode_frame(&StreamFrame::Header {
+                        total_queries: self.queries.len() as u32,
+                        chunk_len: self.chunk_len as u32,
+                        method_code: self.session.params.code(),
+                    });
+                    match self.feed(frame) {
+                        Ok(_) => continue,
+                        Err(e) => {
+                            self.stage = StreamStage::Done;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                StreamStage::Chunks => {
+                    let start = self.next;
+                    let end = (start + self.chunk_len).min(self.queries.len());
+                    // Prove the chunk at the *current* epoch: a bump
+                    // since open is surfaced, never silently served.
+                    let produced = (|| -> Result<Vec<u8>, SessionError> {
+                        let st = self.session.guard()?;
+                        let batch = st.provider.answer_batch_impl(&self.queries[start..end])?;
+                        Ok(encode_frame(&StreamFrame::Chunk {
+                            start: start as u32,
+                            batch: Box::new(batch),
+                        }))
+                    })();
+                    let frame = match produced {
+                        Ok(f) => f,
+                        Err(e) => {
+                            self.stage = StreamStage::Done;
+                            return Some(Err(e));
+                        }
+                    };
+                    self.next = end;
+                    self.chunks_emitted += 1;
+                    if end == self.queries.len() {
+                        self.stage = StreamStage::End;
+                    }
+                    return match self.feed(frame) {
+                        Ok(items) => Some(Ok(items)),
+                        Err(e) => {
+                            self.stage = StreamStage::Done;
+                            Some(Err(e))
+                        }
+                    };
+                }
+                StreamStage::End => {
+                    self.stage = StreamStage::Done;
+                    let frame = encode_frame(&StreamFrame::End {
+                        total_chunks: self.chunks_emitted,
+                    });
+                    match self.feed(frame) {
+                        Ok(_) => {
+                            debug_assert!(self.verifier.finished());
+                            return None;
+                        }
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                StreamStage::Done => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{LdmConfig, MethodConfig};
+    use crate::owner::{DataOwner, SetupConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::algo::dijkstra_path;
+    use spnet_graph::gen::grid_network;
+    use spnet_graph::Graph;
+
+    fn deploy(method: MethodConfig) -> (Graph, SpService, Client, RsaKeyPair) {
+        let g = grid_network(9, 9, 1.15, 2200);
+        let mut rng = StdRng::seed_from_u64(2201);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let p = DataOwner::publish_with_key(&g, &method, &SetupConfig::default(), &kp);
+        let client = Client::new(p.public_key);
+        (g, SpService::new(p.package), client, kp)
+    }
+
+    fn all_methods() -> Vec<MethodConfig> {
+        vec![
+            MethodConfig::Dij,
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 6,
+                ..LdmConfig::default()
+            }),
+            MethodConfig::Hyp { cells: 9 },
+        ]
+    }
+
+    const QUERIES: [(u32, u32); 5] = [(0, 80), (4, 76), (40, 41), (80, 0), (9, 71)];
+
+    fn as_nodes(qs: &[(u32, u32)]) -> Vec<(NodeId, NodeId)> {
+        qs.iter().map(|&(s, t)| (NodeId(s), NodeId(t))).collect()
+    }
+
+    #[test]
+    fn sessions_serve_all_methods_through_one_facade() {
+        for method in all_methods() {
+            let (g, service, client, _) = deploy(method.clone());
+            assert_eq!(service.method_name(), method.name());
+            let session = service.open_session(client).unwrap();
+            assert_eq!(session.method_name(), method.name());
+            for &(s, t) in &QUERIES {
+                let (s, t) = (NodeId(s), NodeId(t));
+                let a = session.query(s, t).unwrap();
+                let truth = dijkstra_path(&g, s, t).unwrap().distance;
+                assert!(
+                    (a.distance - truth).abs() <= 1e-6 * truth.max(1.0),
+                    "{}: ({s},{t})",
+                    method.name()
+                );
+                assert_eq!(a.path.source(), s);
+                assert_eq!(a.path.target(), t);
+            }
+            // Batch and stream agree with single queries.
+            let qs = as_nodes(&QUERIES);
+            let batch = session.query_batch(&qs).unwrap();
+            let streamed: Vec<SessionAnswer> = session
+                .query_stream_chunked(&qs, 2)
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(batch.len(), qs.len());
+            assert_eq!(streamed.len(), qs.len());
+            for ((b, s_), &(vs, vt)) in batch.iter().zip(&streamed).zip(&qs) {
+                let single = session.query(vs, vt).unwrap();
+                assert_eq!(
+                    b.distance.to_bits(),
+                    single.distance.to_bits(),
+                    "{}: batch ≡ sequential",
+                    method.name()
+                );
+                assert_eq!(
+                    s_.distance.to_bits(),
+                    single.distance.to_bits(),
+                    "{}: stream ≡ sequential",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_owner_key_rejected_at_open() {
+        let (_, service, _, _) = deploy(MethodConfig::Dij);
+        let mut rng = StdRng::seed_from_u64(2202);
+        let other = RsaKeyPair::generate(&mut rng, 256);
+        let err = service
+            .open_session(Client::new(other.public_key().clone()))
+            .err()
+            .unwrap();
+        assert_eq!(err, SessionError::OpenRejected(VerifyError::BadSignature));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_open_sessions() {
+        let (g, service, client, kp) = deploy(MethodConfig::Dij);
+        let session = service.open_session(client.clone()).unwrap();
+        session.query(NodeId(0), NodeId(80)).unwrap();
+        // Owner updates an edge: epoch bumps.
+        let (u, v, w) = g.edges().next().unwrap();
+        assert_eq!(service.epoch(), 0);
+        assert_eq!(service.update_edge_weight(&kp, u, v, w * 2.0).unwrap(), 1);
+        assert_eq!(service.epoch(), 1);
+        // The stale session fails loudly...
+        assert_eq!(
+            session.query(NodeId(0), NodeId(80)),
+            Err(SessionError::EpochInvalidated {
+                opened: 0,
+                current: 1
+            })
+        );
+        assert!(matches!(
+            session.query_batch(&as_nodes(&QUERIES)),
+            Err(SessionError::EpochInvalidated { .. })
+        ));
+        // ...and a reopened session serves the updated network.
+        let fresh = service.open_session(client).unwrap();
+        assert_eq!(fresh.epoch(), 1);
+        let a = fresh.query(NodeId(0), NodeId(80)).unwrap();
+        let st = service.read();
+        let truth = dijkstra_path(&st.provider.package().graph, NodeId(0), NodeId(80))
+            .unwrap()
+            .distance;
+        assert!((a.distance - truth).abs() <= 1e-6 * truth.max(1.0));
+    }
+
+    #[test]
+    fn epoch_bump_mid_stream_surfaces_as_invalidation() {
+        let (g, service, client, kp) = deploy(MethodConfig::Dij);
+        let session = service.open_session(client).unwrap();
+        let qs = as_nodes(&QUERIES);
+        let mut stream = session.query_stream_chunked(&qs, 2);
+        // First chunk verifies fine.
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        // Owner updates between chunks.
+        let (u, v, w) = g.edges().next().unwrap();
+        service.update_edge_weight(&kp, u, v, w * 3.0).unwrap();
+        // The next chunk is refused — never silently stale.
+        assert!(matches!(
+            stream.next().unwrap(),
+            Err(SessionError::EpochInvalidated { .. })
+        ));
+        assert!(stream.next().is_none(), "stream ends after the error");
+    }
+
+    #[test]
+    fn update_requires_updatable_method() {
+        let (g, service, _, kp) = deploy(MethodConfig::Hyp { cells: 9 });
+        let (u, v, w) = g.edges().next().unwrap();
+        assert_eq!(
+            service.update_edge_weight(&kp, u, v, w * 2.0),
+            Err(UpdateError::MethodHasHints)
+        );
+        assert_eq!(service.epoch(), 0, "failed update must not bump the epoch");
+    }
+
+    #[test]
+    fn service_clones_share_state() {
+        let (g, service, client, kp) = deploy(MethodConfig::Dij);
+        let clone = service.clone();
+        let session = clone.open_session(client).unwrap();
+        let (u, v, w) = g.edges().next().unwrap();
+        service.update_edge_weight(&kp, u, v, w * 2.0).unwrap();
+        assert_eq!(clone.epoch(), 1);
+        assert!(matches!(
+            session.query(NodeId(0), NodeId(80)),
+            Err(SessionError::EpochInvalidated { .. })
+        ));
+    }
+}

@@ -1,0 +1,551 @@
+//! Streaming batch serving: pooled chunks, verified incrementally.
+//!
+//! `answer_batch` amortizes beautifully but is all-or-nothing: the
+//! client sees no verified answer until the whole batch arrived. For
+//! heavy interactive traffic (the ROADMAP's north star) a provider
+//! wants to **stream**: prove pooled chunks of the query list and ship
+//! each as soon as it is ready, while the client verifies and releases
+//! answers incrementally. This module supplies both halves:
+//!
+//! * [`AnswerStream`] — a lazy provider-side iterator over encoded
+//!   [`StreamFrame`]s (`Header`, `Chunk`…, `End`), each chunk a
+//!   [`BatchAnswer`](crate::batch::BatchAnswer) over the next slice of
+//!   queries;
+//! * [`StreamVerifier`] — a client-side state machine fed one frame at
+//!   a time, yielding the verified answers of each chunk and enforcing
+//!   the framing protocol (header first, contiguous in-order chunks,
+//!   an `End` frame binding the chunk count, full coverage of the
+//!   query list). Truncated, reordered, duplicated or tampered streams
+//!   fail with typed [`StreamError`]s.
+//!
+//! The [`crate::service::Session`] facade couples the two in-process
+//! (through the actual wire encoding, so the bytes path is exercised
+//! end to end); a networked deployment ships the frames instead.
+
+use crate::ads::SignedRoot;
+use crate::client::Client;
+use crate::enc::DecodeError;
+use crate::error::{ProviderError, VerifyError};
+use crate::provider::ServiceProvider;
+use crate::wire::{decode_frame, encode_frame, StreamFrame};
+use spnet_graph::{NodeId, Path};
+
+/// Default queries per pooled chunk ([`ServiceProvider::answer_stream`]
+/// callers can override).
+pub const DEFAULT_CHUNK_LEN: usize = 16;
+
+/// Why a stream was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A frame failed to decode (truncation, version mismatch, bad
+    /// tag).
+    Decode(DecodeError),
+    /// A chunk's batch answer failed cryptographic verification.
+    Verify(VerifyError),
+    /// The framing protocol was violated (out-of-order chunk, missing
+    /// header, duplicate header, frame after end, …).
+    Protocol(&'static str),
+    /// The stream ended before covering every query.
+    Truncated {
+        /// Queries verified before the stream ended.
+        verified: usize,
+        /// Queries the stream promised to answer.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Decode(e) => write!(f, "stream frame decode failed: {e}"),
+            StreamError::Verify(e) => write!(f, "stream chunk rejected: {e}"),
+            StreamError::Protocol(m) => write!(f, "stream protocol violation: {m}"),
+            StreamError::Truncated { verified, expected } => {
+                write!(
+                    f,
+                    "stream truncated: {verified} of {expected} queries verified"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<DecodeError> for StreamError {
+    fn from(e: DecodeError) -> Self {
+        StreamError::Decode(e)
+    }
+}
+
+impl From<VerifyError> for StreamError {
+    fn from(e: VerifyError) -> Self {
+        StreamError::Verify(e)
+    }
+}
+
+/// Provider-side stage of a stream.
+enum ProduceStage {
+    Header,
+    Chunks,
+    End,
+    Done,
+}
+
+/// A lazy iterator of encoded stream frames: chunk `i` is proven only
+/// when the consumer pulls it, so the first verified answers leave the
+/// provider after one chunk's work instead of the whole batch's.
+///
+/// NOTE: `service::SessionStream` drives the same Header → Chunks →
+/// End framing with per-chunk epoch re-checks; a framing change here
+/// (new frame kind, header field, chunking rule) must be mirrored
+/// there, and [`StreamVerifier`] enforces the result for both.
+pub struct AnswerStream<'a> {
+    provider: &'a ServiceProvider,
+    queries: &'a [(NodeId, NodeId)],
+    chunk_len: usize,
+    next: usize,
+    chunks_emitted: u32,
+    stage: ProduceStage,
+}
+
+impl ServiceProvider {
+    /// Serves `queries` as a lazy stream of encoded frames: a header,
+    /// one pooled [`BatchAnswer`](crate::batch::BatchAnswer) chunk per
+    /// `chunk_len` queries (the last chunk may be smaller), and an end
+    /// frame. `chunk_len` is clamped to at least 1.
+    pub fn answer_stream<'a>(
+        &'a self,
+        queries: &'a [(NodeId, NodeId)],
+        chunk_len: usize,
+    ) -> AnswerStream<'a> {
+        AnswerStream {
+            provider: self,
+            queries,
+            chunk_len: chunk_len.max(1),
+            next: 0,
+            chunks_emitted: 0,
+            stage: ProduceStage::Header,
+        }
+    }
+}
+
+impl Iterator for AnswerStream<'_> {
+    type Item = Result<Vec<u8>, ProviderError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.stage {
+            ProduceStage::Header => {
+                self.stage = if self.queries.is_empty() {
+                    ProduceStage::End
+                } else {
+                    ProduceStage::Chunks
+                };
+                Some(Ok(encode_frame(&StreamFrame::Header {
+                    total_queries: self.queries.len() as u32,
+                    chunk_len: self.chunk_len as u32,
+                    method_code: self.provider.package().hints.method().params_code(),
+                })))
+            }
+            ProduceStage::Chunks => {
+                let start = self.next;
+                let end = (start + self.chunk_len).min(self.queries.len());
+                let batch = match self.provider.answer_batch_impl(&self.queries[start..end]) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.stage = ProduceStage::Done;
+                        return Some(Err(e));
+                    }
+                };
+                self.next = end;
+                self.chunks_emitted += 1;
+                if end == self.queries.len() {
+                    self.stage = ProduceStage::End;
+                }
+                Some(Ok(encode_frame(&StreamFrame::Chunk {
+                    start: start as u32,
+                    batch: Box::new(batch),
+                })))
+            }
+            ProduceStage::End => {
+                self.stage = ProduceStage::Done;
+                Some(Ok(encode_frame(&StreamFrame::End {
+                    total_chunks: self.chunks_emitted,
+                })))
+            }
+            ProduceStage::Done => None,
+        }
+    }
+}
+
+/// One verified answer released by a stream chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedItem {
+    /// Index of the query in the submitted query list.
+    pub index: usize,
+    /// The provider's reported shortest path.
+    pub path: Path,
+    /// The proven optimal distance.
+    pub distance: f64,
+}
+
+/// Client-side incremental stream verification.
+///
+/// Feed frames in arrival order with [`Self::feed`]; each chunk frame
+/// returns its queries' verified answers. Call [`Self::finish`] (or
+/// check [`Self::finished`]) after the transport closes: a stream that
+/// never delivered its `End` frame — or whose `End` arrived before
+/// every query was covered — is **truncated**, not complete.
+pub struct StreamVerifier<'a> {
+    client: &'a Client,
+    queries: &'a [(NodeId, NodeId)],
+    /// Session-pinned epoch root (verify signature once at open).
+    pinned: Option<&'a SignedRoot>,
+    /// From the header frame: (method wire code, declared chunk size).
+    header: Option<(u8, usize)>,
+    next_start: usize,
+    chunks_seen: u32,
+    done: bool,
+}
+
+impl<'a> StreamVerifier<'a> {
+    /// A verifier for `queries`, authenticating every chunk's signed
+    /// roots from scratch.
+    pub fn new(client: &'a Client, queries: &'a [(NodeId, NodeId)]) -> Self {
+        StreamVerifier {
+            client,
+            queries,
+            pinned: None,
+            header: None,
+            next_start: 0,
+            chunks_seen: 0,
+            done: false,
+        }
+    }
+
+    /// A verifier pinned to an already RSA-verified network root (the
+    /// session facade's path): chunks signed for any other epoch are
+    /// rejected without a signature check.
+    pub fn with_pinned_root(
+        client: &'a Client,
+        queries: &'a [(NodeId, NodeId)],
+        root: &'a SignedRoot,
+    ) -> Self {
+        StreamVerifier {
+            pinned: Some(root),
+            ..Self::new(client, queries)
+        }
+    }
+
+    /// Processes one encoded frame, returning the verified answers it
+    /// released (empty for header/end frames).
+    pub fn feed(&mut self, frame: &[u8]) -> Result<Vec<VerifiedItem>, StreamError> {
+        if self.done {
+            return Err(StreamError::Protocol("frame after end of stream"));
+        }
+        match decode_frame(frame)? {
+            StreamFrame::Header {
+                total_queries,
+                chunk_len,
+                method_code,
+            } => {
+                if self.header.is_some() {
+                    return Err(StreamError::Protocol("duplicate header frame"));
+                }
+                if total_queries as usize != self.queries.len() {
+                    return Err(StreamError::Protocol(
+                        "header query count does not match submitted queries",
+                    ));
+                }
+                if chunk_len == 0 && !self.queries.is_empty() {
+                    return Err(StreamError::Protocol("header declares zero chunk size"));
+                }
+                self.header = Some((method_code, chunk_len as usize));
+                Ok(Vec::new())
+            }
+            StreamFrame::Chunk { start, batch } => {
+                let Some((method_code, chunk_len)) = self.header else {
+                    return Err(StreamError::Protocol("chunk before header"));
+                };
+                if start as usize != self.next_start {
+                    return Err(StreamError::Protocol(
+                        "chunk out of order (start does not continue the stream)",
+                    ));
+                }
+                if self.next_start == self.queries.len() {
+                    return Err(StreamError::Protocol("chunk after all queries covered"));
+                }
+                // The header's declared chunking is binding: every
+                // chunk carries exactly chunk_len queries except a
+                // smaller final remainder.
+                let k = batch.queries.len();
+                let expected = chunk_len.min(self.queries.len() - self.next_start);
+                if k != expected {
+                    return Err(StreamError::Protocol(
+                        "chunk size differs from header's declared chunking",
+                    ));
+                }
+                let end = self.next_start + k;
+                // Cheap protocol checks precede the expensive batch
+                // verification: the signed params' method must be the
+                // one the header announced (a header lie is caught on
+                // the first chunk, before any RSA/Merkle work).
+                let params =
+                    crate::methods::MethodParams::decode(&batch.integrity.signed_root.meta.params)
+                        .map_err(|_| VerifyError::MetaMismatch("undecodable method params"))?;
+                if params.code() != method_code {
+                    return Err(StreamError::Protocol(
+                        "chunk method differs from stream header",
+                    ));
+                }
+                let slice = &self.queries[self.next_start..end];
+                let distances = self.client.verify_batch_impl(slice, &batch, self.pinned)?;
+                let items = batch
+                    .queries
+                    .iter()
+                    .zip(distances)
+                    .enumerate()
+                    .map(|(i, (q, distance))| VerifiedItem {
+                        index: self.next_start + i,
+                        path: q.path.clone(),
+                        distance,
+                    })
+                    .collect();
+                self.next_start = end;
+                self.chunks_seen += 1;
+                Ok(items)
+            }
+            StreamFrame::End { total_chunks } => {
+                if self.header.is_none() {
+                    return Err(StreamError::Protocol("end before header"));
+                }
+                if total_chunks != self.chunks_seen {
+                    return Err(StreamError::Protocol(
+                        "end frame chunk count does not match received chunks",
+                    ));
+                }
+                if self.next_start != self.queries.len() {
+                    return Err(StreamError::Truncated {
+                        verified: self.next_start,
+                        expected: self.queries.len(),
+                    });
+                }
+                self.done = true;
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// True once the `End` frame was accepted (every query verified).
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
+    /// Number of queries verified so far.
+    pub fn verified_count(&self) -> usize {
+        self.next_start
+    }
+
+    /// Consumes the verifier; errors unless the stream completed.
+    pub fn finish(self) -> Result<(), StreamError> {
+        if self.done {
+            Ok(())
+        } else {
+            Err(StreamError::Truncated {
+                verified: self.next_start,
+                expected: self.queries.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{LdmConfig, MethodConfig};
+    use crate::owner::{DataOwner, SetupConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spnet_graph::gen::grid_network;
+
+    fn deploy(method: MethodConfig) -> (ServiceProvider, Client) {
+        let g = grid_network(9, 9, 1.15, 2100);
+        let mut rng = StdRng::seed_from_u64(2101);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        (ServiceProvider::new(p.package), Client::new(p.public_key))
+    }
+
+    fn all_methods() -> Vec<MethodConfig> {
+        vec![
+            MethodConfig::Dij,
+            MethodConfig::Full {
+                use_floyd_warshall: false,
+            },
+            MethodConfig::Ldm(LdmConfig {
+                landmarks: 6,
+                ..LdmConfig::default()
+            }),
+            MethodConfig::Hyp { cells: 9 },
+        ]
+    }
+
+    fn queries() -> Vec<(NodeId, NodeId)> {
+        vec![
+            (NodeId(0), NodeId(80)),
+            (NodeId(1), NodeId(79)),
+            (NodeId(0), NodeId(40)),
+            (NodeId(9), NodeId(71)),
+            (NodeId(4), NodeId(76)),
+        ]
+    }
+
+    fn collect_frames(
+        provider: &ServiceProvider,
+        qs: &[(NodeId, NodeId)],
+        chunk: usize,
+    ) -> Vec<Vec<u8>> {
+        provider
+            .answer_stream(qs, chunk)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn stream_verifies_incrementally_for_every_method() {
+        for method in all_methods() {
+            let (provider, client) = deploy(method.clone());
+            let qs = queries();
+            let frames = collect_frames(&provider, &qs, 2);
+            // 5 queries at chunk 2 → header + 3 chunks + end.
+            assert_eq!(frames.len(), 5, "{}", method.name());
+            let mut verifier = StreamVerifier::new(&client, &qs);
+            let mut got = Vec::new();
+            for f in &frames {
+                got.extend(verifier.feed(f).unwrap());
+            }
+            assert!(verifier.finished());
+            verifier.finish().unwrap();
+            assert_eq!(got.len(), qs.len(), "{}", method.name());
+            for (i, item) in got.iter().enumerate() {
+                assert_eq!(item.index, i);
+                assert!(item.distance.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let (provider, client) = deploy(MethodConfig::Dij);
+        let qs = queries();
+        let frames = collect_frames(&provider, &qs, 2);
+        // Dropping the end frame: finish() reports truncation.
+        let mut v = StreamVerifier::new(&client, &qs);
+        for f in &frames[..frames.len() - 1] {
+            v.feed(f).unwrap();
+        }
+        assert!(!v.finished());
+        assert_eq!(
+            v.finish(),
+            Err(StreamError::Truncated {
+                verified: 5,
+                expected: 5
+            }),
+            "all chunks arrived but the end frame never did"
+        );
+        // Dropping a chunk *and* forging a consistent end frame: the
+        // end frame's coverage check fires.
+        let mut v = StreamVerifier::new(&client, &qs);
+        v.feed(&frames[0]).unwrap();
+        v.feed(&frames[1]).unwrap();
+        let end = encode_frame(&StreamFrame::End { total_chunks: 1 });
+        assert_eq!(
+            v.feed(&end),
+            Err(StreamError::Truncated {
+                verified: 2,
+                expected: 5
+            })
+        );
+        // Byte-truncating a chunk frame: typed decode error.
+        let mut v = StreamVerifier::new(&client, &qs);
+        v.feed(&frames[0]).unwrap();
+        let cut = &frames[1][..frames[1].len() / 2];
+        assert!(matches!(v.feed(cut), Err(StreamError::Decode(_))));
+    }
+
+    #[test]
+    fn tampered_chunk_rejected() {
+        let (provider, client) = deploy(MethodConfig::Dij);
+        let qs = queries();
+        let frames = collect_frames(&provider, &qs, 2);
+        let mut v = StreamVerifier::new(&client, &qs);
+        v.feed(&frames[0]).unwrap();
+        // Flip a byte inside the chunk's pooled tuples: either the
+        // decode or the Merkle reconstruction must fail.
+        let mut evil = frames[1].clone();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0x01;
+        assert!(v.feed(&evil).is_err());
+    }
+
+    #[test]
+    fn protocol_violations_rejected() {
+        let (provider, client) = deploy(MethodConfig::Dij);
+        let qs = queries();
+        let frames = collect_frames(&provider, &qs, 2);
+        // Chunk before header.
+        let mut v = StreamVerifier::new(&client, &qs);
+        assert!(matches!(
+            v.feed(&frames[1]),
+            Err(StreamError::Protocol("chunk before header"))
+        ));
+        // Duplicate header.
+        let mut v = StreamVerifier::new(&client, &qs);
+        v.feed(&frames[0]).unwrap();
+        assert!(matches!(
+            v.feed(&frames[0]),
+            Err(StreamError::Protocol("duplicate header frame"))
+        ));
+        // Replayed (out-of-order) chunk.
+        let mut v = StreamVerifier::new(&client, &qs);
+        v.feed(&frames[0]).unwrap();
+        v.feed(&frames[1]).unwrap();
+        assert!(matches!(v.feed(&frames[1]), Err(StreamError::Protocol(_))));
+        // Frame after end.
+        let mut v = StreamVerifier::new(&client, &qs);
+        for f in &frames {
+            v.feed(f).unwrap();
+        }
+        assert!(matches!(
+            v.feed(&frames[0]),
+            Err(StreamError::Protocol("frame after end of stream"))
+        ));
+        // Header for a different query count.
+        let short = &qs[..3];
+        let mut v = StreamVerifier::new(&client, short);
+        assert!(matches!(v.feed(&frames[0]), Err(StreamError::Protocol(_))));
+        // A chunk violating the header's declared chunking: header
+        // says 2 queries per chunk, the provider ships one of 1.
+        let smaller = collect_frames(&provider, &qs, 1);
+        let mut v = StreamVerifier::new(&client, &qs);
+        v.feed(&frames[0]).unwrap();
+        assert!(matches!(
+            v.feed(&smaller[1]),
+            Err(StreamError::Protocol(
+                "chunk size differs from header's declared chunking"
+            ))
+        ));
+    }
+
+    #[test]
+    fn empty_stream_completes_with_no_items() {
+        let (provider, client) = deploy(MethodConfig::Dij);
+        let qs: Vec<(NodeId, NodeId)> = Vec::new();
+        let frames = collect_frames(&provider, &qs, 4);
+        assert_eq!(frames.len(), 2, "header + end only");
+        let mut v = StreamVerifier::new(&client, &qs);
+        for f in &frames {
+            assert!(v.feed(f).unwrap().is_empty());
+        }
+        v.finish().unwrap();
+    }
+}

@@ -5,7 +5,7 @@
 //! compromised or profit-driven provider would; the test-suite and the
 //! `tamper_detection` example assert that clients reject every variant.
 
-use crate::proof::{Answer, SpProof};
+use crate::proof::Answer;
 use spnet_graph::{Graph, NodeId};
 
 /// A malicious-provider behaviour.
@@ -65,11 +65,7 @@ pub fn apply(attack: Attack, g: &Graph, answer: &Answer) -> Option<Answer> {
             Some(evil)
         }
         Attack::TamperedWeight => {
-            let tuples = match &mut evil.sp {
-                SpProof::Subgraph { tuples } => tuples,
-                SpProof::Distance { path_tuples, .. } => path_tuples,
-                SpProof::Hyp { cell_tuples, .. } => cell_tuples,
-            };
+            let tuples = evil.sp.tuples_mut();
             let t = tuples.iter_mut().find(|t| !t.adj.is_empty())?;
             // Proof tuples are shared handles into the ADS table;
             // copy-on-write so the attack never corrupts the provider.
@@ -78,11 +74,7 @@ pub fn apply(attack: Attack, g: &Graph, answer: &Answer) -> Option<Answer> {
         }
         Attack::DroppedTuple => {
             let (src, tgt) = (answer.path.source(), answer.path.target());
-            let tuples = match &mut evil.sp {
-                SpProof::Subgraph { tuples } => tuples,
-                SpProof::Distance { path_tuples, .. } => path_tuples,
-                SpProof::Hyp { cell_tuples, .. } => cell_tuples,
-            };
+            let tuples = evil.sp.tuples_mut();
             let idx = tuples.iter().position(|t| t.id != src && t.id != tgt)?;
             tuples.remove(idx);
             evil.integrity.positions.remove(idx);

@@ -17,8 +17,7 @@
 
 use crate::ads::SignedRoot;
 use crate::error::ProviderError;
-use crate::owner::{MethodHints, ProviderPackage};
-use crate::tuple::ExtendedTuple;
+use crate::owner::ProviderPackage;
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::{GraphBuilder, NodeId};
 
@@ -73,7 +72,10 @@ pub fn update_edge_weight(
     v: NodeId,
     new_weight: f64,
 ) -> Result<(), UpdateError> {
-    if !matches!(package.hints, MethodHints::Dij) {
+    // Dispatch through the method's lifecycle trait: only methods
+    // whose sole authenticated state is the network tree can patch.
+    let method = package.hints.method();
+    if !method.supports_incremental_update() {
         return Err(UpdateError::MethodHasHints);
     }
     if !new_weight.is_finite() || new_weight < 0.0 {
@@ -104,7 +106,7 @@ pub fn update_edge_weight(
 
     // Patch the two incident tuples and their Merkle paths.
     for node in [u, v] {
-        let tuple = ExtendedTuple::base(&new_graph, node);
+        let tuple = method.make_tuple(&new_graph, node, &package.hints);
         package
             .ads
             .replace_tuple(node, tuple)
@@ -123,6 +125,7 @@ mod tests {
     use crate::methods::MethodConfig;
     use crate::owner::{DataOwner, SetupConfig};
     use crate::provider::ServiceProvider;
+    use crate::tuple::ExtendedTuple;
     use crate::Client;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

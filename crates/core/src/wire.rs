@@ -4,6 +4,13 @@
 //! encoded to bytes and decoded back. This is what an actual deployment
 //! transmits, and it makes the proof-size figures exact: the harness's
 //! byte counts equal `encode_answer(..).len()` (asserted by tests).
+//!
+//! Every top-level payload (answer, batch answer, stream frame) opens
+//! with an explicit format-version byte ([`WIRE_VERSION`]); decoding a
+//! payload from a different format fails with the typed
+//! [`DecodeError::UnsupportedVersion`] instead of a misleading
+//! truncation error. Streaming batch serving reuses the
+//! [`BatchAnswer`] encoding inside [`StreamFrame::Chunk`] frames.
 
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::batch::{BatchAnswer, BatchAux, BatchQueryProof};
@@ -17,9 +24,29 @@ use spnet_crypto::merkle::{MerkleProof, ProofEntry};
 use spnet_crypto::rsa::RsaSignature;
 use spnet_graph::{NodeId, Path};
 
+/// The wire format version this build encodes and accepts.
+///
+/// Version 1 was the implicit (headerless) seed format; version 2
+/// added the explicit leading version byte and the streaming frames.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Emits the leading version byte of every top-level payload.
+fn put_version(e: &mut Encoder) {
+    e.put_u8(WIRE_VERSION);
+}
+
+/// Consumes and checks the leading version byte.
+fn take_version(d: &mut Decoder<'_>) -> Result<(), DecodeError> {
+    match d.take_u8()? {
+        WIRE_VERSION => Ok(()),
+        v => Err(DecodeError::UnsupportedVersion(v)),
+    }
+}
+
 /// Encodes a full answer into bytes.
 pub fn encode_answer(a: &Answer) -> Vec<u8> {
     let mut e = Encoder::new();
+    put_version(&mut e);
     put_path(&mut e, &a.path);
     put_sp(&mut e, &a.sp);
     put_integrity(&mut e, &a.integrity);
@@ -29,6 +56,7 @@ pub fn encode_answer(a: &Answer) -> Vec<u8> {
 /// Decodes an answer from bytes, requiring full consumption.
 pub fn decode_answer(bytes: &[u8]) -> Result<Answer, DecodeError> {
     let mut d = Decoder::new(bytes);
+    take_version(&mut d)?;
     let path = take_path(&mut d)?;
     let sp = take_sp(&mut d)?;
     let integrity = take_integrity(&mut d)?;
@@ -43,30 +71,44 @@ pub fn decode_answer(bytes: &[u8]) -> Result<Answer, DecodeError> {
 /// Encodes a batched answer into bytes.
 pub fn encode_batch_answer(b: &BatchAnswer) -> Vec<u8> {
     let mut e = Encoder::new();
+    put_version(&mut e);
+    put_batch_body(&mut e, b);
+    e.into_bytes()
+}
+
+/// The version-less batch payload (shared with stream chunk frames).
+fn put_batch_body(e: &mut Encoder, b: &BatchAnswer) {
     e.put_u32(b.queries.len() as u32);
     for q in &b.queries {
-        put_path(&mut e, &q.path);
+        put_path(e, &q.path);
         e.put_u32(q.members.len() as u32);
         for m in &q.members {
             e.put_u32(*m);
         }
     }
-    put_tuples(&mut e, &b.pool);
-    put_integrity(&mut e, &b.integrity);
-    put_batch_aux(&mut e, &b.aux);
-    e.into_bytes()
+    put_tuples(e, &b.pool);
+    put_integrity(e, &b.integrity);
+    put_batch_aux(e, &b.aux);
 }
 
 /// Decodes a batched answer from bytes, requiring full consumption.
 pub fn decode_batch_answer(bytes: &[u8]) -> Result<BatchAnswer, DecodeError> {
     let mut d = Decoder::new(bytes);
+    take_version(&mut d)?;
+    let b = take_batch_body(&mut d)?;
+    d.finish()?;
+    Ok(b)
+}
+
+/// The version-less batch payload (shared with stream chunk frames).
+fn take_batch_body(d: &mut Decoder<'_>) -> Result<BatchAnswer, DecodeError> {
     let k = d.take_u32()? as usize;
     if k > 1 << 24 {
         return Err(DecodeError::LengthOverflow(k as u64));
     }
     let mut queries = Vec::with_capacity(k);
     for _ in 0..k {
-        let path = take_path(&mut d)?;
+        let path = take_path(d)?;
         let m = d.take_u32()? as usize;
         if m > 1 << 24 {
             return Err(DecodeError::LengthOverflow(m as u64));
@@ -77,16 +119,109 @@ pub fn decode_batch_answer(bytes: &[u8]) -> Result<BatchAnswer, DecodeError> {
         }
         queries.push(BatchQueryProof { path, members });
     }
-    let pool = take_tuples(&mut d)?;
-    let integrity = take_integrity(&mut d)?;
-    let aux = take_batch_aux(&mut d)?;
-    d.finish()?;
+    let pool = take_tuples(d)?;
+    let integrity = take_integrity(d)?;
+    let aux = take_batch_aux(d)?;
     Ok(BatchAnswer {
         pool,
         queries,
         integrity,
         aux,
     })
+}
+
+// --- streaming frames --------------------------------------------------
+
+/// One frame of a streaming batch answer.
+///
+/// A stream is `Header`, then `Chunk`s covering contiguous query
+/// ranges in order, then `End`. Each frame is independently encoded
+/// (version byte + frame tag + payload), so a transport can ship them
+/// as separate messages; the [`crate::stream::StreamVerifier`]
+/// enforces the framing protocol and rejects truncation, reordering,
+/// duplication and count mismatches with typed errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// Opens a stream: how many queries it will answer, the provider's
+    /// chunking, and the method's wire code (cross-checked against the
+    /// signed params of every chunk).
+    Header {
+        /// Total queries the stream will cover.
+        total_queries: u32,
+        /// Nominal queries per chunk (the last chunk may be smaller).
+        chunk_len: u32,
+        /// The serving method's wire code.
+        method_code: u8,
+    },
+    /// One pooled batch answer covering queries
+    /// `start .. start + batch.queries.len()`.
+    Chunk {
+        /// Index of the first query this chunk answers.
+        start: u32,
+        /// The chunk's pooled batch answer (boxed: a chunk dwarfs the
+        /// fixed-size header/end frames).
+        batch: Box<BatchAnswer>,
+    },
+    /// Closes a stream; binds the chunk count.
+    End {
+        /// Number of chunk frames the stream carried.
+        total_chunks: u32,
+    },
+}
+
+const FRAME_HEADER: u8 = 1;
+const FRAME_CHUNK: u8 = 2;
+const FRAME_END: u8 = 3;
+
+/// Encodes one stream frame into bytes.
+pub fn encode_frame(f: &StreamFrame) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_version(&mut e);
+    match f {
+        StreamFrame::Header {
+            total_queries,
+            chunk_len,
+            method_code,
+        } => {
+            e.put_u8(FRAME_HEADER);
+            e.put_u32(*total_queries);
+            e.put_u32(*chunk_len);
+            e.put_u8(*method_code);
+        }
+        StreamFrame::Chunk { start, batch } => {
+            e.put_u8(FRAME_CHUNK);
+            e.put_u32(*start);
+            put_batch_body(&mut e, batch);
+        }
+        StreamFrame::End { total_chunks } => {
+            e.put_u8(FRAME_END);
+            e.put_u32(*total_chunks);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes one stream frame from bytes, requiring full consumption.
+pub fn decode_frame(bytes: &[u8]) -> Result<StreamFrame, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    take_version(&mut d)?;
+    let frame = match d.take_u8()? {
+        FRAME_HEADER => StreamFrame::Header {
+            total_queries: d.take_u32()?,
+            chunk_len: d.take_u32()?,
+            method_code: d.take_u8()?,
+        },
+        FRAME_CHUNK => StreamFrame::Chunk {
+            start: d.take_u32()?,
+            batch: Box::new(take_batch_body(&mut d)?),
+        },
+        FRAME_END => StreamFrame::End {
+            total_chunks: d.take_u32()?,
+        },
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    d.finish()?;
+    Ok(frame)
 }
 
 // --- path -------------------------------------------------------------
@@ -447,6 +582,9 @@ fn take_integrity(d: &mut Decoder<'_>) -> Result<IntegrityProof, DecodeError> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated raw batch entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::methods::{LdmConfig, MethodConfig};
     use crate::owner::{DataOwner, SetupConfig};
@@ -634,12 +772,73 @@ mod tests {
     fn bad_sp_tag_rejected() {
         let (answer, _) = answers_for(MethodConfig::Dij);
         let mut bytes = encode_answer(&answer);
-        // The ΓS tag byte sits right after the path block.
-        let tag_pos = 4 + answer.path.nodes.len() * 4 + 8;
+        // The ΓS tag byte sits right after the version byte + path
+        // block.
+        let tag_pos = 1 + 4 + answer.path.nodes.len() * 4 + 8;
         bytes[tag_pos] = 99;
         assert!(matches!(
             decode_answer(&bytes),
             Err(DecodeError::BadTag(99))
         ));
+    }
+
+    #[test]
+    fn wrong_version_byte_rejected_with_typed_error() {
+        let (answer, _) = answers_for(MethodConfig::Dij);
+        let mut bytes = encode_answer(&answer);
+        assert_eq!(bytes[0], WIRE_VERSION);
+        bytes[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_answer(&bytes),
+            Err(DecodeError::UnsupportedVersion(WIRE_VERSION + 1))
+        );
+        let (_, batch, _) = batch_for(MethodConfig::Dij);
+        let mut bbytes = encode_batch_answer(&batch);
+        bbytes[0] = 0;
+        assert_eq!(
+            decode_batch_answer(&bbytes),
+            Err(DecodeError::UnsupportedVersion(0))
+        );
+        let mut fbytes = encode_frame(&StreamFrame::End { total_chunks: 3 });
+        fbytes[0] = 7;
+        assert_eq!(
+            decode_frame(&fbytes),
+            Err(DecodeError::UnsupportedVersion(7))
+        );
+    }
+
+    #[test]
+    fn stream_frames_round_trip() {
+        let (_, batch, _) = batch_for(MethodConfig::Hyp { cells: 9 });
+        let frames = [
+            StreamFrame::Header {
+                total_queries: 3,
+                chunk_len: 2,
+                method_code: 4,
+            },
+            StreamFrame::Chunk {
+                start: 0,
+                batch: Box::new(batch),
+            },
+            StreamFrame::End { total_chunks: 1 },
+        ];
+        for f in &frames {
+            let bytes = encode_frame(f);
+            assert_eq!(&decode_frame(&bytes).unwrap(), f);
+            // Truncations never alias to a valid frame.
+            for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+                assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(matches!(
+                decode_frame(&long),
+                Err(DecodeError::TrailingBytes(1))
+            ));
+        }
+        // An unknown frame tag is rejected.
+        let mut bytes = encode_frame(&StreamFrame::End { total_chunks: 0 });
+        bytes[1] = 42;
+        assert!(matches!(decode_frame(&bytes), Err(DecodeError::BadTag(42))));
     }
 }

@@ -1,12 +1,15 @@
-//! Quickstart: the full three-party protocol in ~40 lines.
+//! Quickstart: the full three-party protocol through the `SpService`
+//! session facade — single queries, a streamed batch, and an epoch
+//! bump observed as explicit session invalidation.
 //!
 //! ```sh
-//! cargo run --release -p spnet-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spnet_core::prelude::*;
+use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::gen::grid_network;
 use spnet_graph::NodeId;
 
@@ -21,40 +24,77 @@ fn main() {
     );
 
     // 2. The data owner builds and signs the authenticated structures.
-    //    LDM with 32 landmarks, 12-bit quantization, ξ = 50.
+    //    DIJ here, so the owner can also publish edge updates later;
+    //    swap in FULL/LDM/HYP and nothing below changes — every method
+    //    is served through its `AuthMethod` trait object.
     let mut rng = StdRng::seed_from_u64(7);
-    let method = MethodConfig::Ldm(LdmConfig {
-        landmarks: 32,
-        ..LdmConfig::default()
-    });
-    let published = DataOwner::publish(&graph, &method, &SetupConfig::default(), &mut rng);
+    let keypair = RsaKeyPair::generate(&mut rng, 256);
+    let method = MethodConfig::Dij;
+    let published = DataOwner::publish_with_key(&graph, &method, &SetupConfig::default(), &keypair);
     println!(
         "owner: published {} hints in {:.2}s",
         method.name(),
         published.construction_seconds
     );
 
-    // 3. The (untrusted) service provider answers a query with a proof.
-    let provider = ServiceProvider::new(published.package);
-    let (vs, vt) = (NodeId(0), NodeId(399));
-    let answer = provider.answer(vs, vt).expect("connected network");
-    let stats = answer.stats();
+    // 3. The (untrusted) service provider runs behind the facade; the
+    //    client opens a session, authenticating the signed epoch root
+    //    and method params exactly once.
+    let service = SpService::new(published.package);
+    let session = service
+        .open_session(Client::new(published.public_key))
+        .expect("owner-signed epoch authenticates");
     println!(
-        "provider: path with {} edges, distance {:.1}; proof = {:.1} KB (ΓS {:.1} KB + ΓT {:.1} KB)",
-        answer.path.num_edges(),
-        answer.path.distance,
-        stats.total_kbytes(),
-        stats.s_bytes as f64 / 1024.0,
-        stats.t_bytes as f64 / 1024.0,
+        "client: session open — epoch {}, method {} (from signed params)",
+        session.epoch(),
+        session.method_name()
     );
 
-    // 4. The client verifies using only the owner's public key.
-    let client = Client::new(published.public_key);
-    match client.verify(vs, vt, &answer) {
-        Ok(v) => println!(
-            "client: ✔ verified shortest path, distance {:.1}",
-            v.distance
-        ),
-        Err(e) => println!("client: ✘ REJECTED — {e}"),
+    // 4. A verified single query.
+    let (vs, vt) = (NodeId(0), NodeId(399));
+    let answer = session.query(vs, vt).expect("connected network");
+    println!(
+        "client: ✔ verified shortest path, {} edges, distance {:.1}",
+        answer.path.num_edges(),
+        answer.distance
+    );
+
+    // 5. A streamed batch: the provider proves pooled chunks, the
+    //    client verifies each chunk as it arrives (through the actual
+    //    versioned wire frames).
+    let queries: Vec<(NodeId, NodeId)> = (0..12).map(|i| (NodeId(i), NodeId(399 - i))).collect();
+    let mut verified = 0usize;
+    for chunk in session.query_stream_chunked(&queries, 4) {
+        let answers = chunk.expect("honest stream chunk");
+        verified += answers.len();
+        println!(
+            "client: ✔ stream chunk of {} answers verified ({verified}/{} total)",
+            answers.len(),
+            queries.len()
+        );
     }
+
+    // 6. The owner publishes an edge update through the service: the
+    //    epoch bumps and the open session is invalidated — loudly, not
+    //    silently served a stale root.
+    let (u, v, w) = graph.edges().next().expect("network has edges");
+    let epoch = service
+        .update_edge_weight(&keypair, u, v, w * 2.0)
+        .expect("DIJ supports in-place updates");
+    println!("owner: edge ({u}, {v}) re-weighted; epoch now {epoch}");
+    match session.query(vs, vt) {
+        Err(SessionError::EpochInvalidated { opened, current }) => println!(
+            "client: ✘ session (epoch {opened}) invalidated by epoch {current} — reopening"
+        ),
+        other => panic!("stale session must be invalidated, got {other:?}"),
+    }
+    let fresh = service
+        .open_session(Client::new(keypair.public_key().clone()))
+        .expect("new epoch authenticates");
+    let again = fresh.query(vs, vt).expect("fresh session serves");
+    println!(
+        "client: ✔ reopened at epoch {}, distance {:.1}",
+        fresh.epoch(),
+        again.distance
+    );
 }
