@@ -1,38 +1,56 @@
-//! CI throughput-regression gate.
+//! CI benchmark-regression gate (throughput + scale modes).
 //!
 //! ```text
 //! throughput_gate [options]
 //!
 //! options:
-//!   --baseline <path>  committed baseline JSON (default BENCH_throughput.json)
+//!   --mode <m>         throughput (default) | scale
+//!   --baseline <path>  committed baseline JSON
+//!                      (default BENCH_throughput.json / BENCH_scale.json)
+//!
+//! throughput mode:
 //!   --scale <f>        dataset scale fraction (default 0.05, matching the baseline)
 //!   --queries <n>      workload size (default 100, matching the baseline)
 //!   --dataset <d>      de|arg|ind|na (default de)
 //!   --seed <n>         master seed (default 42)
 //!
+//! scale mode:
+//!   --smoke-nodes <n>  live smoke size (default 50000)
+//!   --seed <n>         master seed (default 42)
+//!
 //! env:
-//!   SPNET_GATE_TOLERANCE  allowed qps regression fraction (default 0.30)
+//!   SPNET_GATE_TOLERANCE  allowed regression fraction (default 0.15)
 //! ```
 //!
-//! Exit status is non-zero when the baseline violates the schema
-//! (all four methods must report non-null batch qps, with FULL/HYP
-//! batch verify ≥ sequential verify), when the current run loses a
-//! batch column, or when any qps column regresses beyond the
+//! **Throughput mode** re-measures the serving workload and compares
+//! every qps column against the committed `BENCH_throughput.json`,
+//! normalized by each run's reference probe (see `spnet_bench::gate`).
+//!
+//! **Scale mode** validates the committed `BENCH_scale.json`
+//! structurally (≥1M-node row, all families/methods present and
+//! positive, road bucket-queue speedup ≥ 2×) and runs a reduced-size
+//! live smoke of the scale experiment, failing if any column
+//! degenerates or the bucket queue falls behind the heap beyond the
 //! tolerance.
 
 use spnet_bench::gate;
-use spnet_bench::{run_throughput, HarnessConfig};
+use spnet_bench::{run_scale, run_throughput, HarnessConfig, ScaleConfig};
 use spnet_graph::gen::Dataset;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--help" || a == "-h") {
-        eprintln!("see module docs: throughput_gate [--baseline p] [--scale f] [--queries n] [--dataset d] [--seed n]");
+        eprintln!(
+            "see module docs: throughput_gate [--mode throughput|scale] [--baseline p] \
+             [--scale f] [--queries n] [--dataset d] [--seed n] [--smoke-nodes n]"
+        );
         return ExitCode::SUCCESS;
     }
     let mut cfg = HarnessConfig::default();
-    let mut baseline_path = String::from("BENCH_throughput.json");
+    let mut mode = String::from("throughput");
+    let mut baseline_path: Option<String> = None;
+    let mut smoke_nodes = 50_000usize;
     let mut i = 0;
     while i < args.len() {
         let take_value = |i: &mut usize| -> Option<String> {
@@ -40,8 +58,12 @@ fn main() -> ExitCode {
             args.get(*i).cloned()
         };
         match args[i].as_str() {
+            "--mode" => match take_value(&mut i) {
+                Some(v) if v == "throughput" || v == "scale" => mode = v,
+                _ => return bad_usage("--mode needs throughput|scale"),
+            },
             "--baseline" => match take_value(&mut i) {
-                Some(v) => baseline_path = v,
+                Some(v) => baseline_path = Some(v),
                 None => return bad_usage("--baseline needs a path"),
             },
             "--scale" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
@@ -60,6 +82,10 @@ fn main() -> ExitCode {
                 Some(v) => cfg.seed = v,
                 None => return bad_usage("--seed needs an integer"),
             },
+            "--smoke-nodes" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => smoke_nodes = v,
+                None => return bad_usage("--smoke-nodes needs an integer"),
+            },
             other => return bad_usage(&format!("unknown option {other}")),
         }
         i += 1;
@@ -72,6 +98,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let baseline_path = baseline_path.unwrap_or_else(|| {
+        if mode == "scale" {
+            "BENCH_scale.json".into()
+        } else {
+            "BENCH_throughput.json".into()
+        }
+    });
     let baseline_json = match std::fs::read_to_string(&baseline_path) {
         Ok(s) => s,
         Err(e) => {
@@ -79,6 +112,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if mode == "scale" {
+        return scale_gate(&baseline_json, &baseline_path, smoke_nodes, cfg.seed, tolerance);
+    }
+
     eprintln!(
         "[gate] baseline {baseline_path}, tolerance {:.0}%, scale {}, {} queries",
         tolerance * 100.0,
@@ -107,6 +145,52 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+    }
+}
+
+/// Scale mode: committed-schema validation + reduced live smoke.
+fn scale_gate(
+    baseline_json: &str,
+    baseline_path: &str,
+    smoke_nodes: usize,
+    seed: u64,
+    tolerance: f64,
+) -> ExitCode {
+    eprintln!(
+        "[gate] scale baseline {baseline_path}, tolerance {:.0}%, smoke at {smoke_nodes} nodes",
+        tolerance * 100.0
+    );
+    let rows = match gate::parse_scale_baseline(baseline_json) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut violations = gate::scale_schema_violations(&rows);
+    for row in &rows {
+        for f in &row.sssp {
+            println!(
+                "baseline {:5} {:10} heap {:>9.1}ms bucket {:>9.1}ms ({:.2}x)",
+                row.label,
+                f.family,
+                f.heap_ms,
+                f.bucket_ms,
+                f.speedup()
+            );
+        }
+    }
+    let smoke = run_scale(&ScaleConfig::smoke(smoke_nodes, seed));
+    violations.extend(gate::scale_smoke_violations(&smoke, tolerance));
+    for v in &violations {
+        println!("SCHEMA {v}");
+    }
+    if violations.is_empty() {
+        eprintln!("[gate] ok: scale baseline + smoke clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[gate] FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
     }
 }
 

@@ -506,7 +506,7 @@ pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 }
 
 /// Which experiment ids exist (for CLI help and the `all` runner).
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig8",
     "fig9",
     "fig10",
@@ -519,6 +519,7 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "ablation_chain",
     "timing",
     "throughput",
+    "scale",
     "all",
 ];
 
@@ -542,6 +543,10 @@ pub fn run(id: &str, cfg: &HarnessConfig) -> Option<Vec<(String, Table)>> {
         "ablation_chain" => Some(ablation_chain(cfg)),
         "timing" => Some(timing(cfg)),
         "throughput" => Some(crate::throughput::throughput(cfg)),
+        // Deliberately NOT part of `all`: the committed BENCH_scale.json
+        // row set builds million-node hint structures (an hour-scale,
+        // tens-of-GB run). Regenerate it explicitly.
+        "scale" => Some(crate::scale::scale(cfg)),
         "all" => {
             let mut out = Vec::new();
             for f in [

@@ -1,9 +1,11 @@
-//! Throughput-regression gate: compares a fresh
-//! [`run_throughput`](crate::throughput::run_throughput) pass against
-//! the committed `BENCH_throughput.json` baseline.
+//! Benchmark-regression gates: compares fresh measurement passes
+//! against the committed `BENCH_throughput.json` / `BENCH_scale.json`
+//! baselines.
 //!
-//! Used by the CI `throughput-gate` job (see `.github/workflows/ci.yml`
-//! and the `throughput_gate` binary). The gate enforces two things:
+//! Used by the CI `throughput-gate` and `scale-gate` jobs (see
+//! `.github/workflows/ci.yml` and the `throughput_gate` binary).
+//!
+//! ## Throughput gate
 //!
 //! 1. **Schema** — the baseline must report all four methods
 //!    (DIJ/FULL/LDM/HYP) with non-null `batch_prove_qps` /
@@ -12,26 +14,56 @@
 //!    invariant this repo tracks: FULL and HYP batch verify at least
 //!    their sequential verify rate.
 //! 2. **Regression** — every qps column of the current run must stay
-//!    within a tolerance of the committed baseline
-//!    (`current ≥ baseline · (1 − tolerance)`). The tolerance defaults
-//!    to 0.30 and is tunable via the `SPNET_GATE_TOLERANCE` env var
-//!    (a fraction, e.g. `0.5` for 50%), absorbing runner-speed noise.
+//!    within a tolerance of the committed baseline **after
+//!    normalizing by the in-run reference probe**: both the baseline
+//!    and the current report carry `ref_qps` (textbook
+//!    `reference::sssp` runs/s on a fixed graph), and the gate
+//!    compares `current · (baseline_ref / current_ref) ≥ baseline ·
+//!    (1 − tolerance)`. Machine-speed differences cancel, so the
+//!    default tolerance is 0.15 (down from the 0.30 the absolute
+//!    comparison needed); `SPNET_GATE_TOLERANCE` still overrides it
+//!    for unpinned runners.
 //!
-//! The baseline format is the hand-rolled JSON written by
-//! [`ThroughputReport::to_json`]; the parser below is its inverse for
-//! exactly that schema (no serde in the offline environment) and is
-//! pinned to it by a round-trip test.
+//! ## Scale gate
+//!
+//! The committed `BENCH_scale.json` is validated structurally: a row
+//! at ≥ 1M nodes with non-null SSSP columns for all three families and
+//! non-null prove/verify rates for DIJ/LDM/HYP, and the headline
+//! claim — bucket-queue SSSP ≥ 2× the 4-ary heap on the 1M road
+//! network. A reduced-size live smoke re-runs the experiment and
+//! fails if any column degenerates or the bucket queue stops beating
+//! the heap within the tolerance.
+//!
+//! Baseline formats are the hand-rolled JSON written by
+//! [`ThroughputReport::to_json`] / `ScaleReport::to_json`; the parsers
+//! below are their inverses for exactly those schemas (no serde in the
+//! offline environment), pinned by round-trip tests.
 
+use crate::scale::{MethodScale, ScaleReport, ScaleRow, SsspScale};
 use crate::throughput::{MethodThroughput, ThroughputReport};
 
 /// Environment variable overriding the regression tolerance.
 pub const TOLERANCE_ENV: &str = "SPNET_GATE_TOLERANCE";
 
-/// Default regression tolerance (fraction of the baseline rate).
-pub const DEFAULT_TOLERANCE: f64 = 0.30;
+/// Default regression tolerance (fraction of the baseline rate,
+/// applied after reference-probe normalization).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
 
 /// The methods a throughput report must cover, in report order.
 pub const REQUIRED_METHODS: [&str; 4] = ["DIJ", "FULL", "LDM", "HYP"];
+
+/// The methods a scale row must cover (FULL is excluded by
+/// construction: O(|V|²) precomputation at 1M nodes).
+pub const SCALE_METHODS: [&str; 3] = ["DIJ", "LDM", "HYP"];
+
+/// The SSSP families a scale row must cover.
+pub const SCALE_FAMILIES: [&str; 3] = ["road", "highway", "scale_free"];
+
+/// Minimum node count the committed scale baseline must reach.
+pub const SCALE_MIN_NODES: usize = 1_000_000;
+
+/// Required bucket-over-heap SSSP speedup on the ≥1M road network.
+pub const SCALE_ROAD_SPEEDUP: f64 = 2.0;
 
 /// Reads the regression tolerance from [`TOLERANCE_ENV`], falling back
 /// to [`DEFAULT_TOLERANCE`]. Errors on unparsable or out-of-range
@@ -48,27 +80,40 @@ pub fn tolerance_from_env() -> Result<f64, String> {
     }
 }
 
-/// Parses the committed `BENCH_throughput.json` back into per-method
-/// rates. Accepts exactly the schema [`ThroughputReport::to_json`]
-/// writes.
-pub fn parse_baseline(json: &str) -> Result<Vec<MethodThroughput>, String> {
+/// A parsed throughput baseline: the reference probe rate plus the
+/// per-method columns.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The baseline host's reference-probe rate (sssp/s).
+    pub ref_qps: f64,
+    /// Per-method committed rates.
+    pub methods: Vec<MethodThroughput>,
+}
+
+/// Parses the committed `BENCH_throughput.json` back into the baseline.
+/// Accepts exactly the schema [`ThroughputReport::to_json`] writes.
+pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
     let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
-    if schema != "spnet-throughput/v2" {
+    if schema != "spnet-throughput/v3" {
         return Err(format!(
-            "unsupported schema {schema:?} (v1 baselines predate the \
-             streaming column; regenerate with `figures -- throughput`)"
+            "unsupported schema {schema:?} (v1/v2 baselines predate the \
+             reference-probe column; regenerate with `figures -- throughput`)"
         ));
+    }
+    let ref_qps = required_num(json, "ref_qps")?;
+    if !positive(ref_qps) {
+        return Err(format!("baseline ref_qps {ref_qps} is not positive"));
     }
     let methods_start = json
         .find("\"methods\"")
         .ok_or("missing \"methods\" array")?;
     let array = &json[methods_start..];
-    let mut out = Vec::new();
+    let mut methods = Vec::new();
     let mut rest = array;
     while let Some(open) = rest.find('{') {
         let close = rest[open..].find('}').ok_or("unterminated method object")?;
         let obj = &rest[open..open + close + 1];
-        out.push(MethodThroughput {
+        methods.push(MethodThroughput {
             method: string_field(obj, "method")
                 .ok_or("method object lacks \"method\"")?
                 .to_string(),
@@ -80,10 +125,10 @@ pub fn parse_baseline(json: &str) -> Result<Vec<MethodThroughput>, String> {
         });
         rest = &rest[open + close + 1..];
     }
-    if out.is_empty() {
+    if methods.is_empty() {
         return Err("baseline contains no methods".into());
     }
-    Ok(out)
+    Ok(Baseline { ref_qps, methods })
 }
 
 /// Raw value text of `"key": <value>` inside `obj`.
@@ -172,9 +217,12 @@ pub struct GateLine {
     pub metric: String,
     /// Committed baseline rate.
     pub baseline: f64,
-    /// Freshly measured rate.
+    /// Freshly measured rate (raw, un-normalized).
     pub current: f64,
-    /// Whether the current rate clears `baseline · (1 − tolerance)`.
+    /// The current rate scaled by the reference-probe ratio — what is
+    /// actually compared against the baseline.
+    pub normalized: f64,
+    /// Whether `normalized` clears `baseline · (1 − tolerance)`.
     pub ok: bool,
 }
 
@@ -182,17 +230,20 @@ impl GateLine {
     /// Human-readable verdict line.
     pub fn render(&self) -> String {
         format!(
-            "{:6} {:22} baseline {:>10.1}/s current {:>10.1}/s ({:+6.1}%)",
+            "{:6} {:22} baseline {:>10.1}/s current {:>10.1}/s normalized {:>10.1}/s ({:+6.1}%)",
             if self.ok { "ok" } else { "FAIL" },
             self.metric,
             self.baseline,
             self.current,
-            (self.current / self.baseline - 1.0) * 100.0,
+            self.normalized,
+            (self.normalized / self.baseline - 1.0) * 100.0,
         )
     }
 }
 
-/// Compares every qps column of `current` against `baseline`.
+/// Compares every qps column of `current` against `baseline`, scaling
+/// the current rates by `normalize` (the baseline-to-current
+/// reference-probe ratio; pass 1.0 for an absolute comparison).
 ///
 /// A column present in the baseline but null in the current run is a
 /// failure (a method lost its batch path); columns null in the
@@ -201,6 +252,7 @@ pub fn compare(
     baseline: &[MethodThroughput],
     current: &[MethodThroughput],
     tolerance: f64,
+    normalize: f64,
 ) -> Vec<GateLine> {
     let mut lines = Vec::new();
     for b in baseline {
@@ -228,38 +280,228 @@ pub fn compare(
         for (name, base, cur) in columns {
             let Some(base) = base else { continue };
             let current = cur.unwrap_or(0.0);
+            let normalized = current * normalize;
             lines.push(GateLine {
                 metric: format!("{} {}", b.method, name),
                 baseline: base,
                 current,
-                ok: current >= base * (1.0 - tolerance),
+                normalized,
+                ok: normalized >= base * (1.0 - tolerance),
             });
         }
     }
     lines
 }
 
-/// Runs the full gate against an in-memory report. Returns the verdict
-/// lines and whether the gate passes.
+/// Runs the full throughput gate against an in-memory report. Returns
+/// the verdict lines and schema violations.
 pub fn gate_report(
     baseline_json: &str,
     current: &ThroughputReport,
     tolerance: f64,
 ) -> Result<(Vec<GateLine>, Vec<String>), String> {
     let baseline = parse_baseline(baseline_json)?;
-    let mut violations = schema_violations(&baseline, true);
+    let mut violations = schema_violations(&baseline.methods, true);
     violations.extend(
         schema_violations(&current.methods, false)
             .into_iter()
             .map(|v| format!("current run: {v}")),
     );
-    let lines = compare(&baseline, &current.methods, tolerance);
+    let normalize = if positive(baseline.ref_qps) && positive(current.ref_qps) {
+        baseline.ref_qps / current.ref_qps
+    } else {
+        violations.push(format!(
+            "current run: non-positive ref_qps {} (falling back to absolute comparison)",
+            current.ref_qps
+        ));
+        1.0
+    };
+    let lines = compare(&baseline.methods, &current.methods, tolerance, normalize);
     Ok((lines, violations))
+}
+
+// ---------------------------------------------------------------------
+// Scale gate
+// ---------------------------------------------------------------------
+
+/// Top-level `{...}` object chunks of the JSON array at `"key": [`,
+/// bracket-depth aware (row objects nest further arrays/objects).
+fn array_objects<'a>(json: &'a str, key: &str) -> Result<Vec<&'a str>, String> {
+    let pat = format!("\"{key}\": [");
+    let start = json
+        .find(&pat)
+        .ok_or(format!("missing {key:?} array"))?
+        + pat.len();
+    let bytes = json[start..].as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    obj_start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or(format!("unbalanced braces in {key:?}"))?;
+                if depth == 0 {
+                    let s = obj_start.take().ok_or("brace scan lost object start")?;
+                    out.push(&json[start + s..start + i + 1]);
+                }
+            }
+            b']' if depth == 0 => return Ok(out),
+            _ => {}
+        }
+    }
+    Err(format!("unterminated {key:?} array"))
+}
+
+/// Parses the committed `BENCH_scale.json` back into its rows.
+/// Accepts exactly the schema `ScaleReport::to_json` writes.
+pub fn parse_scale_baseline(json: &str) -> Result<Vec<ScaleRow>, String> {
+    let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "spnet-scale/v1" {
+        return Err(format!(
+            "unsupported scale schema {schema:?} (regenerate with `figures -- scale`)"
+        ));
+    }
+    let mut rows = Vec::new();
+    for row in array_objects(json, "rows")? {
+        let mut sssp = Vec::new();
+        for f in array_objects(row, "sssp")? {
+            sssp.push(SsspScale {
+                family: string_field(f, "family")
+                    .ok_or("sssp object lacks \"family\"")?
+                    .to_string(),
+                nodes: required_num(f, "nodes")? as usize,
+                edges: required_num(f, "edges")? as usize,
+                heap_ms: required_num(f, "heap_ms")?,
+                bucket_ms: required_num(f, "bucket_ms")?,
+            });
+        }
+        let mut methods = Vec::new();
+        for m in array_objects(row, "methods")? {
+            methods.push(MethodScale {
+                method: string_field(m, "method")
+                    .ok_or("method object lacks \"method\"")?
+                    .to_string(),
+                build_s: required_num(m, "build_s")?,
+                prove_qps: required_num(m, "prove_qps")?,
+                verify_qps: required_num(m, "verify_qps")?,
+            });
+        }
+        rows.push(ScaleRow {
+            label: string_field(row, "label")
+                .ok_or("row lacks \"label\"")?
+                .to_string(),
+            nodes: required_num(row, "nodes")? as usize,
+            sssp,
+            methods,
+        });
+    }
+    if rows.is_empty() {
+        return Err("scale baseline contains no rows".into());
+    }
+    Ok(rows)
+}
+
+/// Schema violations of the **committed** scale baseline (empty =
+/// compliant): a ≥1M-node row, every family and method column present
+/// and positive in every row, and the headline bucket-queue claim on
+/// the biggest road network.
+pub fn scale_schema_violations(rows: &[ScaleRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !rows.iter().any(|r| r.nodes >= SCALE_MIN_NODES) {
+        violations.push(format!(
+            "no row at >= {SCALE_MIN_NODES} nodes (the baseline must prove million-node scale)"
+        ));
+    }
+    for row in rows {
+        for fam in SCALE_FAMILIES {
+            match row.sssp.iter().find(|f| f.family == fam) {
+                None => violations.push(format!("{}: family {fam} missing", row.label)),
+                Some(f) if !positive(f.heap_ms) || !positive(f.bucket_ms) => {
+                    violations.push(format!("{}: {fam} has non-positive sssp ms", row.label))
+                }
+                Some(_) => {}
+            }
+        }
+        for want in SCALE_METHODS {
+            match row.methods.iter().find(|m| m.method == want) {
+                None => violations.push(format!("{}: method {want} missing", row.label)),
+                Some(m) if !positive(m.prove_qps) || !positive(m.verify_qps) => {
+                    violations.push(format!("{}: {want} has non-positive qps", row.label))
+                }
+                Some(_) => {}
+            }
+        }
+        if row.nodes >= SCALE_MIN_NODES {
+            if let Some(road) = row.sssp.iter().find(|f| f.family == "road") {
+                let speedup = road.heap_ms / road.bucket_ms;
+                if !(speedup >= SCALE_ROAD_SPEEDUP) {
+                    violations.push(format!(
+                        "{}: road bucket speedup {speedup:.2}x below required {SCALE_ROAD_SPEEDUP}x",
+                        row.label
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Violations of a **live smoke** scale run (empty = pass): every
+/// column must be measurable, and the bucket queue must not have
+/// regressed to slower than the heap beyond the tolerance. Absolute
+/// rates are NOT compared against the committed baseline — the smoke
+/// runs at a reduced size on an unpinned runner; the frontier ratio is
+/// the machine-independent signal.
+pub fn scale_smoke_violations(report: &ScaleReport, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if report.rows.is_empty() {
+        violations.push("smoke run produced no rows".into());
+    }
+    for row in &report.rows {
+        for fam in SCALE_FAMILIES {
+            match row.sssp.iter().find(|f| f.family == fam) {
+                None => violations.push(format!("smoke {}: family {fam} missing", row.label)),
+                Some(f) if !positive(f.heap_ms) || !positive(f.bucket_ms) => {
+                    violations.push(format!("smoke {}: {fam} non-positive ms", row.label))
+                }
+                Some(_) => {}
+            }
+        }
+        for want in SCALE_METHODS {
+            match row.methods.iter().find(|m| m.method == want) {
+                None => violations.push(format!("smoke {}: method {want} missing", row.label)),
+                Some(m) if !positive(m.prove_qps) || !positive(m.verify_qps) => {
+                    violations.push(format!("smoke {}: {want} non-positive qps", row.label))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(road) = row.sssp.iter().find(|f| f.family == "road") {
+            if road.bucket_ms > road.heap_ms * (1.0 + tolerance) {
+                violations.push(format!(
+                    "smoke {}: road bucket {bucket:.1}ms slower than heap {heap:.1}ms beyond tolerance",
+                    row.label,
+                    bucket = road.bucket_ms,
+                    heap = road.heap_ms,
+                ));
+            }
+        }
+    }
+    violations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scale::ScaleConfig;
 
     fn method(name: &str, qps: [f64; 5]) -> MethodThroughput {
         MethodThroughput {
@@ -274,6 +516,7 @@ mod tests {
 
     fn full_report() -> ThroughputReport {
         ThroughputReport {
+            ref_qps: 1000.0,
             num_nodes: 100,
             num_edges: 110,
             queries: 10,
@@ -292,8 +535,9 @@ mod tests {
     fn parser_inverts_report_writer() {
         let report = full_report();
         let parsed = parse_baseline(&report.to_json()).unwrap();
-        assert_eq!(parsed.len(), 4);
-        for (p, m) in parsed.iter().zip(&report.methods) {
+        assert_eq!(parsed.ref_qps, report.ref_qps);
+        assert_eq!(parsed.methods.len(), 4);
+        for (p, m) in parsed.methods.iter().zip(&report.methods) {
             assert_eq!(p.method, m.method);
             assert_eq!(p.prove_qps, m.prove_qps);
             assert_eq!(p.verify_qps, m.verify_qps);
@@ -309,16 +553,17 @@ mod tests {
         report.methods[1].batch_prove_qps = None;
         report.methods[1].batch_verify_qps = None;
         let parsed = parse_baseline(&report.to_json()).unwrap();
-        assert_eq!(parsed[1].batch_prove_qps, None);
-        assert_eq!(parsed[1].batch_verify_qps, None);
+        assert_eq!(parsed.methods[1].batch_prove_qps, None);
+        assert_eq!(parsed.methods[1].batch_verify_qps, None);
     }
 
     #[test]
     fn parser_rejects_garbage() {
         assert!(parse_baseline("").is_err());
         assert!(parse_baseline("{\"schema\": \"other/v9\"}").is_err());
+        assert!(parse_baseline("{\"schema\": \"spnet-throughput/v3\"}").is_err());
+        // Pre-probe baselines must be regenerated, not half-parsed.
         assert!(parse_baseline("{\"schema\": \"spnet-throughput/v2\"}").is_err());
-        // Pre-streaming baselines must be regenerated, not half-parsed.
         assert!(parse_baseline("{\"schema\": \"spnet-throughput/v1\"}").is_err());
     }
 
@@ -367,9 +612,9 @@ mod tests {
     fn compare_passes_within_tolerance_and_fails_beyond() {
         let baseline = full_report().methods;
         let mut current = full_report().methods;
-        current[0].prove_qps = 3000.0; // -25% of 4000: within 30%
-        current[2].verify_qps = 200.0; // -53% of 430: beyond 30%
-        let lines = compare(&baseline, &current, 0.30);
+        current[0].prove_qps = 3500.0; // -12.5% of 4000: within 15%
+        current[2].verify_qps = 300.0; // -30% of 430: beyond 15%
+        let lines = compare(&baseline, &current, 0.15, 1.0);
         assert_eq!(lines.len(), 20, "4 methods x 5 columns");
         let failing: Vec<&GateLine> = lines.iter().filter(|l| !l.ok).collect();
         assert_eq!(failing.len(), 1);
@@ -378,11 +623,29 @@ mod tests {
     }
 
     #[test]
+    fn normalization_cancels_machine_speed() {
+        let baseline = full_report().methods;
+        let mut current = full_report().methods;
+        // A uniformly 2x-slower runner: every rate halves...
+        for m in &mut current {
+            m.prove_qps /= 2.0;
+            m.verify_qps /= 2.0;
+            m.batch_prove_qps = m.batch_prove_qps.map(|v| v / 2.0);
+            m.batch_verify_qps = m.batch_verify_qps.map(|v| v / 2.0);
+            m.stream_verify_qps = m.stream_verify_qps.map(|v| v / 2.0);
+        }
+        // ...including the reference probe, so normalize = 2.0.
+        assert!(compare(&baseline, &current, 0.15, 2.0).iter().all(|l| l.ok));
+        // Without normalization the same run fails everywhere.
+        assert!(compare(&baseline, &current, 0.15, 1.0).iter().all(|l| !l.ok));
+    }
+
+    #[test]
     fn compare_fails_when_batch_column_disappears() {
         let baseline = full_report().methods;
         let mut current = full_report().methods;
         current[1].batch_verify_qps = None;
-        let lines = compare(&baseline, &current, 0.30);
+        let lines = compare(&baseline, &current, 0.15, 1.0);
         assert!(lines
             .iter()
             .any(|l| l.metric == "FULL batch_verify_qps" && !l.ok));
@@ -393,16 +656,34 @@ mod tests {
         let mut baseline = full_report().methods;
         baseline[1].batch_prove_qps = None;
         let current = full_report().methods;
-        let lines = compare(&baseline, &current, 0.30);
+        let lines = compare(&baseline, &current, 0.15, 1.0);
         assert!(!lines.iter().any(|l| l.metric == "FULL batch_prove_qps"));
     }
 
     #[test]
     fn gate_report_end_to_end() {
         let report = full_report();
-        let (lines, violations) = gate_report(&report.to_json(), &report, 0.30).unwrap();
+        let (lines, violations) = gate_report(&report.to_json(), &report, 0.15).unwrap();
         assert!(violations.is_empty(), "{violations:?}");
         assert!(lines.iter().all(|l| l.ok));
+    }
+
+    #[test]
+    fn gate_report_normalizes_by_ref_probe() {
+        let baseline = full_report();
+        let mut current = full_report();
+        // Same machine-relative performance on a half-speed host.
+        current.ref_qps /= 2.0;
+        for m in &mut current.methods {
+            m.prove_qps /= 2.0;
+            m.verify_qps /= 2.0;
+            m.batch_prove_qps = m.batch_prove_qps.map(|v| v / 2.0);
+            m.batch_verify_qps = m.batch_verify_qps.map(|v| v / 2.0);
+            m.stream_verify_qps = m.stream_verify_qps.map(|v| v / 2.0);
+        }
+        let (lines, violations) = gate_report(&baseline.to_json(), &current, 0.15).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(lines.iter().all(|l| l.ok), "normalization should cancel");
     }
 
     #[test]
@@ -413,5 +694,131 @@ mod tests {
         if std::env::var(TOLERANCE_ENV).is_err() {
             assert_eq!(tolerance_from_env().unwrap(), DEFAULT_TOLERANCE);
         }
+    }
+
+    // -- scale gate --
+
+    fn scale_row(label: &str, nodes: usize, road_speedup: f64) -> ScaleRow {
+        let fam = |name: &str, heap: f64, bucket: f64| SsspScale {
+            family: name.to_string(),
+            nodes,
+            edges: nodes + nodes / 20,
+            heap_ms: heap,
+            bucket_ms: bucket,
+        };
+        let met = |name: &str| MethodScale {
+            method: name.to_string(),
+            build_s: 1.0,
+            prove_qps: 50.0,
+            verify_qps: 60.0,
+        };
+        ScaleRow {
+            label: label.to_string(),
+            nodes,
+            sssp: vec![
+                fam("road", 100.0, 100.0 / road_speedup),
+                fam("highway", 110.0, 56.0),
+                fam("scale_free", 90.0, 61.0),
+            ],
+            methods: vec![met("DIJ"), met("LDM"), met("HYP")],
+        }
+    }
+
+    fn scale_report(rows: Vec<ScaleRow>) -> ScaleReport {
+        ScaleReport {
+            parallel: true,
+            threads: 4,
+            config: ScaleConfig::smoke(50_000, 42),
+            rows,
+        }
+    }
+
+    #[test]
+    fn scale_parser_inverts_report_writer() {
+        let report = scale_report(vec![
+            scale_row("100k", 99_856, 2.1),
+            scale_row("1m", 1_000_000, 2.05),
+        ]);
+        let rows = parse_scale_baseline(&report.to_json()).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (p, r) in rows.iter().zip(&report.rows) {
+            assert_eq!(p.label, r.label);
+            assert_eq!(p.nodes, r.nodes);
+            assert_eq!(p.sssp.len(), 3);
+            assert_eq!(p.methods.len(), 3);
+            for (pf, rf) in p.sssp.iter().zip(&r.sssp) {
+                assert_eq!(pf.family, rf.family);
+                assert_eq!(pf.edges, rf.edges);
+                // to_json rounds to 2 decimals; the fixture values are
+                // exact at that precision.
+                assert!((pf.heap_ms - rf.heap_ms).abs() < 1e-9);
+            }
+            for (pm, rm) in p.methods.iter().zip(&r.methods) {
+                assert_eq!(pm.method, rm.method);
+                assert!((pm.prove_qps - rm.prove_qps).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_parser_rejects_garbage() {
+        assert!(parse_scale_baseline("").is_err());
+        assert!(parse_scale_baseline("{\"schema\": \"spnet-scale/v0\"}").is_err());
+        assert!(parse_scale_baseline("{\"schema\": \"spnet-scale/v1\"}").is_err());
+        assert!(
+            parse_scale_baseline("{\"schema\": \"spnet-scale/v1\",\n\"rows\": [\n]}").is_err(),
+            "empty rows must be rejected"
+        );
+    }
+
+    #[test]
+    fn scale_schema_requires_million_node_row() {
+        let rows = vec![scale_row("100k", 99_856, 2.1)];
+        let v = scale_schema_violations(&rows);
+        assert!(v.iter().any(|l| l.contains("1000000")), "{v:?}");
+    }
+
+    #[test]
+    fn scale_schema_enforces_road_speedup_on_big_row() {
+        let rows = vec![scale_row("1m", 1_000_000, 1.8)];
+        let v = scale_schema_violations(&rows);
+        assert!(v.iter().any(|l| l.contains("below required")), "{v:?}");
+        let rows = vec![scale_row("1m", 1_000_000, 2.2)];
+        assert!(scale_schema_violations(&rows).is_empty());
+        // The speedup requirement applies to the big row only.
+        let rows = vec![
+            scale_row("100k", 99_856, 1.5),
+            scale_row("1m", 1_000_000, 2.2),
+        ];
+        assert!(scale_schema_violations(&rows).is_empty());
+    }
+
+    #[test]
+    fn scale_schema_flags_missing_family_and_method() {
+        let mut row = scale_row("1m", 1_000_000, 2.2);
+        row.sssp.retain(|f| f.family != "highway");
+        row.methods.retain(|m| m.method != "LDM");
+        let v = scale_schema_violations(&[row]);
+        assert!(v.iter().any(|l| l.contains("highway")), "{v:?}");
+        assert!(v.iter().any(|l| l.contains("LDM")), "{v:?}");
+    }
+
+    #[test]
+    fn scale_smoke_flags_bucket_regression_only_beyond_tolerance() {
+        // Bucket 5% slower than heap: inside a 15% tolerance.
+        let mut row = scale_row("50k", 50_176, 1.0);
+        row.sssp[0].bucket_ms = row.sssp[0].heap_ms * 1.05;
+        assert!(scale_smoke_violations(&scale_report(vec![row]), 0.15).is_empty());
+        // Bucket 30% slower: regression.
+        let mut row = scale_row("50k", 50_176, 1.0);
+        row.sssp[0].bucket_ms = row.sssp[0].heap_ms * 1.30;
+        let v = scale_smoke_violations(&scale_report(vec![row]), 0.15);
+        assert!(v.iter().any(|l| l.contains("slower than heap")), "{v:?}");
+    }
+
+    #[test]
+    fn scale_smoke_flags_empty_run() {
+        let v = scale_smoke_violations(&scale_report(vec![]), 0.15);
+        assert!(!v.is_empty());
     }
 }

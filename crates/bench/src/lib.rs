@@ -22,9 +22,11 @@ pub mod gate;
 pub mod model;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod throughput;
 
 pub use config::HarnessConfig;
 pub use report::Table;
 pub use runner::{run_method, MethodMeasurement};
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use throughput::{run_throughput, ThroughputReport};

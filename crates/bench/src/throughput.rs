@@ -28,6 +28,8 @@ use crate::config::HarnessConfig;
 use crate::report::{fmt_f, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spnet_graph::algo::dijkstra::reference;
+use spnet_graph::gen::grid_network;
 use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
 use spnet_core::stream::StreamVerifier;
@@ -65,6 +67,14 @@ pub struct MethodThroughput {
 /// The full experiment output.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
+    /// Machine-speed probe: textbook `reference::sssp` runs per second
+    /// on a fixed small graph, measured in the same process as the
+    /// method rates. The regression gate divides every qps column by
+    /// this before comparing against the committed baseline, so a
+    /// uniformly slower/faster runner cancels out and the tolerance
+    /// only has to absorb genuine per-metric noise (which is why it
+    /// could drop from 0.30 to 0.15).
+    pub ref_qps: f64,
     /// |V| of the measured graph.
     pub num_nodes: usize,
     /// |E| of the measured graph.
@@ -94,8 +104,23 @@ fn measure_qps(queries: usize, budget_ms: u64, mut f: impl FnMut()) -> f64 {
     (passes as f64 * queries as f64) / start.elapsed().as_secs_f64()
 }
 
+/// Measures the reference probe: full textbook SSSPs per second on a
+/// fixed 3,600-node grid (independent of the harness configuration, so
+/// every report's probe is the same workload).
+fn reference_probe_qps() -> f64 {
+    let g = grid_network(60, 60, 1.2, 7);
+    let sources: Vec<NodeId> = (0..8u32).map(|i| NodeId(i * 450)).collect();
+    measure_qps(sources.len(), 200, || {
+        for &s in &sources {
+            std::hint::black_box(reference::sssp(&g, s));
+        }
+    })
+}
+
 /// Runs the experiment and returns the report (no I/O).
 pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
+    let ref_qps = reference_probe_qps();
+    eprintln!("[throughput] reference probe: {ref_qps:.1} sssp/s");
     let g = cfg.dataset.generate(cfg.scale, cfg.seed);
     eprintln!(
         "[throughput] {} @ scale {} → |V|={} |E|={}",
@@ -183,6 +208,7 @@ pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
         });
     }
     ThroughputReport {
+        ref_qps,
         num_nodes: g.num_nodes(),
         num_edges: g.num_edges(),
         queries: pairs.len(),
@@ -238,7 +264,8 @@ impl ThroughputReport {
         }
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"schema\": \"spnet-throughput/v2\",");
+        let _ = writeln!(s, "  \"schema\": \"spnet-throughput/v3\",");
+        let _ = writeln!(s, "  \"ref_qps\": {},", num(self.ref_qps));
         let _ = writeln!(s, "  \"num_nodes\": {},", self.num_nodes);
         let _ = writeln!(s, "  \"num_edges\": {},", self.num_edges);
         let _ = writeln!(s, "  \"queries\": {},", self.queries);
@@ -310,8 +337,10 @@ mod tests {
             assert!(m.batch_verify_qps.unwrap() > 0.0, "{}", m.method);
             assert!(m.stream_verify_qps.unwrap() > 0.0, "{}", m.method);
         }
+        assert!(report.ref_qps > 0.0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"spnet-throughput/v2\""));
+        assert!(json.contains("\"schema\": \"spnet-throughput/v3\""));
+        assert!(json.contains("\"ref_qps\""));
         assert!(json.contains("\"stream_verify_qps\""));
         assert!(json.contains("\"DIJ\""));
     }

@@ -34,7 +34,7 @@ use crate::ads::SignedRoot;
 use crate::client::check_reported_path;
 use crate::error::{ProviderError, VerifyError};
 use crate::methods::full::FullBatchProof;
-use crate::methods::hyp::CellGraphCache;
+use crate::methods::hyp::HypBatchState;
 use crate::methods::MethodParams;
 use crate::proof::IntegrityProof;
 use crate::provider::ServiceProvider;
@@ -255,10 +255,12 @@ pub enum AuxContext<'a> {
 /// by every per-query verification job of that batch.
 #[derive(Debug, Default)]
 pub struct BatchVerifyState {
-    /// HYP: cache of in-cell CSR remaps — endpoints of different
-    /// queries that share a cell reuse one authenticated cell subgraph
-    /// instead of rebuilding it per endpoint.
-    pub(crate) hyp_cells: CellGraphCache,
+    /// HYP: cell-graph cache plus the multi-source sweep plan — cells
+    /// touched by the batch each get **one** calibrated in-cell sweep
+    /// seeded with every query endpoint of that cell, and endpoints of
+    /// different queries that share a cell reuse one authenticated
+    /// cell subgraph instead of rebuilding it per endpoint.
+    pub(crate) hyp: HypBatchState,
 }
 
 impl Client {
@@ -287,6 +289,19 @@ impl Client {
         queries: &[(NodeId, NodeId)],
         batch: &BatchAnswer,
         pinned: Option<&SignedRoot>,
+    ) -> Result<Vec<f64>, VerifyError> {
+        self.verify_batch_with_state(queries, batch, pinned, &BatchVerifyState::default())
+    }
+
+    /// [`Self::verify_batch_impl`] with a caller-owned
+    /// [`BatchVerifyState`], so tests can observe the per-batch caches
+    /// and sweep counters after verification.
+    pub(crate) fn verify_batch_with_state(
+        &self,
+        queries: &[(NodeId, NodeId)],
+        batch: &BatchAnswer,
+        pinned: Option<&SignedRoot>,
+        state: &BatchVerifyState,
     ) -> Result<Vec<f64>, VerifyError> {
         if queries.len() != batch.queries.len() {
             return Err(VerifyError::MalformedIntegrityProof(format!(
@@ -334,7 +349,7 @@ impl Client {
         // Method aux: authenticate the pooled hint proofs once.
         let method = params.method();
         let ctx = method.verify_batch_aux(self.public_key(), &params, &batch.aux)?;
-        let state = BatchVerifyState::default();
+        method.prepare_batch_verify(&params, queries, batch, state);
         // Per query: build the member map and re-run the verification —
         // one independent job per query, fanned out over threads.
         let outcomes = map_jobs_indexed(queries, |qi, &(vs, vt)| -> Result<f64, VerifyError> {
@@ -349,7 +364,7 @@ impl Client {
                     ))?;
                 map.insert(t.id, &**t);
             }
-            let proven = method.verify_batch_query(&params, &ctx, &state, &map, vs, vt)?;
+            let proven = method.verify_batch_query(&params, &ctx, state, &map, vs, vt)?;
             // Path checks against the authenticated pool.
             check_reported_path(&map, vs, vt, &q.path, proven)?;
             Ok(proven)
@@ -438,6 +453,46 @@ mod tests {
                 method.name(),
                 batch.size_bytes(),
                 individual
+            );
+        }
+    }
+
+    #[test]
+    fn hyp_batch_one_sweep_per_touched_cell() {
+        let (_, provider, client) = deploy(MethodConfig::Hyp { cells: 9 }, 1720);
+        let queries = as_nodes(&QUERIES);
+        let batch = provider.answer_batch(&queries).unwrap();
+        // The cells the batch touches, per the authenticated pool.
+        let mut cells = std::collections::HashSet::new();
+        for &(s, t) in &queries {
+            for v in [s, t] {
+                let tuple = batch.pool.iter().find(|tu| tu.id == v).expect("endpoint pooled");
+                cells.insert(tuple.cell.expect("HYP tuples carry cell info").cell);
+            }
+        }
+        assert!(cells.len() >= 2, "queries must span several cells");
+        let state = BatchVerifyState::default();
+        let swept = client
+            .verify_batch_with_state(&queries, &batch, None, &state)
+            .unwrap();
+        assert_eq!(
+            state.hyp.sweep_count(),
+            cells.len() as u64,
+            "exactly one multi-source in-cell sweep per touched cell"
+        );
+        assert_eq!(
+            state.hyp.solo_count(),
+            0,
+            "no per-endpoint fallback searches on the planned path"
+        );
+        // Bit-identity with the sequential single-query verification,
+        // whose in-cell distances come from solo Dijkstras.
+        for (&(s, t), d) in queries.iter().zip(&swept) {
+            let single = client.verify(s, t, &provider.answer(s, t).unwrap()).unwrap();
+            assert_eq!(
+                d.to_bits(),
+                single.distance.to_bits(),
+                "({s},{t}): swept verify must be bit-identical"
             );
         }
     }

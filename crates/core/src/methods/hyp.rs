@@ -32,7 +32,8 @@ use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use spnet_graph::partition::GridPartition;
 use spnet_graph::{Graph, NodeId, Path};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The owner-side HYP hints.
 #[derive(Debug, Clone)]
@@ -252,16 +253,20 @@ pub fn verify_hyp(
     verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, None)
 }
 
-/// [`verify_hyp`] with an optional per-batch cache of in-cell CSR
-/// remaps: queries of one batch that touch the same cell share one
-/// authenticated cell subgraph instead of rebuilding it per endpoint.
+/// [`verify_hyp`] with optional per-batch state: queries of one batch
+/// that touch the same cell share one authenticated cell subgraph
+/// instead of rebuilding it per endpoint, and their in-cell distance
+/// rows come out of **one multi-source sweep per touched cell**
+/// (planned in [`HypMethod::prepare_batch_verify`]) instead of one
+/// Dijkstra per endpoint. Both accelerations are bit-transparent: the
+/// proven optimum equals the stateless single-query verification's.
 pub(crate) fn verify_hyp_impl(
     tuples: &HashMap<NodeId, &ExtendedTuple>,
     hyper: &KeyedProof,
     cell_dir: &KeyedProof,
     vs: NodeId,
     vt: NodeId,
-    cache: Option<&CellGraphCache>,
+    state: Option<&HypBatchState>,
 ) -> Result<f64, VerifyError> {
     if vs == vt {
         return Ok(0.0);
@@ -301,14 +306,15 @@ pub(crate) fn verify_hyp_impl(
     // remap of each cell (no per-pop hashing). The remap is only built
     // after the completeness check above, so a cached cell graph is
     // always the full authentic cell.
+    let cache = state.map(|st| &st.cells);
     let cg_s = cell_graph(tuples, cs, cache)?;
     let cg_t = if ct == cs {
         Arc::clone(&cg_s)
     } else {
         cell_graph(tuples, ct, cache)?
     };
-    let din_s = cg_s.distances_from(vs)?;
-    let din_t = cg_t.distances_from(vt)?;
+    let din_s = in_cell_distances(&cg_s, cs, vs, state)?;
+    let din_t = in_cell_distances(&cg_t, ct, vt, state)?;
 
     // Border sets, from authenticated flags, restricted to in-cell
     // reachable nodes (unreachable borders cannot host the first/last
@@ -342,6 +348,123 @@ pub(crate) fn verify_hyp_impl(
         return Err(VerifyError::CoarseUnreachable);
     }
     Ok(best)
+}
+
+/// In-cell distances from `v`, served from the batch's planned
+/// multi-source sweep when possible, else by a solo in-cell Dijkstra.
+/// Both routes are bit-identical (`multi_sssp_rows` projects each
+/// source's row exactly as its solo search would produce it).
+fn in_cell_distances<'a>(
+    cg: &'a Arc<CellGraph>,
+    cell: u32,
+    v: NodeId,
+    state: Option<&HypBatchState>,
+) -> Result<CellDistances<'a>, VerifyError> {
+    if let Some(st) = state {
+        if let Some(dist) = st.planned_row(cell, v, cg) {
+            return Ok(CellDistances { cg, dist });
+        }
+        st.solo.fetch_add(1, Ordering::Relaxed);
+    }
+    cg.distances_from(v)
+}
+
+/// Per-batch HYP verifier state: the cell-graph cache plus the
+/// multi-source sweep plan and its lazily computed distance rows.
+///
+/// [`HypMethod::prepare_batch_verify`] groups the batch's query
+/// endpoints by their authenticated cell; the first verification job
+/// to need a cell's rows runs **one** calibrated multi-source sweep
+/// (seeding every planned endpoint of that cell) and publishes the
+/// per-endpoint rows through a [`OnceLock`], so concurrent jobs
+/// neither duplicate nor partially observe the sweep. Endpoints the
+/// plan or the sweep missed (duplicate-id pools, oversized product
+/// spaces) fall back to a solo in-cell Dijkstra with identical bits.
+#[derive(Default)]
+pub(crate) struct HypBatchState {
+    /// Cache of authenticated in-cell CSR remaps, keyed by cell id.
+    pub(crate) cells: CellGraphCache,
+    /// Cell id → deduplicated query endpoints needing rows there.
+    plan: Mutex<HashMap<u32, Vec<NodeId>>>,
+    /// Cell id → once-computed endpoint rows from that cell's sweep.
+    #[allow(clippy::type_complexity)]
+    rows: Mutex<HashMap<u32, Arc<OnceLock<HashMap<NodeId, Arc<Vec<f64>>>>>>>,
+    /// Multi-source sweeps actually run (one per touched cell).
+    sweeps: AtomicU64,
+    /// Solo per-endpoint fallback searches (zero on the planned path).
+    solo: AtomicU64,
+}
+
+impl HypBatchState {
+    /// Installs the cell → endpoints sweep plan (once, before fan-out).
+    fn set_plan(&self, plan: HashMap<u32, Vec<NodeId>>) {
+        *self.plan.lock().expect("hyp plan poisoned") = plan;
+    }
+
+    /// The planned in-cell distance row for endpoint `v` of `cell`,
+    /// running the cell's one multi-source sweep on first use.
+    fn planned_row(&self, cell: u32, v: NodeId, cg: &CellGraph) -> Option<Arc<Vec<f64>>> {
+        let once = {
+            let mut rows = self.rows.lock().expect("hyp rows poisoned");
+            Arc::clone(rows.entry(cell).or_default())
+        };
+        let computed = once.get_or_init(|| {
+            let sources: Vec<NodeId> = self
+                .plan
+                .lock()
+                .expect("hyp plan poisoned")
+                .get(&cell)
+                .cloned()
+                .unwrap_or_default();
+            // Only endpoints actually present in the authenticated
+            // cell participate; the rest fall back (and fail with the
+            // proper per-query error there).
+            let present: Vec<(NodeId, NodeId)> = sources
+                .iter()
+                .filter_map(|&id| cg.local.get(&id).map(|&l| (id, NodeId(l))))
+                .collect();
+            let n = cg.sub.num_nodes();
+            if present.is_empty() || present.len().saturating_mul(n) >= u32::MAX as usize {
+                // Product space too large for one sweep: leave the map
+                // empty and let every endpoint take the solo route.
+                return HashMap::new();
+            }
+            self.sweeps.fetch_add(1, Ordering::Relaxed);
+            let locals: Vec<NodeId> = present.iter().map(|&(_, l)| l).collect();
+            let swept = spnet_graph::search::with_thread_workspace(|ws| {
+                ws.multi_sssp_rows(&cg.sub, &locals)
+            });
+            present
+                .iter()
+                .zip(swept)
+                .map(|(&(id, _), row)| (id, Arc::new(row)))
+                .collect()
+        });
+        computed.get(&v).cloned()
+    }
+
+    /// Number of multi-source sweeps run so far (test observability).
+    #[cfg(test)]
+    pub(crate) fn sweep_count(&self) -> u64 {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Number of solo fallback searches run so far (test observability).
+    #[cfg(test)]
+    pub(crate) fn solo_count(&self) -> u64 {
+        self.solo.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for HypBatchState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HypBatchState({:?}, {} sweeps)",
+            self.cells,
+            self.sweeps.load(Ordering::Relaxed)
+        )
+    }
 }
 
 /// Resolves a cell's authenticated subgraph, through the per-batch
@@ -435,7 +558,10 @@ impl CellGraph {
         let dist = spnet_graph::search::with_thread_workspace(|ws| {
             ws.sssp(&self.sub, NodeId(source_local)).dist_vec()
         });
-        Ok(CellDistances { cg: self, dist })
+        Ok(CellDistances {
+            cg: self,
+            dist: Arc::new(dist),
+        })
     }
 }
 
@@ -486,8 +612,9 @@ impl std::fmt::Debug for CellGraphCache {
 /// shared) [`CellGraph`].
 struct CellDistances<'a> {
     cg: &'a CellGraph,
-    /// Local index → in-cell distance from the endpoint (∞ unreached).
-    dist: Vec<f64>,
+    /// Local index → in-cell distance from the endpoint (∞ unreached);
+    /// shared when served from a batch sweep's row store.
+    dist: Arc<Vec<f64>>,
 }
 
 impl CellDistances<'_> {
@@ -735,6 +862,42 @@ impl AuthMethod for HypMethod {
         }
     }
 
+    fn prepare_batch_verify(
+        &self,
+        _params: &MethodParams,
+        queries: &[(NodeId, NodeId)],
+        batch: &crate::batch::BatchAnswer,
+        state: &BatchVerifyState,
+    ) {
+        // Group the batch's query endpoints by their authenticated
+        // cell. The plan is advisory: a per-query job only consumes a
+        // planned row after ITS OWN completeness check passed, and any
+        // endpoint the plan mislabels (e.g. a malicious duplicate-id
+        // pool) simply misses the row store and takes the bit-identical
+        // solo route.
+        let mut cell_of: HashMap<NodeId, u32> = HashMap::with_capacity(batch.pool.len());
+        for t in &batch.pool {
+            if let Some(ci) = t.cell {
+                cell_of.entry(t.id).or_insert(ci.cell);
+            }
+        }
+        let mut plan: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for &(vs, vt) in queries {
+            if vs == vt {
+                continue; // verified as 0.0 without any search
+            }
+            for v in [vs, vt] {
+                if let Some(&c) = cell_of.get(&v) {
+                    let endpoints = plan.entry(c).or_default();
+                    if !endpoints.contains(&v) {
+                        endpoints.push(v);
+                    }
+                }
+            }
+        }
+        state.hyp.set_plan(plan);
+    }
+
     fn verify_batch_query(
         &self,
         _params: &MethodParams,
@@ -747,7 +910,7 @@ impl AuthMethod for HypMethod {
         let AuxContext::Hyp { hyper, cell_dir } = ctx else {
             unreachable!("verify_batch_aux checked the pairing");
         };
-        verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, Some(&state.hyp_cells))
+        verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, Some(&state.hyp))
     }
 }
 
@@ -974,7 +1137,9 @@ mod tests {
     fn cell_graph_cache_shares_remaps_and_preserves_results() {
         let (g, hints) = setup(611, 9);
         let queries = [(NodeId(0), NodeId(143)), (NodeId(1), NodeId(142))];
-        let cache = CellGraphCache::default();
+        // An unplanned batch state: the cell-graph cache is shared,
+        // while every endpoint takes the solo-Dijkstra fallback.
+        let state = HypBatchState::default();
         for &(s, t) in &queries {
             let p = dijkstra_path(&g, s, t).unwrap();
             // A pooled map large enough for both queries (as a batch
@@ -982,7 +1147,7 @@ mod tests {
             let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
             let plain = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, None).unwrap();
             let cached =
-                verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, Some(&cache)).unwrap();
+                verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, Some(&state)).unwrap();
             assert_eq!(
                 plain.to_bits(),
                 cached.to_bits(),
@@ -991,7 +1156,11 @@ mod tests {
         }
         // Both queries touch the same two cells: two remaps total, not
         // four endpoint rebuilds.
-        assert_eq!(cache.len(), 2);
+        assert_eq!(state.cells.len(), 2);
+        // No plan was installed, so no sweeps ran and all four
+        // endpoint searches fell back to solo Dijkstras.
+        assert_eq!(state.sweep_count(), 0);
+        assert_eq!(state.solo_count(), 4);
     }
 
     #[test]

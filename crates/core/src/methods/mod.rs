@@ -19,7 +19,7 @@ pub mod full;
 pub mod hyp;
 pub mod ldm;
 
-use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::batch::{AuxContext, BatchAnswer, BatchAux, BatchVerifyState};
 use crate::enc::{DecodeError, Decoder, Encoder};
 use crate::error::{ProviderError, VerifyError};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
@@ -146,6 +146,23 @@ pub trait AuthMethod: Send + Sync {
         params: &MethodParams,
         aux: &'a BatchAux,
     ) -> Result<AuxContext<'a>, VerifyError>;
+
+    /// Batch-wide preparation between aux authentication and the
+    /// per-query fan-out: a method may seed `state` with work plans
+    /// derived from the whole batch. HYP uses this to group query
+    /// endpoints by their authenticated cell so batch verification
+    /// runs **one multi-source in-cell sweep per touched cell**
+    /// instead of one Dijkstra per endpoint. Purely an accelerator:
+    /// outcomes must be bit-identical with or without it. Default:
+    /// nothing.
+    fn prepare_batch_verify(
+        &self,
+        _params: &MethodParams,
+        _queries: &[(NodeId, NodeId)],
+        _batch: &BatchAnswer,
+        _state: &BatchVerifyState,
+    ) {
+    }
 
     /// Verifies one batched query's ΓS against the pre-verified aux
     /// context and the query's slice of the authenticated pool.

@@ -190,8 +190,11 @@ impl MerkleProof {
 
         // Bottom-up: compute every parent that covers a proven leaf.
         // The frontier stays sorted, so each parent's children are a
-        // contiguous run consumed by one forward pass.
-        let mut children: Vec<Digest> = Vec::with_capacity(fanout);
+        // contiguous run consumed by one forward pass. `fanout` is
+        // wire-controlled, so cap the pre-allocation by the widest
+        // level instead of trusting it (a corrupt proof must fail
+        // verification, not abort on an absurd allocation).
+        let mut children: Vec<Digest> = Vec::with_capacity(fanout.min(sizes[0]));
         for lvl in 0..sizes.len() - 1 {
             let mut next: Vec<(usize, Digest)> = Vec::with_capacity(frontier.len());
             let mut i = 0usize;

@@ -123,7 +123,7 @@ pub fn arcflag_path(
 ) -> Option<(Path, ArcFlagStats)> {
     let tc = af.cell_of[target.index()] as usize;
     with_thread_workspace(|ws| {
-        ws.begin_manual(g.num_nodes(), source);
+        ws.begin_manual(g, source);
         let mut relaxed = 0usize;
         while let Some((v, d)) = ws.pop_settle() {
             if v == target.0 {

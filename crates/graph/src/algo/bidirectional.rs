@@ -25,17 +25,18 @@ pub fn bidirectional_path(g: &Graph, source: NodeId, target: NodeId) -> Result<P
     if source == target {
         return Ok(Path::trivial(source));
     }
-    let n = g.num_nodes();
     with_thread_bi_workspace(|fwd, bwd| {
-        fwd.begin_manual(n, source);
-        bwd.begin_manual(n, target);
+        fwd.begin_manual(g, source);
+        bwd.begin_manual(g, target);
 
         let mut best = f64::INFINITY;
         let mut meet: Option<NodeId> = None;
 
         loop {
             // Pick the side with the smaller tentative key.
-            let side = match (fwd.peek_key(), bwd.peek_key()) {
+            let fwd_key = fwd.peek_key();
+            let bwd_key = bwd.peek_key();
+            let side = match (fwd_key, bwd_key) {
                 (None, None) => break,
                 (Some(_), None) => 0,
                 (None, Some(_)) => 1,

@@ -95,9 +95,15 @@ impl GraphBuilder {
     pub fn try_build(self) -> Result<Graph, GraphError> {
         let n = self.xs.len();
         let mut degree = vec![0u32; n];
-        for &(u, v, _) in &self.edges {
+        // Weight-range pre-scan: searches calibrate their bucket-queue
+        // frontier from it without re-touching the edge set.
+        let mut min_weight = f64::INFINITY;
+        let mut max_weight = 0.0f64;
+        for &(u, v, w) in &self.edges {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
+            min_weight = min_weight.min(w);
+            max_weight = max_weight.max(w);
         }
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
@@ -146,6 +152,8 @@ impl GraphBuilder {
             adj_targets: targets,
             adj_weights: weights,
             num_edges: self.edges.len(),
+            min_weight,
+            max_weight,
         })
     }
 }

@@ -12,6 +12,10 @@
 //! grid) and the dataset's |E|/|V| ratio. `scale = 1.0` reproduces the
 //! paper's sizes; the benchmark harness defaults to reduced scales (see
 //! `EXPERIMENTS.md`).
+//!
+//! Generation streams through `GraphBuilder` (no intermediate
+//! candidate/edge vectors — see [`road_network`]), so peak memory is
+//! the builder itself plus two transient bitvecs even at full scale.
 
 use crate::gen::grid::road_network;
 use crate::graph::Graph;

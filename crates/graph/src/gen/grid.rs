@@ -12,16 +12,48 @@
 //!    |E|/|V| ratio is reached,
 //! 4. sets each weight to the Euclidean length times a small random
 //!    detour factor (roads are rarely straight).
+//!
+//! Construction **streams** straight into the [`GraphBuilder`]: the
+//! spanning tree is drawn by giving every node (except the origin) a
+//! random left/up parent — a uniform-ish lattice tree that needs no
+//! candidate-edge materialization, no shuffle and no union-find — and
+//! the extra edges are rejection-sampled from the implicitly indexed
+//! lattice. Peak transient memory is two bitvecs (≈ `|E|/4` bytes)
+//! instead of the former `O(|E|)` candidate/flag vectors, which
+//! mattered from 1M nodes up.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::ids::NodeId;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use std::ops::Range;
 
 /// Spatial extent used by the paper's normalization.
 pub const EXTENT: f64 = 10_000.0;
+
+/// One bit per item, backed by `u64` words.
+pub(crate) struct BitVec {
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    pub(crate) fn new(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+}
 
 /// Generates a connected perturbed-grid network with unit weight scale
 /// (weights = Euclidean length × detour factor).
@@ -55,6 +87,31 @@ pub fn road_network(
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rows * cols;
     let mut b = GraphBuilder::with_capacity(n, (n as f64 * edge_ratio) as usize + 1);
+    fill_road_grid(
+        &mut b,
+        rows,
+        cols,
+        edge_ratio,
+        weight_scale,
+        1.0..1.3,
+        &mut rng,
+    );
+    b.build()
+}
+
+/// Streams the jittered-lattice nodes and edges of a road grid into
+/// `b` (shared by [`road_network`] and the highway-hierarchy
+/// generator, which layers express edges on top).
+pub(crate) fn fill_road_grid(
+    b: &mut GraphBuilder,
+    rows: usize,
+    cols: usize,
+    edge_ratio: f64,
+    weight_scale: f64,
+    detour: Range<f64>,
+    rng: &mut StdRng,
+) {
+    let n = rows * cols;
 
     // Cell size; jitter keeps nodes inside their cell to preserve
     // lattice adjacency semantics.
@@ -71,114 +128,102 @@ pub fn road_network(
     }
 
     let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
-
-    // Candidate lattice edges: horizontal + vertical neighbors.
-    let mut candidates: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * n);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                candidates.push((id(r, c), id(r, c + 1)));
-            }
-            if r + 1 < rows {
-                candidates.push((id(r, c), id(r + 1, c)));
-            }
-        }
-    }
-    candidates.shuffle(&mut rng);
-
-    // Kruskal-style random spanning tree via union-find.
-    let mut uf = UnionFind::new(n);
-    let mut in_tree = vec![false; candidates.len()];
-    let mut edges_added = 0usize;
-    for (i, &(u, v)) in candidates.iter().enumerate() {
-        if uf.union(u.index(), v.index()) {
-            in_tree[i] = true;
-            edges_added += 1;
-            if edges_added == n - 1 {
-                break;
-            }
-        }
-    }
-
-    let target_edges = ((n as f64 * edge_ratio).round() as usize).max(edges_added);
-    let weight = |g: &GraphBuilder, u: NodeId, v: NodeId, rng: &mut StdRng| {
-        let (ux, uy) = (g_x(g, u), g_y(g, u));
-        let (vx, vy) = (g_x(g, v), g_y(g, v));
+    let weight = |b: &GraphBuilder, u: NodeId, v: NodeId, rng: &mut StdRng| {
+        let (ux, uy) = b.coords(u);
+        let (vx, vy) = b.coords(v);
         let euclid = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
-        euclid * rng.random_range(1.0..1.3) * weight_scale // detour factor
+        euclid * rng.random_range(detour.clone()) * weight_scale
     };
 
-    // Tree edges first, then extras until the ratio target.
-    for (i, &(u, v)) in candidates.iter().enumerate() {
-        if in_tree[i] {
-            let w = weight(&b, u, v, &mut rng);
+    // Random lattice spanning tree: every node except the origin picks
+    // its left or up lattice neighbor as parent (forced on the first
+    // row/column). Each choice is one bit, and the tree streams into
+    // the builder without materializing candidate edges.
+    let mut chose_left = BitVec::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if r == 0 && c == 0 {
+                continue;
+            }
+            let left = if r == 0 {
+                true
+            } else if c == 0 {
+                false
+            } else {
+                rng.random_bool(0.5)
+            };
+            let (u, v) = if left {
+                (id(r, c - 1), id(r, c))
+            } else {
+                (id(r - 1, c), id(r, c))
+            };
+            if left {
+                chose_left.set(v.index());
+            }
+            let w = weight(b, u, v, rng);
             b.add_edge(u, v, w).expect("valid lattice edge");
         }
     }
-    for (i, &(u, v)) in candidates.iter().enumerate() {
+    let tree_edges = n - 1;
+
+    // Implicit lattice-edge indexing: `num_h` horizontal edges
+    // (r, c)–(r, c+1) first, then vertical (r, c)–(r+1, c). A lattice
+    // edge is in the tree iff its child node chose the matching
+    // parent, so tree membership is derivable from `chose_left`.
+    let num_h = rows * (cols - 1);
+    let num_v = (rows - 1) * cols;
+    let num_lattice = num_h + num_v;
+    let edge_of = |i: usize| {
+        if i < num_h {
+            let (r, c) = (i / (cols - 1), i % (cols - 1));
+            (id(r, c), id(r, c + 1))
+        } else {
+            let j = i - num_h;
+            let (r, c) = (j / cols, j % cols);
+            (id(r, c), id(r + 1, c))
+        }
+    };
+    let in_tree = |chose_left: &BitVec, i: usize| {
+        let (_, child) = edge_of(i);
+        if i < num_h {
+            chose_left.get(child.index())
+        } else {
+            !chose_left.get(child.index())
+        }
+    };
+
+    // Extra lattice edges, uniform without replacement: rejection-
+    // sample the implicit index space, falling back to a deterministic
+    // sweep if the lattice is nearly saturated.
+    let target_edges = ((n as f64 * edge_ratio).round() as usize)
+        .max(tree_edges)
+        .min(num_lattice);
+    let mut added = BitVec::new(num_lattice);
+    let mut edges_added = tree_edges;
+    let mut attempts = 20 * (target_edges - tree_edges) + 100;
+    while edges_added < target_edges && attempts > 0 {
+        attempts -= 1;
+        let i = rng.random_range(0..num_lattice);
+        if added.get(i) || in_tree(&chose_left, i) {
+            continue;
+        }
+        added.set(i);
+        let (u, v) = edge_of(i);
+        let w = weight(b, u, v, rng);
+        b.add_edge(u, v, w).expect("valid lattice edge");
+        edges_added += 1;
+    }
+    for i in 0..num_lattice {
         if edges_added >= target_edges {
             break;
         }
-        if !in_tree[i] {
-            let w = weight(&b, u, v, &mut rng);
+        if !added.get(i) && !in_tree(&chose_left, i) {
+            added.set(i);
+            let (u, v) = edge_of(i);
+            let w = weight(b, u, v, rng);
             b.add_edge(u, v, w).expect("valid lattice edge");
             edges_added += 1;
         }
-    }
-
-    b.build()
-}
-
-fn g_x(b: &GraphBuilder, v: NodeId) -> f64 {
-    b.coords(v).0
-}
-
-fn g_y(b: &GraphBuilder, v: NodeId) -> f64 {
-    b.coords(v).1
-}
-
-/// Union-find with path compression + union by size.
-struct UnionFind {
-    parent: Vec<u32>,
-    size: Vec<u32>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-        }
-    }
-
-    fn find(&mut self, x: usize) -> usize {
-        let mut root = x;
-        while self.parent[root] as usize != root {
-            root = self.parent[root] as usize;
-        }
-        let mut cur = x;
-        while self.parent[cur] as usize != root {
-            let next = self.parent[cur] as usize;
-            self.parent[cur] = root as u32;
-            cur = next;
-        }
-        root
-    }
-
-    /// Returns true if the two components were merged (were distinct).
-    fn union(&mut self, a: usize, b: usize) -> bool {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return false;
-        }
-        let (big, small) = if self.size[ra] >= self.size[rb] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
-        self.parent[small] = big as u32;
-        self.size[big] += self.size[small];
-        true
     }
 }
 
@@ -267,5 +312,15 @@ mod tests {
         let g = grid_network(30, 30, 1.05, 9);
         let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
         assert!((1.0..=1.06).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn saturated_ratio_caps_at_lattice() {
+        // edge_ratio far above the lattice density: every lattice edge
+        // gets added (fallback sweep) and generation terminates.
+        let g = grid_network(5, 5, 4.0, 17);
+        assert_eq!(g.num_edges(), 2 * 5 * 4); // full lattice
+        let r = dijkstra_sssp(&g, NodeId(0));
+        assert!(r.dist.iter().all(|d| d.is_finite()));
     }
 }

@@ -1,0 +1,128 @@
+//! Grid + highway-hierarchy road network generator.
+//!
+//! Real road networks are not flat grids: a sparse express layer
+//! (highways) overlays the local street lattice, so long journeys
+//! traverse few, long, fast edges. This generator layers that
+//! hierarchy onto the perturbed grid of
+//! [`road_network`](super::road_network):
+//!
+//! * the **local layer** is the same jittered lattice, but with a
+//!   larger detour factor (1.1–1.4: surface streets wind more),
+//! * the **highway layer** connects every `stride`-th lattice junction
+//!   to its next highway neighbor along the row and column, with a
+//!   near-straight detour factor (1.01–1.05).
+//!
+//! Weights stay ≥ the Euclidean distance, so A\* with the Euclidean
+//! lower bound remains admissible. The long express edges also widen
+//! the weight range `w_max / w_min` by roughly `stride ×` — which is
+//! exactly the regime where the calibrated bucket queue's overflow
+//! and wide-Δ paths earn their keep, making this the interesting
+//! topology for `BENCH_scale.json`.
+
+use crate::builder::GraphBuilder;
+use crate::gen::grid::fill_road_grid;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a connected grid road network with a highway hierarchy.
+///
+/// * `rows`, `cols` — lattice dimensions; |V| = rows·cols.
+/// * `edge_ratio` — target |E|/|V| for the **local** layer (highway
+///   edges are added on top).
+/// * `stride` — lattice spacing of highway junctions; must be ≥ 2.
+///   Junction `(r, c)` is on the highway iff `r % stride == 0 &&
+///   c % stride == 0`.
+/// * `seed` — deterministic generation.
+///
+/// # Panics
+/// Panics if `rows * cols == 0` or `stride < 2`.
+pub fn highway_network(
+    rows: usize,
+    cols: usize,
+    edge_ratio: f64,
+    stride: usize,
+    seed: u64,
+) -> Graph {
+    assert!(rows * cols > 0, "empty grid");
+    assert!(stride >= 2, "highway stride must be >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, (n as f64 * (edge_ratio + 0.1)) as usize + 1);
+    fill_road_grid(&mut b, rows, cols, edge_ratio, 1.0, 1.1..1.4, &mut rng);
+
+    // Express layer: row and column links between adjacent highway
+    // junctions. These bypass, not replace, the local lattice — the
+    // endpoints keep their street connections.
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let highway_edge = |b: &mut GraphBuilder, u: NodeId, v: NodeId, rng: &mut StdRng| {
+        let (ux, uy) = b.coords(u);
+        let (vx, vy) = b.coords(v);
+        let euclid = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+        let w = euclid * rng.random_range(1.01..1.05);
+        b.add_edge(u, v, w).expect("valid highway edge");
+    };
+    for r in (0..rows).step_by(stride) {
+        for c in (0..cols).step_by(stride) {
+            if c + stride < cols {
+                highway_edge(&mut b, id(r, c), id(r, c + stride), &mut rng);
+            }
+            if r + stride < rows {
+                highway_edge(&mut b, id(r, c), id(r + stride, c), &mut rng);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra_sssp;
+    use crate::search::FrontierKind;
+
+    #[test]
+    fn counts_and_connectivity() {
+        let g = highway_network(12, 12, 1.05, 4, 1);
+        assert_eq!(g.num_nodes(), 144);
+        // Local layer ≈ 151 edges + 3x3 highway grid x 2 directions.
+        assert!(g.num_edges() > 151, "highway edges on top of the grid");
+        let r = dijkstra_sssp(&g, NodeId(0));
+        assert!(r.dist.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = highway_network(10, 10, 1.1, 3, 7);
+        let b = highway_network(10, 10, 1.1, 3, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (e1, e2) in a.edges().zip(b.edges()) {
+            assert_eq!((e1.0, e1.1), (e2.0, e2.1));
+            assert_eq!(e1.2.to_bits(), e2.2.to_bits());
+        }
+        let c = highway_network(10, 10, 1.1, 3, 8);
+        assert!(a.edges().zip(c.edges()).any(|(e1, e2)| e1.2 != e2.2));
+    }
+
+    #[test]
+    fn weights_admissible_for_euclidean_astar() {
+        let g = highway_network(9, 9, 1.1, 3, 4);
+        for (u, v, w) in g.edges() {
+            assert!(w >= g.euclidean(u, v) - 1e-9, "detour factor ≥ 1");
+        }
+    }
+
+    #[test]
+    fn widens_weight_range_and_keeps_bucket_frontier() {
+        let grid = crate::gen::road_network(12, 12, 1.05, 1.0, 5);
+        let hwy = highway_network(12, 12, 1.05, 6, 5);
+        let (gmin, gmax) = grid.weight_range().unwrap();
+        let (hmin, hmax) = hwy.weight_range().unwrap();
+        assert!(
+            hmax / hmin > gmax / gmin,
+            "express edges must widen the weight range"
+        );
+        assert_eq!(hwy.frontier_kind(), FrontierKind::Bucket);
+    }
+}

@@ -1,0 +1,125 @@
+//! Scale-free (Barabási–Albert) graph generator.
+//!
+//! Preferential attachment: each new node connects to `m` distinct
+//! existing nodes chosen with probability proportional to their
+//! degree, yielding the power-law degree distribution of web, social
+//! and P2P overlay graphs — the topological opposite of the paper's
+//! near-planar road networks, and the stress case for the calibrated
+//! bucket queue (hub nodes dump thousands of relaxations into a
+//! handful of buckets).
+//!
+//! Degree-proportional sampling is done the classic way: every edge
+//! endpoint is appended to a flat pool and targets are drawn
+//! uniformly from it, so generation is `O(n·m)` time and memory and
+//! streams straight into the [`GraphBuilder`] (1M nodes in well under
+//! a second).
+
+use crate::builder::GraphBuilder;
+use crate::gen::grid::EXTENT;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a connected scale-free graph with `n` nodes where every
+/// node beyond the seed clique attaches to `m` distinct predecessors.
+///
+/// Node coordinates are uniform in the paper's `[0..10,000]²` extent
+/// (the topology is non-spatial; coordinates only feed spatial
+/// partitioning). Weights are uniform in `[1, 10)` — strictly
+/// positive, so searches select the bucket-queue frontier.
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn scale_free(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment degree must be >= 1");
+    assert!(n > m, "need more nodes than the seed clique");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m * n);
+    for _ in 0..n {
+        let x = rng.random_range(0.0..EXTENT);
+        let y = rng.random_range(0.0..EXTENT);
+        b.add_node(x, y);
+    }
+
+    // Flat endpoint pool: each node id appears once per incident edge,
+    // so a uniform draw is a degree-proportional draw.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+    let weight = |rng: &mut StdRng| rng.random_range(1.0..10.0);
+
+    // Seed clique on the first m+1 nodes.
+    for u in 0..m as u32 {
+        for v in u + 1..(m + 1) as u32 {
+            let w = weight(&mut rng);
+            b.add_edge(NodeId(u), NodeId(v), w).expect("clique edge");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    // Preferential attachment for the rest.
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for v in (m + 1) as u32..n as u32 {
+        targets.clear();
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            let w = weight(&mut rng);
+            b.add_edge(NodeId(v), NodeId(t), w).expect("distinct target");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra_sssp;
+    use crate::search::FrontierKind;
+
+    #[test]
+    fn counts_and_connectivity() {
+        let g = scale_free(300, 2, 1);
+        assert_eq!(g.num_nodes(), 300);
+        // Clique (3 edges for m = 2) + m per attached node.
+        assert_eq!(g.num_edges(), 3 + 2 * (300 - 3));
+        let r = dijkstra_sssp(&g, NodeId(0));
+        assert!(r.dist.iter().all(|d| d.is_finite()), "connected by construction");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = scale_free(200, 3, 9);
+        let b = scale_free(200, 3, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (e1, e2) in a.edges().zip(b.edges()) {
+            assert_eq!((e1.0, e1.1), (e2.0, e2.1));
+            assert_eq!(e1.2.to_bits(), e2.2.to_bits());
+        }
+        let c = scale_free(200, 3, 10);
+        assert!(a.edges().zip(c.edges()).any(|(e1, e2)| e1.2 != e2.2));
+    }
+
+    #[test]
+    fn power_law_ish_hubs() {
+        // Preferential attachment concentrates degree: the max degree
+        // must far exceed the mean (a uniform graph would stay near 2m).
+        let g = scale_free(2000, 2, 4);
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 40, "hub degree {max_deg} too uniform");
+    }
+
+    #[test]
+    fn positive_weights_select_bucket_frontier() {
+        let g = scale_free(150, 2, 5);
+        let (lo, hi) = g.weight_range().unwrap();
+        assert!(lo >= 1.0 && hi < 10.0);
+        assert_eq!(g.frontier_kind(), FrontierKind::Bucket);
+    }
+}

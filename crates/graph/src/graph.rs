@@ -2,6 +2,7 @@
 
 use crate::error::GraphError;
 use crate::ids::NodeId;
+use crate::search::{Calibration, FrontierKind};
 
 /// An undirected, weighted, spatial graph in compressed sparse row
 /// (CSR) form.
@@ -25,6 +26,11 @@ pub struct Graph {
     pub(crate) adj_weights: Vec<f64>,
     /// Number of undirected edges.
     pub(crate) num_edges: usize,
+    /// Smallest edge weight (∞ for an edgeless graph); pre-scanned at
+    /// build time so searches can calibrate their frontier in O(1).
+    pub(crate) min_weight: f64,
+    /// Largest edge weight (0 for an edgeless graph).
+    pub(crate) max_weight: f64,
 }
 
 impl Graph {
@@ -137,6 +143,31 @@ impl Graph {
         let (ux, uy) = self.coords(u);
         let (vx, vy) = self.coords(v);
         ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    }
+
+    /// Smallest and largest edge weight, pre-scanned at build time;
+    /// `None` for an edgeless graph.
+    pub fn weight_range(&self) -> Option<(f64, f64)> {
+        (self.num_edges > 0).then_some((self.min_weight, self.max_weight))
+    }
+
+    /// Which frontier implementation searches on this graph select:
+    /// the calibrated bucket queue for strictly positive weight
+    /// ranges, the 4-ary heap when the range is degenerate (no edges,
+    /// or a zero minimum weight). Both produce bit-identical results;
+    /// the choice is purely about speed.
+    pub fn frontier_kind(&self) -> FrontierKind {
+        self.calibration().kind
+    }
+
+    /// Bucket-queue calibration for searches on this graph.
+    pub(crate) fn calibration(&self) -> Calibration {
+        Calibration::from_weights(
+            self.min_weight,
+            self.max_weight,
+            self.num_edges,
+            self.num_nodes(),
+        )
     }
 }
 

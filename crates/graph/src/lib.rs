@@ -62,4 +62,4 @@ pub use graph::Graph;
 pub use ids::NodeId;
 pub use ofloat::OrderedF64;
 pub use path::Path;
-pub use search::{SearchView, SearchWorkspace};
+pub use search::{FrontierKind, SearchView, SearchWorkspace};

@@ -23,6 +23,31 @@
 //!
 //! Repeated searches on the same workspace perform **zero heap
 //! allocations** once the arrays have grown to the graph size.
+//!
+//! # Frontier selection
+//!
+//! Two interchangeable frontier implementations back every search:
+//!
+//! * **Calibrated bucket (radix) queue** — Dijkstra keys are monotone,
+//!   so the frontier can be an array of buckets of width Δ calibrated
+//!   from the graph's pre-scanned edge-weight range (Δ = the minimum
+//!   weight when the range fits, else a wider Δ capped at 65,536
+//!   buckets, with an overflow bucket that re-bases the window when
+//!   reached). No per-pop sifting, no node→slot index maintenance —
+//!   at million-node scale this removes the random `heap_pos` writes
+//!   that dominate the 4-ary heap's cost.
+//! * **4-ary indexed heap** — kept as the fallback for degenerate
+//!   weight ranges (no edges, zero or non-finite minimum weight) where
+//!   a width cannot be calibrated.
+//!
+//! The kind is selected per graph ([`Graph::frontier_kind`]) and both
+//! produce **bit-identical** distances, parents and settle order: the
+//! bucket being drained is sorted lexicographically on `(key, node)`,
+//! stale entries are skipped lazily (an entry is live iff its key
+//! bit-equals the node's current tentative distance and the node is
+//! unsettled), and the monotone bucket index guarantees the drained
+//! bucket always holds the global minimum. Property-tested in
+//! `tests/perf_equivalence.rs`.
 
 use crate::algo::dijkstra::SsspResult;
 use crate::error::GraphError;
@@ -33,6 +58,110 @@ use std::cell::RefCell;
 
 const NO_NODE: u32 = u32::MAX;
 const NOT_IN_HEAP: u32 = u32::MAX;
+
+/// Fewest fine buckets a bucket-queue search uses.
+const MIN_BUCKETS: usize = 64;
+/// Most fine buckets a bucket-queue search uses (~1.5 MiB of bucket
+/// headers per workspace; wider weight ranges widen Δ instead).
+const MAX_BUCKETS: usize = 65_536;
+
+/// Frontier implementation backing a search (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierKind {
+    /// Comparison-based 4-ary indexed heap with decrease-key.
+    Heap,
+    /// Calibrated monotone bucket (radix) queue with lazy deletion.
+    Bucket,
+}
+
+/// Per-graph frontier calibration, derived from the edge-weight range
+/// pre-scanned at graph build time.
+///
+/// Correctness does not depend on Δ — any positive width preserves
+/// bit-identity (the drained bucket is sorted) — so the calibration
+/// only tunes how many keys share a bucket.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Calibration {
+    pub(crate) kind: FrontierKind,
+    /// Bucket width Δ (positive and finite in bucket mode).
+    pub(crate) delta: f64,
+    /// Number of fine buckets before the overflow bucket.
+    pub(crate) buckets: usize,
+}
+
+impl Calibration {
+    pub(crate) const HEAP: Calibration = Calibration {
+        kind: FrontierKind::Heap,
+        delta: 1.0,
+        buckets: 0,
+    };
+
+    /// How many maximum-weight edge hops one window of fine buckets
+    /// spans. Larger → fewer overflow re-bases (each re-base re-sows
+    /// the whole frontier); smaller → finer buckets. Relaxations from
+    /// the current minimum reach at most one `max_w` ahead, so ≥ 1
+    /// keeps the overflow bucket off the hot path; 16 amortizes
+    /// re-bases to a rounding error while still leaving buckets ~10³×
+    /// finer than the frontier span.
+    const WINDOW_FACTOR: f64 = 16.0;
+
+    /// Calibration for a graph with the given pre-scanned weight
+    /// range: the bucket queue when every weight is strictly positive
+    /// and finite, the heap fallback otherwise (with zero-weight edges
+    /// a bucket can hold unboundedly many mutually-improving entries,
+    /// and with no edges there is nothing to calibrate from).
+    pub(crate) fn from_weights(
+        min_w: f64,
+        max_w: f64,
+        num_edges: usize,
+        num_nodes: usize,
+    ) -> Calibration {
+        if num_edges == 0 || !(min_w > 0.0) || !max_w.is_finite() {
+            return Calibration::HEAP;
+        }
+        Calibration::bucket_for(max_w, num_nodes)
+    }
+
+    /// A bucket calibration whose fine window spans
+    /// [`WINDOW_FACTOR`](Self::WINDOW_FACTOR) maximum edge weights.
+    ///
+    /// The bucket count scales with the graph (≈ 4 buckets per node,
+    /// clamped to `[64, 65536]`) so the frontier — which on spatial
+    /// graphs is far smaller than |V| — lands ~1 entry per occupied
+    /// bucket and the per-bucket tie-break sort degenerates to a
+    /// length check. Exactness never depends on Δ; only the
+    /// sort/re-base balance does.
+    pub(crate) fn bucket_for(max_w: f64, num_nodes: usize) -> Calibration {
+        debug_assert!(max_w > 0.0 && max_w.is_finite());
+        let buckets = num_nodes
+            .saturating_mul(4)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let delta = Self::WINDOW_FACTOR * max_w / (buckets - 2) as f64;
+        Calibration {
+            kind: FrontierKind::Bucket,
+            delta,
+            buckets,
+        }
+    }
+
+    /// Calibration forcing `kind` on `g` — the bench/test hook behind
+    /// [`SearchWorkspace::sssp_with_frontier`]. Forcing the bucket
+    /// queue onto a degenerate weight range substitutes a safe width
+    /// (results stay bit-identical; only speed suffers).
+    pub(crate) fn forced(g: &Graph, kind: FrontierKind) -> Calibration {
+        match kind {
+            FrontierKind::Heap => Calibration::HEAP,
+            FrontierKind::Bucket => {
+                let max_w = match g.weight_range() {
+                    Some((_, max_w)) if max_w > 0.0 => max_w,
+                    _ => 1.0,
+                };
+                Calibration::bucket_for(max_w, g.num_nodes())
+            }
+        }
+    }
+}
 
 /// One 4-ary heap slot: the key is stored inline so sift comparisons
 /// stay cache-local (indirect `dist[]` reads per comparison cost more
@@ -51,27 +180,79 @@ impl HeapEntry {
     }
 }
 
-/// Per-node search state, kept in one array-of-structs so that
+/// Stamp mask of [`NodeState::meta`]; also the maximum generation.
+const STAMP_MASK: u32 = 0x7FFF_FFFF;
+/// Settled flag of [`NodeState::meta`].
+const SETTLED_BIT: u32 = 0x8000_0000;
+
+/// Per-node search state, kept in one 16-byte array-of-structs slot so
 /// touching a node during relaxation costs a single cache-line access
-/// (stamp, distance, parent and settled flag travel together).
+/// (stamp, settled bit, distance and parent travel together; at
+/// million-node scale the node array is the search's main random
+/// memory traffic, so the packing is worth the bit twiddling).
 #[derive(Debug, Clone, Copy)]
 struct NodeState {
     dist: f64,
     /// Parent node id, `NO_NODE` for none.
     parent: u32,
-    /// Entry is valid iff this equals the workspace generation.
-    stamp: u32,
-    settled: bool,
+    /// Settled flag (high bit) | generation stamp (low 31 bits); the
+    /// entry is valid iff the stamp equals the workspace generation.
+    meta: u32,
 }
 
 impl NodeState {
     const FRESH: NodeState = NodeState {
         dist: f64::INFINITY,
         parent: NO_NODE,
-        stamp: 0,
-        settled: false,
+        meta: 0,
     };
+
+    #[inline]
+    fn stamp(self) -> u32 {
+        self.meta & STAMP_MASK
+    }
+
+    #[inline]
+    fn settled(self) -> bool {
+        self.meta & SETTLED_BIT != 0
+    }
 }
+
+const _: () = assert!(std::mem::size_of::<NodeState>() == 16);
+
+/// Arena slot of the bucket queue's per-bucket chains: an entry plus
+/// the arena index of the next entry in the same bucket (`NIL_LINK`
+/// terminates). Entries live in one append-only arena, so pushes are
+/// sequential writes; only the bucket-head update is a random access.
+#[derive(Debug, Clone, Copy)]
+struct ChainedEntry {
+    key: f64,
+    node: u32,
+    next: u32,
+}
+
+const NIL_LINK: u32 = u32::MAX;
+
+const _: () = assert!(std::mem::size_of::<ChainedEntry>() == 16);
+
+/// Best-effort cache-line prefetch; no-op on non-x86_64 targets.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Inline entry slots per fine bucket; the calibration targets ~1
+/// entry per occupied bucket, so four absorb nearly all skew before
+/// spilling to a chain.
+const BUCKET_INLINE: usize = 4;
+/// High bit of a bucket count: the bucket also has a spill chain.
+const SPILL_FLAG: u8 = 0x80;
+const SPILL_FLAG_INV: u8 = 0x7F;
 
 /// Reusable state for Dijkstra-family searches.
 ///
@@ -87,6 +268,43 @@ pub struct SearchWorkspace {
     /// Node id → heap slot (`NOT_IN_HEAP` when absent; valid only for
     /// nodes stamped with the current generation).
     heap_pos: Vec<u32>,
+    /// Frontier implementation of the search in progress.
+    kind: FrontierKind,
+    /// Bucket width Δ of the search in progress.
+    delta: f64,
+    /// Key at the lower edge of fine bucket 0 (NaN until first push).
+    base: f64,
+    /// Number of fine buckets the current search uses.
+    num_buckets: usize,
+    /// Lowest fine bucket that may still hold entries.
+    cur: usize,
+    /// Per-bucket entry count (low bits) | spill flag (high bit).
+    counts: Vec<u8>,
+    /// Flat inline storage: `BUCKET_INLINE` entry slots per bucket.
+    /// The window of active buckets is a small sliding region of this
+    /// array, so pushes and refills stay cache-resident — the reason
+    /// this layout beats per-bucket vectors or pure chains.
+    slots: Vec<HeapEntry>,
+    /// Per-bucket spill chain heads (arena indices), valid only when
+    /// the bucket's spill flag is set.
+    spill_heads: Vec<u32>,
+    /// Occupancy bitmap over buckets, so `begin` clears only occupied
+    /// buckets and refills skip empty words.
+    occupied: Vec<u64>,
+    /// Append-only arena backing the spill and overflow chains;
+    /// truncated (capacity kept) at `begin`.
+    arena: Vec<ChainedEntry>,
+    /// Chain head of entries beyond the fine-bucket window;
+    /// redistributed (with a re-based window) once the fine buckets
+    /// drain.
+    overflow_head: u32,
+    /// Remaining entries of the bucket being drained, kept sorted
+    /// descending on `(key, node)` so popping the back yields the
+    /// lexicographic minimum.
+    drain: Vec<HeapEntry>,
+    /// Whether `drain` is currently sorted (an insert into the bucket
+    /// being drained appends and defers the re-sort to the next pop).
+    drain_sorted: bool,
 }
 
 impl Default for SearchWorkspace {
@@ -103,6 +321,19 @@ impl SearchWorkspace {
             nodes: Vec::new(),
             heap: Vec::new(),
             heap_pos: Vec::new(),
+            kind: FrontierKind::Heap,
+            delta: 1.0,
+            base: f64::NAN,
+            num_buckets: 0,
+            cur: 0,
+            counts: Vec::new(),
+            slots: Vec::new(),
+            spill_heads: Vec::new(),
+            occupied: Vec::new(),
+            arena: Vec::new(),
+            overflow_head: NIL_LINK,
+            drain: Vec::new(),
+            drain_sorted: true,
         }
     }
 
@@ -120,13 +351,46 @@ impl SearchWorkspace {
         }
     }
 
-    /// Starts a new query: O(1) unless the generation counter wraps.
-    fn begin(&mut self, n: usize) {
+    /// Starts a new query: O(1) in heap mode, O(occupied buckets) in
+    /// bucket mode (plus the generation-wrap reset).
+    fn begin(&mut self, n: usize, cal: Calibration) {
         self.grow(n);
         self.heap.clear();
-        if self.generation == u32::MAX {
-            // Once every 2³² queries: hard reset so stamp 0 is unused.
-            self.nodes.iter_mut().for_each(|s| s.stamp = 0);
+        self.kind = cal.kind;
+        if cal.kind == FrontierKind::Bucket {
+            self.delta = cal.delta;
+            self.base = f64::NAN;
+            self.num_buckets = cal.buckets;
+            self.cur = 0;
+            if self.counts.len() < cal.buckets {
+                self.counts.resize(cal.buckets, 0);
+                self.slots.resize(
+                    cal.buckets * BUCKET_INLINE,
+                    HeapEntry { key: 0.0, node: 0 },
+                );
+                self.spill_heads.resize(cal.buckets, NIL_LINK);
+                self.occupied.resize(self.counts.len().div_ceil(64), 0);
+            }
+            // Clear residue from an early-terminated previous search;
+            // only occupied buckets' counts are touched (bitmap
+            // word-skip), entries die with the arena truncation.
+            for w in 0..self.occupied.len() {
+                let mut word = self.occupied[w];
+                while word != 0 {
+                    let b = w * 64 + word.trailing_zeros() as usize;
+                    self.counts[b] = 0;
+                    word &= word - 1;
+                }
+                self.occupied[w] = 0;
+            }
+            self.arena.clear();
+            self.overflow_head = NIL_LINK;
+            self.drain.clear();
+            self.drain_sorted = true;
+        }
+        if self.generation == STAMP_MASK {
+            // Once every 2³¹ queries: hard reset so stamp 0 is unused.
+            self.nodes.iter_mut().for_each(|s| s.meta = 0);
             self.generation = 0;
         }
         self.generation += 1;
@@ -135,12 +399,18 @@ impl SearchWorkspace {
     /// Makes node `v`'s entries valid for the current query.
     #[inline]
     fn touch(&mut self, v: usize) {
-        if self.nodes[v].stamp != self.generation {
+        if self.nodes[v].stamp() != self.generation {
             self.nodes[v] = NodeState {
-                stamp: self.generation,
+                meta: self.generation,
                 ..NodeState::FRESH
             };
-            self.heap_pos[v] = NOT_IN_HEAP;
+            // Only the heap reads `heap_pos`; in bucket mode skipping
+            // this write avoids a second random-access array in the
+            // per-arc hot path (a heap search touching the node later
+            // re-stamps and resets it then).
+            if self.kind == FrontierKind::Heap {
+                self.heap_pos[v] = NOT_IN_HEAP;
+            }
         }
     }
 
@@ -217,41 +487,371 @@ impl SearchWorkspace {
         Some(top)
     }
 
+    // --- calibrated bucket queue -------------------------------------------
+    //
+    // Lazy deletion instead of decrease-key: every improvement pushes
+    // a fresh entry, and an entry is live iff its key bit-equals the
+    // node's current tentative distance and the node is unsettled
+    // (tentative distances strictly decrease, so exactly the newest
+    // entry matches). Keys are monotone (≥ the last popped key), so
+    // the bucket index never falls below the drain cursor and the
+    // lowest occupied bucket always contains the global minimum.
+
+    /// Queues `(v, key)` into its fine bucket's chain, the bucket
+    /// currently being drained, or the overflow chain.
+    #[inline]
+    fn bucket_push(&mut self, v: u32, key: f64) {
+        if self.base.is_nan() {
+            // First push of the search anchors the window.
+            self.base = key;
+        }
+        debug_assert!(key >= self.base, "monotone keys never precede the window");
+        let idx = ((key - self.base) / self.delta) as usize; // floor: key ≥ base
+        if idx >= self.num_buckets {
+            let slot = self.arena.len() as u32;
+            self.arena.push(ChainedEntry {
+                key,
+                node: v,
+                next: self.overflow_head,
+            });
+            self.overflow_head = slot;
+        } else if idx <= self.cur && !self.drain.is_empty() {
+            // Lands in the bucket being drained: append and re-sort
+            // lazily on the next pop.
+            self.drain.push(HeapEntry { key, node: v });
+            self.drain_sorted = false;
+        } else {
+            // SAFETY: the branch above establishes idx < num_buckets;
+            // `begin` sizes counts/slots/occupied from num_buckets.
+            debug_assert!(idx < self.counts.len());
+            let c = unsafe { *self.counts.get_unchecked(idx) };
+            let inline = (c & SPILL_FLAG_INV) as usize;
+            if inline < BUCKET_INLINE {
+                unsafe {
+                    *self.slots.get_unchecked_mut(idx * BUCKET_INLINE + inline) =
+                        HeapEntry { key, node: v };
+                    *self.counts.get_unchecked_mut(idx) = c + 1;
+                }
+            } else {
+                // Inline slots full: chain the entry in the arena.
+                let prev = if c & SPILL_FLAG != 0 {
+                    self.spill_heads[idx]
+                } else {
+                    NIL_LINK
+                };
+                let slot = self.arena.len() as u32;
+                self.arena.push(ChainedEntry {
+                    key,
+                    node: v,
+                    next: prev,
+                });
+                self.spill_heads[idx] = slot;
+                self.counts[idx] = c | SPILL_FLAG;
+            }
+            unsafe { *self.occupied.get_unchecked_mut(idx / 64) |= 1 << (idx % 64) };
+        }
+    }
+
+    /// Whether a queued entry still reflects `node`'s current state.
+    #[inline]
+    fn entry_live(&self, e: HeapEntry) -> bool {
+        let s = self.nodes[e.node as usize];
+        !s.settled() && s.dist.to_bits() == e.key.to_bits()
+    }
+
+    /// Ensures `drain` holds the contents of the lowest non-empty fine
+    /// bucket, re-basing the window from the overflow chain when the
+    /// fine window is exhausted. Returns false when the queue is empty.
+    fn bucket_refill(&mut self) -> bool {
+        loop {
+            if !self.drain.is_empty() {
+                return true;
+            }
+            let mut found = None;
+            for w in self.cur / 64..self.occupied.len() {
+                let word = self.occupied[w];
+                if word != 0 {
+                    found = Some(w * 64 + word.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            if let Some(b) = found {
+                self.cur = b;
+                self.occupied[b / 64] &= !(1u64 << (b % 64));
+                let c = std::mem::take(&mut self.counts[b]);
+                if c == 1 {
+                    // Singleton bucket — the dominant case at ~1 entry
+                    // per occupied bucket: the drain (empty here) stays
+                    // trivially sorted, skipping the sort entirely.
+                    self.drain.push(self.slots[b * BUCKET_INLINE]);
+                    self.drain_sorted = true;
+                    return true;
+                }
+                let inline = (c & SPILL_FLAG_INV) as usize;
+                self.drain
+                    .extend_from_slice(&self.slots[b * BUCKET_INLINE..][..inline]);
+                if c & SPILL_FLAG != 0 {
+                    let mut link = std::mem::replace(&mut self.spill_heads[b], NIL_LINK);
+                    while link != NIL_LINK {
+                        let e = self.arena[link as usize];
+                        self.drain.push(HeapEntry {
+                            key: e.key,
+                            node: e.node,
+                        });
+                        link = e.next;
+                    }
+                }
+                self.drain_sorted = false;
+            } else if self.overflow_head == NIL_LINK {
+                return false;
+            } else {
+                // Re-base the window at the overflow minimum and
+                // redistribute; the minimum maps to bucket 0, so every
+                // redistribution makes progress even if most entries
+                // land back in overflow.
+                let mut min_key = f64::INFINITY;
+                let mut link = self.overflow_head;
+                while link != NIL_LINK {
+                    let e = self.arena[link as usize];
+                    min_key = min_key.min(e.key);
+                    link = e.next;
+                }
+                self.base = min_key;
+                self.cur = 0;
+                let mut link = std::mem::replace(&mut self.overflow_head, NIL_LINK);
+                while link != NIL_LINK {
+                    let e = self.arena[link as usize];
+                    self.bucket_push(e.node, e.key);
+                    link = e.next;
+                }
+            }
+        }
+    }
+
+    /// Sorts the drain stack descending on `(key, node)` so popping
+    /// the back yields the seed-compatible lexicographic minimum.
+    /// Keys are never NaN, so `total_cmp` agrees with numeric order.
+    fn sort_drain(&mut self) {
+        if let [a, b] = self.drain[..] {
+            // Two entries: one compare-swap instead of a sort call.
+            if (a.key, a.node) < (b.key, b.node) {
+                self.drain.swap(0, 1);
+            }
+            self.drain_sorted = true;
+            return;
+        }
+        self.drain
+            .sort_unstable_by(|a, b| b.key.total_cmp(&a.key).then(b.node.cmp(&a.node)));
+        // The next pops are now known: warm their node-state lines so
+        // the liveness checks and settle writes don't stall. This
+        // lookahead is structural to the bucket queue; a comparison
+        // heap only learns its next minimum after the previous pop.
+        for e in self.drain.iter().rev().take(8) {
+            prefetch(&self.nodes[e.node as usize]);
+        }
+        self.drain_sorted = true;
+    }
+
+    fn bucket_pop(&mut self) -> Option<HeapEntry> {
+        loop {
+            if !self.bucket_refill() {
+                return None;
+            }
+            if !self.drain_sorted {
+                self.sort_drain();
+            }
+            let e = self.drain.pop().expect("refilled");
+            if self.entry_live(e) {
+                return Some(e);
+            }
+        }
+    }
+
+    /// Minimum live key, discarding stale entries along the way.
+    fn bucket_peek(&mut self) -> Option<f64> {
+        loop {
+            if !self.bucket_refill() {
+                return None;
+            }
+            if !self.drain_sorted {
+                self.sort_drain();
+            }
+            let e = *self.drain.last().expect("refilled");
+            if self.entry_live(e) {
+                return Some(e.key);
+            }
+            self.drain.pop();
+        }
+    }
+
+    // --- frontier dispatch -------------------------------------------------
+
+    /// Queues `v` at `key` (or improves it) in the active frontier.
+    #[inline]
+    fn frontier_push(&mut self, v: u32, key: f64) {
+        match self.kind {
+            FrontierKind::Heap => self.heap_push_or_decrease(v, key),
+            FrontierKind::Bucket => self.bucket_push(v, key),
+        }
+    }
+
+    /// Pops the lexicographically smallest live `(key, node)` entry.
+    #[inline]
+    fn frontier_pop(&mut self) -> Option<HeapEntry> {
+        match self.kind {
+            FrontierKind::Heap => self.heap_pop(),
+            FrontierKind::Bucket => self.bucket_pop(),
+        }
+    }
+
     // --- searches ----------------------------------------------------------
 
     fn run(&mut self, g: &Graph, source: NodeId, stop_at: Option<u32>, radius: f64) {
-        self.begin(g.num_nodes());
+        self.run_with(g, source, stop_at, radius, g.calibration());
+    }
+
+    fn run_with(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        stop_at: Option<u32>,
+        radius: f64,
+        cal: Calibration,
+    ) {
+        self.begin(g.num_nodes(), cal);
         let s = source.index();
         self.touch(s);
         self.nodes[s].dist = 0.0;
-        self.heap_push_or_decrease(source.0, 0.0);
-        while let Some(HeapEntry { key: d, node: v }) = self.heap_pop() {
+        self.frontier_push(source.0, 0.0);
+        while let Some(HeapEntry { key: d, node: v }) = self.frontier_pop() {
             let vi = v as usize;
             if d > radius {
                 // Every remaining key is ≥ d: nothing else is in the ball.
                 break;
             }
-            self.nodes[vi].settled = true;
+            self.nodes[vi].meta |= SETTLED_BIT;
             if stop_at == Some(v) {
                 break;
             }
+            // The sorted drain already names the next few settles:
+            // warm their node states and CSR rows while this node
+            // relaxes, overlapping the pop chain's memory stalls. The
+            // immediate successor's offsets were prefetched one
+            // iteration ago, so reading them now is cheap and lets its
+            // adjacency rows start loading too (a one-deep software
+            // pipeline only the bucket frontier's lookahead allows).
+            let lookahead = self.drain.len().saturating_sub(3);
+            for e in &self.drain[lookahead..] {
+                prefetch(&self.nodes[e.node as usize]);
+                prefetch(&g.offsets[e.node as usize]);
+            }
+            if let Some(e) = self.drain.last() {
+                let nlo = g.offsets[e.node as usize] as usize;
+                prefetch(&g.adj_targets[nlo]);
+                prefetch(&g.adj_weights[nlo]);
+            }
             let lo = g.offsets[vi] as usize;
             let hi = g.offsets[vi + 1] as usize;
-            for k in lo..hi {
-                let u = g.adj_targets[k] as usize;
+            let targets = &g.adj_targets[lo..hi];
+            let weights = &g.adj_weights[lo..hi];
+            // Issue the neighbors' node-state loads up front; the relax
+            // pass below then hits warm lines instead of serializing one
+            // random access per arc.
+            for &t in targets {
+                prefetch(&self.nodes[t as usize]);
+            }
+            for (&t, &w) in targets.iter().zip(weights) {
+                let u = t as usize;
                 self.touch(u);
                 let state = self.nodes[u];
-                if state.settled {
+                if state.settled() {
                     continue;
                 }
-                let nd = d + g.adj_weights[k];
+                let nd = d + w;
                 if nd < state.dist {
                     self.nodes[u].dist = nd;
                     self.nodes[u].parent = v;
-                    self.heap_push_or_decrease(u as u32, nd);
+                    self.frontier_push(u as u32, nd);
                 }
             }
         }
+    }
+
+    /// Runs `sources.len()` independent SSSPs over `g` in **one**
+    /// frontier sweep and returns one full distance row per source,
+    /// each bit-identical to `self.sssp(g, sources[i]).dist_vec()`.
+    ///
+    /// The sweep searches the product space `source-index * n + node`
+    /// (sources never interact — the global `(key, product-id)` pop
+    /// order projects to each source's own `(key, node)` order), so a
+    /// batch of in-cell verifications costs one calibrated pass over
+    /// the cell instead of one Dijkstra per endpoint.
+    ///
+    /// Panics if `sources.len() * n` overflows the `u32` id space —
+    /// callers with unbounded fan-in should chunk their sources.
+    pub fn multi_sssp_rows(&mut self, g: &Graph, sources: &[NodeId]) -> Vec<Vec<f64>> {
+        let n = g.num_nodes();
+        if sources.is_empty() {
+            return Vec::new();
+        }
+        let states = sources
+            .len()
+            .checked_mul(n)
+            .expect("multi-source product space overflow");
+        assert!(
+            states < u32::MAX as usize,
+            "multi-source product space exceeds u32 ids ({} sources x {} nodes)",
+            sources.len(),
+            n
+        );
+        self.begin(states, g.calibration());
+        for (si, &s) in sources.iter().enumerate() {
+            let pid = si * n + s.index();
+            self.touch(pid);
+            self.nodes[pid].dist = 0.0;
+            self.frontier_push(pid as u32, 0.0);
+        }
+        while let Some(HeapEntry { key: d, node: pv }) = self.frontier_pop() {
+            let pvi = pv as usize;
+            self.nodes[pvi].meta |= SETTLED_BIT;
+            let v = pvi % n;
+            let block = pvi - v;
+            let lo = g.offsets[v] as usize;
+            let hi = g.offsets[v + 1] as usize;
+            let targets = &g.adj_targets[lo..hi];
+            let weights = &g.adj_weights[lo..hi];
+            for &t in targets {
+                prefetch(&self.nodes[block + t as usize]);
+            }
+            for (&t, &w) in targets.iter().zip(weights) {
+                let pu = block + t as usize;
+                self.touch(pu);
+                let state = self.nodes[pu];
+                if state.settled() {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < state.dist {
+                    self.nodes[pu].dist = nd;
+                    self.nodes[pu].parent = pv;
+                    self.frontier_push(pu as u32, nd);
+                }
+            }
+        }
+        (0..sources.len())
+            .map(|si| {
+                (0..n)
+                    .map(|v| {
+                        let s = self.nodes[si * n + v];
+                        if s.stamp() == self.generation {
+                            s.dist
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     // --- manually-driven searches ------------------------------------------
@@ -262,27 +862,31 @@ impl SearchWorkspace {
     // indexed heap without giving up its invariants: state mutation
     // only ever happens through `touch`/`relax`/`pop_settle`.
 
-    /// Starts a manually-driven search seeded at `source` with
-    /// distance 0.
-    pub(crate) fn begin_manual(&mut self, n: usize, source: NodeId) {
-        self.begin(n);
+    /// Starts a manually-driven search on `g` seeded at `source` with
+    /// distance 0, using the graph's calibrated frontier.
+    pub(crate) fn begin_manual(&mut self, g: &Graph, source: NodeId) {
+        self.begin(g.num_nodes(), g.calibration());
         let s = source.index();
         self.touch(s);
         self.nodes[s].dist = 0.0;
-        self.heap_push_or_decrease(source.0, 0.0);
+        self.frontier_push(source.0, 0.0);
     }
 
-    /// Smallest tentative key currently queued, if any.
-    pub(crate) fn peek_key(&self) -> Option<f64> {
-        self.heap.first().map(|e| e.key)
+    /// Smallest live tentative key currently queued, if any (in bucket
+    /// mode this discards stale lazy-deletion entries, hence `&mut`).
+    pub(crate) fn peek_key(&mut self) -> Option<f64> {
+        match self.kind {
+            FrontierKind::Heap => self.heap.first().map(|e| e.key),
+            FrontierKind::Bucket => self.bucket_peek(),
+        }
     }
 
     /// Pops and settles the nearest queued node, returning
-    /// `(node, dist)`. With decrease-key there are no stale entries:
-    /// every pop is final.
+    /// `(node, dist)`. Stale bucket entries are skipped internally:
+    /// every returned pop is final.
     pub(crate) fn pop_settle(&mut self) -> Option<(u32, f64)> {
-        let e = self.heap_pop()?;
-        self.nodes[e.node as usize].settled = true;
+        let e = self.frontier_pop()?;
+        self.nodes[e.node as usize].meta |= SETTLED_BIT;
         Some((e.node, e.key))
     }
 
@@ -292,19 +896,19 @@ impl SearchWorkspace {
         let ui = u as usize;
         self.touch(ui);
         let state = self.nodes[ui];
-        if state.settled || nd >= state.dist {
+        if state.settled() || nd >= state.dist {
             return false;
         }
         self.nodes[ui].dist = nd;
         self.nodes[ui].parent = via;
-        self.heap_push_or_decrease(u, nd);
+        self.frontier_push(u, nd);
         true
     }
 
     /// Tentative (or settled) distance of `v` in the current search;
     /// ∞ when untouched.
     pub(crate) fn current_dist(&self, v: usize) -> f64 {
-        if self.nodes[v].stamp == self.generation {
+        if self.nodes[v].stamp() == self.generation {
             self.nodes[v].dist
         } else {
             f64::INFINITY
@@ -313,7 +917,7 @@ impl SearchWorkspace {
 
     /// Parent of `v` in the current search tree, if assigned.
     pub(crate) fn current_parent(&self, v: usize) -> Option<u32> {
-        if self.nodes[v].stamp == self.generation && self.nodes[v].parent != NO_NODE {
+        if self.nodes[v].stamp() == self.generation && self.nodes[v].parent != NO_NODE {
             Some(self.nodes[v].parent)
         } else {
             None
@@ -327,6 +931,43 @@ impl SearchWorkspace {
             ws: self,
             source,
             bounded: false,
+            n: g.num_nodes(),
+        }
+    }
+
+    /// Full SSSP forcing a specific frontier implementation instead of
+    /// the graph's calibrated choice — the bench/test hook behind the
+    /// bucket-vs-heap equivalence and speedup measurements. Results
+    /// are bit-identical across kinds.
+    pub fn sssp_with_frontier<'a>(
+        &'a mut self,
+        g: &Graph,
+        source: NodeId,
+        kind: FrontierKind,
+    ) -> SearchView<'a> {
+        self.run_with(g, source, None, f64::INFINITY, Calibration::forced(g, kind));
+        SearchView {
+            ws: self,
+            source,
+            bounded: false,
+            n: g.num_nodes(),
+        }
+    }
+
+    /// Bounded ball forcing a specific frontier implementation; see
+    /// [`Self::sssp_with_frontier`].
+    pub fn ball_with_frontier<'a>(
+        &'a mut self,
+        g: &Graph,
+        source: NodeId,
+        radius: f64,
+        kind: FrontierKind,
+    ) -> SearchView<'a> {
+        self.run_with(g, source, None, radius, Calibration::forced(g, kind));
+        SearchView {
+            ws: self,
+            source,
+            bounded: true,
             n: g.num_nodes(),
         }
     }
@@ -376,7 +1017,7 @@ impl SearchWorkspace {
         }
         self.run(g, source, Some(target.0), f64::INFINITY);
         let t = target.index();
-        if self.nodes[t].stamp == self.generation && self.nodes[t].settled {
+        if self.nodes[t].stamp() == self.generation && self.nodes[t].settled() {
             Ok(self.nodes[t].dist)
         } else {
             Err(GraphError::Unreachable { source, target })
@@ -405,14 +1046,14 @@ impl SearchView<'_> {
 
     #[inline]
     fn stamped(&self, v: usize) -> bool {
-        self.ws.nodes[v].stamp == self.ws.generation
+        self.ws.nodes[v].stamp() == self.ws.generation
     }
 
     /// Whether `v` was settled (popped with a final distance).
     #[inline]
     pub fn settled(&self, v: NodeId) -> bool {
         let i = v.index();
-        i < self.n && self.stamped(i) && self.ws.nodes[i].settled
+        i < self.n && self.stamped(i) && self.ws.nodes[i].settled()
     }
 
     /// Distance to `v`; `INFINITY` when unreached (or outside the ball
@@ -420,7 +1061,7 @@ impl SearchView<'_> {
     #[inline]
     pub fn dist(&self, v: NodeId) -> f64 {
         let i = v.index();
-        if i >= self.n || !self.stamped(i) || (self.bounded && !self.ws.nodes[i].settled) {
+        if i >= self.n || !self.stamped(i) || (self.bounded && !self.ws.nodes[i].settled()) {
             f64::INFINITY
         } else {
             self.ws.nodes[i].dist
@@ -431,7 +1072,7 @@ impl SearchView<'_> {
     #[inline]
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {
         let i = v.index();
-        if i >= self.n || !self.stamped(i) || (self.bounded && !self.ws.nodes[i].settled) {
+        if i >= self.n || !self.stamped(i) || (self.bounded && !self.ws.nodes[i].settled()) {
             return None;
         }
         match self.ws.nodes[i].parent {
@@ -621,6 +1262,132 @@ mod tests {
         let p = view.path_to(NodeId(35)).unwrap();
         assert_eq!(p.source(), NodeId(0));
         assert_eq!(p.target(), NodeId(35));
+    }
+
+    #[test]
+    fn frontier_kind_selection() {
+        // Positive weight range → bucket queue.
+        let g = grid_network(6, 6, 1.2, 3);
+        assert_eq!(g.frontier_kind(), FrontierKind::Bucket);
+        // Zero-weight edge → heap fallback.
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0.0, 0.0);
+        let v = b.add_node(1.0, 0.0);
+        let w = b.add_node(2.0, 0.0);
+        b.add_edge(u, v, 0.0).unwrap();
+        b.add_edge(v, w, 1.0).unwrap();
+        let g0 = b.build();
+        assert_eq!(g0.frontier_kind(), FrontierKind::Heap);
+        // No edges at all → heap fallback.
+        let mut b = GraphBuilder::new();
+        b.add_node(0.0, 0.0);
+        assert_eq!(b.build().frontier_kind(), FrontierKind::Heap);
+    }
+
+    #[test]
+    fn forced_frontiers_bit_identical() {
+        let g = grid_network(11, 13, 1.2, 21);
+        let mut a = SearchWorkspace::new();
+        let mut b = SearchWorkspace::new();
+        for s in [0u32, 70, 142] {
+            let want = reference::sssp(&g, NodeId(s));
+            for (ws, kind) in [
+                (&mut a, FrontierKind::Heap),
+                (&mut b, FrontierKind::Bucket),
+            ] {
+                let got = ws.sssp_with_frontier(&g, NodeId(s), kind);
+                for v in g.nodes() {
+                    assert_eq!(got.dist(v).to_bits(), want.dist[v.index()].to_bits());
+                    assert_eq!(got.parent(v), want.parent[v.index()]);
+                }
+            }
+        }
+        // Bounded balls agree across kinds too.
+        for radius in [0.0, 900.0, 4000.0] {
+            let want = reference::ball(&g, NodeId(5), radius);
+            let got = b.ball_with_frontier(&g, NodeId(5), radius, FrontierKind::Bucket);
+            for v in g.nodes() {
+                assert_eq!(got.dist(v).to_bits(), want.dist[v.index()].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn forced_bucket_on_degenerate_weights_stays_exact() {
+        // Zero-weight edges auto-select the heap, but forcing the
+        // bucket queue must still be exact (drain-path correctness).
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(i as f64, 0.0);
+        }
+        for (u, v, w) in [
+            (0u32, 1u32, 0.0),
+            (1, 2, 2.0),
+            (0, 2, 2.0),
+            (2, 3, 0.0),
+            (3, 4, 1.0),
+            (0, 5, 5.0),
+            (4, 5, 0.0),
+        ] {
+            b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.frontier_kind(), FrontierKind::Heap);
+        let want = reference::sssp(&g, NodeId(0));
+        let mut ws = SearchWorkspace::new();
+        let got = ws.sssp_with_frontier(&g, NodeId(0), FrontierKind::Bucket);
+        for v in g.nodes() {
+            assert_eq!(got.dist(v).to_bits(), want.dist[v.index()].to_bits());
+            assert_eq!(got.parent(v), want.parent[v.index()]);
+        }
+    }
+
+    #[test]
+    fn bucket_overflow_rebase_exact() {
+        // A huge weight ratio forces MAX_BUCKETS wide-Δ calibration;
+        // a tiny forced window would exercise overflow, so instead
+        // build a graph whose keys span many windows of 64 buckets by
+        // forcing the bucket queue with a small weight floor.
+        let mut b = GraphBuilder::new();
+        for i in 0..40 {
+            b.add_node(i as f64, 0.0);
+        }
+        // Chain with weights growing geometrically: span 1e-3..1e5.
+        let mut w = 1e-3;
+        for i in 0..39u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), w).unwrap();
+            w = (w * 1.7).min(1e5);
+        }
+        let g = b.build();
+        assert_eq!(g.frontier_kind(), FrontierKind::Bucket);
+        let want = reference::sssp(&g, NodeId(0));
+        let mut ws = SearchWorkspace::new();
+        let got = ws.sssp_with_frontier(&g, NodeId(0), FrontierKind::Bucket);
+        for v in g.nodes() {
+            assert_eq!(got.dist(v).to_bits(), want.dist[v.index()].to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_source_rows_match_solo_runs() {
+        let g = grid_network(9, 9, 1.2, 33);
+        let sources = [NodeId(0), NodeId(40), NodeId(80), NodeId(40)];
+        let mut ws = SearchWorkspace::new();
+        let rows = ws.multi_sssp_rows(&g, &sources);
+        assert_eq!(rows.len(), sources.len());
+        let mut solo = SearchWorkspace::new();
+        for (si, &s) in sources.iter().enumerate() {
+            let want = solo.sssp(&g, s).dist_vec();
+            assert_eq!(rows[si].len(), want.len());
+            for v in 0..want.len() {
+                assert_eq!(
+                    rows[si][v].to_bits(),
+                    want[v].to_bits(),
+                    "source {s}, node {v}"
+                );
+            }
+        }
+        assert!(ws.multi_sssp_rows(&g, &[]).is_empty());
     }
 
     #[test]

@@ -98,7 +98,12 @@ fn truncated_merkle_proof_rejected() {
     let g = grid_network(10, 10, 1.2, 4007);
     let (provider, client) = deploy(&g, &MethodConfig::Dij, 4008);
     let mut evil = provider.answer(NodeId(0), NodeId(99)).unwrap();
-    evil.integrity.merkle.entries.pop();
+    // Drop a sibling digest; when the ball covers every leaf the proof
+    // carries none, so drop a proven leaf position instead — either way
+    // the proof is missing material it claimed to have.
+    if evil.integrity.merkle.entries.pop().is_none() {
+        evil.integrity.positions.pop();
+    }
     assert!(client.verify(NodeId(0), NodeId(99), &evil).is_err());
 }
 

@@ -9,6 +9,11 @@
 //!    single-query protocol path. (CI additionally runs this file with
 //!    `--no-default-features`, so parallel and sequential builds are
 //!    both pinned to the same observable results.)
+//! 3. The calibrated bucket-queue frontier introduced for million-node
+//!    scale is **bit-identical** to the 4-ary heap on distances,
+//!    parents, and settle counts — both forced explicitly, across
+//!    random geometric, scale-free, and grid graphs, and on degenerate
+//!    weight ranges where graph calibration falls back to the heap.
 
 // The raw batch entry points are deprecated in favour of the session
 // facade but stay pinned here until removal.
@@ -22,9 +27,9 @@ use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
 use spnet_core::Client;
 use spnet_graph::algo::dijkstra::reference;
-use spnet_graph::gen::{grid_network, random_geometric};
+use spnet_graph::gen::{grid_network, random_geometric, scale_free};
 use spnet_graph::search::SearchWorkspace;
-use spnet_graph::{Graph, NodeId};
+use spnet_graph::{FrontierKind, Graph, GraphBuilder, NodeId};
 
 fn graph_for(family: usize, seed: u64) -> Graph {
     match family % 3 {
@@ -112,6 +117,87 @@ proptest! {
             }
             (Err(_), Err(_)) => {}
             (a, b) => prop_assert!(false, "reachability disagreement: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// Forced bucket-queue and 4-ary-heap frontiers settle the same
+    /// nodes with the same distance bits and parents, on full SSSPs
+    /// and bounded balls alike.
+    #[test]
+    fn frontier_kinds_bit_identical(
+        family in 0usize..3,
+        seed in 0u64..4000,
+        source in 0usize..65,
+        bounded in 0usize..2,
+        radius in 0.0f64..6000.0,
+    ) {
+        let g = match family {
+            0 => random_geometric(70, 3, seed),
+            1 => scale_free(90, 2, seed),
+            _ => grid_network(6, 11, 1.1, seed),
+        };
+        prop_assert_eq!(g.frontier_kind(), FrontierKind::Bucket);
+        let s = NodeId((source % g.num_nodes()) as u32);
+        let mut wh = SearchWorkspace::new();
+        let mut wb = SearchWorkspace::new();
+        let radius = (bounded == 1).then_some(radius);
+        let (h, b) = match radius {
+            Some(r) => (
+                wh.ball_with_frontier(&g, s, r, FrontierKind::Heap),
+                wb.ball_with_frontier(&g, s, r, FrontierKind::Bucket),
+            ),
+            None => (
+                wh.sssp_with_frontier(&g, s, FrontierKind::Heap),
+                wb.sssp_with_frontier(&g, s, FrontierKind::Bucket),
+            ),
+        };
+        let mut settled = (0usize, 0usize);
+        for v in g.nodes() {
+            prop_assert_eq!(
+                h.dist(v).to_bits(),
+                b.dist(v).to_bits(),
+                "dist({}, {})", s, v
+            );
+            prop_assert_eq!(h.parent(v), b.parent(v), "parent({})", v);
+            settled.0 += h.settled(v) as usize;
+            settled.1 += b.settled(v) as usize;
+        }
+        prop_assert_eq!(settled.0, settled.1, "settle counts");
+    }
+
+    /// Degenerate weight ranges (a zero-weight edge) calibrate to the
+    /// heap fallback — and even a force-selected bucket queue stays
+    /// exact on them.
+    #[test]
+    fn degenerate_weights_fall_back_to_heap_and_stay_exact(
+        seed in 0u64..4000,
+        n in 6usize..40,
+        source in 0usize..40,
+    ) {
+        // A ring whose even-indexed edges weigh zero: min_weight == 0,
+        // so per-graph calibration must refuse the bucket queue.
+        let mut builder = GraphBuilder::new();
+        for i in 0..n {
+            builder.add_node(i as f64, seed as f64 % 97.0);
+        }
+        for i in 0..n {
+            let w = if i % 2 == 0 { 0.0 } else { 1.0 + (i as f64) / 7.0 };
+            builder
+                .add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), w)
+                .unwrap();
+        }
+        let g = builder.build();
+        prop_assert_eq!(g.frontier_kind(), FrontierKind::Heap);
+        let s = NodeId((source % n) as u32);
+        let want = reference::sssp(&g, s);
+        let mut wh = SearchWorkspace::new();
+        let mut wb = SearchWorkspace::new();
+        let h = wh.sssp_with_frontier(&g, s, FrontierKind::Heap);
+        let b = wb.sssp_with_frontier(&g, s, FrontierKind::Bucket);
+        for v in g.nodes() {
+            prop_assert_eq!(h.dist(v).to_bits(), want.dist[v.index()].to_bits());
+            prop_assert_eq!(b.dist(v).to_bits(), want.dist[v.index()].to_bits());
+            prop_assert_eq!(h.parent(v), b.parent(v));
         }
     }
 
