@@ -1,12 +1,13 @@
-//! CI benchmark-regression gate (throughput + scale modes).
+//! CI benchmark-regression gate (throughput + scale + service modes).
 //!
 //! ```text
 //! throughput_gate [options]
 //!
 //! options:
-//!   --mode <m>         throughput (default) | scale
+//!   --mode <m>         throughput (default) | scale | service
 //!   --baseline <path>  committed baseline JSON
-//!                      (default BENCH_throughput.json / BENCH_scale.json)
+//!                      (default BENCH_throughput.json / BENCH_scale.json
+//!                       / BENCH_service.json)
 //!
 //! throughput mode:
 //!   --scale <f>        dataset scale fraction (default 0.05, matching the baseline)
@@ -16,6 +17,9 @@
 //!
 //! scale mode:
 //!   --smoke-nodes <n>  live smoke size (default 50000)
+//!   --seed <n>         master seed (default 42)
+//!
+//! service mode:
 //!   --seed <n>         master seed (default 42)
 //!
 //! env:
@@ -32,9 +36,18 @@
 //! live smoke of the scale experiment, failing if any column
 //! degenerates or the bucket queue falls behind the heap beyond the
 //! tolerance.
+//!
+//! **Service mode** validates the committed `BENCH_service.json`
+//! (mixed-method traffic on all four shards, scheduler engaged,
+//! concurrent answers bit-identical to sequential serving, speedup ≥ 2×
+//! when measured on ≥ 4 cores) and runs a reduced live smoke of the
+//! load generator, comparing its probe-normalized session throughput
+//! against the committed baseline.
 
 use spnet_bench::gate;
-use spnet_bench::{run_scale, run_throughput, HarnessConfig, ScaleConfig};
+use spnet_bench::{
+    run_loadgen, run_scale, run_throughput, HarnessConfig, LoadgenConfig, ScaleConfig,
+};
 use spnet_graph::gen::Dataset;
 use std::process::ExitCode;
 
@@ -42,7 +55,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "see module docs: throughput_gate [--mode throughput|scale] [--baseline p] \
+            "see module docs: throughput_gate [--mode throughput|scale|service] [--baseline p] \
              [--scale f] [--queries n] [--dataset d] [--seed n] [--smoke-nodes n]"
         );
         return ExitCode::SUCCESS;
@@ -59,8 +72,8 @@ fn main() -> ExitCode {
         };
         match args[i].as_str() {
             "--mode" => match take_value(&mut i) {
-                Some(v) if v == "throughput" || v == "scale" => mode = v,
-                _ => return bad_usage("--mode needs throughput|scale"),
+                Some(v) if v == "throughput" || v == "scale" || v == "service" => mode = v,
+                _ => return bad_usage("--mode needs throughput|scale|service"),
             },
             "--baseline" => match take_value(&mut i) {
                 Some(v) => baseline_path = Some(v),
@@ -98,12 +111,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline_path = baseline_path.unwrap_or_else(|| {
-        if mode == "scale" {
-            "BENCH_scale.json".into()
-        } else {
-            "BENCH_throughput.json".into()
-        }
+    let baseline_path = baseline_path.unwrap_or_else(|| match mode.as_str() {
+        "scale" => "BENCH_scale.json".into(),
+        "service" => "BENCH_service.json".into(),
+        _ => "BENCH_throughput.json".into(),
     });
     let baseline_json = match std::fs::read_to_string(&baseline_path) {
         Ok(s) => s,
@@ -114,7 +125,16 @@ fn main() -> ExitCode {
     };
 
     if mode == "scale" {
-        return scale_gate(&baseline_json, &baseline_path, smoke_nodes, cfg.seed, tolerance);
+        return scale_gate(
+            &baseline_json,
+            &baseline_path,
+            smoke_nodes,
+            cfg.seed,
+            tolerance,
+        );
+    }
+    if mode == "service" {
+        return service_gate(&baseline_json, &baseline_path, cfg.seed, tolerance);
     }
 
     eprintln!(
@@ -187,6 +207,46 @@ fn scale_gate(
     }
     if violations.is_empty() {
         eprintln!("[gate] ok: scale baseline + smoke clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[gate] FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Service mode: committed-baseline validation + reduced live smoke of
+/// the mixed-traffic load generator.
+fn service_gate(baseline_json: &str, baseline_path: &str, seed: u64, tolerance: f64) -> ExitCode {
+    eprintln!(
+        "[gate] service baseline {baseline_path}, tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    let baseline = match gate::parse_service_baseline(baseline_json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "baseline {} cores, {} sessions x {} queries: single {:.1} q/s, service {:.1} q/s ({:.2}x), pool {} executed / {} stolen",
+        baseline.cores,
+        baseline.sessions,
+        baseline.queries_per_session,
+        baseline.single_qps,
+        baseline.service_qps,
+        baseline.speedup,
+        baseline.executed,
+        baseline.stolen,
+    );
+    let mut violations = gate::service_schema_violations(&baseline);
+    let smoke = run_loadgen(&LoadgenConfig::smoke(seed));
+    violations.extend(gate::service_smoke_violations(&baseline, &smoke, tolerance));
+    for v in &violations {
+        println!("SCHEMA {v}");
+    }
+    if violations.is_empty() {
+        eprintln!("[gate] ok: service baseline + smoke clean");
         ExitCode::SUCCESS
     } else {
         eprintln!("[gate] FAILED: {} violation(s)", violations.len());

@@ -506,7 +506,7 @@ pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 }
 
 /// Which experiment ids exist (for CLI help and the `all` runner).
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "fig8",
     "fig9",
     "fig10",
@@ -520,6 +520,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "timing",
     "throughput",
     "scale",
+    "service",
     "all",
 ];
 
@@ -547,6 +548,10 @@ pub fn run(id: &str, cfg: &HarnessConfig) -> Option<Vec<(String, Table)>> {
         // row set builds million-node hint structures (an hour-scale,
         // tens-of-GB run). Regenerate it explicitly.
         "scale" => Some(crate::scale::scale(cfg)),
+        // Also outside `all`: rewrites the committed BENCH_service.json
+        // baseline, which should change deliberately, not on every
+        // figure sweep.
+        "service" => Some(crate::loadgen::service(cfg)),
         "all" => {
             let mut out = Vec::new();
             for f in [

@@ -1,9 +1,10 @@
 //! Benchmark-regression gates: compares fresh measurement passes
 //! against the committed `BENCH_throughput.json` / `BENCH_scale.json`
-//! baselines.
+//! / `BENCH_service.json` baselines.
 //!
-//! Used by the CI `throughput-gate` and `scale-gate` jobs (see
-//! `.github/workflows/ci.yml` and the `throughput_gate` binary).
+//! Used by the CI `throughput-gate`, `scale-gate` and `service-gate`
+//! jobs (see `.github/workflows/ci.yml` and the `throughput_gate`
+//! binary).
 //!
 //! ## Throughput gate
 //!
@@ -34,11 +35,22 @@
 //! fails if any column degenerates or the bucket queue stops beating
 //! the heap within the tolerance.
 //!
+//! ## Service gate
+//!
+//! The committed `BENCH_service.json` (the mixed-traffic load
+//! generator's output) is validated structurally — all four methods
+//! carrying traffic, scheduler engaged, concurrent answers
+//! bit-identical to sequential serving, and the concurrent speedup ≥
+//! 2× whenever the baseline host had ≥ 4 cores. A reduced live smoke
+//! re-runs the load generator and compares its probe-normalized
+//! throughput against the committed baseline.
+//!
 //! Baseline formats are the hand-rolled JSON written by
 //! [`ThroughputReport::to_json`] / `ScaleReport::to_json`; the parsers
 //! below are their inverses for exactly those schemas (no serde in the
 //! offline environment), pinned by round-trip tests.
 
+use crate::loadgen::ServiceReport;
 use crate::scale::{MethodScale, ScaleReport, ScaleRow, SsspScale};
 use crate::throughput::{MethodThroughput, ThroughputReport};
 
@@ -328,11 +340,8 @@ pub fn gate_report(
 /// bracket-depth aware (row objects nest further arrays/objects).
 fn array_objects<'a>(json: &'a str, key: &str) -> Result<Vec<&'a str>, String> {
     let pat = format!("\"{key}\": [");
-    let start = json
-        .find(&pat)
-        .ok_or(format!("missing {key:?} array"))?
-        + pat.len();
-    let bytes = json[start..].as_bytes();
+    let start = json.find(&pat).ok_or(format!("missing {key:?} array"))? + pat.len();
+    let bytes = &json.as_bytes()[start..];
     let mut out = Vec::new();
     let mut depth = 0usize;
     let mut obj_start = None;
@@ -442,7 +451,7 @@ pub fn scale_schema_violations(rows: &[ScaleRow]) -> Vec<String> {
         if row.nodes >= SCALE_MIN_NODES {
             if let Some(road) = row.sssp.iter().find(|f| f.family == "road") {
                 let speedup = road.heap_ms / road.bucket_ms;
-                if !(speedup >= SCALE_ROAD_SPEEDUP) {
+                if speedup < SCALE_ROAD_SPEEDUP || speedup.is_nan() {
                     violations.push(format!(
                         "{}: road bucket speedup {speedup:.2}x below required {SCALE_ROAD_SPEEDUP}x",
                         row.label
@@ -494,6 +503,162 @@ pub fn scale_smoke_violations(report: &ScaleReport, tolerance: f64) -> Vec<Strin
                 ));
             }
         }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------
+// Service gate
+// ---------------------------------------------------------------------
+
+/// Required concurrent-over-sequential session-throughput speedup for a
+/// service baseline measured on ≥ [`SERVICE_MIN_CORES`] cores.
+pub const SERVICE_SPEEDUP: f64 = 2.0;
+
+/// Core count below which the speedup bar does not apply: with fewer
+/// cores the scheduler has nothing to parallelize onto, and the honest
+/// report simply records the host it ran on.
+pub const SERVICE_MIN_CORES: usize = 4;
+
+fn bool_field(obj: &str, key: &str) -> Result<bool, String> {
+    match raw_field(obj, key) {
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(v) => Err(format!("field {key:?} is not a bool: {v:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+/// Parses the committed `BENCH_service.json` back into a report.
+/// Accepts exactly the schema `ServiceReport::to_json` writes.
+pub fn parse_service_baseline(json: &str) -> Result<ServiceReport, String> {
+    let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "spnet-service/v1" {
+        return Err(format!(
+            "unsupported service schema {schema:?} (regenerate with `figures -- service`)"
+        ));
+    }
+    let mut methods = Vec::new();
+    for m in array_objects(json, "methods")? {
+        methods.push(crate::loadgen::MethodTraffic {
+            method: string_field(m, "method")
+                .ok_or("method object lacks \"method\"")?
+                .to_string(),
+            sessions: required_num(m, "sessions")? as usize,
+            queries: required_num(m, "queries")? as usize,
+            service_qps: required_num(m, "service_qps")?,
+        });
+    }
+    Ok(ServiceReport {
+        ref_qps: required_num(json, "ref_qps")?,
+        cores: required_num(json, "cores")? as usize,
+        threads: required_num(json, "threads")? as usize,
+        sessions: required_num(json, "sessions")? as usize,
+        queries_per_session: required_num(json, "queries_per_session")? as usize,
+        chunk_len: required_num(json, "chunk_len")? as usize,
+        num_nodes: required_num(json, "num_nodes")? as usize,
+        num_edges: required_num(json, "num_edges")? as usize,
+        parallel: bool_field(json, "parallel")?,
+        bit_identical: bool_field(json, "bit_identical")?,
+        single_qps: required_num(json, "single_qps")?,
+        service_qps: required_num(json, "service_qps")?,
+        speedup: required_num(json, "speedup")?,
+        executed: required_num(json, "executed")? as u64,
+        stolen: required_num(json, "stolen")? as u64,
+        methods,
+    })
+}
+
+/// Schema violations of a service report (empty = compliant): positive
+/// probe and throughput columns, all four methods carrying traffic,
+/// scheduler engagement, bit-identity with sequential serving — and,
+/// when the report was measured on ≥ [`SERVICE_MIN_CORES`] cores, the
+/// headline concurrent speedup of ≥ [`SERVICE_SPEEDUP`]×.
+pub fn service_schema_violations(r: &ServiceReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !positive(r.ref_qps) {
+        violations.push(format!("non-positive ref_qps {}", r.ref_qps));
+    }
+    if !positive(r.single_qps) || !positive(r.service_qps) {
+        violations.push("non-positive single_qps/service_qps".into());
+    }
+    if r.cores == 0 {
+        violations.push("cores must be >= 1".into());
+    }
+    if !r.bit_identical {
+        violations.push("concurrent serving changed an answer (bit_identical false)".into());
+    }
+    if r.executed == 0 {
+        violations.push("scheduler executed no jobs (streams did not use the pool)".into());
+    }
+    for want in REQUIRED_METHODS {
+        match r.methods.iter().find(|m| m.method == want) {
+            None => violations.push(format!("method {want} missing from traffic mix")),
+            Some(m) if m.sessions == 0 || m.queries == 0 => {
+                violations.push(format!("{want}: no traffic (sessions or queries = 0)"))
+            }
+            Some(m) if !positive(m.service_qps) => {
+                violations.push(format!("{want}: non-positive service_qps"))
+            }
+            Some(_) => {}
+        }
+    }
+    if r.cores >= SERVICE_MIN_CORES && (r.speedup < SERVICE_SPEEDUP || r.speedup.is_nan()) {
+        violations.push(format!(
+            "speedup {:.2}x below required {SERVICE_SPEEDUP}x on {} cores",
+            r.speedup, r.cores
+        ));
+    }
+    violations
+}
+
+/// Violations of a **live smoke** loadgen run against the committed
+/// baseline (empty = pass). The smoke must satisfy the structural
+/// schema (including the speedup bar with tolerance, if the CI host
+/// has the cores for it), and its probe-normalized throughput must not
+/// regress below the committed baseline beyond the tolerance.
+pub fn service_smoke_violations(
+    baseline: &ServiceReport,
+    smoke: &ServiceReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations: Vec<String> = service_schema_violations(smoke)
+        .into_iter()
+        // The hard speedup bar is asserted on the committed artifact;
+        // the live smoke gets the tolerance (re-checked below).
+        .filter(|v| !v.contains("below required"))
+        .map(|v| format!("smoke: {v}"))
+        .collect();
+    let bar = SERVICE_SPEEDUP * (1.0 - tolerance);
+    if smoke.cores >= SERVICE_MIN_CORES && (smoke.speedup < bar || smoke.speedup.is_nan()) {
+        violations.push(format!(
+            "smoke: speedup {:.2}x below {SERVICE_SPEEDUP}x (-{:.0}% tolerance) on {} cores",
+            smoke.speedup,
+            tolerance * 100.0,
+            smoke.cores
+        ));
+    }
+    if positive(baseline.ref_qps) && positive(smoke.ref_qps) {
+        let normalize = baseline.ref_qps / smoke.ref_qps;
+        // `single_qps` is compared everywhere; the concurrent
+        // `service_qps` only where the pool has real parallelism —
+        // on a 1–3 core host its wall clock is dominated by
+        // scheduler contention noise, not serving-path speed.
+        let mut columns = vec![("single_qps", baseline.single_qps, smoke.single_qps)];
+        if smoke.cores >= SERVICE_MIN_CORES {
+            columns.push(("service_qps", baseline.service_qps, smoke.service_qps));
+        }
+        for (name, base, cur) in columns {
+            let normalized = cur * normalize;
+            if normalized < base * (1.0 - tolerance) {
+                violations.push(format!(
+                    "smoke: {name} {normalized:.1}/s (normalized) regressed below \
+                     baseline {base:.1}/s beyond tolerance"
+                ));
+            }
+        }
+    } else {
+        violations.push("cannot normalize: non-positive ref_qps".into());
     }
     violations
 }
@@ -637,7 +802,9 @@ mod tests {
         // ...including the reference probe, so normalize = 2.0.
         assert!(compare(&baseline, &current, 0.15, 2.0).iter().all(|l| l.ok));
         // Without normalization the same run fails everywhere.
-        assert!(compare(&baseline, &current, 0.15, 1.0).iter().all(|l| !l.ok));
+        assert!(compare(&baseline, &current, 0.15, 1.0)
+            .iter()
+            .all(|l| !l.ok));
     }
 
     #[test]
@@ -820,5 +987,143 @@ mod tests {
     fn scale_smoke_flags_empty_run() {
         let v = scale_smoke_violations(&scale_report(vec![]), 0.15);
         assert!(!v.is_empty());
+    }
+
+    // -- service gate --
+
+    fn service_report(cores: usize, speedup: f64) -> ServiceReport {
+        let traffic = |name: &str| crate::loadgen::MethodTraffic {
+            method: name.to_string(),
+            sessions: 4,
+            queries: 192,
+            service_qps: 120.0,
+        };
+        let single_qps = 240.0;
+        ServiceReport {
+            ref_qps: 900.0,
+            cores,
+            threads: cores,
+            sessions: 16,
+            queries_per_session: 48,
+            chunk_len: 8,
+            num_nodes: 256,
+            num_edges: 480,
+            parallel: true,
+            bit_identical: true,
+            single_qps,
+            service_qps: single_qps * speedup,
+            speedup,
+            executed: 96,
+            stolen: 12,
+            methods: vec![
+                traffic("DIJ"),
+                traffic("FULL"),
+                traffic("LDM"),
+                traffic("HYP"),
+            ],
+        }
+    }
+
+    #[test]
+    fn service_parser_inverts_report_writer() {
+        let report = service_report(4, 2.5);
+        let parsed = parse_service_baseline(&report.to_json()).unwrap();
+        assert_eq!(parsed.cores, report.cores);
+        assert_eq!(parsed.sessions, report.sessions);
+        assert_eq!(parsed.bit_identical, report.bit_identical);
+        assert_eq!(parsed.executed, report.executed);
+        assert_eq!(parsed.stolen, report.stolen);
+        assert!((parsed.ref_qps - report.ref_qps).abs() < 1e-9);
+        assert!((parsed.single_qps - report.single_qps).abs() < 0.1);
+        assert!((parsed.service_qps - report.service_qps).abs() < 0.1);
+        assert!((parsed.speedup - report.speedup).abs() < 1e-3);
+        assert_eq!(parsed.methods.len(), 4);
+        for (p, m) in parsed.methods.iter().zip(&report.methods) {
+            assert_eq!(p.method, m.method);
+            assert_eq!(p.sessions, m.sessions);
+            assert_eq!(p.queries, m.queries);
+        }
+    }
+
+    #[test]
+    fn service_parser_rejects_garbage() {
+        assert!(parse_service_baseline("").is_err());
+        assert!(parse_service_baseline("{\"schema\": \"spnet-service/v0\"}").is_err());
+        assert!(parse_service_baseline("{\"schema\": \"spnet-service/v1\"}").is_err());
+    }
+
+    #[test]
+    fn service_schema_enforces_speedup_only_with_enough_cores() {
+        // 4 cores below the bar: violation.
+        let v = service_schema_violations(&service_report(4, 1.4));
+        assert!(v.iter().any(|l| l.contains("below required")), "{v:?}");
+        // 4 cores above the bar: clean.
+        assert!(service_schema_violations(&service_report(4, 2.3)).is_empty());
+        // 1 core cannot parallelize; no speedup requirement.
+        assert!(service_schema_violations(&service_report(1, 0.9)).is_empty());
+    }
+
+    #[test]
+    fn service_schema_flags_broken_invariants() {
+        let mut r = service_report(4, 2.5);
+        r.bit_identical = false;
+        r.executed = 0;
+        r.methods.retain(|m| m.method != "HYP");
+        let v = service_schema_violations(&r);
+        assert!(v.iter().any(|l| l.contains("bit_identical")), "{v:?}");
+        assert!(v.iter().any(|l| l.contains("no jobs")), "{v:?}");
+        assert!(v.iter().any(|l| l.contains("HYP")), "{v:?}");
+    }
+
+    #[test]
+    fn service_smoke_normalizes_by_ref_probe() {
+        let baseline = service_report(4, 2.5);
+        // Half-speed host, same machine-relative throughput: clean.
+        let mut smoke = service_report(4, 2.5);
+        smoke.ref_qps /= 2.0;
+        smoke.single_qps /= 2.0;
+        smoke.service_qps /= 2.0;
+        assert!(service_smoke_violations(&baseline, &smoke, 0.15).is_empty());
+        // A genuine 40% service regression is caught after
+        // normalization.
+        let mut smoke = service_report(4, 2.5);
+        smoke.service_qps *= 0.6;
+        smoke.speedup = smoke.service_qps / smoke.single_qps;
+        let v = service_smoke_violations(&baseline, &smoke, 0.15);
+        assert!(v.iter().any(|l| l.contains("service_qps")), "{v:?}");
+    }
+
+    #[test]
+    fn service_smoke_skips_concurrent_column_without_cores() {
+        // On a 1-core host the concurrent pass is contention-noise
+        // dominated; only the sequential column is held to the
+        // baseline there.
+        let baseline = service_report(1, 0.95);
+        let smoke = service_report(1, 0.6);
+        assert!(service_smoke_violations(&baseline, &smoke, 0.15).is_empty());
+        // The sequential column is still compared.
+        let mut smoke = service_report(1, 0.95);
+        smoke.single_qps *= 0.5;
+        let v = service_smoke_violations(&baseline, &smoke, 0.15);
+        assert!(v.iter().any(|l| l.contains("single_qps")), "{v:?}");
+    }
+
+    #[test]
+    fn service_smoke_gives_speedup_the_tolerance() {
+        let baseline = service_report(1, 1.0);
+        // On a >= 4-core CI host, 1.75x clears 2x - 15%...
+        let mut smoke = service_report(4, 1.75);
+        smoke.single_qps = baseline.single_qps;
+        smoke.service_qps = smoke.single_qps * 1.75;
+        assert!(
+            service_smoke_violations(&baseline, &smoke, 0.15).is_empty(),
+            "within tolerance"
+        );
+        // ...but 1.5x does not.
+        let mut smoke = service_report(4, 1.5);
+        smoke.single_qps = baseline.single_qps;
+        smoke.service_qps = smoke.single_qps * 1.5;
+        let v = service_smoke_violations(&baseline, &smoke, 0.15);
+        assert!(v.iter().any(|l| l.contains("speedup")), "{v:?}");
     }
 }

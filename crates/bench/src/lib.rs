@@ -19,6 +19,7 @@
 pub mod config;
 pub mod experiments;
 pub mod gate;
+pub mod loadgen;
 pub mod model;
 pub mod report;
 pub mod runner;
@@ -26,6 +27,7 @@ pub mod scale;
 pub mod throughput;
 
 pub use config::HarnessConfig;
+pub use loadgen::{run_loadgen, LoadgenConfig, ServiceReport};
 pub use report::Table;
 pub use runner::{run_method, MethodMeasurement};
 pub use scale::{run_scale, ScaleConfig, ScaleReport};

@@ -209,7 +209,7 @@ fn sssp_pair(g: &Graph, sources: &[NodeId], passes: usize) -> (f64, f64) {
 /// Times one family instance (the caller drops the graph afterwards).
 fn measure_family(family: &str, g: &Graph, cfg: &ScaleConfig) -> SsspScale {
     let sources = spread_sources(g.num_nodes(), cfg.sssp_sources);
-    let (heap_ms, bucket_ms) = sssp_pair(&g, &sources, cfg.sssp_passes);
+    let (heap_ms, bucket_ms) = sssp_pair(g, &sources, cfg.sssp_passes);
     eprintln!(
         "[scale]   {family}: |V|={} |E|={} heap {heap_ms:.1}ms bucket {bucket_ms:.1}ms ({:.2}x)",
         g.num_nodes(),
@@ -337,7 +337,13 @@ impl ScaleReport {
         let mut sweep = Table::new(
             "Scale — full SSSP per frontier (min-of-N, per source)",
             &[
-                "size", "family", "|V|", "|E|", "heap ms", "bucket ms", "speedup",
+                "size",
+                "family",
+                "|V|",
+                "|E|",
+                "heap ms",
+                "bucket ms",
+                "speedup",
             ],
         );
         let mut rates = Table::new(
@@ -366,7 +372,10 @@ impl ScaleReport {
                 ]);
             }
         }
-        vec![("scale_sssp".into(), sweep), ("scale_methods".into(), rates)]
+        vec![
+            ("scale_sssp".into(), sweep),
+            ("scale_methods".into(), rates),
+        ]
     }
 
     /// Serializes the report as pretty JSON (hand-rolled; no serde in

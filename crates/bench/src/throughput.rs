@@ -28,12 +28,12 @@ use crate::config::HarnessConfig;
 use crate::report::{fmt_f, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spnet_graph::algo::dijkstra::reference;
-use spnet_graph::gen::grid_network;
 use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
 use spnet_core::stream::StreamVerifier;
-use spnet_core::Client;
+use spnet_core::{Client, SpService};
+use spnet_graph::algo::dijkstra::reference;
+use spnet_graph::gen::grid_network;
 use spnet_graph::workload::make_workload;
 use spnet_graph::NodeId;
 use std::fmt::Write as _;
@@ -107,7 +107,7 @@ fn measure_qps(queries: usize, budget_ms: u64, mut f: impl FnMut()) -> f64 {
 /// Measures the reference probe: full textbook SSSPs per second on a
 /// fixed 3,600-node grid (independent of the harness configuration, so
 /// every report's probe is the same workload).
-fn reference_probe_qps() -> f64 {
+pub(crate) fn reference_probe_qps() -> f64 {
     let g = grid_network(60, 60, 1.2, 7);
     let sources: Vec<NodeId> = (0..8u32).map(|i| NodeId(i * 450)).collect();
     measure_qps(sources.len(), 200, || {
@@ -159,20 +159,6 @@ pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
             }
         });
 
-        // The raw batch entry points stay measured until removal (the
-        // session facade routes through the same engines).
-        #[allow(deprecated)]
-        let bp = measure_qps(pairs.len(), 400, || {
-            std::hint::black_box(provider.answer_batch(&pairs).expect("batch"));
-        });
-        #[allow(deprecated)]
-        let batch = provider.answer_batch(&pairs).expect("batch");
-        #[allow(deprecated)]
-        let bv = measure_qps(pairs.len(), 400, || {
-            std::hint::black_box(client.verify_batch(&pairs, &batch).expect("honest batch"));
-        });
-        let (batch_prove_qps, batch_verify_qps) = (Some(bp), Some(bv));
-
         // Streaming verify: the same workload as encoded frames
         // (header + pooled chunks + end); the client decodes and
         // batch-verifies chunk by chunk.
@@ -180,6 +166,21 @@ pub fn run_throughput(cfg: &HarnessConfig) -> ThroughputReport {
             .answer_stream(&pairs, STREAM_CHUNK_LEN)
             .collect::<Result<_, _>>()
             .expect("stream frames");
+
+        // The batch rates go through the session facade — the only
+        // batch entry point since the raw ones were removed.
+        let service = SpService::with_provider(provider);
+        let session = service
+            .open_session(client.clone())
+            .expect("authentic epoch");
+        let bp = measure_qps(pairs.len(), 400, || {
+            std::hint::black_box(session.answer_batch(&pairs).expect("batch"));
+        });
+        let batch = session.answer_batch(&pairs).expect("batch");
+        let bv = measure_qps(pairs.len(), 400, || {
+            std::hint::black_box(session.verify_batch(&pairs, &batch).expect("honest batch"));
+        });
+        let (batch_prove_qps, batch_verify_qps) = (Some(bp), Some(bv));
         let sv = measure_qps(pairs.len(), 400, || {
             let mut verifier = StreamVerifier::new(&client, &pairs);
             for f in &frames {

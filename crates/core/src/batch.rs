@@ -35,7 +35,7 @@ use crate::client::check_reported_path;
 use crate::error::{ProviderError, VerifyError};
 use crate::methods::full::FullBatchProof;
 use crate::methods::hyp::HypBatchState;
-use crate::methods::MethodParams;
+use crate::methods::{MethodParams, PinnedAux, VerifyCtx};
 use crate::proof::IntegrityProof;
 use crate::provider::ServiceProvider;
 use crate::tuple::ExtendedTuple;
@@ -140,24 +140,13 @@ impl BatchAnswer {
 }
 
 impl ServiceProvider {
-    /// Answers `k` queries with one shared integrity proof and one
-    /// pooled hint proof — supported for **every** method.
+    /// The batch-proving engine behind the session and stream facades
+    /// ([`crate::service::Session::answer_batch`] is the public entry
+    /// point — it adds the epoch guard).
     ///
     /// Per-query search and Γ assembly fan out over threads (each
     /// reusing its thread's search workspace) when the `parallel`
     /// feature is on; the pooled result is identical either way.
-    #[deprecated(
-        since = "0.2.0",
-        note = "open an `SpService` session and use `Session::query_batch` \
-                or `Session::query_stream` — the facade pins the signed \
-                epoch root and surfaces updates as session invalidation"
-    )]
-    pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, ProviderError> {
-        self.answer_batch_impl(queries)
-    }
-
-    /// The batch-proving engine behind [`Self::answer_batch`] and the
-    /// session/stream facades.
     pub(crate) fn answer_batch_impl(
         &self,
         queries: &[(NodeId, NodeId)],
@@ -264,33 +253,22 @@ pub struct BatchVerifyState {
 }
 
 impl Client {
-    /// Verifies a batched answer; returns the proven optimum per query.
-    #[deprecated(
-        since = "0.2.0",
-        note = "open an `SpService` session and use `Session::query_batch` \
-                or `Session::query_stream` — the facade verifies the signed \
-                epoch root once at open and pins it per answer"
-    )]
-    pub fn verify_batch(
-        &self,
-        queries: &[(NodeId, NodeId)],
-        batch: &BatchAnswer,
-    ) -> Result<Vec<f64>, VerifyError> {
-        self.verify_batch_impl(queries, batch, None)
-    }
-
-    /// The batch-verification engine behind [`Self::verify_batch`] and
-    /// the session/stream facades. With `pinned` the caller vouches it
-    /// already RSA-verified that exact signed root (once, at session
-    /// open): the batch root must then be byte-identical, and the
-    /// signature check is skipped.
+    /// The batch-verification engine behind the session and stream
+    /// facades ([`crate::service::Session::verify_batch`] is the public
+    /// entry point). With `pinned` the caller vouches it already
+    /// RSA-verified that exact signed root (once, at session open): the
+    /// batch root must then be byte-identical, and the signature check
+    /// is skipped. `pins` extends the same treatment to the method's
+    /// auxiliary signed roots (FULL distance tree, HYP hyper-edge and
+    /// cell-directory trees).
     pub(crate) fn verify_batch_impl(
         &self,
         queries: &[(NodeId, NodeId)],
         batch: &BatchAnswer,
         pinned: Option<&SignedRoot>,
+        pins: Option<&PinnedAux>,
     ) -> Result<Vec<f64>, VerifyError> {
-        self.verify_batch_with_state(queries, batch, pinned, &BatchVerifyState::default())
+        self.verify_batch_with_state(queries, batch, pinned, pins, &BatchVerifyState::default())
     }
 
     /// [`Self::verify_batch_impl`] with a caller-owned
@@ -301,6 +279,7 @@ impl Client {
         queries: &[(NodeId, NodeId)],
         batch: &BatchAnswer,
         pinned: Option<&SignedRoot>,
+        pins: Option<&PinnedAux>,
         state: &BatchVerifyState,
     ) -> Result<Vec<f64>, VerifyError> {
         if queries.len() != batch.queries.len() {
@@ -348,7 +327,11 @@ impl Client {
         }
         // Method aux: authenticate the pooled hint proofs once.
         let method = params.method();
-        let ctx = method.verify_batch_aux(self.public_key(), &params, &batch.aux)?;
+        let vctx = VerifyCtx {
+            pk: self.public_key(),
+            pins,
+        };
+        let ctx = method.verify_batch_aux(&vctx, &params, &batch.aux)?;
         method.prepare_batch_verify(&params, queries, batch, state);
         // Per query: build the member map and re-run the verification —
         // one independent job per query, fanned out over threads.
@@ -375,9 +358,6 @@ impl Client {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated raw batch entry points stay covered until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::methods::{LdmConfig, MethodConfig};
     use crate::owner::{DataOwner, SetupConfig};
@@ -422,8 +402,10 @@ mod tests {
         for method in all_methods() {
             let (g, provider, client) = deploy(method.clone(), 1700);
             let queries = as_nodes(&QUERIES);
-            let batch = provider.answer_batch(&queries).unwrap();
-            let distances = client.verify_batch(&queries, &batch).unwrap();
+            let batch = provider.answer_batch_impl(&queries).unwrap();
+            let distances = client
+                .verify_batch_impl(&queries, &batch, None, None)
+                .unwrap();
             for (&(s, t), d) in queries.iter().zip(&distances) {
                 let truth = dijkstra_path(&g, s, t).unwrap().distance;
                 assert!(
@@ -442,7 +424,7 @@ mod tests {
         for method in all_methods() {
             let (_, provider, _) = deploy(method.clone(), 1701);
             let queries = as_nodes(&QUERIES);
-            let batch = provider.answer_batch(&queries).unwrap();
+            let batch = provider.answer_batch_impl(&queries).unwrap();
             let individual: usize = queries
                 .iter()
                 .map(|&(s, t)| provider.answer(s, t).unwrap().stats().total_bytes())
@@ -461,19 +443,23 @@ mod tests {
     fn hyp_batch_one_sweep_per_touched_cell() {
         let (_, provider, client) = deploy(MethodConfig::Hyp { cells: 9 }, 1720);
         let queries = as_nodes(&QUERIES);
-        let batch = provider.answer_batch(&queries).unwrap();
+        let batch = provider.answer_batch_impl(&queries).unwrap();
         // The cells the batch touches, per the authenticated pool.
         let mut cells = std::collections::HashSet::new();
         for &(s, t) in &queries {
             for v in [s, t] {
-                let tuple = batch.pool.iter().find(|tu| tu.id == v).expect("endpoint pooled");
+                let tuple = batch
+                    .pool
+                    .iter()
+                    .find(|tu| tu.id == v)
+                    .expect("endpoint pooled");
                 cells.insert(tuple.cell.expect("HYP tuples carry cell info").cell);
             }
         }
         assert!(cells.len() >= 2, "queries must span several cells");
         let state = BatchVerifyState::default();
         let swept = client
-            .verify_batch_with_state(&queries, &batch, None, &state)
+            .verify_batch_with_state(&queries, &batch, None, None, &state)
             .unwrap();
         assert_eq!(
             state.hyp.sweep_count(),
@@ -488,7 +474,9 @@ mod tests {
         // Bit-identity with the sequential single-query verification,
         // whose in-cell distances come from solo Dijkstras.
         for (&(s, t), d) in queries.iter().zip(&swept) {
-            let single = client.verify(s, t, &provider.answer(s, t).unwrap()).unwrap();
+            let single = client
+                .verify(s, t, &provider.answer(s, t).unwrap())
+                .unwrap();
             assert_eq!(
                 d.to_bits(),
                 single.distance.to_bits(),
@@ -501,7 +489,7 @@ mod tests {
     fn empty_batch_rejected() {
         let (_, provider, _) = deploy(MethodConfig::Dij, 1702);
         assert!(matches!(
-            provider.answer_batch(&[]),
+            provider.answer_batch_impl(&[]),
             Err(ProviderError::ProofAssembly(_))
         ));
     }
@@ -511,10 +499,12 @@ mod tests {
         for method in all_methods() {
             let (_, provider, client) = deploy(method.clone(), 1703);
             let queries = as_nodes(&QUERIES);
-            let mut batch = provider.answer_batch(&queries).unwrap();
+            let mut batch = provider.answer_batch_impl(&queries).unwrap();
             Arc::make_mut(&mut batch.pool[0]).adj[0].1 *= 0.5;
             assert!(
-                client.verify_batch(&queries, &batch).is_err(),
+                client
+                    .verify_batch_impl(&queries, &batch, None, None)
+                    .is_err(),
                 "{}",
                 method.name()
             );
@@ -531,7 +521,7 @@ mod tests {
         for method in all_methods() {
             let (_, provider, client) = deploy(method.clone(), 1708);
             let queries = as_nodes(&QUERIES);
-            let honest = provider.answer_batch(&queries).unwrap();
+            let honest = provider.answer_batch_impl(&queries).unwrap();
             let referenced: std::collections::HashSet<u32> = honest
                 .queries
                 .iter()
@@ -551,7 +541,7 @@ mod tests {
                 }
                 t.adj[0].1 *= 0.5;
                 assert_eq!(
-                    client.verify_batch(&queries, &evil),
+                    client.verify_batch_impl(&queries, &evil, None, None),
                     Err(VerifyError::RootMismatch),
                     "{}: pool[{i}]",
                     method.name()
@@ -569,13 +559,13 @@ mod tests {
             1709,
         );
         let queries = as_nodes(&QUERIES);
-        let mut batch = provider.answer_batch(&queries).unwrap();
+        let mut batch = provider.answer_batch_impl(&queries).unwrap();
         let BatchAux::Full { proof, .. } = &mut batch.aux else {
             panic!("FULL batch must carry a Full aux");
         };
         proof.rows[0].entries[0].value *= 0.5;
         assert_eq!(
-            client.verify_batch(&queries, &batch),
+            client.verify_batch_impl(&queries, &batch, None, None),
             Err(VerifyError::RootMismatch)
         );
     }
@@ -584,14 +574,14 @@ mod tests {
     fn tampered_hyp_hyper_entry_rejected() {
         let (_, provider, client) = deploy(MethodConfig::Hyp { cells: 9 }, 1710);
         let queries = as_nodes(&QUERIES);
-        let mut batch = provider.answer_batch(&queries).unwrap();
+        let mut batch = provider.answer_batch_impl(&queries).unwrap();
         let BatchAux::Hyp { hyper, .. } = &mut batch.aux else {
             panic!("HYP batch must carry a Hyp aux");
         };
         assert!(!hyper.entries.is_empty());
         hyper.entries[0].value *= 0.5;
         assert_eq!(
-            client.verify_batch(&queries, &batch),
+            client.verify_batch_impl(&queries, &batch, None, None),
             Err(VerifyError::RootMismatch)
         );
     }
@@ -607,10 +597,10 @@ mod tests {
             1711,
         );
         let queries = as_nodes(&QUERIES);
-        let mut batch = provider.answer_batch(&queries).unwrap();
+        let mut batch = provider.answer_batch_impl(&queries).unwrap();
         batch.aux = BatchAux::Subgraph;
         assert_eq!(
-            client.verify_batch(&queries, &batch),
+            client.verify_batch_impl(&queries, &batch, None, None),
             Err(VerifyError::MetaMismatch(
                 "batch proof shape does not match signed method"
             ))
@@ -626,14 +616,16 @@ mod tests {
             1712,
         );
         let queries = as_nodes(&QUERIES);
-        let mut batch = provider.answer_batch(&queries).unwrap();
+        let mut batch = provider.answer_batch_impl(&queries).unwrap();
         let BatchAux::Full { proof, .. } = &mut batch.aux else {
             panic!("FULL batch must carry a Full aux");
         };
         // Drop one row entirely: its queries must fail with a missing
         // key (or a malformed cover), never silently pass.
         proof.rows.remove(0);
-        assert!(client.verify_batch(&queries, &batch).is_err());
+        assert!(client
+            .verify_batch_impl(&queries, &batch, None, None)
+            .is_err());
     }
 
     #[test]
@@ -641,14 +633,16 @@ mod tests {
         for method in all_methods() {
             let (_, provider, client) = deploy(method.clone(), 1704);
             let queries = as_nodes(&QUERIES);
-            let mut batch = provider.answer_batch(&queries).unwrap();
+            let mut batch = provider.answer_batch_impl(&queries).unwrap();
             // Hide part of query 0's Γ: its verification must hit a
             // missing tuple (subgraph search, path check, or HYP cell
             // completeness).
             let keep = batch.queries[0].members.len() / 2;
             batch.queries[0].members.truncate(keep);
             assert!(
-                client.verify_batch(&queries, &batch).is_err(),
+                client
+                    .verify_batch_impl(&queries, &batch, None, None)
+                    .is_err(),
                 "{}",
                 method.name()
             );
@@ -659,7 +653,7 @@ mod tests {
     fn suboptimal_path_in_batch_rejected() {
         let (g, provider, client) = deploy(MethodConfig::Dij, 1705);
         let queries = as_nodes(&QUERIES);
-        let honest = provider.answer_batch(&queries).unwrap();
+        let honest = provider.answer_batch_impl(&queries).unwrap();
         // Replace query 1's path with a detour (keep honest proofs).
         let single = provider.answer(queries[1].0, queries[1].1).unwrap();
         if let Some(evil_single) =
@@ -667,7 +661,9 @@ mod tests {
         {
             let mut evil = honest.clone();
             evil.queries[1].path = evil_single.path;
-            assert!(client.verify_batch(&queries, &evil).is_err());
+            assert!(client
+                .verify_batch_impl(&queries, &evil, None, None)
+                .is_err());
         }
     }
 
@@ -675,16 +671,20 @@ mod tests {
     fn query_count_mismatch_rejected() {
         let (_, provider, client) = deploy(MethodConfig::Dij, 1706);
         let queries = as_nodes(&QUERIES);
-        let batch = provider.answer_batch(&queries).unwrap();
-        assert!(client.verify_batch(&queries[..2], &batch).is_err());
+        let batch = provider.answer_batch_impl(&queries).unwrap();
+        assert!(client
+            .verify_batch_impl(&queries[..2], &batch, None, None)
+            .is_err());
     }
 
     #[test]
     fn member_index_out_of_pool_rejected() {
         let (_, provider, client) = deploy(MethodConfig::Dij, 1707);
         let queries = as_nodes(&QUERIES);
-        let mut batch = provider.answer_batch(&queries).unwrap();
+        let mut batch = provider.answer_batch_impl(&queries).unwrap();
         batch.queries[0].members.push(batch.pool.len() as u32 + 7);
-        assert!(client.verify_batch(&queries, &batch).is_err());
+        assert!(client
+            .verify_batch_impl(&queries, &batch, None, None)
+            .is_err());
     }
 }

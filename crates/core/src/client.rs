@@ -11,7 +11,7 @@
 
 use crate::ads::SignedRoot;
 use crate::error::VerifyError;
-use crate::methods::MethodParams;
+use crate::methods::{MethodParams, PinnedAux, VerifyCtx};
 use crate::proof::{Answer, IntegrityProof, SpProof};
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::digest::Digest;
@@ -46,7 +46,7 @@ impl Client {
 
     /// Verifies a provider answer for query `(vs, vt)`.
     pub fn verify(&self, vs: NodeId, vt: NodeId, answer: &Answer) -> Result<Verified, VerifyError> {
-        self.verify_impl(vs, vt, answer, None)
+        self.verify_impl(vs, vt, answer, None, None)
     }
 
     /// Like [`Self::verify`], but against a signed root this client has
@@ -56,14 +56,20 @@ impl Client {
     /// epoch — even legitimately, by the same owner — is rejected,
     /// which is what turns owner updates into explicit session
     /// invalidation instead of silently accepted stale roots.
+    ///
+    /// `pins` extends the same treatment to the method's *auxiliary*
+    /// roots (FULL's distance tree, HYP's hyper-edge and cell-directory
+    /// trees): a root covered by the pins skips its per-answer RSA
+    /// check too. All Merkle reconstructions still run in full.
     pub fn verify_pinned(
         &self,
         vs: NodeId,
         vt: NodeId,
         answer: &Answer,
         pinned: &SignedRoot,
+        pins: Option<&PinnedAux>,
     ) -> Result<Verified, VerifyError> {
-        self.verify_impl(vs, vt, answer, Some(pinned))
+        self.verify_impl(vs, vt, answer, Some(pinned), pins)
     }
 
     fn verify_impl(
@@ -72,6 +78,7 @@ impl Client {
         vt: NodeId,
         answer: &Answer,
         pinned: Option<&SignedRoot>,
+        pins: Option<&PinnedAux>,
     ) -> Result<Verified, VerifyError> {
         // --- ΓT: authenticate every shipped tuple. ---------------------
         match pinned {
@@ -101,7 +108,11 @@ impl Client {
         let tuples = self.verify_integrity(&answer.integrity, &answer.sp)?;
 
         // --- ΓS: recompute the optimum (trait-dispatched). -------------
-        let proven = method.verify(&self.public_key, &params, &answer.sp, &tuples, vs, vt)?;
+        let ctx = VerifyCtx {
+            pk: &self.public_key,
+            pins,
+        };
+        let proven = method.verify(&ctx, &params, &answer.sp, &tuples, vs, vt)?;
 
         // --- P_rslt: authenticate the reported path itself. ------------
         check_reported_path(&tuples, vs, vt, &answer.path, proven)?;

@@ -70,7 +70,7 @@ pub mod enc;
 pub mod error;
 pub mod methods;
 pub mod owner;
-pub(crate) mod par;
+pub mod par;
 pub mod proof;
 pub mod provider;
 pub mod service;
@@ -88,11 +88,14 @@ pub const PARALLEL_ENABLED: bool = cfg!(feature = "parallel");
 pub mod prelude {
     pub use crate::client::{Client, Verified};
     pub use crate::error::VerifyError;
-    pub use crate::methods::{AuthMethod, LdmConfig, MethodConfig};
+    pub use crate::methods::{AuthMethod, LdmConfig, MethodConfig, PinnedAux, VerifyCtx};
     pub use crate::owner::{DataOwner, Published, SetupConfig};
+    pub use crate::par::Scheduler;
     pub use crate::proof::{Answer, ProofStats};
     pub use crate::provider::ServiceProvider;
-    pub use crate::service::{Session, SessionAnswer, SessionError, SpService};
+    pub use crate::service::{
+        RoutingPolicy, Session, SessionAnswer, SessionError, SpService, SpServiceBuilder,
+    };
     pub use crate::stream::{StreamError, StreamVerifier, VerifiedItem};
 }
 

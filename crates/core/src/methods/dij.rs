@@ -7,11 +7,11 @@
 
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
 use crate::error::{ProviderError, VerifyError};
-use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap};
+use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
 use crate::tuple::ExtendedTuple;
-use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::ofloat::OrderedF64;
 use spnet_graph::search::with_thread_workspace;
 use spnet_graph::{Graph, NodeId, Path};
@@ -91,7 +91,7 @@ impl AuthMethod for DijMethod {
 
     fn verify(
         &self,
-        _pk: &RsaPublicKey,
+        _ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         _sp: &SpProof,
         tuples: &TupleMap<'_>,
@@ -103,7 +103,7 @@ impl AuthMethod for DijMethod {
 
     fn verify_batch_aux<'a>(
         &self,
-        _pk: &RsaPublicKey,
+        _ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         aux: &'a BatchAux,
     ) -> Result<AuxContext<'a>, VerifyError> {

@@ -20,14 +20,14 @@
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
 use crate::error::{ProviderError, VerifyError};
-use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap};
+use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::digest::Digest;
 use spnet_crypto::mbtree::{composite_key, split_key, KeyedEntry};
 use spnet_crypto::merkle::{MerkleProof, MerkleTree};
-use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::algo::floyd_warshall;
 use spnet_graph::algo::floyd_warshall::DistanceMatrix;
 use spnet_graph::search::with_thread_workspace;
@@ -566,7 +566,7 @@ impl AuthMethod for FullMethod {
 
     fn verify(
         &self,
-        pk: &RsaPublicKey,
+        ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         sp: &SpProof,
         _tuples: &TupleMap<'_>,
@@ -581,7 +581,9 @@ impl AuthMethod for FullMethod {
                 "proof shape does not match method",
             ));
         };
-        if !signed_root.verify(pk) {
+        // A root pinned at session open was RSA-verified there; byte
+        // equality replaces the signature check.
+        if !ctx.trusts(signed_root) && !signed_root.verify(ctx.pk) {
             return Err(VerifyError::BadSignature);
         }
         full.verify(vs, vt, &signed_root.root)
@@ -589,13 +591,13 @@ impl AuthMethod for FullMethod {
 
     fn verify_batch_aux<'a>(
         &self,
-        pk: &RsaPublicKey,
+        ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         aux: &'a BatchAux,
     ) -> Result<AuxContext<'a>, VerifyError> {
         match aux {
             BatchAux::Full { proof, signed_root } => {
-                if !signed_root.verify(pk) {
+                if !ctx.trusts(signed_root) && !signed_root.verify(ctx.pk) {
                     return Err(VerifyError::BadSignature);
                 }
                 Ok(AuxContext::Full(proof.verify(&signed_root.root)?))

@@ -23,12 +23,12 @@
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
 use crate::error::{ProviderError, VerifyError};
-use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap};
+use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MerkleBTree};
-use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::partition::GridPartition;
 use spnet_graph::{Graph, NodeId, Path};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -198,17 +198,22 @@ impl HypHints {
 }
 
 /// Client side: authenticates the two HYP auxiliary structures —
-/// owner signatures and Merkle roots — ahead of [`verify_hyp`].
+/// owner signatures and Merkle roots — ahead of `verify_hyp_impl`.
 /// Shared by the single-query and batched verification paths so the
-/// authentication rules cannot drift between them.
+/// authentication rules cannot drift between them. Roots pinned at
+/// session open (already RSA-verified there) are accepted by byte
+/// equality; the Merkle reconstructions below always run.
 pub(crate) fn verify_hyp_aux(
-    pk: &RsaPublicKey,
+    ctx: &VerifyCtx<'_>,
     hyper: &KeyedProof,
     hyper_signed_root: &SignedRoot,
     cell_dir: &KeyedProof,
     cell_dir_signed_root: &SignedRoot,
 ) -> Result<(), VerifyError> {
-    if !hyper_signed_root.verify(pk) || !cell_dir_signed_root.verify(pk) {
+    if !ctx.trusts(hyper_signed_root) && !hyper_signed_root.verify(ctx.pk) {
+        return Err(VerifyError::BadSignature);
+    }
+    if !ctx.trusts(cell_dir_signed_root) && !cell_dir_signed_root.verify(ctx.pk) {
         return Err(VerifyError::BadSignature);
     }
     // An empty hyper proof is acceptable only when the touched cells
@@ -231,29 +236,8 @@ pub(crate) fn verify_hyp_aux(
     Ok(())
 }
 
-/// Client side: verifies the HYP ΓS and returns the proven optimum.
-///
-/// `tuples` must already be integrity-verified; `hyper` and `cell_dir`
-/// must already be root/signature-verified by the caller (the
-/// crate-internal `verify_hyp_aux`).
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `AuthMethod::verify` (e.g. \
-            `MethodParams::Hyp.method().verify(..)`) or an `SpService` \
-            session — the trait path also reuses in-cell remaps across \
-            a batch"
-)]
-pub fn verify_hyp(
-    tuples: &HashMap<NodeId, &ExtendedTuple>,
-    hyper: &KeyedProof,
-    cell_dir: &KeyedProof,
-    vs: NodeId,
-    vt: NodeId,
-) -> Result<f64, VerifyError> {
-    verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, None)
-}
-
-/// [`verify_hyp`] with optional per-batch state: queries of one batch
+/// Client side: verifies the HYP ΓS and returns the proven optimum,
+/// with optional per-batch state: queries of one batch
 /// that touch the same cell share one authenticated cell subgraph
 /// instead of rebuilding it per endpoint, and their in-cell distance
 /// rows come out of **one multi-source sweep per touched cell**
@@ -816,7 +800,7 @@ impl AuthMethod for HypMethod {
 
     fn verify(
         &self,
-        pk: &RsaPublicKey,
+        ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         sp: &SpProof,
         tuples: &TupleMap<'_>,
@@ -836,13 +820,19 @@ impl AuthMethod for HypMethod {
             ));
         };
         // Authenticate both auxiliary structures first.
-        verify_hyp_aux(pk, hyper, hyper_signed_root, cell_dir, cell_dir_signed_root)?;
+        verify_hyp_aux(
+            ctx,
+            hyper,
+            hyper_signed_root,
+            cell_dir,
+            cell_dir_signed_root,
+        )?;
         verify_hyp_impl(tuples, hyper, cell_dir, vs, vt, None)
     }
 
     fn verify_batch_aux<'a>(
         &self,
-        pk: &RsaPublicKey,
+        ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         aux: &'a BatchAux,
     ) -> Result<AuxContext<'a>, VerifyError> {
@@ -853,7 +843,13 @@ impl AuthMethod for HypMethod {
                 cell_dir,
                 cell_dir_signed_root,
             } => {
-                verify_hyp_aux(pk, hyper, hyper_signed_root, cell_dir, cell_dir_signed_root)?;
+                verify_hyp_aux(
+                    ctx,
+                    hyper,
+                    hyper_signed_root,
+                    cell_dir,
+                    cell_dir_signed_root,
+                )?;
                 Ok(AuxContext::Hyp { hyper, cell_dir })
             }
             _ => Err(VerifyError::MetaMismatch(
@@ -916,10 +912,6 @@ impl AuthMethod for HypMethod {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated direct `verify_hyp` entry point stays covered
-    // until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use spnet_graph::algo::dijkstra_path;
     use spnet_graph::gen::grid_network;
@@ -975,7 +967,7 @@ mod tests {
             let (s, t) = (NodeId(s), NodeId(t));
             let p = dijkstra_path(&g, s, t).unwrap();
             let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
-            let got = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t).unwrap();
+            let got = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, None).unwrap();
             assert!(
                 (got - p.distance).abs() <= 1e-9 * p.distance.max(1.0),
                 "({s},{t}): got {got}, want {}",
@@ -996,7 +988,7 @@ mod tests {
         let (s, t) = (ms[0], ms[ms.len() - 1]);
         let p = dijkstra_path(&g, s, t).unwrap();
         let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
-        let got = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t).unwrap();
+        let got = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, None).unwrap();
         assert!((got - p.distance).abs() <= 1e-9 * p.distance.max(1.0));
     }
 
@@ -1025,7 +1017,7 @@ mod tests {
         let cs = hints.partition.cell_of(s);
         let victim = hints.partition.cell_borders(cs)[0];
         let reduced: Vec<ExtendedTuple> = tuples.into_iter().filter(|t_| t_.id != victim).collect();
-        let err = verify_hyp(&as_map(&reduced), &hyper, &dir, s, t);
+        let err = verify_hyp_impl(&as_map(&reduced), &hyper, &dir, s, t, None);
         assert!(err.is_err(), "incomplete cell must be rejected");
     }
 
@@ -1041,7 +1033,7 @@ mod tests {
         // entry list fails on the first needed pair unconditionally.)
         hyper.entries.clear();
         hyper.positions.clear();
-        let err = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t);
+        let err = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, None);
         assert!(matches!(err, Err(VerifyError::MissingDistanceKey { .. })));
     }
 
@@ -1052,7 +1044,7 @@ mod tests {
         let p = dijkstra_path(&g, s, t).unwrap();
         let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
         let reduced: Vec<ExtendedTuple> = tuples.into_iter().filter(|t_| t_.id != s).collect();
-        let err = verify_hyp(&as_map(&reduced), &hyper, &dir, s, t);
+        let err = verify_hyp_impl(&as_map(&reduced), &hyper, &dir, s, t, None);
         assert_eq!(err, Err(VerifyError::MissingEndpointTuple(s)));
     }
 
@@ -1071,7 +1063,7 @@ mod tests {
         };
         let dir = hyper.clone();
         assert_eq!(
-            verify_hyp(&map, &hyper, &dir, NodeId(3), NodeId(3)).unwrap(),
+            verify_hyp_impl(&map, &hyper, &dir, NodeId(3), NodeId(3), None).unwrap(),
             0.0
         );
     }
@@ -1096,7 +1088,7 @@ mod tests {
         let p = dijkstra_path(&g, a, b_).unwrap();
         assert_eq!(p.distance, 2.0, "optimum goes through the other cell");
         let (tuples, hyper, dir) = proof_parts(&g, &hints, a, b_, &p.nodes);
-        let got = verify_hyp(&as_map(&tuples), &hyper, &dir, a, b_).unwrap();
+        let got = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, a, b_, None).unwrap();
         assert_eq!(got, 2.0);
     }
 
@@ -1112,7 +1104,7 @@ mod tests {
         }
         let p = dijkstra_path(&g, s, t).unwrap();
         let (tuples, hyper, dir) = proof_parts(&g, &hints, s, t, &p.nodes);
-        let got = verify_hyp(&as_map(&tuples), &hyper, &dir, s, t).unwrap();
+        let got = verify_hyp_impl(&as_map(&tuples), &hyper, &dir, s, t, None).unwrap();
         assert!((got - p.distance).abs() <= 1e-9 * p.distance.max(1.0));
     }
 

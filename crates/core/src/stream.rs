@@ -26,6 +26,7 @@ use crate::ads::SignedRoot;
 use crate::client::Client;
 use crate::enc::DecodeError;
 use crate::error::{ProviderError, VerifyError};
+use crate::methods::PinnedAux;
 use crate::provider::ServiceProvider;
 use crate::wire::{decode_frame, encode_frame, StreamFrame};
 use spnet_graph::{NodeId, Path};
@@ -201,6 +202,9 @@ pub struct StreamVerifier<'a> {
     queries: &'a [(NodeId, NodeId)],
     /// Session-pinned epoch root (verify signature once at open).
     pinned: Option<&'a SignedRoot>,
+    /// Session-pinned auxiliary roots (FULL distance tree, HYP
+    /// hyper-edge and cell-directory trees), RSA-verified at open.
+    pins: Option<&'a PinnedAux>,
     /// From the header frame: (method wire code, declared chunk size).
     header: Option<(u8, usize)>,
     next_start: usize,
@@ -216,6 +220,7 @@ impl<'a> StreamVerifier<'a> {
             client,
             queries,
             pinned: None,
+            pins: None,
             header: None,
             next_start: 0,
             chunks_seen: 0,
@@ -233,6 +238,23 @@ impl<'a> StreamVerifier<'a> {
     ) -> Self {
         StreamVerifier {
             pinned: Some(root),
+            ..Self::new(client, queries)
+        }
+    }
+
+    /// [`Self::with_pinned_root`] plus the session's pinned auxiliary
+    /// roots: chunks of FULL/HYP sessions skip the per-chunk RSA check
+    /// on aux roots whose bytes match a pin (Merkle reconstructions
+    /// still run). This is the [`crate::service::Session`] stream path.
+    pub fn with_session_pins(
+        client: &'a Client,
+        queries: &'a [(NodeId, NodeId)],
+        root: &'a SignedRoot,
+        pins: &'a PinnedAux,
+    ) -> Self {
+        StreamVerifier {
+            pinned: Some(root),
+            pins: Some(pins),
             ..Self::new(client, queries)
         }
     }
@@ -299,7 +321,9 @@ impl<'a> StreamVerifier<'a> {
                     ));
                 }
                 let slice = &self.queries[self.next_start..end];
-                let distances = self.client.verify_batch_impl(slice, &batch, self.pinned)?;
+                let distances =
+                    self.client
+                        .verify_batch_impl(slice, &batch, self.pinned, self.pins)?;
                 let items = batch
                     .queries
                     .iter()

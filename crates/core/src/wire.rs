@@ -582,9 +582,6 @@ fn take_integrity(d: &mut Decoder<'_>) -> Result<IntegrityProof, DecodeError> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated raw batch entry points stay covered until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::methods::{LdmConfig, MethodConfig};
     use crate::owner::{DataOwner, SetupConfig};
@@ -706,7 +703,7 @@ mod tests {
         ];
         (
             queries.clone(),
-            provider.answer_batch(&queries).unwrap(),
+            provider.answer_batch_impl(&queries).unwrap(),
             client,
         )
     }
@@ -727,9 +724,11 @@ mod tests {
             let (queries, batch, client) = batch_for(method.clone());
             let bytes = encode_batch_answer(&batch);
             let back = decode_batch_answer(&bytes).unwrap();
-            let want = client.verify_batch(&queries, &batch).unwrap();
+            let want = client
+                .verify_batch_impl(&queries, &batch, None, None)
+                .unwrap();
             let got = client
-                .verify_batch(&queries, &back)
+                .verify_batch_impl(&queries, &back, None, None)
                 .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
             for (w, g) in want.iter().zip(&got) {
                 assert_eq!(w.to_bits(), g.to_bits(), "{}", method.name());

@@ -69,7 +69,8 @@ pub fn scale_free(n: usize, m: usize, seed: u64) -> Graph {
         }
         for &t in &targets {
             let w = weight(&mut rng);
-            b.add_edge(NodeId(v), NodeId(t), w).expect("distinct target");
+            b.add_edge(NodeId(v), NodeId(t), w)
+                .expect("distinct target");
             endpoints.push(v);
             endpoints.push(t);
         }
@@ -90,7 +91,10 @@ mod tests {
         // Clique (3 edges for m = 2) + m per attached node.
         assert_eq!(g.num_edges(), 3 + 2 * (300 - 3));
         let r = dijkstra_sssp(&g, NodeId(0));
-        assert!(r.dist.iter().all(|d| d.is_finite()), "connected by construction");
+        assert!(
+            r.dist.iter().all(|d| d.is_finite()),
+            "connected by construction"
+        );
     }
 
     #[test]

@@ -110,6 +110,9 @@ impl Calibration {
     /// and finite, the heap fallback otherwise (with zero-weight edges
     /// a bucket can hold unboundedly many mutually-improving entries,
     /// and with no edges there is nothing to calibrate from).
+    // `!(min_w > 0.0)` must also catch NaN weights, which `min_w <= 0.0`
+    // would let through to the bucket path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub(crate) fn from_weights(
         min_w: f64,
         max_w: f64,
@@ -364,10 +367,8 @@ impl SearchWorkspace {
             self.cur = 0;
             if self.counts.len() < cal.buckets {
                 self.counts.resize(cal.buckets, 0);
-                self.slots.resize(
-                    cal.buckets * BUCKET_INLINE,
-                    HeapEntry { key: 0.0, node: 0 },
-                );
+                self.slots
+                    .resize(cal.buckets * BUCKET_INLINE, HeapEntry { key: 0.0, node: 0 });
                 self.spill_heads.resize(cal.buckets, NIL_LINK);
                 self.occupied.resize(self.counts.len().div_ceil(64), 0);
             }
@@ -1291,10 +1292,7 @@ mod tests {
         let mut b = SearchWorkspace::new();
         for s in [0u32, 70, 142] {
             let want = reference::sssp(&g, NodeId(s));
-            for (ws, kind) in [
-                (&mut a, FrontierKind::Heap),
-                (&mut b, FrontierKind::Bucket),
-            ] {
+            for (ws, kind) in [(&mut a, FrontierKind::Heap), (&mut b, FrontierKind::Bucket)] {
                 let got = ws.sssp_with_frontier(&g, NodeId(s), kind);
                 for v in g.nodes() {
                     assert_eq!(got.dist(v).to_bits(), want.dist[v.index()].to_bits());

@@ -15,17 +15,13 @@
 //!    random geometric, scale-free, and grid graphs, and on degenerate
 //!    weight ranges where graph calibration falls back to the heap.
 
-// The raw batch entry points are deprecated in favour of the session
-// facade but stay pinned here until removal.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spnet_core::methods::{LdmConfig, MethodConfig};
 use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
-use spnet_core::Client;
+use spnet_core::{Client, SpService};
 use spnet_graph::algo::dijkstra::reference;
 use spnet_graph::gen::{grid_network, random_geometric, scale_free};
 use spnet_graph::search::SearchWorkspace;
@@ -222,13 +218,21 @@ proptest! {
             (NodeId(21), NodeId(27)),
             (NodeId(48), NodeId(0)),
         ];
-        let b1 = provider.answer_batch(&queries).unwrap();
-        let b2 = provider.answer_batch(&queries).unwrap();
+        let singles: Vec<_> = queries
+            .iter()
+            .map(|&(s, t)| provider.answer(s, t).unwrap())
+            .collect();
+        // Batch halves go through the session facade — the only batch
+        // entry point since the raw ones were removed.
+        let service = SpService::with_provider(provider);
+        let session = service.open_session(client.clone()).unwrap();
+        let b1 = session.answer_batch(&queries).unwrap();
+        let b2 = session.answer_batch(&queries).unwrap();
         prop_assert_eq!(&b1, &b2, "batch answers must be deterministic");
-        let batched = client.verify_batch(&queries, &b1).unwrap();
+        let batched = session.verify_batch(&queries, &b1).unwrap();
         for (qi, (&(s, t), &bd)) in queries.iter().zip(&batched).enumerate() {
-            let single = provider.answer(s, t).unwrap();
-            let v = client.verify(s, t, &single).unwrap();
+            let single = &singles[qi];
+            let v = client.verify(s, t, single).unwrap();
             prop_assert_eq!(
                 v.distance.to_bits(), bd.to_bits(),
                 "{} ({}, {})", method.name(), s, t

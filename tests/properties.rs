@@ -3,17 +3,13 @@
 //! (Theorem 1 / Lemma 3 / Lemma 4), Lemma 1 containment, and
 //! end-to-end verification on randomized graphs and queries.
 
-// The raw batch entry points are deprecated in favour of the session
-// facade but stay pinned here until removal.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spnet_core::methods::{LdmConfig, MethodConfig};
 use spnet_core::owner::{DataOwner, SetupConfig};
 use spnet_core::provider::ServiceProvider;
-use spnet_core::Client;
+use spnet_core::{Client, SpService};
 use spnet_crypto::digest::hash_bytes;
 use spnet_crypto::merkle::MerkleTree;
 use spnet_graph::algo::{apsp_dijkstra, dijkstra_ball, dijkstra_path, dijkstra_sssp};
@@ -205,18 +201,19 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
         let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
         let client = Client::new(p.public_key);
-        let provider = ServiceProvider::new(p.package);
+        // Batches are served and verified through the session facade.
+        let service = SpService::new(p.package);
+        let session = service.open_session(client).unwrap();
         let queries = [(NodeId(0), NodeId(48)), (NodeId(1), NodeId(47)), (NodeId(6), NodeId(42))];
-        let batch = provider.answer_batch(&queries).unwrap();
+        let batch = session.answer_batch(&queries).unwrap();
         let back = spnet_core::wire::decode_batch_answer(
             &spnet_core::wire::encode_batch_answer(&batch),
         ).unwrap();
         prop_assert_eq!(&back, &batch);
-        let batched = client.verify_batch(&queries, &back).unwrap();
+        let batched = session.verify_batch(&queries, &back).unwrap();
         for (&(s, t), d) in queries.iter().zip(&batched) {
-            let single = provider.answer(s, t).unwrap();
-            let v = client.verify(s, t, &single).unwrap();
-            prop_assert!((v.distance - d).abs() <= 1e-9 * d.max(1.0), "{}", method.name());
+            let single = session.query(s, t).unwrap();
+            prop_assert!((single.distance - d).abs() <= 1e-9 * d.max(1.0), "{}", method.name());
         }
     }
 

@@ -3,10 +3,6 @@
 //! APIs (bit-for-bit), stream ≡ batch ≡ sequential agreement, epoch
 //! invalidation, and truncated/tampered-stream rejection.
 
-// The raw batch entry points are deprecated in favour of the session
-// facade but stay pinned here until removal.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,9 +112,6 @@ proptest! {
             .iter()
             .map(|&(s, t)| client.verify(s, t, &provider.answer(s, t).unwrap()).unwrap().distance)
             .collect();
-        // Batched.
-        let batch = provider.answer_batch(&qs).unwrap();
-        let batched = client.verify_batch(&qs, &batch).unwrap();
         // Streamed (through the encoded frames).
         let mut verifier = StreamVerifier::new(&client, &qs);
         let mut streamed = vec![f64::NAN; qs.len()];
@@ -128,6 +121,12 @@ proptest! {
             }
         }
         verifier.finish().unwrap();
+        // Batched — through the session facade, the only batch entry
+        // point since the raw ones were removed.
+        let service = SpService::with_provider(provider);
+        let session = service.open_session(client.clone()).unwrap();
+        let batch = session.answer_batch(&qs).unwrap();
+        let batched = session.verify_batch(&qs, &batch).unwrap();
         for i in 0..qs.len() {
             prop_assert_eq!(
                 batched[i].to_bits(),
