@@ -4,10 +4,10 @@
 //! throughput_gate [options]
 //!
 //! options:
-//!   --mode <m>         throughput (default) | scale | service
+//!   --mode <m>         throughput (default) | scale | service | store
 //!   --baseline <path>  committed baseline JSON
 //!                      (default BENCH_throughput.json / BENCH_scale.json
-//!                       / BENCH_service.json)
+//!                       / BENCH_service.json / BENCH_store.json)
 //!
 //! throughput mode:
 //!   --scale <f>        dataset scale fraction (default 0.05, matching the baseline)
@@ -20,6 +20,10 @@
 //!   --seed <n>         master seed (default 42)
 //!
 //! service mode:
+//!   --seed <n>         master seed (default 42)
+//!
+//! store mode:
+//!   --smoke-nodes <n>  live smoke size (default 50000)
 //!   --seed <n>         master seed (default 42)
 //!
 //! env:
@@ -43,10 +47,18 @@
 //! when measured on ≥ 4 cores) and runs a reduced live smoke of the
 //! load generator, comparing its probe-normalized session throughput
 //! against the committed baseline.
+//!
+//! **Store mode** validates the committed `BENCH_store.json`
+//! structurally (≥1M-node row, zero signing operations during the load
+//! window, lazy snapshot load ≥ 1.25× faster than rebuild-and-resign) and
+//! runs a reduced-size live save→load smoke, failing if the round trip
+//! breaks, the cold start signs, or the lazy load falls behind the
+//! rebuild beyond the tolerance.
 
 use spnet_bench::gate;
 use spnet_bench::{
-    run_loadgen, run_scale, run_throughput, HarnessConfig, LoadgenConfig, ScaleConfig,
+    run_loadgen, run_scale, run_store, run_throughput, HarnessConfig, LoadgenConfig, ScaleConfig,
+    StoreConfig,
 };
 use spnet_graph::gen::Dataset;
 use std::process::ExitCode;
@@ -55,8 +67,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "see module docs: throughput_gate [--mode throughput|scale|service] [--baseline p] \
-             [--scale f] [--queries n] [--dataset d] [--seed n] [--smoke-nodes n]"
+            "see module docs: throughput_gate [--mode throughput|scale|service|store] \
+             [--baseline p] [--scale f] [--queries n] [--dataset d] [--seed n] [--smoke-nodes n]"
         );
         return ExitCode::SUCCESS;
     }
@@ -72,8 +84,10 @@ fn main() -> ExitCode {
         };
         match args[i].as_str() {
             "--mode" => match take_value(&mut i) {
-                Some(v) if v == "throughput" || v == "scale" || v == "service" => mode = v,
-                _ => return bad_usage("--mode needs throughput|scale|service"),
+                Some(v) if matches!(v.as_str(), "throughput" | "scale" | "service" | "store") => {
+                    mode = v
+                }
+                _ => return bad_usage("--mode needs throughput|scale|service|store"),
             },
             "--baseline" => match take_value(&mut i) {
                 Some(v) => baseline_path = Some(v),
@@ -114,6 +128,7 @@ fn main() -> ExitCode {
     let baseline_path = baseline_path.unwrap_or_else(|| match mode.as_str() {
         "scale" => "BENCH_scale.json".into(),
         "service" => "BENCH_service.json".into(),
+        "store" => "BENCH_store.json".into(),
         _ => "BENCH_throughput.json".into(),
     });
     let baseline_json = match std::fs::read_to_string(&baseline_path) {
@@ -135,6 +150,15 @@ fn main() -> ExitCode {
     }
     if mode == "service" {
         return service_gate(&baseline_json, &baseline_path, cfg.seed, tolerance);
+    }
+    if mode == "store" {
+        return store_gate(
+            &baseline_json,
+            &baseline_path,
+            smoke_nodes,
+            cfg.seed,
+            tolerance,
+        );
     }
 
     eprintln!(
@@ -207,6 +231,56 @@ fn scale_gate(
     }
     if violations.is_empty() {
         eprintln!("[gate] ok: scale baseline + smoke clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[gate] FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Store mode: committed-baseline validation + reduced live save→load
+/// smoke of the snapshot cold-start path.
+fn store_gate(
+    baseline_json: &str,
+    baseline_path: &str,
+    smoke_nodes: usize,
+    seed: u64,
+    tolerance: f64,
+) -> ExitCode {
+    eprintln!(
+        "[gate] store baseline {baseline_path}, tolerance {:.0}%, smoke at {smoke_nodes} nodes",
+        tolerance * 100.0
+    );
+    let rows = match gate::parse_store_baseline(baseline_json) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut violations = gate::store_schema_violations(&rows);
+    for r in &rows {
+        println!(
+            "baseline {:5} build+sign {:>8.2}s save {:>7.2}s load mem {:>7.3}s file {:>8.4}s \
+             ({:.1}x) {} MB, {} sign ops at build / {} at load",
+            r.label,
+            r.build_sign_s,
+            r.save_s,
+            r.load_mem_s,
+            r.load_file_s,
+            r.file_speedup(),
+            r.snapshot_bytes / 1_000_000,
+            r.sign_ops_build,
+            r.sign_ops_load,
+        );
+    }
+    let smoke = run_store(&StoreConfig::smoke(smoke_nodes, seed));
+    violations.extend(gate::store_smoke_violations(&smoke, tolerance));
+    for v in &violations {
+        println!("SCHEMA {v}");
+    }
+    if violations.is_empty() {
+        eprintln!("[gate] ok: store baseline + smoke clean");
         ExitCode::SUCCESS
     } else {
         eprintln!("[gate] FAILED: {} violation(s)", violations.len());

@@ -506,7 +506,7 @@ pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 }
 
 /// Which experiment ids exist (for CLI help and the `all` runner).
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "fig8",
     "fig9",
     "fig10",
@@ -521,6 +521,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "throughput",
     "scale",
     "service",
+    "store",
     "all",
 ];
 
@@ -552,6 +553,10 @@ pub fn run(id: &str, cfg: &HarnessConfig) -> Option<Vec<(String, Table)>> {
         // baseline, which should change deliberately, not on every
         // figure sweep.
         "service" => Some(crate::loadgen::service(cfg)),
+        // Also outside `all`: rewrites the committed BENCH_store.json
+        // cold-start baseline, whose default row set includes a
+        // million-node publish.
+        "store" => Some(crate::store::store(cfg)),
         "all" => {
             let mut out = Vec::new();
             for f in [

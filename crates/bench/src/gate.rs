@@ -1,10 +1,10 @@
 //! Benchmark-regression gates: compares fresh measurement passes
 //! against the committed `BENCH_throughput.json` / `BENCH_scale.json`
-//! / `BENCH_service.json` baselines.
+//! / `BENCH_service.json` / `BENCH_store.json` baselines.
 //!
-//! Used by the CI `throughput-gate`, `scale-gate` and `service-gate`
-//! jobs (see `.github/workflows/ci.yml` and the `throughput_gate`
-//! binary).
+//! Used by the CI `throughput-gate`, `scale-gate`, `service-gate` and
+//! `store-gate` jobs (see `.github/workflows/ci.yml` and the
+//! `throughput_gate` binary).
 //!
 //! ## Throughput gate
 //!
@@ -52,6 +52,7 @@
 
 use crate::loadgen::ServiceReport;
 use crate::scale::{MethodScale, ScaleReport, ScaleRow, SsspScale};
+use crate::store::{StoreReport, StoreRow};
 use crate::throughput::{MethodThroughput, ThroughputReport};
 
 /// Environment variable overriding the regression tolerance.
@@ -502,6 +503,139 @@ pub fn scale_smoke_violations(report: &ScaleReport, tolerance: f64) -> Vec<Strin
                     heap = road.heap_ms,
                 ));
             }
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------
+// Store gate
+// ---------------------------------------------------------------------
+
+/// Minimum node count the committed store baseline must reach.
+pub const STORE_MIN_NODES: usize = 1_000_000;
+
+/// Required rebuild-over-lazy-load speedup on the ≥1M-node row: a lazy
+/// cold start must beat rebuild-and-resign by at least this factor.
+/// The bar is modest because the row's method is DIJ — the cheapest
+/// possible rebuild (one tree, one signature) — and both paths pay the
+/// same linear tuple decode; what the snapshot saves is the tree
+/// hashing and the signing.
+pub const STORE_LOAD_SPEEDUP: f64 = 1.25;
+
+/// Parses the committed `BENCH_store.json` back into its rows.
+/// Accepts exactly the schema `StoreReport::to_json` writes.
+pub fn parse_store_baseline(json: &str) -> Result<Vec<StoreRow>, String> {
+    let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "spnet-store/v1" {
+        return Err(format!(
+            "unsupported store schema {schema:?} (regenerate with `figures -- store`)"
+        ));
+    }
+    let mut rows = Vec::new();
+    for r in array_objects(json, "rows")? {
+        rows.push(StoreRow {
+            label: string_field(r, "label")
+                .ok_or("row lacks \"label\"")?
+                .to_string(),
+            nodes: required_num(r, "nodes")? as usize,
+            edges: required_num(r, "edges")? as usize,
+            build_sign_s: required_num(r, "build_sign_s")?,
+            save_s: required_num(r, "save_s")?,
+            load_mem_s: required_num(r, "load_mem_s")?,
+            load_file_s: required_num(r, "load_file_s")?,
+            snapshot_bytes: required_num(r, "snapshot_bytes")? as u64,
+            sign_ops_build: required_num(r, "sign_ops_build")? as u64,
+            sign_ops_load: required_num(r, "sign_ops_load")? as u64,
+        });
+    }
+    if rows.is_empty() {
+        return Err("store baseline contains no rows".into());
+    }
+    Ok(rows)
+}
+
+/// Schema violations of the **committed** store baseline (empty =
+/// compliant): a ≥1M-node row, positive timings and sizes everywhere,
+/// at least one signing op at publish, **zero** signing ops during the
+/// load window, and the headline claim — lazy snapshot load at least
+/// [`STORE_LOAD_SPEEDUP`]× faster than rebuild-and-resign at ≥1M nodes.
+pub fn store_schema_violations(rows: &[StoreRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !rows.iter().any(|r| r.nodes >= STORE_MIN_NODES) {
+        violations.push(format!(
+            "no row at >= {STORE_MIN_NODES} nodes (the baseline must prove million-node cold start)"
+        ));
+    }
+    for r in rows {
+        if !positive(r.build_sign_s)
+            || !positive(r.save_s)
+            || !positive(r.load_mem_s)
+            || !positive(r.load_file_s)
+        {
+            violations.push(format!("{}: non-positive timing column", r.label));
+        }
+        if r.snapshot_bytes == 0 {
+            violations.push(format!("{}: empty snapshot", r.label));
+        }
+        if r.sign_ops_build == 0 {
+            violations.push(format!("{}: publish performed no signing", r.label));
+        }
+        if r.sign_ops_load != 0 {
+            violations.push(format!(
+                "{}: cold start performed {} signing op(s); restart must not re-sign",
+                r.label, r.sign_ops_load
+            ));
+        }
+        if r.nodes >= STORE_MIN_NODES {
+            let speedup = r.file_speedup();
+            if speedup < STORE_LOAD_SPEEDUP || speedup.is_nan() {
+                violations.push(format!(
+                    "{}: lazy load speedup {speedup:.2}x below required {STORE_LOAD_SPEEDUP}x",
+                    r.label
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Violations of a **live smoke** store run (empty = pass): the
+/// save→load round trip must work at the reduced size, the load window
+/// must sign nothing (machine-independent, no tolerance), and the lazy
+/// load must not be slower than rebuild-and-resign beyond the
+/// tolerance. Absolute timings are NOT compared against the committed
+/// baseline — the smoke runs at a reduced size on an unpinned runner.
+pub fn store_smoke_violations(report: &StoreReport, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if report.rows.is_empty() {
+        violations.push("smoke run produced no rows".into());
+    }
+    for r in &report.rows {
+        if !positive(r.build_sign_s)
+            || !positive(r.save_s)
+            || !positive(r.load_mem_s)
+            || !positive(r.load_file_s)
+        {
+            violations.push(format!("smoke {}: non-positive timing column", r.label));
+        }
+        if r.snapshot_bytes == 0 {
+            violations.push(format!("smoke {}: empty snapshot", r.label));
+        }
+        if r.sign_ops_build == 0 {
+            violations.push(format!("smoke {}: publish performed no signing", r.label));
+        }
+        if r.sign_ops_load != 0 {
+            violations.push(format!(
+                "smoke {}: cold start performed {} signing op(s)",
+                r.label, r.sign_ops_load
+            ));
+        }
+        if r.load_file_s > r.build_sign_s * (1.0 + tolerance) {
+            violations.push(format!(
+                "smoke {}: lazy load {:.3}s slower than rebuild {:.3}s beyond tolerance",
+                r.label, r.load_file_s, r.build_sign_s
+            ));
         }
     }
     violations
@@ -987,6 +1121,107 @@ mod tests {
     fn scale_smoke_flags_empty_run() {
         let v = scale_smoke_violations(&scale_report(vec![]), 0.15);
         assert!(!v.is_empty());
+    }
+
+    // -- store gate --
+
+    fn store_row(label: &str, nodes: usize, build_s: f64, load_file_s: f64) -> StoreRow {
+        StoreRow {
+            label: label.to_string(),
+            nodes,
+            edges: nodes * 2,
+            build_sign_s: build_s,
+            save_s: 1.0,
+            load_mem_s: build_s / 2.0,
+            load_file_s,
+            snapshot_bytes: nodes as u64 * 100,
+            sign_ops_build: 1,
+            sign_ops_load: 0,
+        }
+    }
+
+    fn store_report(rows: Vec<StoreRow>) -> StoreReport {
+        StoreReport {
+            parallel: true,
+            threads: 4,
+            seed: 42,
+            rows,
+        }
+    }
+
+    #[test]
+    fn store_parser_inverts_report_writer() {
+        let report = store_report(vec![
+            store_row("100k", 99_856, 10.0, 0.5),
+            store_row("1m", 1_000_000, 120.0, 3.0),
+        ]);
+        let rows = parse_store_baseline(&report.to_json()).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (p, r) in rows.iter().zip(&report.rows) {
+            assert_eq!(p.label, r.label);
+            assert_eq!(p.nodes, r.nodes);
+            assert_eq!(p.edges, r.edges);
+            assert_eq!(p.snapshot_bytes, r.snapshot_bytes);
+            assert_eq!(p.sign_ops_build, r.sign_ops_build);
+            assert_eq!(p.sign_ops_load, r.sign_ops_load);
+            assert!((p.build_sign_s - r.build_sign_s).abs() < 1e-9);
+            assert!((p.load_file_s - r.load_file_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn store_parser_rejects_garbage() {
+        assert!(parse_store_baseline("").is_err());
+        assert!(parse_store_baseline("{\"schema\": \"spnet-store/v0\"}").is_err());
+        assert!(parse_store_baseline("{\"schema\": \"spnet-store/v1\"}").is_err());
+        assert!(
+            parse_store_baseline("{\"schema\": \"spnet-store/v1\",\n\"rows\": [\n]}").is_err(),
+            "empty rows must be rejected"
+        );
+    }
+
+    #[test]
+    fn store_schema_requires_million_node_row() {
+        let v = store_schema_violations(&[store_row("100k", 99_856, 10.0, 0.5)]);
+        assert!(v.iter().any(|l| l.contains("1000000")), "{v:?}");
+    }
+
+    #[test]
+    fn store_schema_pins_zero_sign_cold_start() {
+        let mut row = store_row("1m", 1_000_000, 120.0, 3.0);
+        row.sign_ops_load = 2;
+        let v = store_schema_violations(&[row]);
+        assert!(v.iter().any(|l| l.contains("re-sign")), "{v:?}");
+        assert!(store_schema_violations(&[store_row("1m", 1_000_000, 120.0, 3.0)]).is_empty());
+    }
+
+    #[test]
+    fn store_schema_enforces_load_speedup_on_big_row() {
+        // Lazy load barely faster than the rebuild: violation.
+        let v = store_schema_violations(&[store_row("1m", 1_000_000, 100.0, 90.0)]);
+        assert!(v.iter().any(|l| l.contains("below required")), "{v:?}");
+        // The speedup requirement applies to the big row only.
+        let rows = vec![
+            store_row("100k", 99_856, 10.0, 9.0),
+            store_row("1m", 1_000_000, 100.0, 3.0),
+        ];
+        assert!(store_schema_violations(&rows).is_empty());
+    }
+
+    #[test]
+    fn store_smoke_flags_signing_and_slow_load() {
+        let mut row = store_row("50k", 50_176, 5.0, 0.2);
+        row.sign_ops_load = 1;
+        let v = store_smoke_violations(&store_report(vec![row]), 0.15);
+        assert!(v.iter().any(|l| l.contains("signing op")), "{v:?}");
+        // Lazy load 30% slower than rebuild: regression.
+        let row = store_row("50k", 50_176, 5.0, 6.5);
+        let v = store_smoke_violations(&store_report(vec![row]), 0.15);
+        assert!(v.iter().any(|l| l.contains("slower than rebuild")), "{v:?}");
+        // Clean smoke passes; empty smoke fails.
+        let row = store_row("50k", 50_176, 5.0, 0.2);
+        assert!(store_smoke_violations(&store_report(vec![row]), 0.15).is_empty());
+        assert!(!store_smoke_violations(&store_report(vec![]), 0.15).is_empty());
     }
 
     // -- service gate --

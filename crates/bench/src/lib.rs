@@ -24,6 +24,7 @@ pub mod model;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod store;
 pub mod throughput;
 
 pub use config::HarnessConfig;
@@ -31,4 +32,5 @@ pub use loadgen::{run_loadgen, LoadgenConfig, ServiceReport};
 pub use report::Table;
 pub use runner::{run_method, MethodMeasurement};
 pub use scale::{run_scale, ScaleConfig, ScaleReport};
+pub use store::{run_store, StoreConfig, StoreReport};
 pub use throughput::{run_throughput, ThroughputReport};

@@ -140,9 +140,50 @@ impl NetworkAds {
         }
     }
 
+    /// Reassembles an ADS from persisted parts (snapshot load): the
+    /// leaf ordering, the per-node tuples, and the Merkle tree itself.
+    /// Returns `None` when the parts are structurally inconsistent
+    /// (length mismatch, or `order` is not a permutation of the node
+    /// ids) — the caller maps that to a typed snapshot error.
+    pub(crate) fn from_parts(
+        order: Vec<NodeId>,
+        tuples: Vec<Arc<ExtendedTuple>>,
+        tree: MerkleTree,
+    ) -> Option<Self> {
+        let n = tuples.len();
+        if order.len() != n || tree.leaf_count() != n || n == 0 {
+            return None;
+        }
+        let mut position = vec![u32::MAX; n];
+        for (i, v) in order.iter().enumerate() {
+            let slot = position.get_mut(v.index())?;
+            if *slot != u32::MAX {
+                return None; // duplicate node in the ordering
+            }
+            *slot = i as u32;
+        }
+        Some(NetworkAds {
+            order,
+            position,
+            tuples,
+            tree,
+        })
+    }
+
     /// The Merkle root.
     pub fn root(&self) -> Digest {
         self.tree.root()
+    }
+
+    /// Leaf position → node id (the owner's fixed ordering `O`).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The underlying Merkle tree (read-only; snapshot save walks its
+    /// dense levels).
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
     }
 
     /// Number of leaves (= |V|).

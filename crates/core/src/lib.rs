@@ -74,6 +74,7 @@ pub mod par;
 pub mod proof;
 pub mod provider;
 pub mod service;
+pub mod snapshot;
 pub mod stream;
 pub mod tamper;
 pub mod tuple;
@@ -96,7 +97,9 @@ pub mod prelude {
     pub use crate::service::{
         RoutingPolicy, Session, SessionAnswer, SessionError, SpService, SpServiceBuilder,
     };
+    pub use crate::snapshot::{load_package, save_package, LoadedSnapshot, SnapshotError};
     pub use crate::stream::{StreamError, StreamVerifier, VerifiedItem};
+    pub use spnet_store::StoreBackend;
 }
 
 pub use prelude::*;

@@ -53,6 +53,17 @@ impl AuthMethod for DijMethod {
         true
     }
 
+    // DIJ persists nothing beyond the network ADS: the default
+    // `snapshot_hints` writes no sections, and loading restores the
+    // empty hint state.
+    fn load_hints(
+        &self,
+        _g: &Graph,
+        _store: &spnet_store::NodeStore,
+    ) -> Result<MethodHints, crate::snapshot::SnapshotError> {
+        Ok(MethodHints::Dij)
+    }
+
     fn prove(
         &self,
         pkg: &ProviderPackage,

@@ -19,12 +19,14 @@
 
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::enc::{Decoder, Encoder};
 use crate::error::{ProviderError, VerifyError};
 use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
+use crate::snapshot::{self, SnapshotError};
 use crate::tuple::ExtendedTuple;
-use spnet_crypto::digest::Digest;
+use spnet_crypto::digest::{Digest, DIGEST_LEN};
 use spnet_crypto::mbtree::{composite_key, split_key, KeyedEntry};
 use spnet_crypto::merkle::{MerkleProof, MerkleTree};
 use spnet_crypto::rsa::RsaKeyPair;
@@ -510,6 +512,106 @@ impl AuthMethod for FullMethod {
 
     fn make_tuple(&self, g: &Graph, v: NodeId, _hints: &MethodHints) -> ExtendedTuple {
         ExtendedTuple::base(g, v)
+    }
+
+    fn snapshot_hints(
+        &self,
+        hints: &MethodHints,
+        w: &mut spnet_store::SnapshotWriter,
+    ) -> Result<(), SnapshotError> {
+        let MethodHints::Full {
+            ads,
+            signed_root,
+            stats,
+        } = hints
+        else {
+            return Err(SnapshotError::Corrupt("FULL hints expected"));
+        };
+        w.blob(
+            snapshot::SEC_FULL_SIGNED,
+            &snapshot::encode_signed_root(signed_root),
+        )?;
+        let mut e = Encoder::new();
+        e.put_u32(ads.fanout as u32);
+        e.put_u64(ads.row_roots.len() as u64);
+        e.put_u64(stats.tuples);
+        e.put_f64(stats.seconds);
+        e.put_bool(ads.matrix.is_some());
+        w.blob(snapshot::SEC_FULL_CONFIG, e.bytes())?;
+        w.paged(
+            snapshot::SEC_FULL_ROWROOTS,
+            &snapshot::digests_to_bytes(&ads.row_roots),
+            snapshot::PAGE_DIGESTS * DIGEST_LEN,
+        )?;
+        // Floyd–Warshall mode must persist the matrix raw: FW and
+        // Dijkstra sum in different orders, and row digests hash the
+        // exact f64 bit patterns.
+        if let Some(m) = &ads.matrix {
+            let raw: Vec<u8> = m.raw().iter().flat_map(|d| d.to_le_bytes()).collect();
+            w.paged(snapshot::SEC_FULL_MATRIX, &raw, 4096)?;
+        }
+        Ok(())
+    }
+
+    fn load_hints(
+        &self,
+        g: &Graph,
+        store: &spnet_store::NodeStore,
+    ) -> Result<MethodHints, SnapshotError> {
+        let signed_root = snapshot::decode_signed_root(&store.blob(snapshot::SEC_FULL_SIGNED)?)?;
+        let cfg = store.blob(snapshot::SEC_FULL_CONFIG)?;
+        let mut d = Decoder::new(&cfg);
+        let fanout = d.take_u32()? as usize;
+        let n = d.take_u64()? as usize;
+        let tuples = d.take_u64()?;
+        let seconds = d.take_f64()?;
+        let has_matrix = d.take_bool()?;
+        d.finish()?;
+        if n != g.num_nodes() || fanout < 2 {
+            return Err(SnapshotError::Corrupt("FULL geometry mismatch"));
+        }
+        let row_roots =
+            snapshot::digests_from_bytes(&store.paged_all(snapshot::SEC_FULL_ROWROOTS)?)?;
+        if row_roots.len() != n {
+            return Err(SnapshotError::Corrupt("FULL row-root count mismatch"));
+        }
+        let matrix = if has_matrix {
+            let raw = store.paged_all(snapshot::SEC_FULL_MATRIX)?;
+            if raw.len() != n * n * 8 {
+                return Err(SnapshotError::Corrupt("FULL matrix size mismatch"));
+            }
+            let data: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+                .collect();
+            Some(
+                DistanceMatrix::from_raw(n, data)
+                    .ok_or(SnapshotError::Corrupt("FULL matrix shape"))?,
+            )
+        } else {
+            None
+        };
+        // The top tree is O(|V|) digests — rebuilding it from the
+        // persisted row roots is cheap on both backends and reproduces
+        // the owner's tree bit-identically.
+        let top = MerkleTree::build(row_roots.clone(), fanout)?;
+        let ads = DistanceAds {
+            fanout,
+            row_roots,
+            top,
+            matrix,
+            row_cache: RowCache::new(ROW_CACHE_CAPACITY),
+        };
+        if signed_root.root != ads.root() || signed_root.meta != ads.meta() {
+            return Err(SnapshotError::Corrupt(
+                "FULL signed root does not match loaded distance tree",
+            ));
+        }
+        Ok(MethodHints::Full {
+            ads,
+            signed_root,
+            stats: FullBuildStats { tuples, seconds },
+        })
     }
 
     fn prove(

@@ -22,10 +22,12 @@
 
 use crate::ads::{AdsMeta, AdsTag, SignedRoot};
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::enc::{Decoder, Encoder};
 use crate::error::{ProviderError, VerifyError};
 use crate::methods::{AuthMethod, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
+use crate::snapshot::{self, SnapshotError};
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MerkleBTree};
 use spnet_crypto::rsa::RsaKeyPair;
@@ -711,6 +713,148 @@ impl AuthMethod for HypMethod {
             unreachable!("HypMethod dispatched with non-HYP hints");
         };
         ExtendedTuple::with_cell(g, v, &hints.partition)
+    }
+
+    fn snapshot_hints(
+        &self,
+        hints: &MethodHints,
+        w: &mut spnet_store::SnapshotWriter,
+    ) -> Result<(), SnapshotError> {
+        let MethodHints::Hyp {
+            hints: h,
+            hyper_signed,
+            cell_dir_signed,
+        } = hints
+        else {
+            return Err(SnapshotError::Corrupt("HYP hints expected"));
+        };
+        let mut e = Encoder::new();
+        e.put_u32(h.partition.side());
+        e.put_u32(cell_dir_signed.meta.fanout);
+        e.put_f64(h.build_seconds);
+        e.put_u64(h.hyper_tree.as_ref().map_or(0, |t| t.len() as u64));
+        e.put_u64(h.cell_dir.len() as u64);
+        w.blob(snapshot::SEC_HYP_CONFIG, e.bytes())?;
+        w.blob(
+            snapshot::SEC_HYP_HYPER_SIGNED,
+            &snapshot::encode_signed_root(hyper_signed),
+        )?;
+        w.blob(
+            snapshot::SEC_HYP_DIR_SIGNED,
+            &snapshot::encode_signed_root(cell_dir_signed),
+        )?;
+        if let Some(t) = &h.hyper_tree {
+            snapshot::write_btree(
+                w,
+                t,
+                snapshot::SEC_HYP_HYPER_ENTRIES,
+                snapshot::SEC_HYP_HYPER_KEYS,
+                snapshot::SEC_HYP_HYPER_TREE,
+            )?;
+        }
+        snapshot::write_btree(
+            w,
+            &h.cell_dir,
+            snapshot::SEC_HYP_DIR_ENTRIES,
+            snapshot::SEC_HYP_DIR_KEYS,
+            snapshot::SEC_HYP_DIR_TREE,
+        )
+    }
+
+    fn load_hints(
+        &self,
+        g: &Graph,
+        store: &spnet_store::NodeStore,
+    ) -> Result<MethodHints, SnapshotError> {
+        let cfg = store.blob(snapshot::SEC_HYP_CONFIG)?;
+        let mut d = Decoder::new(&cfg);
+        let side = d.take_u32()?;
+        let fanout = d.take_u32()? as usize;
+        let build_seconds = d.take_f64()?;
+        let hyper_len = d.take_u64()? as usize;
+        let dir_len = d.take_u64()? as usize;
+        d.finish()?;
+        if side == 0 || fanout < 2 {
+            return Err(SnapshotError::Corrupt("HYP config out of range"));
+        }
+
+        let hyper_signed =
+            snapshot::decode_signed_root(&store.blob(snapshot::SEC_HYP_HYPER_SIGNED)?)?;
+        let cell_dir_signed =
+            snapshot::decode_signed_root(&store.blob(snapshot::SEC_HYP_DIR_SIGNED)?)?;
+        if hyper_signed.meta.tag != AdsTag::HyperEdges
+            || cell_dir_signed.meta.tag != AdsTag::CellDirectory
+        {
+            return Err(SnapshotError::Corrupt(
+                "HYP signed root carries a foreign tag",
+            ));
+        }
+        if hyper_signed.meta.fanout as usize != fanout
+            || cell_dir_signed.meta.fanout as usize != fanout
+        {
+            return Err(SnapshotError::Corrupt("HYP fanout contradicts signed meta"));
+        }
+
+        // The partition is a deterministic function of the graph and
+        // grid side; the border flags it yields are cross-checked by
+        // the authenticated tuples at verification time.
+        let partition = GridPartition::build(g, side);
+
+        let hyper_tree = if hyper_len == 0 {
+            if hyper_signed.meta.leaf_count != 0
+                || hyper_signed.root != spnet_crypto::digest::Digest::ZERO
+            {
+                return Err(SnapshotError::Corrupt(
+                    "empty hyper tree contradicts its signed root",
+                ));
+            }
+            None
+        } else {
+            let t = snapshot::load_btree(
+                store,
+                hyper_len,
+                fanout,
+                snapshot::SEC_HYP_HYPER_ENTRIES,
+                snapshot::SEC_HYP_HYPER_KEYS,
+                snapshot::SEC_HYP_HYPER_TREE,
+            )?;
+            if hyper_signed.meta.leaf_count != t.len() as u64 || hyper_signed.root != t.root() {
+                return Err(SnapshotError::Corrupt(
+                    "HYP hyper root does not match loaded tree",
+                ));
+            }
+            Some(t)
+        };
+
+        let cell_dir = snapshot::load_btree(
+            store,
+            dir_len,
+            fanout,
+            snapshot::SEC_HYP_DIR_ENTRIES,
+            snapshot::SEC_HYP_DIR_KEYS,
+            snapshot::SEC_HYP_DIR_TREE,
+        )?;
+        if cell_dir_signed.meta.leaf_count != cell_dir.len() as u64
+            || cell_dir_signed.root != cell_dir.root()
+        {
+            return Err(SnapshotError::Corrupt(
+                "HYP directory root does not match loaded tree",
+            ));
+        }
+        if cell_dir.len() != partition.num_cells() {
+            return Err(SnapshotError::Corrupt("cell directory size mismatch"));
+        }
+
+        Ok(MethodHints::Hyp {
+            hints: HypHints {
+                partition,
+                hyper_tree,
+                cell_dir,
+                build_seconds,
+            },
+            hyper_signed,
+            cell_dir_signed,
+        })
     }
 
     fn prove(

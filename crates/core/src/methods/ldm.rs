@@ -8,10 +8,12 @@
 //! with the compressed lower bound (Lemmas 3–4) and checks the optimum.
 
 use crate::batch::{AuxContext, BatchAux, BatchVerifyState};
+use crate::enc::{DecodeError, Decoder, Encoder};
 use crate::error::{ProviderError, VerifyError};
 use crate::methods::{AuthMethod, LdmConfig, MethodConfig, MethodParams, TupleMap, VerifyCtx};
 use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
+use crate::snapshot::{self, SnapshotError};
 use crate::tuple::{ExtendedTuple, PsiPayload};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::landmark::{
@@ -77,6 +79,94 @@ impl AuthMethod for LdmMethod {
             unreachable!("LdmMethod dispatched with non-LDM hints");
         };
         ExtendedTuple::with_psi(g, v, &h.vectors)
+    }
+
+    fn snapshot_hints(
+        &self,
+        hints: &MethodHints,
+        w: &mut spnet_store::SnapshotWriter,
+    ) -> Result<(), SnapshotError> {
+        let MethodHints::Ldm(h) = hints else {
+            return Err(SnapshotError::Corrupt("LDM hints expected"));
+        };
+        let cv = &h.vectors;
+        let c = cv.num_landmarks();
+        let mut e = Encoder::new();
+        e.put_f64(cv.lambda());
+        e.put_f64(cv.xi());
+        e.put_u64(c as u64);
+        e.put_u8(cv.bits());
+        e.put_u64(cv.num_nodes() as u64);
+        for v in 0..cv.num_nodes() as u32 {
+            match cv.node_psi(NodeId(v)) {
+                NodePsi::Full(q) => {
+                    e.put_u8(0);
+                    for &x in q {
+                        e.put_u32(x);
+                    }
+                }
+                NodePsi::Compressed { theta, eps } => {
+                    e.put_u8(1);
+                    e.put_u32(theta.0);
+                    e.put_f64(*eps);
+                }
+            }
+        }
+        w.blob(snapshot::SEC_LDM_VECTORS, e.bytes())?;
+        let mut b = Encoder::new();
+        b.put_f64(h.build_seconds);
+        w.blob(snapshot::SEC_LDM_BUILD, b.bytes())?;
+        Ok(())
+    }
+
+    fn load_hints(
+        &self,
+        g: &Graph,
+        store: &spnet_store::NodeStore,
+    ) -> Result<MethodHints, SnapshotError> {
+        let bytes = store.blob(snapshot::SEC_LDM_VECTORS)?;
+        let mut d = Decoder::new(&bytes);
+        let lambda = d.take_f64()?;
+        let xi = d.take_f64()?;
+        let c = d.take_u64()? as usize;
+        let bits = d.take_u8()?;
+        let n = d.take_u64()? as usize;
+        if n != g.num_nodes() {
+            return Err(SnapshotError::Corrupt("LDM vector count mismatch"));
+        }
+        if c == 0 || c > n {
+            return Err(SnapshotError::Corrupt("LDM landmark count out of range"));
+        }
+        let mut psi = Vec::with_capacity(n);
+        for _ in 0..n {
+            match d.take_u8()? {
+                0 => {
+                    let mut q = Vec::with_capacity(c);
+                    for _ in 0..c {
+                        q.push(d.take_u32()?);
+                    }
+                    psi.push(NodePsi::Full(q));
+                }
+                1 => {
+                    let theta = NodeId(d.take_u32()?);
+                    let eps = d.take_f64()?;
+                    psi.push(NodePsi::Compressed { theta, eps });
+                }
+                t => return Err(SnapshotError::Decode(DecodeError::BadTag(t))),
+            }
+        }
+        d.finish()?;
+        let vectors = CompressedVectors::from_parts(lambda, psi, xi, c, bits).ok_or(
+            SnapshotError::Corrupt("LDM vectors fail structural validation"),
+        )?;
+        let build_bytes = store.blob(snapshot::SEC_LDM_BUILD)?;
+        let mut bd = Decoder::new(&build_bytes);
+        let build_seconds = bd.take_f64()?;
+        bd.finish()?;
+        Ok(MethodHints::Ldm(LdmHints {
+            vectors,
+            build_seconds,
+        }))
     }
 
     fn prove(

@@ -162,6 +162,32 @@ pub trait AuthMethod: Send + Sync {
         false
     }
 
+    // ---- persistence ---------------------------------------------------
+
+    /// Writes this method's hint sections into a snapshot (see
+    /// [`crate::snapshot`] for the section-id map). Signed auxiliary
+    /// roots are persisted as their canonical bytes — the owner signs
+    /// nothing here. The default writes nothing (DIJ has no hints).
+    fn snapshot_hints(
+        &self,
+        _hints: &MethodHints,
+        _w: &mut spnet_store::SnapshotWriter,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Ok(())
+    }
+
+    /// Reconstructs this method's hints from a snapshot **without any
+    /// signing**: persisted signed roots are decoded and checked
+    /// structurally against the loaded trees. The caller
+    /// ([`crate::snapshot::load_package`]) RSA-verifies every root
+    /// returned through [`MethodHints::aux_roots`] against the
+    /// persisted owner key.
+    fn load_hints(
+        &self,
+        g: &Graph,
+        store: &spnet_store::NodeStore,
+    ) -> Result<MethodHints, crate::snapshot::SnapshotError>;
+
     // ---- provider side -------------------------------------------------
 
     /// Algorithm 1, lines 2–3: assembles ΓS for one query and returns

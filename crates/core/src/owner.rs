@@ -50,6 +50,11 @@ pub struct ProviderPackage {
 }
 
 /// Method-specific authenticated hints held by the provider.
+///
+/// One instance lives per shard for the lifetime of the provider, so
+/// the size spread between the empty `Dij` variant and the hint-heavy
+/// ones is irrelevant in practice.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum MethodHints {
     /// DIJ needs none.
@@ -118,6 +123,33 @@ pub struct Published {
     /// (the Figures 8c / 9b / 12b / 13b metric; excludes key
     /// generation, includes ADS hashing and all hint computation).
     pub construction_seconds: f64,
+}
+
+impl Published {
+    /// Persists this epoch into `dir` (see [`crate::snapshot`]): one
+    /// page-aligned snapshot file holding the graph, the owner public
+    /// key, every signed root, the tuples, the Merkle levels and the
+    /// method hints. Signs nothing — the publish-time signatures are
+    /// persisted as bytes. Returns the snapshot file's path.
+    pub fn save_snapshot(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<std::path::PathBuf, crate::snapshot::SnapshotError> {
+        crate::snapshot::save_package(self, dir)
+    }
+}
+
+impl ProviderPackage {
+    /// Cold-starts a provider package from a snapshot directory
+    /// written by [`Published::save_snapshot`] — **zero RSA signing**;
+    /// every persisted signed root is re-verified against the
+    /// persisted owner key. See [`crate::snapshot::load_package`].
+    pub fn load_snapshot(
+        dir: &std::path::Path,
+        backend: spnet_store::StoreBackend,
+    ) -> Result<crate::snapshot::LoadedSnapshot, crate::snapshot::SnapshotError> {
+        crate::snapshot::load_package(dir, backend)
+    }
 }
 
 /// The data owner role.

@@ -157,6 +157,11 @@ struct Shard {
     state: Arc<RwLock<ServiceState>>,
     code: u8,
     key_range: Option<(u32, u32)>,
+    /// The snapshot file backing this shard, when it was registered
+    /// through [`SpServiceBuilder::snapshot`] /
+    /// [`SpServiceBuilder::snapshot_chunks`] — the source for
+    /// [`SpService::export_chunks`].
+    snapshot_path: Option<std::path::PathBuf>,
 }
 
 struct ServiceInner {
@@ -223,8 +228,52 @@ impl SpServiceBuilder {
             state: Arc::new(RwLock::new(ServiceState { provider, epoch: 0 })),
             code,
             key_range: None,
+            snapshot_path: None,
         });
         self
+    }
+
+    /// Registers a shard **cold-started from a snapshot directory**
+    /// written by [`crate::owner::Published::save_snapshot`]. Loading
+    /// performs zero RSA signing; every persisted signed root is
+    /// re-verified against the persisted owner key. The shard remembers
+    /// its snapshot file, so [`SpService::export_chunks`] can stream it
+    /// to a booting replica.
+    pub fn snapshot(
+        mut self,
+        dir: &std::path::Path,
+        backend: spnet_store::StoreBackend,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let loaded = crate::snapshot::load_package(dir, backend)?;
+        self = self.package(loaded.package);
+        self.shards.last_mut().expect("just pushed").snapshot_path =
+            Some(dir.join(crate::snapshot::SNAPSHOT_FILE));
+        Ok(self)
+    }
+
+    /// Registers a shard bootstrapped from **chunked snapshot frames**
+    /// exported by a live provider ([`SpService::export_chunks`]): the
+    /// frames are reassembled into `dir` (ordering and whole-file
+    /// checksum enforced), then loaded exactly like
+    /// [`Self::snapshot`].
+    pub fn snapshot_chunks(
+        self,
+        frames: &[Vec<u8>],
+        dir: &std::path::Path,
+        backend: spnet_store::StoreBackend,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        std::fs::create_dir_all(dir)?;
+        let mut asm = spnet_store::ChunkAssembler::new(dir.join(crate::snapshot::SNAPSHOT_FILE));
+        for frame in frames {
+            asm.feed(frame)
+                .map_err(crate::snapshot::SnapshotError::Store)?;
+        }
+        if !asm.is_done() {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "chunk transfer ended before the End frame verified",
+            ));
+        }
+        self.snapshot(dir, backend)
     }
 
     /// Registers a package as a shard owning the **inclusive** node-id
@@ -312,6 +361,30 @@ impl SpService {
     /// Number of registered shards.
     pub fn shard_count(&self) -> usize {
         self.inner.shards.len()
+    }
+
+    /// Exports shard `shard`'s backing snapshot as encoded
+    /// [`spnet_store::StoreChunk`] frames of `chunk_len` payload bytes,
+    /// ready to ship to a replica
+    /// ([`SpServiceBuilder::snapshot_chunks`]). Only shards registered
+    /// from a snapshot can export; errors typed otherwise.
+    pub fn export_chunks(
+        &self,
+        shard: usize,
+        chunk_len: usize,
+    ) -> Result<Vec<Vec<u8>>, crate::snapshot::SnapshotError> {
+        let s = self
+            .inner
+            .shards
+            .get(shard)
+            .ok_or(crate::snapshot::SnapshotError::Corrupt("no such shard"))?;
+        let path = s
+            .snapshot_path
+            .as_ref()
+            .ok_or(crate::snapshot::SnapshotError::Corrupt(
+                "shard is not snapshot-backed",
+            ))?;
+        Ok(spnet_store::chunk_file(path, chunk_len)?)
     }
 
     /// Selects a different shortest-path algorithm for future answers

@@ -1,0 +1,507 @@
+//! Snapshot persistence: publish once, restart without re-signing.
+//!
+//! The ICDE 2010 protocol implicitly assumes the provider rebuilds —
+//! and the owner re-signs — every authenticated structure at startup.
+//! This module removes that assumption: [`save_package`] persists a
+//! [`Published`] epoch into a single page-aligned snapshot file
+//! (`spnet-store` format), and [`load_package`] reconstructs a
+//! serving-ready [`ProviderPackage`] from it with **zero RSA signing
+//! operations** — the owner's original signatures are decoded from
+//! their persisted bytes and re-verified against the loaded
+//! structures.
+//!
+//! Two load backends (see [`StoreBackend`]):
+//!
+//! * `Mem` — every section read and integrity-verified at open; the
+//!   dense in-memory trees are rebuilt from their persisted leaves, so
+//!   the result is bit-identical to a freshly built provider.
+//! * `File` — Merkle levels and B-tree entry arrays stay on disk and
+//!   fault in page by page; a proof touches only the pages on its
+//!   path. Proof bytes are identical to the `Mem` backend.
+//!
+//! Trust layering: the store verifies *storage* integrity (per-section
+//! and per-page digests). This module then (i) checks every loaded
+//! tree structurally against its persisted [`SignedRoot`] and (ii)
+//! RSA-verifies every signed root against the persisted owner public
+//! key. A tampered snapshot therefore fails with a typed
+//! [`SnapshotError`] at load — it can never serve verifying proofs.
+
+use crate::ads::{AdsTag, NetworkAds, SignedRoot};
+use crate::enc::{DecodeError, Decoder, Encoder};
+use crate::methods::MethodParams;
+use crate::owner::{ProviderPackage, Published};
+use crate::tuple::ExtendedTuple;
+use crate::wire::{put_signed_root, take_signed_root};
+use spnet_crypto::digest::{Digest, DIGEST_LEN};
+use spnet_crypto::mbtree::{KeyedEntry, MbTreeError, MerkleBTree};
+use spnet_crypto::merkle::{MerkleError, MerkleTree};
+use spnet_crypto::pager::{DigestPager, EntryPager};
+use spnet_crypto::rsa::RsaPublicKey;
+use spnet_graph::io::{graph_from_bytes, graph_to_bytes, IoError};
+use spnet_graph::NodeId;
+use spnet_store::{
+    EntryPageSource, NodeStore, PageSource, SnapshotWriter, StoreBackend, StoreError, TreePager,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the snapshot inside its directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.spnet";
+
+/// Digests per page of a persisted Merkle level (128 × 32 B = 4 KiB).
+pub const PAGE_DIGESTS: usize = 128;
+
+/// [`KeyedEntry`] records per page of a persisted B-tree entry array
+/// (256 × 16 B = 4 KiB).
+pub const PAGE_ENTRIES: usize = 256;
+
+// ---- section id map -------------------------------------------------------
+// Shared by every method module; blobs unless noted. Tree sections are
+// one paged section per Merkle level, leaf level first.
+
+/// The graph, in the `spnet-graph` text format (bit-exact round trip).
+pub const SEC_GRAPH: u16 = 0x0001;
+/// The owner's RSA public key.
+pub const SEC_PUBKEY: u16 = 0x0002;
+/// The signed network root (canonical wire encoding).
+pub const SEC_NET_SIGNED: u16 = 0x0003;
+/// The leaf ordering `O`: leaf position → node id, packed `u32` LE.
+pub const SEC_NET_ORDER: u16 = 0x0004;
+/// The extended tuples, node-id order, canonical encoding.
+pub const SEC_NET_TUPLES: u16 = 0x0005;
+/// Network Merkle tree levels (paged): `SEC_NET_TREE + level`.
+pub const SEC_NET_TREE: u16 = 0x0100;
+
+/// FULL: the signed distance-tree root.
+pub const SEC_FULL_SIGNED: u16 = 0x0010;
+/// FULL: row roots, packed digests (paged).
+pub const SEC_FULL_ROWROOTS: u16 = 0x0011;
+/// FULL: fanout, build stats, matrix mode.
+pub const SEC_FULL_CONFIG: u16 = 0x0012;
+/// FULL (Floyd–Warshall mode only): the raw distance matrix, row-major
+/// `f64` LE (paged). Persisted because FW and Dijkstra produce
+/// different bit patterns, and row digests hash the exact bits.
+pub const SEC_FULL_MATRIX: u16 = 0x0014;
+
+/// LDM: λ, ξ, c, b and the (compressed) landmark vectors.
+pub const SEC_LDM_VECTORS: u16 = 0x0020;
+/// LDM: owner-side build seconds.
+pub const SEC_LDM_BUILD: u16 = 0x0021;
+
+/// HYP: grid side, tree fanout, geometry, build seconds.
+pub const SEC_HYP_CONFIG: u16 = 0x0030;
+/// HYP: the signed hyper-edge root.
+pub const SEC_HYP_HYPER_SIGNED: u16 = 0x0031;
+/// HYP: the signed cell-directory root.
+pub const SEC_HYP_DIR_SIGNED: u16 = 0x0032;
+/// HYP: hyper-edge B-tree first-keys (packed `u64` LE).
+pub const SEC_HYP_HYPER_KEYS: u16 = 0x0033;
+/// HYP: cell-directory B-tree first-keys (packed `u64` LE).
+pub const SEC_HYP_DIR_KEYS: u16 = 0x0034;
+/// HYP: hyper-edge B-tree entries, packed 16-byte records (paged).
+pub const SEC_HYP_HYPER_ENTRIES: u16 = 0x0035;
+/// HYP: cell-directory B-tree entries, packed 16-byte records (paged).
+pub const SEC_HYP_DIR_ENTRIES: u16 = 0x0036;
+/// HYP: hyper-edge tree levels (paged): `SEC_HYP_HYPER_TREE + level`.
+pub const SEC_HYP_HYPER_TREE: u16 = 0x0300;
+/// HYP: cell-directory tree levels (paged): `SEC_HYP_DIR_TREE + level`.
+pub const SEC_HYP_DIR_TREE: u16 = 0x0400;
+
+/// Why a snapshot save or load failed. Loads fail typed — a corrupted
+/// or tampered snapshot never panics and never serves.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Storage layer (header, table, section or page integrity).
+    Store(StoreError),
+    /// A persisted structure failed canonical decoding.
+    Decode(DecodeError),
+    /// Merkle tree reconstruction or paged open failed.
+    Merkle(MerkleError),
+    /// Merkle B-tree reconstruction or paged open failed.
+    MbTree(MbTreeError),
+    /// The persisted graph text failed to parse.
+    Graph(IoError),
+    /// Filesystem error outside the store itself.
+    Io(std::io::Error),
+    /// An owner signature failed against the persisted public key.
+    BadSignature(&'static str),
+    /// Loaded structures are inconsistent with each other or with
+    /// their signed metadata.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Store(e) => write!(f, "snapshot store: {e}"),
+            SnapshotError::Decode(e) => write!(f, "snapshot decode: {e}"),
+            SnapshotError::Merkle(e) => write!(f, "snapshot merkle: {e}"),
+            SnapshotError::MbTree(e) => write!(f, "snapshot b-tree: {e}"),
+            SnapshotError::Graph(e) => write!(f, "snapshot graph: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::BadSignature(what) => {
+                write!(f, "snapshot signature check failed: {what}")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "snapshot inconsistent: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<StoreError> for SnapshotError {
+    fn from(e: StoreError) -> Self {
+        SnapshotError::Store(e)
+    }
+}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl From<MerkleError> for SnapshotError {
+    fn from(e: MerkleError) -> Self {
+        SnapshotError::Merkle(e)
+    }
+}
+
+impl From<MbTreeError> for SnapshotError {
+    fn from(e: MbTreeError) -> Self {
+        SnapshotError::MbTree(e)
+    }
+}
+
+impl From<IoError> for SnapshotError {
+    fn from(e: IoError) -> Self {
+        SnapshotError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+// ---- shared codec helpers -------------------------------------------------
+
+/// Canonical bytes of a [`SignedRoot`] (the proof wire codec).
+pub(crate) fn encode_signed_root(s: &SignedRoot) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_signed_root(&mut e, s);
+    e.into_bytes()
+}
+
+/// Inverse of [`encode_signed_root`]; rejects trailing bytes.
+pub(crate) fn decode_signed_root(bytes: &[u8]) -> Result<SignedRoot, SnapshotError> {
+    let mut d = Decoder::new(bytes);
+    let s = take_signed_root(&mut d)?;
+    d.finish()?;
+    Ok(s)
+}
+
+/// Packs digests into their on-disk byte layout.
+pub(crate) fn digests_to_bytes(digests: &[Digest]) -> Vec<u8> {
+    digests.iter().flat_map(|d| *d.as_bytes()).collect()
+}
+
+/// Inverse of [`digests_to_bytes`].
+pub(crate) fn digests_from_bytes(bytes: &[u8]) -> Result<Vec<Digest>, SnapshotError> {
+    if !bytes.len().is_multiple_of(DIGEST_LEN) {
+        return Err(SnapshotError::Corrupt(
+            "digest array length is not a multiple of the digest size",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(DIGEST_LEN)
+        .map(|c| Digest(c.try_into().expect("chunk is digest-sized")))
+        .collect())
+}
+
+/// Number of Merkle levels (leaves included) for `leaf_count` leaves.
+fn tree_height(leaf_count: usize, fanout: usize) -> usize {
+    let mut n = leaf_count.max(1);
+    let mut h = 1;
+    while n > 1 {
+        n = n.div_ceil(fanout.max(2));
+        h += 1;
+    }
+    h
+}
+
+/// Writes a dense Merkle tree as one paged section per level
+/// (`base + level`, leaf level first).
+pub(crate) fn write_tree(
+    w: &mut SnapshotWriter,
+    base: u16,
+    tree: &MerkleTree,
+) -> Result<(), SnapshotError> {
+    let levels = tree
+        .dense_levels()
+        .ok_or(SnapshotError::Corrupt("cannot snapshot a paged tree"))?;
+    for (l, level) in levels.iter().enumerate() {
+        w.paged(
+            base + l as u16,
+            &digests_to_bytes(level),
+            PAGE_DIGESTS * DIGEST_LEN,
+        )?;
+    }
+    Ok(())
+}
+
+/// Loads a tree written by [`write_tree`] **lazily**: pages fault in
+/// through the store on demand (the root page loads now). Use
+/// [`load_tree_dense`] for the eager path.
+pub(crate) fn load_tree_paged(
+    store: &NodeStore,
+    base: u16,
+    leaf_count: usize,
+    fanout: usize,
+) -> Result<MerkleTree, SnapshotError> {
+    let height = tree_height(leaf_count, fanout);
+    let mut levels: Vec<PageSource> = Vec::with_capacity(height);
+    for l in 0..height {
+        levels.push(store.page_source(base + l as u16)?);
+    }
+    let pager = Arc::new(TreePager::new(levels)) as Arc<dyn DigestPager>;
+    Ok(MerkleTree::open_paged(
+        pager,
+        leaf_count,
+        fanout,
+        PAGE_DIGESTS,
+    )?)
+}
+
+/// Writes a dense Merkle B-tree: packed entry records (paged), the
+/// per-page first keys (blob), and the digest tree levels.
+pub(crate) fn write_btree(
+    w: &mut SnapshotWriter,
+    bt: &MerkleBTree,
+    entries_id: u16,
+    keys_id: u16,
+    tree_base: u16,
+) -> Result<(), SnapshotError> {
+    let entries = bt
+        .dense_entries()
+        .ok_or(SnapshotError::Corrupt("cannot snapshot a paged B-tree"))?;
+    let entry_bytes: Vec<u8> = entries.iter().flat_map(|e| e.encode()).collect();
+    w.paged(entries_id, &entry_bytes, PAGE_ENTRIES * 16)?;
+    let key_bytes: Vec<u8> = entries
+        .chunks(PAGE_ENTRIES)
+        .flat_map(|c| c[0].key.to_le_bytes())
+        .collect();
+    w.blob(keys_id, &key_bytes)?;
+    write_tree(w, tree_base, bt.tree())
+}
+
+/// Loads a B-tree written by [`write_btree`]. On a lazy store the
+/// entry array and tree levels stay on disk (page faults on access);
+/// on a resident store the dense B-tree is rebuilt from its entries.
+pub(crate) fn load_btree(
+    store: &NodeStore,
+    len: usize,
+    fanout: usize,
+    entries_id: u16,
+    keys_id: u16,
+    tree_base: u16,
+) -> Result<MerkleBTree, SnapshotError> {
+    if store.is_lazy() {
+        let tree = load_tree_paged(store, tree_base, len, fanout)?;
+        let key_bytes = store.blob(keys_id)?;
+        if key_bytes.len() % 8 != 0 || key_bytes.len() / 8 != len.div_ceil(PAGE_ENTRIES) {
+            return Err(SnapshotError::Corrupt("first-keys array length mismatch"));
+        }
+        let first_keys: Vec<u64> = key_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect();
+        let pager =
+            Arc::new(EntryPageSource(store.page_source(entries_id)?)) as Arc<dyn EntryPager>;
+        Ok(MerkleBTree::open_paged(
+            pager,
+            len,
+            PAGE_ENTRIES,
+            first_keys,
+            tree,
+        )?)
+    } else {
+        let bytes = store.paged_all(entries_id)?;
+        if bytes.len() != len * 16 {
+            return Err(SnapshotError::Corrupt("entry array length mismatch"));
+        }
+        let entries: Vec<KeyedEntry> = bytes
+            .chunks_exact(16)
+            .map(|c| KeyedEntry::decode(c.try_into().expect("chunk is 16 bytes")))
+            .collect();
+        Ok(MerkleBTree::build(entries, fanout)?)
+    }
+}
+
+// ---- save -----------------------------------------------------------------
+
+/// Persists a published epoch into `dir/`[`SNAPSHOT_FILE`].
+///
+/// Everything a provider needs to cold-start — graph, owner public
+/// key, signed roots, tuples, Merkle levels, method hints — lands in
+/// one snapshot file; returns its path. The owner signs **nothing**
+/// here: the signatures made at publish time are persisted as bytes.
+pub fn save_package(published: &Published, dir: &Path) -> Result<PathBuf, SnapshotError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(SNAPSHOT_FILE);
+    let pkg = &published.package;
+    let n = pkg.ads.leaf_count();
+
+    let mut w = SnapshotWriter::create(&path)?;
+    w.blob(SEC_GRAPH, &graph_to_bytes(&pkg.graph))?;
+    w.blob(SEC_PUBKEY, &published.public_key.to_bytes())?;
+    w.blob(SEC_NET_SIGNED, &encode_signed_root(&pkg.network_root))?;
+
+    let order_bytes: Vec<u8> = pkg
+        .ads
+        .order()
+        .iter()
+        .flat_map(|v| v.0.to_le_bytes())
+        .collect();
+    w.blob(SEC_NET_ORDER, &order_bytes)?;
+
+    let mut e = Encoder::new();
+    e.put_u64(n as u64);
+    for v in 0..n as u32 {
+        pkg.ads.tuple(NodeId(v)).encode(&mut e);
+    }
+    w.blob(SEC_NET_TUPLES, e.bytes())?;
+
+    write_tree(&mut w, SEC_NET_TREE, pkg.ads.tree())?;
+    pkg.hints.method().snapshot_hints(&pkg.hints, &mut w)?;
+    w.finish()?;
+    Ok(path)
+}
+
+// ---- load -----------------------------------------------------------------
+
+/// A provider package reconstructed from a snapshot — plus the
+/// persisted owner public key and the backing store (kept for fault
+/// accounting and chunk export).
+pub struct LoadedSnapshot {
+    /// Serving-ready package, signature-verified against `public_key`.
+    pub package: ProviderPackage,
+    /// The owner public key persisted at save time.
+    pub public_key: RsaPublicKey,
+    /// The open store (fault counters live here on the `File` backend).
+    pub store: NodeStore,
+}
+
+/// Loads `dir/`[`SNAPSHOT_FILE`] into a serving-ready package.
+///
+/// Performs **zero RSA signing operations**. Every persisted signed
+/// root is (i) structurally checked against the loaded structure it
+/// authenticates and (ii) RSA-verified against the persisted owner
+/// public key, so a snapshot that was tampered with — even one whose
+/// storage digests were consistently recomputed — fails typed here.
+pub fn load_package(dir: &Path, backend: StoreBackend) -> Result<LoadedSnapshot, SnapshotError> {
+    let store = NodeStore::open(&dir.join(SNAPSHOT_FILE), backend)?;
+
+    let graph = graph_from_bytes(&store.blob(SEC_GRAPH)?)?;
+    let public_key = RsaPublicKey::from_bytes(&store.blob(SEC_PUBKEY)?)
+        .ok_or(SnapshotError::Corrupt("undecodable owner public key"))?;
+    let network_root = decode_signed_root(&store.blob(SEC_NET_SIGNED)?)?;
+    if network_root.meta.tag != AdsTag::Network {
+        return Err(SnapshotError::Corrupt("network root carries a foreign tag"));
+    }
+
+    let order_bytes = store.blob(SEC_NET_ORDER)?;
+    if order_bytes.len() % 4 != 0 {
+        return Err(SnapshotError::Corrupt("ragged order array"));
+    }
+    let order: Vec<NodeId> = order_bytes
+        .chunks_exact(4)
+        .map(|c| NodeId(u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes"))))
+        .collect();
+
+    let tuple_bytes = store.blob(SEC_NET_TUPLES)?;
+    let mut d = Decoder::new(&tuple_bytes);
+    let count = d.take_u64()? as usize;
+    if count != graph.num_nodes() || count != order.len() {
+        return Err(SnapshotError::Corrupt("tuple count mismatch"));
+    }
+    let mut tuples = Vec::with_capacity(count);
+    for i in 0..count {
+        let t = ExtendedTuple::decode(&mut d)?;
+        if t.id != NodeId(i as u32) {
+            return Err(SnapshotError::Corrupt("tuples out of node-id order"));
+        }
+        tuples.push(Arc::new(t));
+    }
+    d.finish()?;
+
+    let fanout = network_root.meta.fanout as usize;
+    if fanout < 2 {
+        return Err(SnapshotError::Corrupt("network fanout below 2"));
+    }
+    let tree = if store.is_lazy() {
+        load_tree_paged(&store, SEC_NET_TREE, count, fanout)?
+    } else {
+        // Rebuild from the authenticated tuples themselves: hashing
+        // the ordered tuple digests reproduces the exact tree the
+        // owner built (and cross-checks tuples against the root).
+        let leaves: Vec<Digest> = order.iter().map(|v| tuples[v.index()].digest()).collect();
+        MerkleTree::build(leaves, fanout)?
+    };
+
+    let ads = NetworkAds::from_parts(order, tuples, tree)
+        .ok_or(SnapshotError::Corrupt("inconsistent network ADS parts"))?;
+    if network_root.meta.leaf_count != ads.leaf_count() as u64 {
+        return Err(SnapshotError::Corrupt("network leaf count mismatch"));
+    }
+    if network_root.root != ads.root() {
+        return Err(SnapshotError::Corrupt(
+            "network root does not match loaded tree",
+        ));
+    }
+    if !network_root.verify(&public_key) {
+        return Err(SnapshotError::BadSignature("network root"));
+    }
+
+    let params = MethodParams::decode(&network_root.meta.params)?;
+    let method = params.method();
+    let hints = method.load_hints(&graph, &store)?;
+    for root in hints.aux_roots() {
+        if !root.verify(&public_key) {
+            return Err(SnapshotError::BadSignature("auxiliary root"));
+        }
+    }
+
+    Ok(LoadedSnapshot {
+        package: ProviderPackage {
+            graph,
+            ads,
+            network_root,
+            hints,
+        },
+        public_key,
+        store,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_height_matches_level_chain() {
+        assert_eq!(tree_height(1, 2), 1);
+        assert_eq!(tree_height(2, 2), 2);
+        assert_eq!(tree_height(300, 4), 6); // 300,75,19,5,2,1
+        assert_eq!(tree_height(81, 3), 5); // 81,27,9,3,1
+    }
+
+    #[test]
+    fn digest_bytes_round_trip() {
+        let ds: Vec<Digest> = (0u8..5).map(|i| Digest([i; DIGEST_LEN])).collect();
+        let bytes = digests_to_bytes(&ds);
+        assert_eq!(digests_from_bytes(&bytes).unwrap(), ds);
+        assert!(digests_from_bytes(&bytes[..DIGEST_LEN + 1]).is_err());
+    }
+}

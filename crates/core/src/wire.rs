@@ -295,7 +295,7 @@ fn take_merkle(d: &mut Decoder<'_>) -> Result<MerkleProof, DecodeError> {
     })
 }
 
-fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
+pub(crate) fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
     put_digest(e, &s.root);
     e.put_u8(match s.meta.tag {
         AdsTag::Network => 1,
@@ -309,7 +309,7 @@ fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
     e.put_bytes(s.signature.as_bytes());
 }
 
-fn take_signed_root(d: &mut Decoder<'_>) -> Result<SignedRoot, DecodeError> {
+pub(crate) fn take_signed_root(d: &mut Decoder<'_>) -> Result<SignedRoot, DecodeError> {
     let root = take_digest(d)?;
     let tag = match d.take_u8()? {
         1 => AdsTag::Network,

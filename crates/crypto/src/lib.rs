@@ -45,6 +45,7 @@ pub mod bigint;
 pub mod digest;
 pub mod mbtree;
 pub mod merkle;
+pub mod pager;
 pub mod prime;
 pub mod rsa;
 pub mod sha256;

@@ -12,7 +12,9 @@
 
 use crate::digest::{hash_bytes, Digest};
 use crate::merkle::{MerkleError, MerkleProof, MerkleTree};
-use std::collections::BTreeSet;
+use crate::pager::EntryPager;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// A `(composite key, f64 value)` tuple as materialized by the owner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +37,16 @@ impl KeyedEntry {
     /// Digest binding key and value.
     pub fn digest(&self) -> Digest {
         hash_bytes(&self.encode())
+    }
+
+    /// Inverse of [`KeyedEntry::encode`].
+    pub fn decode(bytes: [u8; 16]) -> KeyedEntry {
+        let key = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let bits = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+        KeyedEntry {
+            key,
+            value: f64::from_bits(bits),
+        }
     }
 }
 
@@ -126,10 +138,27 @@ impl KeyedProof {
     }
 }
 
+/// Physical representation of the sorted entry array.
+#[derive(Debug, Clone)]
+enum EntryRepr {
+    /// All entries resident (the historical layout).
+    Dense(Vec<KeyedEntry>),
+    /// Entries faulted in page-by-page from a backing store. The first
+    /// key of each page is kept resident so a lookup binary-searches
+    /// the sparse index first and faults exactly one page.
+    Paged {
+        pager: Arc<dyn EntryPager>,
+        len: usize,
+        page_entries: usize,
+        first_keys: Vec<u64>,
+        cache: Vec<OnceLock<Arc<Vec<KeyedEntry>>>>,
+    },
+}
+
 /// The Merkle B-tree: sorted entries + Merkle tree over entry digests.
 #[derive(Debug, Clone)]
 pub struct MerkleBTree {
-    entries: Vec<KeyedEntry>,
+    entries: EntryRepr,
     tree: MerkleTree,
 }
 
@@ -144,7 +173,54 @@ impl MerkleBTree {
         }
         let leaves: Vec<Digest> = entries.iter().map(KeyedEntry::digest).collect();
         let tree = MerkleTree::build(leaves, fanout)?;
-        Ok(MerkleBTree { entries, tree })
+        Ok(MerkleBTree {
+            entries: EntryRepr::Dense(entries),
+            tree,
+        })
+    }
+
+    /// Opens a read-only tree whose entry array and digest levels live
+    /// in a paged backing store. `first_keys[p]` must be the key of the
+    /// first entry of page `p` (saved by the snapshot writer — deriving
+    /// it here would fault every page and defeat laziness). `tree` is
+    /// typically a [`MerkleTree::open_paged`] tree over the entry
+    /// digests.
+    pub fn open_paged(
+        pager: Arc<dyn EntryPager>,
+        len: usize,
+        page_entries: usize,
+        first_keys: Vec<u64>,
+        tree: MerkleTree,
+    ) -> Result<Self, MbTreeError> {
+        if len == 0 {
+            return Err(MbTreeError::Empty);
+        }
+        if page_entries == 0 || first_keys.len() != len.div_ceil(page_entries) {
+            return Err(MbTreeError::Merkle(MerkleError::Page(format!(
+                "bad page geometry: {len} entries, {page_entries} per page, {} first keys",
+                first_keys.len()
+            ))));
+        }
+        if first_keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MbTreeError::UnsortedKeys);
+        }
+        if tree.leaf_count() != len {
+            return Err(MbTreeError::Merkle(MerkleError::Page(format!(
+                "digest tree has {} leaves for {len} entries",
+                tree.leaf_count()
+            ))));
+        }
+        let cache = (0..first_keys.len()).map(|_| OnceLock::new()).collect();
+        Ok(MerkleBTree {
+            entries: EntryRepr::Paged {
+                pager,
+                len,
+                page_entries,
+                first_keys,
+                cache,
+            },
+            tree,
+        })
     }
 
     /// The signed root.
@@ -154,12 +230,15 @@ impl MerkleBTree {
 
     /// Number of materialized entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.entries {
+            EntryRepr::Dense(es) => es.len(),
+            EntryRepr::Paged { len, .. } => *len,
+        }
     }
 
     /// True if the tree holds no entries (unreachable post-`build`).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Tree height (for the O(f·log_f |V|) proof-size analysis).
@@ -167,28 +246,105 @@ impl MerkleBTree {
         self.tree.height()
     }
 
-    /// Looks up a single key.
-    pub fn get(&self, key: u64) -> Option<f64> {
-        self.entries
-            .binary_search_by_key(&key, |e| e.key)
-            .ok()
-            .map(|i| self.entries[i].value)
+    /// The underlying digest tree (its fanout and levels are what the
+    /// snapshot writer persists).
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
     }
 
-    /// Builds a membership proof for a set of keys.
-    pub fn prove_keys(&self, keys: &[u64]) -> Result<KeyedProof, MbTreeError> {
-        let mut positions = BTreeSet::new();
-        for &k in keys {
-            let idx = self
-                .entries
-                .binary_search_by_key(&k, |e| e.key)
-                .map_err(|_| MbTreeError::KeyNotFound(k))?;
-            positions.insert(idx);
+    /// Whether entries resolve lazily from a backing store.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.entries, EntryRepr::Paged { .. })
+    }
+
+    /// The resident entry array — present only for built trees.
+    /// Snapshot writers serialize this.
+    pub fn dense_entries(&self) -> Option<&[KeyedEntry]> {
+        match &self.entries {
+            EntryRepr::Dense(es) => Some(es),
+            EntryRepr::Paged { .. } => None,
         }
-        let merkle = self.tree.prove(positions.iter().copied().collect())?;
+    }
+
+    /// Faults in one entry page (paged repr only).
+    fn entry_page(
+        pager: &Arc<dyn EntryPager>,
+        cache: &[OnceLock<Arc<Vec<KeyedEntry>>>],
+        len: usize,
+        page_entries: usize,
+        page: usize,
+    ) -> Result<Arc<Vec<KeyedEntry>>, MbTreeError> {
+        let slot = &cache[page];
+        if let Some(run) = slot.get() {
+            return Ok(Arc::clone(run));
+        }
+        let run = pager
+            .load_entries(page as u32)
+            .map_err(|e| MbTreeError::Merkle(MerkleError::Page(e.to_string())))?;
+        let expected = (len - page * page_entries).min(page_entries);
+        if run.len() != expected {
+            return Err(MbTreeError::Merkle(MerkleError::Page(format!(
+                "entry page {page}: expected {expected} entries, got {}",
+                run.len()
+            ))));
+        }
+        let _ = slot.set(Arc::new(run));
+        Ok(Arc::clone(slot.get().expect("slot just initialized")))
+    }
+
+    /// Locates `key`, faulting at most one page: returns the global
+    /// position and the entry.
+    fn locate(&self, key: u64) -> Result<(usize, KeyedEntry), MbTreeError> {
+        match &self.entries {
+            EntryRepr::Dense(es) => {
+                let idx = es
+                    .binary_search_by_key(&key, |e| e.key)
+                    .map_err(|_| MbTreeError::KeyNotFound(key))?;
+                Ok((idx, es[idx]))
+            }
+            EntryRepr::Paged {
+                pager,
+                len,
+                page_entries,
+                first_keys,
+                cache,
+            } => {
+                // Last page whose first key is ≤ key holds the only
+                // possible slot.
+                let p = first_keys.partition_point(|&k| k <= key);
+                if p == 0 {
+                    return Err(MbTreeError::KeyNotFound(key));
+                }
+                let page = p - 1;
+                let run = Self::entry_page(pager, cache, *len, *page_entries, page)?;
+                let idx = run
+                    .binary_search_by_key(&key, |e| e.key)
+                    .map_err(|_| MbTreeError::KeyNotFound(key))?;
+                Ok((page * page_entries + idx, run[idx]))
+            }
+        }
+    }
+
+    /// Looks up a single key. On a paged tree, a backing-store fault
+    /// failure also reports as `None`; use [`MerkleBTree::prove_keys`]
+    /// when the distinction matters.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.locate(key).ok().map(|(_, e)| e.value)
+    }
+
+    /// Builds a membership proof for a set of keys. On a paged tree
+    /// this faults only the entry pages and digest pages the proof
+    /// touches.
+    pub fn prove_keys(&self, keys: &[u64]) -> Result<KeyedProof, MbTreeError> {
+        let mut found: BTreeMap<usize, KeyedEntry> = BTreeMap::new();
+        for &k in keys {
+            let (pos, entry) = self.locate(k)?;
+            found.insert(pos, entry);
+        }
+        let merkle = self.tree.prove(found.keys().copied().collect())?;
         Ok(KeyedProof {
-            entries: positions.iter().map(|&i| self.entries[i]).collect(),
-            positions: positions.iter().map(|&i| i as u32).collect(),
+            entries: found.values().copied().collect(),
+            positions: found.keys().map(|&i| i as u32).collect(),
             merkle,
         })
     }
@@ -318,6 +474,119 @@ mod tests {
         let e3 = KeyedEntry { key: 2, value: 2.0 };
         assert_ne!(e1.digest(), e2.digest());
         assert_ne!(e1.digest(), e3.digest());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for e in sample_entries(20) {
+            assert_eq!(KeyedEntry::decode(e.encode()), e);
+        }
+        let nan = KeyedEntry {
+            key: 7,
+            value: f64::NAN,
+        };
+        // Bit-level round trip even for non-finite payloads.
+        assert_eq!(KeyedEntry::decode(nan.encode()).encode(), nan.encode());
+    }
+
+    /// Test pager over a dense entry array.
+    #[derive(Debug)]
+    struct VecEntryPager {
+        entries: Vec<KeyedEntry>,
+        page_entries: usize,
+        faults: std::sync::atomic::AtomicU64,
+    }
+
+    impl EntryPager for VecEntryPager {
+        fn load_entries(&self, page: u32) -> Result<Vec<KeyedEntry>, crate::pager::PageError> {
+            let start = page as usize * self.page_entries;
+            if start >= self.entries.len() {
+                return Err(crate::pager::PageError::OutOfRange { level: 0, page });
+            }
+            self.faults
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let end = (start + self.page_entries).min(self.entries.len());
+            Ok(self.entries[start..end].to_vec())
+        }
+    }
+
+    fn paged_from_dense(
+        dense: &MerkleBTree,
+        page_entries: usize,
+    ) -> (MerkleBTree, Arc<VecEntryPager>) {
+        let entries = dense.dense_entries().unwrap().to_vec();
+        let first_keys: Vec<u64> = entries.chunks(page_entries).map(|c| c[0].key).collect();
+        let pager = Arc::new(VecEntryPager {
+            entries,
+            page_entries,
+            faults: std::sync::atomic::AtomicU64::new(0),
+        });
+        // Reuse the dense digest tree: proof bytes must be identical
+        // regardless of where entries physically live.
+        let paged = MerkleBTree::open_paged(
+            Arc::clone(&pager) as Arc<dyn EntryPager>,
+            pager.entries.len(),
+            page_entries,
+            first_keys,
+            dense.tree().clone(),
+        )
+        .unwrap();
+        (paged, pager)
+    }
+
+    #[test]
+    fn paged_btree_matches_dense() {
+        let dense = MerkleBTree::build(sample_entries(200), 8).unwrap();
+        let (paged, pager) = paged_from_dense(&dense, 16);
+        assert!(paged.is_paged());
+        assert_eq!(paged.root(), dense.root());
+        assert_eq!(paged.len(), dense.len());
+        assert_eq!(paged.get(6), dense.get(6));
+        assert_eq!(paged.get(7), None);
+        assert_eq!(paged.get(597), dense.get(597));
+        let keys = [0u64, 3, 297, 300, 597];
+        let a = dense.prove_keys(&keys).unwrap();
+        let b = paged.prove_keys(&keys).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.reconstruct_root().unwrap(), dense.root());
+        // Lookups touched a strict subset of the 13 entry pages.
+        let faults = pager.faults.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(faults < 13, "faulted {faults} entry pages");
+        assert!(matches!(
+            paged.prove_keys(&[1]),
+            Err(MbTreeError::KeyNotFound(1))
+        ));
+    }
+
+    #[test]
+    fn paged_btree_rejects_bad_geometry() {
+        let dense = MerkleBTree::build(sample_entries(20), 4).unwrap();
+        let entries = dense.dense_entries().unwrap().to_vec();
+        let pager = Arc::new(VecEntryPager {
+            entries,
+            page_entries: 8,
+            faults: std::sync::atomic::AtomicU64::new(0),
+        });
+        // Wrong first-key count for the geometry.
+        let err = MerkleBTree::open_paged(
+            Arc::clone(&pager) as Arc<dyn EntryPager>,
+            20,
+            8,
+            vec![0],
+            dense.tree().clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MbTreeError::Merkle(MerkleError::Page(_))));
+        // Unsorted sparse index.
+        let err = MerkleBTree::open_paged(
+            Arc::clone(&pager) as Arc<dyn EntryPager>,
+            20,
+            8,
+            vec![9, 3, 50],
+            dense.tree().clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MbTreeError::UnsortedKeys));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! root.
 
 use crate::digest::{hash_digests, Digest};
+use crate::pager::DigestPager;
 use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
 
 /// Errors raised while building or checking Merkle structures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +38,10 @@ pub enum MerkleError {
     MalformedEntry { level: usize, index: usize },
     /// No leaves were supplied to verification.
     NoLeaves,
+    /// A paged tree failed to fault in a page from its backing store.
+    Page(String),
+    /// Mutation was attempted on a paged (read-only) tree.
+    ReadOnly,
 }
 
 impl std::fmt::Display for MerkleError {
@@ -68,6 +74,8 @@ impl std::fmt::Display for MerkleError {
                 )
             }
             MerkleError::NoLeaves => write!(f, "verification requires at least one proven leaf"),
+            MerkleError::Page(m) => write!(f, "paged tree fault failed: {m}"),
+            MerkleError::ReadOnly => write!(f, "paged merkle tree is read-only"),
         }
     }
 }
@@ -249,16 +257,77 @@ fn level_sizes(leaf_count: usize, fanout: usize) -> Vec<usize> {
     sizes
 }
 
-/// An in-memory Merkle hash tree.
+/// Lazily paged tree levels: digests resolve on demand from a
+/// [`DigestPager`], merk-`Link` style — a page is either resolved (in
+/// the `OnceLock` cache) or a stub to be faulted from the backing
+/// store. The root is loaded eagerly at open so `root()` stays
+/// infallible.
+#[derive(Debug, Clone)]
+struct PagedLevels {
+    pager: Arc<dyn DigestPager>,
+    /// Logical size of each level, leaf level first.
+    sizes: Vec<usize>,
+    /// Digests per page (all levels; last page of a level may be short).
+    page_digests: usize,
+    /// Per-level, per-page resolved digest runs.
+    cache: Vec<Vec<OnceLock<Arc<Vec<Digest>>>>>,
+    root: Digest,
+}
+
+impl PagedLevels {
+    fn page(&self, level: usize, page: usize) -> Result<Arc<Vec<Digest>>, MerkleError> {
+        let slot = &self.cache[level][page];
+        if let Some(run) = slot.get() {
+            return Ok(Arc::clone(run));
+        }
+        let run = self
+            .pager
+            .load_page(level as u32, page as u32)
+            .map_err(|e| MerkleError::Page(e.to_string()))?;
+        let expected = page_len(self.sizes[level], self.page_digests, page);
+        if run.len() != expected {
+            return Err(MerkleError::Page(format!(
+                "level {level} page {page}: expected {expected} digests, got {}",
+                run.len()
+            )));
+        }
+        // A concurrent fault may have won the race; either value is the
+        // same verified page, so keep whichever landed first.
+        let _ = slot.set(Arc::new(run));
+        Ok(Arc::clone(slot.get().expect("slot just initialized")))
+    }
+
+    fn digest_at(&self, level: usize, index: usize) -> Result<Digest, MerkleError> {
+        let run = self.page(level, index / self.page_digests)?;
+        Ok(run[index % self.page_digests])
+    }
+}
+
+/// Number of digests in `page` of a level holding `size` digests.
+fn page_len(size: usize, page_digests: usize, page: usize) -> usize {
+    (size - page * page_digests).min(page_digests)
+}
+
+/// Physical representation of the tree levels.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Every level materialized in memory (the historical layout).
+    Dense(Vec<Vec<Digest>>),
+    /// Levels faulted in page-by-page from a backing store.
+    Paged(PagedLevels),
+}
+
+/// A Merkle hash tree with configurable fanout.
 ///
-/// Stores every level so that multi-leaf proofs are O(result) to
-/// assemble. For very large leaf sets where this is too much memory,
-/// see `spnet-core`'s lazy two-level distance tree (FULL method).
+/// Built trees ([`MerkleTree::build`]) store every level densely so
+/// multi-leaf proofs are O(result) to assemble. Trees opened over a
+/// snapshot ([`MerkleTree::open_paged`]) keep only the pages a proof
+/// path has touched; they are read-only and hash-identical to the
+/// dense tree they were saved from.
 #[derive(Debug, Clone)]
 pub struct MerkleTree {
     fanout: usize,
-    /// `levels[0]` = leaf digests; last level has exactly one digest.
-    levels: Vec<Vec<Digest>>,
+    repr: Repr,
 }
 
 impl MerkleTree {
@@ -279,17 +348,67 @@ impl MerkleTree {
             }
             levels.push(next);
         }
-        Ok(MerkleTree { fanout, levels })
+        Ok(MerkleTree {
+            fanout,
+            repr: Repr::Dense(levels),
+        })
+    }
+
+    /// Opens a read-only tree whose levels live in a paged backing
+    /// store. Only the root page is faulted eagerly; `prove` faults the
+    /// pages its proof paths touch.
+    pub fn open_paged(
+        pager: Arc<dyn DigestPager>,
+        leaf_count: usize,
+        fanout: usize,
+        page_digests: usize,
+    ) -> Result<Self, MerkleError> {
+        if leaf_count == 0 {
+            return Err(MerkleError::EmptyTree);
+        }
+        if fanout < 2 {
+            return Err(MerkleError::BadFanout(fanout));
+        }
+        if page_digests == 0 {
+            return Err(MerkleError::Page("page_digests must be ≥ 1".into()));
+        }
+        let sizes = level_sizes(leaf_count, fanout);
+        let cache: Vec<Vec<OnceLock<Arc<Vec<Digest>>>>> = sizes
+            .iter()
+            .map(|&s| {
+                (0..s.div_ceil(page_digests))
+                    .map(|_| OnceLock::new())
+                    .collect()
+            })
+            .collect();
+        let mut paged = PagedLevels {
+            pager,
+            sizes,
+            page_digests,
+            cache,
+            root: Digest::ZERO,
+        };
+        paged.root = paged.digest_at(paged.sizes.len() - 1, 0)?;
+        Ok(MerkleTree {
+            fanout,
+            repr: Repr::Paged(paged),
+        })
     }
 
     /// The signed root digest.
     pub fn root(&self) -> Digest {
-        *self.levels.last().unwrap().first().unwrap()
+        match &self.repr {
+            Repr::Dense(levels) => *levels.last().unwrap().first().unwrap(),
+            Repr::Paged(p) => p.root,
+        }
     }
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.levels[0].len()
+        match &self.repr {
+            Repr::Dense(levels) => levels[0].len(),
+            Repr::Paged(p) => p.sizes[0],
+        }
     }
 
     /// Tree fanout.
@@ -299,38 +418,97 @@ impl MerkleTree {
 
     /// Tree height in levels (1 for a single leaf).
     pub fn height(&self) -> usize {
-        self.levels.len()
+        match &self.repr {
+            Repr::Dense(levels) => levels.len(),
+            Repr::Paged(p) => p.sizes.len(),
+        }
+    }
+
+    /// Whether this tree resolves digests lazily from a backing store.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.repr, Repr::Paged(_))
+    }
+
+    /// The dense level arrays, leaf level first — present only for
+    /// built trees. Snapshot writers use this to serialize levels.
+    pub fn dense_levels(&self) -> Option<&[Vec<Digest>]> {
+        match &self.repr {
+            Repr::Dense(levels) => Some(levels),
+            Repr::Paged(_) => None,
+        }
     }
 
     /// Digest of leaf `i`.
+    ///
+    /// On a paged tree this faults in the leaf's page; a fault failure
+    /// reports as `None`, same as out-of-range.
     pub fn leaf(&self, i: usize) -> Option<Digest> {
-        self.levels[0].get(i).copied()
+        match &self.repr {
+            Repr::Dense(levels) => levels[0].get(i).copied(),
+            Repr::Paged(p) => {
+                if i >= p.sizes[0] {
+                    None
+                } else {
+                    p.digest_at(0, i).ok()
+                }
+            }
+        }
     }
 
-    /// Total number of digests stored — the ADS storage-overhead metric.
+    /// Total number of digests in the tree (logical count for paged
+    /// trees) — the ADS storage-overhead metric.
     pub fn total_digests(&self) -> usize {
-        self.levels.iter().map(Vec::len).sum()
+        match &self.repr {
+            Repr::Dense(levels) => levels.iter().map(Vec::len).sum(),
+            Repr::Paged(p) => p.sizes.iter().sum(),
+        }
+    }
+
+    /// Size of level `lvl` in digests.
+    fn level_len(&self, lvl: usize) -> usize {
+        match &self.repr {
+            Repr::Dense(levels) => levels[lvl].len(),
+            Repr::Paged(p) => p.sizes[lvl],
+        }
+    }
+
+    /// Digest stored at `(level, index)`; faults the containing page on
+    /// a paged tree. Callers stay in-shape, so out-of-range indexing on
+    /// a dense tree panics like a slice.
+    fn digest_at(&self, level: usize, index: usize) -> Result<Digest, MerkleError> {
+        match &self.repr {
+            Repr::Dense(levels) => Ok(levels[level][index]),
+            Repr::Paged(p) => p.digest_at(level, index),
+        }
     }
 
     /// Replaces the digest of leaf `i` and recomputes the O(log n) path
     /// to the root — the incremental-update primitive for dynamic
     /// networks (an edge-weight change touches two leaves).
+    ///
+    /// Paged trees are read-only snapshots: this returns
+    /// [`MerkleError::ReadOnly`] for them.
     pub fn update_leaf(&mut self, i: usize, digest: Digest) -> Result<(), MerkleError> {
-        let n = self.leaf_count();
+        let fanout = self.fanout;
+        let levels = match &mut self.repr {
+            Repr::Dense(levels) => levels,
+            Repr::Paged(_) => return Err(MerkleError::ReadOnly),
+        };
+        let n = levels[0].len();
         if i >= n {
             return Err(MerkleError::LeafOutOfRange {
                 index: i,
                 leaf_count: n,
             });
         }
-        self.levels[0][i] = digest;
+        levels[0][i] = digest;
         let mut idx = i;
-        for lvl in 0..self.levels.len() - 1 {
-            let parent = idx / self.fanout;
-            let first = parent * self.fanout;
-            let last = (first + self.fanout).min(self.levels[lvl].len());
-            let combined = hash_digests(&self.levels[lvl][first..last]);
-            self.levels[lvl + 1][parent] = combined;
+        for lvl in 0..levels.len() - 1 {
+            let parent = idx / fanout;
+            let first = parent * fanout;
+            let last = (first + fanout).min(levels[lvl].len());
+            let combined = hash_digests(&levels[lvl][first..last]);
+            levels[lvl + 1][parent] = combined;
             idx = parent;
         }
         Ok(())
@@ -341,7 +519,8 @@ impl MerkleTree {
     /// One sorted-vector sweep per level: the covered set stays sorted,
     /// so each parent's covered children form a contiguous run and the
     /// uncovered siblings are emitted in index order without set
-    /// membership queries.
+    /// membership queries. On a paged tree only the pages holding
+    /// emitted sibling digests are faulted in.
     pub fn prove(&self, leaf_indices: BTreeSet<usize>) -> Result<MerkleProof, MerkleError> {
         let leaf_count = self.leaf_count();
         if leaf_indices.is_empty() {
@@ -358,8 +537,8 @@ impl MerkleTree {
             }
         }
         let mut entries = Vec::new();
-        for lvl in 0..self.levels.len() - 1 {
-            let level_size = self.levels[lvl].len();
+        for lvl in 0..self.height() - 1 {
+            let level_size = self.level_len(lvl);
             let mut parents: Vec<usize> = Vec::with_capacity(covered.len());
             let mut i = 0usize;
             while i < covered.len() {
@@ -375,7 +554,7 @@ impl MerkleTree {
                         entries.push(ProofEntry {
                             level: lvl as u32,
                             index: c as u32,
-                            digest: self.levels[lvl][c],
+                            digest: self.digest_at(lvl, c)?,
                         });
                     }
                 }
@@ -456,7 +635,7 @@ mod tests {
     fn paper_figure3_shape_fanout3() {
         // Figure 3b: 36 leaves, fanout 3 → levels 36, 12, 4, 2, 1.
         let tree = MerkleTree::build(leaves(36), 3).unwrap();
-        let sizes: Vec<usize> = tree.levels.iter().map(Vec::len).collect();
+        let sizes: Vec<usize> = tree.dense_levels().unwrap().iter().map(Vec::len).collect();
         assert_eq!(sizes, vec![36, 12, 4, 2, 1]);
     }
 
@@ -667,5 +846,137 @@ mod tests {
     fn total_digests_counts_all_levels() {
         let tree = MerkleTree::build(leaves(8), 2).unwrap();
         assert_eq!(tree.total_digests(), 8 + 4 + 2 + 1);
+    }
+
+    /// Test pager over a dense tree's levels, with a fault counter.
+    #[derive(Debug)]
+    struct VecPager {
+        levels: Vec<Vec<Digest>>,
+        page_digests: usize,
+        faults: std::sync::atomic::AtomicU64,
+    }
+
+    impl VecPager {
+        fn new(tree: &MerkleTree, page_digests: usize) -> Self {
+            VecPager {
+                levels: tree.dense_levels().unwrap().to_vec(),
+                page_digests,
+                faults: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl DigestPager for VecPager {
+        fn load_page(&self, level: u32, page: u32) -> Result<Vec<Digest>, crate::pager::PageError> {
+            let lvl = self
+                .levels
+                .get(level as usize)
+                .ok_or(crate::pager::PageError::OutOfRange { level, page })?;
+            let start = page as usize * self.page_digests;
+            if start >= lvl.len() {
+                return Err(crate::pager::PageError::OutOfRange { level, page });
+            }
+            self.faults
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let end = (start + self.page_digests).min(lvl.len());
+            Ok(lvl[start..end].to_vec())
+        }
+    }
+
+    #[test]
+    fn paged_tree_matches_dense_proofs() {
+        for &(n, f, pd) in &[
+            (36usize, 3usize, 4usize),
+            (100, 16, 8),
+            (64, 2, 128),
+            (1, 2, 4),
+        ] {
+            let ls = leaves(n);
+            let dense = MerkleTree::build(ls.clone(), f).unwrap();
+            let pager = Arc::new(VecPager::new(&dense, pd));
+            let paged = MerkleTree::open_paged(pager, n, f, pd).unwrap();
+            assert!(paged.is_paged());
+            assert_eq!(paged.root(), dense.root());
+            assert_eq!(paged.height(), dense.height());
+            assert_eq!(paged.leaf_count(), dense.leaf_count());
+            assert_eq!(paged.total_digests(), dense.total_digests());
+            for proven in [vec![0usize], vec![n - 1], vec![0, n / 2, n - 1]] {
+                let set: BTreeSet<usize> = proven.iter().copied().collect();
+                let a = dense.prove(set.clone()).unwrap();
+                let b = paged.prove(set).unwrap();
+                assert_eq!(a, b, "n={n} f={f} pd={pd} proven={proven:?}");
+            }
+            assert_eq!(paged.leaf(0), dense.leaf(0));
+            assert_eq!(paged.leaf(n), None);
+        }
+    }
+
+    #[test]
+    fn paged_tree_faults_only_touched_pages() {
+        // 256 leaves, fanout 2, 8-digest pages: one single-leaf proof
+        // must not fault every leaf page.
+        let ls = leaves(256);
+        let dense = MerkleTree::build(ls, 2).unwrap();
+        let pager = Arc::new(VecPager::new(&dense, 8));
+        let paged =
+            MerkleTree::open_paged(Arc::clone(&pager) as Arc<dyn DigestPager>, 256, 2, 8).unwrap();
+        let after_open = pager.faults.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(after_open, 1, "open faults only the root page");
+        paged.prove([3usize].into_iter().collect()).unwrap();
+        let after_prove = pager.faults.load(std::sync::atomic::Ordering::Relaxed);
+        let total_pages: usize = dense
+            .dense_levels()
+            .unwrap()
+            .iter()
+            .map(|l| l.len().div_ceil(8))
+            .sum();
+        assert!(
+            ((after_prove - after_open) as usize) < total_pages / 2,
+            "proof faulted {} of {} pages",
+            after_prove - after_open,
+            total_pages
+        );
+        // Re-proving the same leaf hits the cache: no new faults.
+        paged.prove([3usize].into_iter().collect()).unwrap();
+        assert_eq!(
+            pager.faults.load(std::sync::atomic::Ordering::Relaxed),
+            after_prove
+        );
+    }
+
+    #[test]
+    fn paged_tree_is_read_only() {
+        let dense = MerkleTree::build(leaves(16), 2).unwrap();
+        let pager = Arc::new(VecPager::new(&dense, 4));
+        let mut paged = MerkleTree::open_paged(pager, 16, 2, 4).unwrap();
+        assert!(matches!(
+            paged.update_leaf(0, hash_bytes(b"x")),
+            Err(MerkleError::ReadOnly)
+        ));
+    }
+
+    #[test]
+    fn paged_tree_rejects_short_page() {
+        /// Pager that truncates every page to one digest.
+        #[derive(Debug)]
+        struct Truncating(VecPager);
+        impl DigestPager for Truncating {
+            fn load_page(
+                &self,
+                level: u32,
+                page: u32,
+            ) -> Result<Vec<Digest>, crate::pager::PageError> {
+                let mut run = self.0.load_page(level, page)?;
+                run.truncate(1);
+                Ok(run)
+            }
+        }
+        let dense = MerkleTree::build(leaves(16), 2).unwrap();
+        let pager = Arc::new(Truncating(VecPager::new(&dense, 4)));
+        // The root page (size 1) passes, so open succeeds; the first
+        // leaf-page fault then reports the short page.
+        let paged = MerkleTree::open_paged(pager, 16, 2, 4).unwrap();
+        let err = paged.prove([0usize].into_iter().collect()).unwrap_err();
+        assert!(matches!(err, MerkleError::Page(_)), "{err:?}");
     }
 }

@@ -1,0 +1,81 @@
+//! Backing-store pager traits for lazily materialized trees.
+//!
+//! A persistent snapshot (see the `spnet-store` crate) stores each tree
+//! level as fixed-size pages of digests and each Merkle B-tree's entry
+//! array as fixed-size pages of [`crate::mbtree::KeyedEntry`] records.
+//! The tree types in this crate stay storage-agnostic: a paged
+//! [`crate::merkle::MerkleTree`] or [`crate::mbtree::MerkleBTree`]
+//! resolves missing pages through these traits — the merk `Link` idea
+//! (resolved node vs. on-disk stub), with the page as the granularity
+//! of a fault.
+//!
+//! Implementations must verify page integrity themselves (the snapshot
+//! format checks every page against a signed-into-the-root digest
+//! array) and return a typed [`PageError`] instead of panicking on
+//! corrupt or truncated input.
+
+use crate::digest::Digest;
+use crate::mbtree::KeyedEntry;
+
+/// Errors raised while faulting a page from a backing store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// Underlying I/O failure (message carries the OS error).
+    Io(String),
+    /// The page bytes did not match their recorded digest, or the
+    /// section layout is inconsistent.
+    Corrupt(String),
+    /// The requested page does not exist in the store.
+    OutOfRange {
+        /// Tree level of the request (0 for entry pagers).
+        level: u32,
+        /// Requested page index within the level.
+        page: u32,
+    },
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::Io(e) => write!(f, "page io error: {e}"),
+            PageError::Corrupt(m) => write!(f, "corrupt page: {m}"),
+            PageError::OutOfRange { level, page } => {
+                write!(f, "page {page} at level {level} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// Loads pages of tree-level digests: `level` 0 is the leaf level,
+/// increasing towards the root. Every level uses the same page length
+/// (digests per page); the last page of a level may be short.
+pub trait DigestPager: Send + Sync + std::fmt::Debug {
+    /// Faults in one page of digests.
+    fn load_page(&self, level: u32, page: u32) -> Result<Vec<Digest>, PageError>;
+}
+
+/// Loads pages of sorted [`KeyedEntry`] records backing a
+/// [`crate::mbtree::MerkleBTree`]'s entry array. The last page may be
+/// short.
+pub trait EntryPager: Send + Sync + std::fmt::Debug {
+    /// Faults in one page of entries.
+    fn load_entries(&self, page: u32) -> Result<Vec<KeyedEntry>, PageError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_error_display() {
+        assert!(PageError::Io("gone".into()).to_string().contains("gone"));
+        assert!(PageError::Corrupt("bad digest".into())
+            .to_string()
+            .contains("bad digest"));
+        assert!(PageError::OutOfRange { level: 2, page: 9 }
+            .to_string()
+            .contains("level 2"));
+    }
+}

@@ -9,9 +9,20 @@ use crate::bigint::BigUint;
 use crate::digest::Digest;
 use crate::prime::random_prime;
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Public RSA exponent (F4).
 const PUBLIC_EXPONENT: u64 = 65537;
+
+/// Process-wide count of private-key signing operations. Snapshot
+/// cold-start tests assert this stays flat across a load (a provider
+/// restarting from disk must only *verify*, never re-sign).
+static SIGN_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of RSA signing operations performed by this process so far.
+pub fn signing_ops() -> u64 {
+    SIGN_OPS.load(Ordering::Relaxed)
+}
 
 /// Default modulus size in bits. Research-scale: large enough that the
 /// arithmetic paths are exercised realistically, small enough that key
@@ -95,6 +106,7 @@ impl RsaKeyPair {
 
     /// Signs a digest: `pad(digest)^d mod n`.
     pub fn sign(&self, digest: &Digest) -> RsaSignature {
+        SIGN_OPS.fetch_add(1, Ordering::Relaxed);
         let m = pad_digest(digest, self.public.modulus_bits);
         let s = m.modpow(&self.d, &self.public.n);
         RsaSignature(s.to_bytes_be())
@@ -115,6 +127,43 @@ impl RsaPublicKey {
     /// Modulus size in bits.
     pub fn modulus_bits(&self) -> usize {
         self.modulus_bits
+    }
+
+    /// Canonical encoding for persistence:
+    /// `modulus_bits u32 LE ∘ n_len u32 LE ∘ n BE ∘ e_len u32 LE ∘ e BE`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(12 + n.len() + e.len());
+        out.extend_from_slice(&(self.modulus_bits as u32).to_le_bytes());
+        out.extend_from_slice(&(n.len() as u32).to_le_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&(e.len() as u32).to_le_bytes());
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Inverse of [`RsaPublicKey::to_bytes`]. Returns `None` on any
+    /// structural mismatch (truncation, trailing bytes, zero modulus).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let take_u32 = |b: &[u8], at: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?))
+        };
+        let modulus_bits = take_u32(bytes, 0)? as usize;
+        let n_len = take_u32(bytes, 4)? as usize;
+        let n_bytes = bytes.get(8..8 + n_len)?;
+        let e_at = 8 + n_len;
+        let e_len = take_u32(bytes, e_at)? as usize;
+        let e_bytes = bytes.get(e_at + 4..e_at + 4 + e_len)?;
+        if bytes.len() != e_at + 4 + e_len {
+            return None;
+        }
+        let n = BigUint::from_bytes_be(n_bytes);
+        let e = BigUint::from_bytes_be(e_bytes);
+        if n.bit_len() != modulus_bits || modulus_bits < 64 {
+            return None;
+        }
+        Some(RsaPublicKey { n, e, modulus_bits })
     }
 }
 
@@ -205,6 +254,38 @@ mod tests {
         assert!(kp.public_key().modulus_bits() >= DEFAULT_MODULUS_BITS - 1);
         let d = hash_bytes(b"root");
         assert!(kp.public_key().verify(&d, &kp.sign(&d)));
+    }
+
+    #[test]
+    fn public_key_bytes_round_trip() {
+        let kp = keypair(10);
+        let pk = kp.public_key();
+        let bytes = pk.to_bytes();
+        let back = RsaPublicKey::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, pk);
+        let d = hash_bytes(b"root");
+        assert!(back.verify(&d, &kp.sign(&d)));
+        // Truncation and trailing garbage are rejected.
+        assert!(RsaPublicKey::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(RsaPublicKey::from_bytes(&extra).is_none());
+        assert!(RsaPublicKey::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn signing_ops_counter_increments() {
+        let kp = keypair(11);
+        let before = signing_ops();
+        kp.sign(&hash_bytes(b"count me"));
+        kp.sign(&hash_bytes(b"me too"));
+        assert!(signing_ops() >= before + 2);
+        // Verification must not count as signing.
+        let d = hash_bytes(b"verify only");
+        let sig = kp.sign(&d);
+        let after_sign = signing_ops();
+        assert!(kp.public_key().verify(&d, &sig));
+        assert_eq!(signing_ops(), after_sign);
     }
 
     #[test]

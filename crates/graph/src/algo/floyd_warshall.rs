@@ -46,6 +46,22 @@ impl DistanceMatrix {
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.n..(i + 1) * self.n]
     }
+
+    /// Row-major backing data (for persistence; pair with
+    /// [`DistanceMatrix::from_raw`]).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Reconstructs a matrix from its dimension and row-major data —
+    /// the exact bit patterns matter (FULL-method row digests hash
+    /// them), so loaders must not recompute distances.
+    pub fn from_raw(n: usize, data: Vec<f64>) -> Option<Self> {
+        if data.len() != n * n {
+            return None;
+        }
+        Some(DistanceMatrix { n, data })
+    }
 }
 
 /// Runs Floyd–Warshall on the whole graph.

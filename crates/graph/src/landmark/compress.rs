@@ -85,6 +85,48 @@ impl CompressedVectors {
         }
     }
 
+    /// Reassembles compressed vectors from persisted parts — the
+    /// inverse of reading `lambda()`, `node_psi()`, `xi()`,
+    /// `num_landmarks()`, `bits()` back out. Validates the structural
+    /// invariants: every `Full` vector has `c` entries, and every
+    /// `Compressed` node references an in-range `Full` node with a
+    /// finite `eps` in `[0, xi]`.
+    pub fn from_parts(lambda: f64, psi: Vec<NodePsi>, xi: f64, c: usize, bits: u8) -> Option<Self> {
+        if !(lambda.is_finite() && xi.is_finite()) || c == 0 {
+            return None;
+        }
+        for p in &psi {
+            match p {
+                NodePsi::Full(vec) => {
+                    if vec.len() != c {
+                        return None;
+                    }
+                }
+                NodePsi::Compressed { theta, eps } => {
+                    if !(eps.is_finite() && *eps >= 0.0 && *eps <= xi) {
+                        return None;
+                    }
+                    match psi.get(theta.index()) {
+                        Some(NodePsi::Full(_)) => {}
+                        _ => return None,
+                    }
+                }
+            }
+        }
+        Some(CompressedVectors {
+            lambda,
+            psi,
+            xi,
+            c,
+            bits,
+        })
+    }
+
+    /// Number of nodes covered by these vectors.
+    pub fn num_nodes(&self) -> usize {
+        self.psi.len()
+    }
+
     /// Bits per quantized entry `b`.
     pub fn bits(&self) -> u8 {
         self.bits

@@ -1,0 +1,38 @@
+//! Persistent snapshot store for the `spnet` workspace.
+//!
+//! The ICDE 2010 protocol assumes the provider holds every
+//! authenticated structure in RAM, rebuilt and re-signed at startup.
+//! This crate removes that assumption, merk/grovedb style:
+//!
+//! * [`snapshot`] — a single page-aligned snapshot file of typed
+//!   sections (versioned header, per-section and per-page integrity
+//!   digests, typed [`StoreError`]s for every corruption mode).
+//! * [`node_store`] — the [`NodeStore`] abstraction with two backends:
+//!   [`MemStore`] (everything resident and verified at open — the
+//!   default; no existing caller changes behavior) and [`FileStore`]
+//!   (lazy page faults, so a proof touches only the pages on its
+//!   path). [`TreePager`]/[`EntryPageSource`] adapt a store section to
+//!   the `spnet-crypto` pager traits that back
+//!   `MerkleTree::open_paged`/`MerkleBTree::open_paged`.
+//! * [`chunk`] — framed chunked transfer of a snapshot file for
+//!   replica bootstrap from a live provider (merk state-sync shape).
+//!
+//! Integrity layering: the store checks *storage* integrity (digests
+//! over bytes); the core crate re-verifies the owner's RSA-signed
+//! roots against the loaded structures, so a tampered snapshot can
+//! never serve verifying proofs even if its internal digests are
+//! recomputed consistently.
+
+pub mod chunk;
+pub mod error;
+pub mod node_store;
+pub mod snapshot;
+
+pub use chunk::{chunk_bytes, chunk_file, ChunkAssembler, StoreChunk, CHUNK_VERSION};
+pub use error::StoreError;
+pub use node_store::{
+    EntryPageSource, FileStore, MemStore, NodeStore, PageSource, StoreBackend, TreePager,
+};
+pub use snapshot::{
+    PagedReader, Snapshot, SnapshotWriter, SECTION_ALIGN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

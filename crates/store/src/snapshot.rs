@@ -1,0 +1,606 @@
+//! The on-disk snapshot format: a single page-aligned file of typed
+//! sections with a versioned header and per-section integrity digests.
+//!
+//! ```text
+//! offset 0        header (24 B): magic ∘ version ∘ reserved ∘
+//!                                section_count u32 ∘ table_offset u64
+//! offset 4096·k   section payloads, each aligned to 4096
+//! table_offset    section table: 64 B per section
+//! ```
+//!
+//! Two section kinds:
+//!
+//! * **blob** — an opaque byte string; the table entry's checksum is
+//!   `sha256(payload)`, verified on every read.
+//! * **paged** — a payload split into fixed-length pages, preceded by a
+//!   per-page digest array. The table checksum covers only the digest
+//!   array, so opening a snapshot verifies O(#sections) small arrays;
+//!   each page is verified against its array digest when (and only
+//!   when) it is faulted in — the merk-style lazy-resolution contract.
+//!
+//! The header is written last (seek back to offset 0 after the table),
+//! so a crashed writer leaves a file that fails `Snapshot::open` with
+//! [`StoreError::BadMagic`] rather than a torn-but-plausible snapshot.
+
+use crate::error::StoreError;
+use spnet_crypto::digest::{hash_bytes, Digest, DIGEST_LEN};
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File magic, first 8 bytes of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SPNSTORE";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: u64 = 24;
+
+/// Bytes per section-table entry.
+pub const TABLE_ENTRY_LEN: usize = 64;
+
+/// Section payloads start on these boundaries.
+pub const SECTION_ALIGN: u64 = 4096;
+
+/// Hard cap on the section count (a snapshot holds tens of sections;
+/// anything larger is corruption, not scale).
+const MAX_SECTIONS: u32 = 1 << 16;
+
+const KIND_BLOB: u8 = 0;
+const KIND_PAGED: u8 = 1;
+
+#[derive(Debug, Clone, Copy)]
+struct SectionMeta {
+    kind: u8,
+    page_len: u32,
+    offset: u64,
+    len: u64,
+    data_len: u64,
+    checksum: Digest,
+}
+
+impl SectionMeta {
+    fn digests_len(&self) -> u64 {
+        self.len - self.data_len
+    }
+
+    fn num_pages(&self) -> u64 {
+        if self.page_len == 0 {
+            0
+        } else {
+            self.data_len.div_ceil(self.page_len as u64)
+        }
+    }
+}
+
+/// Streaming writer for a snapshot file.
+///
+/// Sections are appended in call order; [`SnapshotWriter::finish`]
+/// appends the table and then stamps the header.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    file: File,
+    pos: u64,
+    entries: Vec<(u16, SectionMeta)>,
+}
+
+impl SnapshotWriter {
+    /// Creates (truncates) `path` and reserves the header.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        let mut file = File::create(path)?;
+        file.write_all(&[0u8; HEADER_LEN as usize])?;
+        Ok(SnapshotWriter {
+            file,
+            pos: HEADER_LEN,
+            entries: Vec::new(),
+        })
+    }
+
+    fn check_new_id(&self, id: u16) -> Result<(), StoreError> {
+        if self.entries.iter().any(|&(eid, _)| eid == id) {
+            return Err(StoreError::DuplicateSection(id));
+        }
+        Ok(())
+    }
+
+    fn align(&mut self) -> Result<u64, StoreError> {
+        let target = self.pos.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+        if target > self.pos {
+            let pad = vec![0u8; (target - self.pos) as usize];
+            self.file.write_all(&pad)?;
+            self.pos = target;
+        }
+        Ok(self.pos)
+    }
+
+    /// Appends an opaque blob section.
+    pub fn blob(&mut self, id: u16, bytes: &[u8]) -> Result<(), StoreError> {
+        self.check_new_id(id)?;
+        let offset = self.align()?;
+        self.file.write_all(bytes)?;
+        self.pos += bytes.len() as u64;
+        self.entries.push((
+            id,
+            SectionMeta {
+                kind: KIND_BLOB,
+                page_len: 0,
+                offset,
+                len: bytes.len() as u64,
+                data_len: bytes.len() as u64,
+                checksum: hash_bytes(bytes),
+            },
+        ));
+        Ok(())
+    }
+
+    /// Appends a paged section: a digest array (one digest per
+    /// `page_len`-byte page, last page may be short) followed by the
+    /// payload.
+    pub fn paged(&mut self, id: u16, bytes: &[u8], page_len: usize) -> Result<(), StoreError> {
+        self.check_new_id(id)?;
+        if page_len == 0 || page_len > u32::MAX as usize {
+            return Err(StoreError::Corrupt(format!("bad page length {page_len}")));
+        }
+        let mut digest_array = Vec::with_capacity(bytes.len().div_ceil(page_len) * DIGEST_LEN);
+        for page in bytes.chunks(page_len) {
+            digest_array.extend_from_slice(hash_bytes(page).as_bytes());
+        }
+        let offset = self.align()?;
+        self.file.write_all(&digest_array)?;
+        self.file.write_all(bytes)?;
+        self.pos += (digest_array.len() + bytes.len()) as u64;
+        self.entries.push((
+            id,
+            SectionMeta {
+                kind: KIND_PAGED,
+                page_len: page_len as u32,
+                offset,
+                len: (digest_array.len() + bytes.len()) as u64,
+                data_len: bytes.len() as u64,
+                checksum: hash_bytes(&digest_array),
+            },
+        ));
+        Ok(())
+    }
+
+    /// Appends the section table, stamps the header, and syncs. Returns
+    /// the final file size in bytes.
+    pub fn finish(mut self) -> Result<u64, StoreError> {
+        let table_offset = self.align()?;
+        for &(id, m) in &self.entries {
+            let mut entry = [0u8; TABLE_ENTRY_LEN];
+            entry[0..2].copy_from_slice(&id.to_le_bytes());
+            entry[2] = m.kind;
+            // entry[3] reserved
+            entry[4..8].copy_from_slice(&m.page_len.to_le_bytes());
+            entry[8..16].copy_from_slice(&m.offset.to_le_bytes());
+            entry[16..24].copy_from_slice(&m.len.to_le_bytes());
+            entry[24..32].copy_from_slice(&m.data_len.to_le_bytes());
+            entry[32..64].copy_from_slice(m.checksum.as_bytes());
+            self.file.write_all(&entry)?;
+            self.pos += TABLE_ENTRY_LEN as u64;
+        }
+        let total = self.pos;
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        header[8] = SNAPSHOT_VERSION;
+        // header[9..12] reserved
+        header[12..16].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        header[16..24].copy_from_slice(&table_offset.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.sync_all()?;
+        Ok(total)
+    }
+}
+
+/// A verified lazy reader over one paged section.
+///
+/// The per-page digest array is resident (verified against the table
+/// checksum at construction); [`PagedReader::load_page`] reads and
+/// verifies exactly one page.
+#[derive(Debug)]
+pub struct PagedReader {
+    file: Arc<File>,
+    /// Offset of the page payload (past the digest array).
+    base: u64,
+    page_len: u32,
+    data_len: u64,
+    digests: Vec<Digest>,
+    faults: Arc<AtomicU64>,
+}
+
+impl PagedReader {
+    /// Number of pages in the section.
+    pub fn num_pages(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Page length in bytes (last page may be short).
+    pub fn page_len(&self) -> usize {
+        self.page_len as usize
+    }
+
+    /// Total payload length in bytes.
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    /// Pages faulted through the shared counter this reader was opened
+    /// with.
+    pub fn fault_count(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Reads and verifies one page.
+    pub fn load_page(&self, page: usize) -> Result<Vec<u8>, StoreError> {
+        let Some(expected) = self.digests.get(page) else {
+            return Err(StoreError::Corrupt(format!(
+                "page {page} out of range ({} pages)",
+                self.digests.len()
+            )));
+        };
+        let start = page as u64 * self.page_len as u64;
+        let this_len = (self.data_len - start).min(self.page_len as u64) as usize;
+        let mut buf = vec![0u8; this_len];
+        self.file
+            .read_exact_at(&mut buf, self.base + start)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        if hash_bytes(&buf) != *expected {
+            return Err(StoreError::ChecksumMismatch("section page"));
+        }
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    /// Reads and verifies the whole payload.
+    pub fn read_all(&self) -> Result<Vec<u8>, StoreError> {
+        let mut out = Vec::with_capacity(self.data_len as usize);
+        for p in 0..self.num_pages() {
+            out.extend_from_slice(&self.load_page(p)?);
+        }
+        Ok(out)
+    }
+}
+
+/// An opened snapshot: parsed header + section table, payloads read on
+/// demand.
+#[derive(Debug)]
+pub struct Snapshot {
+    file: Arc<File>,
+    sections: Vec<(u16, SectionMeta)>,
+}
+
+impl Snapshot {
+    /// Opens and validates the header and section table. Section
+    /// payloads are not read (and not yet verified) here.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN {
+            return Err(StoreError::Truncated);
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact_at(&mut header, 0)?;
+        if header[0..8] != SNAPSHOT_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if header[8] != SNAPSHOT_VERSION {
+            return Err(StoreError::UnsupportedVersion(header[8]));
+        }
+        let section_count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let table_offset = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        if section_count > MAX_SECTIONS {
+            return Err(StoreError::Corrupt(format!(
+                "absurd section count {section_count}"
+            )));
+        }
+        let table_len = section_count as u64 * TABLE_ENTRY_LEN as u64;
+        if table_offset < HEADER_LEN
+            || table_offset
+                .checked_add(table_len)
+                .is_none_or(|end| end > file_len)
+        {
+            return Err(StoreError::Truncated);
+        }
+        let mut table = vec![0u8; table_len as usize];
+        file.read_exact_at(&mut table, table_offset)?;
+        let mut sections: Vec<(u16, SectionMeta)> = Vec::with_capacity(section_count as usize);
+        for raw in table.chunks_exact(TABLE_ENTRY_LEN) {
+            let id = u16::from_le_bytes(raw[0..2].try_into().unwrap());
+            let kind = raw[2];
+            let page_len = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+            let offset = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+            let len = u64::from_le_bytes(raw[16..24].try_into().unwrap());
+            let data_len = u64::from_le_bytes(raw[24..32].try_into().unwrap());
+            let checksum = Digest(raw[32..64].try_into().unwrap());
+            if sections.iter().any(|&(eid, _)| eid == id) {
+                return Err(StoreError::DuplicateSection(id));
+            }
+            let meta = SectionMeta {
+                kind,
+                page_len,
+                offset,
+                len,
+                data_len,
+                checksum,
+            };
+            if offset < HEADER_LEN || offset.checked_add(len).is_none_or(|end| end > file_len) {
+                return Err(StoreError::Truncated);
+            }
+            match kind {
+                KIND_BLOB => {
+                    if page_len != 0 || data_len != len {
+                        return Err(StoreError::Corrupt(format!(
+                            "blob section {id:#06x} with paged geometry"
+                        )));
+                    }
+                }
+                KIND_PAGED => {
+                    if page_len == 0 {
+                        return Err(StoreError::Corrupt(format!(
+                            "paged section {id:#06x} with zero page length"
+                        )));
+                    }
+                    let expect_digests = meta.num_pages() * DIGEST_LEN as u64;
+                    if len != expect_digests + data_len {
+                        return Err(StoreError::Corrupt(format!(
+                            "paged section {id:#06x} length mismatch"
+                        )));
+                    }
+                }
+                k => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unknown section kind {k} for id {id:#06x}"
+                    )));
+                }
+            }
+            sections.push((id, meta));
+        }
+        Ok(Snapshot {
+            file: Arc::new(file),
+            sections,
+        })
+    }
+
+    fn meta(&self, id: u16) -> Result<SectionMeta, StoreError> {
+        self.sections
+            .iter()
+            .find(|&&(eid, _)| eid == id)
+            .map(|&(_, m)| m)
+            .ok_or(StoreError::MissingSection(id))
+    }
+
+    /// Ids of all sections in the snapshot, in file order.
+    pub fn section_ids(&self) -> Vec<u16> {
+        self.sections.iter().map(|&(id, _)| id).collect()
+    }
+
+    /// Whether a section exists.
+    pub fn has(&self, id: u16) -> bool {
+        self.sections.iter().any(|&(eid, _)| eid == id)
+    }
+
+    /// Reads and verifies a blob section.
+    pub fn blob(&self, id: u16) -> Result<Vec<u8>, StoreError> {
+        let m = self.meta(id)?;
+        if m.kind != KIND_BLOB {
+            return Err(StoreError::WrongKind {
+                id,
+                expected: "blob",
+            });
+        }
+        let mut buf = vec![0u8; m.len as usize];
+        self.file.read_exact_at(&mut buf, m.offset)?;
+        if hash_bytes(&buf) != m.checksum {
+            return Err(StoreError::ChecksumMismatch("blob section"));
+        }
+        Ok(buf)
+    }
+
+    /// Opens a verified lazy reader over a paged section. `faults` is
+    /// shared so a store can aggregate fault counts across readers.
+    pub fn paged(&self, id: u16, faults: Arc<AtomicU64>) -> Result<PagedReader, StoreError> {
+        let m = self.meta(id)?;
+        if m.kind != KIND_PAGED {
+            return Err(StoreError::WrongKind {
+                id,
+                expected: "paged",
+            });
+        }
+        let mut digest_array = vec![0u8; m.digests_len() as usize];
+        self.file.read_exact_at(&mut digest_array, m.offset)?;
+        if hash_bytes(&digest_array) != m.checksum {
+            return Err(StoreError::ChecksumMismatch("page digest array"));
+        }
+        let digests = digest_array
+            .chunks_exact(DIGEST_LEN)
+            .map(|c| Digest(c.try_into().unwrap()))
+            .collect();
+        Ok(PagedReader {
+            file: Arc::clone(&self.file),
+            base: m.offset + m.digests_len(),
+            page_len: m.page_len,
+            data_len: m.data_len,
+            digests,
+            faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("spnet-store-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_sample(path: &Path) -> (Vec<u8>, Vec<u8>) {
+        let blob: Vec<u8> = (0u16..400).flat_map(|i| i.to_le_bytes()).collect();
+        let paged: Vec<u8> = (0u32..5000).flat_map(|i| i.to_le_bytes()).collect();
+        let mut w = SnapshotWriter::create(path).unwrap();
+        w.blob(1, &blob).unwrap();
+        w.paged(2, &paged, 512).unwrap();
+        w.finish().unwrap();
+        (blob, paged)
+    }
+
+    #[test]
+    fn round_trip_blob_and_paged() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("snapshot.spnet");
+        let (blob, paged) = write_sample(&path);
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.section_ids(), vec![1, 2]);
+        assert!(snap.has(1) && !snap.has(7));
+        assert_eq!(snap.blob(1).unwrap(), blob);
+        let faults = Arc::new(AtomicU64::new(0));
+        let r = snap.paged(2, Arc::clone(&faults)).unwrap();
+        assert_eq!(r.data_len(), paged.len() as u64);
+        assert_eq!(r.num_pages(), paged.len().div_ceil(512));
+        assert_eq!(r.read_all().unwrap(), paged);
+        assert_eq!(faults.load(Ordering::Relaxed), r.num_pages() as u64);
+        // Single-page fault: only bytes of that page.
+        assert_eq!(r.load_page(3).unwrap(), paged[3 * 512..4 * 512].to_vec());
+        // Short last page.
+        let last = r.num_pages() - 1;
+        assert_eq!(r.load_page(last).unwrap(), paged[last * 512..].to_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_kind_and_missing_section() {
+        let dir = tmpdir("kinds");
+        let path = dir.join("snapshot.spnet");
+        write_sample(&path);
+        let snap = Snapshot::open(&path).unwrap();
+        assert!(matches!(
+            snap.blob(2),
+            Err(StoreError::WrongKind { id: 2, .. })
+        ));
+        let faults = Arc::new(AtomicU64::new(0));
+        assert!(matches!(
+            snap.paged(1, faults),
+            Err(StoreError::WrongKind { id: 1, .. })
+        ));
+        assert!(matches!(snap.blob(9), Err(StoreError::MissingSection(9))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_id_rejected_at_write() {
+        let dir = tmpdir("dup");
+        let path = dir.join("snapshot.spnet");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.blob(1, b"a").unwrap();
+        assert!(matches!(
+            w.blob(1, b"b"),
+            Err(StoreError::DuplicateSection(1))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let dir = tmpdir("magic");
+        let path = dir.join("snapshot.spnet");
+        write_sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Snapshot::open(&path), Err(StoreError::BadMagic)));
+        bytes[0] ^= 0xFF;
+        bytes[8] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("snapshot.spnet");
+        write_sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        // Header survives but the table is gone.
+        std::fs::write(&path, &bytes[..HEADER_LEN as usize]).unwrap();
+        assert!(matches!(Snapshot::open(&path), Err(StoreError::Truncated)));
+        // Even shorter than a header.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(Snapshot::open(&path), Err(StoreError::Truncated)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_detected_on_read() {
+        let dir = tmpdir("flip");
+        let path = dir.join("snapshot.spnet");
+        write_sample(&path);
+        let orig = std::fs::read(&path).unwrap();
+        // Flip one bit in every byte position of the first section
+        // region and assert reads never silently succeed with wrong
+        // data. (Sampled stride keeps the test fast.)
+        for pos in (SECTION_ALIGN as usize..orig.len()).step_by(971) {
+            let mut bytes = orig.clone();
+            bytes[pos] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let blob: Vec<u8> = (0u16..400).flat_map(|i| i.to_le_bytes()).collect();
+            match Snapshot::open(&path) {
+                Err(_) => {}
+                Ok(snap) => {
+                    if let Ok(b) = snap.blob(1) {
+                        assert_eq!(b, blob, "flip at {pos} corrupted blob undetected");
+                    }
+                    let faults = Arc::new(AtomicU64::new(0));
+                    match snap.paged(2, faults) {
+                        Err(_) => {}
+                        Ok(r) => {
+                            let paged: Vec<u8> =
+                                (0u32..5000).flat_map(|i| i.to_le_bytes()).collect();
+                            if let Ok(all) = r.read_all() {
+                                assert_eq!(all, paged, "flip at {pos} undetected");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sections_are_page_aligned() {
+        let dir = tmpdir("align");
+        let path = dir.join("snapshot.spnet");
+        write_sample(&path);
+        let snap = Snapshot::open(&path).unwrap();
+        for &(_, m) in &snap.sections {
+            assert_eq!(m.offset % SECTION_ALIGN, 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_paged_section_round_trips() {
+        let dir = tmpdir("emptypaged");
+        let path = dir.join("snapshot.spnet");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.paged(3, &[], 128).unwrap();
+        w.finish().unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let r = snap.paged(3, Arc::new(AtomicU64::new(0))).unwrap();
+        assert_eq!(r.num_pages(), 0);
+        assert_eq!(r.read_all().unwrap(), Vec::<u8>::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -250,6 +250,45 @@ proptest! {
         prop_assert!((got.distance - truth.distance).abs() <= 1e-9 * truth.distance.max(1.0));
     }
 
+    /// Snapshot persistence: a provider cold-started from disk — on
+    /// either store backend — produces **byte-identical** answers to
+    /// the freshly built provider, for every method and random query.
+    #[test]
+    fn snapshot_proof_bytes_identical_across_backends(
+        seed in 0u64..200,
+        m in 0usize..4,
+        s in 0u32..36,
+        t in 0u32..36,
+    ) {
+        prop_assume!(s != t);
+        let g = grid_network(6, 6, 1.2, seed);
+        let method = match m {
+            0 => MethodConfig::Dij,
+            1 => MethodConfig::Full { use_floyd_warshall: false },
+            2 => MethodConfig::Ldm(LdmConfig { landmarks: 4, ..LdmConfig::default() }),
+            _ => MethodConfig::Hyp { cells: 4 },
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A9);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        let dir = std::env::temp_dir().join(
+            format!("spnet-prop-snap-{seed}-{m}-{}", std::process::id()),
+        );
+        p.save_snapshot(&dir).unwrap();
+        let fresh = ServiceProvider::new(p.package);
+        let want = spnet_core::wire::encode_answer(
+            &fresh.answer(NodeId(s), NodeId(t)).unwrap(),
+        );
+        for backend in [spnet_core::StoreBackend::Mem, spnet_core::StoreBackend::File] {
+            let loaded = spnet_core::load_package(&dir, backend).unwrap();
+            let cold = ServiceProvider::new(loaded.package);
+            let got = spnet_core::wire::encode_answer(
+                &cold.answer(NodeId(s), NodeId(t)).unwrap(),
+            );
+            prop_assert_eq!(&got, &want, "{} {:?}", method.name(), backend);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Graph file I/O round-trips arbitrary generated networks
     /// bit-exactly (digest-critical).
     #[test]
