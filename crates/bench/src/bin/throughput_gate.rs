@@ -4,10 +4,11 @@
 //! throughput_gate [options]
 //!
 //! options:
-//!   --mode <m>         throughput (default) | scale | service | store
+//!   --mode <m>         throughput (default) | scale | service | store | queries
 //!   --baseline <path>  committed baseline JSON
 //!                      (default BENCH_throughput.json / BENCH_scale.json
-//!                       / BENCH_service.json / BENCH_store.json)
+//!                       / BENCH_service.json / BENCH_store.json
+//!                       / BENCH_queries.json)
 //!
 //! throughput mode:
 //!   --scale <f>        dataset scale fraction (default 0.05, matching the baseline)
@@ -24,6 +25,12 @@
 //!
 //! store mode:
 //!   --smoke-nodes <n>  live smoke size (default 50000)
+//!   --seed <n>         master seed (default 42)
+//!
+//! queries mode:
+//!   --smoke-nodes <n>  live smoke size (default 50000; rounded to a
+//!                      square lattice — the queries smoke wants a few
+//!                      hundred nodes, pass e.g. 400)
 //!   --seed <n>         master seed (default 42)
 //!
 //! env:
@@ -54,11 +61,20 @@
 //! runs a reduced-size live save→load smoke, failing if the round trip
 //! breaks, the cold start signs, or the lazy load falls behind the
 //! rebuild beyond the tolerance.
+//!
+//! **Queries mode** validates the committed `BENCH_queries.json` (the
+//! verified range / k-NN / matrix operator experiment) structurally —
+//! all four methods, non-empty certificates, a non-trivial range
+//! member set, pooled matrix certificate smaller than per-pair
+//! answers, k-NN completeness certificate within 5× of the plain
+//! batch — and runs a reduced-size live smoke of all three operators,
+//! re-checking the same machine-independent invariants (the overhead
+//! bar widened by the tolerance).
 
 use spnet_bench::gate;
 use spnet_bench::{
-    run_loadgen, run_scale, run_store, run_throughput, HarnessConfig, LoadgenConfig, ScaleConfig,
-    StoreConfig,
+    run_loadgen, run_queries, run_scale, run_store, run_throughput, HarnessConfig, LoadgenConfig,
+    QueriesConfig, ScaleConfig, StoreConfig,
 };
 use spnet_graph::gen::Dataset;
 use std::process::ExitCode;
@@ -67,7 +83,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "see module docs: throughput_gate [--mode throughput|scale|service|store] \
+            "see module docs: throughput_gate [--mode throughput|scale|service|store|queries] \
              [--baseline p] [--scale f] [--queries n] [--dataset d] [--seed n] [--smoke-nodes n]"
         );
         return ExitCode::SUCCESS;
@@ -84,10 +100,15 @@ fn main() -> ExitCode {
         };
         match args[i].as_str() {
             "--mode" => match take_value(&mut i) {
-                Some(v) if matches!(v.as_str(), "throughput" | "scale" | "service" | "store") => {
+                Some(v)
+                    if matches!(
+                        v.as_str(),
+                        "throughput" | "scale" | "service" | "store" | "queries"
+                    ) =>
+                {
                     mode = v
                 }
-                _ => return bad_usage("--mode needs throughput|scale|service|store"),
+                _ => return bad_usage("--mode needs throughput|scale|service|store|queries"),
             },
             "--baseline" => match take_value(&mut i) {
                 Some(v) => baseline_path = Some(v),
@@ -129,6 +150,7 @@ fn main() -> ExitCode {
         "scale" => "BENCH_scale.json".into(),
         "service" => "BENCH_service.json".into(),
         "store" => "BENCH_store.json".into(),
+        "queries" => "BENCH_queries.json".into(),
         _ => "BENCH_throughput.json".into(),
     });
     let baseline_json = match std::fs::read_to_string(&baseline_path) {
@@ -153,6 +175,15 @@ fn main() -> ExitCode {
     }
     if mode == "store" {
         return store_gate(
+            &baseline_json,
+            &baseline_path,
+            smoke_nodes,
+            cfg.seed,
+            tolerance,
+        );
+    }
+    if mode == "queries" {
+        return queries_gate(
             &baseline_json,
             &baseline_path,
             smoke_nodes,
@@ -281,6 +312,57 @@ fn store_gate(
     }
     if violations.is_empty() {
         eprintln!("[gate] ok: store baseline + smoke clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[gate] FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Queries mode: committed-baseline validation + reduced live smoke of
+/// the verified range / k-NN / matrix operators.
+fn queries_gate(
+    baseline_json: &str,
+    baseline_path: &str,
+    smoke_nodes: usize,
+    seed: u64,
+    tolerance: f64,
+) -> ExitCode {
+    eprintln!(
+        "[gate] queries baseline {baseline_path}, tolerance {:.0}%, smoke at {smoke_nodes} nodes",
+        tolerance * 100.0
+    );
+    let rows = match gate::parse_queries_baseline(baseline_json) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut violations = gate::queries_schema_violations(&rows, gate::QUERIES_KNN_OVERHEAD);
+    for r in &rows {
+        println!(
+            "baseline {:5} range {:>8.1}/s ({} members, {} B) knn {:>8.1}/s ({} B, {:.2}x plain) \
+             matrix {:>9.1} cells/s ({} B pooled / {} B separate)",
+            r.method,
+            r.range_verify_qps,
+            r.range_members,
+            r.range_cert_bytes,
+            r.knn_verify_qps,
+            r.knn_cert_bytes,
+            r.knn_overhead(),
+            r.matrix_verify_qps,
+            r.matrix_cert_bytes,
+            r.matrix_separate_bytes,
+        );
+    }
+    let smoke = run_queries(&QueriesConfig::smoke(smoke_nodes, seed));
+    violations.extend(gate::queries_smoke_violations(&smoke, tolerance));
+    for v in &violations {
+        println!("SCHEMA {v}");
+    }
+    if violations.is_empty() {
+        eprintln!("[gate] ok: queries baseline + smoke clean");
         ExitCode::SUCCESS
     } else {
         eprintln!("[gate] FAILED: {} violation(s)", violations.len());

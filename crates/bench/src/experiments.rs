@@ -506,7 +506,7 @@ pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 }
 
 /// Which experiment ids exist (for CLI help and the `all` runner).
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "fig8",
     "fig9",
     "fig10",
@@ -522,6 +522,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "scale",
     "service",
     "store",
+    "queries",
     "all",
 ];
 
@@ -557,6 +558,9 @@ pub fn run(id: &str, cfg: &HarnessConfig) -> Option<Vec<(String, Table)>> {
         // cold-start baseline, whose default row set includes a
         // million-node publish.
         "store" => Some(crate::store::store(cfg)),
+        // Also outside `all`: rewrites the committed BENCH_queries.json
+        // query-operator baseline the queries-gate checks against.
+        "queries" => Some(crate::queries::queries(cfg)),
         "all" => {
             let mut out = Vec::new();
             for f in [

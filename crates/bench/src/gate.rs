@@ -1,10 +1,11 @@
 //! Benchmark-regression gates: compares fresh measurement passes
 //! against the committed `BENCH_throughput.json` / `BENCH_scale.json`
-//! / `BENCH_service.json` / `BENCH_store.json` baselines.
+//! / `BENCH_service.json` / `BENCH_store.json` / `BENCH_queries.json`
+//! baselines.
 //!
-//! Used by the CI `throughput-gate`, `scale-gate`, `service-gate` and
-//! `store-gate` jobs (see `.github/workflows/ci.yml` and the
-//! `throughput_gate` binary).
+//! Used by the CI `throughput-gate`, `scale-gate`, `service-gate`,
+//! `store-gate` and `queries-gate` jobs (see
+//! `.github/workflows/ci.yml` and the `throughput_gate` binary).
 //!
 //! ## Throughput gate
 //!
@@ -35,6 +36,17 @@
 //! fails if any column degenerates or the bucket queue stops beating
 //! the heap within the tolerance.
 //!
+//! ## Queries gate
+//!
+//! The committed `BENCH_queries.json` (the verified query-operator
+//! experiment) is validated structurally: all four methods answering
+//! range / k-NN / matrix with positive verify rates and non-empty
+//! certificates, a non-trivial range member set, the pooled matrix
+//! certificate strictly smaller than per-pair answers, and the k-NN
+//! completeness certificate within 5× the plain pooled batch on the
+//! same pairs. A reduced-size live smoke re-runs the operators and
+//! re-checks the same machine-independent invariants.
+//!
 //! ## Service gate
 //!
 //! The committed `BENCH_service.json` (the mixed-traffic load
@@ -51,6 +63,7 @@
 //! offline environment), pinned by round-trip tests.
 
 use crate::loadgen::ServiceReport;
+use crate::queries::{QueriesReport, QueriesRow};
 use crate::scale::{MethodScale, ScaleReport, ScaleRow, SsspScale};
 use crate::store::{StoreReport, StoreRow};
 use crate::throughput::{MethodThroughput, ThroughputReport};
@@ -797,6 +810,122 @@ pub fn service_smoke_violations(
     violations
 }
 
+// ---------------------------------------------------------------------
+// Queries gate
+// ---------------------------------------------------------------------
+
+/// Maximum verify-cost multiplier of the k-NN completeness certificate
+/// over the plain pooled batch on the same `(source, poi)` pairs. The
+/// certificate adds one RSA signature check plus a whole-keyspace
+/// Merkle range proof — cheap next to the batch itself; a committed
+/// baseline beyond this bar means the directory verification path has
+/// regressed structurally.
+pub const QUERIES_KNN_OVERHEAD: f64 = 5.0;
+
+/// Parses the committed `BENCH_queries.json` back into its rows.
+/// Accepts exactly the schema `QueriesReport::to_json` writes.
+pub fn parse_queries_baseline(json: &str) -> Result<Vec<QueriesRow>, String> {
+    let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "spnet-queries/v1" {
+        return Err(format!(
+            "unsupported queries schema {schema:?} (regenerate with `figures -- queries`)"
+        ));
+    }
+    let mut rows = Vec::new();
+    for r in array_objects(json, "rows")? {
+        rows.push(QueriesRow {
+            method: string_field(r, "method")
+                .ok_or("row lacks \"method\"")?
+                .to_string(),
+            range_members: required_num(r, "range_members")? as usize,
+            range_verify_qps: required_num(r, "range_verify_qps")?,
+            range_cert_bytes: required_num(r, "range_cert_bytes")? as u64,
+            knn_verify_qps: required_num(r, "knn_verify_qps")?,
+            knn_cert_bytes: required_num(r, "knn_cert_bytes")? as u64,
+            plain_verify_qps: required_num(r, "plain_verify_qps")?,
+            matrix_verify_qps: required_num(r, "matrix_verify_qps")?,
+            matrix_cert_bytes: required_num(r, "matrix_cert_bytes")? as u64,
+            matrix_separate_bytes: required_num(r, "matrix_separate_bytes")? as u64,
+        });
+    }
+    if rows.is_empty() {
+        return Err("queries baseline contains no rows".into());
+    }
+    Ok(rows)
+}
+
+/// Structural violations of a set of queries rows (empty = compliant):
+/// all four methods with positive verify rates and non-empty
+/// certificates, a non-trivial range member set, the pooled matrix
+/// certificate strictly smaller than per-pair answers, and the k-NN
+/// completeness-certificate cost within `overhead_bar` of the plain
+/// batch. The committed baseline is held to [`QUERIES_KNN_OVERHEAD`];
+/// live smokes widen the bar by the tolerance (timing ratios on
+/// unpinned runners are noisy, byte counts are not).
+pub fn queries_schema_violations(rows: &[QueriesRow], overhead_bar: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for want in REQUIRED_METHODS {
+        let Some(r) = rows.iter().find(|r| r.method == want) else {
+            violations.push(format!("method {want} missing from report"));
+            continue;
+        };
+        if !positive(r.range_verify_qps)
+            || !positive(r.knn_verify_qps)
+            || !positive(r.plain_verify_qps)
+            || !positive(r.matrix_verify_qps)
+        {
+            violations.push(format!("{want}: non-positive verify qps column"));
+            continue;
+        }
+        if r.range_cert_bytes == 0 || r.knn_cert_bytes == 0 || r.matrix_cert_bytes == 0 {
+            violations.push(format!("{want}: empty certificate"));
+        }
+        if r.range_members < 2 {
+            violations.push(format!(
+                "{want}: range certified only {} member(s) — the radius must cover a \
+                 non-trivial disc for the completeness check to mean anything",
+                r.range_members
+            ));
+        }
+        let overhead = r.knn_overhead();
+        // Negated form so a NaN ratio (zero/zero rates) also trips the gate.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(overhead <= overhead_bar) {
+            violations.push(format!(
+                "{want}: knn completeness certificate costs {overhead:.2}x the plain \
+                 batch (bar {overhead_bar:.2}x)"
+            ));
+        }
+        if r.matrix_cert_bytes >= r.matrix_separate_bytes {
+            violations.push(format!(
+                "{want}: pooled matrix certificate {} B not smaller than {} B of \
+                 per-pair answers — the shared tuple pool stopped paying",
+                r.matrix_cert_bytes, r.matrix_separate_bytes
+            ));
+        }
+    }
+    violations
+}
+
+/// Violations of a **live smoke** queries run (empty = pass): the
+/// structural schema at a reduced size, with the k-NN overhead bar
+/// widened by the tolerance. Absolute rates are NOT compared against
+/// the committed baseline — the smoke runs at a reduced size on an
+/// unpinned runner; the overhead ratio and the certificate byte
+/// comparison are the machine-independent signals.
+pub fn queries_smoke_violations(report: &QueriesReport, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if report.rows.is_empty() {
+        violations.push("smoke run produced no rows".into());
+    }
+    violations.extend(
+        queries_schema_violations(&report.rows, QUERIES_KNN_OVERHEAD * (1.0 + tolerance))
+            .into_iter()
+            .map(|v| format!("smoke: {v}")),
+    );
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1360,5 +1489,120 @@ mod tests {
         smoke.service_qps = smoke.single_qps * 1.5;
         let v = service_smoke_violations(&baseline, &smoke, 0.15);
         assert!(v.iter().any(|l| l.contains("speedup")), "{v:?}");
+    }
+
+    // -- queries gate --
+
+    fn queries_row(method: &str) -> QueriesRow {
+        QueriesRow {
+            method: method.to_string(),
+            range_members: 40,
+            range_verify_qps: 800.0,
+            range_cert_bytes: 30_000,
+            knn_verify_qps: 500.0,
+            knn_cert_bytes: 12_000,
+            plain_verify_qps: 700.0,
+            matrix_verify_qps: 9_000.0,
+            matrix_cert_bytes: 50_000,
+            matrix_separate_bytes: 160_000,
+        }
+    }
+
+    fn queries_rows() -> Vec<QueriesRow> {
+        ["DIJ", "FULL", "LDM", "HYP"]
+            .iter()
+            .map(|m| queries_row(m))
+            .collect()
+    }
+
+    fn queries_report(rows: Vec<QueriesRow>) -> QueriesReport {
+        QueriesReport {
+            parallel: true,
+            threads: 4,
+            seed: 42,
+            num_nodes: 400,
+            num_edges: 760,
+            pois: 8,
+            k: 3,
+            radius: 2_500.0,
+            rows,
+        }
+    }
+
+    #[test]
+    fn queries_parser_inverts_report_writer() {
+        let report = queries_report(queries_rows());
+        let rows = parse_queries_baseline(&report.to_json()).unwrap();
+        assert_eq!(rows.len(), 4);
+        for (p, r) in rows.iter().zip(&report.rows) {
+            assert_eq!(p.method, r.method);
+            assert_eq!(p.range_members, r.range_members);
+            assert_eq!(p.range_cert_bytes, r.range_cert_bytes);
+            assert_eq!(p.knn_cert_bytes, r.knn_cert_bytes);
+            assert_eq!(p.matrix_cert_bytes, r.matrix_cert_bytes);
+            assert_eq!(p.matrix_separate_bytes, r.matrix_separate_bytes);
+            assert!((p.range_verify_qps - r.range_verify_qps).abs() < 1e-9);
+            assert!((p.knn_verify_qps - r.knn_verify_qps).abs() < 1e-9);
+            assert!((p.plain_verify_qps - r.plain_verify_qps).abs() < 1e-9);
+            assert!((p.matrix_verify_qps - r.matrix_verify_qps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queries_parser_rejects_garbage() {
+        assert!(parse_queries_baseline("").is_err());
+        assert!(parse_queries_baseline("{\"schema\": \"spnet-queries/v0\"}").is_err());
+        assert!(parse_queries_baseline("{\"schema\": \"spnet-queries/v1\"}").is_err());
+        assert!(
+            parse_queries_baseline("{\"schema\": \"spnet-queries/v1\",\n\"rows\": [\n]}").is_err(),
+            "empty rows must be rejected"
+        );
+    }
+
+    #[test]
+    fn queries_schema_flags_missing_method_and_trivial_range() {
+        let mut rows = queries_rows();
+        rows.retain(|r| r.method != "LDM");
+        rows[0].range_members = 1;
+        let v = queries_schema_violations(&rows, QUERIES_KNN_OVERHEAD);
+        assert!(v.iter().any(|l| l.contains("LDM")), "{v:?}");
+        assert!(v.iter().any(|l| l.contains("non-trivial disc")), "{v:?}");
+        assert!(queries_schema_violations(&queries_rows(), QUERIES_KNN_OVERHEAD).is_empty());
+    }
+
+    #[test]
+    fn queries_schema_bounds_knn_overhead() {
+        let mut rows = queries_rows();
+        // Completeness certificate 8x slower than the plain batch.
+        rows[1].knn_verify_qps = rows[1].plain_verify_qps / 8.0;
+        let v = queries_schema_violations(&rows, QUERIES_KNN_OVERHEAD);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("FULL") && v[0].contains("8.00x"), "{v:?}");
+        // A widened smoke bar lets the same ratio through.
+        assert!(queries_schema_violations(&rows, 9.0).is_empty());
+        // NaN rates never pass the bar.
+        let mut rows = queries_rows();
+        rows[2].knn_verify_qps = f64::NAN;
+        assert!(!queries_schema_violations(&rows, QUERIES_KNN_OVERHEAD).is_empty());
+    }
+
+    #[test]
+    fn queries_schema_requires_pooling_win() {
+        let mut rows = queries_rows();
+        rows[3].matrix_separate_bytes = rows[3].matrix_cert_bytes;
+        let v = queries_schema_violations(&rows, QUERIES_KNN_OVERHEAD);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("HYP") && v[0].contains("tuple pool"), "{v:?}");
+    }
+
+    #[test]
+    fn queries_smoke_widens_overhead_bar_by_tolerance() {
+        // 5.5x overhead: beyond the strict 5x bar, inside 5x + 15%.
+        let mut rows = queries_rows();
+        rows[0].knn_verify_qps = rows[0].plain_verify_qps / 5.5;
+        assert!(!queries_schema_violations(&rows, QUERIES_KNN_OVERHEAD).is_empty());
+        assert!(queries_smoke_violations(&queries_report(rows), 0.15).is_empty());
+        // Empty smoke fails.
+        assert!(!queries_smoke_violations(&queries_report(vec![]), 0.15).is_empty());
     }
 }

@@ -21,6 +21,7 @@ pub mod experiments;
 pub mod gate;
 pub mod loadgen;
 pub mod model;
+pub mod queries;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -29,6 +30,7 @@ pub mod throughput;
 
 pub use config::HarnessConfig;
 pub use loadgen::{run_loadgen, LoadgenConfig, ServiceReport};
+pub use queries::{run_queries, QueriesConfig, QueriesReport};
 pub use report::Table;
 pub use runner::{run_method, MethodMeasurement};
 pub use scale::{run_scale, ScaleConfig, ScaleReport};

@@ -90,8 +90,9 @@ pub struct ThroughputReport {
 }
 
 /// Times `f` over enough repetitions of a `queries`-sized pass to fill
-/// ~`budget_ms`, returning operations/second.
-fn measure_qps(queries: usize, budget_ms: u64, mut f: impl FnMut()) -> f64 {
+/// ~`budget_ms`, returning operations/second. Shared with the
+/// query-operator experiment (`crate::queries`).
+pub(crate) fn measure_qps(queries: usize, budget_ms: u64, mut f: impl FnMut()) -> f64 {
     // One warmup pass.
     f();
     let budget = std::time::Duration::from_millis(budget_ms);

@@ -27,6 +27,9 @@ pub enum AdsTag {
     HyperEdges = 3,
     /// The HYP method's cell directory (cell id → node count).
     CellDirectory = 4,
+    /// A signed point-of-interest set (node id → POI payload), used by
+    /// the verified k-nearest-POI operator in `spnet-queries`.
+    Poi = 5,
 }
 
 impl AdsTag {

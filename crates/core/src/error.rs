@@ -56,6 +56,31 @@ pub enum VerifyError {
     TargetUnreachable,
     /// Signed metadata is inconsistent with the proof contents.
     MetaMismatch(&'static str),
+    /// Range: a node provably within the queried radius was omitted
+    /// from the claimed result set (completeness violation — the
+    /// client found a relaxation escaping the claimed ball).
+    RangeIncomplete {
+        node: NodeId,
+        dist: f64,
+        radius: f64,
+    },
+    /// Range: a claimed member lies farther than the queried radius,
+    /// or its distance could not be certified within the claimed set.
+    RangeOverclaim {
+        node: NodeId,
+        dist: f64,
+        radius: f64,
+    },
+    /// Range: a member's claimed distance differs from the client's
+    /// recomputation over the authenticated subgraph.
+    RangeDistanceMismatch {
+        node: NodeId,
+        claimed: f64,
+        recomputed: f64,
+    },
+    /// Range: the answer was assembled for a different radius than the
+    /// client queried.
+    RangeRadiusMismatch { requested: f64, answered: f64 },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -106,6 +131,37 @@ impl std::fmt::Display for VerifyError {
             VerifyError::MissingPsi(v) => write!(f, "tuple Φ({v}) lacks landmark payload"),
             VerifyError::TargetUnreachable => write!(f, "target not reached on proof subgraph"),
             VerifyError::MetaMismatch(m) => write!(f, "signed metadata mismatch: {m}"),
+            VerifyError::RangeIncomplete { node, dist, radius } => {
+                write!(
+                    f,
+                    "range answer incomplete: {node} reachable at {dist} ≤ radius {radius} but omitted"
+                )
+            }
+            VerifyError::RangeOverclaim { node, dist, radius } => {
+                write!(
+                    f,
+                    "range answer overclaims: {node} at {dist} beyond radius {radius}"
+                )
+            }
+            VerifyError::RangeDistanceMismatch {
+                node,
+                claimed,
+                recomputed,
+            } => {
+                write!(
+                    f,
+                    "range distance for {node}: claimed {claimed} ≠ recomputed {recomputed}"
+                )
+            }
+            VerifyError::RangeRadiusMismatch {
+                requested,
+                answered,
+            } => {
+                write!(
+                    f,
+                    "range radius {answered} does not match query {requested}"
+                )
+            }
         }
     }
 }

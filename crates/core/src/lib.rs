@@ -73,6 +73,7 @@ pub mod owner;
 pub mod par;
 pub mod proof;
 pub mod provider;
+pub mod queries;
 pub mod service;
 pub mod snapshot;
 pub mod stream;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::par::Scheduler;
     pub use crate::proof::{Answer, ProofStats};
     pub use crate::provider::ServiceProvider;
+    pub use crate::queries::RangeAnswer;
     pub use crate::service::{
         RoutingPolicy, Session, SessionAnswer, SessionError, SpService, SpServiceBuilder,
     };

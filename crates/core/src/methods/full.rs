@@ -32,6 +32,7 @@ use spnet_crypto::merkle::{MerkleProof, MerkleTree};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::algo::floyd_warshall;
 use spnet_graph::algo::floyd_warshall::DistanceMatrix;
+use spnet_graph::path::close;
 use spnet_graph::search::with_thread_workspace;
 use spnet_graph::{Graph, NodeId, Path};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -726,6 +727,48 @@ impl AuthMethod for FullMethod {
             .get(&composite_key(vs.0, vt.0))
             .copied()
             .ok_or(VerifyError::MissingDistanceKey { a: vs, b: vt })
+    }
+
+    fn prove_range_aux(
+        &self,
+        pkg: &ProviderPackage,
+        source: NodeId,
+        members: &[(NodeId, f64)],
+    ) -> Result<BatchAux, ProviderError> {
+        // One pooled row proof attests every member distance under the
+        // signed distance tree — all members share the source's row, so
+        // the whole attestation is one multi-target row cover.
+        let pairs: Vec<(NodeId, NodeId)> = members.iter().map(|&(v, _)| (source, v)).collect();
+        self.prove_batch(pkg, &pairs)
+    }
+
+    fn verify_range_aux(
+        &self,
+        ctx: &VerifyCtx<'_>,
+        params: &MethodParams,
+        aux: &BatchAux,
+        source: NodeId,
+        members: &[(NodeId, f64)],
+    ) -> Result<(), VerifyError> {
+        // Rejects a Subgraph downgrade outright (the signed method is
+        // FULL, so the aux must carry the distance-tree attestation).
+        let AuxContext::Full(dists) = self.verify_batch_aux(ctx, params, aux)? else {
+            unreachable!("FULL verify_batch_aux yields a Full context");
+        };
+        for &(v, claimed) in members {
+            let proven = dists
+                .get(&composite_key(source.0, v.0))
+                .copied()
+                .ok_or(VerifyError::MissingDistanceKey { a: source, b: v })?;
+            if !close(claimed, proven) {
+                return Err(VerifyError::RangeDistanceMismatch {
+                    node: v,
+                    claimed,
+                    recomputed: proven,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

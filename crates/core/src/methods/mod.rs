@@ -280,6 +280,46 @@ pub trait AuthMethod: Send + Sync {
         vs: NodeId,
         vt: NodeId,
     ) -> Result<f64, VerifyError>;
+
+    // ---- range queries -------------------------------------------------
+
+    /// Assembles the method-specific attestation shipped with a
+    /// verified range answer ([`crate::queries::RangeAnswer::aux`]).
+    ///
+    /// The generic completeness certificate — the pooled member
+    /// subgraph plus the client's escape-checked Dijkstra — is sound
+    /// for every method, so the default ships nothing beyond the pool.
+    /// FULL overrides this to additionally attest every member
+    /// distance under its signed distance tree, mirroring the batch
+    /// path's downgrade protection.
+    fn prove_range_aux(
+        &self,
+        _pkg: &ProviderPackage,
+        _source: NodeId,
+        _members: &[(NodeId, f64)],
+    ) -> Result<BatchAux, ProviderError> {
+        Ok(BatchAux::Subgraph)
+    }
+
+    /// Authenticates a range answer's aux block against the signed
+    /// method: the aux shape must match what [`Self::prove_range_aux`]
+    /// produces, or a malicious provider could downgrade the range
+    /// certificate of a hint-backed method to the bare subgraph form.
+    fn verify_range_aux(
+        &self,
+        _ctx: &VerifyCtx<'_>,
+        _params: &MethodParams,
+        aux: &BatchAux,
+        _source: NodeId,
+        _members: &[(NodeId, f64)],
+    ) -> Result<(), VerifyError> {
+        match aux {
+            BatchAux::Subgraph => Ok(()),
+            _ => Err(VerifyError::MetaMismatch(
+                "range proof shape does not match signed method",
+            )),
+        }
+    }
 }
 
 /// Method selection plus owner-side tuning knobs.

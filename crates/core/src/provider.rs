@@ -88,8 +88,11 @@ impl ServiceProvider {
     }
 
     /// Builds ΓT over the given node list (order defines the positions
-    /// vector).
-    fn build_integrity(&self, nodes: &[NodeId]) -> Result<IntegrityProof, ProviderError> {
+    /// vector). Shared with the range operator ([`crate::queries`]).
+    pub(crate) fn build_integrity(
+        &self,
+        nodes: &[NodeId],
+    ) -> Result<IntegrityProof, ProviderError> {
         let ads = &self.package.ads;
         let merkle = ads
             .prove_nodes(nodes.iter().copied())

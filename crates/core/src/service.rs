@@ -697,6 +697,51 @@ impl Session {
             .collect())
     }
 
+    /// The owner public key this session's client trusts — what
+    /// higher-level verified operators (e.g. `spnet-queries`' POI
+    /// directory) authenticate additional owner-signed roots against.
+    pub fn owner_key(&self) -> &spnet_crypto::rsa::RsaPublicKey {
+        self.client.public_key()
+    }
+
+    /// Provider half of a verified range query: the claimed member
+    /// set with its completeness certificate, proven against the
+    /// session's epoch.
+    pub fn answer_range(
+        &self,
+        source: NodeId,
+        radius: f64,
+    ) -> Result<crate::queries::RangeAnswer, SessionError> {
+        let st = self.guard()?;
+        Ok(st.provider.answer_range(source, radius)?)
+    }
+
+    /// Client half of a verified range query, against the session's
+    /// pinned roots.
+    pub fn verify_range(
+        &self,
+        source: NodeId,
+        radius: f64,
+        answer: &crate::queries::RangeAnswer,
+    ) -> Result<Vec<(NodeId, f64)>, SessionError> {
+        Ok(self
+            .client
+            .verify_range_pinned(source, radius, answer, &self.root, Some(&self.pins))?)
+    }
+
+    /// Answers and verifies a range query — every node within
+    /// `radius` of `source`, certified **complete**: omitting any
+    /// in-range node (or shrinking the radius) fails verification
+    /// with a typed [`crate::error::VerifyError`].
+    pub fn query_range(
+        &self,
+        source: NodeId,
+        radius: f64,
+    ) -> Result<Vec<(NodeId, f64)>, SessionError> {
+        let answer = self.answer_range(source, radius)?;
+        self.verify_range(source, radius, &answer)
+    }
+
     /// Serves `queries` as a verified stream with the default chunk
     /// size: an iterator yielding each pooled chunk's verified answers
     /// as the provider produces it.

@@ -32,6 +32,7 @@ use crate::methods::MethodParams;
 use crate::owner::{ProviderPackage, Published};
 use crate::tuple::ExtendedTuple;
 use crate::wire::{put_signed_root, take_signed_root};
+use spnet_crypto::cache::PageCacheCfg;
 use spnet_crypto::digest::{Digest, DIGEST_LEN};
 use spnet_crypto::mbtree::{KeyedEntry, MbTreeError, MerkleBTree};
 use spnet_crypto::merkle::{MerkleError, MerkleTree};
@@ -54,6 +55,22 @@ pub const PAGE_DIGESTS: usize = 128;
 /// [`KeyedEntry`] records per page of a persisted B-tree entry array
 /// (256 × 16 B = 4 KiB).
 pub const PAGE_ENTRIES: usize = 256;
+
+/// Residency bound (in pages) of each paged structure opened over a
+/// lazy store: faulted pages beyond this are evicted LRU and simply
+/// re-fault on the next touch. At 4 KiB pages this caps every paged
+/// tree at ~2 MiB resident.
+pub const PAGE_CACHE_PAGES: usize = 512;
+
+/// The page-cache configuration for paged structures over `store`:
+/// bounded at [`PAGE_CACHE_PAGES`], evictions aggregated into the
+/// store's counter ([`NodeStore::evict_count`]).
+fn store_cache_cfg(store: &NodeStore) -> PageCacheCfg {
+    PageCacheCfg {
+        capacity: PAGE_CACHE_PAGES,
+        evictions: store.eviction_counter(),
+    }
+}
 
 // ---- section id map -------------------------------------------------------
 // Shared by every method module; blobs unless noted. Tree sections are
@@ -106,6 +123,21 @@ pub const SEC_HYP_DIR_ENTRIES: u16 = 0x0036;
 pub const SEC_HYP_HYPER_TREE: u16 = 0x0300;
 /// HYP: cell-directory tree levels (paged): `SEC_HYP_DIR_TREE + level`.
 pub const SEC_HYP_DIR_TREE: u16 = 0x0400;
+
+/// POI set: the signed POI root (canonical wire encoding).
+pub const SEC_POI_SIGNED: u16 = 0x0040;
+/// POI set: B-tree first-keys (packed `u64` LE).
+pub const SEC_POI_KEYS: u16 = 0x0041;
+/// POI set: B-tree entries, packed 16-byte records (paged).
+pub const SEC_POI_ENTRIES: u16 = 0x0042;
+/// POI set: B-tree digest levels (paged): `SEC_POI_TREE + level`.
+pub const SEC_POI_TREE: u16 = 0x0500;
+
+/// File name of the POI-set snapshot inside a snapshot directory. POIs
+/// live in their own file so the network snapshot format (and
+/// [`save_package`]'s signature) stays unchanged — an owner can
+/// publish or re-publish a POI set without re-writing the network.
+pub const POI_FILE: &str = "poi.spnet";
 
 /// Why a snapshot save or load failed. Loads fail typed — a corrupted
 /// or tampered snapshot never panics and never serves.
@@ -266,11 +298,12 @@ pub(crate) fn load_tree_paged(
         levels.push(store.page_source(base + l as u16)?);
     }
     let pager = Arc::new(TreePager::new(levels)) as Arc<dyn DigestPager>;
-    Ok(MerkleTree::open_paged(
+    Ok(MerkleTree::open_paged_with_cache(
         pager,
         leaf_count,
         fanout,
         PAGE_DIGESTS,
+        store_cache_cfg(store),
     )?)
 }
 
@@ -319,12 +352,13 @@ pub(crate) fn load_btree(
             .collect();
         let pager =
             Arc::new(EntryPageSource(store.page_source(entries_id)?)) as Arc<dyn EntryPager>;
-        Ok(MerkleBTree::open_paged(
+        Ok(MerkleBTree::open_paged_with_cache(
             pager,
             len,
             PAGE_ENTRIES,
             first_keys,
             tree,
+            store_cache_cfg(store),
         )?)
     } else {
         let bytes = store.paged_all(entries_id)?;
@@ -481,6 +515,70 @@ pub fn load_package(dir: &Path, backend: StoreBackend) -> Result<LoadedSnapshot,
             hints,
         },
         public_key,
+        store,
+    })
+}
+
+// ---- POI set --------------------------------------------------------------
+
+/// Persists a signed POI set into `dir/`[`POI_FILE`]: the signed root
+/// plus its Merkle B-tree (entries, first keys, digest levels).
+pub fn save_poi_set(
+    dir: &Path,
+    signed: &SignedRoot,
+    tree: &MerkleBTree,
+) -> Result<PathBuf, SnapshotError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(POI_FILE);
+    let mut w = SnapshotWriter::create(&path)?;
+    w.blob(SEC_POI_SIGNED, &encode_signed_root(signed))?;
+    write_btree(&mut w, tree, SEC_POI_ENTRIES, SEC_POI_KEYS, SEC_POI_TREE)?;
+    w.finish()?;
+    Ok(path)
+}
+
+/// A POI set reconstructed from `dir/`[`POI_FILE`].
+///
+/// The loaded tree is structurally checked against the persisted
+/// signed root; RSA verification against the owner key is the
+/// caller's job (the key lives in the network snapshot, not here).
+pub struct LoadedPoiSet {
+    /// The owner-signed POI root.
+    pub signed: SignedRoot,
+    /// The POI B-tree (paged on the `File` backend).
+    pub tree: MerkleBTree,
+    /// The open store (fault/eviction counters on the `File` backend).
+    pub store: NodeStore,
+}
+
+/// Loads a POI set written by [`save_poi_set`].
+pub fn load_poi_set(dir: &Path, backend: StoreBackend) -> Result<LoadedPoiSet, SnapshotError> {
+    let store = NodeStore::open(&dir.join(POI_FILE), backend)?;
+    let signed = decode_signed_root(&store.blob(SEC_POI_SIGNED)?)?;
+    if signed.meta.tag != AdsTag::Poi {
+        return Err(SnapshotError::Corrupt("POI root carries a foreign tag"));
+    }
+    let len = signed.meta.leaf_count as usize;
+    let fanout = signed.meta.fanout as usize;
+    if len == 0 || fanout < 2 {
+        return Err(SnapshotError::Corrupt("bad POI tree geometry"));
+    }
+    let tree = load_btree(
+        &store,
+        len,
+        fanout,
+        SEC_POI_ENTRIES,
+        SEC_POI_KEYS,
+        SEC_POI_TREE,
+    )?;
+    if tree.root() != signed.root {
+        return Err(SnapshotError::Corrupt(
+            "POI root does not match loaded tree",
+        ));
+    }
+    Ok(LoadedPoiSet {
+        signed,
+        tree,
         store,
     })
 }

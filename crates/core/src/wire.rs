@@ -17,9 +17,10 @@ use crate::batch::{BatchAnswer, BatchAux, BatchQueryProof};
 use crate::enc::{DecodeError, Decoder, Encoder};
 use crate::methods::full::{FullBatchProof, FullDistanceProof, FullRowProof};
 use crate::proof::{Answer, IntegrityProof, SpProof};
+use crate::queries::RangeAnswer;
 use crate::tuple::ExtendedTuple;
 use spnet_crypto::digest::{Digest, DIGEST_LEN};
-use spnet_crypto::mbtree::{KeyedEntry, KeyedProof};
+use spnet_crypto::mbtree::{KeyRangeProof, KeyedEntry, KeyedProof};
 use spnet_crypto::merkle::{MerkleProof, ProofEntry};
 use spnet_crypto::rsa::RsaSignature;
 use spnet_graph::{NodeId, Path};
@@ -125,6 +126,52 @@ fn take_batch_body(d: &mut Decoder<'_>) -> Result<BatchAnswer, DecodeError> {
     Ok(BatchAnswer {
         pool,
         queries,
+        integrity,
+        aux,
+    })
+}
+
+/// Encodes a range answer (claimed members + pooled tuples + ΓT +
+/// method aux) into bytes.
+pub fn encode_range_answer(a: &RangeAnswer) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_version(&mut e);
+    e.put_u32(a.source.0);
+    e.put_f64(a.radius);
+    e.put_u32(a.members.len() as u32);
+    for &(v, d) in &a.members {
+        e.put_u32(v.0);
+        e.put_f64(d);
+    }
+    put_tuples(&mut e, &a.pool);
+    put_integrity(&mut e, &a.integrity);
+    put_batch_aux(&mut e, &a.aux);
+    e.into_bytes()
+}
+
+/// Decodes a range answer from bytes, requiring full consumption.
+pub fn decode_range_answer(bytes: &[u8]) -> Result<RangeAnswer, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    take_version(&mut d)?;
+    let source = NodeId(d.take_u32()?);
+    let radius = d.take_f64()?;
+    let n = d.take_u32()? as usize;
+    if n > 1 << 24 {
+        return Err(DecodeError::LengthOverflow(n as u64));
+    }
+    let mut members = Vec::with_capacity(n);
+    for _ in 0..n {
+        members.push((NodeId(d.take_u32()?), d.take_f64()?));
+    }
+    let pool = take_tuples(&mut d)?;
+    let integrity = take_integrity(&mut d)?;
+    let aux = take_batch_aux(&mut d)?;
+    d.finish()?;
+    Ok(RangeAnswer {
+        source,
+        radius,
+        members,
+        pool,
         integrity,
         aux,
     })
@@ -295,13 +342,16 @@ fn take_merkle(d: &mut Decoder<'_>) -> Result<MerkleProof, DecodeError> {
     })
 }
 
-pub(crate) fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
+/// Emits a signed ADS root (also used by higher-level crates — e.g.
+/// `spnet-queries`' POI certificates — to compose their own payloads).
+pub fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
     put_digest(e, &s.root);
     e.put_u8(match s.meta.tag {
         AdsTag::Network => 1,
         AdsTag::Distance => 2,
         AdsTag::HyperEdges => 3,
         AdsTag::CellDirectory => 4,
+        AdsTag::Poi => 5,
     });
     e.put_u64(s.meta.leaf_count);
     e.put_u32(s.meta.fanout);
@@ -309,13 +359,15 @@ pub(crate) fn put_signed_root(e: &mut Encoder, s: &SignedRoot) {
     e.put_bytes(s.signature.as_bytes());
 }
 
-pub(crate) fn take_signed_root(d: &mut Decoder<'_>) -> Result<SignedRoot, DecodeError> {
+/// Consumes a signed ADS root (counterpart of [`put_signed_root`]).
+pub fn take_signed_root(d: &mut Decoder<'_>) -> Result<SignedRoot, DecodeError> {
     let root = take_digest(d)?;
     let tag = match d.take_u8()? {
         1 => AdsTag::Network,
         2 => AdsTag::Distance,
         3 => AdsTag::HyperEdges,
         4 => AdsTag::CellDirectory,
+        5 => AdsTag::Poi,
         t => return Err(DecodeError::BadTag(t)),
     };
     let leaf_count = d.take_u64()?;
@@ -366,6 +418,39 @@ fn take_keyed(d: &mut Decoder<'_>) -> Result<KeyedProof, DecodeError> {
         entries,
         positions,
         merkle: take_merkle(d)?,
+    })
+}
+
+/// Emits a contiguous key-range completeness proof (the certificate
+/// shape `spnet-queries`' POI directory ships).
+pub fn put_key_range_proof(e: &mut Encoder, k: &KeyRangeProof) {
+    e.put_u32(k.entries.len() as u32);
+    for entry in &k.entries {
+        e.put_u64(entry.key);
+        e.put_f64(entry.value);
+    }
+    e.put_u32(k.first);
+    put_merkle(e, &k.merkle);
+}
+
+/// Consumes a key-range proof (counterpart of [`put_key_range_proof`]).
+pub fn take_key_range_proof(d: &mut Decoder<'_>) -> Result<KeyRangeProof, DecodeError> {
+    let n = d.take_u32()? as usize;
+    if n > 1 << 24 {
+        return Err(DecodeError::LengthOverflow(n as u64));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(KeyedEntry {
+            key: d.take_u64()?,
+            value: d.take_f64()?,
+        });
+    }
+    let first = d.take_u32()?;
+    Ok(KeyRangeProof {
+        entries,
+        first,
+        merkle: take_merkle(&mut *d)?,
     })
 }
 
@@ -804,6 +889,70 @@ mod tests {
             decode_frame(&fbytes),
             Err(DecodeError::UnsupportedVersion(7))
         );
+    }
+
+    fn range_for(method: MethodConfig) -> (crate::queries::RangeAnswer, Client) {
+        let g = grid_network(9, 9, 1.15, 1304);
+        let mut rng = StdRng::seed_from_u64(1305);
+        let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+        let client = Client::new(p.public_key);
+        let provider = ServiceProvider::new(p.package);
+        (provider.answer_range(NodeId(40), 3_000.0).unwrap(), client)
+    }
+
+    #[test]
+    fn range_answer_round_trip_all_methods() {
+        for method in all_methods() {
+            let (answer, client) = range_for(method.clone());
+            let bytes = encode_range_answer(&answer);
+            let back = decode_range_answer(&bytes).unwrap();
+            assert_eq!(back, answer, "{}", method.name());
+            client
+                .verify_range(NodeId(40), 3_000.0, &back)
+                .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+        }
+    }
+
+    #[test]
+    fn truncated_range_bytes_rejected() {
+        let (answer, _) = range_for(MethodConfig::Dij);
+        let bytes = encode_range_answer(&answer);
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_range_answer(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = bytes;
+        long.push(0);
+        assert!(matches!(
+            decode_range_answer(&long),
+            Err(DecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn key_range_proof_round_trip() {
+        use spnet_crypto::mbtree::MerkleBTree;
+        let entries: Vec<KeyedEntry> = (0..40u64)
+            .map(|i| KeyedEntry {
+                key: i * 3,
+                value: i as f64 * 0.5,
+            })
+            .collect();
+        let tree = MerkleBTree::build(entries, 4).unwrap();
+        let proof = tree.prove_key_range(9, 60).unwrap();
+        let mut e = Encoder::new();
+        put_key_range_proof(&mut e, &proof);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = take_key_range_proof(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, proof);
+        let got = back.verify(tree.root(), 9, 60).unwrap();
+        // Keys are multiples of 3; [9, 60] holds 9, 12, …, 60.
+        assert_eq!(got.len(), 18);
+        for cut in [0usize, 2, bytes.len() / 2, bytes.len() - 1] {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(take_key_range_proof(&mut d).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod bigint;
+pub mod cache;
 pub mod digest;
 pub mod mbtree;
 pub mod merkle;

@@ -10,11 +10,12 @@
 //! value together, so a lookup proof authenticates both; membership of
 //! *sets* of keys reuses the multi-leaf Merkle proof machinery.
 
+use crate::cache::{PageCache, PageCacheCfg};
 use crate::digest::{hash_bytes, Digest};
 use crate::merkle::{MerkleError, MerkleProof, MerkleTree};
 use crate::pager::EntryPager;
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// A `(composite key, f64 value)` tuple as materialized by the owner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +71,13 @@ pub enum MbTreeError {
     /// A looked-up key does not exist (the owner materializes all pairs,
     /// so this indicates a provider bug or attack).
     KeyNotFound(u64),
+    /// A range proof reconstructed a root that differs from the trusted
+    /// one.
+    RootMismatch,
+    /// A range proof's leaf run does not bracket the queried interval,
+    /// so completeness is unproven (the message names the failed
+    /// boundary).
+    RangeIncomplete(&'static str),
     /// Underlying Merkle failure.
     Merkle(MerkleError),
 }
@@ -82,6 +90,12 @@ impl std::fmt::Display for MbTreeError {
                 write!(f, "entries must be sorted by strictly increasing key")
             }
             MbTreeError::KeyNotFound(k) => write!(f, "key {k:#x} not found"),
+            MbTreeError::RootMismatch => {
+                write!(f, "range proof root does not match the trusted root")
+            }
+            MbTreeError::RangeIncomplete(which) => {
+                write!(f, "range proof does not certify completeness: {which}")
+            }
             MbTreeError::Merkle(e) => write!(f, "merkle error: {e}"),
         }
     }
@@ -138,6 +152,89 @@ impl KeyedProof {
     }
 }
 
+/// A completeness proof for a key interval `[lo, hi]`, grovedb-style.
+///
+/// Carries the *contiguous* leaf run covering every entry whose key
+/// falls in the interval, extended by one boundary entry on each side
+/// (the predecessor of `lo` and the successor of `hi`, when they
+/// exist). Verification reconstructs the signed root from the run and
+/// then checks the brackets: if the run does not start at leaf 0, its
+/// first key must be `< lo`, and if it does not end at the last leaf,
+/// its last key must be `> hi`. Together with the strict key ordering
+/// enforced at build time this proves **no entry in `[lo, hi]` was
+/// omitted** — including the empty-interval case, which doubles as a
+/// non-membership proof.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRangeProof {
+    /// The contiguous leaf run, in key order.
+    pub entries: Vec<KeyedEntry>,
+    /// Global leaf position of `entries[0]`.
+    pub first: u32,
+    /// Merkle cover digests for the run.
+    pub merkle: MerkleProof,
+}
+
+impl KeyRangeProof {
+    /// Number of digest items in the Merkle part.
+    pub fn num_items(&self) -> usize {
+        self.merkle.num_items()
+    }
+
+    /// Byte size: run entries (16B each) + 4B start position + Merkle.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 16 + 4 + self.merkle.size_bytes()
+    }
+
+    /// Total leaf count of the proven tree. The caller must check this
+    /// against the signed metadata's leaf count — the proof itself only
+    /// binds the run to `root`.
+    pub fn leaf_count(&self) -> usize {
+        self.merkle.leaf_count as usize
+    }
+
+    /// Verifies the run against `root` and the interval brackets, and
+    /// returns exactly the entries with key in `[lo, hi]` (possibly
+    /// empty — a proven non-membership).
+    pub fn verify(&self, root: Digest, lo: u64, hi: u64) -> Result<Vec<KeyedEntry>, MbTreeError> {
+        if lo > hi {
+            return Err(MbTreeError::RangeIncomplete("interval is empty (lo > hi)"));
+        }
+        if self.entries.is_empty() {
+            return Err(MbTreeError::Empty);
+        }
+        if self.entries.windows(2).any(|w| w[0].key >= w[1].key) {
+            return Err(MbTreeError::UnsortedKeys);
+        }
+        let pairs: Vec<(usize, Digest)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (self.first as usize + i, e.digest()))
+            .collect();
+        if self.merkle.reconstruct_root(&pairs)? != root {
+            return Err(MbTreeError::RootMismatch);
+        }
+        let first = self.first as usize;
+        let last = first + self.entries.len() - 1;
+        if first > 0 && self.entries[0].key >= lo {
+            return Err(MbTreeError::RangeIncomplete(
+                "left boundary: run does not start at leaf 0 and its first key is not below lo",
+            ));
+        }
+        if last + 1 < self.leaf_count() && self.entries[self.entries.len() - 1].key <= hi {
+            return Err(MbTreeError::RangeIncomplete(
+                "right boundary: run does not end at the last leaf and its last key is not above hi",
+            ));
+        }
+        Ok(self
+            .entries
+            .iter()
+            .filter(|e| (lo..=hi).contains(&e.key))
+            .copied()
+            .collect())
+    }
+}
+
 /// Physical representation of the sorted entry array.
 #[derive(Debug, Clone)]
 enum EntryRepr {
@@ -151,7 +248,8 @@ enum EntryRepr {
         len: usize,
         page_entries: usize,
         first_keys: Vec<u64>,
-        cache: Vec<OnceLock<Arc<Vec<KeyedEntry>>>>,
+        /// Bounded LRU over resident entry pages, shared across clones.
+        cache: Arc<PageCache<Vec<KeyedEntry>>>,
     },
 }
 
@@ -192,6 +290,26 @@ impl MerkleBTree {
         first_keys: Vec<u64>,
         tree: MerkleTree,
     ) -> Result<Self, MbTreeError> {
+        Self::open_paged_with_cache(
+            pager,
+            len,
+            page_entries,
+            first_keys,
+            tree,
+            PageCacheCfg::default(),
+        )
+    }
+
+    /// [`MerkleBTree::open_paged`] with an explicit entry-page cache
+    /// bound and optional shared eviction counter.
+    pub fn open_paged_with_cache(
+        pager: Arc<dyn EntryPager>,
+        len: usize,
+        page_entries: usize,
+        first_keys: Vec<u64>,
+        tree: MerkleTree,
+        cache_cfg: PageCacheCfg,
+    ) -> Result<Self, MbTreeError> {
         if len == 0 {
             return Err(MbTreeError::Empty);
         }
@@ -210,7 +328,7 @@ impl MerkleBTree {
                 tree.leaf_count()
             ))));
         }
-        let cache = (0..first_keys.len()).map(|_| OnceLock::new()).collect();
+        let cache = Arc::new(PageCache::new(cache_cfg));
         Ok(MerkleBTree {
             entries: EntryRepr::Paged {
                 pager,
@@ -269,14 +387,18 @@ impl MerkleBTree {
     /// Faults in one entry page (paged repr only).
     fn entry_page(
         pager: &Arc<dyn EntryPager>,
-        cache: &[OnceLock<Arc<Vec<KeyedEntry>>>],
+        cache: &PageCache<Vec<KeyedEntry>>,
         len: usize,
         page_entries: usize,
         page: usize,
     ) -> Result<Arc<Vec<KeyedEntry>>, MbTreeError> {
-        let slot = &cache[page];
-        if let Some(run) = slot.get() {
-            return Ok(Arc::clone(run));
+        if let Some(run) = cache.get(page as u64) {
+            return Ok(run);
+        }
+        if page >= len.div_ceil(page_entries) {
+            return Err(MbTreeError::Merkle(MerkleError::Page(format!(
+                "entry page {page} outside the tree shape"
+            ))));
         }
         let run = pager
             .load_entries(page as u32)
@@ -288,8 +410,7 @@ impl MerkleBTree {
                 run.len()
             ))));
         }
-        let _ = slot.set(Arc::new(run));
-        Ok(Arc::clone(slot.get().expect("slot just initialized")))
+        Ok(cache.insert(page as u64, Arc::new(run)))
     }
 
     /// Locates `key`, faulting at most one page: returns the global
@@ -345,6 +466,63 @@ impl MerkleBTree {
         Ok(KeyedProof {
             entries: found.values().copied().collect(),
             positions: found.keys().map(|&i| i as u32).collect(),
+            merkle,
+        })
+    }
+
+    /// The entry at global position `idx`; faults at most one page on a
+    /// paged tree.
+    fn entry_at(&self, idx: usize) -> Result<KeyedEntry, MbTreeError> {
+        match &self.entries {
+            EntryRepr::Dense(es) => Ok(es[idx]),
+            EntryRepr::Paged {
+                pager,
+                len,
+                page_entries,
+                cache,
+                ..
+            } => {
+                let run = Self::entry_page(pager, cache, *len, *page_entries, idx / page_entries)?;
+                Ok(run[idx % page_entries])
+            }
+        }
+    }
+
+    /// First global position whose key fails `pred`, by binary search.
+    /// Faults O(log pages) entry pages on a paged tree.
+    fn partition_point_global(&self, pred: impl Fn(u64) -> bool) -> Result<usize, MbTreeError> {
+        let (mut left, mut right) = (0usize, self.len());
+        while left < right {
+            let mid = left + (right - left) / 2;
+            if pred(self.entry_at(mid)?.key) {
+                left = mid + 1;
+            } else {
+                right = mid;
+            }
+        }
+        Ok(left)
+    }
+
+    /// Builds a completeness proof for the key interval `[lo, hi]`: the
+    /// contiguous leaf run holding every in-interval entry plus its
+    /// bracketing neighbours. On a paged tree this faults only the run
+    /// pages, the O(log n) pages the position search touches, and the
+    /// digest pages of the Merkle cover.
+    pub fn prove_key_range(&self, lo: u64, hi: u64) -> Result<KeyRangeProof, MbTreeError> {
+        if lo > hi {
+            return Err(MbTreeError::RangeIncomplete("interval is empty (lo > hi)"));
+        }
+        let len = self.len();
+        let lo_idx = self.partition_point_global(|k| k < lo)?;
+        let hi_idx = self.partition_point_global(|k| k <= hi)?;
+        let start = lo_idx.saturating_sub(1);
+        let end = (hi_idx + 1).min(len); // exclusive
+        let entries: Result<Vec<KeyedEntry>, MbTreeError> =
+            (start..end).map(|i| self.entry_at(i)).collect();
+        let merkle = self.tree.prove((start..end).collect())?;
+        Ok(KeyRangeProof {
+            entries: entries?,
+            first: start as u32,
             merkle,
         })
     }
@@ -587,6 +765,134 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, MbTreeError::UnsortedKeys));
+    }
+
+    #[test]
+    fn key_range_proof_round_trip() {
+        // Keys 0, 3, 6, ..., 297.
+        let t = MerkleBTree::build(sample_entries(100), 4).unwrap();
+        for (lo, hi, expected) in [
+            (0u64, 297u64, 100usize), // whole keyspace
+            (0, u64::MAX, 100),
+            (3, 9, 3),     // interior, exact hits
+            (4, 8, 1),     // interior, off-key bounds (only key 6)
+            (7, 8, 0),     // proven-empty interval
+            (298, 500, 0), // past the last key
+            (150, 150, 1),
+        ] {
+            let p = t.prove_key_range(lo, hi).unwrap();
+            let got = p.verify(t.root(), lo, hi).unwrap();
+            assert_eq!(got.len(), expected, "[{lo}, {hi}]");
+            assert!(got.iter().all(|e| (lo..=hi).contains(&e.key)));
+            assert_eq!(p.leaf_count(), 100);
+        }
+    }
+
+    #[test]
+    fn key_range_proof_detects_omission() {
+        let t = MerkleBTree::build(sample_entries(100), 4).unwrap();
+        let p = t.prove_key_range(30, 60).unwrap();
+        // Dropping an interior entry breaks the contiguous run → the
+        // reconstructed root can no longer match.
+        let mut tampered = p.clone();
+        tampered.entries.remove(tampered.entries.len() / 2);
+        assert!(tampered.verify(t.root(), 30, 60).is_err());
+        // Truncating the run's tail hides the right bracket.
+        let mut truncated = p.clone();
+        truncated.entries.pop();
+        let err = truncated.verify(t.root(), 30, 60).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MbTreeError::RootMismatch
+                    | MbTreeError::RangeIncomplete(_)
+                    | MbTreeError::Merkle(_)
+            ),
+            "{err:?}"
+        );
+        // Shifting the run start misaligns every leaf position.
+        let mut shifted = p;
+        shifted.first += 1;
+        assert!(shifted.verify(t.root(), 30, 60).is_err());
+    }
+
+    #[test]
+    fn key_range_proof_requires_brackets() {
+        let t = MerkleBTree::build(sample_entries(100), 4).unwrap();
+        // A run of genuine entries that simply stops early: positions
+        // and digests are honest, but the last key is ≤ hi while leaves
+        // remain to the right — the right-bracket check must fire.
+        let entries: Vec<KeyedEntry> = (10..=20).map(|i| t.entry_at(i).unwrap()).collect();
+        let merkle = t.tree().prove((10..=20).collect()).unwrap();
+        let honest_but_short = KeyRangeProof {
+            entries,
+            first: 10,
+            merkle,
+        };
+        // Keys at positions 10..=20 are 30..=60; query [30, 100].
+        let err = honest_but_short.verify(t.root(), 30, 100).unwrap_err();
+        assert!(matches!(err, MbTreeError::RangeIncomplete(_)), "{err:?}");
+        // Same on the left: run starts past leaf 0 with first key ≥ lo.
+        let entries: Vec<KeyedEntry> = (10..=20).map(|i| t.entry_at(i).unwrap()).collect();
+        let merkle = t.tree().prove((10..=20).collect()).unwrap();
+        let missing_left = KeyRangeProof {
+            entries,
+            first: 10,
+            merkle,
+        };
+        let err = missing_left.verify(t.root(), 0, 60).unwrap_err();
+        assert!(matches!(err, MbTreeError::RangeIncomplete(_)), "{err:?}");
+    }
+
+    #[test]
+    fn key_range_proof_paged_matches_dense() {
+        let dense = MerkleBTree::build(sample_entries(200), 8).unwrap();
+        let (paged, pager) = paged_from_dense(&dense, 16);
+        for (lo, hi) in [(0u64, 597u64), (90, 210), (91, 92), (600, 700)] {
+            let a = dense.prove_key_range(lo, hi).unwrap();
+            let b = paged.prove_key_range(lo, hi).unwrap();
+            assert_eq!(a, b, "[{lo}, {hi}]");
+            assert_eq!(
+                a.verify(dense.root(), lo, hi).unwrap(),
+                b.verify(paged.root(), lo, hi).unwrap()
+            );
+        }
+        // A narrow range must not fault every entry page.
+        let faults = pager.faults.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(faults < 4 * 13, "faulted {faults} entry pages");
+    }
+
+    #[test]
+    fn paged_btree_entry_cache_is_bounded() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let dense = MerkleBTree::build(sample_entries(200), 8).unwrap();
+        let entries = dense.dense_entries().unwrap().to_vec();
+        let first_keys: Vec<u64> = entries.chunks(8).map(|c| c[0].key).collect();
+        let pager = Arc::new(VecEntryPager {
+            entries,
+            page_entries: 8,
+            faults: AtomicU64::new(0),
+        });
+        let evictions = Arc::new(AtomicU64::new(0));
+        let paged = MerkleBTree::open_paged_with_cache(
+            Arc::clone(&pager) as Arc<dyn EntryPager>,
+            200,
+            8,
+            first_keys,
+            dense.tree().clone(),
+            crate::cache::PageCacheCfg {
+                capacity: 3,
+                evictions: Some(Arc::clone(&evictions)),
+            },
+        )
+        .unwrap();
+        for key in (0..200u64).map(|i| i * 3) {
+            assert_eq!(paged.get(key), dense.get(key), "key {key}");
+        }
+        let faults = pager.faults.load(Ordering::Relaxed);
+        let evicted = evictions.load(Ordering::Relaxed);
+        assert!(evicted > 0, "sweep must overflow a 3-page cache");
+        assert!(faults - evicted <= 3, "resident {}", faults - evicted);
     }
 
     #[test]

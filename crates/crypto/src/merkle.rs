@@ -13,10 +13,11 @@
 //! digests plus the proof entries and compares it against the signed
 //! root.
 
+use crate::cache::{PageCache, PageCacheCfg};
 use crate::digest::{hash_digests, Digest};
 use crate::pager::DigestPager;
 use std::collections::BTreeSet;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Errors raised while building or checking Merkle structures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -258,9 +259,9 @@ fn level_sizes(leaf_count: usize, fanout: usize) -> Vec<usize> {
 }
 
 /// Lazily paged tree levels: digests resolve on demand from a
-/// [`DigestPager`], merk-`Link` style — a page is either resolved (in
-/// the `OnceLock` cache) or a stub to be faulted from the backing
-/// store. The root is loaded eagerly at open so `root()` stays
+/// [`DigestPager`], merk-`Link` style — a page is either resident (in
+/// the bounded LRU [`PageCache`]) or a stub to be faulted from the
+/// backing store. The root is loaded eagerly at open so `root()` stays
 /// infallible.
 #[derive(Debug, Clone)]
 struct PagedLevels {
@@ -269,16 +270,22 @@ struct PagedLevels {
     sizes: Vec<usize>,
     /// Digests per page (all levels; last page of a level may be short).
     page_digests: usize,
-    /// Per-level, per-page resolved digest runs.
-    cache: Vec<Vec<OnceLock<Arc<Vec<Digest>>>>>,
+    /// Resident pages keyed by `(level << 32) | page`, shared across
+    /// clones so every handle sees the same residency bound.
+    cache: Arc<PageCache<Vec<Digest>>>,
     root: Digest,
 }
 
 impl PagedLevels {
     fn page(&self, level: usize, page: usize) -> Result<Arc<Vec<Digest>>, MerkleError> {
-        let slot = &self.cache[level][page];
-        if let Some(run) = slot.get() {
-            return Ok(Arc::clone(run));
+        let key = ((level as u64) << 32) | page as u64;
+        if let Some(run) = self.cache.get(key) {
+            return Ok(run);
+        }
+        if page >= self.sizes[level].div_ceil(self.page_digests) {
+            return Err(MerkleError::Page(format!(
+                "level {level} page {page} outside the tree shape"
+            )));
         }
         let run = self
             .pager
@@ -293,8 +300,7 @@ impl PagedLevels {
         }
         // A concurrent fault may have won the race; either value is the
         // same verified page, so keep whichever landed first.
-        let _ = slot.set(Arc::new(run));
-        Ok(Arc::clone(slot.get().expect("slot just initialized")))
+        Ok(self.cache.insert(key, Arc::new(run)))
     }
 
     fn digest_at(&self, level: usize, index: usize) -> Result<Digest, MerkleError> {
@@ -355,13 +361,31 @@ impl MerkleTree {
     }
 
     /// Opens a read-only tree whose levels live in a paged backing
-    /// store. Only the root page is faulted eagerly; `prove` faults the
-    /// pages its proof paths touch.
+    /// store, with the default residency bound. Only the root page is
+    /// faulted eagerly; `prove` faults the pages its proof paths touch.
     pub fn open_paged(
         pager: Arc<dyn DigestPager>,
         leaf_count: usize,
         fanout: usize,
         page_digests: usize,
+    ) -> Result<Self, MerkleError> {
+        Self::open_paged_with_cache(
+            pager,
+            leaf_count,
+            fanout,
+            page_digests,
+            PageCacheCfg::default(),
+        )
+    }
+
+    /// [`MerkleTree::open_paged`] with an explicit page-cache bound and
+    /// optional shared eviction counter.
+    pub fn open_paged_with_cache(
+        pager: Arc<dyn DigestPager>,
+        leaf_count: usize,
+        fanout: usize,
+        page_digests: usize,
+        cache_cfg: PageCacheCfg,
     ) -> Result<Self, MerkleError> {
         if leaf_count == 0 {
             return Err(MerkleError::EmptyTree);
@@ -373,19 +397,11 @@ impl MerkleTree {
             return Err(MerkleError::Page("page_digests must be ≥ 1".into()));
         }
         let sizes = level_sizes(leaf_count, fanout);
-        let cache: Vec<Vec<OnceLock<Arc<Vec<Digest>>>>> = sizes
-            .iter()
-            .map(|&s| {
-                (0..s.div_ceil(page_digests))
-                    .map(|_| OnceLock::new())
-                    .collect()
-            })
-            .collect();
         let mut paged = PagedLevels {
             pager,
             sizes,
             page_digests,
-            cache,
+            cache: Arc::new(PageCache::new(cache_cfg)),
             root: Digest::ZERO,
         };
         paged.root = paged.digest_at(paged.sizes.len() - 1, 0)?;
@@ -942,6 +958,42 @@ mod tests {
             pager.faults.load(std::sync::atomic::Ordering::Relaxed),
             after_prove
         );
+    }
+
+    #[test]
+    fn paged_tree_cache_is_bounded() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let ls = leaves(256);
+        let dense = MerkleTree::build(ls, 2).unwrap();
+        let pager = Arc::new(VecPager::new(&dense, 4));
+        let evictions = Arc::new(AtomicU64::new(0));
+        let paged = MerkleTree::open_paged_with_cache(
+            Arc::clone(&pager) as Arc<dyn DigestPager>,
+            256,
+            2,
+            4,
+            crate::cache::PageCacheCfg {
+                capacity: 8,
+                evictions: Some(Arc::clone(&evictions)),
+            },
+        )
+        .unwrap();
+        // Sweep every leaf page — far more pages than the bound.
+        for i in 0..256 {
+            assert!(paged.leaf(i).is_some());
+        }
+        let faults = pager.faults.load(Ordering::Relaxed);
+        let evicted = evictions.load(Ordering::Relaxed);
+        assert!(evicted > 0, "sweep must overflow an 8-page cache");
+        assert!(
+            faults - evicted <= 8,
+            "resident pages {} exceed the bound",
+            faults - evicted
+        );
+        // Evicted pages re-fault transparently: proofs still match the
+        // dense tree.
+        let set: BTreeSet<usize> = [0usize, 255].into_iter().collect();
+        assert_eq!(paged.prove(set.clone()).unwrap(), dense.prove(set).unwrap());
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Owner-signed point-of-interest sets and their verified directories.
+//!
+//! A POI set maps node ids to an application payload (a category code,
+//! a weight — the operators never interpret it). The owner builds a
+//! [`MerkleBTree`] keyed by node id, signs its root with
+//! [`AdsTag::Poi`] metadata, and hands the tree to the provider; the
+//! k-nearest operator then certifies **completeness** by shipping the
+//! whole-keyspace [`KeyRangeProof`] — the same grovedb-style bracket
+//! argument the crypto layer proves for arbitrary intervals, here
+//! pinned to `[0, u64::MAX]` so the run necessarily covers every leaf
+//! of the signed tree.
+
+use crate::QueryError;
+use spnet_core::ads::{AdsMeta, AdsTag, SignedRoot};
+use spnet_core::snapshot::{load_poi_set, save_poi_set};
+use spnet_crypto::mbtree::{KeyRangeProof, KeyedEntry, MerkleBTree};
+use spnet_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use spnet_graph::NodeId;
+use spnet_store::{NodeStore, StoreBackend};
+use std::path::{Path, PathBuf};
+
+/// Fanout of the POI Merkle B-tree (POI sets are small next to the
+/// all-pairs distance trees; a modest fanout keeps proofs shallow).
+pub const POI_FANOUT: usize = 16;
+
+/// An owner-signed POI set: the provider-side (and owner-side) handle.
+#[derive(Debug, Clone)]
+pub struct PoiSet {
+    signed: SignedRoot,
+    tree: MerkleBTree,
+}
+
+impl PoiSet {
+    /// Builds and signs a POI set over `(node, payload)` items (any
+    /// order; duplicates rejected). The signature binds the root, the
+    /// [`AdsTag::Poi`] tag and the leaf count, so a provider can
+    /// neither substitute a foreign tree nor truncate the directory.
+    pub fn publish(keypair: &RsaKeyPair, pois: &[(NodeId, f64)]) -> Result<PoiSet, QueryError> {
+        if pois.is_empty() {
+            return Err(QueryError::EmptyPoiSet);
+        }
+        let mut entries: Vec<KeyedEntry> = pois
+            .iter()
+            .map(|&(v, payload)| KeyedEntry {
+                key: v.0 as u64,
+                value: payload,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.key);
+        if let Some(w) = entries.windows(2).find(|w| w[0].key == w[1].key) {
+            return Err(QueryError::DuplicatePoi(NodeId(w[0].key as u32)));
+        }
+        let tree = MerkleBTree::build(entries, POI_FANOUT)?;
+        let meta = AdsMeta {
+            tag: AdsTag::Poi,
+            leaf_count: tree.len() as u64,
+            fanout: POI_FANOUT as u32,
+            params: Vec::new(),
+        };
+        let signed = SignedRoot::sign(keypair, tree.root(), meta);
+        Ok(PoiSet { signed, tree })
+    }
+
+    /// The owner-signed POI root.
+    pub fn signed(&self) -> &SignedRoot {
+        &self.signed
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if the set is empty (unreachable post-`publish`).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The completeness certificate: a key-range proof over the whole
+    /// keyspace. Its brackets force the run to start at leaf 0 and end
+    /// at the last leaf, so verification yields the complete directory.
+    pub fn prove_all(&self) -> Result<KeyRangeProof, QueryError> {
+        Ok(self.tree.prove_key_range(0, u64::MAX)?)
+    }
+
+    /// Persists the signed set into `dir` (see
+    /// [`spnet_core::snapshot::save_poi_set`]); a restarted provider
+    /// reloads it without the owner re-signing.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, QueryError> {
+        Ok(save_poi_set(dir, &self.signed, &self.tree)?)
+    }
+
+    /// Loads a persisted set. On the `File` backend the entry and
+    /// digest pages fault in lazily through the bounded page cache;
+    /// the returned [`NodeStore`] exposes the fault/eviction counters.
+    /// Structural integrity is checked on load; the owner signature is
+    /// re-checked by every verifying client.
+    pub fn load(dir: &Path, backend: StoreBackend) -> Result<(PoiSet, NodeStore), QueryError> {
+        let loaded = load_poi_set(dir, backend)?;
+        Ok((
+            PoiSet {
+                signed: loaded.signed,
+                tree: loaded.tree,
+            },
+            loaded.store,
+        ))
+    }
+}
+
+/// A client-side POI directory whose completeness has been verified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoiDirectory {
+    /// Every POI `(node, payload)`, ascending by node id — proven
+    /// exhaustive for the signed set.
+    pois: Vec<(NodeId, f64)>,
+}
+
+impl PoiDirectory {
+    /// Verifies that `proof` reveals the **complete** directory of the
+    /// POI set signed in `signed`:
+    ///
+    /// 1. the owner's RSA signature over root + metadata holds,
+    /// 2. the metadata carries the [`AdsTag::Poi`] tag (no foreign
+    ///    signed structure can stand in),
+    /// 3. the proof's leaf count equals the signed leaf count (no
+    ///    truncated tree), and
+    /// 4. the whole-keyspace run reconstructs the signed root with
+    ///    valid brackets.
+    pub fn verify(
+        owner: &RsaPublicKey,
+        signed: &SignedRoot,
+        proof: &KeyRangeProof,
+    ) -> Result<PoiDirectory, QueryError> {
+        if signed.meta.tag != AdsTag::Poi {
+            return Err(QueryError::ForeignPoiTag);
+        }
+        if !signed.verify(owner) {
+            return Err(QueryError::BadPoiSignature);
+        }
+        if proof.leaf_count() as u64 != signed.meta.leaf_count {
+            return Err(QueryError::PoiCountMismatch {
+                signed: signed.meta.leaf_count,
+                proven: proof.leaf_count() as u64,
+            });
+        }
+        let entries = proof.verify(signed.root, 0, u64::MAX)?;
+        if entries.len() as u64 != signed.meta.leaf_count {
+            return Err(QueryError::PoiCountMismatch {
+                signed: signed.meta.leaf_count,
+                proven: entries.len() as u64,
+            });
+        }
+        Ok(PoiDirectory {
+            pois: entries
+                .into_iter()
+                .map(|e| (NodeId(e.key as u32), e.value))
+                .collect(),
+        })
+    }
+
+    /// The complete `(node, payload)` directory, ascending by node id.
+    pub fn pois(&self) -> &[(NodeId, f64)] {
+        &self.pois
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// True if the directory is empty (unreachable: empty sets cannot
+    /// be published).
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(&mut rng, spnet_core::owner::SetupConfig::default().rsa_bits)
+    }
+
+    fn sample_pois() -> Vec<(NodeId, f64)> {
+        vec![(NodeId(5), 1.0), (NodeId(2), 2.0), (NodeId(40), 3.0)]
+    }
+
+    #[test]
+    fn publish_verify_round_trip() {
+        let kp = keypair(9000);
+        let set = PoiSet::publish(&kp, &sample_pois()).unwrap();
+        assert_eq!(set.len(), 3);
+        let dir =
+            PoiDirectory::verify(kp.public_key(), set.signed(), &set.prove_all().unwrap()).unwrap();
+        // Sorted ascending regardless of publish order.
+        assert_eq!(
+            dir.pois(),
+            &[(NodeId(2), 2.0), (NodeId(5), 1.0), (NodeId(40), 3.0)]
+        );
+    }
+
+    #[test]
+    fn empty_and_duplicate_sets_rejected() {
+        let kp = keypair(9001);
+        assert!(matches!(
+            PoiSet::publish(&kp, &[]),
+            Err(QueryError::EmptyPoiSet)
+        ));
+        assert!(matches!(
+            PoiSet::publish(&kp, &[(NodeId(1), 0.0), (NodeId(1), 1.0)]),
+            Err(QueryError::DuplicatePoi(NodeId(1)))
+        ));
+    }
+
+    #[test]
+    fn wrong_owner_key_rejected() {
+        let kp = keypair(9002);
+        let other = keypair(9003);
+        let set = PoiSet::publish(&kp, &sample_pois()).unwrap();
+        assert!(matches!(
+            PoiDirectory::verify(other.public_key(), set.signed(), &set.prove_all().unwrap()),
+            Err(QueryError::BadPoiSignature)
+        ));
+    }
+
+    #[test]
+    fn foreign_tag_rejected() {
+        let kp = keypair(9004);
+        let set = PoiSet::publish(&kp, &sample_pois()).unwrap();
+        let mut evil = set.signed().clone();
+        evil.meta.tag = AdsTag::Distance;
+        assert!(matches!(
+            PoiDirectory::verify(kp.public_key(), &evil, &set.prove_all().unwrap()),
+            Err(QueryError::ForeignPoiTag)
+        ));
+    }
+
+    #[test]
+    fn truncated_directory_rejected() {
+        // A proof from a smaller signed-leaf-count tree cannot stand in
+        // for the full set: the leaf-count cross-check fires before any
+        // root reasoning.
+        let kp = keypair(9005);
+        let set = PoiSet::publish(&kp, &sample_pois()).unwrap();
+        let small = PoiSet::publish(&kp, &sample_pois()[..2]).unwrap();
+        let err = PoiDirectory::verify(kp.public_key(), set.signed(), &small.prove_all().unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                QueryError::PoiCountMismatch {
+                    signed: 3,
+                    proven: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn save_load_preserves_root_and_counters_exist() {
+        let kp = keypair(9006);
+        let set = PoiSet::publish(&kp, &sample_pois()).unwrap();
+        let dir = std::env::temp_dir().join(format!("spnet-poi-{}", std::process::id()));
+        set.save(&dir).unwrap();
+        for backend in [StoreBackend::Mem, StoreBackend::File] {
+            let (back, store) = PoiSet::load(&dir, backend).unwrap();
+            assert_eq!(back.signed(), set.signed());
+            let proof = back.prove_all().unwrap();
+            PoiDirectory::verify(kp.public_key(), back.signed(), &proof).unwrap();
+            // Counter accessors exist on both backends (File faults).
+            let _ = (store.fault_count(), store.evict_count());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -86,6 +86,10 @@ impl MemStore {
 pub struct FileStore {
     snap: Snapshot,
     faults: Arc<AtomicU64>,
+    /// Pages dropped by the bounded page caches layered over this
+    /// store (the paged `MerkleTree`/`MerkleBTree` structures share
+    /// this counter), so resident pages = faults − evictions.
+    evictions: Arc<AtomicU64>,
 }
 
 /// A page-granular view of one paged section, backend-independent.
@@ -175,6 +179,7 @@ impl NodeStore {
         Ok(NodeStore::File(FileStore {
             snap: Snapshot::open(path)?,
             faults: Arc::new(AtomicU64::new(0)),
+            evictions: Arc::new(AtomicU64::new(0)),
         }))
     }
 
@@ -254,6 +259,28 @@ impl NodeStore {
         match self {
             NodeStore::Mem(_) => 0,
             NodeStore::File(f) => f.faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pages evicted from the bounded page caches layered over this
+    /// store so far (0 on the `Mem` backend). `fault_count() -
+    /// evict_count()` bounds the pages currently resident in those
+    /// caches.
+    pub fn evict_count(&self) -> u64 {
+        match self {
+            NodeStore::Mem(_) => 0,
+            NodeStore::File(f) => f.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shared eviction counter for cache plumbing, present only on
+    /// the `File` backend. Loaders hand this to
+    /// `open_paged_with_cache` so evictions across every paged
+    /// structure aggregate here.
+    pub fn eviction_counter(&self) -> Option<Arc<AtomicU64>> {
+        match self {
+            NodeStore::Mem(_) => None,
+            NodeStore::File(f) => Some(Arc::clone(&f.evictions)),
         }
     }
 }

@@ -284,3 +284,46 @@ proptest! {
         std::fs::write(dir.join(SNAPSHOT_FILE), pristine).unwrap();
     }
 }
+
+/// The faulted-page cache is **bounded**: scanning a paged structure
+/// far larger than [`PAGE_CACHE_PAGES`] evicts LRU pages instead of
+/// accumulating them, so resident pages (faults − evictions) never
+/// exceed the configured bound. Uses a POI tree as the paged
+/// structure: at 256 entries/page, 140k POIs span ~547 entry pages
+/// against a 512-page cache.
+#[test]
+fn file_backend_page_cache_stays_bounded() {
+    use spnet_core::snapshot::PAGE_CACHE_PAGES;
+    use spnet_queries::PoiSet;
+
+    let _g = sign_lock();
+    let mut rng = StdRng::seed_from_u64(970);
+    let keypair = spnet_crypto::rsa::RsaKeyPair::generate(&mut rng, 512);
+    let n: u32 = 140_000;
+    let pois: Vec<(NodeId, f64)> = (0..n).map(|i| (NodeId(i), i as f64)).collect();
+    let set = PoiSet::publish(&keypair, &pois).unwrap();
+    let dir = tmpdir("cache-bound");
+    set.save(&dir).unwrap();
+
+    let (loaded, store) = PoiSet::load(&dir, StoreBackend::File).unwrap();
+    // Full completeness proof touches every entry page plus the digest
+    // pages of the Merkle cover — far more than the cache holds.
+    let proof = loaded.prove_all().unwrap();
+    assert_eq!(proof.entries.len(), n as usize);
+    assert!(
+        store.evict_count() > 0,
+        "a scan over ~547 pages must evict from a 512-page cache"
+    );
+    // Two paged structures (entry array + digest tree) share the
+    // store's counters, each individually bounded.
+    let resident = store.fault_count() - store.evict_count();
+    assert!(
+        resident <= 2 * PAGE_CACHE_PAGES as u64,
+        "resident pages {resident} exceed the configured bound"
+    );
+
+    // The bounded cache is purely a memory cap: the proof still
+    // verifies the complete directory.
+    spnet_queries::PoiDirectory::verify(keypair.public_key(), loaded.signed(), &proof).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
