@@ -4,11 +4,11 @@
 //! throughput_gate [options]
 //!
 //! options:
-//!   --mode <m>         throughput (default) | scale | service | store | queries
+//!   --mode <m>         throughput (default) | scale | service | store | queries | churn
 //!   --baseline <path>  committed baseline JSON
 //!                      (default BENCH_throughput.json / BENCH_scale.json
 //!                       / BENCH_service.json / BENCH_store.json
-//!                       / BENCH_queries.json)
+//!                       / BENCH_queries.json / BENCH_churn.json)
 //!
 //! throughput mode:
 //!   --scale <f>        dataset scale fraction (default 0.05, matching the baseline)
@@ -30,6 +30,12 @@
 //! queries mode:
 //!   --smoke-nodes <n>  live smoke size (default 50000; rounded to a
 //!                      square lattice — the queries smoke wants a few
+//!                      hundred nodes, pass e.g. 400)
+//!   --seed <n>         master seed (default 42)
+//!
+//! churn mode:
+//!   --smoke-nodes <n>  live smoke size (default 50000; rounded to a
+//!                      square lattice — the churn smoke wants a few
 //!                      hundred nodes, pass e.g. 400)
 //!   --seed <n>         master seed (default 42)
 //!
@@ -70,11 +76,19 @@
 //! batch — and runs a reduced-size live smoke of all three operators,
 //! re-checking the same machine-independent invariants (the overhead
 //! bar widened by the tolerance).
+//!
+//! **Churn mode** validates the committed `BENCH_churn.json` (the
+//! dynamic-update experiment) structurally — all four methods
+//! sustaining edge re-weights with verified serving interleaved, at
+//! most 2 RSA signatures per update, pinned sessions surviving
+//! updates, the post-churn snapshot refresh in place — and runs a
+//! reduced-size live smoke, comparing its probe-normalized sustained
+//! update rate against the committed baseline.
 
 use spnet_bench::gate;
 use spnet_bench::{
-    run_loadgen, run_queries, run_scale, run_store, run_throughput, HarnessConfig, LoadgenConfig,
-    QueriesConfig, ScaleConfig, StoreConfig,
+    run_churn, run_loadgen, run_queries, run_scale, run_store, run_throughput, ChurnConfig,
+    HarnessConfig, LoadgenConfig, QueriesConfig, ScaleConfig, StoreConfig,
 };
 use spnet_graph::gen::Dataset;
 use std::process::ExitCode;
@@ -83,7 +97,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "see module docs: throughput_gate [--mode throughput|scale|service|store|queries] \
+            "see module docs: throughput_gate [--mode throughput|scale|service|store|queries|churn] \
              [--baseline p] [--scale f] [--queries n] [--dataset d] [--seed n] [--smoke-nodes n]"
         );
         return ExitCode::SUCCESS;
@@ -103,12 +117,12 @@ fn main() -> ExitCode {
                 Some(v)
                     if matches!(
                         v.as_str(),
-                        "throughput" | "scale" | "service" | "store" | "queries"
+                        "throughput" | "scale" | "service" | "store" | "queries" | "churn"
                     ) =>
                 {
                     mode = v
                 }
-                _ => return bad_usage("--mode needs throughput|scale|service|store|queries"),
+                _ => return bad_usage("--mode needs throughput|scale|service|store|queries|churn"),
             },
             "--baseline" => match take_value(&mut i) {
                 Some(v) => baseline_path = Some(v),
@@ -151,6 +165,7 @@ fn main() -> ExitCode {
         "service" => "BENCH_service.json".into(),
         "store" => "BENCH_store.json".into(),
         "queries" => "BENCH_queries.json".into(),
+        "churn" => "BENCH_churn.json".into(),
         _ => "BENCH_throughput.json".into(),
     });
     let baseline_json = match std::fs::read_to_string(&baseline_path) {
@@ -184,6 +199,15 @@ fn main() -> ExitCode {
     }
     if mode == "queries" {
         return queries_gate(
+            &baseline_json,
+            &baseline_path,
+            smoke_nodes,
+            cfg.seed,
+            tolerance,
+        );
+    }
+    if mode == "churn" {
+        return churn_gate(
             &baseline_json,
             &baseline_path,
             smoke_nodes,
@@ -363,6 +387,71 @@ fn queries_gate(
     }
     if violations.is_empty() {
         eprintln!("[gate] ok: queries baseline + smoke clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[gate] FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Churn mode: committed-baseline validation + reduced live smoke of
+/// the dynamic-update loop.
+fn churn_gate(
+    baseline_json: &str,
+    baseline_path: &str,
+    smoke_nodes: usize,
+    seed: u64,
+    tolerance: f64,
+) -> ExitCode {
+    eprintln!(
+        "[gate] churn baseline {baseline_path}, tolerance {:.0}%, smoke at {smoke_nodes} nodes",
+        tolerance * 100.0
+    );
+    let (baseline_ref, rows) = match gate::parse_churn_baseline(baseline_json) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut violations = gate::churn_schema_violations(&rows);
+    for r in &rows {
+        println!(
+            "baseline {:5} {:>8.1} updates/s ({:>8.1} verified q/s interleaved), \
+             {:.1} signs/update, {:.1} dirty tuples, sessions {}, snapshot {} \
+             ({}/{} pages, {} B)",
+            r.method,
+            r.updates_per_sec,
+            r.query_qps,
+            r.signs_per_update,
+            r.avg_dirty_tuples,
+            if r.sessions_survive {
+                "survive"
+            } else {
+                "DROP"
+            },
+            if r.snapshot_in_place {
+                "in-place"
+            } else {
+                "rewrite"
+            },
+            r.snapshot_pages_rewritten,
+            r.snapshot_pages_total,
+            r.snapshot_bytes_written,
+        );
+    }
+    let smoke = run_churn(&ChurnConfig::smoke(smoke_nodes, seed));
+    violations.extend(gate::churn_smoke_violations(
+        baseline_ref,
+        &rows,
+        &smoke,
+        tolerance,
+    ));
+    for v in &violations {
+        println!("SCHEMA {v}");
+    }
+    if violations.is_empty() {
+        eprintln!("[gate] ok: churn baseline + smoke clean");
         ExitCode::SUCCESS
     } else {
         eprintln!("[gate] FAILED: {} violation(s)", violations.len());

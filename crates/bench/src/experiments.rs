@@ -506,7 +506,7 @@ pub fn timing(cfg: &HarnessConfig) -> Vec<(String, Table)> {
 }
 
 /// Which experiment ids exist (for CLI help and the `all` runner).
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "fig8",
     "fig9",
     "fig10",
@@ -523,6 +523,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "service",
     "store",
     "queries",
+    "churn",
     "all",
 ];
 
@@ -561,6 +562,9 @@ pub fn run(id: &str, cfg: &HarnessConfig) -> Option<Vec<(String, Table)>> {
         // Also outside `all`: rewrites the committed BENCH_queries.json
         // query-operator baseline the queries-gate checks against.
         "queries" => Some(crate::queries::queries(cfg)),
+        // Also outside `all`: rewrites the committed BENCH_churn.json
+        // dynamic-update baseline the churn-gate checks against.
+        "churn" => Some(crate::churn::churn(cfg)),
         "all" => {
             let mut out = Vec::new();
             for f in [

@@ -1,10 +1,10 @@
 //! Benchmark-regression gates: compares fresh measurement passes
 //! against the committed `BENCH_throughput.json` / `BENCH_scale.json`
 //! / `BENCH_service.json` / `BENCH_store.json` / `BENCH_queries.json`
-//! baselines.
+//! / `BENCH_churn.json` baselines.
 //!
 //! Used by the CI `throughput-gate`, `scale-gate`, `service-gate`,
-//! `store-gate` and `queries-gate` jobs (see
+//! `store-gate`, `queries-gate` and `churn-gate` jobs (see
 //! `.github/workflows/ci.yml` and the `throughput_gate` binary).
 //!
 //! ## Throughput gate
@@ -47,6 +47,17 @@
 //! same pairs. A reduced-size live smoke re-runs the operators and
 //! re-checks the same machine-independent invariants.
 //!
+//! ## Churn gate
+//!
+//! The committed `BENCH_churn.json` (the dynamic-update experiment)
+//! is validated structurally: all four methods sustaining edge
+//! re-weights with verified serving interleaved, at most
+//! [`CHURN_MAX_SIGNS_PER_UPDATE`] RSA signatures per update, pinned
+//! sessions surviving updates on their epoch, and the post-churn
+//! snapshot refresh staying in place. A reduced live smoke re-runs
+//! the loop and compares its probe-normalized sustained update rate
+//! against the committed baseline.
+//!
 //! ## Service gate
 //!
 //! The committed `BENCH_service.json` (the mixed-traffic load
@@ -62,6 +73,7 @@
 //! below are their inverses for exactly those schemas (no serde in the
 //! offline environment), pinned by round-trip tests.
 
+use crate::churn::{ChurnReport, ChurnRow};
 use crate::loadgen::ServiceReport;
 use crate::queries::{QueriesReport, QueriesRow};
 use crate::scale::{MethodScale, ScaleReport, ScaleRow, SsspScale};
@@ -923,6 +935,141 @@ pub fn queries_smoke_violations(report: &QueriesReport, tolerance: f64) -> Vec<S
             .into_iter()
             .map(|v| format!("smoke: {v}")),
     );
+    violations
+}
+
+/// Most RSA signing operations one edge re-weight may cost: the
+/// network root plus at most one auxiliary root (FULL's top tree,
+/// HYP's hyper-edge tree). Anything above this means a repair started
+/// re-signing per-entry — the O(|V|) failure mode incremental repair
+/// exists to avoid.
+pub const CHURN_MAX_SIGNS_PER_UPDATE: f64 = 2.0;
+
+/// Parses the committed `BENCH_churn.json` back into its rows.
+/// Accepts exactly the schema `ChurnReport::to_json` writes.
+pub fn parse_churn_baseline(json: &str) -> Result<(f64, Vec<ChurnRow>), String> {
+    let schema = string_field(json, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "spnet-churn/v1" {
+        return Err(format!(
+            "unsupported churn schema {schema:?} (regenerate with `figures -- churn`)"
+        ));
+    }
+    let ref_qps = required_num(json, "ref_qps")?;
+    let mut rows = Vec::new();
+    for r in array_objects(json, "rows")? {
+        rows.push(ChurnRow {
+            method: string_field(r, "method")
+                .ok_or("row lacks \"method\"")?
+                .to_string(),
+            updates: required_num(r, "updates")? as usize,
+            updates_per_sec: required_num(r, "updates_per_sec")?,
+            query_qps: required_num(r, "query_qps")?,
+            signs_per_update: required_num(r, "signs_per_update")?,
+            avg_dirty_tuples: required_num(r, "avg_dirty_tuples")?,
+            sessions_survive: bool_field(r, "sessions_survive")?,
+            snapshot_in_place: bool_field(r, "snapshot_in_place")?,
+            snapshot_pages_total: required_num(r, "snapshot_pages_total")? as u64,
+            snapshot_pages_rewritten: required_num(r, "snapshot_pages_rewritten")? as u64,
+            snapshot_bytes_written: required_num(r, "snapshot_bytes_written")? as u64,
+        });
+    }
+    if rows.is_empty() {
+        return Err("churn baseline contains no rows".into());
+    }
+    Ok((ref_qps, rows))
+}
+
+/// Structural violations of a set of churn rows (empty = compliant):
+/// all four methods sustaining updates with verified serving
+/// interleaved, per-update re-sign cost within
+/// [`CHURN_MAX_SIGNS_PER_UPDATE`], pinned sessions surviving the
+/// update, and the post-churn snapshot refresh taking the in-place
+/// path.
+pub fn churn_schema_violations(rows: &[ChurnRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for want in REQUIRED_METHODS {
+        let Some(r) = rows.iter().find(|r| r.method == want) else {
+            violations.push(format!("method {want} missing from report"));
+            continue;
+        };
+        if !positive(r.updates_per_sec) || !positive(r.query_qps) {
+            violations.push(format!("{want}: non-positive churn rate column"));
+            continue;
+        }
+        // Negated forms so NaN also trips the gate.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(r.signs_per_update >= 1.0) {
+            violations.push(format!(
+                "{want}: {:.2} signs/update — every repair must re-sign the network root",
+                r.signs_per_update
+            ));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(r.signs_per_update <= CHURN_MAX_SIGNS_PER_UPDATE) {
+            violations.push(format!(
+                "{want}: {:.2} signs/update (bar {CHURN_MAX_SIGNS_PER_UPDATE:.0}) — \
+                 a repair started re-signing per entry",
+                r.signs_per_update
+            ));
+        }
+        if !r.sessions_survive {
+            violations.push(format!(
+                "{want}: a pre-update session lost its pinned epoch — updates are \
+                 nuking the service again"
+            ));
+        }
+        if !r.snapshot_in_place {
+            violations.push(format!(
+                "{want}: post-churn snapshot refresh fell back to a full rewrite"
+            ));
+        }
+        if r.snapshot_pages_rewritten > r.snapshot_pages_total {
+            violations.push(format!(
+                "{want}: rewrote {} of {} snapshot pages — stats are inconsistent",
+                r.snapshot_pages_rewritten, r.snapshot_pages_total
+            ));
+        }
+    }
+    violations
+}
+
+/// Violations of a **live smoke** churn run against the committed
+/// baseline (empty = pass): the structural schema at a reduced size,
+/// plus a probe-normalized regression check on the sustained update
+/// rate — `current · (baseline_ref / current_ref)` must stay within
+/// the tolerance of the committed `updates_per_sec` for every method.
+pub fn churn_smoke_violations(
+    baseline_ref_qps: f64,
+    baseline: &[ChurnRow],
+    smoke: &ChurnReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations: Vec<String> = churn_schema_violations(&smoke.rows)
+        .into_iter()
+        .map(|v| format!("smoke: {v}"))
+        .collect();
+    if !positive(smoke.ref_qps) || !positive(baseline_ref_qps) {
+        violations.push("smoke: missing reference probe — cannot normalize rates".into());
+        return violations;
+    }
+    let scale = baseline_ref_qps / smoke.ref_qps;
+    for b in baseline {
+        let Some(s) = smoke.rows.iter().find(|r| r.method == b.method) else {
+            continue; // the structural pass above already reported it
+        };
+        let normalized = s.updates_per_sec * scale;
+        if normalized < b.updates_per_sec * (1.0 - tolerance) {
+            violations.push(format!(
+                "smoke: {} sustained {:.1} updates/s normalized ({:.1} raw) vs \
+                 baseline {:.1} — regression beyond {:.0}% tolerance",
+                b.method,
+                normalized,
+                s.updates_per_sec,
+                b.updates_per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
     violations
 }
 

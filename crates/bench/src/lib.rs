@@ -16,6 +16,7 @@
 //! Run `cargo run --release -p spnet-bench --bin figures -- all` (see
 //! `figures --help` for scales and output options).
 
+pub mod churn;
 pub mod config;
 pub mod experiments;
 pub mod gate;
@@ -28,6 +29,7 @@ pub mod scale;
 pub mod store;
 pub mod throughput;
 
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use config::HarnessConfig;
 pub use loadgen::{run_loadgen, LoadgenConfig, ServiceReport};
 pub use queries::{run_queries, QueriesConfig, QueriesReport};

@@ -1,5 +1,6 @@
 //! Verification failure taxonomy.
 
+use crate::update::UpdateError;
 use spnet_graph::NodeId;
 
 /// Why a client rejected an answer.
@@ -178,6 +179,9 @@ pub enum ProviderError {
     /// Internal proof assembly failed (indicates a bug, kept explicit
     /// instead of panicking so harnesses can report it).
     ProofAssembly(String),
+    /// A dynamic edge update failed; the typed cause is preserved so
+    /// callers can match on it (e.g. [`UpdateError::NoSuchEdge`]).
+    Update(UpdateError),
 }
 
 impl std::fmt::Display for ProviderError {
@@ -188,8 +192,15 @@ impl std::fmt::Display for ProviderError {
             }
             ProviderError::UnknownNode(v) => write!(f, "unknown node {v}"),
             ProviderError::ProofAssembly(m) => write!(f, "proof assembly failed: {m}"),
+            ProviderError::Update(e) => write!(f, "edge update failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for ProviderError {}
+
+impl From<UpdateError> for ProviderError {
+    fn from(e: UpdateError) -> Self {
+        ProviderError::Update(e)
+    }
+}

@@ -49,9 +49,9 @@ impl AuthMethod for DijMethod {
         ExtendedTuple::base(g, v)
     }
 
-    fn supports_incremental_update(&self) -> bool {
-        true
-    }
+    // DIJ inherits the default `repair_hints`: there are no hints to
+    // repair, so an edge update only touches the endpoint tuples and
+    // the one network re-sign the update driver performs.
 
     // DIJ persists nothing beyond the network ADS: the default
     // `snapshot_hints` writes no sections, and loading restores the

@@ -283,6 +283,43 @@ impl DistanceAds {
             .expect("top proof");
         FullBatchProof { rows, top_proof }
     }
+
+    /// Owner-side incremental repair: recomputes the given source rows
+    /// on the (already-patched) graph, patches their row roots and
+    /// top-tree leaf paths in place, and drops the hot-row cache
+    /// (cached rows of dirty sources are stale). In Floyd–Warshall
+    /// mode the retained matrix rows are overwritten with the
+    /// recomputed values so row digests stay consistent with what the
+    /// provider re-serves. Returns the number of rows repaired.
+    pub(crate) fn repair_rows(
+        &mut self,
+        g: &Graph,
+        rows: &[u32],
+    ) -> Result<usize, crate::update::UpdateError> {
+        // A snapshot-loaded (File backend) top tree is paged and
+        // read-only; the resident row roots rebuild it dense so the
+        // leaf updates below can apply.
+        if self.top.dense_levels().is_none() {
+            self.top = MerkleTree::build(self.row_roots.clone(), self.fanout)
+                .map_err(|e| crate::update::UpdateError::Rebuild(e.to_string()))?;
+        }
+        let fresh: Vec<(u32, Vec<f64>)> = crate::par::map_jobs(rows, |&s| {
+            let row = with_thread_workspace(|ws| ws.sssp(g, NodeId(s)).dist_vec());
+            (s, row)
+        });
+        for (s, row) in fresh {
+            if let Some(m) = &mut self.matrix {
+                m.set_row(s as usize, &row);
+            }
+            let root = row_root(s, &row, self.fanout);
+            self.row_roots[s as usize] = root;
+            self.top
+                .update_leaf(s as usize, root)
+                .map_err(|e| crate::update::UpdateError::Rebuild(e.to_string()))?;
+        }
+        self.row_cache = RowCache::new(ROW_CACHE_CAPACITY);
+        Ok(rows.len())
+    }
 }
 
 /// Builds the Merkle root of one source row.
@@ -513,6 +550,53 @@ impl AuthMethod for FullMethod {
 
     fn make_tuple(&self, g: &Graph, v: NodeId, _hints: &MethodHints) -> ExtendedTuple {
         ExtendedTuple::base(g, v)
+    }
+
+    fn wants_change_dists(&self) -> bool {
+        true
+    }
+
+    /// FULL repair: a materialized distance `d(s, t)` can only change
+    /// if a shortest tree rooted at `s` routes through the updated
+    /// edge, which requires `|d(s,u) − d(s,v)|` to reach the edge
+    /// weight (before or after the change). Rows failing that test on
+    /// both graphs are untouched — their roots, matrix bits and proof
+    /// bytes stay identical to a fresh build. One re-sign total.
+    fn repair_hints(
+        &self,
+        g: &Graph,
+        change: &crate::methods::EdgeChange,
+        hints: &mut MethodHints,
+        keypair: &RsaKeyPair,
+    ) -> Result<crate::methods::DirtySet, crate::update::UpdateError> {
+        let MethodHints::Full {
+            ads, signed_root, ..
+        } = hints
+        else {
+            return Err(crate::update::UpdateError::Rebuild(
+                "FULL repair dispatched with non-FULL hints".into(),
+            ));
+        };
+        let old = change.old_dists.as_ref().ok_or_else(|| {
+            crate::update::UpdateError::Rebuild("missing pre-update endpoint distances".into())
+        })?;
+        let du_new = with_thread_workspace(|ws| ws.sssp(g, change.u).dist_vec());
+        let dv_new = with_thread_workspace(|ws| ws.sssp(g, change.v).dist_vec());
+        let dirty_rows: Vec<u32> = (0..g.num_nodes() as u32)
+            .filter(|&s| {
+                let i = s as usize;
+                crate::update::edge_is_tight(old.from_u[i], old.from_v[i], change.old_weight)
+                    || crate::update::edge_is_tight(du_new[i], dv_new[i], change.new_weight)
+            })
+            .collect();
+        let repaired = ads.repair_rows(g, &dirty_rows)?;
+        *signed_root = ads.sign(keypair);
+        Ok(crate::methods::DirtySet {
+            tuples: Vec::new(),
+            aux_repaired: repaired,
+            aux_resigned: 1,
+            new_params: None,
+        })
     }
 
     fn snapshot_hints(

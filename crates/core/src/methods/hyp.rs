@@ -29,7 +29,7 @@ use crate::owner::{MethodHints, ProviderPackage, SetupConfig};
 use crate::proof::SpProof;
 use crate::snapshot::{self, SnapshotError};
 use crate::tuple::ExtendedTuple;
-use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MerkleBTree};
+use spnet_crypto::mbtree::{composite_key, KeyedEntry, KeyedProof, MbTreeError, MerkleBTree};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::partition::GridPartition;
 use spnet_graph::{Graph, NodeId, Path};
@@ -123,6 +123,82 @@ impl HypHints {
                 params: Vec::new(),
             },
         )
+    }
+
+    /// Owner-side incremental repair after one edge-weight change:
+    /// recomputes only the hyper-edges whose shortest border-to-border
+    /// path can route through the changed edge (a crossing path comes
+    /// within ε of the stored distance, before or after the change).
+    ///
+    /// Dirty pairs are recomputed grouped by their **lower-index**
+    /// border in [`GridPartition::all_borders`] order — the same SSSP
+    /// source [`HypHints::build`] uses — so repaired values carry the
+    /// exact bits a fresh build of the updated graph would produce,
+    /// and clean pairs keep theirs. A snapshot-loaded (paged,
+    /// read-only) tree is densified from its entries first. Returns
+    /// the number of hyper-edges recomputed.
+    pub(crate) fn repair_hyper_edges(
+        &mut self,
+        g: &Graph,
+        change: &crate::methods::EdgeChange,
+        old: &crate::methods::ChangeDists,
+    ) -> Result<usize, crate::update::UpdateError> {
+        use crate::update::{UpdateError, DIRTY_EPS};
+        let rebuild = |e: MbTreeError| UpdateError::Rebuild(e.to_string());
+        let Some(tree) = self.hyper_tree.as_mut() else {
+            return Ok(0); // single cell, no borders: nothing materialized
+        };
+        if tree.is_paged() {
+            let fanout = tree.tree().fanout();
+            *tree = MerkleBTree::build(tree.all_entries().map_err(rebuild)?, fanout)
+                .map_err(rebuild)?;
+        }
+        let du_n = spnet_graph::search::with_thread_workspace(|ws| ws.sssp(g, change.u).dist_vec());
+        let dv_n = spnet_graph::search::with_thread_workspace(|ws| ws.sssp(g, change.v).dist_vec());
+        let borders = self.partition.all_borders();
+        // Best distance from a to b through the changed edge, given
+        // endpoint distance vectors of one graph.
+        let via = |da: &[f64], db: &[f64], w: f64, a: NodeId, b: NodeId| {
+            (da[a.index()] + db[b.index()]).min(db[a.index()] + da[b.index()]) + w
+        };
+        let mut by_source: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        let mut repaired = 0usize;
+        for (i, &b1) in borders.iter().enumerate() {
+            let mut targets = Vec::new();
+            for &b2 in &borders[i + 1..] {
+                let d_old = tree
+                    .get(hyper_key(b1, b2))
+                    .ok_or_else(|| UpdateError::Rebuild("hyper-edge missing".into()))?;
+                let via_o = via(&old.from_u, &old.from_v, change.old_weight, b1, b2);
+                let via_n = via(&du_n, &dv_n, change.new_weight, b1, b2);
+                // Slack errs toward dirty: a false positive recomputes
+                // an unchanged (bit-identical) value.
+                let slack = DIRTY_EPS * (1.0 + d_old.abs());
+                if via_o <= d_old + slack || via_n <= d_old + slack {
+                    targets.push(b2);
+                }
+            }
+            if !targets.is_empty() {
+                repaired += targets.len();
+                by_source.push((b1, targets));
+            }
+        }
+        let fresh: Vec<Vec<KeyedEntry>> = crate::par::map_jobs(&by_source, |(b, targets)| {
+            spnet_graph::search::with_thread_workspace(|ws| {
+                let sssp = ws.sssp(g, *b);
+                targets
+                    .iter()
+                    .map(|&b2| KeyedEntry {
+                        key: hyper_key(*b, b2),
+                        value: sssp.dist(b2),
+                    })
+                    .collect()
+            })
+        });
+        for e in fresh.into_iter().flatten() {
+            tree.update_value(e.key, e.value).map_err(rebuild)?;
+        }
+        Ok(repaired)
     }
 
     /// Signs the cell-directory root.
@@ -713,6 +789,45 @@ impl AuthMethod for HypMethod {
             unreachable!("HypMethod dispatched with non-HYP hints");
         };
         ExtendedTuple::with_cell(g, v, &hints.partition)
+    }
+
+    fn wants_change_dists(&self) -> bool {
+        true
+    }
+
+    /// HYP repair: the partition and cell directory are pure geometry
+    /// — a weight change cannot touch them (the directory signature
+    /// keeps its exact bytes) — so only dirty hyper-edges are
+    /// recomputed and only the hyper root is re-signed.
+    fn repair_hints(
+        &self,
+        g: &Graph,
+        change: &crate::methods::EdgeChange,
+        hints: &mut MethodHints,
+        keypair: &RsaKeyPair,
+    ) -> Result<crate::methods::DirtySet, crate::update::UpdateError> {
+        let MethodHints::Hyp {
+            hints: h,
+            hyper_signed,
+            ..
+        } = hints
+        else {
+            return Err(crate::update::UpdateError::Rebuild(
+                "HYP repair dispatched with non-HYP hints".into(),
+            ));
+        };
+        let old = change.old_dists.as_ref().ok_or_else(|| {
+            crate::update::UpdateError::Rebuild("missing pre-update endpoint distances".into())
+        })?;
+        let repaired = h.repair_hyper_edges(g, change, old)?;
+        let fanout = hyper_signed.meta.fanout;
+        *hyper_signed = h.sign_hyper(keypair, fanout);
+        Ok(crate::methods::DirtySet {
+            tuples: Vec::new(),
+            aux_repaired: repaired,
+            aux_resigned: 1,
+            new_params: None,
+        })
     }
 
     fn snapshot_hints(

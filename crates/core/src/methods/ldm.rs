@@ -17,7 +17,8 @@ use crate::snapshot::{self, SnapshotError};
 use crate::tuple::{ExtendedTuple, PsiPayload};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::landmark::{
-    select_landmarks, CompressedVectors, LandmarkVectors, NodePsi, QuantizedVectors,
+    select_landmarks, CompressedVectors, CompressionStrategy, LandmarkVectors, NodePsi,
+    QuantizedVectors,
 };
 use spnet_graph::ofloat::OrderedF64;
 use spnet_graph::{Graph, NodeId, Path};
@@ -81,6 +82,90 @@ impl AuthMethod for LdmMethod {
         ExtendedTuple::with_psi(g, v, &h.vectors)
     }
 
+    fn wants_change_dists(&self) -> bool {
+        true
+    }
+
+    /// LDM repair: a landmark row `dist(sᵢ, ·)` can change only if a
+    /// shortest-path tree rooted at `sᵢ` routes through the updated
+    /// edge before or after the change (undirected symmetry reads
+    /// `dist(sᵢ, u)` out of `old_dists.from_u[sᵢ]`). Affected rows are
+    /// recomputed with one Dijkstra each; quantization and compression
+    /// re-run globally because λ = Dmax/(2^b − 1) is a global scalar.
+    /// Dirty tuples are exactly the nodes whose ψ payload moved. LDM
+    /// carries no auxiliary signed root — the driver's network re-sign
+    /// is the whole crypto bill — but the repaired λ is handed back so
+    /// the driver signs it into the root metadata.
+    fn repair_hints(
+        &self,
+        g: &Graph,
+        change: &crate::methods::EdgeChange,
+        hints: &mut MethodHints,
+        _keypair: &RsaKeyPair,
+    ) -> Result<crate::methods::DirtySet, crate::update::UpdateError> {
+        use crate::update::{edge_is_tight, UpdateError};
+        let MethodHints::Ldm(h) = hints else {
+            return Err(UpdateError::Rebuild("LDM hints expected".into()));
+        };
+        let old = change.old_dists.as_ref().ok_or_else(|| {
+            UpdateError::Rebuild("LDM repair needs pre-update endpoint distances".into())
+        })?;
+        if h.landmarks.is_empty() {
+            return Err(UpdateError::Rebuild(
+                "LDM landmark set unavailable for repair".into(),
+            ));
+        }
+        let landmarks = h.landmarks.clone();
+        let repaired = match &mut h.exact {
+            Some(exact) => {
+                let du_n = spnet_graph::search::with_thread_workspace(|ws| {
+                    ws.sssp(g, change.u).dist_vec()
+                });
+                let dv_n = spnet_graph::search::with_thread_workspace(|ws| {
+                    ws.sssp(g, change.v).dist_vec()
+                });
+                let affected: Vec<usize> = (0..landmarks.len())
+                    .filter(|&i| {
+                        let l = landmarks[i].index();
+                        edge_is_tight(old.from_u[l], old.from_v[l], change.old_weight)
+                            || edge_is_tight(du_n[l], dv_n[l], change.new_weight)
+                    })
+                    .collect();
+                let rows: Vec<(usize, Vec<f64>)> = crate::par::map_jobs(&affected, |&i| {
+                    let row = spnet_graph::search::with_thread_workspace(|ws| {
+                        ws.sssp(g, landmarks[i]).dist_vec()
+                    });
+                    (i, row)
+                });
+                for (i, row) in rows {
+                    exact.set_row(i, row);
+                }
+                affected.len()
+            }
+            cache @ None => {
+                // Snapshot-loaded hints dropped the exact rows; re-seed
+                // the cache once, repair incrementally thereafter.
+                *cache = Some(LandmarkVectors::compute(g, &landmarks));
+                landmarks.len()
+            }
+        };
+        let exact = h.exact.as_ref().expect("exact cache ensured above");
+        let qv = QuantizedVectors::quantize(exact, h.vectors.bits());
+        let fresh = CompressedVectors::build(g, &qv, h.vectors.xi(), h.compression);
+        let lambda = fresh.lambda();
+        let tuples: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| fresh.node_psi(v) != h.vectors.node_psi(v))
+            .collect();
+        h.vectors = fresh;
+        Ok(crate::methods::DirtySet {
+            tuples,
+            aux_repaired: repaired,
+            aux_resigned: 0,
+            new_params: Some(MethodParams::Ldm { lambda }),
+        })
+    }
+
     fn snapshot_hints(
         &self,
         hints: &MethodHints,
@@ -116,6 +201,16 @@ impl AuthMethod for LdmMethod {
         let mut b = Encoder::new();
         b.put_f64(h.build_seconds);
         w.blob(snapshot::SEC_LDM_BUILD, b.bytes())?;
+        let mut l = Encoder::new();
+        l.put_u8(match h.compression {
+            CompressionStrategy::GreedyExact => 0,
+            CompressionStrategy::HilbertSweep => 1,
+        });
+        l.put_u64(h.landmarks.len() as u64);
+        for &lm in &h.landmarks {
+            l.put_u32(lm.0);
+        }
+        w.blob(snapshot::SEC_LDM_LANDMARKS, l.bytes())?;
         Ok(())
     }
 
@@ -163,8 +258,31 @@ impl AuthMethod for LdmMethod {
         let mut bd = Decoder::new(&build_bytes);
         let build_seconds = bd.take_f64()?;
         bd.finish()?;
+        let lm_bytes = store.blob(snapshot::SEC_LDM_LANDMARKS)?;
+        let mut ld = Decoder::new(&lm_bytes);
+        let compression = match ld.take_u8()? {
+            0 => CompressionStrategy::GreedyExact,
+            1 => CompressionStrategy::HilbertSweep,
+            t => return Err(SnapshotError::Decode(DecodeError::BadTag(t))),
+        };
+        let lm_count = ld.take_u64()? as usize;
+        if lm_count != c {
+            return Err(SnapshotError::Corrupt("LDM landmark list length mismatch"));
+        }
+        let mut landmarks = Vec::with_capacity(lm_count);
+        for _ in 0..lm_count {
+            let id = ld.take_u32()?;
+            if id as usize >= n {
+                return Err(SnapshotError::Corrupt("LDM landmark id out of range"));
+            }
+            landmarks.push(NodeId(id));
+        }
+        ld.finish()?;
         Ok(MethodHints::Ldm(LdmHints {
             vectors,
+            landmarks,
+            compression,
+            exact: None,
             build_seconds,
         }))
     }
@@ -248,6 +366,19 @@ impl AuthMethod for LdmMethod {
 pub struct LdmHints {
     /// The compressed vectors (embedded into tuples at ADS build).
     pub vectors: CompressedVectors,
+    /// The selected landmark nodes, persisted so dynamic updates can
+    /// repair the vectors of the *original* landmark set instead of
+    /// re-selecting (which would dirty every tuple).
+    pub landmarks: Vec<NodeId>,
+    /// The compression strategy of the original build (repairs must
+    /// recompress identically to stay bit-compatible with a fresh
+    /// publish).
+    pub compression: CompressionStrategy,
+    /// Owner-side cache of the exact (unquantized) landmark rows.
+    /// `None` after a snapshot load; the first repair recomputes every
+    /// row once to re-seed it and repairs incrementally from then on.
+    /// Never persisted — it is reproducible and |V|·c floats.
+    pub exact: Option<LandmarkVectors>,
     /// Construction wall-clock seconds (landmark Dijkstras +
     /// quantization + compression) for Figure 12b.
     pub build_seconds: f64,
@@ -263,6 +394,9 @@ impl LdmHints {
         let vectors = CompressedVectors::build(g, &qv, cfg.xi, cfg.compression);
         LdmHints {
             vectors,
+            landmarks: lms,
+            compression: cfg.compression,
+            exact: Some(exact),
             build_seconds: start.elapsed().as_secs_f64(),
         }
     }

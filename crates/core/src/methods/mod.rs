@@ -108,6 +108,59 @@ impl<'a> VerifyCtx<'a> {
     }
 }
 
+/// A single undirected edge-weight change, as seen by
+/// [`AuthMethod::repair_hints`]. The graph passed alongside already
+/// carries `new_weight`; methods that need shortest-path state of the
+/// *pre-update* graph read it from `old_dists`, which the update
+/// driver computes before patching the CSR (only when the method's
+/// [`AuthMethod::wants_change_dists`] asks for it).
+#[derive(Debug, Clone)]
+pub struct EdgeChange {
+    /// One endpoint of the changed edge.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The weight before the update.
+    pub old_weight: f64,
+    /// The weight after the update.
+    pub new_weight: f64,
+    /// Single-source distances from `u` and `v` on the **old** graph;
+    /// present iff the method opted in via `wants_change_dists`.
+    pub old_dists: Option<ChangeDists>,
+}
+
+/// Pre-update single-source shortest-path distances from the changed
+/// edge's endpoints (indexed by node id).
+#[derive(Debug, Clone)]
+pub struct ChangeDists {
+    /// `dist_old(u, ·)`.
+    pub from_u: Vec<f64>,
+    /// `dist_old(v, ·)`.
+    pub from_v: Vec<f64>,
+}
+
+/// What an incremental hint repair touched — the owner's re-signing
+/// and re-publication bill for one edge update.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirtySet {
+    /// Nodes whose extended tuples must be rebuilt and re-proven into
+    /// the network tree (the update driver handles the rebuild; the
+    /// changed edge's endpoints are always included).
+    pub tuples: Vec<NodeId>,
+    /// Auxiliary structure entries (distance rows, hyper-edges,
+    /// landmark vectors) the repair recomputed.
+    pub aux_repaired: usize,
+    /// Auxiliary signed roots re-signed by the repair (the network
+    /// root's own re-sign is accounted by the driver).
+    pub aux_resigned: usize,
+    /// Replacement public parameters, when the repair moved a signed
+    /// scalar (LDM's quantization step λ tracks `Dmax`, which an edge
+    /// change can shift). The update driver encodes them into the
+    /// network root's metadata before re-signing; `None` keeps the
+    /// previous metadata byte-for-byte.
+    pub new_params: Option<MethodParams>,
+}
+
 /// One verification method's complete lifecycle, as a trait object.
 ///
 /// The paper's four methods (DIJ, FULL, LDM, HYP) share one protocol —
@@ -153,13 +206,34 @@ pub trait AuthMethod: Send + Sync {
     /// embedding whatever per-node hint data the method requires.
     fn make_tuple(&self, g: &Graph, v: NodeId, hints: &MethodHints) -> ExtendedTuple;
 
-    /// Whether the owner can patch a single edge weight in place
-    /// (tuples + Merkle paths + re-sign) without rebuilding hints.
-    /// Only DIJ qualifies: the other methods materialize global
-    /// distance information a single weight change can invalidate
-    /// everywhere.
-    fn supports_incremental_update(&self) -> bool {
+    /// Whether [`AuthMethod::repair_hints`] needs pre-update distances
+    /// from the changed edge's endpoints ([`EdgeChange::old_dists`]).
+    /// Methods that materialize global distance information (FULL,
+    /// LDM, HYP) use them to bound the dirty set; DIJ does not.
+    fn wants_change_dists(&self) -> bool {
         false
+    }
+
+    /// Owner-side incremental repair after one edge-weight change:
+    /// recomputes exactly the hint entries the change can have
+    /// invalidated and re-signs the affected auxiliary roots, instead
+    /// of republishing. `g` already carries the new weight. Returns
+    /// the [`DirtySet`] — the nodes whose network tuples the update
+    /// driver must rebuild, plus the repair's crypto bill.
+    ///
+    /// The default (DIJ, whose hints are empty) repairs nothing and
+    /// marks only the changed edge's endpoints dirty.
+    fn repair_hints(
+        &self,
+        _g: &Graph,
+        change: &EdgeChange,
+        _hints: &mut MethodHints,
+        _keypair: &RsaKeyPair,
+    ) -> Result<DirtySet, crate::update::UpdateError> {
+        Ok(DirtySet {
+            tuples: vec![change.u, change.v],
+            ..DirtySet::default()
+        })
     }
 
     // ---- persistence ---------------------------------------------------

@@ -20,6 +20,11 @@ pub enum AlgoSp {
 
 /// The service provider role: holds the owner's package and answers
 /// shortest-path queries with verification proofs.
+///
+/// `Clone` deep-copies the package — the service facade's MVCC epoch
+/// ring clones the serving state so an owner update repairs a private
+/// copy while pinned epochs keep draining the original.
+#[derive(Clone)]
 pub struct ServiceProvider {
     pub(crate) package: ProviderPackage,
     algo: AlgoSp,

@@ -14,10 +14,15 @@
 //!   and cell-directory trees) — and returns a [`Session`] bound to
 //!   it. Every subsequent answer is checked against those exact pinned
 //!   roots (byte equality, no per-answer RSA).
-//! * [`SpService::update_edge_weight`] applies an owner edge update
-//!   and bumps the epoch. Open sessions observe the bump as an
-//!   explicit [`SessionError::EpochInvalidated`] on their next query —
-//!   never a silently-accepted stale root — and simply reopen.
+//! * [`SpService::update_edge_weight`] applies an owner edge update,
+//!   **routed** to the shards whose key range can contain the edge,
+//!   and publishes the repaired package as a new epoch in each
+//!   targeted shard's MVCC ring. Sessions pinned to a retained epoch
+//!   keep draining on their original root
+//!   ([`SpServiceBuilder::retain_epochs`] sets the horizon); only a
+//!   session whose epoch was evicted observes an explicit
+//!   [`SessionError::EpochInvalidated`] — never a silently-accepted
+//!   stale root — and simply reopens.
 //! * [`Session::query_stream`] serves large query lists as pooled
 //!   chunks through the versioned stream wire format, yielding
 //!   verified answers incrementally (see [`crate::stream`]). When the
@@ -65,14 +70,17 @@ use crate::update::{self, UpdateError};
 use crate::wire::{encode_frame, StreamFrame};
 use spnet_crypto::rsa::RsaKeyPair;
 use spnet_graph::{NodeId, Path};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock, RwLock, RwLockReadGuard};
 
 /// Why a session operation failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionError {
-    /// The service's epoch advanced past the one this session bound at
-    /// open (an owner update re-signed the root). Reopen to continue.
+    /// The epoch this session bound at open was evicted from the
+    /// shard's retention ring (enough owner updates re-signed the root
+    /// to push it past the [`SpServiceBuilder::retain_epochs`]
+    /// horizon). Reopen to continue on the current epoch.
     EpochInvalidated {
         /// The epoch the session was opened against.
         opened: u64,
@@ -146,9 +154,67 @@ pub enum RoutingPolicy {
     RoundRobin,
 }
 
-struct ServiceState {
-    provider: ServiceProvider,
+/// Default number of epochs each shard retains for draining sessions
+/// (see [`SpServiceBuilder::retain_epochs`]).
+pub const DEFAULT_RETAIN_EPOCHS: usize = 4;
+
+/// One retained epoch: the counter value and the provider state that
+/// serves it.
+struct EpochEntry {
     epoch: u64,
+    provider: ServiceProvider,
+}
+
+/// A shard's MVCC epoch ring: up to `retain` provider snapshots,
+/// oldest first, the back being the serving epoch. Open sessions drain
+/// on their pinned entry while new sessions bind the back; an owner
+/// update pushes a new entry and evicts whatever falls past the
+/// retention horizon.
+struct ServiceState {
+    epochs: VecDeque<EpochEntry>,
+    retain: usize,
+}
+
+impl ServiceState {
+    fn new(provider: ServiceProvider, retain: usize) -> Self {
+        let retain = retain.max(1);
+        let mut epochs = VecDeque::with_capacity(retain);
+        epochs.push_back(EpochEntry { epoch: 0, provider });
+        ServiceState { epochs, retain }
+    }
+
+    /// The serving (latest) epoch entry.
+    fn latest(&self) -> &EpochEntry {
+        self.epochs.back().expect("epoch ring is never empty")
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.latest().epoch
+    }
+
+    /// The provider still pinned at `epoch`, or the invalidation error
+    /// when that entry was evicted.
+    fn resolve(&self, epoch: u64) -> Result<&ServiceProvider, SessionError> {
+        self.epochs
+            .iter()
+            .find(|e| e.epoch == epoch)
+            .map(|e| &e.provider)
+            .ok_or(SessionError::EpochInvalidated {
+                opened: epoch,
+                current: self.current_epoch(),
+            })
+    }
+
+    /// Publishes `provider` as the next epoch, evicting entries past
+    /// the retention horizon. Returns the new epoch.
+    fn push(&mut self, provider: ServiceProvider) -> u64 {
+        let epoch = self.current_epoch() + 1;
+        self.epochs.push_back(EpochEntry { epoch, provider });
+        while self.epochs.len() > self.retain {
+            self.epochs.pop_front();
+        }
+        epoch
+    }
 }
 
 /// One served provider package: its lock-guarded state, the method it
@@ -204,9 +270,18 @@ struct ServiceInner {
 /// ```
 #[derive(Default)]
 pub struct SpServiceBuilder {
-    shards: Vec<Shard>,
+    shards: Vec<PendingShard>,
     policy: RoutingPolicy,
     threads: Option<usize>,
+    retain: Option<usize>,
+}
+
+/// A shard registered with the builder, before the retention depth is
+/// known (`build()` turns these into [`Shard`]s).
+struct PendingShard {
+    provider: ServiceProvider,
+    key_range: Option<(u32, u32)>,
+    snapshot_path: Option<std::path::PathBuf>,
 }
 
 impl SpServiceBuilder {
@@ -223,10 +298,8 @@ impl SpServiceBuilder {
     /// Registers a pre-configured provider (e.g. a different `algosp`)
     /// as a shard with no key range.
     pub fn provider(mut self, provider: ServiceProvider) -> Self {
-        let code = provider.method_code();
-        self.shards.push(Shard {
-            state: Arc::new(RwLock::new(ServiceState { provider, epoch: 0 })),
-            code,
+        self.shards.push(PendingShard {
+            provider,
             key_range: None,
             snapshot_path: None,
         });
@@ -300,6 +373,19 @@ impl SpServiceBuilder {
         self
     }
 
+    /// Number of epochs each shard retains for open sessions (MVCC).
+    /// An owner update publishes a new epoch while up to `k − 1` prior
+    /// epochs stay pinned, so sessions opened against them drain to
+    /// completion on their original signed root instead of failing.
+    /// Only a session whose epoch was evicted past the horizon
+    /// observes [`SessionError::EpochInvalidated`]. Clamped to at
+    /// least 1 — `retain_epochs(1)` restores invalidate-on-every-
+    /// update semantics. Default: [`DEFAULT_RETAIN_EPOCHS`].
+    pub fn retain_epochs(mut self, k: usize) -> Self {
+        self.retain = Some(k);
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Panics
@@ -315,9 +401,20 @@ impl SpServiceBuilder {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
+        let retain = self.retain.unwrap_or(DEFAULT_RETAIN_EPOCHS).max(1);
+        let shards = self
+            .shards
+            .into_iter()
+            .map(|p| Shard {
+                code: p.provider.method_code(),
+                state: Arc::new(RwLock::new(ServiceState::new(p.provider, retain))),
+                key_range: p.key_range,
+                snapshot_path: p.snapshot_path,
+            })
+            .collect();
         SpService {
             inner: Arc::new(ServiceInner {
-                shards: self.shards,
+                shards,
                 policy: self.policy,
                 threads,
                 scheduler: OnceLock::new(),
@@ -388,27 +485,33 @@ impl SpService {
     }
 
     /// Selects a different shortest-path algorithm for future answers
-    /// (applied to every shard).
+    /// (applied to every retained epoch of every shard, so draining
+    /// sessions switch too).
     pub fn set_algorithm(&self, algo: AlgoSp) {
         for shard in &self.inner.shards {
-            shard
-                .state
-                .write()
-                .expect("service lock poisoned")
-                .provider
-                .set_algorithm(algo);
+            let mut st = shard.state.write().expect("service lock poisoned");
+            for e in &mut st.epochs {
+                e.provider.set_algorithm(algo);
+            }
         }
     }
 
     /// The current epoch of the first shard (starts at 0, +1 per owner
-    /// update; [`Self::update_edge_weight`] bumps every shard in step).
+    /// update that targets it; [`Self::update_edge_weight`] routes by
+    /// key range, so shards advance independently).
     pub fn epoch(&self) -> u64 {
-        self.read().epoch
+        self.read().current_epoch()
     }
 
     /// The first shard's method display name.
     pub fn method_name(&self) -> &'static str {
-        self.read().provider.package().hints.method().name()
+        self.read()
+            .latest()
+            .provider
+            .package()
+            .hints
+            .method()
+            .name()
     }
 
     /// `(executed, stolen)` job counters of the shared scheduler, if it
@@ -494,7 +597,8 @@ impl SpService {
     fn open_session_on(&self, idx: usize, client: Client) -> Result<Session, SessionError> {
         let shard = &self.inner.shards[idx];
         let st = shard.state.read().expect("service lock poisoned");
-        let root = st.provider.package().network_root.clone();
+        let entry = st.latest();
+        let root = entry.provider.package().network_root.clone();
         if !root.verify(client.public_key()) {
             return Err(SessionError::OpenRejected(VerifyError::BadSignature));
         }
@@ -505,7 +609,7 @@ impl SpService {
         // the whole session) so per-chunk verification replaces their
         // repeated signature checks with byte equality.
         let mut aux: Vec<SignedRoot> = Vec::new();
-        for r in st.provider.package().hints.aux_roots() {
+        for r in entry.provider.package().hints.aux_roots() {
             if !r.verify(client.public_key()) {
                 return Err(SessionError::OpenRejected(VerifyError::BadSignature));
             }
@@ -515,7 +619,7 @@ impl SpService {
             state: Arc::clone(&shard.state),
             scheduler: self.scheduler(),
             client,
-            epoch: st.epoch,
+            epoch: entry.epoch,
             root,
             params,
             pins: PinnedAux::new(aux),
@@ -523,11 +627,21 @@ impl SpService {
     }
 
     /// Owner-side: applies an edge-weight update with the owner's
-    /// retained keypair to **every shard** and bumps each epoch,
-    /// invalidating every open session (their next query returns
-    /// [`SessionError::EpochInvalidated`]). All-or-nothing: if any
-    /// shard's method cannot absorb incremental updates, no shard is
-    /// touched. Returns the new epoch.
+    /// retained keypair, **routed by key range**: only shards whose
+    /// registered range can contain an endpoint are touched (a shard
+    /// with no range serves the whole network and is always a target),
+    /// so a key-partitioned deployment leaves unrelated shards — their
+    /// epochs, locks, and open sessions — completely alone.
+    ///
+    /// Every targeted shard repairs a **clone** of its serving package
+    /// ([`crate::update::update_edge_weight`]) and publishes it as a
+    /// new epoch in its MVCC ring: sessions pinned to retained epochs
+    /// keep draining on their original signed root; a session whose
+    /// epoch falls past the [`SpServiceBuilder::retain_epochs`]
+    /// horizon observes [`SessionError::EpochInvalidated`]; new
+    /// sessions bind the fresh epoch. All-or-nothing across targets:
+    /// repairs are staged aside and nothing is published unless every
+    /// one succeeds. Returns the last targeted shard's new epoch.
     pub fn update_edge_weight(
         &self,
         keypair: &RsaKeyPair,
@@ -535,29 +649,70 @@ impl SpService {
         v: NodeId,
         new_weight: f64,
     ) -> Result<u64, UpdateError> {
-        // Write-lock every shard in registration order (consistent
-        // order, no deadlock) so sessions observe the update — and the
-        // epoch bumps — as one atomic step across the whole service.
-        let mut guards: Vec<_> = self
+        let targets: Vec<&Shard> = self
             .inner
             .shards
             .iter()
+            .filter(|s| match s.key_range {
+                None => true,
+                Some((lo, hi)) => (lo <= u.0 && u.0 <= hi) || (lo <= v.0 && v.0 <= hi),
+            })
+            .collect();
+        if targets.is_empty() {
+            return Err(UpdateError::NoSuchEdge { u, v });
+        }
+        // Write-lock the targets in registration order (consistent
+        // order, no deadlock) so sessions observe the update as one
+        // atomic step across every shard that holds the edge.
+        let mut guards: Vec<_> = targets
+            .iter()
             .map(|s| s.state.write().expect("service lock poisoned"))
             .collect();
-        if guards.iter().any(|st| {
-            !st.provider
-                .package()
-                .hints
-                .method()
-                .supports_incremental_update()
-        }) {
-            return Err(UpdateError::MethodHasHints);
+        let mut staged = Vec::with_capacity(guards.len());
+        for st in &guards {
+            let mut provider = st.latest().provider.clone();
+            update::update_edge_weight(&mut provider.package, keypair, u, v, new_weight)?;
+            staged.push(provider);
         }
-        for st in &mut guards {
-            update::update_edge_weight(&mut st.provider.package, keypair, u, v, new_weight)?;
-            st.epoch += 1;
+        let mut epoch = 0;
+        for (st, provider) in guards.iter_mut().zip(staged) {
+            epoch = st.push(provider);
         }
-        Ok(guards[0].epoch)
+        Ok(epoch)
+    }
+
+    /// Owner-side: persists shard `shard`'s **latest** epoch back into
+    /// its snapshot file, rewriting only the dirty sections and pages
+    /// in place ([`crate::snapshot::update_snapshot`]) — after an
+    /// [`Self::update_edge_weight`], a restart picks up the updated
+    /// network without any republish. Only snapshot-backed shards
+    /// (registered through [`SpServiceBuilder::snapshot`] with the
+    /// `Mem` backend, whose trees are resident) can refresh; errors
+    /// are typed otherwise.
+    pub fn refresh_shard_snapshot(
+        &self,
+        shard: usize,
+        public_key: &spnet_crypto::rsa::RsaPublicKey,
+    ) -> Result<crate::snapshot::SnapshotRefresh, crate::snapshot::SnapshotError> {
+        let s = self
+            .inner
+            .shards
+            .get(shard)
+            .ok_or(crate::snapshot::SnapshotError::Corrupt("no such shard"))?;
+        let path = s
+            .snapshot_path
+            .as_ref()
+            .ok_or(crate::snapshot::SnapshotError::Corrupt(
+                "shard is not snapshot-backed",
+            ))?;
+        let dir = path
+            .parent()
+            .ok_or(crate::snapshot::SnapshotError::Corrupt(
+                "snapshot path has no parent directory",
+            ))?
+            .to_path_buf();
+        let st = s.state.read().expect("service lock poisoned");
+        crate::snapshot::update_snapshot(st.latest().provider.package(), public_key, &dir)
     }
 
     fn scheduler(&self) -> Option<Arc<Scheduler>> {
@@ -592,8 +747,12 @@ pub struct SessionAnswer {
 /// Obtained from [`SpService::open_session`] (or the routed variants).
 /// Holds the epoch's RSA-verified signed root plus the method's pinned
 /// auxiliary roots; every query's answer must carry exactly those
-/// roots. When the owner updates the network, queries fail with
-/// [`SessionError::EpochInvalidated`] — reopen to bind the new epoch.
+/// roots. An owner update publishes a *new* epoch while this session's
+/// stays pinned in the shard's MVCC ring, so in-flight queries and
+/// streams drain against their original root; only when enough
+/// updates evict the pinned epoch do queries fail with
+/// [`SessionError::EpochInvalidated`] — reopen to bind the current
+/// epoch.
 pub struct Session {
     state: Arc<RwLock<ServiceState>>,
     scheduler: Option<Arc<Scheduler>>,
@@ -628,22 +787,20 @@ impl Session {
         &self.pins
     }
 
+    /// Read-locks the shard and checks this session's epoch is still
+    /// retained; call sites resolve the pinned provider out of the
+    /// returned guard.
     fn guard(&self) -> Result<RwLockReadGuard<'_, ServiceState>, SessionError> {
         let st = self.state.read().expect("service lock poisoned");
-        if st.epoch != self.epoch {
-            return Err(SessionError::EpochInvalidated {
-                opened: self.epoch,
-                current: st.epoch,
-            });
-        }
+        st.resolve(self.epoch)?;
         Ok(st)
     }
 
     /// Answers and verifies one query against the pinned epoch root.
     pub fn query(&self, vs: NodeId, vt: NodeId) -> Result<SessionAnswer, SessionError> {
         let answer = {
-            let st = self.guard()?;
-            st.provider.answer(vs, vt)?
+            let st = self.state.read().expect("service lock poisoned");
+            st.resolve(self.epoch)?.answer(vs, vt)?
         };
         let v = self
             .client
@@ -657,14 +814,15 @@ impl Session {
     /// Provider half of a batched query: proves `queries` against the
     /// session's epoch (one pooled proof — shared tuples, one Merkle
     /// cover, aux once per batch). Fails with
-    /// [`SessionError::EpochInvalidated`] after an owner update.
+    /// [`SessionError::EpochInvalidated`] only once the epoch has been
+    /// evicted from the shard's retention ring.
     ///
     /// Split from [`Self::verify_batch`] so benches and tests can
     /// measure, serialize, or tamper with the proof between the two
     /// halves; [`Self::query_batch`] composes them.
     pub fn answer_batch(&self, queries: &[(NodeId, NodeId)]) -> Result<BatchAnswer, SessionError> {
         let st = self.guard()?;
-        Ok(st.provider.answer_batch_impl(queries)?)
+        Ok(st.resolve(self.epoch)?.answer_batch_impl(queries)?)
     }
 
     /// Client half of a batched query: verifies a batch against the
@@ -713,7 +871,7 @@ impl Session {
         radius: f64,
     ) -> Result<crate::queries::RangeAnswer, SessionError> {
         let st = self.guard()?;
-        Ok(st.provider.answer_range(source, radius)?)
+        Ok(st.resolve(self.epoch)?.answer_range(source, radius)?)
     }
 
     /// Client half of a verified range query, against the session's
@@ -758,10 +916,14 @@ impl Session {
     /// inline serving — `answer_batch` is deterministic and each chunk
     /// is proven under the same epoch guard.
     ///
-    /// An epoch bump mid-stream surfaces as
-    /// [`SessionError::EpochInvalidated`] on the next emitted chunk —
-    /// prefetched chunks proven before the bump are discarded, never
-    /// served. Every chunk round-trips through the versioned stream
+    /// An owner update mid-stream does **not** interrupt the stream:
+    /// the session's epoch stays pinned in the shard's MVCC ring, so
+    /// remaining chunks keep proving against the original root. Only
+    /// when the pinned epoch is evicted (more updates than the
+    /// retention horizon) does the next emitted chunk surface
+    /// [`SessionError::EpochInvalidated`] — prefetched chunks proven
+    /// before the eviction are discarded, never served. Every chunk
+    /// round-trips through the versioned stream
     /// wire frames and the full batched verification, so the bytes
     /// path of a networked deployment is exercised end to end.
     pub fn query_stream_chunked<'s>(
@@ -833,8 +995,9 @@ impl SessionStream<'_> {
 
     /// Submits the proving of `queries[start..end]` to the scheduler;
     /// the returned channel delivers the encoded chunk frame. The job
-    /// re-checks the epoch **under the shard read lock** before
-    /// proving, so no chunk is ever proven against a bumped state.
+    /// resolves the session's pinned epoch **under the shard read
+    /// lock** before proving, so every chunk is proven against exactly
+    /// the epoch the session opened on (or fails if it was evicted).
     fn schedule(&self, start: usize, end: usize) -> mpsc::Receiver<Result<Vec<u8>, SessionError>> {
         let sched = self.session.scheduler.as_ref().expect("scheduler present");
         let (tx, rx) = mpsc::channel();
@@ -844,13 +1007,7 @@ impl SessionStream<'_> {
         sched.spawn(move || {
             let result = (|| -> Result<Vec<u8>, SessionError> {
                 let st = state.read().expect("service lock poisoned");
-                if st.epoch != epoch {
-                    return Err(SessionError::EpochInvalidated {
-                        opened: epoch,
-                        current: st.epoch,
-                    });
-                }
-                let batch = st.provider.answer_batch_impl(&chunk)?;
+                let batch = st.resolve(epoch)?.answer_batch_impl(&chunk)?;
                 Ok(encode_frame(&StreamFrame::Chunk {
                     start: start as u32,
                     batch: Box::new(batch),
@@ -868,7 +1025,9 @@ impl SessionStream<'_> {
     /// chunk is consistent with the epoch.
     fn prove_inline(&self, start: usize, end: usize) -> Result<Vec<u8>, SessionError> {
         let st = self.session.guard()?;
-        let batch = st.provider.answer_batch_impl(&self.queries[start..end])?;
+        let batch = st
+            .resolve(self.session.epoch)?
+            .answer_batch_impl(&self.queries[start..end])?;
         Ok(encode_frame(&StreamFrame::Chunk {
             start: start as u32,
             batch: Box::new(batch),
@@ -984,6 +1143,32 @@ mod tests {
         let p = DataOwner::publish_with_key(&g, &method, &SetupConfig::default(), &kp);
         let client = Client::new(p.public_key);
         (g, SpService::new(p.package), client, kp)
+    }
+
+    /// [`deploy`] with an explicit MVCC retention horizon (builder
+    /// path, inline scheduler).
+    fn deploy_retain(
+        method: MethodConfig,
+        retain: usize,
+    ) -> (Graph, SpService, Client, RsaKeyPair) {
+        let g = grid_network(9, 9, 1.15, 2200);
+        let mut rng = StdRng::seed_from_u64(2201);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let p = DataOwner::publish_with_key(&g, &method, &SetupConfig::default(), &kp);
+        let client = Client::new(p.public_key);
+        let service = SpService::builder()
+            .package(p.package)
+            .threads(0)
+            .retain_epochs(retain)
+            .build();
+        (g, service, client, kp)
+    }
+
+    /// The graph with one edge re-weighted — the post-update truth.
+    fn reweighted(g: &Graph, u: NodeId, v: NodeId, w: f64) -> Graph {
+        let mut g2 = g.clone();
+        g2.set_edge_weight(u, v, w).expect("edge exists");
+        g2
     }
 
     fn all_methods() -> Vec<MethodConfig> {
@@ -1203,16 +1388,57 @@ mod tests {
     }
 
     #[test]
-    fn epoch_bump_invalidates_open_sessions() {
+    fn pinned_epochs_drain_open_sessions_through_updates() {
+        // Default retention: an owner update must NOT interrupt open
+        // sessions — they drain on their pinned epoch's root while new
+        // sessions bind the fresh epoch and the new truth.
         let (g, service, client, kp) = deploy(MethodConfig::Dij);
+        let old_truth = dijkstra_path(&g, NodeId(0), NodeId(80)).unwrap().distance;
+        let session = service.open_session(client.clone()).unwrap();
+        let qs = as_nodes(&QUERIES);
+        let mut stream = session.query_stream_chunked(&qs, 2);
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        // Re-weight the first edge of the 0→80 shortest path so the
+        // old and new truths actually differ.
+        let path = dijkstra_path(&g, NodeId(0), NodeId(80)).unwrap();
+        let (u, v) = (path.nodes[0], path.nodes[1]);
+        assert_eq!(service.epoch(), 0);
+        assert_eq!(service.update_edge_weight(&kp, u, v, 500.0).unwrap(), 1);
+        assert_eq!(service.epoch(), 1);
+        // The pinned session keeps answering — old epoch, old truth.
+        let a = session.query(NodeId(0), NodeId(80)).unwrap();
+        assert_eq!(a.distance.to_bits(), old_truth.to_bits());
+        // The pre-update stream completes on the pinned epoch.
+        let rest: Vec<SessionAnswer> = stream
+            .collect::<Result<Vec<_>, _>>()
+            .expect("stream drains on its pinned epoch")
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(first.len() + rest.len(), qs.len());
+        // A fresh session binds the new epoch and serves the new truth.
+        let new_truth = dijkstra_path(&reweighted(&g, u, v, 500.0), NodeId(0), NodeId(80))
+            .unwrap()
+            .distance;
+        assert!((new_truth - old_truth).abs() > 1e-9);
+        let fresh = service.open_session(client).unwrap();
+        assert_eq!(fresh.epoch(), 1);
+        let b = fresh.query(NodeId(0), NodeId(80)).unwrap();
+        assert_eq!(b.distance.to_bits(), new_truth.to_bits());
+    }
+
+    #[test]
+    fn evicted_epoch_invalidates_open_sessions() {
+        // retain_epochs(1) restores the strict pre-MVCC semantics: one
+        // update evicts epoch 0 and stale sessions fail loudly.
+        let (g, service, client, kp) = deploy_retain(MethodConfig::Dij, 1);
         let session = service.open_session(client.clone()).unwrap();
         session.query(NodeId(0), NodeId(80)).unwrap();
-        // Owner updates an edge: epoch bumps.
         let (u, v, w) = g.edges().next().unwrap();
         assert_eq!(service.epoch(), 0);
         assert_eq!(service.update_edge_weight(&kp, u, v, w * 2.0).unwrap(), 1);
         assert_eq!(service.epoch(), 1);
-        // The stale session fails loudly...
         assert_eq!(
             session.query(NodeId(0), NodeId(80)),
             Err(SessionError::EpochInvalidated {
@@ -1224,31 +1450,54 @@ mod tests {
             session.query_batch(&as_nodes(&QUERIES)),
             Err(SessionError::EpochInvalidated { .. })
         ));
-        // ...and a reopened session serves the updated network.
+        // A reopened session serves the updated network.
         let fresh = service.open_session(client).unwrap();
         assert_eq!(fresh.epoch(), 1);
         let a = fresh.query(NodeId(0), NodeId(80)).unwrap();
         let st = service.read();
-        let truth = dijkstra_path(&st.provider.package().graph, NodeId(0), NodeId(80))
+        let truth = dijkstra_path(&st.latest().provider.package().graph, NodeId(0), NodeId(80))
             .unwrap()
             .distance;
         assert!((a.distance - truth).abs() <= 1e-6 * truth.max(1.0));
     }
 
     #[test]
-    fn epoch_bump_mid_stream_surfaces_as_invalidation() {
-        let (g, service, client, kp) = deploy(MethodConfig::Dij);
+    fn retention_horizon_evicts_oldest_epochs() {
+        let (g, service, client, kp) = deploy_retain(MethodConfig::Dij, 2);
+        let s0 = service.open_session(client.clone()).unwrap();
+        let (u, v, w) = g.edges().next().unwrap();
+        service.update_edge_weight(&kp, u, v, w * 2.0).unwrap();
+        let s1 = service.open_session(client).unwrap();
+        assert_eq!(s1.epoch(), 1);
+        // Epochs {0, 1} retained: both sessions still serve.
+        s0.query(NodeId(0), NodeId(80)).unwrap();
+        s1.query(NodeId(0), NodeId(80)).unwrap();
+        service.update_edge_weight(&kp, u, v, w * 3.0).unwrap();
+        // Epochs {1, 2}: s0's epoch fell off the ring, s1 survives.
+        assert_eq!(
+            s0.query(NodeId(0), NodeId(80)),
+            Err(SessionError::EpochInvalidated {
+                opened: 0,
+                current: 2
+            })
+        );
+        s1.query(NodeId(0), NodeId(80)).unwrap();
+    }
+
+    #[test]
+    fn evicted_epoch_mid_stream_surfaces_as_invalidation() {
+        let (g, service, client, kp) = deploy_retain(MethodConfig::Dij, 1);
         let session = service.open_session(client).unwrap();
         let qs = as_nodes(&QUERIES);
         let mut stream = session.query_stream_chunked(&qs, 2);
         // First chunk verifies fine.
         let first = stream.next().unwrap().unwrap();
         assert_eq!(first.len(), 2);
-        // Owner updates between chunks.
+        // Owner updates between chunks; retain 1 evicts the epoch.
         let (u, v, w) = g.edges().next().unwrap();
         service.update_edge_weight(&kp, u, v, w * 3.0).unwrap();
         // The next chunk is refused — never silently stale, even if the
-        // scheduler already proved it before the bump.
+        // scheduler already proved it before the eviction.
         assert!(matches!(
             stream.next().unwrap(),
             Err(SessionError::EpochInvalidated { .. })
@@ -1257,20 +1506,28 @@ mod tests {
     }
 
     #[test]
-    fn update_requires_updatable_method() {
-        let (g, service, _, kp) = deploy(MethodConfig::Hyp { cells: 9 });
-        let (u, v, w) = g.edges().next().unwrap();
-        assert_eq!(
-            service.update_edge_weight(&kp, u, v, w * 2.0),
-            Err(UpdateError::MethodHasHints)
-        );
-        assert_eq!(service.epoch(), 0, "failed update must not bump the epoch");
+    fn hint_methods_update_through_the_service() {
+        // HYP carries the heaviest hint state; the service-level update
+        // must repair it in place and serve the new truth.
+        let (g, service, client, kp) = deploy(MethodConfig::Hyp { cells: 9 });
+        let path = dijkstra_path(&g, NodeId(0), NodeId(80)).unwrap();
+        let (u, v) = (path.nodes[0], path.nodes[1]);
+        assert_eq!(service.update_edge_weight(&kp, u, v, 500.0).unwrap(), 1);
+        assert_eq!(service.epoch(), 1);
+        let truth = dijkstra_path(&reweighted(&g, u, v, 500.0), NodeId(0), NodeId(80))
+            .unwrap()
+            .distance;
+        let session = service.open_session(client).unwrap();
+        assert_eq!(session.epoch(), 1);
+        let a = session.query(NodeId(0), NodeId(80)).unwrap();
+        assert!((a.distance - truth).abs() <= 1e-6 * truth.max(1.0));
     }
 
     #[test]
-    fn mixed_method_service_refuses_update_atomically() {
-        // One DIJ shard (updatable) + one HYP shard (not): the update
-        // must leave BOTH untouched, not bump DIJ and fail on HYP.
+    fn mixed_method_service_updates_every_shard() {
+        // One DIJ shard + one HYP shard over the same network: a single
+        // owner update repairs both hint sets and bumps both epochs
+        // atomically.
         let g = grid_network(9, 9, 1.15, 2240);
         let mut rng = StdRng::seed_from_u64(2241);
         let kp = RsaKeyPair::generate(&mut rng, 256);
@@ -1286,24 +1543,72 @@ mod tests {
             .package(hyp.package)
             .threads(0)
             .build();
-        let (u, v, w) = g.edges().next().unwrap();
-        assert_eq!(
-            service.update_edge_weight(&kp, u, v, w * 2.0),
-            Err(UpdateError::MethodHasHints)
-        );
-        assert_eq!(service.epoch(), 0);
-        // Both shards still serve their original epoch.
+        let path = dijkstra_path(&g, NodeId(0), NodeId(80)).unwrap();
+        let (u, v) = (path.nodes[0], path.nodes[1]);
+        assert_eq!(service.update_edge_weight(&kp, u, v, 500.0).unwrap(), 1);
+        assert_eq!(service.epoch(), 1);
+        let truth = dijkstra_path(&reweighted(&g, u, v, 500.0), NodeId(0), NodeId(80))
+            .unwrap()
+            .distance;
         let client = Client::new(kp.public_key().clone());
         for code in [1u8, 4] {
             let session = service.open_session_for(client.clone(), code).unwrap();
-            assert_eq!(session.epoch(), 0);
-            session.query(NodeId(0), NodeId(80)).unwrap();
+            assert_eq!(session.epoch(), 1);
+            let a = session.query(NodeId(0), NodeId(80)).unwrap();
+            assert!(
+                (a.distance - truth).abs() <= 1e-6 * truth.max(1.0),
+                "method code {code}"
+            );
         }
     }
 
     #[test]
+    fn routed_update_leaves_unrelated_shards_alone() {
+        // The update edge lives inside the (0,40) shard's key range, so
+        // the (41,80) shard must keep its epoch — and its open sessions
+        // — completely untouched, even at retain_epochs(1).
+        let ga = grid_network(9, 9, 1.15, 2250);
+        let gb = grid_network(9, 9, 1.45, 2251);
+        let mut rng = StdRng::seed_from_u64(2252);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let pa = DataOwner::publish_with_key(&ga, &MethodConfig::Dij, &SetupConfig::default(), &kp);
+        let pb = DataOwner::publish_with_key(&gb, &MethodConfig::Dij, &SetupConfig::default(), &kp);
+        let service = SpService::builder()
+            .shard(pa.package, (0, 40))
+            .shard(pb.package, (41, 80))
+            .threads(0)
+            .retain_epochs(1)
+            .build();
+        let client = Client::new(kp.public_key().clone());
+        let session_a = service
+            .open_session_routed(client.clone(), 1, NodeId(7))
+            .unwrap();
+        let session_b = service
+            .open_session_routed(client.clone(), 1, NodeId(55))
+            .unwrap();
+        let (u, v, w) = ga
+            .edges()
+            .find(|&(u, v, _)| u.0 <= 40 && v.0 <= 40)
+            .unwrap();
+        assert_eq!(service.update_edge_weight(&kp, u, v, w * 2.0).unwrap(), 1);
+        // Shard A bumped; with retain 1 its pre-update session is gone.
+        assert!(matches!(
+            session_a.query(NodeId(0), NodeId(80)),
+            Err(SessionError::EpochInvalidated { .. })
+        ));
+        let fresh_a = service
+            .open_session_routed(client.clone(), 1, NodeId(7))
+            .unwrap();
+        assert_eq!(fresh_a.epoch(), 1);
+        // Shard B never saw the update: epoch 0, session still alive.
+        session_b.query(NodeId(0), NodeId(80)).unwrap();
+        let fresh_b = service.open_session_routed(client, 1, NodeId(55)).unwrap();
+        assert_eq!(fresh_b.epoch(), 0);
+    }
+
+    #[test]
     fn service_clones_share_state() {
-        let (g, service, client, kp) = deploy(MethodConfig::Dij);
+        let (g, service, client, kp) = deploy_retain(MethodConfig::Dij, 1);
         let clone = service.clone();
         let session = clone.open_session(client).unwrap();
         let (u, v, w) = g.edges().next().unwrap();

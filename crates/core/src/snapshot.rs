@@ -104,6 +104,9 @@ pub const SEC_FULL_MATRIX: u16 = 0x0014;
 pub const SEC_LDM_VECTORS: u16 = 0x0020;
 /// LDM: owner-side build seconds.
 pub const SEC_LDM_BUILD: u16 = 0x0021;
+/// LDM: compression strategy byte + the selected landmark node ids
+/// (dynamic updates repair vectors for the original landmark set).
+pub const SEC_LDM_LANDMARKS: u16 = 0x0022;
 
 /// HYP: grid side, tree fanout, geometry, build seconds.
 pub const SEC_HYP_CONFIG: u16 = 0x0030;
@@ -384,12 +387,23 @@ pub(crate) fn load_btree(
 pub fn save_package(published: &Published, dir: &Path) -> Result<PathBuf, SnapshotError> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(SNAPSHOT_FILE);
-    let pkg = &published.package;
-    let n = pkg.ads.leaf_count();
-
     let mut w = SnapshotWriter::create(&path)?;
+    write_sections(&published.package, &published.public_key, &mut w)?;
+    w.finish()?;
+    Ok(path)
+}
+
+/// Emits every snapshot section of a package into `w` — the single
+/// section-producing path behind both [`save_package`] (file writer)
+/// and [`update_snapshot`] (collector writer for in-place diffing).
+fn write_sections(
+    pkg: &ProviderPackage,
+    public_key: &RsaPublicKey,
+    w: &mut SnapshotWriter,
+) -> Result<(), SnapshotError> {
+    let n = pkg.ads.leaf_count();
     w.blob(SEC_GRAPH, &graph_to_bytes(&pkg.graph))?;
-    w.blob(SEC_PUBKEY, &published.public_key.to_bytes())?;
+    w.blob(SEC_PUBKEY, &public_key.to_bytes())?;
     w.blob(SEC_NET_SIGNED, &encode_signed_root(&pkg.network_root))?;
 
     let order_bytes: Vec<u8> = pkg
@@ -407,10 +421,57 @@ pub fn save_package(published: &Published, dir: &Path) -> Result<PathBuf, Snapsh
     }
     w.blob(SEC_NET_TUPLES, e.bytes())?;
 
-    write_tree(&mut w, SEC_NET_TREE, pkg.ads.tree())?;
-    pkg.hints.method().snapshot_hints(&pkg.hints, &mut w)?;
-    w.finish()?;
-    Ok(path)
+    write_tree(w, SEC_NET_TREE, pkg.ads.tree())?;
+    pkg.hints.method().snapshot_hints(&pkg.hints, w)
+}
+
+/// How [`update_snapshot`] hit the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotRefresh {
+    /// Only the dirty pages and sections were rewritten in place.
+    InPlace(spnet_store::UpdateStats),
+    /// The whole file was rewritten — no snapshot existed yet, or the
+    /// incremental path could not apply (section set or geometry
+    /// changed beyond the in-place slack).
+    FullRewrite,
+}
+
+/// Refreshes `dir/`[`SNAPSHOT_FILE`] to match `pkg` after a dynamic
+/// update, rewriting **only the dirty sections and pages** in place.
+///
+/// The package's sections are regenerated in memory and diffed against
+/// the existing file ([`spnet_store::SnapshotUpdater`]): an
+/// edge-weight update that dirtied a handful of tuples touches the
+/// graph/tuple blobs and the few tree pages on the dirty leaves'
+/// paths, not the O(n) snapshot. Any incremental failure (missing
+/// file, changed section set, a section outgrowing its 4 KiB slack)
+/// falls back to a full [`save_package`]-equivalent rewrite, so the
+/// call always leaves a loadable snapshot. Mid-update crashes are
+/// loud: the store zeroes the header magic until the diff commits.
+pub fn update_snapshot(
+    pkg: &ProviderPackage,
+    public_key: &RsaPublicKey,
+    dir: &Path,
+) -> Result<SnapshotRefresh, SnapshotError> {
+    let mut w = SnapshotWriter::collector();
+    write_sections(pkg, public_key, &mut w)?;
+    let sections = w.into_sections()?;
+    let path = dir.join(SNAPSHOT_FILE);
+    let incremental = (|| {
+        let mut up = spnet_store::SnapshotUpdater::open(&path)?;
+        up.apply(&sections)?;
+        up.finish()
+    })();
+    match incremental {
+        Ok(stats) => Ok(SnapshotRefresh::InPlace(stats)),
+        Err(_) => {
+            std::fs::create_dir_all(dir)?;
+            let mut w = SnapshotWriter::create(&path)?;
+            write_sections(pkg, public_key, &mut w)?;
+            w.finish()?;
+            Ok(SnapshotRefresh::FullRewrite)
+        }
+    }
 }
 
 // ---- load -----------------------------------------------------------------

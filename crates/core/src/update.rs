@@ -1,31 +1,44 @@
 //! Dynamic updates: edge-weight changes without full rebuilds.
 //!
 //! Road networks change (construction, congestion-based weights). The
-//! paper's structures are static; this module adds the natural
-//! incremental path for the **DIJ** deployment, whose only
-//! authenticated state is the network Merkle tree:
+//! paper's structures are static; this module makes owner updates
+//! first-class for **all four methods**:
 //!
-//! 1. the owner updates the weight in its graph,
-//! 2. rebuilds the two incident extended-tuples,
-//! 3. recomputes the two O(log |V|) Merkle paths, and
-//! 4. re-signs the root.
+//! 1. the owner patches the weight in place on the CSR
+//!    ([`spnet_graph::Graph::set_edge_weight`], O(log deg)),
+//! 2. dispatches [`AuthMethod::repair_hints`] so the method repairs
+//!    exactly the hint entries the change can have invalidated (FULL:
+//!    dirty distance rows, LDM: affected landmark vectors, HYP: dirty
+//!    border-pair hyper-edges) and re-signs the affected aux roots,
+//! 3. rebuilds the dirty extended-tuples and their O(log |V|) Merkle
+//!    paths, and
+//! 4. re-signs the network root.
 //!
-//! Hint-carrying methods (FULL/LDM/HYP) materialize global distance
-//! information that a single weight change can invalidate everywhere,
-//! so they require hint reconstruction — the owner API makes that
-//! explicit by only accepting DIJ packages.
+//! The dirty set is bounded by a tightness test on four single-source
+//! shortest-path trees (from both endpoints, on the pre- and
+//! post-update graph): a materialized distance `d(s, t)` can only
+//! change if some shortest `s`-tree branch crosses the updated edge,
+//! i.e. `|d(s,u) − d(s,v)|` is within ε of the edge weight, before or
+//! after the change. Everything outside that set is left bit-identical
+//! — re-verified structures and signatures are byte-for-byte the ones
+//! a fresh publish of the final graph would produce.
 
 use crate::ads::SignedRoot;
-use crate::error::ProviderError;
+use crate::methods::{ChangeDists, DirtySet, EdgeChange};
 use crate::owner::ProviderPackage;
+use spnet_crypto::merkle::MerkleTree;
 use spnet_crypto::rsa::RsaKeyPair;
-use spnet_graph::{GraphBuilder, NodeId};
+use spnet_graph::search::with_thread_workspace;
+use spnet_graph::NodeId;
+
+/// Slack for the dirty-set tightness test. Errs toward *more* dirty
+/// rows: a false positive recomputes an unchanged value (harmless and
+/// bit-identical), a false negative would leave a stale one.
+pub const DIRTY_EPS: f64 = 1e-9;
 
 /// Errors from dynamic updates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UpdateError {
-    /// Only DIJ packages support in-place updates.
-    MethodHasHints,
     /// The edge does not exist.
     NoSuchEdge { u: NodeId, v: NodeId },
     /// The new weight is invalid (negative / non-finite).
@@ -37,12 +50,6 @@ pub enum UpdateError {
 impl std::fmt::Display for UpdateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            UpdateError::MethodHasHints => {
-                write!(
-                    f,
-                    "hint-based methods require hint reconstruction, not in-place update"
-                )
-            }
             UpdateError::NoSuchEdge { u, v } => write!(f, "no edge ({u}, {v})"),
             UpdateError::BadWeight(w) => write!(f, "invalid weight {w}"),
             UpdateError::Rebuild(m) => write!(f, "rebuild failed: {m}"),
@@ -52,71 +59,114 @@ impl std::fmt::Display for UpdateError {
 
 impl std::error::Error for UpdateError {}
 
-impl From<UpdateError> for ProviderError {
-    fn from(e: UpdateError) -> Self {
-        ProviderError::ProofAssembly(e.to_string())
-    }
+/// Whether the shortest-path tree rooted at a node with distance
+/// vectors `du`/`dv` to the changed edge's endpoints can route through
+/// an edge `(u, v)` of weight `w` — the sufficient "dirty" condition.
+pub(crate) fn edge_is_tight(du: f64, dv: f64, w: f64) -> bool {
+    du.is_finite() && dv.is_finite() && (du - dv).abs() >= w - DIRTY_EPS
 }
 
-/// Owner-side: changes the weight of edge `(u, v)` inside a DIJ
-/// package, updating the two incident tuples, their Merkle paths, and
-/// the root signature.
+/// Re-densifies the network tree of a snapshot-loaded package: paged
+/// Merkle levels are read-only views, so before the first in-place
+/// tuple patch the tree is rebuilt from the resident tuples (the same
+/// leaves the `Mem` backend rebuilds at load — bit-identical root).
+fn densify_network(package: &mut ProviderPackage) -> Result<(), UpdateError> {
+    if package.ads.tree().dense_levels().is_some() {
+        return Ok(());
+    }
+    let order = package.ads.order().to_vec();
+    let fanout = package.ads.fanout();
+    let leaves: Vec<_> = order
+        .iter()
+        .map(|&n| package.ads.tuple(n).digest())
+        .collect();
+    let tree =
+        MerkleTree::build(leaves, fanout).map_err(|e| UpdateError::Rebuild(e.to_string()))?;
+    let tuples = (0..order.len() as u32)
+        .map(|i| package.ads.tuple_shared(NodeId(i)))
+        .collect();
+    package.ads = crate::ads::NetworkAds::from_parts(order, tuples, tree)
+        .ok_or_else(|| UpdateError::Rebuild("inconsistent network ADS parts".into()))?;
+    Ok(())
+}
+
+/// Owner-side: changes the weight of edge `(u, v)` inside a package of
+/// **any** method, repairing hints incrementally and re-signing only
+/// the affected roots. Returns the [`DirtySet`] describing what was
+/// touched (tuples rebuilt, aux entries recomputed, aux roots
+/// re-signed; the network re-sign itself is always exactly one more).
 ///
-/// The graph is rebuilt (CSR is immutable) but the Merkle tree is
-/// patched incrementally — O(|E|) for the graph + O(log |V|) hashing,
-/// versus O(|V| log |V|) hashing for a full ADS rebuild.
+/// The resulting package is indistinguishable from a fresh publish of
+/// the updated graph: unchanged tuples, tree nodes and signatures keep
+/// their exact bytes, and repaired ones carry the bytes a rebuild
+/// would produce.
 pub fn update_edge_weight(
     package: &mut ProviderPackage,
     keypair: &RsaKeyPair,
     u: NodeId,
     v: NodeId,
     new_weight: f64,
-) -> Result<(), UpdateError> {
-    // Dispatch through the method's lifecycle trait: only methods
-    // whose sole authenticated state is the network tree can patch.
+) -> Result<DirtySet, UpdateError> {
     let method = package.hints.method();
-    if !method.supports_incremental_update() {
-        return Err(UpdateError::MethodHasHints);
-    }
     if !new_weight.is_finite() || new_weight < 0.0 {
         return Err(UpdateError::BadWeight(new_weight));
     }
-    if package.graph.edge_weight(u, v).is_none() {
-        return Err(UpdateError::NoSuchEdge { u, v });
-    }
-    // Rebuild the graph with the new weight.
-    let g = &package.graph;
-    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
-    for n in g.nodes() {
-        let (x, y) = g.coords(n);
-        b.add_node(x, y);
-    }
-    for (a, c, w) in g.edges() {
-        let w = if (a, c) == (u.min(v), u.max(v)) {
-            new_weight
-        } else {
-            w
-        };
-        b.add_edge(a, c, w)
-            .map_err(|e| UpdateError::Rebuild(e.to_string()))?;
-    }
-    let new_graph = b
-        .try_build()
-        .map_err(|e| UpdateError::Rebuild(e.to_string()))?;
+    let old_weight = package
+        .graph
+        .edge_weight(u, v)
+        .ok_or(UpdateError::NoSuchEdge { u, v })?;
 
-    // Patch the two incident tuples and their Merkle paths.
-    for node in [u, v] {
-        let tuple = method.make_tuple(&new_graph, node, &package.hints);
+    // Pre-update endpoint distance trees, if the method's dirty-set
+    // bound needs them — computed before the CSR patch below.
+    let old_dists = if method.wants_change_dists() {
+        Some(ChangeDists {
+            from_u: with_thread_workspace(|ws| ws.sssp(&package.graph, u).dist_vec()),
+            from_v: with_thread_workspace(|ws| ws.sssp(&package.graph, v).dist_vec()),
+        })
+    } else {
+        None
+    };
+
+    package
+        .graph
+        .set_edge_weight(u, v, new_weight)
+        .ok_or(UpdateError::NoSuchEdge { u, v })?;
+    let change = EdgeChange {
+        u,
+        v,
+        old_weight,
+        new_weight,
+        old_dists,
+    };
+
+    let mut dirty = method.repair_hints(&package.graph, &change, &mut package.hints, keypair)?;
+
+    // The endpoint tuples always change (their adjacency lists carry
+    // the weight); methods add the nodes whose hint payloads moved.
+    dirty.tuples.push(u);
+    dirty.tuples.push(v);
+    dirty.tuples.sort_unstable();
+    dirty.tuples.dedup();
+
+    densify_network(package)?;
+    for &node in &dirty.tuples {
+        let tuple = method.make_tuple(&package.graph, node, &package.hints);
         package
             .ads
             .replace_tuple(node, tuple)
             .map_err(|e| UpdateError::Rebuild(e.to_string()))?;
     }
-    package.graph = new_graph;
-    // Re-sign with the same metadata (geometry and params unchanged).
-    let meta = package.network_root.meta.clone();
+    // Re-sign the network root. Metadata is normally unchanged
+    // (geometry and params survive a weight patch); a repair that moved
+    // a signed parameter (LDM's λ follows Dmax) hands back the
+    // replacement, which takes the params slot a fresh publish of the
+    // updated graph would sign.
+    let meta = match &dirty.new_params {
+        Some(p) => package.ads.meta(p.encode()),
+        None => package.network_root.meta.clone(),
+    };
     package.network_root = SignedRoot::sign(keypair, package.ads.root(), meta);
-    Ok(())
+    Ok(dirty)
 }
 
 #[cfg(test)]
@@ -211,23 +261,49 @@ mod tests {
         ));
     }
 
+    /// Every method — including the hint-carrying ones that used to be
+    /// rejected outright — accepts an in-place update and keeps
+    /// serving verifiable answers with the new distances.
     #[test]
-    fn hint_methods_refuse_in_place_update() {
+    fn all_methods_update_in_place() {
         let g = grid_network(6, 6, 1.2, 1802);
-        let mut rng = StdRng::seed_from_u64(1803);
-        let kp = RsaKeyPair::generate(&mut rng, 256);
         for method in [
+            MethodConfig::Dij,
             MethodConfig::Full {
                 use_floyd_warshall: false,
             },
+            MethodConfig::Ldm(crate::methods::LdmConfig {
+                landmarks: 6,
+                ..Default::default()
+            }),
             MethodConfig::Hyp { cells: 4 },
         ] {
-            let p = DataOwner::publish(&g, &method, &SetupConfig::default(), &mut rng);
+            let mut rng2 = StdRng::seed_from_u64(1804);
+            let kp = RsaKeyPair::generate(&mut rng2, 256);
+            let p = DataOwner::publish_with_key(&g, &method, &SetupConfig::default(), &kp);
             let mut package = p.package;
-            let (u, v, _) = package.graph.edges().next().unwrap();
-            assert_eq!(
-                update_edge_weight(&mut package, &kp, u, v, 5.0),
-                Err(UpdateError::MethodHasHints)
+            let (s, t) = (NodeId(0), NodeId(35));
+            let (u, v) = {
+                let path = dijkstra_path(&package.graph, s, t).unwrap();
+                (path.nodes[0], path.nodes[1])
+            };
+            let dirty = update_edge_weight(&mut package, &kp, u, v, 500.0).unwrap();
+            assert!(
+                dirty.tuples.contains(&u) && dirty.tuples.contains(&v),
+                "{}: endpoints must be dirty",
+                method.name()
+            );
+            let truth = dijkstra_path(&package.graph, s, t).unwrap().distance;
+            let client = Client::new(p.public_key.clone());
+            let provider = ServiceProvider::new(package);
+            let answer = provider.answer(s, t).unwrap();
+            let verified = client
+                .verify(s, t, &answer)
+                .unwrap_or_else(|e| panic!("{} fails post-update: {e}", method.name()));
+            assert!(
+                (verified.distance - truth).abs() <= 1e-6 * truth.max(1.0),
+                "{}: distance drift",
+                method.name()
             );
         }
     }

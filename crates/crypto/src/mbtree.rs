@@ -384,6 +384,31 @@ impl MerkleBTree {
         }
     }
 
+    /// Every entry of the tree, in key order, regardless of physical
+    /// representation. On a paged tree this faults every entry page —
+    /// use it to densify a read-only tree before mutating it.
+    pub fn all_entries(&self) -> Result<Vec<KeyedEntry>, MbTreeError> {
+        match &self.entries {
+            EntryRepr::Dense(es) => Ok(es.clone()),
+            EntryRepr::Paged { .. } => (0..self.len()).map(|i| self.entry_at(i)).collect(),
+        }
+    }
+
+    /// Replaces the value stored under an existing `key` and patches
+    /// the Merkle path of its leaf in place (O(f · log_f n)). Only
+    /// dense trees are updatable — paged trees are read-only views and
+    /// report the underlying [`MerkleError::ReadOnly`].
+    pub fn update_value(&mut self, key: u64, value: f64) -> Result<(), MbTreeError> {
+        let (pos, _) = self.locate(key)?;
+        match &mut self.entries {
+            EntryRepr::Dense(es) => {
+                es[pos].value = value;
+                Ok(self.tree.update_leaf(pos, es[pos].digest())?)
+            }
+            EntryRepr::Paged { .. } => Err(MbTreeError::Merkle(MerkleError::ReadOnly)),
+        }
+    }
+
     /// Faults in one entry page (paged repr only).
     fn entry_page(
         pager: &Arc<dyn EntryPager>,
@@ -893,6 +918,41 @@ mod tests {
         let evicted = evictions.load(Ordering::Relaxed);
         assert!(evicted > 0, "sweep must overflow a 3-page cache");
         assert!(faults - evicted <= 3, "resident {}", faults - evicted);
+    }
+
+    #[test]
+    fn update_value_matches_rebuild() {
+        let mut es = sample_entries(100);
+        let mut t = MerkleBTree::build(es.clone(), 4).unwrap();
+        t.update_value(30, 123.0).unwrap();
+        t.update_value(297, -1.5).unwrap();
+        es[10].value = 123.0;
+        es[99].value = -1.5;
+        let fresh = MerkleBTree::build(es, 4).unwrap();
+        assert_eq!(t.root(), fresh.root());
+        assert_eq!(t.get(30), Some(123.0));
+        let p = t.prove_keys(&[30, 297]).unwrap();
+        assert_eq!(p, fresh.prove_keys(&[30, 297]).unwrap());
+        assert!(matches!(
+            t.update_value(31, 0.0),
+            Err(MbTreeError::KeyNotFound(31))
+        ));
+    }
+
+    #[test]
+    fn paged_btree_is_read_only_but_densifiable() {
+        let dense = MerkleBTree::build(sample_entries(50), 4).unwrap();
+        let (mut paged, _) = paged_from_dense(&dense, 8);
+        assert!(matches!(
+            paged.update_value(0, 9.0),
+            Err(MbTreeError::Merkle(MerkleError::ReadOnly))
+        ));
+        // Densify → mutate → identical to a dense rebuild.
+        let entries = paged.all_entries().unwrap();
+        assert_eq!(entries, dense.dense_entries().unwrap());
+        let mut densified = MerkleBTree::build(entries, 4).unwrap();
+        densified.update_value(0, 9.0).unwrap();
+        assert_eq!(densified.get(0), Some(9.0));
     }
 
     #[test]

@@ -47,6 +47,14 @@ impl DistanceMatrix {
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
+    /// Overwrites row `i` (dynamic updates recompute dirty rows).
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the matrix dimension.
+    pub fn set_row(&mut self, i: usize, row: &[f64]) {
+        self.data[i * self.n..(i + 1) * self.n].copy_from_slice(row);
+    }
+
     /// Row-major backing data (for persistence; pair with
     /// [`DistanceMatrix::from_raw`]).
     pub fn raw(&self) -> &[f64] {

@@ -90,6 +90,34 @@ impl Graph {
         self.edge_weight(u, v).is_some()
     }
 
+    /// Patches the weight of edge `(u, v)` in place — both CSR mirror
+    /// arcs — and returns the previous weight. `None` (and no change)
+    /// if the edge does not exist. O(log deg) per endpoint; the
+    /// adjacency structure itself is untouched, so node orderings and
+    /// partitions derived from topology remain valid.
+    ///
+    /// The cached weight bounds are only widened, never re-tightened:
+    /// they feed search calibration heuristics where a conservative
+    /// range is valid (both frontier kinds produce identical results).
+    pub fn set_edge_weight(&mut self, u: NodeId, v: NodeId, w: f64) -> Option<f64> {
+        let arc = |g: &Graph, a: NodeId, b: NodeId| -> Option<usize> {
+            let lo = g.offsets[a.index()] as usize;
+            let hi = g.offsets[a.index() + 1] as usize;
+            g.adj_targets[lo..hi]
+                .binary_search(&b.0)
+                .ok()
+                .map(|i| lo + i)
+        };
+        let uv = arc(self, u, v)?;
+        let vu = arc(self, v, u)?;
+        let old = self.adj_weights[uv];
+        self.adj_weights[uv] = w;
+        self.adj_weights[vu] = w;
+        self.min_weight = self.min_weight.min(w);
+        self.max_weight = self.max_weight.max(w);
+        Some(old)
+    }
+
     /// Iterator over undirected edges `(u, v, w)` with `u < v`.
     ///
     /// A single sweep over the CSR arc arrays: the owning node is
@@ -283,5 +311,39 @@ mod tests {
         let g = triangle();
         assert!(g.check_node(NodeId(2)).is_ok());
         assert!(g.check_node(NodeId(3)).is_err());
+    }
+
+    #[test]
+    fn set_edge_weight_patches_both_arcs() {
+        let mut g = triangle();
+        assert_eq!(g.set_edge_weight(NodeId(0), NodeId(1), 7.5), Some(3.0));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(7.5));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(7.5));
+        // Missing edges are untouched and report None.
+        assert_eq!(g.set_edge_weight(NodeId(0), NodeId(0), 1.0), None);
+        // Weight bounds only widen.
+        let (lo, hi) = g.weight_range().unwrap();
+        assert!(lo <= 3.0 && hi >= 7.5);
+    }
+
+    #[test]
+    fn set_edge_weight_matches_rebuilt_graph() {
+        // In-place patching must be indistinguishable from rebuilding
+        // the graph with the new weight.
+        let mut g = triangle();
+        g.set_edge_weight(NodeId(1), NodeId(2), 9.0);
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.0, 0.0);
+        let c = b.add_node(3.0, 0.0);
+        let d = b.add_node(0.0, 4.0);
+        b.add_edge(a, c, 3.0).unwrap();
+        b.add_edge(c, d, 9.0).unwrap();
+        b.add_edge(a, d, 4.0).unwrap();
+        let fresh = b.build();
+        for u in g.nodes() {
+            let got: Vec<_> = g.neighbors(u).collect();
+            let want: Vec<_> = fresh.neighbors(u).collect();
+            assert_eq!(got, want, "adjacency of {u}");
+        }
     }
 }

@@ -63,6 +63,16 @@ impl LandmarkVectors {
         self.dist[i][v.index()]
     }
 
+    /// Overwrites landmark `i`'s distance row (dynamic updates
+    /// recompute only the rows an edge change invalidated).
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the node count.
+    pub fn set_row(&mut self, i: usize, row: Vec<f64>) {
+        assert_eq!(row.len(), self.dist[i].len(), "row length mismatch");
+        self.dist[i] = row;
+    }
+
     /// The exact lower bound `distLB(v, v′)` of Equation 3.
     ///
     /// Landmarks that do not reach either node are skipped (an infinite

@@ -34,5 +34,6 @@ pub use node_store::{
     EntryPageSource, FileStore, MemStore, NodeStore, PageSource, StoreBackend, TreePager,
 };
 pub use snapshot::{
-    PagedReader, Snapshot, SnapshotWriter, SECTION_ALIGN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    PagedReader, SectionUpdate, Snapshot, SnapshotUpdater, SnapshotWriter, UpdateStats,
+    SECTION_ALIGN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

@@ -77,15 +77,59 @@ impl SectionMeta {
     }
 }
 
+/// One regenerated section captured by [`SnapshotWriter::collector`]:
+/// the raw payload plus its kind and paging geometry, ready to diff
+/// against an existing file through [`SnapshotUpdater::apply`].
+#[derive(Debug, Clone)]
+pub struct SectionUpdate {
+    id: u16,
+    kind: u8,
+    page_len: u32,
+    payload: Vec<u8>,
+}
+
+impl SectionUpdate {
+    /// The section id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Where a [`SnapshotWriter`] sends its sections.
+#[derive(Debug)]
+enum Sink {
+    /// Streaming append to a snapshot file.
+    File {
+        file: File,
+        pos: u64,
+        entries: Vec<(u16, SectionMeta)>,
+    },
+    /// In-memory capture for [`SnapshotUpdater`] diffing — same
+    /// section code path, no file touched.
+    Collect { sections: Vec<SectionUpdate> },
+}
+
 /// Streaming writer for a snapshot file.
 ///
 /// Sections are appended in call order; [`SnapshotWriter::finish`]
-/// appends the table and then stamps the header.
+/// appends the table and then stamps the header. The
+/// [`SnapshotWriter::collector`] variant captures the same sections in
+/// memory instead (for incremental in-place updates), so every
+/// section-producing code path is written once and serves both full
+/// saves and diffs.
 #[derive(Debug)]
 pub struct SnapshotWriter {
-    file: File,
-    pos: u64,
-    entries: Vec<(u16, SectionMeta)>,
+    sink: Sink,
 }
 
 impl SnapshotWriter {
@@ -94,46 +138,62 @@ impl SnapshotWriter {
         let mut file = File::create(path)?;
         file.write_all(&[0u8; HEADER_LEN as usize])?;
         Ok(SnapshotWriter {
-            file,
-            pos: HEADER_LEN,
-            entries: Vec::new(),
+            sink: Sink::File {
+                file,
+                pos: HEADER_LEN,
+                entries: Vec::new(),
+            },
         })
     }
 
+    /// A writer that captures sections in memory instead of writing a
+    /// file; drain with [`Self::into_sections`].
+    pub fn collector() -> Self {
+        SnapshotWriter {
+            sink: Sink::Collect {
+                sections: Vec::new(),
+            },
+        }
+    }
+
     fn check_new_id(&self, id: u16) -> Result<(), StoreError> {
-        if self.entries.iter().any(|&(eid, _)| eid == id) {
+        let taken = match &self.sink {
+            Sink::File { entries, .. } => entries.iter().any(|&(eid, _)| eid == id),
+            Sink::Collect { sections } => sections.iter().any(|s| s.id == id),
+        };
+        if taken {
             return Err(StoreError::DuplicateSection(id));
         }
         Ok(())
     }
 
-    fn align(&mut self) -> Result<u64, StoreError> {
-        let target = self.pos.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
-        if target > self.pos {
-            let pad = vec![0u8; (target - self.pos) as usize];
-            self.file.write_all(&pad)?;
-            self.pos = target;
-        }
-        Ok(self.pos)
-    }
-
     /// Appends an opaque blob section.
     pub fn blob(&mut self, id: u16, bytes: &[u8]) -> Result<(), StoreError> {
         self.check_new_id(id)?;
-        let offset = self.align()?;
-        self.file.write_all(bytes)?;
-        self.pos += bytes.len() as u64;
-        self.entries.push((
-            id,
-            SectionMeta {
+        match &mut self.sink {
+            Sink::File { file, pos, entries } => {
+                let offset = align_file(file, pos)?;
+                file.write_all(bytes)?;
+                *pos += bytes.len() as u64;
+                entries.push((
+                    id,
+                    SectionMeta {
+                        kind: KIND_BLOB,
+                        page_len: 0,
+                        offset,
+                        len: bytes.len() as u64,
+                        data_len: bytes.len() as u64,
+                        checksum: hash_bytes(bytes),
+                    },
+                ));
+            }
+            Sink::Collect { sections } => sections.push(SectionUpdate {
+                id,
                 kind: KIND_BLOB,
                 page_len: 0,
-                offset,
-                len: bytes.len() as u64,
-                data_len: bytes.len() as u64,
-                checksum: hash_bytes(bytes),
-            },
-        ));
+                payload: bytes.to_vec(),
+            }),
+        }
         Ok(())
     }
 
@@ -145,57 +205,111 @@ impl SnapshotWriter {
         if page_len == 0 || page_len > u32::MAX as usize {
             return Err(StoreError::Corrupt(format!("bad page length {page_len}")));
         }
-        let mut digest_array = Vec::with_capacity(bytes.len().div_ceil(page_len) * DIGEST_LEN);
-        for page in bytes.chunks(page_len) {
-            digest_array.extend_from_slice(hash_bytes(page).as_bytes());
-        }
-        let offset = self.align()?;
-        self.file.write_all(&digest_array)?;
-        self.file.write_all(bytes)?;
-        self.pos += (digest_array.len() + bytes.len()) as u64;
-        self.entries.push((
-            id,
-            SectionMeta {
+        match &mut self.sink {
+            Sink::File { file, pos, entries } => {
+                let digest_array = page_digests(bytes, page_len);
+                let offset = align_file(file, pos)?;
+                file.write_all(&digest_array)?;
+                file.write_all(bytes)?;
+                *pos += (digest_array.len() + bytes.len()) as u64;
+                entries.push((
+                    id,
+                    SectionMeta {
+                        kind: KIND_PAGED,
+                        page_len: page_len as u32,
+                        offset,
+                        len: (digest_array.len() + bytes.len()) as u64,
+                        data_len: bytes.len() as u64,
+                        checksum: hash_bytes(&digest_array),
+                    },
+                ));
+            }
+            Sink::Collect { sections } => sections.push(SectionUpdate {
+                id,
                 kind: KIND_PAGED,
                 page_len: page_len as u32,
-                offset,
-                len: (digest_array.len() + bytes.len()) as u64,
-                data_len: bytes.len() as u64,
-                checksum: hash_bytes(&digest_array),
-            },
-        ));
+                payload: bytes.to_vec(),
+            }),
+        }
         Ok(())
     }
 
     /// Appends the section table, stamps the header, and syncs. Returns
-    /// the final file size in bytes.
-    pub fn finish(mut self) -> Result<u64, StoreError> {
-        let table_offset = self.align()?;
-        for &(id, m) in &self.entries {
-            let mut entry = [0u8; TABLE_ENTRY_LEN];
-            entry[0..2].copy_from_slice(&id.to_le_bytes());
-            entry[2] = m.kind;
-            // entry[3] reserved
-            entry[4..8].copy_from_slice(&m.page_len.to_le_bytes());
-            entry[8..16].copy_from_slice(&m.offset.to_le_bytes());
-            entry[16..24].copy_from_slice(&m.len.to_le_bytes());
-            entry[24..32].copy_from_slice(&m.data_len.to_le_bytes());
-            entry[32..64].copy_from_slice(m.checksum.as_bytes());
-            self.file.write_all(&entry)?;
-            self.pos += TABLE_ENTRY_LEN as u64;
+    /// the final file size in bytes. Errors on a collector writer.
+    pub fn finish(self) -> Result<u64, StoreError> {
+        let Sink::File {
+            mut file,
+            mut pos,
+            entries,
+        } = self.sink
+        else {
+            return Err(StoreError::Corrupt(
+                "collector writes no file — drain it with into_sections".into(),
+            ));
+        };
+        let table_offset = align_file(&mut file, &mut pos)?;
+        for &(id, m) in &entries {
+            file.write_all(&encode_table_entry(id, &m))?;
+            pos += TABLE_ENTRY_LEN as u64;
         }
-        let total = self.pos;
+        let total = pos;
         let mut header = [0u8; HEADER_LEN as usize];
         header[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
         header[8] = SNAPSHOT_VERSION;
         // header[9..12] reserved
-        header[12..16].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&(entries.len() as u32).to_le_bytes());
         header[16..24].copy_from_slice(&table_offset.to_le_bytes());
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&header)?;
-        self.file.sync_all()?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()?;
         Ok(total)
     }
+
+    /// Drains a collector writer's captured sections, in call order.
+    /// Errors on a file-backed writer.
+    pub fn into_sections(self) -> Result<Vec<SectionUpdate>, StoreError> {
+        match self.sink {
+            Sink::Collect { sections } => Ok(sections),
+            Sink::File { .. } => Err(StoreError::Corrupt(
+                "file writer has no captured sections — call finish".into(),
+            )),
+        }
+    }
+}
+
+/// Pads `file` to the next [`SECTION_ALIGN`] boundary; returns the new
+/// position.
+fn align_file(file: &mut File, pos: &mut u64) -> Result<u64, StoreError> {
+    let target = pos.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+    if target > *pos {
+        let pad = vec![0u8; (target - *pos) as usize];
+        file.write_all(&pad)?;
+        *pos = target;
+    }
+    Ok(*pos)
+}
+
+/// The digest array of a paged payload (one digest per page).
+fn page_digests(bytes: &[u8], page_len: usize) -> Vec<u8> {
+    let mut digest_array = Vec::with_capacity(bytes.len().div_ceil(page_len.max(1)) * DIGEST_LEN);
+    for page in bytes.chunks(page_len) {
+        digest_array.extend_from_slice(hash_bytes(page).as_bytes());
+    }
+    digest_array
+}
+
+/// Serializes one 64-byte section-table entry.
+fn encode_table_entry(id: u16, m: &SectionMeta) -> [u8; TABLE_ENTRY_LEN] {
+    let mut entry = [0u8; TABLE_ENTRY_LEN];
+    entry[0..2].copy_from_slice(&id.to_le_bytes());
+    entry[2] = m.kind;
+    // entry[3] reserved
+    entry[4..8].copy_from_slice(&m.page_len.to_le_bytes());
+    entry[8..16].copy_from_slice(&m.offset.to_le_bytes());
+    entry[16..24].copy_from_slice(&m.len.to_le_bytes());
+    entry[24..32].copy_from_slice(&m.data_len.to_le_bytes());
+    entry[32..64].copy_from_slice(m.checksum.as_bytes());
+    entry
 }
 
 /// A verified lazy reader over one paged section.
@@ -275,92 +389,99 @@ pub struct Snapshot {
     sections: Vec<(u16, SectionMeta)>,
 }
 
+/// Parses and validates a snapshot's header and section table.
+/// Returns the sections (table order) and the table offset.
+fn parse_snapshot(file: &File) -> Result<(Vec<(u16, SectionMeta)>, u64), StoreError> {
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_LEN {
+        return Err(StoreError::Truncated);
+    }
+    let mut header = [0u8; HEADER_LEN as usize];
+    file.read_exact_at(&mut header, 0)?;
+    if header[0..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    if header[8] != SNAPSHOT_VERSION {
+        return Err(StoreError::UnsupportedVersion(header[8]));
+    }
+    let section_count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    let table_offset = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    if section_count > MAX_SECTIONS {
+        return Err(StoreError::Corrupt(format!(
+            "absurd section count {section_count}"
+        )));
+    }
+    let table_len = section_count as u64 * TABLE_ENTRY_LEN as u64;
+    if table_offset < HEADER_LEN
+        || table_offset
+            .checked_add(table_len)
+            .is_none_or(|end| end > file_len)
+    {
+        return Err(StoreError::Truncated);
+    }
+    let mut table = vec![0u8; table_len as usize];
+    file.read_exact_at(&mut table, table_offset)?;
+    let mut sections: Vec<(u16, SectionMeta)> = Vec::with_capacity(section_count as usize);
+    for raw in table.chunks_exact(TABLE_ENTRY_LEN) {
+        let id = u16::from_le_bytes(raw[0..2].try_into().unwrap());
+        let kind = raw[2];
+        let page_len = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        let offset = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        let len = u64::from_le_bytes(raw[16..24].try_into().unwrap());
+        let data_len = u64::from_le_bytes(raw[24..32].try_into().unwrap());
+        let checksum = Digest(raw[32..64].try_into().unwrap());
+        if sections.iter().any(|&(eid, _)| eid == id) {
+            return Err(StoreError::DuplicateSection(id));
+        }
+        let meta = SectionMeta {
+            kind,
+            page_len,
+            offset,
+            len,
+            data_len,
+            checksum,
+        };
+        if offset < HEADER_LEN || offset.checked_add(len).is_none_or(|end| end > file_len) {
+            return Err(StoreError::Truncated);
+        }
+        match kind {
+            KIND_BLOB => {
+                if page_len != 0 || data_len != len {
+                    return Err(StoreError::Corrupt(format!(
+                        "blob section {id:#06x} with paged geometry"
+                    )));
+                }
+            }
+            KIND_PAGED => {
+                if page_len == 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "paged section {id:#06x} with zero page length"
+                    )));
+                }
+                let expect_digests = meta.num_pages() * DIGEST_LEN as u64;
+                if len != expect_digests + data_len {
+                    return Err(StoreError::Corrupt(format!(
+                        "paged section {id:#06x} length mismatch"
+                    )));
+                }
+            }
+            k => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown section kind {k} for id {id:#06x}"
+                )));
+            }
+        }
+        sections.push((id, meta));
+    }
+    Ok((sections, table_offset))
+}
+
 impl Snapshot {
     /// Opens and validates the header and section table. Section
     /// payloads are not read (and not yet verified) here.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
         let file = File::open(path)?;
-        let file_len = file.metadata()?.len();
-        if file_len < HEADER_LEN {
-            return Err(StoreError::Truncated);
-        }
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact_at(&mut header, 0)?;
-        if header[0..8] != SNAPSHOT_MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        if header[8] != SNAPSHOT_VERSION {
-            return Err(StoreError::UnsupportedVersion(header[8]));
-        }
-        let section_count = u32::from_le_bytes(header[12..16].try_into().unwrap());
-        let table_offset = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        if section_count > MAX_SECTIONS {
-            return Err(StoreError::Corrupt(format!(
-                "absurd section count {section_count}"
-            )));
-        }
-        let table_len = section_count as u64 * TABLE_ENTRY_LEN as u64;
-        if table_offset < HEADER_LEN
-            || table_offset
-                .checked_add(table_len)
-                .is_none_or(|end| end > file_len)
-        {
-            return Err(StoreError::Truncated);
-        }
-        let mut table = vec![0u8; table_len as usize];
-        file.read_exact_at(&mut table, table_offset)?;
-        let mut sections: Vec<(u16, SectionMeta)> = Vec::with_capacity(section_count as usize);
-        for raw in table.chunks_exact(TABLE_ENTRY_LEN) {
-            let id = u16::from_le_bytes(raw[0..2].try_into().unwrap());
-            let kind = raw[2];
-            let page_len = u32::from_le_bytes(raw[4..8].try_into().unwrap());
-            let offset = u64::from_le_bytes(raw[8..16].try_into().unwrap());
-            let len = u64::from_le_bytes(raw[16..24].try_into().unwrap());
-            let data_len = u64::from_le_bytes(raw[24..32].try_into().unwrap());
-            let checksum = Digest(raw[32..64].try_into().unwrap());
-            if sections.iter().any(|&(eid, _)| eid == id) {
-                return Err(StoreError::DuplicateSection(id));
-            }
-            let meta = SectionMeta {
-                kind,
-                page_len,
-                offset,
-                len,
-                data_len,
-                checksum,
-            };
-            if offset < HEADER_LEN || offset.checked_add(len).is_none_or(|end| end > file_len) {
-                return Err(StoreError::Truncated);
-            }
-            match kind {
-                KIND_BLOB => {
-                    if page_len != 0 || data_len != len {
-                        return Err(StoreError::Corrupt(format!(
-                            "blob section {id:#06x} with paged geometry"
-                        )));
-                    }
-                }
-                KIND_PAGED => {
-                    if page_len == 0 {
-                        return Err(StoreError::Corrupt(format!(
-                            "paged section {id:#06x} with zero page length"
-                        )));
-                    }
-                    let expect_digests = meta.num_pages() * DIGEST_LEN as u64;
-                    if len != expect_digests + data_len {
-                        return Err(StoreError::Corrupt(format!(
-                            "paged section {id:#06x} length mismatch"
-                        )));
-                    }
-                }
-                k => {
-                    return Err(StoreError::Corrupt(format!(
-                        "unknown section kind {k} for id {id:#06x}"
-                    )));
-                }
-            }
-            sections.push((id, meta));
-        }
+        let (sections, _) = parse_snapshot(&file)?;
         Ok(Snapshot {
             file: Arc::new(file),
             sections,
@@ -429,6 +550,210 @@ impl Snapshot {
             digests,
             faults,
         })
+    }
+}
+
+// ---- in-place update ------------------------------------------------------
+
+/// What an in-place snapshot update touched — the incremental-write
+/// cost metric (compare `pages_rewritten` against `pages_total` for
+/// the fraction of the file a small update actually dirties).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Sections the update covered (the whole section set).
+    pub sections_total: usize,
+    /// Sections with at least one byte rewritten.
+    pub sections_rewritten: usize,
+    /// Pages across all paged sections.
+    pub pages_total: usize,
+    /// Pages actually rewritten (dirty pages only).
+    pub pages_rewritten: usize,
+    /// Payload and digest bytes written, excluding the table rewrite.
+    pub bytes_written: u64,
+}
+
+/// In-place incremental rewriter for an existing snapshot file.
+///
+/// [`SnapshotUpdater::apply`] diffs a regenerated section set (from
+/// [`SnapshotWriter::collector`]) against the file: clean blobs are
+/// recognized by checksum and skipped, paged sections are compared
+/// page by page and only dirty pages hit the disk. Section *growth* is
+/// absorbed by the 4 KiB alignment slack; a section that outgrows its
+/// slack fails typed — callers fall back to a full rewrite.
+///
+/// Crash contract: `open` zeroes the header magic before any payload
+/// write and [`SnapshotUpdater::finish`] restores it after the table
+/// rewrite and sync, so a torn update leaves a file that fails
+/// [`Snapshot::open`] with [`StoreError::BadMagic`] — never a
+/// plausible-but-stale snapshot.
+#[derive(Debug)]
+pub struct SnapshotUpdater {
+    file: File,
+    sections: Vec<(u16, SectionMeta)>,
+    table_offset: u64,
+    stats: UpdateStats,
+}
+
+impl SnapshotUpdater {
+    /// Opens `path` read-write, validates the header and table, and
+    /// arms the crash guard (header magic zeroed until `finish`).
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let (sections, table_offset) = parse_snapshot(&file)?;
+        file.write_all_at(&[0u8; 8], 0)?;
+        file.sync_data()?;
+        Ok(SnapshotUpdater {
+            file,
+            sections,
+            table_offset,
+            stats: UpdateStats::default(),
+        })
+    }
+
+    /// Bytes available to section `idx` before the next section (or
+    /// the table) begins.
+    fn capacity(&self, idx: usize) -> u64 {
+        let start = self.sections[idx].1.offset;
+        self.sections
+            .iter()
+            .map(|&(_, m)| m.offset)
+            .filter(|&o| o > start)
+            .chain(std::iter::once(self.table_offset))
+            .min()
+            .expect("table bounds every section")
+            - start
+    }
+
+    /// Diffs `new` against the file and rewrites only what changed.
+    ///
+    /// The update must cover **exactly** the existing section set (an
+    /// in-place update never adds, drops, or re-kinds sections — a
+    /// changed set means the publish shape changed, which is a full
+    /// rewrite). Any error leaves the crash guard armed, so an
+    /// abandoned update reads as torn rather than half-applied.
+    pub fn apply(&mut self, new: &[SectionUpdate]) -> Result<(), StoreError> {
+        if new.len() != self.sections.len() {
+            return Err(StoreError::Corrupt(format!(
+                "section set changed: {} on disk, {} regenerated",
+                self.sections.len(),
+                new.len()
+            )));
+        }
+        self.stats.sections_total = new.len();
+        for s in new {
+            let idx = self
+                .sections
+                .iter()
+                .position(|&(eid, _)| eid == s.id)
+                .ok_or(StoreError::MissingSection(s.id))?;
+            let m = self.sections[idx].1;
+            if m.kind != s.kind {
+                return Err(StoreError::WrongKind {
+                    id: s.id,
+                    expected: if m.kind == KIND_BLOB { "blob" } else { "paged" },
+                });
+            }
+            match s.kind {
+                KIND_BLOB => self.apply_blob(idx, s)?,
+                _ => self.apply_paged(idx, s)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_blob(&mut self, idx: usize, s: &SectionUpdate) -> Result<(), StoreError> {
+        let m = self.sections[idx].1;
+        let checksum = hash_bytes(&s.payload);
+        if checksum == m.checksum && s.payload.len() as u64 == m.len {
+            return Ok(());
+        }
+        if s.payload.len() as u64 > self.capacity(idx) {
+            return Err(StoreError::Corrupt(format!(
+                "blob section {:#06x} outgrew its slack ({} > {})",
+                s.id,
+                s.payload.len(),
+                self.capacity(idx)
+            )));
+        }
+        self.file.write_all_at(&s.payload, m.offset)?;
+        let m = &mut self.sections[idx].1;
+        m.len = s.payload.len() as u64;
+        m.data_len = m.len;
+        m.checksum = checksum;
+        self.stats.sections_rewritten += 1;
+        self.stats.bytes_written += m.len;
+        Ok(())
+    }
+
+    fn apply_paged(&mut self, idx: usize, s: &SectionUpdate) -> Result<(), StoreError> {
+        let m = self.sections[idx].1;
+        let digest_array = page_digests(&s.payload, s.page_len as usize);
+        let num_pages = s.payload.len().div_ceil(s.page_len.max(1) as usize);
+        self.stats.pages_total += num_pages;
+        if s.page_len != m.page_len || s.payload.len() as u64 != m.data_len {
+            // Geometry changed: the digest array shifts the payload
+            // base, so rewrite the whole section (if it still fits).
+            let total = (digest_array.len() + s.payload.len()) as u64;
+            if total > self.capacity(idx) {
+                return Err(StoreError::Corrupt(format!(
+                    "paged section {:#06x} outgrew its slack ({} > {})",
+                    s.id,
+                    total,
+                    self.capacity(idx)
+                )));
+            }
+            self.file.write_all_at(&digest_array, m.offset)?;
+            self.file
+                .write_all_at(&s.payload, m.offset + digest_array.len() as u64)?;
+            let m = &mut self.sections[idx].1;
+            m.page_len = s.page_len;
+            m.len = total;
+            m.data_len = s.payload.len() as u64;
+            m.checksum = hash_bytes(&digest_array);
+            self.stats.sections_rewritten += 1;
+            self.stats.pages_rewritten += num_pages;
+            self.stats.bytes_written += total;
+            return Ok(());
+        }
+        // Same geometry: page-by-page diff against the stored digests.
+        let mut old_digests = vec![0u8; m.digests_len() as usize];
+        self.file.read_exact_at(&mut old_digests, m.offset)?;
+        let base = m.offset + m.digests_len();
+        let mut dirty = 0usize;
+        for (p, page) in s.payload.chunks(s.page_len as usize).enumerate() {
+            let range = p * DIGEST_LEN..(p + 1) * DIGEST_LEN;
+            if digest_array[range.clone()] != old_digests[range] {
+                self.file
+                    .write_all_at(page, base + (p * s.page_len as usize) as u64)?;
+                dirty += 1;
+                self.stats.bytes_written += page.len() as u64;
+            }
+        }
+        if dirty > 0 {
+            self.file.write_all_at(&digest_array, m.offset)?;
+            self.sections[idx].1.checksum = hash_bytes(&digest_array);
+            self.stats.sections_rewritten += 1;
+            self.stats.pages_rewritten += dirty;
+            self.stats.bytes_written += digest_array.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the section table, restores the header magic, and
+    /// syncs. Returns what the update touched.
+    pub fn finish(self) -> Result<UpdateStats, StoreError> {
+        let mut table = Vec::with_capacity(self.sections.len() * TABLE_ENTRY_LEN);
+        for &(id, ref m) in &self.sections {
+            table.extend_from_slice(&encode_table_entry(id, m));
+        }
+        self.file.write_all_at(&table, self.table_offset)?;
+        self.file.sync_data()?;
+        self.file.write_all_at(&SNAPSHOT_MAGIC, 0)?;
+        self.file.sync_all()?;
+        Ok(self.stats)
     }
 }
 
@@ -587,6 +912,115 @@ mod tests {
         for &(_, m) in &snap.sections {
             assert_eq!(m.offset % SECTION_ALIGN, 0);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Collector-mode regeneration of the [`write_sample`] sections,
+    /// with `paged` optionally perturbed.
+    fn regenerate(blob: &[u8], paged: &[u8]) -> Vec<SectionUpdate> {
+        let mut w = SnapshotWriter::collector();
+        w.blob(1, blob).unwrap();
+        w.paged(2, paged, 512).unwrap();
+        w.into_sections().unwrap()
+    }
+
+    #[test]
+    fn collector_captures_sections_without_a_file() {
+        let sections = regenerate(b"abc", &[0u8; 1000]);
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].id(), 1);
+        assert_eq!(sections[0].len(), 3);
+        assert_eq!(sections[1].id(), 2);
+        assert!(SnapshotWriter::collector().finish().is_err());
+    }
+
+    #[test]
+    fn in_place_update_rewrites_only_dirty_pages() {
+        let dir = tmpdir("inplace");
+        let path = dir.join("snapshot.spnet");
+        let (blob, mut paged) = write_sample(&path);
+        // Dirty exactly one page of the paged section; the blob and
+        // every other page must not be rewritten.
+        paged[3 * 512] ^= 0xFF;
+        let mut up = SnapshotUpdater::open(&path).unwrap();
+        up.apply(&regenerate(&blob, &paged)).unwrap();
+        let stats = up.finish().unwrap();
+        assert_eq!(stats.sections_total, 2);
+        assert_eq!(stats.sections_rewritten, 1);
+        assert_eq!(stats.pages_total, paged.len().div_ceil(512));
+        assert_eq!(stats.pages_rewritten, 1);
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.blob(1).unwrap(), blob);
+        let r = snap.paged(2, Arc::new(AtomicU64::new(0))).unwrap();
+        assert_eq!(r.read_all().unwrap(), paged);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_update_writes_nothing() {
+        let dir = tmpdir("cleanup");
+        let path = dir.join("snapshot.spnet");
+        let (blob, paged) = write_sample(&path);
+        let mut up = SnapshotUpdater::open(&path).unwrap();
+        up.apply(&regenerate(&blob, &paged)).unwrap();
+        let stats = up.finish().unwrap();
+        assert_eq!(stats.sections_rewritten, 0);
+        assert_eq!(stats.pages_rewritten, 0);
+        assert_eq!(stats.bytes_written, 0);
+        assert!(Snapshot::open(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blob_growth_uses_slack_and_overflow_fails_typed() {
+        let dir = tmpdir("slack");
+        let path = dir.join("snapshot.spnet");
+        let (mut blob, paged) = write_sample(&path);
+        // Growing within the 4 KiB alignment slack succeeds in place.
+        blob.extend_from_slice(b"tail");
+        let mut up = SnapshotUpdater::open(&path).unwrap();
+        up.apply(&regenerate(&blob, &paged)).unwrap();
+        up.finish().unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.blob(1).unwrap(), blob);
+        drop(snap);
+        // Outgrowing the slack fails typed (caller falls back to a
+        // full rewrite) and leaves the crash guard armed.
+        let huge = vec![7u8; 2 * SECTION_ALIGN as usize];
+        let mut up = SnapshotUpdater::open(&path).unwrap();
+        assert!(matches!(
+            up.apply(&regenerate(&huge, &paged)),
+            Err(StoreError::Corrupt(_))
+        ));
+        drop(up);
+        assert!(matches!(Snapshot::open(&path), Err(StoreError::BadMagic)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_update_reads_as_bad_magic_until_finished() {
+        let dir = tmpdir("torn");
+        let path = dir.join("snapshot.spnet");
+        let (blob, paged) = write_sample(&path);
+        let mut up = SnapshotUpdater::open(&path).unwrap();
+        // Crash guard armed: a reader opening mid-update fails loudly.
+        assert!(matches!(Snapshot::open(&path), Err(StoreError::BadMagic)));
+        up.apply(&regenerate(&blob, &paged)).unwrap();
+        up.finish().unwrap();
+        assert!(Snapshot::open(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_section_set_is_refused() {
+        let dir = tmpdir("setchange");
+        let path = dir.join("snapshot.spnet");
+        let (blob, _) = write_sample(&path);
+        let mut w = SnapshotWriter::collector();
+        w.blob(1, &blob).unwrap();
+        let only_blob = w.into_sections().unwrap();
+        let mut up = SnapshotUpdater::open(&path).unwrap();
+        assert!(matches!(up.apply(&only_blob), Err(StoreError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -266,30 +266,45 @@ fn truncated_streams_rejected_for_every_method() {
 }
 
 #[test]
-fn epoch_invalidation_is_loud_for_every_updatable_method() {
-    // DIJ is the only updatable method; hint methods refuse updates and
-    // must keep their sessions valid.
-    let (g, service, client, kp) = deploy_service(&MethodConfig::Dij, 4300);
-    let session = service.open_session(client).unwrap();
-    let (u, v, w) = g.edges().next().unwrap();
-    service.update_edge_weight(&kp, u, v, w * 2.0).unwrap();
-    assert!(matches!(
-        session.query(NodeId(0), NodeId(63)),
-        Err(SessionError::EpochInvalidated {
-            opened: 0,
-            current: 1
-        })
-    ));
-
-    for method in all_methods().into_iter().skip(1) {
-        let (g, service, client, kp) = deploy_service(&method, 4301);
-        let session = service.open_session(client).unwrap();
+fn epoch_eviction_is_loud_for_every_method() {
+    // Every method repairs in place now. With the MVCC ring collapsed
+    // to one epoch (`retain_epochs(1)`), an update evicts the old root
+    // immediately and pinned sessions fail loudly; at the default
+    // retention the same session drains on its pinned epoch.
+    for method in all_methods() {
+        let g = grid_network(8, 8, 1.2, 4300);
+        let mut rng = StdRng::seed_from_u64(4300 ^ 0x5E55);
+        let kp = RsaKeyPair::generate(&mut rng, 256);
+        let p = DataOwner::publish_with_key(&g, &method, &SetupConfig::default(), &kp);
+        let strict = SpService::builder()
+            .package(p.package.clone())
+            .retain_epochs(1)
+            .build();
+        let client = Client::new(p.public_key.clone());
+        let session = strict.open_session(client.clone()).unwrap();
         let (u, v, w) = g.edges().next().unwrap();
-        assert!(service.update_edge_weight(&kp, u, v, w * 2.0).is_err());
-        assert_eq!(service.epoch(), 0);
-        session
-            .query(NodeId(0), NodeId(63))
-            .unwrap_or_else(|e| panic!("{}: session must stay valid: {e}", method.name()));
+        strict.update_edge_weight(&kp, u, v, w * 2.0).unwrap();
+        assert!(
+            matches!(
+                session.query(NodeId(0), NodeId(63)),
+                Err(SessionError::EpochInvalidated {
+                    opened: 0,
+                    current: 1
+                })
+            ),
+            "{}: evicted epoch must invalidate loudly",
+            method.name()
+        );
+
+        let mvcc = SpService::new(p.package);
+        let session = mvcc.open_session(client).unwrap();
+        mvcc.update_edge_weight(&kp, u, v, w * 3.0).unwrap();
+        session.query(NodeId(0), NodeId(63)).unwrap_or_else(|e| {
+            panic!(
+                "{}: pinned session must survive the update: {e}",
+                method.name()
+            )
+        });
     }
 }
 
